@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 1: measured server power vs CPU utilization for the 2011
+ * Westmere and 2015 Haswell web servers.
+ *
+ * Regenerates the two curves (plus our Turbo variants) and checks the
+ * headline observation: peak server power nearly doubled between
+ * generations.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "server/power_model.h"
+
+using namespace dynamo;
+
+int
+main()
+{
+    bench::Banner("Fig. 1", "server power vs CPU utilization, two generations");
+
+    const server::ServerPowerSpec w2011 =
+        server::ServerPowerSpec::For(server::ServerGeneration::kWestmere2011);
+    const server::ServerPowerSpec h2015 =
+        server::ServerPowerSpec::For(server::ServerGeneration::kHaswell2015);
+
+    std::printf("%8s %14s %14s %14s\n", "util(%)", "2011(W)", "2015(W)",
+                "2015+turbo(W)");
+    for (int u = 0; u <= 100; u += 5) {
+        const double util = u / 100.0;
+        std::printf("%8d %14.1f %14.1f %14.1f\n", u,
+                    server::PowerAtUtil(w2011, util),
+                    server::PowerAtUtil(h2015, util),
+                    server::PowerAtUtil(h2015, util, /*turbo=*/true));
+    }
+
+    std::printf("\nHeadline comparison:\n");
+    bench::Compare("2011 server peak power", 200.0, w2011.peak, "W");
+    bench::Compare("2015 server peak power", 350.0, h2015.peak, "W");
+    bench::Compare("peak power growth factor (\"nearly doubled\")", 1.75,
+                   h2015.peak / w2011.peak, "x");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 3: power breaker trip time as a function of power usage
+ * normalized to the breaker rating, per hierarchy level.
+ *
+ * Prints the four trip-time curves (log-scale y in the paper) and
+ * verifies the envelope anchors the paper quotes in Section II-A, by
+ * simulating the stateful BreakerModel under sustained overdraw rather
+ * than just evaluating the fitted curve.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "power/breaker.h"
+
+using namespace dynamo;
+using power::BreakerCurve;
+using power::BreakerModel;
+using power::DeviceLevel;
+
+namespace {
+
+/** Simulated time-to-trip of a stateful breaker at constant ratio. */
+double
+SimulatedTripSeconds(DeviceLevel level, double ratio)
+{
+    BreakerModel breaker(1000.0, BreakerCurve::ForLevel(level));
+    SimTime t = 0;
+    const SimTime step = 500;
+    while (!breaker.tripped() && t < Hours(2)) {
+        breaker.Advance(1000.0 * ratio, step);
+        t += step;
+    }
+    return breaker.tripped() ? ToSeconds(t) : -1.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("Fig. 3", "breaker trip time vs normalized power");
+
+    std::printf("%10s %12s %12s %12s %12s\n", "power/rated", "Rack(s)",
+                "RPP(s)", "SB(s)", "MSB(s)");
+    for (double r = 1.05; r <= 2.001; r += 0.05) {
+        std::printf("%10.2f %12.1f %12.1f %12.1f %12.1f\n", r,
+                    SimulatedTripSeconds(DeviceLevel::kRack, r),
+                    SimulatedTripSeconds(DeviceLevel::kRpp, r),
+                    SimulatedTripSeconds(DeviceLevel::kSb, r),
+                    SimulatedTripSeconds(DeviceLevel::kMsb, r));
+    }
+
+    std::printf("\nEnvelope anchors (Section II-A):\n");
+    bench::Compare("RPP sustains 10%% overdraw (~17 min)", 17.0 * 60.0,
+                   SimulatedTripSeconds(DeviceLevel::kRpp, 1.10), "s");
+    bench::Compare("Rack sustains 10%% overdraw (~17 min)", 17.0 * 60.0,
+                   SimulatedTripSeconds(DeviceLevel::kRack, 1.10), "s");
+    bench::Compare("RPP sustains 40%% overdraw (~60 s)", 60.0,
+                   SimulatedTripSeconds(DeviceLevel::kRpp, 1.40), "s");
+    bench::Compare("MSB sustains 15%% overdraw (~60 s)", 60.0,
+                   SimulatedTripSeconds(DeviceLevel::kMsb, 1.15), "s");
+    bench::Compare("MSB trips on ~5%% overdraw (~2 min)", 120.0,
+                   SimulatedTripSeconds(DeviceLevel::kMsb, 1.05), "s");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 12: an SB-level capping event that prevented a potential
+ * outage in the Altoona data center.
+ *
+ * An unplanned site issue drops traffic; recovery attempts oscillate;
+ * then a successful recovery floods the data center with traffic well
+ * above its normal daily peak. The SB power controller kicks in, caps
+ * the offender rows via contractual limits to their leaf controllers,
+ * holds the SB below its breaker limit, and uncaps once load reduces.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "fleet/scenarios.h"
+#include "telemetry/event_log.h"
+
+using namespace dynamo;
+
+int
+main()
+{
+    bench::Banner("Fig. 12", "SB-level surge during site-issue recovery");
+
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kSb;
+    spec.topology.rpps_per_sb = 4;
+    spec.topology.sb_rated = 430e3;
+    spec.topology.quota_fill = 0.9;
+    spec.servers_per_rpp = 520;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 29;
+    fleet::Fleet fleet(spec);
+    fleet::ScriptOutageRecovery(&fleet.scenario(), Minutes(10), 1.5, Minutes(95));
+
+    std::printf("SB limit=%.0f KW; 4 rows (RPPs), %zu servers\n\n",
+                430e3 / 1000, fleet.servers().size());
+    std::printf("%8s %12s %12s %12s %14s\n", "t(min)", "SB(KW)", "row0(KW)",
+                "row1(KW)", "rows contracted");
+    double peak_kw = 0.0;
+    double peak_demand_kw = 0.0;
+    double peak_stress = 0.0;
+    double normal_kw = 0.0;
+    for (int minute = 2; minute <= 150; minute += 2) {
+        fleet.RunFor(Minutes(2));
+        const SimTime now = fleet.sim().Now();
+        const double sb_kw = fleet.TotalPower() / 1000.0;
+        double demand_kw = 0.0;
+        for (const auto& srv : fleet.servers()) {
+            demand_kw += srv->DemandedPowerAt(now) / 1000.0;
+        }
+        peak_kw = std::max(peak_kw, sb_kw);
+        peak_demand_kw = std::max(peak_demand_kw, demand_kw);
+        peak_stress = std::max(peak_stress, fleet.root().breaker().stress());
+        if (minute == 8) normal_kw = sb_kw;  // pre-incident daily level
+        const double r0 =
+            fleet.root().Find("sb0/rpp0")->TotalPower(now) / 1000.0;
+        const double r1 =
+            fleet.root().Find("sb0/rpp1")->TotalPower(now) / 1000.0;
+        const auto& upper = *fleet.dynamo()->upper_controllers()[0];
+        std::printf("%8d %12.1f %12.1f %12.1f %14zu\n", minute, sb_kw, r0, r1,
+                    upper.contracted_count());
+    }
+
+    const auto* log = fleet.event_log();
+    std::size_t max_contracted = 0;
+    for (const auto& e : log->OfKind(telemetry::EventKind::kCapStart)) {
+        if (e.source == "ctl:sb0") {
+            max_contracted =
+                std::max(max_contracted,
+                         static_cast<std::size_t>(e.servers_affected));
+        }
+    }
+
+    std::printf("\nHeadline comparison:\n");
+    bench::Compare("surge demand peak vs normal daily level (~1.3x)", 1.3,
+                   peak_demand_kw / normal_kw, "x");
+    // The surge transient can poke a few percent past the rating for
+    // a few seconds before capping settles; Fig. 3's inverse-time
+    // curve gives the SB ~20 min of budget at that overdraw, so what
+    // matters is that capping pulls power back well inside it.
+    bench::Compare("peak SB transient during surge (rating 430)",
+                   430e3 / 1000.0, peak_kw, "KW");
+    std::printf("  SB breaker trip-budget consumed at peak: %.1f%%\n",
+                100.0 * peak_stress);
+    bench::Compare("offender rows capped by the SB controller", 3.0,
+                   static_cast<double>(max_contracted), "rows");
+    bench::Compare("SB-level capping episodes", 1.0,
+                   static_cast<double>(log->CappingEpisodes("ctl:sb0")),
+                   "episodes");
+    std::printf("  outages: %zu (paper: the SB breaker did NOT trip)\n",
+                fleet.outage_count());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation and prints (a) the series/rows the figure plots and (b) a
+ * PAPER-vs-MEASURED comparison for its headline numbers. Absolute
+ * watts differ from Facebook's fleet (our substrate is synthetic); the
+ * reproduction target is the shape: who wins, by what factor, where
+ * the crossovers fall. See EXPERIMENTS.md.
+ */
+#ifndef DYNAMO_BENCH_BENCH_UTIL_H_
+#define DYNAMO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "workload/load_process.h"
+
+namespace dynamo::bench {
+
+/** Banner naming the experiment. */
+inline void
+Banner(const std::string& id, const std::string& title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** One paper-vs-measured comparison row. */
+inline void
+Compare(const std::string& metric, double paper, double measured,
+        const std::string& unit)
+{
+    std::printf("  %-46s paper=%10.2f  measured=%10.2f %s\n", metric.c_str(),
+                paper, measured, unit.c_str());
+}
+
+/** A deterministic steady utilization (no noise, no spikes). */
+inline workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+}  // namespace dynamo::bench
+
+#endif  // DYNAMO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Capacity planning with a power safety net.
+ *
+ * Conservative planning sizes a row by worst-case server peak power,
+ * stranding capacity that coincident peaks never actually use. With
+ * Dynamo guarding the breaker, the row can be packed beyond the
+ * worst-case count: this example sweeps the server count, stress-tests
+ * each candidate with a traffic surge, and reports the largest count
+ * that survives with zero outages and negligible throttling loss —
+ * the paper's "8% more servers in the same data center" use case.
+ *
+ * Run:  ./capacity_planning
+ */
+#include <cstdio>
+
+#include "core/quota_planner.h"
+#include "fleet/fleet.h"
+#include "fleet/scenarios.h"
+#include "server/power_model.h"
+#include "telemetry/recorder.h"
+
+using namespace dynamo;
+
+namespace {
+
+struct StressResult
+{
+    bool safe;
+    double work_loss_pct;
+    std::size_t outages;
+};
+
+StressResult
+StressTest(int n_servers)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = 127.5e3;
+    spec.servers_per_rpp = static_cast<std::size_t>(n_servers);
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.haswell_fraction = 1.0;
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 61;
+    fleet::Fleet fleet(spec);
+    // Stress: traffic surge pushing every server toward full load.
+    fleet::ScriptLoadTest(&fleet.scenario(), Minutes(5), Minutes(3), Minutes(30),
+                          2.2);
+    fleet.RunFor(Minutes(45));
+
+    double demanded = 0.0;
+    double delivered = 0.0;
+    for (const auto& srv : fleet.servers()) {
+        demanded += srv->demanded_work();
+        delivered += srv->delivered_work();
+    }
+    StressResult result;
+    result.outages = fleet.outage_count();
+    result.work_loss_pct = 100.0 * (1.0 - delivered / demanded);
+    result.safe = result.outages == 0 && result.work_loss_pct < 2.0;
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const Watts limit = 127.5e3;
+    const server::ServerPowerSpec spec =
+        server::ServerPowerSpec::For(server::ServerGeneration::kHaswell2015);
+    const int conservative = static_cast<int>(limit / spec.peak);
+
+    std::printf("Breaker: %.1f KW. Worst-case server peak: %.0f W.\n",
+                limit / 1000.0, spec.peak);
+    std::printf("Conservative (nameplate-style) plan: %d servers.\n\n",
+                conservative);
+    std::printf("%10s %10s %16s %8s\n", "servers", "outages", "work loss(%)",
+                "safe");
+
+    int best = conservative;
+    for (int n = conservative; n <= conservative + 60; n += 10) {
+        const StressResult r = StressTest(n);
+        std::printf("%10d %10zu %16.2f %8s\n", n, r.outages, r.work_loss_pct,
+                    r.safe ? "yes" : "NO");
+        if (r.safe) best = n;
+    }
+
+    std::printf("\nWith Dynamo guarding the breaker: %d servers "
+                "(+%.1f%%; the paper deployed +8%% with more aggressive "
+                "subscription underway).\n",
+                best, 100.0 * (static_cast<double>(best) / conservative - 1.0));
+
+    // Bonus: re-plan the row's power quota from observed history (what
+    // the punish-offender-first algorithm judges against) instead of
+    // the worst-case rating.
+    {
+        fleet::FleetSpec s;
+        s.scope = fleet::FleetScope::kRpp;
+        s.topology.rpp_rated = limit;
+        s.servers_per_rpp = static_cast<std::size_t>(best);
+        s.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+        s.haswell_fraction = 1.0;
+        s.seed = 61;
+        fleet::Fleet fleet(s);
+        telemetry::TimeSeries history;
+        telemetry::Recorder recorder(fleet.sim(), Seconds(30),
+                                     [&]() { return fleet.TotalPower(); },
+                                     &history);
+        fleet.RunFor(Hours(6));
+        core::QuotaPlanSpec plan_spec;
+        plan_spec.parent_budget = limit;
+        const core::QuotaPlan plan =
+            core::PlanQuotas({{"row0", &history, 0.0}}, plan_spec);
+        std::printf("\nQuota re-planning from 6 h of history: planning peak "
+                    "%.1f KW -> quota %.1f KW (vs %.1f KW worst-case rating)\n",
+                    plan.assignments[0].planning_peak / 1000.0,
+                    plan.assignments[0].quota / 1000.0, limit / 1000.0);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Operator console: live hierarchy status during a stress event.
+ *
+ * Shows the monitoring surface an on-call engineer would use: the
+ * controller status lines (power vs limit, contracts, capping state),
+ * early-warning alerts as they fire, and a final report plus a CSV of
+ * the SB power series for offline plotting.
+ *
+ * Run:  ./operator_console [csv-path]
+ */
+#include <cstdio>
+#include <string>
+
+#include "fleet/fleet.h"
+#include "fleet/report.h"
+#include "fleet/scenarios.h"
+#include "telemetry/export.h"
+#include "telemetry/recorder.h"
+
+using namespace dynamo;
+
+int
+main(int argc, char** argv)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kSb;
+    spec.topology.rpps_per_sb = 4;
+    spec.topology.sb_rated = 430e3;
+    spec.topology.quota_fill = 0.9;
+    spec.servers_per_rpp = 520;
+    spec.mix = fleet::ServiceMix::FrontEndRow();
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 101;
+    spec.deployment.with_early_warning = true;
+    spec.deployment.early_warning.period = Seconds(30);
+    spec.deployment.stagger_cycles = true;
+    spec.with_breaker_validation = true;
+    fleet::Fleet fleet(spec);
+    fleet::ScriptOutageRecovery(&fleet.scenario(), Minutes(10), 1.5, Minutes(70));
+
+    telemetry::TimeSeries sb_power;
+    telemetry::Recorder recorder(fleet.sim(), Seconds(3),
+                                 [&]() { return fleet.TotalPower(); },
+                                 &sb_power);
+    fleet::ReportCollector collector(fleet);
+
+    std::size_t seen_events = 0;
+    for (int minute = 10; minute <= 120; minute += 10) {
+        fleet.RunFor(Minutes(10));
+        std::printf("\n--- t=%d min ---\n", minute);
+        std::printf("%s\n",
+                    fleet.dynamo()->upper_controllers()[0]->StatusLine().c_str());
+        for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+            std::printf("  %s\n", leaf->StatusLine().c_str());
+        }
+        const auto& events = fleet.event_log()->events();
+        for (; seen_events < events.size(); ++seen_events) {
+            const auto& e = events[seen_events];
+            std::printf("  ! %-12s %s %s\n",
+                        telemetry::EventKindName(e.kind), e.source.c_str(),
+                        e.detail.c_str());
+        }
+    }
+
+    const fleet::FleetReport report = collector.Finish();
+    std::printf("\n%s", report.ToString().c_str());
+
+    const std::string csv_path =
+        argc > 1 ? argv[1] : "operator_console_sb_power.csv";
+    telemetry::WriteCsvFile(csv_path, {{"sb_power_w", &sb_power}});
+    std::printf("SB power series written to %s (%zu samples)\n",
+                csv_path.c_str(), sb_power.size());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: build a one-RPP fleet, overload it with a traffic surge,
+ * and watch Dynamo cap power back under the breaker limit.
+ *
+ * Run:  ./quickstart
+ */
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "fleet/fleet.h"
+#include "fleet/scenarios.h"
+#include "telemetry/event_log.h"
+
+using namespace dynamo;
+
+int
+main()
+{
+    // A single 190 KW RPP feeding 500 web servers: enough that a 25 %
+    // traffic surge pushes the row past its breaker limit.
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = 127.5e3;  // the Fig. 11 PDU breaker rating
+    spec.servers_per_rpp = 500;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;  // keep the quickstart flat + surge
+    spec.seed = 7;
+
+    fleet::Fleet fleet(spec);
+
+    // Script a load test: ramp to 1.8x traffic at t=5min, hold 10min.
+    fleet::ScriptLoadTest(&fleet.scenario(), Minutes(5), Minutes(3), Minutes(10),
+                          1.8);
+
+    std::printf("RPP limit: %.1f KW, servers: %zu\n",
+                fleet.root().rated_power() / 1000.0, fleet.servers().size());
+    std::printf("%8s %12s %10s %8s\n", "t(min)", "power(KW)", "capped", "events");
+
+    for (int minute = 0; minute <= 25; ++minute) {
+        fleet.RunFor(Minutes(1));
+        const core::LeafController& leaf = *fleet.dynamo()->leaf_controllers()[0];
+        std::printf("%8d %12.1f %10zu %8zu\n", minute,
+                    fleet.TotalPower() / 1000.0, leaf.capped_count(),
+                    fleet.event_log()->events().size());
+    }
+
+    const auto& log = *fleet.event_log();
+    std::printf("\ncap starts: %zu  cap updates: %zu  uncaps: %zu  "
+                "alarms: %zu  breaker trips: %zu\n",
+                log.CountOf(telemetry::EventKind::kCapStart),
+                log.CountOf(telemetry::EventKind::kCapUpdate),
+                log.CountOf(telemetry::EventKind::kUncap),
+                log.CountOf(telemetry::EventKind::kAlarm),
+                log.CountOf(telemetry::EventKind::kBreakerTrip));
+    std::printf("outages (tripped breakers): %zu\n", fleet.outage_count());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario CLI: run a fleet described by a spec file and print a
+ * report — the "give it to an operator" entry point.
+ *
+ * Usage:
+ *   ./scenario_cli [spec-file] [minutes] [surge-factor]
+ *
+ * With no arguments a built-in demo spec runs for 30 minutes with a
+ * 1.8x load-test surge. The spec format is documented in
+ * src/fleet/spec_parser.h.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "fleet/fleet.h"
+#include "fleet/report.h"
+#include "fleet/scenarios.h"
+#include "fleet/spec_parser.h"
+
+using namespace dynamo;
+
+namespace {
+
+constexpr const char* kDemoSpec = R"(
+# Demo: a Fig. 11-style front-end row.
+scope = rpp
+rpp_rated_kw = 127.5
+servers_per_rpp = 520
+mix = web:200, cache:200, newsfeed:40
+diurnal_amplitude = 0
+with_breaker_validation = true
+seed = 7
+)";
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        fleet::FleetSpec spec;
+        if (argc > 1) {
+            std::printf("loading spec from %s\n", argv[1]);
+            spec = fleet::LoadFleetSpec(argv[1]);
+        } else {
+            std::printf("no spec given; using the built-in demo spec\n");
+            spec = fleet::ParseFleetSpecString(kDemoSpec);
+        }
+        const int minutes = argc > 2 ? std::atoi(argv[2]) : 30;
+        const double surge = argc > 3 ? std::atof(argv[3]) : 1.8;
+
+        fleet::Fleet fleet(spec);
+        if (surge > 1.0) {
+            fleet::ScriptLoadTest(&fleet.scenario(), Minutes(5), Minutes(3),
+                                  Minutes(minutes > 15 ? minutes - 15 : 5),
+                                  surge);
+        }
+        std::printf("servers: %zu, root: %s rated %.1f KW, running %d min "
+                    "(surge %.2fx)\n\n",
+                    fleet.servers().size(), fleet.root().name().c_str(),
+                    fleet.root().rated_power() / 1000.0, minutes, surge);
+
+        fleet::ReportCollector collector(fleet);
+        fleet.RunFor(Minutes(minutes));
+        const fleet::FleetReport report = collector.Finish();
+        std::fputs(report.ToString().c_str(), stdout);
+        return report.outages == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic power oversubscription: enabling Turbo Boost on a legacy
+ * Hadoop cluster whose power plan never budgeted for it (Section
+ * IV-B).
+ *
+ * Without Dynamo, Turbo is unsafe: worst-case peak power exceeds the
+ * breaker. With Dynamo as the safety net, Turbo runs whenever there
+ * happens to be power margin, and the rare coincident peaks get capped
+ * instead of tripping the breaker. The example reports the throughput
+ * gained and the price paid in capping.
+ *
+ * Run:  ./turbo_oversubscription
+ */
+#include <cstdio>
+
+#include "fleet/fleet.h"
+#include "server/power_model.h"
+#include "telemetry/event_log.h"
+
+using namespace dynamo;
+
+namespace {
+
+fleet::FleetSpec
+ClusterSpec(bool turbo, bool with_dynamo)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = 190e3;
+    spec.servers_per_rpp = 640;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kHadoop);
+    spec.haswell_fraction = 1.0;
+    spec.turbo_enabled = turbo;
+    spec.with_dynamo = with_dynamo;
+    spec.diurnal_amplitude = 0.05;
+    spec.seed = 51;
+    return spec;
+}
+
+double
+TotalWork(fleet::Fleet& fleet)
+{
+    double work = 0.0;
+    for (const auto& srv : fleet.servers()) work += srv->delivered_work();
+    return work;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const server::ServerPowerSpec spec =
+        server::ServerPowerSpec::For(server::ServerGeneration::kHaswell2015);
+    std::printf("Cluster: 640 Hadoop servers on a 190 KW breaker.\n");
+    std::printf("Worst-case peak: %.1f KW without Turbo, %.1f KW with "
+                "(over the breaker!)\n\n",
+                640 * spec.peak / 1000.0, 640 * spec.TurboPeak() / 1000.0);
+
+    std::printf("[1/2] Baseline: Turbo off, 4 simulated hours...\n");
+    fleet::Fleet baseline(ClusterSpec(/*turbo=*/false, /*with_dynamo=*/true));
+    baseline.RunFor(Hours(4));
+    const double base_work = TotalWork(baseline);
+    std::printf("      delivered work %.0f, outages %zu\n\n", base_work,
+                baseline.outage_count());
+
+    std::printf("[2/2] Turbo on under Dynamo's safety net...\n");
+    fleet::Fleet turbo(ClusterSpec(/*turbo=*/true, /*with_dynamo=*/true));
+    turbo.RunFor(Hours(4));
+    const double turbo_work = TotalWork(turbo);
+    const auto* log = turbo.event_log();
+    std::printf("      delivered work %.0f, outages %zu\n", turbo_work,
+                turbo.outage_count());
+    std::printf("      capping episodes: %zu (cap starts %zu, uncaps %zu)\n\n",
+                log->CappingEpisodes(),
+                log->CountOf(telemetry::EventKind::kCapStart),
+                log->CountOf(telemetry::EventKind::kUncap));
+
+    std::printf("Turbo gain under Dynamo: %.1f%% more work (paper: up to "
+                "13%% for CPU-bound Hadoop)\n",
+                100.0 * (turbo_work / base_work - 1.0));
+    std::printf("The same Turbo experiment without Dynamo risks tripping the "
+                "breaker on coincident peaks;\nsee bench_table1_summary for "
+                "the outage-prevention replay.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace dynamo {
+namespace {
+
+struct LoggingState
+{
+    std::mutex mutex;
+    LogLevel threshold = LogLevel::kWarning;
+    Logging::Sink sink;
+};
+
+LoggingState&
+State()
+{
+    static LoggingState state;
+    return state;
+}
+
+void
+DefaultSink(LogLevel level, const std::string& message)
+{
+    std::fprintf(stderr, "[dynamo %s] %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace
+
+const char*
+LogLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+void
+Logging::SetThreshold(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(State().mutex);
+    State().threshold = level;
+}
+
+LogLevel
+Logging::Threshold()
+{
+    std::lock_guard<std::mutex> lock(State().mutex);
+    return State().threshold;
+}
+
+void
+Logging::SetSink(Sink sink)
+{
+    std::lock_guard<std::mutex> lock(State().mutex);
+    State().sink = std::move(sink);
+}
+
+void
+Logging::Log(LogLevel level, const std::string& message)
+{
+    Sink sink;
+    {
+        std::lock_guard<std::mutex> lock(State().mutex);
+        if (level < State().threshold) return;
+        sink = State().sink;
+    }
+    if (sink) {
+        sink(level, message);
+    } else {
+        DefaultSink(level, message);
+    }
+}
+
+void LogDebug(const std::string& message) { Logging::Log(LogLevel::kDebug, message); }
+void LogInfo(const std::string& message) { Logging::Log(LogLevel::kInfo, message); }
+void LogWarning(const std::string& message) { Logging::Log(LogLevel::kWarning, message); }
+void LogError(const std::string& message) { Logging::Log(LogLevel::kError, message); }
+
+}  // namespace dynamo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * Production Dynamo logs to Facebook's fleet logging; here we keep a
+ * tiny global sink so library code can emit warnings/alarms without
+ * depending on any particular frontend. Tests and benches can silence
+ * or capture it.
+ */
+#ifndef DYNAMO_COMMON_LOGGING_H_
+#define DYNAMO_COMMON_LOGGING_H_
+
+#include <functional>
+#include <string>
+
+namespace dynamo {
+
+/** Severity of a log line. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/** Human-readable name for a level ("DEBUG", "INFO", ...). */
+const char* LogLevelName(LogLevel level);
+
+/**
+ * Global log configuration. Messages below `threshold` are dropped;
+ * everything else is passed to `sink` (stderr by default).
+ */
+class Logging
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string&)>;
+
+    /** Set minimum level that is emitted. */
+    static void SetThreshold(LogLevel level);
+
+    /** Current minimum emitted level. */
+    static LogLevel Threshold();
+
+    /** Replace the output sink; pass nullptr to restore the default. */
+    static void SetSink(Sink sink);
+
+    /** Emit one message (subject to threshold filtering). */
+    static void Log(LogLevel level, const std::string& message);
+};
+
+/** Convenience wrappers. */
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_LOGGING_H_

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible run-to-run, so all stochastic
+ * components draw from explicitly seeded Rng instances rather than from
+ * global std engines. The generator is xoshiro256++ seeded via
+ * splitmix64, which is fast, high quality, and trivially splittable so
+ * each server/service can own an independent stream.
+ */
+#ifndef DYNAMO_COMMON_RNG_H_
+#define DYNAMO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dynamo {
+
+/** splitmix64 step, used for seeding and stream splitting. */
+constexpr std::uint64_t SplitMix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256++ generator with convenience distributions.
+ *
+ * Not thread-safe; each simulated entity owns its own instance.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto& w : state_) w = SplitMix64(sm);
+    }
+
+    /** Derive an independent child stream; deterministic in (parent seed, salt). */
+    Rng Split(std::uint64_t salt)
+    {
+        std::uint64_t mix = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+        return Rng(mix);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t NextU64()
+    {
+        const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double Uniform() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+    /** Uniform double in [lo, hi). */
+    double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t UniformInt(std::uint64_t n) { return NextU64() % n; }
+
+    /** Standard normal via Box-Muller (no cached spare; simple and stateless). */
+    double Normal()
+    {
+        double u1 = Uniform();
+        double u2 = Uniform();
+        if (u1 < 1e-300) u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double Exponential(double rate)
+    {
+        double u = Uniform();
+        if (u < 1e-300) u = 1e-300;
+        return -std::log(u) / rate;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool Bernoulli(double p) { return Uniform() < p; }
+
+    /** Pareto(scale, shape) draw; heavy-tailed spike magnitudes. */
+    double Pareto(double scale, double shape)
+    {
+        double u = Uniform();
+        if (u < 1e-300) u = 1e-300;
+        return scale / std::pow(u, 1.0 / shape);
+    }
+
+  private:
+    static constexpr std::uint64_t Rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_RNG_H_

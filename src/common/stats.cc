@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dynamo {
+
+double
+PercentileSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) return 0.0;
+    if (sorted.size() == 1) return sorted.front();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+Percentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    return PercentileSorted(samples, p);
+}
+
+double
+Mean(const std::vector<double>& samples)
+{
+    if (samples.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : samples) sum += x;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+StdDev(const std::vector<double>& samples)
+{
+    if (samples.size() < 2) return 0.0;
+    const double m = Mean(samples);
+    double acc = 0.0;
+    for (double x : samples) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::FractionBelow(double x) const
+{
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+std::string
+EmpiricalCdf::ToTable(int steps) const
+{
+    std::ostringstream os;
+    for (int i = 0; i <= steps; ++i) {
+        const double p = 100.0 * i / steps;
+        os << Quantile(p) << " " << (p / 100.0) << "\n";
+    }
+    return os.str();
+}
+
+void
+RunningStats::Add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::Variance() const
+{
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::StdDevValue() const
+{
+    return std::sqrt(Variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0)
+{
+}
+
+void
+Histogram::Add(double x)
+{
+    x = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::BinCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+}  // namespace dynamo

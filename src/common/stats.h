@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Statistics helpers used by the power-variation characterization and
+ * by the experiment harnesses: percentiles, empirical CDFs, running
+ * moments, and fixed-width histograms.
+ */
+#ifndef DYNAMO_COMMON_STATS_H_
+#define DYNAMO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynamo {
+
+/**
+ * Percentile of a sample set (p in [0, 100]), linear interpolation
+ * between order statistics. Returns 0 for an empty sample.
+ */
+double Percentile(std::vector<double> samples, double p);
+
+/** Percentile for data that is already sorted ascending. */
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/** Arithmetic mean; 0 for an empty sample. */
+double Mean(const std::vector<double>& samples);
+
+/** Sample standard deviation; 0 for fewer than two samples. */
+double StdDev(const std::vector<double>& samples);
+
+/**
+ * Empirical cumulative distribution function over a sample set.
+ *
+ * Stores the sorted samples once and answers quantile and
+ * fraction-below queries; used to reproduce the CDF figures.
+ */
+class EmpiricalCdf
+{
+  public:
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** Number of samples. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /** Quantile (p in [0, 100]). */
+    double Quantile(double p) const { return PercentileSorted(sorted_, p); }
+
+    /** Fraction of samples <= x, in [0, 1]. */
+    double FractionBelow(double x) const;
+
+    /**
+     * Render the CDF as "value cdf" rows at evenly spaced quantiles,
+     * one row per step, for experiment output.
+     */
+    std::string ToTable(int steps = 20) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/** Streaming mean/variance/min/max accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void Add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample variance; 0 with fewer than two observations. */
+    double Variance() const;
+
+    /** Sample standard deviation. */
+    double StdDevValue() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation (clamped into range). */
+    void Add(double x);
+
+    std::size_t bin_count() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+
+    /** Count in bin i. */
+    std::size_t CountAt(std::size_t i) const { return counts_[i]; }
+
+    /** Midpoint value of bin i. */
+    double BinCenter(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_STATS_H_

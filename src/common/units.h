@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Core unit types shared across the Dynamo reproduction.
+ *
+ * Power is carried as watts in doubles, simulation time as integer
+ * milliseconds. Keeping a single convention at every module boundary
+ * avoids the classic W-vs-KW and s-vs-ms confusion in control loops.
+ */
+#ifndef DYNAMO_COMMON_UNITS_H_
+#define DYNAMO_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace dynamo {
+
+/** Simulation timestamp / duration in milliseconds. */
+using SimTime = std::int64_t;
+
+/** Electric power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Convert seconds (fractional allowed) to a SimTime duration. */
+constexpr SimTime Seconds(double s) { return static_cast<SimTime>(s * 1000.0); }
+
+/** Convert minutes to a SimTime duration. */
+constexpr SimTime Minutes(double m) { return Seconds(m * 60.0); }
+
+/** Convert hours to a SimTime duration. */
+constexpr SimTime Hours(double h) { return Minutes(h * 60.0); }
+
+/** Convert days to a SimTime duration. */
+constexpr SimTime Days(double d) { return Hours(d * 24.0); }
+
+/** Convert a SimTime duration to fractional seconds. */
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+/** Convert kilowatts to watts. */
+constexpr Watts Kilowatts(double kw) { return kw * 1000.0; }
+
+/** Convert megawatts to watts. */
+constexpr Watts Megawatts(double mw) { return mw * 1.0e6; }
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_UNITS_H_

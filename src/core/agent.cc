@@ -1,0 +1,83 @@
+#include "core/agent.h"
+
+#include <utility>
+
+namespace dynamo::core {
+
+DynamoAgent::DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
+                         server::SimServer& server, std::string endpoint)
+    : sim_(sim), transport_(transport), server_(server),
+      endpoint_(std::move(endpoint))
+{
+    Restart();
+}
+
+DynamoAgent::~DynamoAgent()
+{
+    if (alive_) transport_.Unregister(endpoint_);
+}
+
+void
+DynamoAgent::Crash()
+{
+    if (!alive_) return;
+    alive_ = false;
+    transport_.Unregister(endpoint_);
+}
+
+void
+DynamoAgent::Restart()
+{
+    if (alive_) return;
+    alive_ = true;
+    transport_.Register(endpoint_,
+                        [this](const rpc::Payload& req) { return Handle(req); });
+}
+
+rpc::Payload
+DynamoAgent::Handle(const rpc::Payload& request)
+{
+    const SimTime now = sim_.Now();
+
+    if (std::any_cast<PowerReadRequest>(&request) != nullptr) {
+        ++reads_served_;
+        PowerReadResponse resp;
+        resp.server = server_.name();
+        resp.service = server_.service();
+        resp.capped = server_.capped();
+        resp.power_limit = server_.power_limit();
+        if (server_.has_sensor()) {
+            resp.power = server_.SensorRead(now);
+            resp.estimated = false;
+        } else {
+            resp.power = server_.EstimateRead(now);
+            resp.estimated = true;
+        }
+        const server::SimServer::Breakdown bd = server_.BreakdownAt(now);
+        resp.cpu_power = bd.cpu;
+        resp.memory_power = bd.memory;
+        resp.other_power = bd.other;
+        resp.conversion_loss = bd.conversion_loss;
+        return resp;
+    }
+    if (const auto* cap = std::any_cast<SetCapRequest>(&request)) {
+        ++caps_applied_;
+        server_.SetPowerLimit(cap->limit, now);
+        return AckResponse{true};
+    }
+    if (std::any_cast<UncapRequest>(&request) != nullptr) {
+        ++uncaps_applied_;
+        server_.ClearPowerLimit(now);
+        return AckResponse{true};
+    }
+    if (const auto* tune = std::any_cast<TuneEstimateRequest>(&request)) {
+        // Estimate=1 / reference=ratio nudges the model's bias by the
+        // controller-computed correction factor.
+        server_.estimator().Tune(1.0, tune->reference_ratio);
+        ++tunes_applied_;
+        return AckResponse{true};
+    }
+    return AckResponse{false};
+}
+
+}  // namespace dynamo::core

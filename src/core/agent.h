@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Dynamo agent (Section III-B).
+ *
+ * A deliberately thin request-handler daemon on every server: it reads
+ * host power (sensor firmware if present, estimation model otherwise)
+ * and executes cap/uncap commands through RAPL. All intelligence lives
+ * in the controllers; agents never talk to each other. The agent can
+ * be crashed and restarted to exercise the watchdog and the
+ * controller's pull-failure estimation paths.
+ */
+#ifndef DYNAMO_CORE_AGENT_H_
+#define DYNAMO_CORE_AGENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/messages.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+
+namespace dynamo::core {
+
+/** One server's Dynamo agent. */
+class DynamoAgent
+{
+  public:
+    /**
+     * @param sim        Simulation clock (reads are timestamped on it).
+     * @param transport  RPC transport to register on.
+     * @param server     Host server (not owned; must outlive the agent).
+     * @param endpoint   Transport endpoint name, unique per server.
+     */
+    DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
+                server::SimServer& server, std::string endpoint);
+
+    ~DynamoAgent();
+
+    DynamoAgent(const DynamoAgent&) = delete;
+    DynamoAgent& operator=(const DynamoAgent&) = delete;
+
+    const std::string& endpoint() const { return endpoint_; }
+    server::SimServer& server() { return server_; }
+
+    /** Simulate an agent crash: stop serving requests. */
+    void Crash();
+
+    /** Restart after a crash (what the watchdog does). */
+    void Restart();
+
+    bool alive() const { return alive_; }
+
+    std::uint64_t reads_served() const { return reads_served_; }
+    std::uint64_t caps_applied() const { return caps_applied_; }
+    std::uint64_t uncaps_applied() const { return uncaps_applied_; }
+    std::uint64_t tunes_applied() const { return tunes_applied_; }
+
+  private:
+    rpc::Payload Handle(const rpc::Payload& request);
+
+    sim::Simulation& sim_;
+    rpc::SimTransport& transport_;
+    server::SimServer& server_;
+    std::string endpoint_;
+    bool alive_ = false;
+    std::uint64_t reads_served_ = 0;
+    std::uint64_t caps_applied_ = 0;
+    std::uint64_t uncaps_applied_ = 0;
+    std::uint64_t tunes_applied_ = 0;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_AGENT_H_

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Performance-aware power-cut allocation (Sections III-C3 and III-D).
+ *
+ * Two pure allocation algorithms, kept free of I/O so they are
+ * directly unit- and property-testable:
+ *
+ * 1. ComputeCappingPlan — the leaf controller's server-level policy.
+ *    Services are pre-assigned to priority groups; the total-power-cut
+ *    is absorbed by the lowest priority group first. Within a group a
+ *    *high-bucket-first* rule applies: servers are bucketed by current
+ *    power (default 20 W buckets, the paper recommends 10–30 W); the
+ *    highest bucket absorbs the cut first, split evenly, expanding
+ *    into lower buckets only as needed, and never capping a server
+ *    below its group's SLA floor. The cap sent to a server is its
+ *    current power minus its allocated cut (Fig. 16).
+ *
+ * 2. ComputeOffenderPlan — the upper-level controller's
+ *    *punish-offender-first* policy. Children whose power exceeds
+ *    their quota (planned peak) absorb the cut first, high-bucket-
+ *    first among offenders and never below their quota; only if the
+ *    offenders' excess cannot cover the cut is the remainder spread
+ *    over all children down to their floors. The result is expressed
+ *    as contractual power limits (power minus cut).
+ */
+#ifndef DYNAMO_CORE_CAPPING_POLICY_H_
+#define DYNAMO_CORE_CAPPING_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dynamo::core {
+
+/** Leaf-controller view of one downstream server. */
+struct ServerPowerInfo
+{
+    std::string name;
+
+    /** Latest power reading (or estimate). */
+    Watts power = 0.0;
+
+    /** Priority group; lower groups are capped first. */
+    int priority_group = 0;
+
+    /** SLA: the lowest power cap allowed for this server. */
+    Watts sla_min_cap = 0.0;
+};
+
+/** One server's assignment in a capping plan. */
+struct CapAssignment
+{
+    std::string name;
+    Watts cap = 0.0;
+    Watts cut = 0.0;
+};
+
+/** Result of a leaf capping allocation. */
+struct CappingPlan
+{
+    std::vector<CapAssignment> assignments;
+
+    /** Total cut actually allocated. */
+    Watts planned_cut = 0.0;
+
+    /** True if the full requested cut was allocated within SLA floors. */
+    bool satisfied = false;
+};
+
+/**
+ * Within-priority-group allocation rule.
+ *
+ * The paper ships kHighBucketFirst and names "new capping algorithms"
+ * as future work; the alternatives are provided for comparison (see
+ * bench_ablation_alloc_policy) and selectable per controller.
+ */
+enum class AllocationPolicy {
+    /** Production policy: bucket by power, punish the hottest first. */
+    kHighBucketFirst,
+
+    /** Cut proportional to each server's headroom above its floor. */
+    kProportional,
+
+    /** Pure water-filling: level the hottest servers to a common cap. */
+    kWaterFill,
+};
+
+/** Name of an allocation policy ("high-bucket-first", ...). */
+const char* AllocationPolicyName(AllocationPolicy policy);
+
+/**
+ * Allocate `total_power_cut` watts of cut across `servers`.
+ *
+ * @param servers          Current readings plus capping metadata.
+ * @param total_power_cut  Aggregated power minus the capping target.
+ * @param bucket_size      High-bucket-first bucket width in watts
+ *                         (<= 0 degenerates to pure water-filling).
+ * @param policy           Within-group allocation rule.
+ */
+CappingPlan ComputeCappingPlan(
+    const std::vector<ServerPowerInfo>& servers, Watts total_power_cut,
+    Watts bucket_size = 20.0,
+    AllocationPolicy policy = AllocationPolicy::kHighBucketFirst);
+
+/** Upper-controller view of one child controller/device. */
+struct ChildPowerInfo
+{
+    std::string name;
+
+    /** Child's last aggregated power. */
+    Watts power = 0.0;
+
+    /** Child's power quota (planned peak). Offender iff power > quota. */
+    Watts quota = 0.0;
+
+    /** Lowest contractual limit the child can honor. */
+    Watts floor = 0.0;
+};
+
+/** One child's assignment: the contractual limit to send. */
+struct ChildLimit
+{
+    std::string name;
+    Watts contractual_limit = 0.0;
+    Watts cut = 0.0;
+};
+
+/** Result of an upper-level allocation. */
+struct OffenderPlan
+{
+    std::vector<ChildLimit> limits;
+    Watts planned_cut = 0.0;
+    bool satisfied = false;
+};
+
+/**
+ * Allocate `total_power_cut` across children, offenders first.
+ *
+ * @param bucket_size  High-bucket-first width in watts; upper levels
+ *                     use a larger bucket (KW scale) than leaves.
+ */
+OffenderPlan ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
+                                 Watts total_power_cut,
+                                 Watts bucket_size = 2000.0);
+
+/**
+ * Shared primitive: distribute `cut` over items high-bucket-first.
+ *
+ * Items are bucketed by power; buckets are included from the top until
+ * their combined headroom (power minus max(bucket floor, item floor))
+ * covers the cut, then the cut is split evenly (water-filled) among
+ * included items. Exposed for direct testing.
+ *
+ * @returns per-item cuts, aligned with `powers`; the sum is
+ *          min(cut, total headroom above floors).
+ */
+std::vector<Watts> BucketedEvenCut(const std::vector<Watts>& powers,
+                                   const std::vector<Watts>& floors, Watts cut,
+                                   Watts bucket_size);
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_CAPPING_POLICY_H_

@@ -1,0 +1,154 @@
+#include "core/controller.h"
+
+#include <utility>
+
+namespace dynamo::core {
+
+Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
+                       std::string endpoint, Watts physical_limit, Watts quota,
+                       ControllerBaseConfig config, telemetry::EventLog* log)
+    : sim_(sim),
+      transport_(transport),
+      config_(config),
+      bands_(config.bands),
+      log_(log),
+      endpoint_(std::move(endpoint)),
+      physical_limit_(physical_limit),
+      quota_(quota)
+{
+}
+
+Controller::~Controller()
+{
+    Deactivate();
+}
+
+void
+Controller::Activate(SimTime initial_delay)
+{
+    if (active_) return;
+    active_ = true;
+    transport_.Register(endpoint_,
+                        [this](const rpc::Payload& req) { return Handle(req); });
+    cycle_task_ = sim_.SchedulePeriodic(
+        config_.pull_cycle, [this]() {
+            if (active_) RunCycle();
+        },
+        initial_delay);
+}
+
+void
+Controller::Deactivate()
+{
+    if (!active_) return;
+    active_ = false;
+    cycle_task_.Cancel();
+    transport_.Unregister(endpoint_);
+    // Invalidate any in-flight cycle so late responses are dropped.
+    ++cycle_id_;
+}
+
+rpc::Payload
+Controller::Handle(const rpc::Payload& request)
+{
+    if (std::any_cast<ControllerReadRequest>(&request) != nullptr) {
+        ControllerReadResponse resp;
+        resp.controller = endpoint_;
+        resp.power = last_power_;
+        resp.valid = last_valid_;
+        resp.quota = quota_;
+        resp.floor = Floor();
+        return resp;
+    }
+    if (const auto* set = std::any_cast<SetContractualLimitRequest>(&request)) {
+        SetContractualLimit(set->limit);
+        return AckResponse{true};
+    }
+    if (std::any_cast<ClearContractualLimitRequest>(&request) != nullptr) {
+        ClearContractualLimit();
+        return AckResponse{true};
+    }
+    if (std::any_cast<HealthCheckRequest>(&request) != nullptr) {
+        return HealthCheckResponse{true};
+    }
+    return HandleExtra(request);
+}
+
+rpc::Payload
+Controller::HandleExtra(const rpc::Payload&)
+{
+    return AckResponse{false};
+}
+
+BandDecision
+Controller::DecideBand(Watts aggregated)
+{
+    BandDecision decision = bands_.Evaluate(aggregated, EffectiveLimit());
+    if (decision.action == BandAction::kCap && contractual_limit_ &&
+        *contractual_limit_ < physical_limit_) {
+        const Watts target =
+            std::min(config_.bands.cap_target_frac * physical_limit_,
+                     kContractTargetFrac * *contractual_limit_);
+        if (target < aggregated) {
+            decision.target = target;
+            decision.cut = aggregated - target;
+        }
+    }
+    return decision;
+}
+
+Controller::Status
+Controller::GetStatus() const
+{
+    Status status;
+    status.endpoint = endpoint_;
+    status.active = active_;
+    status.capping = bands_.capping();
+    status.last_valid = last_valid_;
+    status.physical_limit = physical_limit_;
+    status.contractual_limit = contractual_limit_;
+    status.last_power = last_power_;
+    status.aggregations = aggregations_;
+    status.invalid_aggregations = invalid_aggregations_;
+    status.controlled = ControlledCount();
+    return status;
+}
+
+std::string
+Controller::StatusLine() const
+{
+    const Status s = GetStatus();
+    std::string line = s.endpoint;
+    line += s.active ? " [active]" : " [standby]";
+    line += " power=" + std::to_string(static_cast<long long>(s.last_power)) +
+            "W/" + std::to_string(static_cast<long long>(EffectiveLimit())) +
+            "W";
+    if (s.contractual_limit) {
+        line += " (contract " +
+                std::to_string(static_cast<long long>(*s.contractual_limit)) +
+                "W)";
+    }
+    if (!s.last_valid) line += " INVALID";
+    if (s.capping) {
+        line += " CAPPING(" + std::to_string(s.controlled) + ")";
+    }
+    return line;
+}
+
+void
+Controller::LogEvent(telemetry::EventKind kind, Watts aggregated, Watts limit,
+                     int servers_affected, const std::string& detail)
+{
+    if (log_ == nullptr) return;
+    telemetry::Event event;
+    event.time = sim_.Now();
+    event.kind = kind;
+    event.source = endpoint_;
+    event.aggregated_power = aggregated;
+    event.limit = limit;
+    event.servers_affected = servers_affected;
+    event.detail = detail;
+    log_->Record(std::move(event));
+}
+
+}  // namespace dynamo::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Shared machinery of Dynamo power controllers.
+ *
+ * Every protected power device gets a matching controller instance
+ * (Section III-A). Leaf and upper-level controllers share: a periodic
+ * pull/aggregate cycle, the three-band policy, the effective limit
+ * min(physical, contractual), a transport endpoint serving parent
+ * reads + contractual-limit commands + health checks, and activation
+ * state used by primary/backup failover. The endpoint name is a
+ * *logical* identity: when a backup activates it registers under the
+ * same endpoint, so parents and the failover manager are oblivious to
+ * which instance is serving.
+ */
+#ifndef DYNAMO_CORE_CONTROLLER_H_
+#define DYNAMO_CORE_CONTROLLER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/units.h"
+#include "core/messages.h"
+#include "core/three_band.h"
+#include "rpc/transport.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+
+/** Configuration shared by all controller types. */
+struct ControllerBaseConfig
+{
+    /** Power pull period in ms (3 s leaf / 9 s upper in the paper). */
+    SimTime pull_cycle = 3000;
+
+    /** Delay between issuing pulls and aggregating responses, ms. */
+    SimTime response_wait = 1000;
+
+    /** Per-pull RPC timeout, ms (must be < response_wait). */
+    SimTime rpc_timeout = 900;
+
+    /** Three-band thresholds relative to the effective limit. */
+    ThreeBandConfig bands;
+
+    /**
+     * If more than this fraction of pulls fail, the aggregation is
+     * invalid: no action is taken and an alarm is raised instead
+     * (Section III-C1 uses 20 %).
+     */
+    double max_failure_fraction = 0.2;
+
+    /**
+     * Dry-run mode (Section VI, service-aware testing): monitor, run
+     * the full decision logic, and log every action it *would* take —
+     * but never actually throttle servers or send contractual limits.
+     * Logged events carry the "dry-run" detail tag.
+     */
+    bool dry_run = false;
+};
+
+/** Abstract controller: one instance protects one power device. */
+class Controller
+{
+  public:
+    /**
+     * @param sim       Simulation clock.
+     * @param transport RPC transport (endpoint registered on Activate).
+     * @param endpoint  Logical endpoint / controller name.
+     * @param physical_limit  The device breaker's rated power.
+     * @param quota     The device's planned-peak power quota.
+     * @param config    Shared configuration.
+     * @param log       Event log (may be nullptr).
+     */
+    Controller(sim::Simulation& sim, rpc::SimTransport& transport,
+               std::string endpoint, Watts physical_limit, Watts quota,
+               ControllerBaseConfig config, telemetry::EventLog* log);
+
+    virtual ~Controller();
+
+    Controller(const Controller&) = delete;
+    Controller& operator=(const Controller&) = delete;
+
+    const std::string& endpoint() const { return endpoint_; }
+    Watts physical_limit() const { return physical_limit_; }
+    Watts quota() const { return quota_; }
+
+    /**
+     * Register the endpoint and start the periodic cycle. The first
+     * cycle fires after `initial_delay` ms (default: one full period);
+     * deployments stagger this across controllers so hundreds of
+     * consolidated instances don't pull in lock-step.
+     */
+    void Activate(SimTime initial_delay = -1);
+
+    /** Stop cycling and unregister the endpoint. */
+    void Deactivate();
+
+    /** Simulated crash (== Deactivate; named for test readability). */
+    void Crash() { Deactivate(); }
+
+    bool active() const { return active_; }
+
+    /** Parent-imposed limit (punish-offender-first coordination). */
+    void SetContractualLimit(Watts limit) { contractual_limit_ = limit; }
+    void ClearContractualLimit() { contractual_limit_.reset(); }
+    std::optional<Watts> contractual_limit() const { return contractual_limit_; }
+
+    /** min(physical, contractual): the limit capping decisions use. */
+    Watts EffectiveLimit() const
+    {
+        if (contractual_limit_) return std::min(*contractual_limit_, physical_limit_);
+        return physical_limit_;
+    }
+
+    /** Last aggregated power (valid only if last_valid()). */
+    Watts last_aggregated_power() const { return last_power_; }
+
+    /** False after an invalid aggregation (too many pull failures). */
+    bool last_valid() const { return last_valid_; }
+
+    /** True while this controller's caps are in force. */
+    bool capping() const { return bands_.capping(); }
+
+    /** Lowest contractual limit this controller could honor. */
+    virtual Watts Floor() const = 0;
+
+    std::uint64_t aggregations() const { return aggregations_; }
+    std::uint64_t invalid_aggregations() const { return invalid_aggregations_; }
+
+    /** Operator-facing snapshot of one controller's state. */
+    struct Status
+    {
+        std::string endpoint;
+        bool active = false;
+        bool capping = false;
+        bool last_valid = false;
+        Watts physical_limit = 0.0;
+        std::optional<Watts> contractual_limit;
+        Watts last_power = 0.0;
+        std::uint64_t aggregations = 0;
+        std::uint64_t invalid_aggregations = 0;
+
+        /** Servers capped (leaf) or children contracted (upper). */
+        std::size_t controlled = 0;
+    };
+
+    /** Snapshot the controller's state. */
+    Status GetStatus() const;
+
+    /** One-line human-readable rendering of GetStatus(). */
+    std::string StatusLine() const;
+
+  protected:
+    /** Subclass contribution to Status::controlled. */
+    virtual std::size_t ControlledCount() const = 0;
+
+  public:
+
+  protected:
+    /** Issue this cycle's pulls; called every pull_cycle while active. */
+    virtual void RunCycle() = 0;
+
+    /**
+     * Three-band decision with contract-aware target correction.
+     *
+     * A contractual limit is already the parent's conservative
+     * allocation (parent power minus the needed cut). Aiming the usual
+     * 5 %-below-limit target at it would stack another cut on top at
+     * every hierarchy level — three levels deep that overshoots past
+     * the uncap threshold and the whole hierarchy oscillates. Under a
+     * binding contract the target is therefore placed just below the
+     * contract itself (kContractTargetFrac), which settles each level
+     * inside its hysteresis band.
+     */
+    BandDecision DecideBand(Watts aggregated);
+
+    /** Target fraction of a binding contractual limit. */
+    static constexpr double kContractTargetFrac = 0.985;
+
+    /** Hook for subclasses to serve extra request types; default nack. */
+    virtual rpc::Payload HandleExtra(const rpc::Payload& request);
+
+    /** Append to the event log (no-op when log is null). */
+    void LogEvent(telemetry::EventKind kind, Watts aggregated, Watts limit,
+                  int servers_affected, const std::string& detail = "");
+
+    sim::Simulation& sim_;
+    rpc::SimTransport& transport_;
+    ControllerBaseConfig config_;
+    ThreeBandPolicy bands_;
+    telemetry::EventLog* log_;
+
+    Watts last_power_ = 0.0;
+    bool last_valid_ = false;
+    std::uint64_t aggregations_ = 0;
+    std::uint64_t invalid_aggregations_ = 0;
+
+    /** Incremented per cycle; stale async responses are discarded. */
+    std::uint64_t cycle_id_ = 0;
+
+  private:
+    rpc::Payload Handle(const rpc::Payload& request);
+
+    std::string endpoint_;
+    Watts physical_limit_;
+    Watts quota_;
+    std::optional<Watts> contractual_limit_;
+    bool active_ = false;
+    sim::TaskHandle cycle_task_;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_CONTROLLER_H_

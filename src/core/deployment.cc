@@ -1,0 +1,206 @@
+#include "core/deployment.h"
+
+#include <utility>
+
+#include "server/sim_server.h"
+#include "workload/load_process.h"
+
+namespace dynamo::core {
+
+/** Private-access helper used only by BuildDeployment. */
+class DeploymentBuilder
+{
+  public:
+    /** All SimServer loads in `device`'s subtree. */
+    static std::vector<server::SimServer*> ServersUnder(
+        power::PowerDevice& device);
+
+    /**
+     * Recursive construction: returns the controller endpoint for
+     * `device`, or "" when the subtree contains no controllers.
+     */
+    static std::string BuildControllersFor(power::PowerDevice& device,
+                                           sim::Simulation& sim,
+                                           rpc::SimTransport& transport,
+                                           const DeploymentConfig& config,
+                                           Deployment* deployment);
+
+    static std::unique_ptr<Deployment> Build(sim::Simulation& sim,
+                                             rpc::SimTransport& transport,
+                                             power::PowerDevice& root,
+                                             const DeploymentConfig& config);
+};
+
+std::vector<server::SimServer*>
+DeploymentBuilder::ServersUnder(power::PowerDevice& device)
+{
+    std::vector<server::SimServer*> servers;
+    device.ForEach([&](power::PowerDevice& d) {
+        for (power::PowerLoad* load : d.loads()) {
+            if (auto* srv = dynamic_cast<server::SimServer*>(load)) {
+                servers.push_back(srv);
+            }
+        }
+    });
+    return servers;
+}
+
+std::string
+DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
+                                       sim::Simulation& sim,
+                                       rpc::SimTransport& transport,
+                                       const DeploymentConfig& config,
+                                       Deployment* deployment)
+{
+    const std::string endpoint = Deployment::ControllerEndpoint(device.name());
+
+    if (device.level() == config.leaf_level) {
+        auto make_leaf = [&]() {
+            auto leaf = std::make_unique<LeafController>(
+                sim, transport, endpoint, device, config.leaf,
+                &deployment->log_);
+            for (server::SimServer* srv : ServersUnder(device)) {
+                leaf->AddAgent(AgentInfoFor(*srv));
+            }
+            return leaf;
+        };
+        auto leaf = make_leaf();
+        SimTime phase = -1;
+        if (config.stagger_cycles) {
+            const std::size_t index = deployment->leaves_.size();
+            phase = 1 + static_cast<SimTime>((index * 997) %
+                                             static_cast<std::size_t>(
+                                                 config.leaf.base.pull_cycle));
+        }
+        leaf->Activate(phase);
+        deployment->leaf_by_endpoint_[endpoint] = leaf.get();
+        deployment->leaves_.push_back(std::move(leaf));
+        if (config.with_backup_controllers) {
+            auto backup = make_leaf();
+            deployment->failovers_.push_back(std::make_unique<FailoverManager>(
+                sim, transport, *deployment->leaves_.back(), *backup,
+                config.failover_check_period, config.failover_miss_threshold,
+                &deployment->log_));
+            deployment->leaf_backups_.push_back(std::move(backup));
+        }
+        return endpoint;
+    }
+
+    std::vector<std::string> child_endpoints;
+    for (const auto& child : device.children()) {
+        std::string ep =
+            BuildControllersFor(*child, sim, transport, config, deployment);
+        if (!ep.empty()) child_endpoints.push_back(std::move(ep));
+    }
+    if (child_endpoints.empty()) return "";
+
+    auto make_upper = [&]() {
+        auto upper = std::make_unique<UpperController>(
+            sim, transport, endpoint, device.rated_power(), device.quota(),
+            config.upper, &deployment->log_);
+        for (const std::string& ep : child_endpoints) upper->AddChild(ep);
+        return upper;
+    };
+    auto upper = make_upper();
+    upper->Activate();
+    deployment->upper_by_endpoint_[endpoint] = upper.get();
+    deployment->uppers_.push_back(std::move(upper));
+    if (config.with_backup_controllers) {
+        auto backup = make_upper();
+        deployment->failovers_.push_back(std::make_unique<FailoverManager>(
+            sim, transport, *deployment->uppers_.back(), *backup,
+            config.failover_check_period, config.failover_miss_threshold,
+            &deployment->log_));
+        deployment->upper_backups_.push_back(std::move(backup));
+    }
+    return endpoint;
+}
+
+std::unique_ptr<Deployment>
+DeploymentBuilder::Build(sim::Simulation& sim, rpc::SimTransport& transport,
+                         power::PowerDevice& root, const DeploymentConfig& config)
+{
+    auto deployment = std::make_unique<Deployment>();
+
+    // Agents for every server anywhere under the root.
+    for (server::SimServer* srv : ServersUnder(root)) {
+        auto agent = std::make_unique<DynamoAgent>(
+            sim, transport, *srv, Deployment::AgentEndpoint(srv->name()));
+        deployment->agent_by_endpoint_[agent->endpoint()] = agent.get();
+        deployment->agents_.push_back(std::move(agent));
+    }
+
+    BuildControllersFor(root, sim, transport, config, deployment.get());
+
+    if (config.with_watchdog) {
+        deployment->watchdog_ = std::make_unique<Watchdog>(
+            sim, config.watchdog_period, &deployment->log_);
+        for (const auto& agent : deployment->agents_) {
+            deployment->watchdog_->Watch(agent.get());
+        }
+    }
+    if (config.with_early_warning) {
+        deployment->early_warning_ = std::make_unique<EarlyWarningMonitor>(
+            sim, config.early_warning, &deployment->log_);
+        for (const auto& leaf : deployment->leaves_) {
+            deployment->early_warning_->Watch(leaf.get());
+        }
+        for (const auto& upper : deployment->uppers_) {
+            deployment->early_warning_->Watch(upper.get());
+        }
+    }
+    return deployment;
+}
+
+Watts
+SlaMinCapFor(const server::SimServer& server)
+{
+    const server::ServerPowerSpec& spec = server.spec();
+    const workload::ServiceTraits& traits = workload::TraitsFor(server.service());
+    return spec.idle + traits.sla_floor_frac * (spec.peak - spec.idle);
+}
+
+AgentInfo
+AgentInfoFor(const server::SimServer& server)
+{
+    AgentInfo info;
+    info.endpoint = Deployment::AgentEndpoint(server.name());
+    info.service = server.service();
+    info.priority_group = workload::TraitsFor(server.service()).priority_group;
+    info.sla_min_cap = SlaMinCapFor(server);
+    const double base_util =
+        workload::LoadProcessParams::For(server.service()).base_util;
+    info.nominal_power = server::PowerAtUtil(server.spec(), base_util,
+                                             server.turbo_enabled());
+    return info;
+}
+
+DynamoAgent*
+Deployment::FindAgent(const std::string& endpoint)
+{
+    const auto it = agent_by_endpoint_.find(endpoint);
+    return it == agent_by_endpoint_.end() ? nullptr : it->second;
+}
+
+LeafController*
+Deployment::FindLeaf(const std::string& endpoint)
+{
+    const auto it = leaf_by_endpoint_.find(endpoint);
+    return it == leaf_by_endpoint_.end() ? nullptr : it->second;
+}
+
+UpperController*
+Deployment::FindUpper(const std::string& endpoint)
+{
+    const auto it = upper_by_endpoint_.find(endpoint);
+    return it == upper_by_endpoint_.end() ? nullptr : it->second;
+}
+
+std::unique_ptr<Deployment>
+BuildDeployment(sim::Simulation& sim, rpc::SimTransport& transport,
+                power::PowerDevice& root, const DeploymentConfig& config)
+{
+    return DeploymentBuilder::Build(sim, transport, root, config);
+}
+
+}  // namespace dynamo::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Dynamo deployment builder.
+ *
+ * Constructs the full control plane over a power-delivery tree: one
+ * agent per server, one leaf controller per device at the configured
+ * leaf level (RPP/PDU breaker in Facebook's production setup, which
+ * skips rack-level monitoring), and upper-level controllers mirroring
+ * the device hierarchy above, each wired to its children. Optionally
+ * adds a per-controller backup with failover management, and a
+ * watchdog over all agents.
+ */
+#ifndef DYNAMO_CORE_DEPLOYMENT_H_
+#define DYNAMO_CORE_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/early_warning.h"
+#include "core/failover.h"
+#include "core/leaf_controller.h"
+#include "core/upper_controller.h"
+#include "core/watchdog.h"
+#include "power/device.h"
+#include "rpc/transport.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+
+/** Knobs for BuildDeployment. */
+struct DeploymentConfig
+{
+    LeafController::Config leaf;
+    UpperController::Config upper;
+
+    /** Hierarchy level that gets leaf controllers. */
+    power::DeviceLevel leaf_level = power::DeviceLevel::kRpp;
+
+    /** Create standby controller instances plus failover managers. */
+    bool with_backup_controllers = false;
+
+    /** Create the agent watchdog. */
+    bool with_watchdog = true;
+
+    /**
+     * Stagger controller cycle phases so consolidated instances (the
+     * paper runs ~100 per binary) don't issue their pull broadcasts in
+     * lock-step. Off by default for reproducible single-controller
+     * experiments.
+     */
+    bool stagger_cycles = false;
+
+    /** Create the early-warning monitor over every controller. */
+    bool with_early_warning = false;
+
+    EarlyWarningMonitor::Config early_warning;
+
+    SimTime watchdog_period = 30000;
+    SimTime failover_check_period = 5000;
+    int failover_miss_threshold = 3;
+};
+
+/** The constructed control plane; owns agents, controllers, log. */
+class Deployment
+{
+  public:
+    Deployment() = default;
+    Deployment(const Deployment&) = delete;
+    Deployment& operator=(const Deployment&) = delete;
+
+    telemetry::EventLog& event_log() { return log_; }
+
+    const std::vector<std::unique_ptr<DynamoAgent>>& agents() const
+    {
+        return agents_;
+    }
+
+    const std::vector<std::unique_ptr<LeafController>>& leaf_controllers() const
+    {
+        return leaves_;
+    }
+
+    const std::vector<std::unique_ptr<UpperController>>& upper_controllers() const
+    {
+        return uppers_;
+    }
+
+    const std::vector<std::unique_ptr<FailoverManager>>& failovers() const
+    {
+        return failovers_;
+    }
+
+    Watchdog* watchdog() { return watchdog_.get(); }
+
+    /** Early-warning monitor; nullptr unless configured. */
+    EarlyWarningMonitor* early_warning() { return early_warning_.get(); }
+
+    /** Agent by endpoint ("agent:<server>"); nullptr if absent. */
+    DynamoAgent* FindAgent(const std::string& endpoint);
+
+    /** Leaf controller by endpoint ("ctl:<device>"); nullptr if absent. */
+    LeafController* FindLeaf(const std::string& endpoint);
+
+    /** Upper controller by endpoint ("ctl:<device>"); nullptr if absent. */
+    UpperController* FindUpper(const std::string& endpoint);
+
+    /** Conventional endpoint names. */
+    static std::string AgentEndpoint(const std::string& server_name)
+    {
+        return "agent:" + server_name;
+    }
+
+    static std::string ControllerEndpoint(const std::string& device_name)
+    {
+        return "ctl:" + device_name;
+    }
+
+  private:
+    friend class DeploymentBuilder;
+
+    telemetry::EventLog log_;
+    std::vector<std::unique_ptr<DynamoAgent>> agents_;
+    std::vector<std::unique_ptr<LeafController>> leaves_;
+    std::vector<std::unique_ptr<UpperController>> uppers_;
+    std::vector<std::unique_ptr<LeafController>> leaf_backups_;
+    std::vector<std::unique_ptr<UpperController>> upper_backups_;
+    std::vector<std::unique_ptr<FailoverManager>> failovers_;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<EarlyWarningMonitor> early_warning_;
+    std::unordered_map<std::string, DynamoAgent*> agent_by_endpoint_;
+    std::unordered_map<std::string, LeafController*> leaf_by_endpoint_;
+    std::unordered_map<std::string, UpperController*> upper_by_endpoint_;
+};
+
+/**
+ * Build and activate the control plane for the subtree under `root`.
+ * Servers are discovered as SimServer loads attached to devices in
+ * each leaf-level subtree. The returned deployment must not outlive
+ * `sim`, `transport`, `root`, or the servers.
+ */
+std::unique_ptr<Deployment> BuildDeployment(sim::Simulation& sim,
+                                            rpc::SimTransport& transport,
+                                            power::PowerDevice& root,
+                                            const DeploymentConfig& config);
+
+/** The SLA minimum power cap for a server per its service traits. */
+Watts SlaMinCapFor(const server::SimServer& server);
+
+/** AgentInfo for a server, using its spec and service traits. */
+AgentInfo AgentInfoFor(const server::SimServer& server);
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_DEPLOYMENT_H_

@@ -1,0 +1,67 @@
+#include "core/early_warning.h"
+
+namespace dynamo::core {
+
+EarlyWarningMonitor::EarlyWarningMonitor(sim::Simulation& sim, Config config,
+                                         telemetry::EventLog* log)
+    : sim_(sim), config_(config), log_(log)
+{
+    task_ = sim_.SchedulePeriodic(config_.period, [this]() { Check(); });
+}
+
+void
+EarlyWarningMonitor::Watch(const Controller* controller)
+{
+    WatchState state;
+    state.controller = controller;
+    watched_.push_back(state);
+}
+
+std::vector<std::string>
+EarlyWarningMonitor::HotDevices() const
+{
+    std::vector<std::string> hot;
+    for (const WatchState& w : watched_) {
+        if (w.hot_streak >= config_.consecutive_checks) {
+            hot.push_back(w.controller->endpoint());
+        }
+    }
+    return hot;
+}
+
+void
+EarlyWarningMonitor::Check()
+{
+    const SimTime now = sim_.Now();
+    for (WatchState& w : watched_) {
+        const Controller& c = *w.controller;
+        const Watts limit = c.EffectiveLimit();
+        const bool hot = c.last_valid() && limit > 0.0 &&
+                         c.last_aggregated_power() >
+                             config_.warning_fraction * limit;
+        if (!hot) {
+            w.hot_streak = 0;
+            continue;
+        }
+        ++w.hot_streak;
+        if (w.hot_streak < config_.consecutive_checks) continue;
+        if (w.last_alert >= 0 &&
+            now - w.last_alert < config_.realert_interval) {
+            continue;
+        }
+        w.last_alert = now;
+        ++alerts_;
+        if (log_ != nullptr) {
+            telemetry::Event event;
+            event.time = now;
+            event.kind = telemetry::EventKind::kAlarm;
+            event.source = c.endpoint();
+            event.aggregated_power = c.last_aggregated_power();
+            event.limit = limit;
+            event.detail = "early warning: sustained power above watermark";
+            log_->Record(std::move(event));
+        }
+    }
+}
+
+}  // namespace dynamo::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Early-warning monitor (Section VI: "Monitoring is as important as
+ * capping ... many power problems we had in the past could have been
+ * avoided if we had close power monitoring to catch bottlenecks
+ * early").
+ *
+ * Capping is the emergency brake; the early-warning monitor is the
+ * dashboard light. It periodically inspects every controller's
+ * utilization of its effective limit and raises operator alerts when a
+ * device spends sustained time above a warning watermark (default
+ * 90 %) — before the three-band capping threshold is ever reached — so
+ * capacity problems surface as tickets instead of capping events.
+ */
+#ifndef DYNAMO_CORE_EARLY_WARNING_H_
+#define DYNAMO_CORE_EARLY_WARNING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/controller.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+
+/** Watches controllers and alarms on sustained high utilization. */
+class EarlyWarningMonitor
+{
+  public:
+    struct Config
+    {
+        /** Check period in ms (coarser than control cycles). */
+        SimTime period = 60000;
+
+        /** Fraction of the effective limit that counts as "hot". */
+        double warning_fraction = 0.90;
+
+        /** Consecutive hot checks before an alert is raised. */
+        int consecutive_checks = 3;
+
+        /** Minimum gap between repeated alerts for one device, ms. */
+        SimTime realert_interval = 1800000;  // 30 min
+    };
+
+    EarlyWarningMonitor(sim::Simulation& sim, Config config,
+                        telemetry::EventLog* log);
+
+    ~EarlyWarningMonitor() { task_.Cancel(); }
+
+    EarlyWarningMonitor(const EarlyWarningMonitor&) = delete;
+    EarlyWarningMonitor& operator=(const EarlyWarningMonitor&) = delete;
+
+    /** Add a controller to watch (not owned). */
+    void Watch(const Controller* controller);
+
+    /** Alerts raised so far. */
+    std::uint64_t alerts() const { return alerts_; }
+
+    /** Devices currently flagged hot. */
+    std::vector<std::string> HotDevices() const;
+
+  private:
+    void Check();
+
+    struct WatchState
+    {
+        const Controller* controller = nullptr;
+        int hot_streak = 0;
+        SimTime last_alert = -1;
+    };
+
+    sim::Simulation& sim_;
+    Config config_;
+    telemetry::EventLog* log_;
+    std::vector<WatchState> watched_;
+    std::uint64_t alerts_ = 0;
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_EARLY_WARNING_H_

@@ -1,0 +1,48 @@
+#include "core/failover.h"
+
+#include "core/messages.h"
+
+namespace dynamo::core {
+
+FailoverManager::FailoverManager(sim::Simulation& sim,
+                                 rpc::SimTransport& transport,
+                                 Controller& primary, Controller& backup,
+                                 SimTime check_period, int miss_threshold,
+                                 telemetry::EventLog* log)
+    : sim_(sim),
+      transport_(transport),
+      primary_(primary),
+      backup_(backup),
+      miss_threshold_(miss_threshold),
+      log_(log)
+{
+    task_ = sim_.SchedulePeriodic(check_period, [this]() { Check(); });
+}
+
+void
+FailoverManager::Check()
+{
+    if (switched_) return;
+    transport_.Call(
+        primary_.endpoint(), HealthCheckRequest{},
+        [this](const rpc::Payload&) { misses_ = 0; },
+        [this](const std::string&) {
+            ++misses_;
+            if (misses_ < miss_threshold_ || switched_) return;
+            switched_ = true;
+            // Make sure a half-dead primary stops acting, then promote
+            // the backup under the same logical endpoint.
+            primary_.Deactivate();
+            backup_.Activate();
+            if (log_ != nullptr) {
+                telemetry::Event event;
+                event.time = sim_.Now();
+                event.kind = telemetry::EventKind::kFailover;
+                event.source = primary_.endpoint();
+                log_->Record(std::move(event));
+            }
+        },
+        /*timeout_ms=*/1000);
+}
+
+}  // namespace dynamo::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Controller failover (Section III-E).
+ *
+ * "In case a controller crashes, we use a redundant backup controller
+ * that resides in a different location and can take control as soon
+ * as the primary controller fails." The failover manager health-checks
+ * the controller's logical endpoint; after a run of missed checks it
+ * activates the backup instance, which registers under the same
+ * logical endpoint so parents and agents are unaffected.
+ */
+#ifndef DYNAMO_CORE_FAILOVER_H_
+#define DYNAMO_CORE_FAILOVER_H_
+
+#include <cstdint>
+
+#include "core/controller.h"
+#include "rpc/transport.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+
+/** Health-checks a primary controller and promotes its backup. */
+class FailoverManager
+{
+  public:
+    /**
+     * @param primary  Initially active instance.
+     * @param backup   Standby instance; must share the primary's
+     *                 logical endpoint and roster. Activated on
+     *                 failover.
+     * @param check_period    Health-check period, ms.
+     * @param miss_threshold  Consecutive misses before promoting.
+     */
+    FailoverManager(sim::Simulation& sim, rpc::SimTransport& transport,
+                    Controller& primary, Controller& backup,
+                    SimTime check_period = 5000, int miss_threshold = 3,
+                    telemetry::EventLog* log = nullptr);
+
+    ~FailoverManager() { task_.Cancel(); }
+
+    FailoverManager(const FailoverManager&) = delete;
+    FailoverManager& operator=(const FailoverManager&) = delete;
+
+    /** True once the backup has been promoted. */
+    bool switched() const { return switched_; }
+
+    int consecutive_misses() const { return misses_; }
+
+  private:
+    void Check();
+
+    sim::Simulation& sim_;
+    rpc::SimTransport& transport_;
+    Controller& primary_;
+    Controller& backup_;
+    int miss_threshold_;
+    telemetry::EventLog* log_;
+    int misses_ = 0;
+    bool switched_ = false;
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_FAILOVER_H_

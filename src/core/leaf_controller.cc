@@ -1,0 +1,273 @@
+#include "core/leaf_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dynamo::core {
+
+LeafController::LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
+                               std::string endpoint, power::PowerDevice& device,
+                               Config config, telemetry::EventLog* log)
+    : Controller(sim, transport, std::move(endpoint), device.rated_power(),
+                 device.quota(), config.base, log),
+      device_(device),
+      leaf_config_(config)
+{
+}
+
+void
+LeafController::AddAgent(AgentInfo info)
+{
+    agent_index_[info.endpoint] = agents_.size();
+    AgentState state;
+    state.info = std::move(info);
+    agents_.push_back(std::move(state));
+}
+
+std::size_t
+LeafController::capped_count() const
+{
+    std::size_t n = 0;
+    for (const AgentState& a : agents_) {
+        if (a.capped) ++n;
+    }
+    return n;
+}
+
+Watts
+LeafController::Floor() const
+{
+    Watts floor = last_noncappable_;
+    for (const AgentState& a : agents_) floor += a.info.sla_min_cap;
+    return floor;
+}
+
+void
+LeafController::RunCycle()
+{
+    const std::uint64_t id = ++cycle_id_;
+    for (AgentState& a : agents_) {
+        a.current.reset();
+        a.failed = false;
+    }
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        transport_.Call(
+            agents_[i].info.endpoint, PowerReadRequest{},
+            [this, i, id](const rpc::Payload& resp) {
+                if (id != cycle_id_) return;  // stale cycle
+                if (const auto* r = std::any_cast<PowerReadResponse>(&resp)) {
+                    agents_[i].current = *r;
+                } else {
+                    agents_[i].failed = true;
+                }
+            },
+            [this, i, id](const std::string&) {
+                if (id != cycle_id_) return;
+                agents_[i].failed = true;
+            },
+            config_.rpc_timeout);
+    }
+    sim_.ScheduleAfter(config_.response_wait, [this, id]() {
+        if (id != cycle_id_) return;
+        Aggregate();
+    });
+}
+
+void
+LeafController::ValidateAgainstBreaker(Watts aggregated)
+{
+    if (breaker_telemetry_ == nullptr || aggregated <= 0.0) return;
+    const auto reading = breaker_telemetry_->last();
+    if (!reading) return;
+    // Ignore stale readings (e.g. around a telemetry outage).
+    if (sim_.Now() - reading->time > 2 * breaker_telemetry_->period()) return;
+
+    last_mismatch_ = (reading->power - aggregated) / reading->power;
+    if (std::abs(last_mismatch_) > leaf_config_.mismatch_alarm_frac) {
+        ++validation_alarms_;
+        LogEvent(telemetry::EventKind::kAlarm, aggregated, EffectiveLimit(), 0,
+                 "aggregation disagrees with breaker reading");
+        return;
+    }
+    if (std::abs(last_mismatch_) < leaf_config_.tune_deadband_frac) return;
+
+    // Attribute the residual to the estimation models: the breaker
+    // reading minus trusted sensor power is what the sensorless
+    // servers actually drew; scale their estimates toward it.
+    Watts sensor_sum = 0.0;
+    Watts estimate_sum = 0.0;
+    for (const AgentState& a : agents_) {
+        if (!a.current) continue;
+        (a.current->estimated ? estimate_sum : sensor_sum) += a.current->power;
+    }
+    if (estimate_sum <= 0.0) return;
+    const Watts implied = reading->power - sensor_sum - last_noncappable_;
+    double ratio = implied / estimate_sum;
+    ratio = std::clamp(ratio, 0.5, 2.0);
+    for (const AgentState& a : agents_) {
+        if (!a.current || !a.current->estimated) continue;
+        ++tunes_sent_;
+        transport_.Call(
+            a.info.endpoint, TuneEstimateRequest{ratio},
+            [](const rpc::Payload&) {}, [](const std::string&) {},
+            config_.rpc_timeout);
+    }
+}
+
+Watts
+LeafController::EstimateFor(const AgentState& agent) const
+{
+    // Prefer the mean of this cycle's successful readings from the
+    // same service — "estimate the power reading for the failed
+    // servers using power readings from neighboring servers running
+    // similar workloads".
+    Watts sum = 0.0;
+    std::size_t n = 0;
+    for (const AgentState& other : agents_) {
+        if (!other.current) continue;
+        if (other.info.service != agent.info.service) continue;
+        sum += other.current->power;
+        ++n;
+    }
+    if (n > 0) return sum / static_cast<double>(n);
+    if (agent.have_last) return agent.last_power;
+    return agent.info.nominal_power;
+}
+
+void
+LeafController::Aggregate()
+{
+    if (agents_.empty()) return;
+    const SimTime now = sim_.Now();
+
+    std::size_t failures = 0;
+    for (const AgentState& a : agents_) {
+        if (!a.current) ++failures;
+    }
+    last_failure_count_ = failures;
+
+    const double failure_fraction =
+        static_cast<double>(failures) / static_cast<double>(agents_.size());
+    if (failure_fraction > config_.max_failure_fraction) {
+        // Too many unknowns to act safely: raise an alarm for human
+        // intervention rather than risk a false-positive cap storm.
+        ++invalid_aggregations_;
+        last_valid_ = false;
+        LogEvent(telemetry::EventKind::kAlarm, 0.0, EffectiveLimit(),
+                 static_cast<int>(failures), "power aggregation invalid");
+        return;
+    }
+
+    last_noncappable_ = device_.NonCappableLoadPower(now);
+    Watts aggregated = last_noncappable_;
+    std::vector<Watts> powers(agents_.size(), 0.0);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        AgentState& a = agents_[i];
+        if (a.current) {
+            powers[i] = a.current->power;
+            a.last_power = a.current->power;
+            a.have_last = true;
+        } else {
+            powers[i] = EstimateFor(a);
+            ++estimated_readings_;
+        }
+        aggregated += powers[i];
+    }
+
+    last_power_ = aggregated;
+    last_valid_ = true;
+    ++aggregations_;
+
+    ValidateAgainstBreaker(aggregated);
+
+    const Watts limit = EffectiveLimit();
+    const bool was_capping = bands_.capping();
+    const BandDecision decision = DecideBand(aggregated);
+
+    if (decision.action == BandAction::kCap) {
+        std::vector<ServerPowerInfo> infos;
+        infos.reserve(agents_.size());
+        for (std::size_t i = 0; i < agents_.size(); ++i) {
+            infos.push_back(ServerPowerInfo{agents_[i].info.endpoint, powers[i],
+                                            agents_[i].info.priority_group,
+                                            agents_[i].info.sla_min_cap});
+        }
+        const CappingPlan plan =
+            ComputeCappingPlan(infos, decision.cut, leaf_config_.bucket_size,
+                               leaf_config_.allocation_policy);
+        if (!config_.dry_run) ExecuteCapPlan(plan);
+        LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
+                             : telemetry::EventKind::kCapStart,
+                 aggregated, limit, static_cast<int>(plan.assignments.size()),
+                 config_.dry_run ? "dry-run" : "");
+        if (!plan.satisfied) {
+            LogEvent(telemetry::EventKind::kAlarm, aggregated, limit,
+                     static_cast<int>(plan.assignments.size()),
+                     "power cut unsatisfiable within SLA floors");
+            // Emergency response: capping has bottomed out at the SLA
+            // floors; ask the traffic layer to drain part of the load.
+            // Escalates while the plan stays unsatisfiable — RAPL caps
+            // pin power at the floors, so only draining demand (and
+            // with it the floor-level draw) closes the remaining gap.
+            if (shedder_ != nullptr && !config_.dry_run) {
+                const Watts missing = decision.cut - plan.planned_cut;
+                shed_fraction_ = std::clamp(
+                    shed_fraction_ +
+                        leaf_config_.shed_margin * missing / aggregated,
+                    0.0, 0.9);
+                shedder_->RequestShed(endpoint(), shed_fraction_);
+                shedding_ = true;
+                ++sheds_requested_;
+                LogEvent(telemetry::EventKind::kLoadShed, aggregated, limit,
+                         static_cast<int>(agents_.size()),
+                         "shed " + std::to_string(shed_fraction_));
+            }
+        }
+    } else if (decision.action == BandAction::kUncap) {
+        if (!config_.dry_run) ExecuteUncap();
+        if (shedding_ && shedder_ != nullptr) {
+            shedder_->ClearShed(endpoint());
+            shedding_ = false;
+            shed_fraction_ = 0.0;
+        }
+        LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
+                 static_cast<int>(agents_.size()),
+                 config_.dry_run ? "dry-run" : "");
+    }
+}
+
+void
+LeafController::ExecuteCapPlan(const CappingPlan& plan)
+{
+    for (const CapAssignment& assignment : plan.assignments) {
+        const auto it = agent_index_.find(assignment.name);
+        if (it == agent_index_.end()) continue;
+        AgentState& a = agents_[it->second];
+        a.capped = true;
+        a.cap = assignment.cap;
+        transport_.Call(
+            a.info.endpoint, SetCapRequest{assignment.cap},
+            [](const rpc::Payload&) {},
+            [](const std::string&) {
+                // A lost cap command is retried implicitly: the next
+                // cycle re-evaluates and re-issues caps as needed.
+            },
+            config_.rpc_timeout);
+    }
+}
+
+void
+LeafController::ExecuteUncap()
+{
+    for (AgentState& a : agents_) {
+        if (!a.capped) continue;
+        a.capped = false;
+        a.cap = 0.0;
+        transport_.Call(
+            a.info.endpoint, UncapRequest{}, [](const rpc::Payload&) {},
+            [](const std::string&) {}, config_.rpc_timeout);
+    }
+}
+
+}  // namespace dynamo::core

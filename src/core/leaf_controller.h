@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The leaf power controller (Section III-C).
+ *
+ * One leaf controller protects one lowest-level power device (an RPP
+ * or PDU breaker in Facebook's deployment) and is the only controller
+ * type that talks to agents. Every pull cycle (3 s — fast enough per
+ * the variation study, slower than the 2 s RAPL settling) it
+ * broadcasts power pulls to all downstream agents, aggregates,
+ * estimates readings for failed pulls from same-service neighbours
+ * (alarming instead of acting when more than 20 % fail), runs the
+ * three-band algorithm against min(physical, contractual) limit, and
+ * when capping distributes the total-power-cut priority-group-first /
+ * high-bucket-first and pushes per-server RAPL caps.
+ */
+#ifndef DYNAMO_CORE_LEAF_CONTROLLER_H_
+#define DYNAMO_CORE_LEAF_CONTROLLER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/capping_policy.h"
+#include "core/controller.h"
+#include "core/load_shed.h"
+#include "power/breaker_telemetry.h"
+#include "power/device.h"
+#include "workload/service.h"
+
+namespace dynamo::core {
+
+/** Static metadata the controller keeps per downstream agent. */
+struct AgentInfo
+{
+    std::string endpoint;
+    workload::ServiceType service = workload::ServiceType::kWeb;
+
+    /** Priority group (lower = capped first). */
+    int priority_group = 0;
+
+    /** SLA: lowest power cap allowed for this server. */
+    Watts sla_min_cap = 0.0;
+
+    /** Fallback power when no reading or history exists. */
+    Watts nominal_power = 150.0;
+};
+
+/** Leaf power controller. */
+class LeafController : public Controller
+{
+  public:
+    struct Config
+    {
+        ControllerBaseConfig base{/*pull_cycle=*/3000, /*response_wait=*/1000,
+                                  /*rpc_timeout=*/900, ThreeBandConfig{},
+                                  /*max_failure_fraction=*/0.2};
+
+        /** High-bucket-first width; the paper uses 20 W (10–30 W ok). */
+        Watts bucket_size = 20.0;
+
+        /** Within-group allocation rule (paper: high-bucket-first). */
+        AllocationPolicy allocation_policy = AllocationPolicy::kHighBucketFirst;
+
+        /**
+         * Safety margin on emergency shed requests: the requested
+         * traffic reduction is the unsatisfied cut fraction times
+         * this factor.
+         */
+        double shed_margin = 1.5;
+
+        /**
+         * Relative disagreement between the server-side aggregation
+         * and the breaker's own (coarse) reading that raises an alarm
+         * when breaker telemetry is attached.
+         */
+        double mismatch_alarm_frac = 0.15;
+
+        /** Mismatch below which no estimator tuning is attempted. */
+        double tune_deadband_frac = 0.02;
+    };
+
+    /**
+     * @param device  The protected power device (rating, quota,
+     *                non-cappable loads); not owned.
+     */
+    LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
+                   std::string endpoint, power::PowerDevice& device,
+                   Config config, telemetry::EventLog* log);
+
+    /** Add one downstream agent to the roster (before or after Activate). */
+    void AddAgent(AgentInfo info);
+
+    std::size_t agent_count() const { return agents_.size(); }
+
+    /** Number of servers currently capped by this controller. */
+    std::size_t capped_count() const;
+
+    /** Pull failures observed in the most recent aggregation. */
+    std::size_t last_failure_count() const { return last_failure_count_; }
+
+    /** Readings replaced by estimates so far (failed pulls). */
+    std::uint64_t estimated_readings() const { return estimated_readings_; }
+
+    /** Device power used for validation, as the paper's breaker check. */
+    power::PowerDevice& device() { return device_; }
+
+    /**
+     * Attach the breaker's own coarse power readings; when present,
+     * every aggregation is validated against the latest reading and
+     * sensorless servers' estimation models are dynamically tuned.
+     */
+    void AttachBreakerTelemetry(const power::BreakerTelemetry* telemetry)
+    {
+        breaker_telemetry_ = telemetry;
+    }
+
+    /**
+     * Attach an emergency traffic shedder (not owned). When a capping
+     * plan cannot satisfy the needed cut within SLA floors, the
+     * controller requests a proportional traffic reduction for its
+     * domain and clears it on uncap.
+     */
+    void SetLoadShedder(LoadShedder* shedder) { shedder_ = shedder; }
+
+    /** True while an emergency shed request is outstanding. */
+    bool shedding() const { return shedding_; }
+
+    /** Shed requests issued so far. */
+    std::uint64_t sheds_requested() const { return sheds_requested_; }
+
+    /** Estimator tuning commands sent so far. */
+    std::uint64_t tunes_sent() const { return tunes_sent_; }
+
+    /** Validation mismatches that crossed the alarm threshold. */
+    std::uint64_t validation_alarms() const { return validation_alarms_; }
+
+    /** Most recent breaker-vs-aggregation relative mismatch. */
+    double last_validation_mismatch() const { return last_mismatch_; }
+
+    Watts Floor() const override;
+
+    const Config& config() const { return leaf_config_; }
+
+  protected:
+    void RunCycle() override;
+
+    std::size_t ControlledCount() const override { return capped_count(); }
+
+  private:
+    struct AgentState
+    {
+        AgentInfo info;
+        std::optional<PowerReadResponse> current;  ///< This cycle's reading.
+        bool failed = false;
+        Watts last_power = 0.0;
+        bool have_last = false;
+        bool capped = false;
+        Watts cap = 0.0;
+    };
+
+    void Aggregate();
+
+    /** Validate `aggregated` against breaker telemetry; tune estimators. */
+    void ValidateAgainstBreaker(Watts aggregated);
+
+    /** Estimate a failed agent's power from same-service neighbours. */
+    Watts EstimateFor(const AgentState& agent) const;
+
+    void ExecuteCapPlan(const CappingPlan& plan);
+    void ExecuteUncap();
+
+    power::PowerDevice& device_;
+    Config leaf_config_;
+    std::vector<AgentState> agents_;
+    std::unordered_map<std::string, std::size_t> agent_index_;
+    std::size_t last_failure_count_ = 0;
+    std::uint64_t estimated_readings_ = 0;
+    Watts last_noncappable_ = 0.0;
+    const power::BreakerTelemetry* breaker_telemetry_ = nullptr;
+    LoadShedder* shedder_ = nullptr;
+    bool shedding_ = false;
+    double shed_fraction_ = 0.0;
+    std::uint64_t sheds_requested_ = 0;
+    std::uint64_t tunes_sent_ = 0;
+    std::uint64_t validation_alarms_ = 0;
+    double last_mismatch_ = 0.0;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_LEAF_CONTROLLER_H_

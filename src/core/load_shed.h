@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Emergency traffic shedding — one of the "new types of emergency
+ * response actions" the paper's conclusion names as future work.
+ *
+ * RAPL capping bottoms out at the SLA floors: when a power cut cannot
+ * be satisfied by frequency throttling alone (the plan comes back
+ * unsatisfied), the only remaining levers are the traffic layer's.
+ * The paper already observes the interplay in Fig. 11 — "load
+ * balancing responded by sending less traffic to those servers" — and
+ * this interface makes it an explicit, controller-initiated action:
+ * the leaf controller asks the traffic layer to drain a fraction of
+ * its domain's load, and releases the request when it uncaps.
+ */
+#ifndef DYNAMO_CORE_LOAD_SHED_H_
+#define DYNAMO_CORE_LOAD_SHED_H_
+
+#include <string>
+
+namespace dynamo::core {
+
+/** Traffic-layer hook a controller can ask to drain its domain. */
+class LoadShedder
+{
+  public:
+    virtual ~LoadShedder() = default;
+
+    /**
+     * Reduce the load directed at `domain` (a controller endpoint) by
+     * `fraction` of nominal (0 = none, 1 = drain fully). Repeated
+     * calls replace the previous request.
+     */
+    virtual void RequestShed(const std::string& domain, double fraction) = 0;
+
+    /** Restore full traffic to `domain`. */
+    virtual void ClearShed(const std::string& domain) = 0;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_LOAD_SHED_H_

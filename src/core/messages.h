@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wire messages between Dynamo components.
+ *
+ * Production Dynamo defines these as Thrift structs; here they are
+ * plain structs carried through the simulated transport. The agent
+ * handles two request types (power read, cap/uncap); controllers
+ * additionally expose a read endpoint to their parent controller, the
+ * contractual-limit endpoints used by punish-offender-first
+ * coordination, and a health endpoint used for failover.
+ */
+#ifndef DYNAMO_CORE_MESSAGES_H_
+#define DYNAMO_CORE_MESSAGES_H_
+
+#include <string>
+
+#include "common/units.h"
+#include "workload/service.h"
+
+namespace dynamo::core {
+
+/** Controller → agent: report your power. */
+struct PowerReadRequest
+{
+};
+
+/** Agent → controller: current power and context. */
+struct PowerReadResponse
+{
+    std::string server;
+    Watts power = 0.0;
+
+    /** True when the value came from the estimation model, not a sensor. */
+    bool estimated = false;
+
+    workload::ServiceType service = workload::ServiceType::kWeb;
+    bool capped = false;
+    Watts power_limit = 0.0;
+
+    /** Power breakdown (Section III-B: CPU, memory, AC-DC loss, rest). */
+    Watts cpu_power = 0.0;
+    Watts memory_power = 0.0;
+    Watts other_power = 0.0;
+    Watts conversion_loss = 0.0;
+};
+
+/** Controller → agent: enforce this power limit via RAPL. */
+struct SetCapRequest
+{
+    Watts limit = 0.0;
+};
+
+/** Controller → agent: remove the power limit. */
+struct UncapRequest
+{
+};
+
+/** Agent → controller: command status. */
+struct AckResponse
+{
+    bool ok = false;
+};
+
+/**
+ * Controller → agent (sensorless servers only): scale your power
+ * estimation model by `reference_ratio` (breaker-derived truth over
+ * reported estimate), per the dynamic-tuning lesson of Section VI.
+ */
+struct TuneEstimateRequest
+{
+    double reference_ratio = 1.0;
+};
+
+/** Parent controller → child controller: report your aggregate. */
+struct ControllerReadRequest
+{
+};
+
+/** Child controller → parent controller. */
+struct ControllerReadResponse
+{
+    std::string controller;
+
+    /** Last aggregated power for the child's device. */
+    Watts power = 0.0;
+
+    /** False if the child's last aggregation was invalid. */
+    bool valid = false;
+
+    /** Planned peak (power quota) of the child's device. */
+    Watts quota = 0.0;
+
+    /** Lowest contractual limit the child can honor (SLA floors). */
+    Watts floor = 0.0;
+};
+
+/** Parent → child: enforce a contractual power limit. */
+struct SetContractualLimitRequest
+{
+    Watts limit = 0.0;
+};
+
+/** Parent → child: lift the contractual power limit. */
+struct ClearContractualLimitRequest
+{
+};
+
+/** Liveness probe used by the failover manager. */
+struct HealthCheckRequest
+{
+};
+
+/** Liveness reply. */
+struct HealthCheckResponse
+{
+    bool ok = false;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_MESSAGES_H_

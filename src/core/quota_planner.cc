@@ -1,0 +1,56 @@
+#include "core/quota_planner.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace dynamo::core {
+
+QuotaPlan
+PlanQuotas(const std::vector<QuotaInput>& devices, const QuotaPlanSpec& spec)
+{
+    QuotaPlan plan;
+    plan.assignments.reserve(devices.size());
+
+    // Raw proposals: percentile peak x headroom, floored at min_quota.
+    Watts raw_total = 0.0;
+    Watts floor_total = 0.0;
+    for (const QuotaInput& device : devices) {
+        QuotaAssignment assignment;
+        assignment.name = device.name;
+        if (device.history != nullptr && !device.history->empty()) {
+            assignment.planning_peak =
+                Percentile(device.history->Values(), spec.peak_percentile);
+        }
+        assignment.quota = std::max(device.min_quota,
+                                    assignment.planning_peak * spec.headroom);
+        raw_total += assignment.quota;
+        floor_total += device.min_quota;
+        plan.assignments.push_back(std::move(assignment));
+    }
+
+    plan.fits_unscaled = raw_total <= spec.parent_budget;
+    if (plan.fits_unscaled || raw_total <= 0.0) {
+        plan.total = raw_total;
+        return plan;
+    }
+
+    // Scale the above-floor portion of every proposal down uniformly so
+    // the total meets the budget; floors are never violated (if even
+    // the floors exceed the budget, the plan reports the floor total
+    // and the operator has a provisioning problem, not a planning one).
+    const Watts scalable = raw_total - floor_total;
+    const Watts target_scalable =
+        std::max(0.0, spec.parent_budget - floor_total);
+    const double scale = scalable > 0.0 ? target_scalable / scalable : 0.0;
+    plan.total = 0.0;
+    for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+        QuotaAssignment& a = plan.assignments[i];
+        const Watts floor = devices[i].min_quota;
+        a.quota = floor + (a.quota - floor) * scale;
+        plan.total += a.quota;
+    }
+    return plan;
+}
+
+}  // namespace dynamo::core

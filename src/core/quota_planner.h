@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Power quota planning.
+ *
+ * The punish-offender-first algorithm judges children against their
+ * power quota — "planned peak power consumption" — but the paper takes
+ * the quotas themselves as given by capacity planning. This module
+ * closes that loop: given each device's observed power history, it
+ * proposes quotas as a high percentile of observed draw plus headroom,
+ * then scales the proposal so siblings fit inside the parent's budget
+ * (oversubscription ratio ≤ requested). Re-planning from live history
+ * is how stranded power gets reclaimed over time ("with Dynamo
+ * guaranteeing power safety, we are able to experiment with more
+ * aggressive power subscription").
+ */
+#ifndef DYNAMO_CORE_QUOTA_PLANNER_H_
+#define DYNAMO_CORE_QUOTA_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "telemetry/timeseries.h"
+
+namespace dynamo::core {
+
+/** Planning inputs for one device. */
+struct QuotaInput
+{
+    std::string name;
+
+    /** Observed power history for the device. */
+    const telemetry::TimeSeries* history = nullptr;
+
+    /** Lowest quota to ever assign (e.g. sum of SLA floors). */
+    Watts min_quota = 0.0;
+};
+
+/** Planner knobs. */
+struct QuotaPlanSpec
+{
+    /** Percentile of observed power treated as the planning peak. */
+    double peak_percentile = 99.0;
+
+    /** Multiplicative headroom above the planning peak. */
+    double headroom = 1.10;
+
+    /**
+     * Budget the quotas must fit inside (typically the parent device's
+     * rating, or rating x an oversubscription allowance).
+     */
+    Watts parent_budget = 0.0;
+};
+
+/** One device's proposed quota. */
+struct QuotaAssignment
+{
+    std::string name;
+    Watts planning_peak = 0.0;
+    Watts quota = 0.0;
+};
+
+/** Result of a planning round. */
+struct QuotaPlan
+{
+    std::vector<QuotaAssignment> assignments;
+
+    /** Sum of assigned quotas. */
+    Watts total = 0.0;
+
+    /**
+     * True if the raw proposals fit the budget without scaling; false
+     * means the fleet is hotter than the budget and proposals were
+     * scaled down (respecting min_quota floors).
+     */
+    bool fits_unscaled = false;
+};
+
+/**
+ * Propose quotas for sibling devices sharing `spec.parent_budget`.
+ * Devices with empty history receive their min_quota.
+ */
+QuotaPlan PlanQuotas(const std::vector<QuotaInput>& devices,
+                     const QuotaPlanSpec& spec);
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_QUOTA_PLANNER_H_

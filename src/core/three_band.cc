@@ -1,0 +1,32 @@
+#include "core/three_band.h"
+
+#include <cassert>
+
+namespace dynamo::core {
+
+ThreeBandPolicy::ThreeBandPolicy(ThreeBandConfig config) : config_(config)
+{
+    assert(config_.Valid() && "three-band thresholds must be ordered");
+}
+
+BandDecision
+ThreeBandPolicy::Evaluate(Watts aggregated, Watts limit)
+{
+    BandDecision decision;
+    const Watts cap_threshold = config_.cap_threshold_frac * limit;
+    const Watts cap_target = config_.cap_target_frac * limit;
+    const Watts uncap_threshold = config_.uncap_threshold_frac * limit;
+
+    if (aggregated > cap_threshold) {
+        decision.action = BandAction::kCap;
+        decision.target = cap_target;
+        decision.cut = aggregated - cap_target;
+        capping_ = true;
+    } else if (capping_ && aggregated < uncap_threshold) {
+        decision.action = BandAction::kUncap;
+        capping_ = false;
+    }
+    return decision;
+}
+
+}  // namespace dynamo::core

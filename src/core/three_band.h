@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The three-band capping/uncapping algorithm (Fig. 10, Section III-C2).
+ *
+ * A controller compares its aggregated power against three bands
+ * derived from the breaker limit:
+ *
+ *   - capping threshold (top, typically 99 % of the limit): when
+ *     exceeded, cap down to the capping target;
+ *   - capping target (middle, conservatively 5 % below the limit);
+ *   - uncapping threshold (bottom): uncap only once power falls below
+ *     it, which is what eliminates cap/uncap oscillation.
+ *
+ * The paper chose this deliberately simple policy to be debuggable at
+ * fleet scale ("keep the design simple to achieve reliability at
+ * scale"); the thresholds are per-controller configurable to trade
+ * power efficiency against performance at each hierarchy level.
+ */
+#ifndef DYNAMO_CORE_THREE_BAND_H_
+#define DYNAMO_CORE_THREE_BAND_H_
+
+#include "common/units.h"
+
+namespace dynamo::core {
+
+/** Band fractions relative to the (effective) breaker limit. */
+struct ThreeBandConfig
+{
+    double cap_threshold_frac = 0.99;
+    double cap_target_frac = 0.95;
+    double uncap_threshold_frac = 0.90;
+
+    /** True if thresholds are ordered sensibly. */
+    bool Valid() const
+    {
+        return cap_threshold_frac > cap_target_frac &&
+               cap_target_frac > uncap_threshold_frac &&
+               uncap_threshold_frac > 0.0 && cap_threshold_frac <= 1.0;
+    }
+};
+
+/** What the policy wants done this cycle. */
+enum class BandAction { kNone, kCap, kUncap };
+
+/** Decision plus the numbers behind it. */
+struct BandDecision
+{
+    BandAction action = BandAction::kNone;
+
+    /** Power level to cap down to (valid when action == kCap). */
+    Watts target = 0.0;
+
+    /** Total power cut needed (aggregated - target). */
+    Watts cut = 0.0;
+};
+
+/**
+ * Stateful three-band evaluator. Tracks whether capping is currently
+ * in force so that uncapping only triggers from the capped state and
+ * repeated over-threshold readings are reported as further kCap
+ * actions (the caller distinguishes start vs update via capping()).
+ */
+class ThreeBandPolicy
+{
+  public:
+    explicit ThreeBandPolicy(ThreeBandConfig config = ThreeBandConfig{});
+
+    /** Evaluate one aggregated reading against `limit`. */
+    BandDecision Evaluate(Watts aggregated, Watts limit);
+
+    /** True while caps issued by this policy are in force. */
+    bool capping() const { return capping_; }
+
+    /** Forget capping state (e.g. after failover). */
+    void Reset() { capping_ = false; }
+
+    const ThreeBandConfig& config() const { return config_; }
+
+  private:
+    ThreeBandConfig config_;
+    bool capping_ = false;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_THREE_BAND_H_

@@ -1,0 +1,188 @@
+#include "core/upper_controller.h"
+
+#include <utility>
+
+namespace dynamo::core {
+
+UpperController::UpperController(sim::Simulation& sim,
+                                 rpc::SimTransport& transport,
+                                 std::string endpoint, Watts physical_limit,
+                                 Watts quota, Config config,
+                                 telemetry::EventLog* log)
+    : Controller(sim, transport, std::move(endpoint), physical_limit, quota,
+                 config.base, log),
+      upper_config_(config)
+{
+}
+
+void
+UpperController::AddChild(const std::string& endpoint)
+{
+    ChildState state;
+    state.endpoint = endpoint;
+    children_.push_back(std::move(state));
+}
+
+std::size_t
+UpperController::contracted_count() const
+{
+    std::size_t n = 0;
+    for (const ChildState& c : children_) {
+        if (c.contracted) ++n;
+    }
+    return n;
+}
+
+std::optional<ControllerReadResponse>
+UpperController::LastChildResponse(const std::string& endpoint) const
+{
+    for (const ChildState& c : children_) {
+        if (c.endpoint == endpoint && c.have_last) return c.last;
+    }
+    return std::nullopt;
+}
+
+Watts
+UpperController::Floor() const
+{
+    Watts floor = 0.0;
+    for (const ChildState& c : children_) {
+        if (c.have_last) floor += c.last.floor;
+    }
+    return floor;
+}
+
+void
+UpperController::RunCycle()
+{
+    const std::uint64_t id = ++cycle_id_;
+    for (ChildState& c : children_) {
+        c.current.reset();
+        c.failed = false;
+    }
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        transport_.Call(
+            children_[i].endpoint, ControllerReadRequest{},
+            [this, i, id](const rpc::Payload& resp) {
+                if (id != cycle_id_) return;
+                if (const auto* r =
+                        std::any_cast<ControllerReadResponse>(&resp)) {
+                    children_[i].current = *r;
+                } else {
+                    children_[i].failed = true;
+                }
+            },
+            [this, i, id](const std::string&) {
+                if (id != cycle_id_) return;
+                children_[i].failed = true;
+            },
+            config_.rpc_timeout);
+    }
+    sim_.ScheduleAfter(config_.response_wait, [this, id]() {
+        if (id != cycle_id_) return;
+        Aggregate();
+    });
+}
+
+void
+UpperController::Aggregate()
+{
+    if (children_.empty()) return;
+
+    std::size_t failures = 0;
+    Watts aggregated = 0.0;
+    std::vector<ChildPowerInfo> infos;
+    infos.reserve(children_.size());
+
+    for (ChildState& c : children_) {
+        // A child whose own aggregation was invalid reports
+        // valid=false; treat it like a pull failure and fall back to
+        // its last good value.
+        if (c.current && c.current->valid) {
+            c.last = *c.current;
+            c.have_last = true;
+        } else {
+            ++failures;
+        }
+        if (!c.have_last) continue;  // never heard from it; skip
+        aggregated += c.last.power;
+        infos.push_back(
+            ChildPowerInfo{c.endpoint, c.last.power, c.last.quota, c.last.floor});
+    }
+    last_failure_count_ = failures;
+
+    const double failure_fraction = static_cast<double>(failures) /
+                                    static_cast<double>(children_.size());
+    if (failure_fraction > config_.max_failure_fraction) {
+        ++invalid_aggregations_;
+        last_valid_ = false;
+        LogEvent(telemetry::EventKind::kAlarm, 0.0, EffectiveLimit(),
+                 static_cast<int>(failures),
+                 "upper-level aggregation invalid");
+        return;
+    }
+
+    last_power_ = aggregated;
+    last_valid_ = true;
+    ++aggregations_;
+
+    const Watts limit = EffectiveLimit();
+    const bool was_capping = bands_.capping();
+    const BandDecision decision = DecideBand(aggregated);
+
+    if (decision.action == BandAction::kCap) {
+        const OffenderPlan plan =
+            ComputeOffenderPlan(infos, decision.cut, upper_config_.bucket_size);
+        if (!config_.dry_run) ExecutePlan(plan);
+        LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
+                             : telemetry::EventKind::kCapStart,
+                 aggregated, limit, static_cast<int>(plan.limits.size()),
+                 config_.dry_run ? "dry-run" : "");
+        if (!plan.satisfied) {
+            LogEvent(telemetry::EventKind::kAlarm, aggregated, limit,
+                     static_cast<int>(plan.limits.size()),
+                     "offender plan unsatisfiable within floors");
+        }
+    } else if (decision.action == BandAction::kUncap) {
+        if (!config_.dry_run) ClearContracts();
+        LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
+                 static_cast<int>(children_.size()),
+                 config_.dry_run ? "dry-run" : "");
+    }
+}
+
+void
+UpperController::ExecutePlan(const OffenderPlan& plan)
+{
+    for (const ChildLimit& child_limit : plan.limits) {
+        for (ChildState& c : children_) {
+            if (c.endpoint != child_limit.name) continue;
+            c.contracted = true;
+            c.limit = child_limit.contractual_limit;
+            transport_.Call(
+                c.endpoint, SetContractualLimitRequest{child_limit.contractual_limit},
+                [](const rpc::Payload&) {},
+                [](const std::string&) {
+                    // Re-issued next cycle if still needed.
+                },
+                config_.rpc_timeout);
+            break;
+        }
+    }
+}
+
+void
+UpperController::ClearContracts()
+{
+    for (ChildState& c : children_) {
+        if (!c.contracted) continue;
+        c.contracted = false;
+        c.limit = 0.0;
+        transport_.Call(
+            c.endpoint, ClearContractualLimitRequest{},
+            [](const rpc::Payload&) {}, [](const std::string&) {},
+            config_.rpc_timeout);
+    }
+}
+
+}  // namespace dynamo::core

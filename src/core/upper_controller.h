@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Upper-level power controllers (Section III-D).
+ *
+ * One upper-level controller protects each non-leaf power device (SB,
+ * MSB). It pulls aggregated power from its child controllers on a
+ * cycle 3× the leaf cycle (9 s, to stay slower than downstream
+ * settling per control-theory practice), runs the same three-band
+ * algorithm against min(physical, contractual) limit, and coordinates
+ * with its children through *punish-offender-first*: children over
+ * their planned-peak quota absorb the cut first, expressed as
+ * contractual power limits that the children fold into their own
+ * decisions (recursively, for multi-level hierarchies).
+ */
+#ifndef DYNAMO_CORE_UPPER_CONTROLLER_H_
+#define DYNAMO_CORE_UPPER_CONTROLLER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capping_policy.h"
+#include "core/controller.h"
+
+namespace dynamo::core {
+
+/** Upper-level (SB/MSB) power controller. */
+class UpperController : public Controller
+{
+  public:
+    struct Config
+    {
+        ControllerBaseConfig base{/*pull_cycle=*/9000, /*response_wait=*/1000,
+                                  /*rpc_timeout=*/900, ThreeBandConfig{},
+                                  /*max_failure_fraction=*/0.34};
+
+        /** High-bucket-first width for child cuts (KW scale). */
+        Watts bucket_size = 2000.0;
+    };
+
+    UpperController(sim::Simulation& sim, rpc::SimTransport& transport,
+                    std::string endpoint, Watts physical_limit, Watts quota,
+                    Config config, telemetry::EventLog* log);
+
+    /** Register one child controller endpoint. */
+    void AddChild(const std::string& endpoint);
+
+    std::size_t child_count() const { return children_.size(); }
+
+    /** Children currently under a contractual limit from us. */
+    std::size_t contracted_count() const;
+
+    /** Quota/floor data discovered from a child (for tests). */
+    std::optional<ControllerReadResponse> LastChildResponse(
+        const std::string& endpoint) const;
+
+    Watts Floor() const override;
+
+    const Config& config() const { return upper_config_; }
+
+  protected:
+    void RunCycle() override;
+
+    std::size_t ControlledCount() const override { return contracted_count(); }
+
+  private:
+    struct ChildState
+    {
+        std::string endpoint;
+        std::optional<ControllerReadResponse> current;
+        ControllerReadResponse last;
+        bool have_last = false;
+        bool failed = false;
+        bool contracted = false;
+        Watts limit = 0.0;
+    };
+
+    void Aggregate();
+    void ExecutePlan(const OffenderPlan& plan);
+    void ClearContracts();
+
+    Config upper_config_;
+    std::vector<ChildState> children_;
+    std::size_t last_failure_count_ = 0;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_UPPER_CONTROLLER_H_

@@ -1,0 +1,29 @@
+#include "core/watchdog.h"
+
+namespace dynamo::core {
+
+Watchdog::Watchdog(sim::Simulation& sim, SimTime period,
+                   telemetry::EventLog* log)
+    : sim_(sim), log_(log)
+{
+    task_ = sim_.SchedulePeriodic(period, [this]() { Check(); });
+}
+
+void
+Watchdog::Check()
+{
+    for (DynamoAgent* agent : agents_) {
+        if (agent->alive()) continue;
+        agent->Restart();
+        ++restarts_;
+        if (log_ != nullptr) {
+            telemetry::Event event;
+            event.time = sim_.Now();
+            event.kind = telemetry::EventKind::kAgentRestart;
+            event.source = agent->endpoint();
+            log_->Record(std::move(event));
+        }
+    }
+}
+
+}  // namespace dynamo::core

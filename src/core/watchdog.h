@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Agent watchdog (Section III-E, fault tolerance).
+ *
+ * "A script periodically checks the health of an agent and restarts
+ * the agents in case the agent crashes." The watchdog scans its agent
+ * roster on a fixed period and restarts any dead agent, logging the
+ * restart.
+ */
+#ifndef DYNAMO_CORE_WATCHDOG_H_
+#define DYNAMO_CORE_WATCHDOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agent.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+
+/** Periodically restarts crashed agents. */
+class Watchdog
+{
+  public:
+    /**
+     * @param period  Check period in ms (default 30 s).
+     * @param log     Event log for kAgentRestart records (may be null).
+     */
+    Watchdog(sim::Simulation& sim, SimTime period = 30000,
+             telemetry::EventLog* log = nullptr);
+
+    ~Watchdog() { task_.Cancel(); }
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /** Add one agent to the watched roster (not owned). */
+    void Watch(DynamoAgent* agent) { agents_.push_back(agent); }
+
+    std::uint64_t restarts() const { return restarts_; }
+    std::size_t watched_count() const { return agents_.size(); }
+
+  private:
+    void Check();
+
+    sim::Simulation& sim_;
+    telemetry::EventLog* log_;
+    std::vector<DynamoAgent*> agents_;
+    std::uint64_t restarts_ = 0;
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_WATCHDOG_H_

@@ -1,0 +1,169 @@
+#include "fleet/fleet.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "workload/load_process.h"
+
+namespace dynamo::fleet {
+namespace {
+
+/** Assign services to `n` servers in contiguous blocks per the mix. */
+std::vector<workload::ServiceType>
+AssignServices(const ServiceMix& mix, std::size_t n)
+{
+    assert(!mix.shares.empty() && "service mix must not be empty");
+    double total = 0.0;
+    for (const auto& share : mix.shares) total += share.weight;
+
+    std::vector<workload::ServiceType> assignment;
+    assignment.reserve(n);
+    double cumulative = 0.0;
+    for (const auto& share : mix.shares) {
+        cumulative += share.weight;
+        const auto upto = static_cast<std::size_t>(
+            std::llround(cumulative / total * static_cast<double>(n)));
+        while (assignment.size() < upto) assignment.push_back(share.service);
+    }
+    while (assignment.size() < n) assignment.push_back(mix.shares.back().service);
+    return assignment;
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetSpec spec)
+    : spec_(std::move(spec)),
+      transport_(sim_, spec_.seed ^ 0x7a77ULL),
+      diurnal_(spec_.diurnal_amplitude)
+{
+    traffic_.Add(&diurnal_);
+    traffic_.Add(&scenario_);
+    traffic_.Add(&balancer_);
+
+    switch (spec_.scope) {
+      case FleetScope::kRpp:
+        root_ = power::BuildRpp("rpp0", spec_.topology.rpp_rated,
+                                spec_.topology.rpp_rated);
+        break;
+      case FleetScope::kSb:
+        root_ = power::BuildSbTree("sb0", spec_.topology.rpps_per_sb,
+                                   spec_.topology);
+        break;
+      case FleetScope::kMsb:
+        root_ = power::BuildMsbTree(spec_.topology);
+        break;
+    }
+
+    Rng rng(spec_.seed);
+    std::size_t counter = 0;
+    // DevicesAtLevel includes the root itself, so a bare-RPP fleet
+    // gets its servers attached directly to the root.
+    for (power::PowerDevice* rpp :
+         root_->DevicesAtLevel(power::DeviceLevel::kRpp)) {
+        BuildServersFor(*rpp, rng, &counter);
+    }
+
+    monitor_ = std::make_unique<power::BreakerMonitor>(
+        sim_, *root_, spec_.breaker_monitor_period);
+
+    if (spec_.with_dynamo) {
+        deployment_ =
+            core::BuildDeployment(sim_, transport_, *root_, spec_.deployment);
+        if (spec_.with_load_shedding) {
+            shedder_ = std::make_unique<Shedder>(*this);
+            for (const auto& leaf : deployment_->leaf_controllers()) {
+                leaf->SetLoadShedder(shedder_.get());
+            }
+        }
+        if (spec_.with_breaker_validation) {
+            for (const auto& leaf : deployment_->leaf_controllers()) {
+                breaker_telemetry_.push_back(
+                    std::make_unique<power::BreakerTelemetry>(
+                        sim_, leaf->device(), /*period=*/60000,
+                        /*noise_frac=*/0.02,
+                        spec_.seed ^ breaker_telemetry_.size()));
+                leaf->AttachBreakerTelemetry(breaker_telemetry_.back().get());
+            }
+        }
+    }
+}
+
+void
+Fleet::BuildServersFor(power::PowerDevice& rpp, Rng& rng, std::size_t* counter)
+{
+    const std::vector<workload::ServiceType> services =
+        AssignServices(spec_.mix, spec_.servers_per_rpp);
+
+    if (spec_.tor_switch_power > 0.0) {
+        switches_.push_back(
+            std::make_unique<power::FixedLoad>(spec_.tor_switch_power));
+        rpp.AttachLoad(switches_.back().get());
+    }
+
+    for (std::size_t i = 0; i < spec_.servers_per_rpp; ++i) {
+        server::SimServer::Config config;
+        config.name = rpp.name() + "/s" + std::to_string(i);
+        config.generation = rng.Bernoulli(spec_.haswell_fraction)
+                                ? server::ServerGeneration::kHaswell2015
+                                : server::ServerGeneration::kWestmere2011;
+        config.service = services[i];
+        config.has_sensor = !rng.Bernoulli(spec_.sensorless_fraction);
+        config.turbo_enabled = spec_.turbo_enabled;
+        config.spec_override = spec_.spec_override;
+        ++*counter;
+        config.seed = rng.NextU64();
+        servers_.push_back(std::make_unique<server::SimServer>(
+            config, workload::LoadProcessParams::For(config.service), &traffic_));
+        rpp.AttachLoad(servers_.back().get());
+    }
+}
+
+void
+Fleet::Shedder::RequestShed(const std::string& domain, double fraction)
+{
+    // Domains are controller endpoints ("ctl:<device>").
+    const std::string device =
+        domain.rfind("ctl:", 0) == 0 ? domain.substr(4) : domain;
+    for (server::SimServer* srv : fleet_.ServersUnder(device)) {
+        srv->load().set_shed_factor(1.0 - fraction);
+    }
+}
+
+void
+Fleet::Shedder::ClearShed(const std::string& domain)
+{
+    const std::string device =
+        domain.rfind("ctl:", 0) == 0 ? domain.substr(4) : domain;
+    for (server::SimServer* srv : fleet_.ServersUnder(device)) {
+        srv->load().set_shed_factor(1.0);
+    }
+}
+
+std::vector<server::SimServer*>
+Fleet::ServersUnder(const std::string& device_name)
+{
+    std::vector<server::SimServer*> result;
+    power::PowerDevice* device = root_->Find(device_name);
+    if (device == nullptr) return result;
+    device->ForEach([&](power::PowerDevice& d) {
+        for (power::PowerLoad* load : d.loads()) {
+            if (auto* srv = dynamic_cast<server::SimServer*>(load)) {
+                result.push_back(srv);
+            }
+        }
+    });
+    return result;
+}
+
+std::vector<server::SimServer*>
+Fleet::ServersOf(workload::ServiceType service)
+{
+    std::vector<server::SimServer*> result;
+    for (const auto& srv : servers_) {
+        if (srv->service() == service) result.push_back(srv.get());
+    }
+    return result;
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,112 @@
+#include "fleet/multi_datacenter.h"
+
+#include <algorithm>
+
+#include "fleet/scenarios.h"
+
+namespace dynamo::fleet {
+
+MultiDatacenter::MultiDatacenter(Config config) : config_(std::move(config))
+{
+    for (std::size_t i = 0; i < config_.sites; ++i) {
+        FleetSpec spec = config_.site_spec;
+        spec.seed = config_.site_spec.seed + i * 0x9e37ULL;
+        sites_.push_back(std::make_unique<Fleet>(std::move(spec)));
+    }
+}
+
+void
+MultiDatacenter::ScriptGlobalSurge(SimTime start, SimTime ramp, SimTime hold,
+                                   double factor)
+{
+    for (const auto& site : sites_) {
+        ScriptLoadTest(&site->scenario(), start, ramp, hold, factor);
+    }
+}
+
+double
+MultiDatacenter::SiteAliveFraction(Fleet& site)
+{
+    if (!site.root().IsEnergized()) return 0.0;
+    std::size_t alive = 0;
+    for (const auto& srv : site.servers()) {
+        if (!srv->dark()) ++alive;
+    }
+    return static_cast<double>(alive) /
+           static_cast<double>(site.servers().size());
+}
+
+void
+MultiDatacenter::Rebalance()
+{
+    // Each site nominally serves 1 unit of demand; the balancer
+    // reapportions the total in proportion to surviving capacity.
+    std::vector<double> alive(sites_.size());
+    double alive_total = 0.0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        alive[i] = SiteAliveFraction(*sites_[i]);
+        alive_total += alive[i];
+    }
+    const double demand = static_cast<double>(sites_.size());
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        double share;
+        if (alive_total <= 0.0) {
+            share = 0.0;  // everything is dark; nowhere to send traffic
+        } else {
+            share = demand * alive[i] / alive_total;
+        }
+        // A site cannot usefully absorb unbounded spillover; real
+        // balancers shed load beyond ~2x capacity.
+        sites_[i]->set_global_traffic_factor(std::min(share, 2.0));
+    }
+}
+
+void
+MultiDatacenter::RunFor(SimTime duration)
+{
+    SimTime remaining = duration;
+    while (remaining > 0) {
+        const SimTime slice = std::min(remaining, config_.rebalance_period);
+        for (const auto& site : sites_) site->RunFor(slice);
+        Rebalance();
+        remaining -= slice;
+    }
+}
+
+std::size_t
+MultiDatacenter::TotalOutages() const
+{
+    std::size_t total = 0;
+    for (const auto& site : sites_) total += site->outage_count();
+    return total;
+}
+
+double
+MultiDatacenter::AliveFraction() const
+{
+    double sum = 0.0;
+    for (const auto& site : sites_) sum += SiteAliveFraction(*site);
+    return sum / static_cast<double>(sites_.size());
+}
+
+std::size_t
+MultiDatacenter::DarkSites() const
+{
+    std::size_t dark = 0;
+    for (const auto& site : sites_) {
+        if (!site->root().IsEnergized()) ++dark;
+    }
+    return dark;
+}
+
+double
+MultiDatacenter::MaxSiteTrafficFactor() const
+{
+    double max_factor = 0.0;
+    for (const auto& site : sites_) {
+        max_factor = std::max(max_factor, site->global_traffic_factor());
+    }
+    return max_factor;
+}
+
+}  // namespace dynamo::fleet

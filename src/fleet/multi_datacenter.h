@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multiple data centers behind a global load balancer.
+ *
+ * The paper's introduction motivates data-center-wide power safety
+ * with the cascade risk: "a power failure in one data center could
+ * cause a redistribution of load to other data centers, tripping their
+ * power breakers and leading to a cascading power failure event." This
+ * harness instantiates N independent site fleets and a balancer that
+ * periodically redistributes the global demand in proportion to each
+ * site's surviving capacity — so one tripped site raises every
+ * survivor's traffic, which without capping can take the whole region
+ * down in sequence.
+ *
+ * Sites run on independent simulation clocks advanced in lockstep
+ * slices; they interact only through the balancer at slice boundaries,
+ * which mirrors the minutes-scale reaction time of real cross-site
+ * traffic engineering.
+ */
+#ifndef DYNAMO_FLEET_MULTI_DATACENTER_H_
+#define DYNAMO_FLEET_MULTI_DATACENTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace dynamo::fleet {
+
+/** N sites plus the global balancer. */
+class MultiDatacenter
+{
+  public:
+    struct Config
+    {
+        /** Number of sites. */
+        std::size_t sites = 3;
+
+        /** Per-site fleet spec (seed is offset per site). */
+        FleetSpec site_spec;
+
+        /** Balancer reaction period (lockstep slice length). */
+        SimTime rebalance_period = 30000;
+    };
+
+    explicit MultiDatacenter(Config config);
+
+    std::size_t site_count() const { return sites_.size(); }
+    Fleet& site(std::size_t i) { return *sites_[i]; }
+
+    /** Advance all sites in lockstep, rebalancing between slices. */
+    void RunFor(SimTime duration);
+
+    /** Script the same surge onto every site's scenario curve. */
+    void ScriptGlobalSurge(SimTime start, SimTime ramp, SimTime hold,
+                           double factor);
+
+    /** Breaker trips across all sites. */
+    std::size_t TotalOutages() const;
+
+    /** Fraction of all servers still energized. */
+    double AliveFraction() const;
+
+    /** Sites whose root device is de-energized. */
+    std::size_t DarkSites() const;
+
+    /** Largest balancer multiplier currently applied to any site. */
+    double MaxSiteTrafficFactor() const;
+
+  private:
+    /** Recompute per-site traffic shares from surviving capacity. */
+    void Rebalance();
+
+    /** Fraction of one site's servers that are energized. */
+    static double SiteAliveFraction(Fleet& site);
+
+    Config config_;
+    std::vector<std::unique_ptr<Fleet>> sites_;
+};
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_MULTI_DATACENTER_H_

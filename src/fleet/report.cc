@@ -1,0 +1,93 @@
+#include "fleet/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+
+ReportCollector::ReportCollector(Fleet& fleet, SimTime sample_period)
+    : fleet_(fleet), start_(fleet.sim().Now())
+{
+    recorder_ = std::make_unique<telemetry::Recorder>(
+        fleet_.sim(), sample_period, [this]() { return fleet_.TotalPower(); },
+        &power_series_);
+    base_demanded_.reserve(fleet_.servers().size());
+    base_delivered_.reserve(fleet_.servers().size());
+    for (const auto& srv : fleet_.servers()) {
+        base_demanded_.push_back(srv->demanded_work());
+        base_delivered_.push_back(srv->delivered_work());
+    }
+}
+
+FleetReport
+ReportCollector::Finish()
+{
+    recorder_->Stop();
+
+    FleetReport report;
+    report.start = start_;
+    report.end = fleet_.sim().Now();
+    report.peak_power = power_series_.Max();
+    report.mean_power = power_series_.MeanValue();
+    report.energy_kwh = report.mean_power *
+                        ToSeconds(report.end - report.start) / 3600.0 / 1000.0;
+    report.outages = fleet_.outage_count();
+
+    if (const telemetry::EventLog* log = fleet_.event_log()) {
+        report.capping_episodes = log->CappingEpisodes();
+        report.cap_starts = log->CountOf(telemetry::EventKind::kCapStart);
+        report.cap_updates = log->CountOf(telemetry::EventKind::kCapUpdate);
+        report.uncaps = log->CountOf(telemetry::EventKind::kUncap);
+        report.alarms = log->CountOf(telemetry::EventKind::kAlarm);
+    }
+
+    struct ServiceAccumulator
+    {
+        std::size_t servers = 0;
+        Watts power = 0.0;
+    };
+    std::map<workload::ServiceType, ServiceAccumulator> by_service;
+    const SimTime now = fleet_.sim().Now();
+    for (std::size_t i = 0; i < fleet_.servers().size(); ++i) {
+        const auto& srv = fleet_.servers()[i];
+        report.demanded_work += srv->demanded_work() - base_demanded_[i];
+        report.delivered_work += srv->delivered_work() - base_delivered_[i];
+        ServiceAccumulator& acc = by_service[srv->service()];
+        ++acc.servers;
+        acc.power += srv->PowerAt(now);
+    }
+    for (const auto& [service, acc] : by_service) {
+        report.services.push_back(FleetReport::ServiceRow{
+            service, acc.servers,
+            acc.power / static_cast<double>(acc.servers)});
+    }
+    return report;
+}
+
+std::string
+FleetReport::ToString() const
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << "=== fleet report (" << ToSeconds(end - start) / 60.0
+       << " min simulated) ===\n";
+    os << "power: peak " << peak_power / 1000.0 << " KW, mean "
+       << mean_power / 1000.0 << " KW, energy ";
+    os.precision(2);
+    os << energy_kwh << " KWh\n";
+    os << "safety: " << outages << " outages, " << alarms << " alarms\n";
+    os << "capping: " << capping_episodes << " episodes (" << cap_starts
+       << " starts, " << cap_updates << " updates, " << uncaps << " uncaps)\n";
+    os << "work: " << WorkLossPercent() << "% lost to throttling/outages\n";
+    for (const ServiceRow& row : services) {
+        os.precision(1);
+        os << "  " << workload::ServiceName(row.service) << ": " << row.servers
+           << " servers, mean " << row.mean_power << " W each\n";
+    }
+    return os.str();
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Run reports: the summary a data-center operator reads after a
+ * scenario — peak/mean/energy, outage and capping counts, throughput
+ * delivered vs demanded, and a per-service power breakdown.
+ */
+#ifndef DYNAMO_FLEET_REPORT_H_
+#define DYNAMO_FLEET_REPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "telemetry/recorder.h"
+#include "telemetry/timeseries.h"
+#include "workload/service.h"
+
+namespace dynamo::fleet {
+
+/** Aggregated outcome of one fleet run. */
+struct FleetReport
+{
+    SimTime start = 0;
+    SimTime end = 0;
+
+    Watts peak_power = 0.0;
+    Watts mean_power = 0.0;
+    double energy_kwh = 0.0;
+
+    std::size_t outages = 0;
+    std::size_t capping_episodes = 0;
+    std::size_t cap_starts = 0;
+    std::size_t cap_updates = 0;
+    std::size_t uncaps = 0;
+    std::size_t alarms = 0;
+
+    double demanded_work = 0.0;
+    double delivered_work = 0.0;
+
+    /** Work lost to capping/outages, percent of demand. */
+    double WorkLossPercent() const
+    {
+        if (demanded_work <= 0.0) return 0.0;
+        return 100.0 * (1.0 - delivered_work / demanded_work);
+    }
+
+    struct ServiceRow
+    {
+        workload::ServiceType service;
+        std::size_t servers = 0;
+        Watts mean_power = 0.0;
+    };
+
+    std::vector<ServiceRow> services;
+
+    /** Render a human-readable multi-line summary. */
+    std::string ToString() const;
+};
+
+/**
+ * Samples the fleet while it runs and assembles the report.
+ *
+ * Construct before driving the simulation, run the scenario, then call
+ * Finish() once. The collector must not outlive the fleet.
+ */
+class ReportCollector
+{
+  public:
+    explicit ReportCollector(Fleet& fleet, SimTime sample_period = 3000);
+
+    /** Stop sampling and compute the report. */
+    FleetReport Finish();
+
+    /** Recorded root power series (for custom analysis/export). */
+    const telemetry::TimeSeries& power_series() const { return power_series_; }
+
+  private:
+    Fleet& fleet_;
+    SimTime start_;
+    telemetry::TimeSeries power_series_;
+    std::unique_ptr<telemetry::Recorder> recorder_;
+    std::vector<double> base_demanded_;
+    std::vector<double> base_delivered_;
+};
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_REPORT_H_

@@ -1,0 +1,38 @@
+#include "fleet/scenarios.h"
+
+namespace dynamo::fleet {
+
+void
+ScriptLoadTest(workload::PiecewiseTraffic* scenario, SimTime start, SimTime ramp,
+               SimTime hold, double surge_factor)
+{
+    scenario->AddPoint(0, 1.0);
+    scenario->AddPoint(start, 1.0);
+    scenario->AddPoint(start + ramp, surge_factor);
+    scenario->AddPoint(start + ramp + hold, surge_factor);
+    // Traffic returns to normal over roughly half the ramp time.
+    scenario->AddPoint(start + ramp + hold + ramp / 2, 1.0);
+}
+
+void
+ScriptOutageRecovery(workload::PiecewiseTraffic* scenario, SimTime issue_start,
+                     double surge_factor, SimTime settle)
+{
+    const SimTime m = Minutes(1);
+    scenario->AddPoint(0, 1.0);
+    scenario->AddPoint(issue_start, 1.0);
+    // Sharp power drop over ~10 minutes as the site issue hits.
+    scenario->AddPoint(issue_start + 10 * m, 0.35);
+    // Two unsuccessful partial recoveries oscillate for ~30 minutes.
+    scenario->AddPoint(issue_start + 16 * m, 0.75);
+    scenario->AddPoint(issue_start + 22 * m, 0.45);
+    scenario->AddPoint(issue_start + 30 * m, 0.85);
+    scenario->AddPoint(issue_start + 36 * m, 0.50);
+    // Successful recovery: traffic floods in well above the daily peak.
+    scenario->AddPoint(issue_start + 48 * m, surge_factor);
+    scenario->AddPoint(settle, surge_factor);
+    // Load shifted to other data centers; back to normal in ~25 min.
+    scenario->AddPoint(settle + 25 * m, 1.0);
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Canned traffic scenarios from the paper's production case studies.
+ *
+ * Each function appends breakpoints to a fleet's scenario traffic
+ * curve (a multiplicative factor on top of the diurnal curve):
+ *
+ *  - ScriptLoadTest: the Fig. 11 event — normal daily increase, then a
+ *    production load test shifts extra user traffic to the cluster
+ *    until power capping triggers, then the test ends.
+ *  - ScriptOutageRecovery: the Fig. 12 event — an unplanned site issue
+ *    drops traffic sharply, two partial recovery attempts oscillate,
+ *    then a successful recovery floods the data center to ~1.3× its
+ *    normal daily peak.
+ */
+#ifndef DYNAMO_FLEET_SCENARIOS_H_
+#define DYNAMO_FLEET_SCENARIOS_H_
+
+#include "common/units.h"
+#include "workload/traffic.h"
+
+namespace dynamo::fleet {
+
+/**
+ * Fig. 11-style load test.
+ *
+ * @param start         When the load test begins.
+ * @param ramp          Ramp-up duration to full surge.
+ * @param hold          How long the surge is held.
+ * @param surge_factor  Traffic multiplier during the test (e.g. 1.25).
+ */
+void ScriptLoadTest(workload::PiecewiseTraffic* scenario, SimTime start,
+                    SimTime ramp, SimTime hold, double surge_factor);
+
+/**
+ * Fig. 12-style site outage and recovery surge.
+ *
+ * @param issue_start   When the site issue begins (traffic collapses).
+ * @param surge_factor  Peak traffic multiplier after recovery (~1.3).
+ * @param settle        When extra traffic is shifted away again.
+ */
+void ScriptOutageRecovery(workload::PiecewiseTraffic* scenario,
+                          SimTime issue_start, double surge_factor,
+                          SimTime settle);
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_SCENARIOS_H_

@@ -1,0 +1,216 @@
+#include "fleet/spec_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dynamo::fleet {
+namespace {
+
+std::string
+Strip(const std::string& s)
+{
+    const auto first = s.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) return "";
+    const auto last = s.find_last_not_of(" \t\r\n");
+    return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void
+Fail(std::size_t line_no, const std::string& line, const std::string& why)
+{
+    throw std::runtime_error("fleet spec line " + std::to_string(line_no) +
+                             ": " + why + ": '" + line + "'");
+}
+
+double
+ParseDouble(const std::string& value, std::size_t line_no,
+            const std::string& line)
+{
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (Strip(value.substr(used)).empty()) return parsed;
+    } catch (const std::exception&) {
+    }
+    Fail(line_no, line, "expected a number");
+}
+
+bool
+ParseBool(const std::string& value, std::size_t line_no, const std::string& line)
+{
+    if (value == "true" || value == "1" || value == "yes" || value == "on") {
+        return true;
+    }
+    if (value == "false" || value == "0" || value == "no" || value == "off") {
+        return false;
+    }
+    Fail(line_no, line, "expected a boolean");
+}
+
+}  // namespace
+
+ServiceMix
+ParseServiceMix(const std::string& text)
+{
+    const std::string trimmed = Strip(text);
+    if (trimmed == "datacenter") return ServiceMix::Datacenter();
+    if (trimmed == "frontend") return ServiceMix::FrontEndRow();
+
+    ServiceMix mix;
+    std::istringstream parts(trimmed);
+    std::string part;
+    while (std::getline(parts, part, ',')) {
+        part = Strip(part);
+        if (part.empty()) continue;
+        const auto colon = part.find(':');
+        std::string name = part;
+        double weight = 1.0;
+        if (colon != std::string::npos) {
+            name = Strip(part.substr(0, colon));
+            weight = std::stod(Strip(part.substr(colon + 1)));
+        }
+        mix.shares.push_back(
+            ServiceMix::Share{workload::ParseServiceType(name), weight});
+    }
+    if (mix.shares.empty()) {
+        throw std::runtime_error("empty service mix: '" + text + "'");
+    }
+    return mix;
+}
+
+FleetSpec
+ParseFleetSpec(std::istream& in)
+{
+    FleetSpec spec;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto comment = line.find('#');
+        std::string body =
+            Strip(comment == std::string::npos ? line : line.substr(0, comment));
+        if (body.empty()) continue;
+        const auto eq = body.find('=');
+        if (eq == std::string::npos) Fail(line_no, line, "expected key = value");
+        const std::string key = Strip(body.substr(0, eq));
+        const std::string value = Strip(body.substr(eq + 1));
+        if (value.empty()) Fail(line_no, line, "missing value");
+
+        if (key == "scope") {
+            if (value == "rpp") {
+                spec.scope = FleetScope::kRpp;
+            } else if (value == "sb") {
+                spec.scope = FleetScope::kSb;
+            } else if (value == "msb") {
+                spec.scope = FleetScope::kMsb;
+            } else {
+                Fail(line_no, line, "scope must be rpp|sb|msb");
+            }
+        } else if (key == "servers_per_rpp") {
+            spec.servers_per_rpp =
+                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+        } else if (key == "rpps_per_sb") {
+            spec.topology.rpps_per_sb =
+                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+        } else if (key == "sbs_per_msb") {
+            spec.topology.sbs_per_msb =
+                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+        } else if (key == "rpp_rated_kw") {
+            spec.topology.rpp_rated = ParseDouble(value, line_no, line) * 1000.0;
+        } else if (key == "sb_rated_kw") {
+            spec.topology.sb_rated = ParseDouble(value, line_no, line) * 1000.0;
+        } else if (key == "msb_rated_kw") {
+            spec.topology.msb_rated = ParseDouble(value, line_no, line) * 1000.0;
+        } else if (key == "quota_fill") {
+            spec.topology.quota_fill = ParseDouble(value, line_no, line);
+        } else if (key == "mix") {
+            spec.mix = ParseServiceMix(value);
+        } else if (key == "haswell_fraction") {
+            spec.haswell_fraction = ParseDouble(value, line_no, line);
+        } else if (key == "sensorless_fraction") {
+            spec.sensorless_fraction = ParseDouble(value, line_no, line);
+        } else if (key == "turbo") {
+            spec.turbo_enabled = ParseBool(value, line_no, line);
+        } else if (key == "tor_switch_power_w") {
+            spec.tor_switch_power = ParseDouble(value, line_no, line);
+        } else if (key == "diurnal_amplitude") {
+            spec.diurnal_amplitude = ParseDouble(value, line_no, line);
+        } else if (key == "seed") {
+            spec.seed =
+                static_cast<std::uint64_t>(ParseDouble(value, line_no, line));
+        } else if (key == "with_dynamo") {
+            spec.with_dynamo = ParseBool(value, line_no, line);
+        } else if (key == "with_breaker_validation") {
+            spec.with_breaker_validation = ParseBool(value, line_no, line);
+        } else if (key == "with_load_shedding") {
+            spec.with_load_shedding = ParseBool(value, line_no, line);
+        } else if (key == "allocation_policy") {
+            if (value == "high-bucket-first") {
+                spec.deployment.leaf.allocation_policy =
+                    core::AllocationPolicy::kHighBucketFirst;
+            } else if (value == "proportional") {
+                spec.deployment.leaf.allocation_policy =
+                    core::AllocationPolicy::kProportional;
+            } else if (value == "water-fill") {
+                spec.deployment.leaf.allocation_policy =
+                    core::AllocationPolicy::kWaterFill;
+            } else {
+                Fail(line_no, line,
+                     "allocation_policy must be high-bucket-first|"
+                     "proportional|water-fill");
+            }
+        } else if (key == "leaf_pull_cycle_ms") {
+            spec.deployment.leaf.base.pull_cycle =
+                static_cast<SimTime>(ParseDouble(value, line_no, line));
+        } else if (key == "upper_pull_cycle_ms") {
+            spec.deployment.upper.base.pull_cycle =
+                static_cast<SimTime>(ParseDouble(value, line_no, line));
+        } else if (key == "bucket_w") {
+            spec.deployment.leaf.bucket_size = ParseDouble(value, line_no, line);
+        } else if (key == "cap_threshold") {
+            const double frac = ParseDouble(value, line_no, line);
+            spec.deployment.leaf.base.bands.cap_threshold_frac = frac;
+            spec.deployment.upper.base.bands.cap_threshold_frac = frac;
+        } else if (key == "cap_target") {
+            const double frac = ParseDouble(value, line_no, line);
+            spec.deployment.leaf.base.bands.cap_target_frac = frac;
+            spec.deployment.upper.base.bands.cap_target_frac = frac;
+        } else if (key == "uncap_threshold") {
+            const double frac = ParseDouble(value, line_no, line);
+            spec.deployment.leaf.base.bands.uncap_threshold_frac = frac;
+            spec.deployment.upper.base.bands.uncap_threshold_frac = frac;
+        } else if (key == "dry_run") {
+            const bool dry = ParseBool(value, line_no, line);
+            spec.deployment.leaf.base.dry_run = dry;
+            spec.deployment.upper.base.dry_run = dry;
+        } else if (key == "with_backup_controllers") {
+            spec.deployment.with_backup_controllers =
+                ParseBool(value, line_no, line);
+        } else {
+            Fail(line_no, line, "unknown key '" + key + "'");
+        }
+    }
+    if (!spec.deployment.leaf.base.bands.Valid()) {
+        throw std::runtime_error(
+            "invalid three-band thresholds: need threshold > target > uncap");
+    }
+    return spec;
+}
+
+FleetSpec
+ParseFleetSpecString(const std::string& text)
+{
+    std::istringstream in(text);
+    return ParseFleetSpec(in);
+}
+
+FleetSpec
+LoadFleetSpec(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open fleet spec: " + path);
+    return ParseFleetSpec(in);
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text configuration for fleet specs.
+ *
+ * A small "key = value" format (one per line, '#' comments) so
+ * scenarios can be described in files and driven from the CLI without
+ * recompiling:
+ *
+ *     scope = rpp             # rpp | sb | msb
+ *     servers_per_rpp = 520
+ *     rpp_rated_kw = 127.5
+ *     mix = web:200, cache:200, newsfeed:40   # or: datacenter | frontend
+ *     turbo = false
+ *     diurnal_amplitude = 0.25
+ *     leaf_pull_cycle_ms = 3000
+ *     cap_threshold = 0.99
+ *     dry_run = false
+ *
+ * Unknown keys and malformed values raise std::runtime_error with the
+ * offending line, so a typo'd config fails loudly rather than running
+ * a different experiment than intended.
+ */
+#ifndef DYNAMO_FLEET_SPEC_PARSER_H_
+#define DYNAMO_FLEET_SPEC_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fleet/fleet.h"
+
+namespace dynamo::fleet {
+
+/** Parse a spec from a stream; throws std::runtime_error on errors. */
+FleetSpec ParseFleetSpec(std::istream& in);
+
+/** Parse a spec from a string. */
+FleetSpec ParseFleetSpecString(const std::string& text);
+
+/** Load a spec from a file; throws std::runtime_error if unreadable. */
+FleetSpec LoadFleetSpec(const std::string& path);
+
+/** Parse a service mix ("web:200,cache:200" or "datacenter"/"frontend"). */
+ServiceMix ParseServiceMix(const std::string& text);
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_SPEC_PARSER_H_

@@ -1,0 +1,80 @@
+#include "power/breaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynamo::power {
+
+const char*
+DeviceLevelName(DeviceLevel level)
+{
+    switch (level) {
+      case DeviceLevel::kRack: return "Rack";
+      case DeviceLevel::kRpp: return "RPP";
+      case DeviceLevel::kSb: return "SB";
+      case DeviceLevel::kMsb: return "MSB";
+    }
+    return "?";
+}
+
+BreakerCurve
+BreakerCurve::ForLevel(DeviceLevel level)
+{
+    // Fitted to the Fig. 3 envelope:
+    //   Rack: ~10 % overdraw sustained ≈ 18 min, very tolerant.
+    //   RPP:  10 % ≈ 17 min, 40 % ≈ 60 s.
+    //   SB:   between RPP and MSB.
+    //   MSB:  ~5 % trips ≈ 2 min, 15 % ≈ 60 s.
+    switch (level) {
+      case DeviceLevel::kRack: return BreakerCurve{11.0, 2.0, 2.0};
+      case DeviceLevel::kRpp: return BreakerCurve{9.35, 2.03, 2.0};
+      case DeviceLevel::kSb: return BreakerCurve{10.5, 1.40, 2.0};
+      case DeviceLevel::kMsb: return BreakerCurve{18.2, 0.63, 2.0};
+    }
+    return BreakerCurve{};
+}
+
+double
+BreakerCurve::TripTimeSeconds(double overdraw_ratio) const
+{
+    if (overdraw_ratio <= 1.0) return std::numeric_limits<double>::infinity();
+    const double t = k / std::pow(overdraw_ratio - 1.0, alpha);
+    return std::max(t, min_trip_s);
+}
+
+BreakerModel::BreakerModel(Watts rated, BreakerCurve curve, double cooling_tau_s)
+    : rated_(rated), curve_(curve), cooling_tau_s_(cooling_tau_s)
+{
+}
+
+bool
+BreakerModel::Advance(Watts draw, SimTime dt)
+{
+    clock_ += dt;
+    if (tripped_) return false;
+    const double dt_s = ToSeconds(dt);
+    const double ratio = rated_ > 0.0 ? draw / rated_ : 0.0;
+    if (ratio > 1.0) {
+        const double trip_s = curve_.TripTimeSeconds(ratio);
+        stress_ += dt_s / trip_s;
+        if (stress_ >= 1.0) {
+            stress_ = 1.0;
+            tripped_ = true;
+            trip_time_ = clock_;
+            return true;
+        }
+    } else {
+        stress_ *= std::exp(-dt_s / cooling_tau_s_);
+    }
+    return false;
+}
+
+void
+BreakerModel::Reset()
+{
+    tripped_ = false;
+    stress_ = 0.0;
+    trip_time_ = -1;
+}
+
+}  // namespace dynamo::power

@@ -1,0 +1,17 @@
+#include "power/breaker_telemetry.h"
+
+namespace dynamo::power {
+
+BreakerTelemetry::BreakerTelemetry(sim::Simulation& sim, PowerDevice& device,
+                                   SimTime period, double noise_frac,
+                                   std::uint64_t seed)
+    : sim_(sim), device_(device), period_(period), noise_frac_(noise_frac),
+      rng_(seed)
+{
+    task_ = sim_.SchedulePeriodic(period_, [this]() {
+        const Watts truth = device_.TotalPower(sim_.Now());
+        last_ = Reading{sim_.Now(), truth * (1.0 + rng_.Normal(0.0, noise_frac_))};
+    });
+}
+
+}  // namespace dynamo::power

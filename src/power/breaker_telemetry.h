@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Coarse power readings from the breaker itself.
+ *
+ * Some power breakers report power directly, but only at minute
+ * granularity — far too slow to drive capping (Section III-C1). Dynamo
+ * instead uses these readings to *validate* the server-side
+ * aggregation and to dynamically tune the power-estimation models of
+ * sensorless servers (Section VI, "use accurate estimation for missing
+ * power information"). This class models that telemetry feed: a
+ * periodic, slightly noisy sample of the device's true draw.
+ */
+#ifndef DYNAMO_POWER_BREAKER_TELEMETRY_H_
+#define DYNAMO_POWER_BREAKER_TELEMETRY_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "power/device.h"
+#include "sim/simulation.h"
+
+namespace dynamo::power {
+
+/** Minute-granularity power readings from a breaker. */
+class BreakerTelemetry
+{
+  public:
+    struct Reading
+    {
+        SimTime time;
+        Watts power;
+    };
+
+    /**
+     * @param period      Reading period (default one minute).
+     * @param noise_frac  1-sigma relative metering error (default 2 %).
+     */
+    BreakerTelemetry(sim::Simulation& sim, PowerDevice& device,
+                     SimTime period = 60000, double noise_frac = 0.02,
+                     std::uint64_t seed = 3);
+
+    ~BreakerTelemetry() { task_.Cancel(); }
+
+    BreakerTelemetry(const BreakerTelemetry&) = delete;
+    BreakerTelemetry& operator=(const BreakerTelemetry&) = delete;
+
+    /** Most recent reading, if any has been taken yet. */
+    std::optional<Reading> last() const { return last_; }
+
+    SimTime period() const { return period_; }
+
+  private:
+    sim::Simulation& sim_;
+    PowerDevice& device_;
+    SimTime period_;
+    double noise_frac_;
+    Rng rng_;
+    std::optional<Reading> last_;
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::power
+
+#endif  // DYNAMO_POWER_BREAKER_TELEMETRY_H_

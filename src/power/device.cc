@@ -1,0 +1,109 @@
+#include "power/device.h"
+
+#include <utility>
+
+namespace dynamo::power {
+
+PowerDevice::PowerDevice(std::string name, DeviceLevel level, Watts rated_power,
+                         Watts quota)
+    : name_(std::move(name)),
+      level_(level),
+      rated_power_(rated_power),
+      quota_(quota),
+      breaker_(rated_power, BreakerCurve::ForLevel(level))
+{
+}
+
+PowerDevice*
+PowerDevice::AddChild(std::unique_ptr<PowerDevice> child)
+{
+    child->parent_ = this;
+    children_.push_back(std::move(child));
+    return children_.back().get();
+}
+
+void
+PowerDevice::AttachLoad(PowerLoad* load)
+{
+    loads_.push_back(load);
+}
+
+Watts
+PowerDevice::TotalPower(SimTime now)
+{
+    if (!IsEnergized()) return 0.0;
+    Watts total = 0.0;
+    for (PowerLoad* load : loads_) total += load->PowerAt(now);
+    for (const auto& child : children_) total += child->TotalPower(now);
+    return total;
+}
+
+Watts
+PowerDevice::NonCappableLoadPower(SimTime now)
+{
+    Watts total = 0.0;
+    for (PowerLoad* load : loads_) {
+        if (!load->Cappable()) total += load->PowerAt(now);
+    }
+    return total;
+}
+
+bool
+PowerDevice::IsEnergized() const
+{
+    for (const PowerDevice* d = this; d != nullptr; d = d->parent_) {
+        if (d->breaker_.tripped()) return false;
+    }
+    return true;
+}
+
+void
+PowerDevice::NotifyPowerLost(SimTime now)
+{
+    for (PowerLoad* load : loads_) load->OnPowerLost(now);
+    for (const auto& child : children_) child->NotifyPowerLost(now);
+}
+
+void
+PowerDevice::NotifyPowerRestored(SimTime now)
+{
+    for (PowerLoad* load : loads_) load->OnPowerRestored(now);
+    for (const auto& child : children_) child->NotifyPowerRestored(now);
+}
+
+void
+PowerDevice::ForEach(const std::function<void(PowerDevice&)>& fn)
+{
+    fn(*this);
+    for (const auto& child : children_) child->ForEach(fn);
+}
+
+PowerDevice*
+PowerDevice::Find(const std::string& name)
+{
+    if (name_ == name) return this;
+    for (const auto& child : children_) {
+        if (PowerDevice* found = child->Find(name)) return found;
+    }
+    return nullptr;
+}
+
+std::vector<PowerDevice*>
+PowerDevice::DevicesAtLevel(DeviceLevel level)
+{
+    std::vector<PowerDevice*> result;
+    ForEach([&](PowerDevice& d) {
+        if (d.level() == level) result.push_back(&d);
+    });
+    return result;
+}
+
+std::size_t
+PowerDevice::SubtreeSize() const
+{
+    std::size_t n = 1;
+    for (const auto& child : children_) n += child->SubtreeSize();
+    return n;
+}
+
+}  // namespace dynamo::power

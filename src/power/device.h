@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The power-delivery device tree (Fig. 2 of the paper).
+ *
+ * A PowerDevice is one node in the hierarchy (MSB, SB, RPP, or rack),
+ * owning its children and referencing the electrical loads (servers,
+ * top-of-rack switches) attached directly to it. Power draw is
+ * computed bottom-up on demand; a tripped breaker de-energizes its
+ * whole subtree, which is how the fleet harness measures outages.
+ */
+#ifndef DYNAMO_POWER_DEVICE_H_
+#define DYNAMO_POWER_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "power/breaker.h"
+
+namespace dynamo::power {
+
+/**
+ * Anything that draws power from a device: servers implement this, and
+ * FixedLoad models non-server equipment such as network switches
+ * (which Dynamo monitors but cannot cap).
+ */
+class PowerLoad
+{
+  public:
+    virtual ~PowerLoad() = default;
+
+    /** Instantaneous draw at simulated time `now` (advances internal state). */
+    virtual Watts PowerAt(SimTime now) = 0;
+
+    /** True if this load can be power-capped (servers yes, switches no). */
+    virtual bool Cappable() const { return false; }
+
+    /** Called when the feeding breaker trips (load loses power). */
+    virtual void OnPowerLost(SimTime now) { (void)now; }
+
+    /** Called when power is restored after a trip. */
+    virtual void OnPowerRestored(SimTime now) { (void)now; }
+};
+
+/** Constant-draw load, e.g. a top-of-rack switch. */
+class FixedLoad : public PowerLoad
+{
+  public:
+    explicit FixedLoad(Watts draw) : draw_(draw) {}
+
+    Watts PowerAt(SimTime) override { return draw_; }
+
+  private:
+    Watts draw_;
+};
+
+/**
+ * One node of the power hierarchy.
+ *
+ * `rated_power` is the physical breaker limit; `quota` is the planned
+ * peak power assigned during capacity planning — the basis for the
+ * upper-level controllers' punish-offender-first decisions. Because
+ * the data center is oversubscribed, the sum of children's quotas may
+ * not exceed the parent's rating even though the sum of their ratings
+ * does.
+ */
+class PowerDevice
+{
+  public:
+    PowerDevice(std::string name, DeviceLevel level, Watts rated_power,
+                Watts quota);
+
+    PowerDevice(const PowerDevice&) = delete;
+    PowerDevice& operator=(const PowerDevice&) = delete;
+
+    const std::string& name() const { return name_; }
+    DeviceLevel level() const { return level_; }
+    Watts rated_power() const { return rated_power_; }
+    Watts quota() const { return quota_; }
+    void set_quota(Watts quota) { quota_ = quota; }
+
+    /**
+     * DCUPS battery backup (Fig. 2: each DCUPS provides 90 s of power
+     * to six racks). When > 0, loads in this subtree ride through an
+     * upstream breaker trip for this long before going dark, giving
+     * traffic engineering time to drain the domain.
+     */
+    void set_battery_backup(SimTime duration) { battery_backup_ = duration; }
+    SimTime battery_backup() const { return battery_backup_; }
+
+    /** Attach a child device; returns a non-owning pointer to it. */
+    PowerDevice* AddChild(std::unique_ptr<PowerDevice> child);
+
+    /** Attach a directly-fed load (not owned). */
+    void AttachLoad(PowerLoad* load);
+
+    const std::vector<std::unique_ptr<PowerDevice>>& children() const
+    {
+        return children_;
+    }
+
+    const std::vector<PowerLoad*>& loads() const { return loads_; }
+
+    PowerDevice* parent() const { return parent_; }
+
+    /**
+     * Total draw through this device at `now`: all directly attached
+     * loads plus all children, or 0 if the subtree is de-energized.
+     */
+    Watts TotalPower(SimTime now);
+
+    /** Draw of non-cappable loads attached directly to this device. */
+    Watts NonCappableLoadPower(SimTime now);
+
+    /** Breaker protecting this device. */
+    BreakerModel& breaker() { return breaker_; }
+    const BreakerModel& breaker() const { return breaker_; }
+
+    /**
+     * True if every breaker from here to the root is closed; a false
+     * value means this subtree is dark.
+     */
+    bool IsEnergized() const;
+
+    /** Notify the subtree's loads that power was lost / restored. */
+    void NotifyPowerLost(SimTime now);
+    void NotifyPowerRestored(SimTime now);
+
+    /** Depth-first visit of this device and all descendants. */
+    void ForEach(const std::function<void(PowerDevice&)>& fn);
+
+    /** Find a descendant (or self) by name; nullptr if absent. */
+    PowerDevice* Find(const std::string& name);
+
+    /** Collect all devices at a given level in this subtree. */
+    std::vector<PowerDevice*> DevicesAtLevel(DeviceLevel level);
+
+    /** Number of devices in this subtree including self. */
+    std::size_t SubtreeSize() const;
+
+  private:
+    std::string name_;
+    DeviceLevel level_;
+    Watts rated_power_;
+    Watts quota_;
+    SimTime battery_backup_ = 0;
+    BreakerModel breaker_;
+    PowerDevice* parent_ = nullptr;
+    std::vector<std::unique_ptr<PowerDevice>> children_;
+    std::vector<PowerLoad*> loads_;
+};
+
+}  // namespace dynamo::power
+
+#endif  // DYNAMO_POWER_DEVICE_H_

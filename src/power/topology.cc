@@ -1,0 +1,61 @@
+#include "power/topology.h"
+
+#include <utility>
+
+namespace dynamo::power {
+namespace {
+
+std::string
+ChildName(const std::string& parent, const char* kind, std::size_t index)
+{
+    return parent + "/" + kind + std::to_string(index);
+}
+
+}  // namespace
+
+std::unique_ptr<PowerDevice>
+BuildRpp(const std::string& name, Watts rated, Watts quota)
+{
+    return std::make_unique<PowerDevice>(name, DeviceLevel::kRpp, rated, quota);
+}
+
+std::unique_ptr<PowerDevice>
+BuildSbTree(const std::string& name, std::size_t rpps, const TopologySpec& spec)
+{
+    const Watts sb_quota = spec.sb_rated;  // standalone tree: quota = rating
+    auto sb = std::make_unique<PowerDevice>(name, DeviceLevel::kSb, spec.sb_rated,
+                                            sb_quota);
+    const Watts rpp_quota =
+        spec.quota_fill * spec.sb_rated / static_cast<double>(rpps);
+    for (std::size_t r = 0; r < rpps; ++r) {
+        auto rpp = BuildRpp(ChildName(name, "rpp", r), spec.rpp_rated, rpp_quota);
+        if (spec.include_racks) {
+            const Watts rack_quota = spec.quota_fill * spec.rpp_rated /
+                                     static_cast<double>(spec.racks_per_rpp);
+            for (std::size_t k = 0; k < spec.racks_per_rpp; ++k) {
+                rpp->AddChild(std::make_unique<PowerDevice>(
+                    ChildName(rpp->name(), "rack", k), DeviceLevel::kRack,
+                    spec.rack_rated, rack_quota));
+            }
+        }
+        sb->AddChild(std::move(rpp));
+    }
+    return sb;
+}
+
+std::unique_ptr<PowerDevice>
+BuildMsbTree(const TopologySpec& spec)
+{
+    auto msb = std::make_unique<PowerDevice>(spec.name, DeviceLevel::kMsb,
+                                             spec.msb_rated, spec.msb_rated);
+    const Watts sb_quota =
+        spec.quota_fill * spec.msb_rated / static_cast<double>(spec.sbs_per_msb);
+    for (std::size_t s = 0; s < spec.sbs_per_msb; ++s) {
+        auto sb = BuildSbTree(ChildName(spec.name, "sb", s), spec.rpps_per_sb, spec);
+        sb->set_quota(sb_quota);
+        msb->AddChild(std::move(sb));
+    }
+    return msb;
+}
+
+}  // namespace dynamo::power

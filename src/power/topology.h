@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Builders for power-delivery topologies.
+ *
+ * The reference shape follows the OCP-based Facebook data center of
+ * Fig. 2: MSB (2.5 MW) → up to 4 SBs (1.25 MW) → RPPs (190 KW) → racks
+ * (12.6 KW). Note the intentional oversubscription at every level: a
+ * parent's rating is less than the sum of its children's ratings.
+ * Quotas (planned peaks) are assigned as a configurable fraction of
+ * the parent rating split across children.
+ */
+#ifndef DYNAMO_POWER_TOPOLOGY_H_
+#define DYNAMO_POWER_TOPOLOGY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "power/device.h"
+
+namespace dynamo::power {
+
+/** Parameters for the reference OCP-style topology. */
+struct TopologySpec
+{
+    std::string name = "msb0";
+    std::size_t sbs_per_msb = 4;
+    std::size_t rpps_per_sb = 8;
+    std::size_t racks_per_rpp = 6;
+
+    Watts msb_rated = 2.5e6;
+    Watts sb_rated = 1.25e6;
+    Watts rpp_rated = 190.0e3;
+    Watts rack_rated = 12.6e3;
+
+    /**
+     * Fraction of a parent's rated power divided evenly among the
+     * children as their planned-peak quotas. 1.0 means the children's
+     * quotas exactly fill the parent rating.
+     */
+    double quota_fill = 1.0;
+
+    /** Include rack-level devices. Facebook's deployment configures
+     * RPPs as the leaves and skips rack-level monitoring (Section IV);
+     * set true to model rack breakers anyway. */
+    bool include_racks = false;
+};
+
+/** Build the full MSB-rooted tree described by `spec`. */
+std::unique_ptr<PowerDevice> BuildMsbTree(const TopologySpec& spec);
+
+/**
+ * Build a single-SB tree (one SB feeding `rpps` RPPs). Convenient for
+ * experiments at Fig. 12 scale.
+ */
+std::unique_ptr<PowerDevice> BuildSbTree(const std::string& name, std::size_t rpps,
+                                         const TopologySpec& spec);
+
+/**
+ * Build a single RPP/PDU-breaker device (a leaf domain of a few
+ * hundred servers), as in the Fig. 11 and Fig. 15 experiments.
+ */
+std::unique_ptr<PowerDevice> BuildRpp(const std::string& name, Watts rated,
+                                      Watts quota);
+
+}  // namespace dynamo::power
+
+#endif  // DYNAMO_POWER_TOPOLOGY_H_

@@ -1,0 +1,138 @@
+#include "rpc/transport.h"
+
+#include <memory>
+#include <utility>
+
+namespace dynamo::rpc {
+
+FailureInjector::FailureInjector(std::uint64_t seed) : rng_(seed) {}
+
+void
+FailureInjector::SetEndpointFailureProbability(const std::string& endpoint, double p)
+{
+    endpoint_failure_p_[endpoint] = p;
+}
+
+void
+FailureInjector::ClearEndpointFailureProbability(const std::string& endpoint)
+{
+    endpoint_failure_p_.erase(endpoint);
+}
+
+void
+FailureInjector::SetEndpointDown(const std::string& endpoint, bool down)
+{
+    if (down) {
+        down_.insert(endpoint);
+    } else {
+        down_.erase(endpoint);
+    }
+}
+
+bool
+FailureInjector::IsEndpointDown(const std::string& endpoint) const
+{
+    return down_.count(endpoint) > 0;
+}
+
+CallFate
+FailureInjector::Decide(const std::string& endpoint)
+{
+    if (down_.count(endpoint) > 0) return CallFate::kFail;
+    double p = default_failure_p_;
+    const auto it = endpoint_failure_p_.find(endpoint);
+    if (it != endpoint_failure_p_.end()) p = it->second;
+    if (p <= 0.0) return CallFate::kOk;
+    if (!rng_.Bernoulli(p)) return CallFate::kOk;
+    return rng_.Bernoulli(0.5) ? CallFate::kFail : CallFate::kBlackhole;
+}
+
+SimTransport::SimTransport(sim::Simulation& sim, std::uint64_t seed, Options options)
+    : sim_(sim), rng_(seed), options_(options), failures_(seed ^ 0xfeedULL)
+{
+}
+
+void
+SimTransport::Register(const std::string& endpoint, RequestHandler handler)
+{
+    handlers_[endpoint] = std::move(handler);
+}
+
+void
+SimTransport::Unregister(const std::string& endpoint)
+{
+    handlers_.erase(endpoint);
+}
+
+bool
+SimTransport::IsRegistered(const std::string& endpoint) const
+{
+    return handlers_.count(endpoint) > 0;
+}
+
+void
+SimTransport::Call(const std::string& endpoint, Payload request,
+                   ResponseCallback on_ok, ErrorCallback on_err, SimTime timeout_ms)
+{
+    ++calls_issued_;
+
+    // `done` arbitrates between the response path and the timeout path
+    // so exactly one continuation fires per call.
+    auto done = std::make_shared<bool>(false);
+
+    const CallFate fate = failures_.Decide(endpoint);
+    if (fate == CallFate::kBlackhole) {
+        sim_.ScheduleAfter(timeout_ms,
+                           [this, done, on_err = std::move(on_err)]() {
+                               if (*done) return;
+                               *done = true;
+                               ++calls_failed_;
+                               on_err("timeout");
+                           });
+        return;
+    }
+    if (fate == CallFate::kFail || handlers_.count(endpoint) == 0) {
+        const SimTime latency = options_.request_latency.Sample(rng_);
+        sim_.ScheduleAfter(latency, [this, done, on_err = std::move(on_err)]() {
+            if (*done) return;
+            *done = true;
+            ++calls_failed_;
+            on_err("connection failed");
+        });
+        return;
+    }
+
+    // Arm the timeout first; delivery below may still race it if the
+    // sampled latencies exceed the deadline, exactly as on a real
+    // network.
+    sim_.ScheduleAfter(timeout_ms, [this, done, on_err]() {
+        if (*done) return;
+        *done = true;
+        ++calls_failed_;
+        on_err("timeout");
+    });
+
+    const SimTime request_latency = options_.request_latency.Sample(rng_);
+    sim_.ScheduleAfter(
+        request_latency,
+        [this, endpoint, request = std::move(request), on_ok = std::move(on_ok),
+         done]() mutable {
+            // Re-resolve the handler at delivery time: the endpoint may
+            // have crashed while the request was in flight, in which
+            // case the caller only learns via the timeout.
+            const auto it = handlers_.find(endpoint);
+            if (it == handlers_.end()) return;
+            Payload response = it->second(request);
+            const SimTime response_latency = options_.response_latency.Sample(rng_);
+            sim_.ScheduleAfter(response_latency,
+                               [this, response = std::move(response),
+                                on_ok = std::move(on_ok), done]() {
+                                   if (*done) return;
+                                   *done = true;
+                                   ++calls_succeeded_;
+                                   on_ok(response);
+                               });
+        });
+}
+
+}  // namespace dynamo::rpc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulated RPC transport.
+ *
+ * Production Dynamo uses Thrift between controllers and agents; the
+ * control logic only depends on the *semantics* of that channel:
+ * asynchronous request/response, millisecond-scale latency, and the
+ * possibility of failures and timeouts. This module reproduces those
+ * semantics on the simulation kernel, with an injectable failure
+ * policy so tests can exercise the paper's resilience behaviours
+ * (estimating power for failed pulls, alarming past the 20 % failure
+ * threshold, failing over dead controllers).
+ */
+#ifndef DYNAMO_RPC_TRANSPORT_H_
+#define DYNAMO_RPC_TRANSPORT_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace dynamo::rpc {
+
+/** Opaque request/response payload (concrete types defined by callers). */
+using Payload = std::any;
+
+/** Server-side handler: consumes a request, produces a response. */
+using RequestHandler = std::function<Payload(const Payload&)>;
+
+/** Client-side success continuation. */
+using ResponseCallback = std::function<void(const Payload&)>;
+
+/** Client-side failure continuation; `reason` is human-readable. */
+using ErrorCallback = std::function<void(const std::string& reason)>;
+
+/** Latency model for one direction of an RPC: base + uniform jitter. */
+struct LatencyModel
+{
+    SimTime base_ms = 2;
+    SimTime jitter_ms = 4;
+
+    /** Sample one latency value. */
+    SimTime Sample(Rng& rng) const
+    {
+        if (jitter_ms <= 0) return base_ms;
+        return base_ms + static_cast<SimTime>(rng.UniformInt(
+                             static_cast<std::uint64_t>(jitter_ms) + 1));
+    }
+};
+
+/**
+ * Fault-injection policy evaluated per call.
+ *
+ * `kFail` produces a prompt error (connection refused); `kBlackhole`
+ * produces no response at all, so the caller only learns via timeout.
+ */
+enum class CallFate { kOk, kFail, kBlackhole };
+
+/**
+ * Per-endpoint failure injector.
+ *
+ * Endpoints marked down always fail; otherwise each call independently
+ * fails with the endpoint-specific (or default) probability, split
+ * evenly between prompt failures and blackholes.
+ */
+class FailureInjector
+{
+  public:
+    explicit FailureInjector(std::uint64_t seed = 7);
+
+    /** Probability applied to endpoints with no specific setting. */
+    void SetDefaultFailureProbability(double p) { default_failure_p_ = p; }
+
+    /** Override failure probability for one endpoint. */
+    void SetEndpointFailureProbability(const std::string& endpoint, double p);
+
+    /** Remove a per-endpoint override. */
+    void ClearEndpointFailureProbability(const std::string& endpoint);
+
+    /** Mark an endpoint hard-down (every call fails) or back up. */
+    void SetEndpointDown(const std::string& endpoint, bool down);
+
+    /** True if the endpoint is currently marked hard-down. */
+    bool IsEndpointDown(const std::string& endpoint) const;
+
+    /** Decide the fate of one call to `endpoint`. */
+    CallFate Decide(const std::string& endpoint);
+
+  private:
+    Rng rng_;
+    double default_failure_p_ = 0.0;
+    std::unordered_map<std::string, double> endpoint_failure_p_;
+    std::unordered_set<std::string> down_;
+};
+
+/**
+ * The transport: endpoint registry plus asynchronous call delivery on
+ * the simulation clock.
+ *
+ * A call to an unregistered endpoint (e.g. a crashed agent whose
+ * handler was unregistered) behaves like a connection failure.
+ */
+class SimTransport
+{
+  public:
+    struct Options
+    {
+        LatencyModel request_latency;
+        LatencyModel response_latency;
+    };
+
+    SimTransport(sim::Simulation& sim, std::uint64_t seed = 11,
+                 Options options = Options{});
+
+    /** Register a handler under `endpoint`, replacing any existing one. */
+    void Register(const std::string& endpoint, RequestHandler handler);
+
+    /** Remove an endpoint; subsequent calls to it fail. */
+    void Unregister(const std::string& endpoint);
+
+    /** True if a handler is registered under `endpoint`. */
+    bool IsRegistered(const std::string& endpoint) const;
+
+    /**
+     * Issue an asynchronous call. Exactly one of `on_ok` / `on_err`
+     * fires, at a later simulation time; `on_err` fires with reason
+     * "timeout" if no response arrives within `timeout_ms`.
+     */
+    void Call(const std::string& endpoint, Payload request,
+              ResponseCallback on_ok, ErrorCallback on_err,
+              SimTime timeout_ms = 1000);
+
+    /** Fault injection knobs. */
+    FailureInjector& failures() { return failures_; }
+
+    /** Total calls issued (for test assertions). */
+    std::uint64_t calls_issued() const { return calls_issued_; }
+
+    /** Total calls that completed successfully. */
+    std::uint64_t calls_succeeded() const { return calls_succeeded_; }
+
+    /** Total calls that ended in error or timeout. */
+    std::uint64_t calls_failed() const { return calls_failed_; }
+
+  private:
+    sim::Simulation& sim_;
+    Rng rng_;
+    Options options_;
+    FailureInjector failures_;
+    std::unordered_map<std::string, RequestHandler> handlers_;
+    std::uint64_t calls_issued_ = 0;
+    std::uint64_t calls_succeeded_ = 0;
+    std::uint64_t calls_failed_ = 0;
+};
+
+}  // namespace dynamo::rpc
+
+#endif  // DYNAMO_RPC_TRANSPORT_H_

@@ -1,0 +1,30 @@
+#include "server/platform.h"
+
+namespace dynamo::server {
+
+const char*
+RaplAccessName(RaplAccess access)
+{
+    switch (access) {
+      case RaplAccess::kMsr: return "msr";
+      case RaplAccess::kIpmiNodeManager: return "ipmi-nm";
+    }
+    return "?";
+}
+
+PlatformSpec
+PlatformSpec::For(RaplAccess access)
+{
+    switch (access) {
+      case RaplAccess::kMsr:
+        // Direct MSR write: effectively instantaneous, 1/8 W units.
+        return PlatformSpec{RaplAccess::kMsr, 0, 0.125};
+      case RaplAccess::kIpmiNodeManager:
+        // BMC round-trip plus node-manager policy programming: a few
+        // hundred milliseconds, whole-watt granularity.
+        return PlatformSpec{RaplAccess::kIpmiNodeManager, 250, 1.0};
+    }
+    return PlatformSpec{};
+}
+
+}  // namespace dynamo::server

@@ -1,0 +1,59 @@
+#include "server/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynamo::server {
+
+const char*
+GenerationName(ServerGeneration generation)
+{
+    switch (generation) {
+      case ServerGeneration::kWestmere2011: return "westmere2011";
+      case ServerGeneration::kHaswell2015: return "haswell2015";
+    }
+    return "?";
+}
+
+ServerPowerSpec
+ServerPowerSpec::For(ServerGeneration generation)
+{
+    switch (generation) {
+      case ServerGeneration::kWestmere2011:
+        // 24-core Westmere web server, measured with a Yokogawa meter.
+        return ServerPowerSpec{92.0, 204.0, 0.72, 1.18, 1.10};
+      case ServerGeneration::kHaswell2015:
+        // 48-core Haswell web server with an on-board power sensor.
+        return ServerPowerSpec{105.0, 345.0, 0.62, 1.20, 1.13};
+    }
+    return ServerPowerSpec{};
+}
+
+Watts
+PowerAtUtil(const ServerPowerSpec& spec, double util, bool turbo)
+{
+    util = std::clamp(util, 0.0, 1.0);
+    const double shaped =
+        spec.curve_mix * util + (1.0 - spec.curve_mix) * util * util;
+    double span = spec.peak - spec.idle;
+    if (turbo) span *= spec.turbo_power_mult;
+    return spec.idle + span * shaped;
+}
+
+double
+UtilAtPower(const ServerPowerSpec& spec, Watts power, bool turbo)
+{
+    double span = spec.peak - spec.idle;
+    if (turbo) span *= spec.turbo_power_mult;
+    if (span <= 0.0) return 0.0;
+    const double shaped = std::clamp((power - spec.idle) / span, 0.0, 1.0);
+    // Solve mix*u + (1-mix)*u^2 = shaped for u in [0, 1].
+    const double a = 1.0 - spec.curve_mix;
+    const double b = spec.curve_mix;
+    if (a < 1e-12) return std::clamp(shaped / b, 0.0, 1.0);
+    const double disc = b * b + 4.0 * a * shaped;
+    const double u = (-b + std::sqrt(std::max(0.0, disc))) / (2.0 * a);
+    return std::clamp(u, 0.0, 1.0);
+}
+
+}  // namespace dynamo::server

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Server power-vs-utilization models.
+ *
+ * Fig. 1 of the paper plots measured power against CPU utilization for
+ * two generations of Facebook web servers: a 2011 24-core Westmere
+ * machine peaking near 200 W and a 2015 48-core Haswell machine
+ * peaking near 350 W — peak power nearly doubled in four years, which
+ * is the density trend motivating oversubscription. We model power as
+ * idle + span * f(util) with a slightly convex f, and expose a Turbo
+ * Boost mode that raises dynamic power (~+20 %) in exchange for higher
+ * performance (~+13 % for Hadoop, per Section IV-B).
+ */
+#ifndef DYNAMO_SERVER_POWER_MODEL_H_
+#define DYNAMO_SERVER_POWER_MODEL_H_
+
+#include "common/units.h"
+
+namespace dynamo::server {
+
+/** Hardware generation of a simulated server. */
+enum class ServerGeneration { kWestmere2011, kHaswell2015 };
+
+/** Name of a generation ("westmere2011" / "haswell2015"). */
+const char* GenerationName(ServerGeneration generation);
+
+/** Parameters of the power curve for one generation. */
+struct ServerPowerSpec
+{
+    /** Power at zero utilization. */
+    Watts idle = 95.0;
+
+    /** Power at full utilization, Turbo off. */
+    Watts peak = 205.0;
+
+    /**
+     * Curve mix: power = idle + span * (mix*u + (1-mix)*u^2). 1.0 is
+     * fully linear; lower values bend the curve convex (the Haswell
+     * part ramps harder at high utilization).
+     */
+    double curve_mix = 0.70;
+
+    /** Multiplier on dynamic power when Turbo Boost is active. */
+    double turbo_power_mult = 1.20;
+
+    /** Multiplier on delivered performance when Turbo Boost is active. */
+    double turbo_perf_mult = 1.13;
+
+    /** Reference spec per generation (fitted to Fig. 1). */
+    static ServerPowerSpec For(ServerGeneration generation);
+
+    /** Peak power with Turbo active (the worst-case draw planners fear). */
+    Watts TurboPeak() const { return idle + (peak - idle) * turbo_power_mult; }
+};
+
+/**
+ * Demanded (unconstrained) power at `util` in [0, 1]. With `turbo`
+ * set, dynamic power scales by the spec's turbo multiplier.
+ */
+Watts PowerAtUtil(const ServerPowerSpec& spec, double util, bool turbo = false);
+
+/**
+ * Inverse of PowerAtUtil: the utilization a given power corresponds
+ * to (clamped into [0, 1]); used by the estimation model calibration.
+ */
+double UtilAtPower(const ServerPowerSpec& spec, Watts power, bool turbo = false);
+
+}  // namespace dynamo::server
+
+#endif  // DYNAMO_SERVER_POWER_MODEL_H_

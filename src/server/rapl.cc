@@ -1,0 +1,25 @@
+#include "server/rapl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynamo::server {
+
+Watts
+RaplModel::Apply(Watts demanded, SimTime now)
+{
+    const Watts target = has_limit_ ? std::min(demanded, limit_) : demanded;
+    if (!started_) {
+        started_ = true;
+        last_time_ = now;
+        actual_ = target;
+        return actual_;
+    }
+    const double dt_s = ToSeconds(std::max<SimTime>(0, now - last_time_));
+    last_time_ = std::max(last_time_, now);
+    const double blend = 1.0 - std::exp(-dt_s / tau_s_);
+    actual_ += (target - actual_) * blend;
+    return actual_;
+}
+
+}  // namespace dynamo::server

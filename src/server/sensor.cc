@@ -1,0 +1,5 @@
+#include "server/sensor.h"
+
+// Header-only implementations; this translation unit exists so the
+// header stays exercised by a dedicated compile and future out-of-line
+// growth has a home.

@@ -1,0 +1,184 @@
+#include "server/sim_server.h"
+
+#include <algorithm>
+
+namespace dynamo::server {
+
+SimServer::SimServer(Config config, workload::LoadProcessParams params,
+                     const workload::TrafficModel* traffic)
+    : config_(std::move(config)),
+      spec_(config_.spec_override.value_or(
+          ServerPowerSpec::For(config_.generation))),
+      platform_(PlatformSpec::For(config_.rapl_access.value_or(
+          config_.generation == ServerGeneration::kWestmere2011
+              ? RaplAccess::kMsr
+              : RaplAccess::kIpmiNodeManager))),
+      perf_(workload::PerfModelParams::For(config_.service)),
+      rng_(config_.seed),
+      load_(params, rng_.Split(0x10ad), traffic),
+      rapl_(config_.rapl_tau_s),
+      sensor_(),
+      estimator_(spec_)
+{
+    // Anchor the lazy clock at t=0 so the first external read accrues
+    // work over a well-defined interval.
+    AdvanceTo(0);
+}
+
+void
+SimServer::ApplyPendingCommand(SimTime now)
+{
+    if (pending_ == PendingCommand::kNone || now < pending_effective_) return;
+    if (pending_ == PendingCommand::kSet) {
+        rapl_.SetLimit(pending_limit_);
+    } else {
+        rapl_.ClearLimit();
+    }
+    pending_ = PendingCommand::kNone;
+}
+
+void
+SimServer::AdvanceTo(SimTime now)
+{
+    if (now <= last_time_ && last_time_ >= 0) return;
+    ApplyPendingCommand(now);
+    const SimTime prev = last_time_;
+    last_time_ = now;
+
+    cached_util_ = load_.UtilAt(now);
+    if (dark_) {
+        cached_demand_ = 0.0;
+        cached_actual_ = 0.0;
+        // Demanded work keeps accruing while dark: the outage costs it.
+        if (prev >= 0) {
+            const double dt_s = ToSeconds(now - prev);
+            demanded_work_ +=
+                cached_util_ * dt_s *
+                (config_.turbo_enabled ? spec_.turbo_perf_mult : 1.0);
+        }
+        return;
+    }
+
+    cached_demand_ = PowerAtUtil(spec_, cached_util_, config_.turbo_enabled);
+    cached_actual_ = rapl_.Apply(cached_demand_, now);
+
+    if (prev >= 0) {
+        const double dt_s = ToSeconds(now - prev);
+        const double perf_mult =
+            config_.turbo_enabled ? spec_.turbo_perf_mult : 1.0;
+        const double demanded_rate = cached_util_ * perf_mult;
+        const double reduction =
+            cached_demand_ > 0.0
+                ? std::max(0.0, 1.0 - cached_actual_ / cached_demand_)
+                : 0.0;
+        const double throttle = workload::ThrottleFactor(perf_, reduction);
+        demanded_work_ += demanded_rate * dt_s;
+        delivered_work_ += demanded_rate * throttle * dt_s;
+    }
+}
+
+Watts
+SimServer::PowerAt(SimTime now)
+{
+    AdvanceTo(now);
+    return cached_actual_;
+}
+
+void
+SimServer::OnPowerLost(SimTime now)
+{
+    AdvanceTo(now);
+    dark_ = true;
+    cached_demand_ = 0.0;
+    cached_actual_ = 0.0;
+}
+
+void
+SimServer::OnPowerRestored(SimTime now)
+{
+    AdvanceTo(now);
+    dark_ = false;
+}
+
+void
+SimServer::SetPowerLimit(Watts limit, SimTime now)
+{
+    AdvanceTo(now);
+    const Watts quantized = platform_.Quantize(limit);
+    if (platform_.actuation_delay_ms <= 0) {
+        rapl_.SetLimit(quantized);
+        pending_ = PendingCommand::kNone;
+        return;
+    }
+    pending_ = PendingCommand::kSet;
+    pending_limit_ = quantized;
+    pending_effective_ = now + platform_.actuation_delay_ms;
+}
+
+void
+SimServer::ClearPowerLimit(SimTime now)
+{
+    AdvanceTo(now);
+    if (platform_.actuation_delay_ms <= 0) {
+        rapl_.ClearLimit();
+        pending_ = PendingCommand::kNone;
+        return;
+    }
+    pending_ = PendingCommand::kClear;
+    pending_effective_ = now + platform_.actuation_delay_ms;
+}
+
+Watts
+SimServer::SensorRead(SimTime now)
+{
+    AdvanceTo(now);
+    return sensor_.Read(cached_actual_, rng_);
+}
+
+Watts
+SimServer::EstimateRead(SimTime now)
+{
+    AdvanceTo(now);
+    return estimator_.Estimate(cached_util_, rng_);
+}
+
+SimServer::Breakdown
+SimServer::BreakdownAt(SimTime now)
+{
+    AdvanceTo(now);
+    // Synthetic but stable decomposition: the conversion loss tracks
+    // total draw; the CPU share grows with utilization.
+    const Watts total = cached_actual_;
+    const Watts loss = total * 0.06;
+    const Watts usable = total - loss;
+    const double cpu_share = 0.35 + 0.35 * cached_util_;
+    const Watts cpu = usable * cpu_share;
+    const Watts memory = usable * 0.18;
+    return Breakdown{cpu, memory, usable - cpu - memory, loss};
+}
+
+double
+SimServer::UtilAt(SimTime now)
+{
+    AdvanceTo(now);
+    return cached_util_;
+}
+
+Watts
+SimServer::DemandedPowerAt(SimTime now)
+{
+    AdvanceTo(now);
+    return cached_demand_;
+}
+
+double
+SimServer::SlowdownPercentAt(SimTime now)
+{
+    AdvanceTo(now);
+    if (cached_demand_ <= 0.0) return 0.0;
+    const double reduction_pct =
+        std::max(0.0, 1.0 - cached_actual_ / cached_demand_) * 100.0;
+    return workload::SlowdownPercent(perf_, reduction_pct);
+}
+
+}  // namespace dynamo::server

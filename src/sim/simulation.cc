@@ -1,0 +1,76 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dynamo::sim {
+
+TaskHandle
+Simulation::ScheduleAt(SimTime when, Callback fn)
+{
+    assert(when >= now_ && "cannot schedule in the past");
+    auto state = std::make_shared<TaskHandle::State>();
+    queue_.push(Event{when, next_seq_++, std::move(fn), state});
+    return TaskHandle(std::move(state));
+}
+
+TaskHandle
+Simulation::ScheduleAfter(SimTime delay, Callback fn)
+{
+    return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+TaskHandle
+Simulation::SchedulePeriodic(SimTime period, Callback fn, SimTime initial_delay)
+{
+    assert(period > 0 && "periodic task needs positive period");
+    if (initial_delay < 0) initial_delay = period;
+    auto state = std::make_shared<TaskHandle::State>();
+
+    // The re-arming closure captures the shared cancellation state, so
+    // cancelling the returned handle stops all future firings.
+    auto tick = std::make_shared<Callback>();
+    *tick = [this, period, fn = std::move(fn), state, tick]() {
+        if (state->cancelled) return;
+        fn();
+        if (state->cancelled) return;
+        queue_.push(Event{now_ + period, next_seq_++, *tick, state});
+    };
+    queue_.push(Event{now_ + initial_delay, next_seq_++, *tick, state});
+    return TaskHandle(std::move(state));
+}
+
+bool
+Simulation::Step()
+{
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (ev.state && ev.state->cancelled) continue;
+        now_ = ev.when;
+        ++events_executed_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulation::RunUntil(SimTime deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        if (!Step()) break;
+    }
+    // Advance the clock to the deadline even if the queue drained early
+    // so callers can interleave RunFor() with direct state inspection.
+    if (now_ < deadline) now_ = deadline;
+}
+
+void
+Simulation::RunAll()
+{
+    while (Step()) {
+    }
+}
+
+}  // namespace dynamo::sim

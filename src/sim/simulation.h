@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * All Dynamo timing behaviour under test — 3 s leaf pull cycles, 9 s
+ * upper-level cycles, ~2 s RAPL settling, RPC latency, breaker thermal
+ * integration — runs against this kernel. Events are closures ordered
+ * by (time, insertion sequence), so same-timestamp events run in
+ * schedule order and runs are fully deterministic.
+ */
+#ifndef DYNAMO_SIM_SIMULATION_H_
+#define DYNAMO_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dynamo::sim {
+
+class Simulation;
+
+/**
+ * Handle to a scheduled event or periodic task; allows cancellation.
+ * Cancelling an already-fired one-shot event is a harmless no-op.
+ */
+class TaskHandle
+{
+  public:
+    TaskHandle() = default;
+
+    /** True if the handle refers to a live (not cancelled) task. */
+    bool active() const { return state_ && !state_->cancelled; }
+
+    /** Cancel the task; pending firings are dropped. */
+    void Cancel()
+    {
+        if (state_) state_->cancelled = true;
+    }
+
+  private:
+    friend class Simulation;
+
+    struct State
+    {
+        bool cancelled = false;
+    };
+
+    explicit TaskHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * The event loop: a clock plus a priority queue of timed closures.
+ *
+ * Not thread-safe; the whole simulated data center runs on one thread,
+ * mirroring the paper's consolidated controller deployment (all
+ * controller instances for a suite share one binary).
+ */
+class Simulation
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulation() = default;
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** Current simulated time in milliseconds. */
+    SimTime Now() const { return now_; }
+
+    /** Schedule `fn` to run at absolute time `when` (>= Now()). */
+    TaskHandle ScheduleAt(SimTime when, Callback fn);
+
+    /** Schedule `fn` to run `delay` milliseconds from now. */
+    TaskHandle ScheduleAfter(SimTime delay, Callback fn);
+
+    /**
+     * Schedule `fn` every `period` milliseconds, first firing after
+     * `initial_delay` (defaults to one full period). The task re-arms
+     * itself until cancelled.
+     */
+    TaskHandle SchedulePeriodic(SimTime period, Callback fn,
+                                SimTime initial_delay = -1);
+
+    /** Run until the event queue is empty or `deadline` is reached. */
+    void RunUntil(SimTime deadline);
+
+    /** Run `duration` milliseconds past the current time. */
+    void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+    /** Process every queued event regardless of time (use with care). */
+    void RunAll();
+
+    /** Number of events executed since construction. */
+    std::uint64_t events_executed() const { return events_executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending_events() const { return queue_.size(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        Callback fn;
+        std::shared_ptr<TaskHandle::State> state;
+    };
+
+    struct EventLater
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and execute one event; returns false if queue empty. */
+    bool Step();
+
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace dynamo::sim
+
+#endif  // DYNAMO_SIM_SIMULATION_H_

@@ -1,0 +1,83 @@
+#include "telemetry/event_log.h"
+
+#include <utility>
+
+namespace dynamo::telemetry {
+
+const char*
+EventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kCapStart: return "cap_start";
+      case EventKind::kCapUpdate: return "cap_update";
+      case EventKind::kUncap: return "uncap";
+      case EventKind::kAlarm: return "alarm";
+      case EventKind::kBreakerTrip: return "breaker_trip";
+      case EventKind::kFailover: return "failover";
+      case EventKind::kAgentRestart: return "agent_restart";
+      case EventKind::kLoadShed: return "load_shed";
+    }
+    return "?";
+}
+
+void
+EventLog::Record(Event event)
+{
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+EventLog::CountOf(EventKind kind) const
+{
+    std::size_t n = 0;
+    for (const Event& e : events_) {
+        if (e.kind == kind) ++n;
+    }
+    return n;
+}
+
+std::vector<Event>
+EventLog::OfKind(EventKind kind) const
+{
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+        if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<SimTime>
+EventLog::EpisodeDurations(const std::string& source) const
+{
+    std::vector<SimTime> durations;
+    SimTime open_since = -1;
+    for (const Event& e : events_) {
+        if (e.source != source) continue;
+        if (e.kind == EventKind::kCapStart && open_since < 0) {
+            open_since = e.time;
+        } else if (e.kind == EventKind::kUncap && open_since >= 0) {
+            durations.push_back(e.time - open_since);
+            open_since = -1;
+        }
+    }
+    return durations;
+}
+
+std::size_t
+EventLog::CappingEpisodes(const std::string& source) const
+{
+    std::size_t episodes = 0;
+    bool open = false;
+    for (const Event& e : events_) {
+        if (!source.empty() && e.source != source) continue;
+        if (e.kind == EventKind::kCapStart && !open) {
+            open = true;
+            ++episodes;
+        } else if (e.kind == EventKind::kUncap) {
+            open = false;
+        }
+    }
+    return episodes;
+}
+
+}  // namespace dynamo::telemetry

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured log of control-plane events.
+ *
+ * Every consequential Dynamo action — capping triggered, caps updated,
+ * uncapping, aggregation declared invalid, failover, breaker trip —
+ * is recorded here so experiments can count and time them (e.g.
+ * Table I's "18 potential outages prevented", Fig. 14's "capping was
+ * triggered seven times").
+ */
+#ifndef DYNAMO_TELEMETRY_EVENT_LOG_H_
+#define DYNAMO_TELEMETRY_EVENT_LOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dynamo::telemetry {
+
+/** Kind of control-plane event. */
+enum class EventKind {
+    kCapStart,      ///< Three-band capping newly triggered.
+    kCapUpdate,     ///< Additional cut while already capping.
+    kUncap,         ///< Uncapping triggered.
+    kAlarm,         ///< Aggregation invalid / human intervention needed.
+    kBreakerTrip,   ///< A physical breaker tripped (an outage).
+    kFailover,      ///< Backup controller took over.
+    kAgentRestart,  ///< Watchdog restarted a crashed agent.
+    kLoadShed,      ///< Emergency traffic shed requested (caps exhausted).
+};
+
+/** Readable name for an event kind. */
+const char* EventKindName(EventKind kind);
+
+/** One logged event. */
+struct Event
+{
+    SimTime time = 0;
+    EventKind kind = EventKind::kAlarm;
+    std::string source;       ///< Controller / device name.
+    double aggregated_power = 0.0;
+    double limit = 0.0;
+    int servers_affected = 0;
+    std::string detail;
+};
+
+/** Append-only event log with simple query helpers. */
+class EventLog
+{
+  public:
+    /** Record one event. */
+    void Record(Event event);
+
+    const std::vector<Event>& events() const { return events_; }
+
+    /** Number of events of the given kind. */
+    std::size_t CountOf(EventKind kind) const;
+
+    /** Events of one kind, in time order. */
+    std::vector<Event> OfKind(EventKind kind) const;
+
+    /**
+     * Number of distinct capping episodes: a kCapStart opens an
+     * episode, the next kUncap from the same source closes it.
+     */
+    std::size_t CappingEpisodes(const std::string& source = "") const;
+
+    /**
+     * Durations of closed capping episodes for `source` (kCapStart to
+     * the matching kUncap), in ms. An episode still open at the end of
+     * the log is not reported.
+     */
+    std::vector<SimTime> EpisodeDurations(const std::string& source) const;
+
+    /** Drop all events. */
+    void Clear() { events_.clear(); }
+
+  private:
+    std::vector<Event> events_;
+};
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_EVENT_LOG_H_

@@ -1,0 +1,78 @@
+#include "telemetry/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace dynamo::telemetry {
+namespace {
+
+/** Index of the last sample at or before `time`; -1 if none. */
+std::ptrdiff_t
+LastIndexAtOrBefore(const TimeSeries& series, SimTime time,
+                    std::ptrdiff_t start_hint)
+{
+    std::ptrdiff_t i = start_hint;
+    while (i + 1 < static_cast<std::ptrdiff_t>(series.size()) &&
+           series.at(static_cast<std::size_t>(i + 1)).time <= time) {
+        ++i;
+    }
+    return i;
+}
+
+}  // namespace
+
+void
+WriteCsv(std::ostream& out, const std::vector<NamedSeries>& columns)
+{
+    if (columns.empty() || columns[0].series == nullptr) {
+        throw std::invalid_argument("WriteCsv requires at least one series");
+    }
+    out << "time_s";
+    for (const NamedSeries& col : columns) out << "," << col.name;
+    out << "\n";
+
+    const TimeSeries& anchor = *columns[0].series;
+    std::vector<std::ptrdiff_t> cursor(columns.size(), -1);
+    for (std::size_t row = 0; row < anchor.size(); ++row) {
+        const SimTime t = anchor.at(row).time;
+        out << ToSeconds(t);
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            cursor[c] = LastIndexAtOrBefore(*columns[c].series, t, cursor[c]);
+            out << ",";
+            if (cursor[c] >= 0) {
+                out << columns[c].series->at(
+                    static_cast<std::size_t>(cursor[c])).value;
+            }
+        }
+        out << "\n";
+    }
+}
+
+void
+WriteCsvFile(const std::string& path, const std::vector<NamedSeries>& columns)
+{
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+    WriteCsv(out, columns);
+}
+
+void
+WriteGnuplot(std::ostream& out, const std::vector<NamedSeries>& columns)
+{
+    bool first = true;
+    for (const NamedSeries& col : columns) {
+        if (col.series == nullptr) continue;
+        if (!first) out << "\n\n";
+        first = false;
+        out << "# " << col.name << "\n";
+        for (std::size_t i = 0; i < col.series->size(); ++i) {
+            const Sample& s = col.series->at(i);
+            out << ToSeconds(s.time) << " " << s.value << "\n";
+        }
+    }
+}
+
+}  // namespace dynamo::telemetry

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Time-series export for offline analysis.
+ *
+ * Writes one or more aligned series as CSV (and a gnuplot-friendly
+ * whitespace format) so bench outputs can be re-plotted against the
+ * paper's figures without re-running the simulation.
+ */
+#ifndef DYNAMO_TELEMETRY_EXPORT_H_
+#define DYNAMO_TELEMETRY_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/timeseries.h"
+
+namespace dynamo::telemetry {
+
+/** One named column for export. */
+struct NamedSeries
+{
+    std::string name;
+    const TimeSeries* series = nullptr;
+};
+
+/**
+ * Write CSV with a time column (seconds) plus one column per series.
+ * Rows follow the first series' timestamps; other series contribute
+ * their most recent value at or before each timestamp (empty cell if
+ * none yet). Throws std::invalid_argument when no series is given.
+ */
+void WriteCsv(std::ostream& out, const std::vector<NamedSeries>& columns);
+
+/** WriteCsv to a file; throws std::runtime_error on failure. */
+void WriteCsvFile(const std::string& path,
+                  const std::vector<NamedSeries>& columns);
+
+/**
+ * Write a two-column "time_s value" block per series, separated by
+ * blank lines and titled with '#' comments — gnuplot's `index` format.
+ */
+void WriteGnuplot(std::ostream& out, const std::vector<NamedSeries>& columns);
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_EXPORT_H_

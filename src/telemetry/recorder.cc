@@ -1,0 +1,16 @@
+#include "telemetry/recorder.h"
+
+#include <utility>
+
+namespace dynamo::telemetry {
+
+Recorder::Recorder(sim::Simulation& sim, SimTime period, Probe probe,
+                   TimeSeries* series)
+{
+    task_ = sim.SchedulePeriodic(
+        period, [&sim, probe = std::move(probe), series]() {
+            series->Add(sim.Now(), probe());
+        });
+}
+
+}  // namespace dynamo::telemetry

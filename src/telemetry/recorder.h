@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Periodic samplers bound to the simulation clock.
+ *
+ * A Recorder polls an arbitrary probe (device power, server count,
+ * controller state) at a fixed period and appends into a TimeSeries —
+ * the simulated counterpart of the fleet's 3 s power collection.
+ */
+#ifndef DYNAMO_TELEMETRY_RECORDER_H_
+#define DYNAMO_TELEMETRY_RECORDER_H_
+
+#include <functional>
+
+#include "sim/simulation.h"
+#include "telemetry/timeseries.h"
+
+namespace dynamo::telemetry {
+
+/** Samples `probe` every `period` ms into `series`. */
+class Recorder
+{
+  public:
+    using Probe = std::function<double()>;
+
+    /**
+     * Sampling starts `period` after construction (then every period).
+     * `series` must outlive the recorder.
+     */
+    Recorder(sim::Simulation& sim, SimTime period, Probe probe, TimeSeries* series);
+
+    ~Recorder() { task_.Cancel(); }
+
+    Recorder(const Recorder&) = delete;
+    Recorder& operator=(const Recorder&) = delete;
+
+    /** Stop sampling early. */
+    void Stop() { task_.Cancel(); }
+
+  private:
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_RECORDER_H_

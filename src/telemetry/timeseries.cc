@@ -1,0 +1,76 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynamo::telemetry {
+
+void
+TimeSeries::Add(SimTime time, double value)
+{
+    assert((samples_.empty() || time >= samples_.back().time) &&
+           "samples must be appended in time order");
+    samples_.push_back(Sample{time, value});
+}
+
+std::vector<double>
+TimeSeries::Values() const
+{
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    for (const Sample& s : samples_) out.push_back(s.value);
+    return out;
+}
+
+std::vector<double>
+TimeSeries::ValuesBetween(SimTime begin, SimTime end) const
+{
+    std::vector<double> out;
+    for (const Sample& s : samples_) {
+        if (s.time >= begin && s.time < end) out.push_back(s.value);
+    }
+    return out;
+}
+
+double
+TimeSeries::Min() const
+{
+    if (samples_.empty()) return 0.0;
+    double m = samples_.front().value;
+    for (const Sample& s : samples_) m = std::min(m, s.value);
+    return m;
+}
+
+double
+TimeSeries::Max() const
+{
+    if (samples_.empty()) return 0.0;
+    double m = samples_.front().value;
+    for (const Sample& s : samples_) m = std::max(m, s.value);
+    return m;
+}
+
+double
+TimeSeries::MeanValue() const
+{
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const Sample& s : samples_) sum += s.value;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+TimeSeries::PeakHoursMean(double frac) const
+{
+    if (samples_.empty()) return 0.0;
+    std::vector<double> values = Values();
+    std::sort(values.begin(), values.end());
+    const auto start = static_cast<std::size_t>(
+        static_cast<double>(values.size()) * (1.0 - frac));
+    const std::size_t first = std::min(start, values.size() - 1);
+    double sum = 0.0;
+    for (std::size_t i = first; i < values.size(); ++i) sum += values[i];
+    return sum / static_cast<double>(values.size() - first);
+}
+
+}  // namespace dynamo::telemetry

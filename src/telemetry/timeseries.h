@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sampled time series.
+ *
+ * The monitoring half of Dynamo — which the paper calls "as important
+ * as capping" — boils down to regularly sampled power series and the
+ * analyses computed over them. This container stores (time, value)
+ * samples appended in time order.
+ */
+#ifndef DYNAMO_TELEMETRY_TIMESERIES_H_
+#define DYNAMO_TELEMETRY_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dynamo::telemetry {
+
+/** One sample. */
+struct Sample
+{
+    SimTime time;
+    double value;
+};
+
+/** Append-only series of time-ordered samples. */
+class TimeSeries
+{
+  public:
+    /** Append a sample; `time` must be >= the last appended time. */
+    void Add(SimTime time, double value);
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    const Sample& at(std::size_t i) const { return samples_[i]; }
+    const std::vector<Sample>& samples() const { return samples_; }
+
+    /** All values, in time order. */
+    std::vector<double> Values() const;
+
+    /** Values with time in [begin, end). */
+    std::vector<double> ValuesBetween(SimTime begin, SimTime end) const;
+
+    /** Minimum value; 0 for an empty series. */
+    double Min() const;
+
+    /** Maximum value; 0 for an empty series. */
+    double Max() const;
+
+    /** Mean value; 0 for an empty series. */
+    double MeanValue() const;
+
+    /**
+     * Mean of the top `frac` fraction of values — the paper's
+     * "average power during peak hours" normalizer for variation
+     * percentages (we use the busiest quartile by default).
+     */
+    double PeakHoursMean(double frac = 0.25) const;
+
+    /** First sample time; 0 if empty. */
+    SimTime StartTime() const { return empty() ? 0 : samples_.front().time; }
+
+    /** Last sample time; 0 if empty. */
+    SimTime EndTime() const { return empty() ? 0 : samples_.back().time; }
+
+  private:
+    std::vector<Sample> samples_;
+};
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_TIMESERIES_H_

@@ -1,0 +1,89 @@
+#include "telemetry/variation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dynamo::telemetry {
+
+std::vector<double>
+WindowVariations(const TimeSeries& series, SimTime window)
+{
+    std::vector<double> variations;
+    if (series.empty() || window <= 0) return variations;
+
+    const SimTime start = series.StartTime();
+    SimTime window_end = start + window;
+    double lo = series.at(0).value;
+    double hi = series.at(0).value;
+    bool have_sample = false;
+    // The last sample before a window opens seeds it (when it is
+    // recent enough to belong to the adjacent window), so a window of
+    // one sampling period measures consecutive-sample deltas — the
+    // Fig. 4 "power slope" reading of max-minus-min over the window.
+    double carry = series.at(0).value;
+    SimTime carry_time = std::numeric_limits<SimTime>::min();
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Sample& s = series.at(i);
+        while (s.time >= window_end) {
+            if (have_sample) {
+                variations.push_back(hi - lo);
+                carry = series.at(i - 1).value;
+                carry_time = series.at(i - 1).time;
+            }
+            window_end += window;
+            have_sample = false;
+        }
+        if (!have_sample) {
+            lo = hi = s.value;
+            if (carry_time >= window_end - 2 * window) {
+                lo = std::min(lo, carry);
+                hi = std::max(hi, carry);
+            }
+            have_sample = true;
+        } else {
+            lo = std::min(lo, s.value);
+            hi = std::max(hi, s.value);
+        }
+    }
+    if (have_sample) variations.push_back(hi - lo);
+    return variations;
+}
+
+std::vector<double>
+NormalizedWindowVariations(const TimeSeries& series, SimTime window)
+{
+    std::vector<double> variations = WindowVariations(series, window);
+    const double norm = series.PeakHoursMean();
+    if (norm <= 0.0) return variations;
+    for (double& v : variations) v = v / norm * 100.0;
+    return variations;
+}
+
+VariationSummary
+SummarizeVariation(const TimeSeries& series, SimTime window)
+{
+    std::vector<double> vars = NormalizedWindowVariations(series, window);
+    VariationSummary summary;
+    summary.window = window;
+    summary.window_count = vars.size();
+    summary.p50 = Percentile(vars, 50.0);
+    summary.p99 = Percentile(std::move(vars), 99.0);
+    return summary;
+}
+
+double
+MaxPowerSlope(const TimeSeries& series)
+{
+    double max_slope = 0.0;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        const Sample& a = series.at(i - 1);
+        const Sample& b = series.at(i);
+        const double dt_s = ToSeconds(b.time - a.time);
+        if (dt_s <= 0.0) continue;
+        max_slope = std::max(max_slope, (b.value - a.value) / dt_s);
+    }
+    return max_slope;
+}
+
+}  // namespace dynamo::telemetry

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Power-variation analysis (Section II-B of the paper).
+ *
+ * For a time window W, the worst-case power variation is the
+ * difference between the maximum and minimum power values within the
+ * window (Fig. 4). Variations from many (non-overlapping) windows
+ * across a study period form a distribution; the paper reports its CDF
+ * normalized to the average power during peak hours, for windows of
+ * 3 s to 600 s, at every level of the hierarchy (Fig. 5) and per
+ * service (Fig. 6).
+ */
+#ifndef DYNAMO_TELEMETRY_VARIATION_H_
+#define DYNAMO_TELEMETRY_VARIATION_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "telemetry/timeseries.h"
+
+namespace dynamo::telemetry {
+
+/**
+ * Max-minus-min variation in each consecutive non-overlapping window
+ * of `window` milliseconds, in raw units (watts).
+ */
+std::vector<double> WindowVariations(const TimeSeries& series, SimTime window);
+
+/**
+ * Window variations normalized (percent) by the series' peak-hours
+ * mean, matching the paper's Fig. 5 / Fig. 6 x-axes.
+ */
+std::vector<double> NormalizedWindowVariations(const TimeSeries& series,
+                                               SimTime window);
+
+/** Summary of a variation distribution at one window size. */
+struct VariationSummary
+{
+    SimTime window;
+    double p50;
+    double p99;
+    std::size_t window_count;
+};
+
+/** Compute the normalized-variation summary for one window size. */
+VariationSummary SummarizeVariation(const TimeSeries& series, SimTime window);
+
+/**
+ * The paper's power-slope metric: maximum increase (watts per second)
+ * between consecutive samples, over the whole series.
+ */
+double MaxPowerSlope(const TimeSeries& series);
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_VARIATION_H_

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-server stochastic utilization processes.
+ *
+ * Each simulated server's CPU utilization is
+ *
+ *     util(t) = clamp( base * traffic(t) * balancer(t) * (1 + X_t)
+ *               + spike(t), min_util, 1 )
+ *
+ * where X_t is an Ornstein-Uhlenbeck fluctuation (exact discretization,
+ * so the process can be advanced lazily by arbitrary steps) and
+ * spike(t) is a compound-Poisson burst process with Pareto magnitudes
+ * and exponential durations. The per-service parameterization is
+ * calibrated so the 60 s power-variation distributions reproduce the
+ * ordering and rough magnitudes of Fig. 6: f4 has the lowest median
+ * but the heaviest tail; newsfeed and web have high medians; cache is
+ * quiet.
+ */
+#ifndef DYNAMO_WORKLOAD_LOAD_PROCESS_H_
+#define DYNAMO_WORKLOAD_LOAD_PROCESS_H_
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/service.h"
+#include "workload/traffic.h"
+
+namespace dynamo::workload {
+
+/** Parameters of one utilization process. */
+struct LoadProcessParams
+{
+    /** Mean utilization at nominal traffic. */
+    double base_util = 0.40;
+
+    /** Stationary standard deviation of the OU fluctuation (relative). */
+    double ou_sigma = 0.15;
+
+    /** OU mean-reversion time constant, seconds. */
+    double ou_tau_s = 60.0;
+
+    /** Burst arrivals per hour. */
+    double spike_rate_per_hour = 1.0;
+
+    /** Pareto scale of burst magnitude, in utilization units. */
+    double spike_util = 0.15;
+
+    /** Pareto shape of burst magnitude (smaller = heavier tail). */
+    double spike_shape = 2.0;
+
+    /** Mean burst duration, seconds (exponential). */
+    double spike_dur_s = 60.0;
+
+    /** Utilization never drops below this. */
+    double min_util = 0.02;
+
+    /** Calibrated parameters per service (Fig. 6 reproduction). */
+    static LoadProcessParams For(ServiceType service);
+};
+
+/**
+ * One server's utilization trajectory.
+ *
+ * Reads must be at non-decreasing times; the process advances its
+ * internal state lazily, so servers need no periodic events of their
+ * own and 30 K-server characterization sweeps stay cheap.
+ */
+class LoadProcess
+{
+  public:
+    /**
+     * @param params   Process parameters.
+     * @param rng      Private random stream for this server.
+     * @param traffic  Optional shared traffic model (not owned).
+     */
+    LoadProcess(LoadProcessParams params, Rng rng,
+                const TrafficModel* traffic = nullptr);
+
+    /** Demanded utilization in [min_util, 1] at time `now` (>= last read). */
+    double UtilAt(SimTime now);
+
+    /**
+     * External modulation, e.g. the load balancer steering requests
+     * away from capped servers (Section IV-A) or a scenario dropping
+     * load. Multiplies the traffic factor.
+     */
+    void set_balancer_factor(double f) { balancer_factor_ = f; }
+
+    double balancer_factor() const { return balancer_factor_; }
+
+    /**
+     * Emergency-shed multiplier (see core::LoadShedder): kept separate
+     * from the balancer factor so controller-initiated shedding
+     * composes with scenario-driven balancing instead of overwriting
+     * it. 1.0 = no shedding.
+     */
+    void set_shed_factor(double f) { shed_factor_ = f; }
+
+    double shed_factor() const { return shed_factor_; }
+
+    const LoadProcessParams& params() const { return params_; }
+
+  private:
+    void AdvanceTo(SimTime now);
+
+    LoadProcessParams params_;
+    Rng rng_;
+    const TrafficModel* traffic_;
+    double balancer_factor_ = 1.0;
+    double shed_factor_ = 1.0;
+
+    double ou_state_ = 0.0;
+    SimTime last_time_ = 0;
+    bool started_ = false;
+
+    // Burst process state: the next burst begins at `spike_start_` and
+    // ends at `spike_end_` with additive magnitude `spike_mag_`.
+    SimTime spike_start_ = 0;
+    SimTime spike_end_ = 0;
+    double spike_mag_ = 0.0;
+};
+
+}  // namespace dynamo::workload
+
+#endif  // DYNAMO_WORKLOAD_LOAD_PROCESS_H_

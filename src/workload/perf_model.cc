@@ -1,0 +1,57 @@
+#include "workload/perf_model.h"
+
+#include <algorithm>
+
+namespace dynamo::workload {
+
+PerfModelParams
+PerfModelParams::For(ServiceType service)
+{
+    PerfModelParams p;
+    switch (service) {
+      case ServiceType::kWeb:
+        // Matches the Fig. 13 control-group experiment directly.
+        p = {20.0, 0.5, 4.0};
+        break;
+      case ServiceType::kCache:
+        // Memory-bound: modest latency sensitivity to frequency.
+        p = {25.0, 0.4, 2.5};
+        break;
+      case ServiceType::kHadoop:
+        // CPU-bound map-reduce: throughput tracks frequency closely.
+        p = {15.0, 0.8, 4.5};
+        break;
+      case ServiceType::kDatabase:
+        p = {20.0, 0.6, 3.5};
+        break;
+      case ServiceType::kNewsfeed:
+        p = {20.0, 0.6, 4.0};
+        break;
+      case ServiceType::kF4Storage:
+        // IO-bound: frequency barely matters until deep cuts.
+        p = {30.0, 0.3, 2.0};
+        break;
+    }
+    return p;
+}
+
+double
+SlowdownPercent(const PerfModelParams& params, double power_reduction_pct)
+{
+    if (power_reduction_pct <= 0.0) return 0.0;
+    if (power_reduction_pct <= params.knee_reduction_pct) {
+        return params.slope_low * power_reduction_pct;
+    }
+    return params.slope_low * params.knee_reduction_pct +
+           params.slope_high * (power_reduction_pct - params.knee_reduction_pct);
+}
+
+double
+ThrottleFactor(const PerfModelParams& params, double power_reduction_frac)
+{
+    const double s =
+        SlowdownPercent(params, std::max(0.0, power_reduction_frac) * 100.0) / 100.0;
+    return 1.0 / (1.0 + s);
+}
+
+}  // namespace dynamo::workload

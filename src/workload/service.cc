@@ -1,0 +1,43 @@
+#include "workload/service.h"
+
+#include <stdexcept>
+
+namespace dynamo::workload {
+namespace {
+
+// Priority groups follow Section III-C3 and the Fig. 15 experiment:
+// cache (and the databases behind it) above web/feed/f4; batch Hadoop
+// lowest, i.e. first to be capped.
+constexpr ServiceTraits kTraits[] = {
+    /* kWeb       */ {"web", 1, 0.20},
+    /* kCache     */ {"cache", 2, 0.50},
+    /* kHadoop    */ {"hadoop", 0, 0.05},
+    /* kDatabase  */ {"database", 2, 0.40},
+    /* kNewsfeed  */ {"newsfeed", 1, 0.20},
+    /* kF4Storage */ {"f4storage", 1, 0.30},
+};
+
+}  // namespace
+
+const ServiceTraits&
+TraitsFor(ServiceType service)
+{
+    return kTraits[static_cast<int>(service)];
+}
+
+const char*
+ServiceName(ServiceType service)
+{
+    return TraitsFor(service).name;
+}
+
+ServiceType
+ParseServiceType(const std::string& name)
+{
+    for (ServiceType s : kAllServices) {
+        if (name == ServiceName(s)) return s;
+    }
+    throw std::invalid_argument("unknown service type: " + name);
+}
+
+}  // namespace dynamo::workload

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Facebook-style service taxonomy.
+ *
+ * Section II-B of the paper characterizes six production services
+ * (web, cache, Hadoop, MySQL database, news feed, f4/photo storage);
+ * Section III-C3 groups services into priority groups, where a higher
+ * priority group is capped later and each group carries an SLA on the
+ * lowest allowable power cap. Cache sits above web and news feed
+ * because a few capped cache servers can degrade many users.
+ */
+#ifndef DYNAMO_WORKLOAD_SERVICE_H_
+#define DYNAMO_WORKLOAD_SERVICE_H_
+
+#include <array>
+#include <string>
+
+namespace dynamo::workload {
+
+/** The service running on a server. */
+enum class ServiceType {
+    kWeb,
+    kCache,
+    kHadoop,
+    kDatabase,
+    kNewsfeed,
+    kF4Storage,
+};
+
+/** All service types, for iteration in tests and benches. */
+inline constexpr std::array<ServiceType, 6> kAllServices = {
+    ServiceType::kWeb,      ServiceType::kCache,    ServiceType::kHadoop,
+    ServiceType::kDatabase, ServiceType::kNewsfeed, ServiceType::kF4Storage,
+};
+
+/** Static, capping-relevant properties of a service. */
+struct ServiceTraits
+{
+    const char* name;
+
+    /** Priority group: lower groups are capped first (0 = first). */
+    int priority_group;
+
+    /**
+     * SLA floor for the power cap, as a fraction of the server's
+     * dynamic power span above idle. 0.0 allows capping all the way to
+     * idle power; 0.5 protects half the dynamic range.
+     */
+    double sla_floor_frac;
+};
+
+/** Traits table lookup. */
+const ServiceTraits& TraitsFor(ServiceType service);
+
+/** Short name ("web", "cache", ...). */
+const char* ServiceName(ServiceType service);
+
+/** Inverse of ServiceName; throws std::invalid_argument on unknown names. */
+ServiceType ParseServiceType(const std::string& name);
+
+}  // namespace dynamo::workload
+
+#endif  // DYNAMO_WORKLOAD_SERVICE_H_

@@ -1,0 +1,121 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dynamo::workload {
+
+Trace::Trace(std::vector<TracePoint> points) : points_(std::move(points))
+{
+    if (!std::is_sorted(points_.begin(), points_.end(),
+                        [](const TracePoint& a, const TracePoint& b) {
+                            return a.time < b.time;
+                        })) {
+        throw std::invalid_argument("trace points must be time-ordered");
+    }
+}
+
+Trace
+Trace::Parse(std::istream& in)
+{
+    std::vector<TracePoint> points;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        std::istringstream fields(line);
+        TracePoint point;
+        if (!(fields >> point.time >> point.value)) {
+            throw std::runtime_error("trace parse error at line " +
+                                     std::to_string(line_no) + ": " + line);
+        }
+        points.push_back(point);
+    }
+    return Trace(std::move(points));
+}
+
+Trace
+Trace::Load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open trace file: " + path);
+    return Parse(in);
+}
+
+void
+Trace::Write(std::ostream& out) const
+{
+    out << "# dynamo trace: <time_ms> <value>\n";
+    for (const TracePoint& p : points_) {
+        out << p.time << " " << p.value << "\n";
+    }
+}
+
+void
+Trace::Save(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write trace file: " + path);
+    Write(out);
+}
+
+SimTime
+Trace::Duration() const
+{
+    if (points_.size() < 2) return 0;
+    return points_.back().time - points_.front().time;
+}
+
+double
+Trace::ValueAt(SimTime time) const
+{
+    if (points_.empty()) return 0.0;
+    if (time <= points_.front().time) return points_.front().value;
+    if (time >= points_.back().time) return points_.back().value;
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), time,
+        [](const TracePoint& p, SimTime t) { return p.time < t; });
+    const TracePoint& b = *it;
+    const TracePoint& a = *(it - 1);
+    if (b.time == a.time) return b.value;
+    const double frac =
+        static_cast<double>(time - a.time) / static_cast<double>(b.time - a.time);
+    return a.value + frac * (b.value - a.value);
+}
+
+double
+Trace::MeanValue() const
+{
+    if (points_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const TracePoint& p : points_) sum += p.value;
+    return sum / static_cast<double>(points_.size());
+}
+
+TraceTraffic::TraceTraffic(Trace trace, bool loop)
+    : trace_(std::move(trace)), loop_(loop)
+{
+    const double mean = trace_.MeanValue();
+    mean_ = mean > 0.0 ? mean : 1.0;
+}
+
+double
+TraceTraffic::FactorAt(SimTime now) const
+{
+    if (trace_.empty()) return 1.0;
+    SimTime t = now;
+    if (loop_ && trace_.Duration() > 0) {
+        const SimTime start = trace_.points().front().time;
+        const SimTime duration = trace_.Duration();
+        t = start + (now - start) % duration;
+        if (t < start) t += duration;
+    }
+    return trace_.ValueAt(t) / mean_;
+}
+
+}  // namespace dynamo::workload

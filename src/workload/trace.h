@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Traffic trace recording and replay.
+ *
+ * The paper's design space was derived from recorded fleet traces
+ * (3 s power samples over six months). This module provides the
+ * equivalent plumbing for the simulator: record any time series to a
+ * simple text format ("<time_ms> <value>" per line, '#' comments),
+ * load it back, and replay it as a TrafficModel so recorded incidents
+ * (or externally supplied traces) can drive synthetic fleets
+ * deterministically.
+ */
+#ifndef DYNAMO_WORKLOAD_TRACE_H_
+#define DYNAMO_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/traffic.h"
+
+namespace dynamo::workload {
+
+/** One recorded (time, value) pair. */
+struct TracePoint
+{
+    SimTime time = 0;
+    double value = 0.0;
+};
+
+/** A loaded trace: time-ordered points plus replay options. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<TracePoint> points);
+
+    /** Parse the text format from a stream; throws on malformed input. */
+    static Trace Parse(std::istream& in);
+
+    /** Load from a file; throws std::runtime_error if unreadable. */
+    static Trace Load(const std::string& path);
+
+    /** Serialize to the text format. */
+    void Write(std::ostream& out) const;
+
+    /** Save to a file; throws std::runtime_error on failure. */
+    void Save(const std::string& path) const;
+
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+    const std::vector<TracePoint>& points() const { return points_; }
+
+    /** Duration covered (last minus first time). */
+    SimTime Duration() const;
+
+    /**
+     * Value at `time`: linear interpolation between points, clamped to
+     * the end values outside the covered range.
+     */
+    double ValueAt(SimTime time) const;
+
+    /** Mean of point values; 0 if empty. */
+    double MeanValue() const;
+
+  private:
+    std::vector<TracePoint> points_;
+};
+
+/**
+ * Replays a trace as a multiplicative traffic factor.
+ *
+ * The trace's values are normalized by its mean so the replay composes
+ * naturally with a LoadProcess's base utilization; with `loop` set the
+ * trace repeats past its end.
+ */
+class TraceTraffic : public TrafficModel
+{
+  public:
+    explicit TraceTraffic(Trace trace, bool loop = false);
+
+    double FactorAt(SimTime now) const override;
+
+    const Trace& trace() const { return trace_; }
+
+  private:
+    Trace trace_;
+    bool loop_;
+    double mean_ = 1.0;
+};
+
+}  // namespace dynamo::workload
+
+#endif  // DYNAMO_WORKLOAD_TRACE_H_

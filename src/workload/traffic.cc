@@ -1,0 +1,75 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dynamo::workload {
+
+double
+DiurnalTraffic::FactorAt(SimTime now) const
+{
+    const double hours = ToSeconds(now) / 3600.0;
+    const double phase = 2.0 * M_PI * (hours - peak_hour_) / 24.0;
+    return 1.0 + amplitude_ * std::cos(phase);
+}
+
+double
+WeeklyTraffic::FactorAt(SimTime now) const
+{
+    const auto day =
+        static_cast<int>((ToSeconds(now) / 86400.0)) % 7;
+    return (day == 5 || day == 6) ? weekend_factor_ : 1.0;
+}
+
+double
+GroupTraffic::FactorAt(SimTime now) const
+{
+    if (!started_) {
+        started_ = true;
+        last_time_ = now;
+        state_ = rng_.Normal(0.0, sigma_);
+    } else if (now > last_time_) {
+        const double dt_s = ToSeconds(now - last_time_);
+        last_time_ = now;
+        const double decay = std::exp(-dt_s / tau_s_);
+        const double noise_std =
+            sigma_ * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+        state_ = state_ * decay + rng_.Normal(0.0, noise_std);
+    }
+    return std::max(min_factor_, 1.0 + state_);
+}
+
+void
+PiecewiseTraffic::AddPoint(SimTime time, double factor)
+{
+    // Scenario scripting is user-facing configuration: fail loudly in
+    // every build type rather than silently mis-interpolating.
+    if (!points_.empty() && time < points_.back().time) {
+        throw std::invalid_argument(
+            "PiecewiseTraffic breakpoints must be added in time order");
+    }
+    points_.push_back(Point{time, factor});
+}
+
+double
+PiecewiseTraffic::FactorAt(SimTime now) const
+{
+    if (points_.empty()) return 1.0;
+    if (now <= points_.front().time) return points_.front().factor;
+    if (now >= points_.back().time) return points_.back().factor;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (now <= points_[i].time) {
+            const Point& a = points_[i - 1];
+            const Point& b = points_[i];
+            if (b.time == a.time) return b.factor;
+            const double frac = static_cast<double>(now - a.time) /
+                                static_cast<double>(b.time - a.time);
+            return a.factor + frac * (b.factor - a.factor);
+        }
+    }
+    return points_.back().factor;
+}
+
+}  // namespace dynamo::workload

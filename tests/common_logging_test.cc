@@ -1,0 +1,71 @@
+// Tests for the leveled logging facade.
+#include "common/logging.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynamo {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Logging::SetSink([this](LogLevel level, const std::string& message) {
+            captured_.emplace_back(level, message);
+        });
+        Logging::SetThreshold(LogLevel::kDebug);
+    }
+
+    void TearDown() override
+    {
+        Logging::SetSink(nullptr);
+        Logging::SetThreshold(LogLevel::kWarning);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, AllLevelsReachSinkAtDebugThreshold)
+{
+    LogDebug("d");
+    LogInfo("i");
+    LogWarning("w");
+    LogError("e");
+    ASSERT_EQ(captured_.size(), 4u);
+    EXPECT_EQ(captured_[0].first, LogLevel::kDebug);
+    EXPECT_EQ(captured_[3].second, "e");
+}
+
+TEST_F(LoggingTest, ThresholdFilters)
+{
+    Logging::SetThreshold(LogLevel::kError);
+    LogDebug("d");
+    LogWarning("w");
+    LogError("e");
+    ASSERT_EQ(captured_.size(), 1u);
+    EXPECT_EQ(captured_[0].second, "e");
+    EXPECT_EQ(Logging::Threshold(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelNames)
+{
+    EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+    EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+    EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+    EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, NullSinkRestoresDefaultWithoutCrashing)
+{
+    Logging::SetSink(nullptr);
+    Logging::SetThreshold(LogLevel::kError);
+    LogDebug("never shown anywhere");  // below threshold, default sink
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynamo

@@ -1,0 +1,178 @@
+// Unit tests for common/rng.h: determinism, distribution sanity,
+// stream splitting.
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynamo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.NextU64() == b.NextU64()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(99);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.Uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(42);
+    double sum = 0.0;
+    double sumsq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.Normal(2.0, 3.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.Exponential(0.25);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.Exponential(10.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.Bernoulli(0.0));
+        EXPECT_TRUE(rng.Bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ParetoAtLeastScale)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoHeavierTailForSmallerShape)
+{
+    Rng a(21);
+    Rng b(21);
+    double p99_heavy = 0.0;
+    double p99_light = 0.0;
+    std::vector<double> heavy;
+    std::vector<double> light;
+    for (int i = 0; i < 20000; ++i) {
+        heavy.push_back(a.Pareto(1.0, 1.2));
+        light.push_back(b.Pareto(1.0, 3.0));
+    }
+    std::sort(heavy.begin(), heavy.end());
+    std::sort(light.begin(), light.end());
+    p99_heavy = heavy[heavy.size() * 99 / 100];
+    p99_light = light[light.size() * 99 / 100];
+    EXPECT_GT(p99_heavy, p99_light);
+}
+
+TEST(Rng, UniformIntWithinBound)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.UniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all values reached
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng parent1(77);
+    Rng parent2(77);
+    Rng child1 = parent1.Split(5);
+    Rng child2 = parent2.Split(5);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+
+    Rng parent3(77);
+    Rng other = parent3.Split(6);
+    int equal = 0;
+    Rng child3 = Rng(77).Split(5);
+    for (int i = 0; i < 50; ++i) {
+        if (other.NextU64() == child3.NextU64()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, KnownProgressionIsDeterministic)
+{
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(SplitMix64(s1), 0u);
+}
+
+}  // namespace
+}  // namespace dynamo

@@ -1,0 +1,172 @@
+// Unit tests for common/stats.h: percentiles, CDFs, running stats,
+// histograms.
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynamo {
+namespace {
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    EXPECT_EQ(Percentile({3.5}, 0.0), 3.5);
+    EXPECT_EQ(Percentile({3.5}, 50.0), 3.5);
+    EXPECT_EQ(Percentile({3.5}, 100.0), 3.5);
+}
+
+TEST(Percentile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(Percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics)
+{
+    // Sorted: 1,2,3,4 -> p50 = 2.5.
+    EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax)
+{
+    std::vector<double> v = {9.0, -2.0, 4.0};
+    EXPECT_DOUBLE_EQ(Percentile(v, 0.0), -2.0);
+    EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP)
+{
+    std::vector<double> v = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(Percentile(v, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(Percentile(v, 150.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInputIsHandled)
+{
+    EXPECT_DOUBLE_EQ(Percentile({10.0, 0.0, 5.0, 7.5, 2.5}, 25.0), 2.5);
+}
+
+TEST(MeanStdDev, KnownValues)
+{
+    std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+    EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanStdDev, DegenerateInputs)
+{
+    EXPECT_EQ(Mean({}), 0.0);
+    EXPECT_EQ(StdDev({}), 0.0);
+    EXPECT_EQ(StdDev({42.0}), 0.0);
+}
+
+TEST(EmpiricalCdf, FractionBelow)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.FractionBelow(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.FractionBelow(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.FractionBelow(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileMatchesPercentile)
+{
+    EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(cdf.Quantile(50.0), 2.5);
+    EXPECT_DOUBLE_EQ(cdf.Quantile(100.0), 4.0);
+}
+
+TEST(EmpiricalCdf, ToTableHasExpectedRows)
+{
+    EmpiricalCdf cdf({1.0, 2.0});
+    const std::string table = cdf.ToTable(4);
+    int lines = 0;
+    for (char c : table) {
+        if (c == '\n') ++lines;
+    }
+    EXPECT_EQ(lines, 5);  // steps + 1
+}
+
+TEST(RunningStats, MatchesBatchStats)
+{
+    std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStats rs;
+    for (double x : v) rs.Add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_DOUBLE_EQ(rs.mean(), Mean(v));
+    EXPECT_NEAR(rs.StdDevValue(), StdDev(v), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.Variance(), 0.0);
+    rs.Add(5.0);
+    EXPECT_EQ(rs.Variance(), 0.0);
+    EXPECT_EQ(rs.min(), 5.0);
+    EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.Add(0.5);    // bin 0
+    h.Add(9.5);    // bin 4
+    h.Add(-3.0);   // clamped to bin 0
+    h.Add(100.0);  // clamped to bin 4
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.CountAt(0), 2u);
+    EXPECT_EQ(h.CountAt(4), 2u);
+    EXPECT_EQ(h.CountAt(2), 0u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(Histogram, BoundaryValueGoesToCorrectBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.Add(2.0);  // exactly on a bin edge -> bin 1
+    EXPECT_EQ(h.CountAt(1), 1u);
+}
+
+// Percentile should be monotone in p for any sample set.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileMonotoneTest, MonotoneInP)
+{
+    // Simple deterministic pseudo-random sample per seed.
+    std::vector<double> v;
+    unsigned x = static_cast<unsigned>(GetParam()) * 2654435761u + 1u;
+    for (int i = 0; i < 50; ++i) {
+        x = x * 1664525u + 1013904223u;
+        v.push_back(static_cast<double>(x % 1000) / 10.0);
+    }
+    double prev = Percentile(v, 0.0);
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+        const double cur = Percentile(v, p);
+        EXPECT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dynamo

@@ -1,0 +1,129 @@
+// Tests for dry-run mode (Section VI, service-aware testing): the
+// decision logic runs and logs, but no server is ever throttled.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "fleet/scenarios.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+fleet::FleetSpec
+OverloadedRow(bool dry_run)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = 127.5e3;
+    spec.servers_per_rpp = 580;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 17;
+    spec.deployment.leaf.base.dry_run = dry_run;
+    spec.deployment.upper.base.dry_run = dry_run;
+    return spec;
+}
+
+TEST(DryRun, LogsDecisionsWithoutThrottling)
+{
+    fleet::Fleet fleet(OverloadedRow(/*dry_run=*/true));
+    fleet::ScriptLoadTest(&fleet.scenario(), Minutes(2), Minutes(2), Minutes(20),
+                          2.0);
+    fleet.RunFor(Minutes(15));
+
+    // The decision logic fired and was logged with the dry-run tag...
+    const auto cap_events =
+        fleet.event_log()->OfKind(telemetry::EventKind::kCapStart);
+    ASSERT_GE(cap_events.size(), 1u);
+    for (const auto& e : cap_events) EXPECT_EQ(e.detail, "dry-run");
+    EXPECT_GT(cap_events[0].servers_affected, 0);
+
+    // ... but no server was actually capped.
+    for (const auto& srv : fleet.servers()) EXPECT_FALSE(srv->capped());
+    EXPECT_EQ(fleet.dynamo()->leaf_controllers()[0]->capped_count(), 0u);
+}
+
+TEST(DryRun, ProductionModeActuallyCaps)
+{
+    fleet::Fleet fleet(OverloadedRow(/*dry_run=*/false));
+    fleet::ScriptLoadTest(&fleet.scenario(), Minutes(2), Minutes(2), Minutes(20),
+                          2.0);
+    fleet.RunFor(Minutes(15));
+    std::size_t capped = 0;
+    for (const auto& srv : fleet.servers()) {
+        if (srv->capped()) ++capped;
+    }
+    EXPECT_GT(capped, 0u);
+    const auto cap_events =
+        fleet.event_log()->OfKind(telemetry::EventKind::kCapStart);
+    ASSERT_GE(cap_events.size(), 1u);
+    EXPECT_EQ(cap_events[0].detail, "");
+}
+
+TEST(DryRun, DryAndProductionAgreeOnFirstDecision)
+{
+    // The whole point of dry-run: what it logs is what production
+    // would do. Same seed, same scenario: the first cap decision must
+    // name the same number of target servers at a similar aggregate.
+    fleet::Fleet dry(OverloadedRow(true));
+    fleet::Fleet prod(OverloadedRow(false));
+    for (fleet::Fleet* fleet : {&dry, &prod}) {
+        fleet::ScriptLoadTest(&fleet->scenario(), Minutes(2), Minutes(2),
+                              Minutes(20), 2.0);
+    }
+    dry.RunFor(Minutes(8));
+    prod.RunFor(Minutes(8));
+    const auto dry_events =
+        dry.event_log()->OfKind(telemetry::EventKind::kCapStart);
+    const auto prod_events =
+        prod.event_log()->OfKind(telemetry::EventKind::kCapStart);
+    ASSERT_GE(dry_events.size(), 1u);
+    ASSERT_GE(prod_events.size(), 1u);
+    EXPECT_EQ(dry_events[0].time, prod_events[0].time);
+    EXPECT_NEAR(dry_events[0].aggregated_power, prod_events[0].aggregated_power,
+                dry_events[0].aggregated_power * 0.02);
+    EXPECT_NEAR(dry_events[0].servers_affected, prod_events[0].servers_affected,
+                prod_events[0].servers_affected * 0.15 + 2);
+}
+
+TEST(DryRun, DryRunDoesNotPreventBreakerTrips)
+{
+    // Dry-run is a testing mode, not protection: under a sustained
+    // overload the breaker eventually trips.
+    fleet::Fleet fleet(OverloadedRow(/*dry_run=*/true));
+    fleet::ScriptLoadTest(&fleet.scenario(), Minutes(2), Minutes(2), Minutes(60),
+                          2.2);
+    fleet.RunFor(Minutes(45));
+    EXPECT_GE(fleet.outage_count(), 1u);
+}
+
+TEST(DryRun, UpperControllerDryRunSendsNoContracts)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kSb;
+    spec.topology.rpps_per_sb = 4;
+    spec.topology.sb_rated = 330e3;
+    spec.topology.quota_fill = 0.95;
+    spec.servers_per_rpp = 430;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 19;
+    spec.deployment.upper.base.dry_run = true;
+    fleet::Fleet fleet(spec);
+    for (auto* srv : fleet.ServersUnder("sb0/rpp0")) {
+        srv->load().set_balancer_factor(1.9);
+    }
+    fleet.RunFor(Minutes(3));
+    EXPECT_EQ(fleet.dynamo()->upper_controllers()[0]->contracted_count(), 0u);
+    for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+        EXPECT_FALSE(leaf->contractual_limit().has_value());
+    }
+    EXPECT_GE(fleet.event_log()->CountOf(telemetry::EventKind::kCapStart), 1u);
+}
+
+}  // namespace
+}  // namespace dynamo::core

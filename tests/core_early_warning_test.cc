@@ -1,0 +1,98 @@
+// Tests for the early-warning monitor: sustained high utilization
+// raises operator alerts before capping ever triggers.
+#include "core/early_warning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+fleet::FleetSpec
+RowSpec(Watts rated, bool with_warning = true)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = rated;
+    spec.servers_per_rpp = 300;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 53;
+    spec.deployment.with_early_warning = with_warning;
+    spec.deployment.early_warning.period = Seconds(30);
+    spec.deployment.early_warning.consecutive_checks = 3;
+    return spec;
+}
+
+TEST(EarlyWarning, QuietFleetRaisesNoAlerts)
+{
+    // ~53 KW on a 90 KW breaker: 59 % utilization, well below the
+    // 90 % watermark.
+    fleet::Fleet fleet(RowSpec(90e3));
+    fleet.RunFor(Minutes(20));
+    ASSERT_NE(fleet.dynamo()->early_warning(), nullptr);
+    EXPECT_EQ(fleet.dynamo()->early_warning()->alerts(), 0u);
+    EXPECT_TRUE(fleet.dynamo()->early_warning()->HotDevices().empty());
+}
+
+TEST(EarlyWarning, SustainedHighUtilizationAlertsBeforeCapping)
+{
+    // ~53 KW on a 57 KW breaker: ~93 % utilization — hot, but below
+    // the 99 % capping threshold, so capping never fires while the
+    // warning does.
+    fleet::Fleet fleet(RowSpec(57e3));
+    fleet.RunFor(Minutes(20));
+    auto* monitor = fleet.dynamo()->early_warning();
+    ASSERT_NE(monitor, nullptr);
+    EXPECT_GE(monitor->alerts(), 1u);
+    EXPECT_FALSE(monitor->HotDevices().empty());
+    EXPECT_EQ(fleet.event_log()->CountOf(telemetry::EventKind::kCapStart), 0u);
+    // The alert is in the event log with the early-warning detail.
+    bool found = false;
+    for (const auto& e :
+         fleet.event_log()->OfKind(telemetry::EventKind::kAlarm)) {
+        if (e.detail.find("early warning") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(EarlyWarning, RealertIntervalSuppressesSpam)
+{
+    fleet::FleetSpec spec = RowSpec(57e3);
+    spec.deployment.early_warning.realert_interval = Hours(24);
+    fleet::Fleet fleet(spec);
+    fleet.RunFor(Hours(1));
+    // One alert despite an hour of sustained heat.
+    EXPECT_EQ(fleet.dynamo()->early_warning()->alerts(), 1u);
+}
+
+TEST(EarlyWarning, TransientSpikesDoNotAlert)
+{
+    fleet::FleetSpec spec = RowSpec(62e3);
+    fleet::Fleet fleet(spec);
+    // Brief ~1 min spikes separated by quiet periods never build the
+    // 3-check (90 s) streak.
+    auto& scenario = fleet.scenario();
+    scenario.AddPoint(0, 1.0);
+    for (int k = 0; k < 6; ++k) {
+        const SimTime base = Minutes(3 * k);
+        scenario.AddPoint(base + Minutes(1), 1.0);
+        scenario.AddPoint(base + Minutes(1) + Seconds(10), 1.25);
+        scenario.AddPoint(base + Minutes(2), 1.25);
+        scenario.AddPoint(base + Minutes(2) + Seconds(10), 1.0);
+    }
+    fleet.RunFor(Minutes(20));
+    EXPECT_EQ(fleet.dynamo()->early_warning()->alerts(), 0u);
+}
+
+TEST(EarlyWarning, NotCreatedUnlessConfigured)
+{
+    fleet::Fleet fleet(RowSpec(90e3, /*with_warning=*/false));
+    EXPECT_EQ(fleet.dynamo()->early_warning(), nullptr);
+}
+
+}  // namespace
+}  // namespace dynamo::core

@@ -1,0 +1,182 @@
+// Tests for the fault-tolerance machinery: agent watchdog and
+// primary/backup controller failover (Section III-E).
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/agent.h"
+#include "core/deployment.h"
+#include "core/failover.h"
+#include "core/leaf_controller.h"
+#include "core/watchdog.h"
+#include "power/device.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+server::SimServer::Config
+ServerConfig(const std::string& name)
+{
+    server::SimServer::Config config;
+    config.name = name;
+    config.seed = 77;
+    return config;
+}
+
+TEST(Watchdog, RestartsCrashedAgents)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 1);
+    server::SimServer srv(ServerConfig("s0"), SteadyLoad(0.5));
+    DynamoAgent agent(sim, transport, srv, "agent:s0");
+    telemetry::EventLog log;
+    Watchdog watchdog(sim, /*period=*/Seconds(10), &log);
+    watchdog.Watch(&agent);
+
+    sim.RunFor(Seconds(5));
+    agent.Crash();
+    EXPECT_FALSE(agent.alive());
+    sim.RunFor(Seconds(10));
+    EXPECT_TRUE(agent.alive());
+    EXPECT_EQ(watchdog.restarts(), 1u);
+    EXPECT_EQ(log.CountOf(telemetry::EventKind::kAgentRestart), 1u);
+}
+
+TEST(Watchdog, HealthyAgentsUntouched)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 1);
+    server::SimServer srv(ServerConfig("s0"), SteadyLoad(0.5));
+    DynamoAgent agent(sim, transport, srv, "agent:s0");
+    Watchdog watchdog(sim, Seconds(10), nullptr);
+    watchdog.Watch(&agent);
+    sim.RunFor(Minutes(5));
+    EXPECT_EQ(watchdog.restarts(), 0u);
+    EXPECT_EQ(watchdog.watched_count(), 1u);
+}
+
+TEST(Watchdog, RepeatedCrashesRepeatedRestarts)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 1);
+    server::SimServer srv(ServerConfig("s0"), SteadyLoad(0.5));
+    DynamoAgent agent(sim, transport, srv, "agent:s0");
+    Watchdog watchdog(sim, Seconds(10), nullptr);
+    watchdog.Watch(&agent);
+    for (int i = 0; i < 3; ++i) {
+        agent.Crash();
+        sim.RunFor(Seconds(15));
+        EXPECT_TRUE(agent.alive());
+    }
+    EXPECT_EQ(watchdog.restarts(), 3u);
+}
+
+/** Fixture with a primary + backup leaf controller on one endpoint. */
+class FailoverRig
+{
+  public:
+    FailoverRig()
+        : transport(sim, 2),
+          device("rpp0", power::DeviceLevel::kRpp, 2200.0, 2200.0)
+    {
+        for (int i = 0; i < 10; ++i) {
+            servers.push_back(std::make_unique<server::SimServer>(
+                ServerConfig("s" + std::to_string(i)), SteadyLoad(0.6)));
+            servers.back()->load();  // touch
+            device.AttachLoad(servers.back().get());
+            agents.push_back(std::make_unique<DynamoAgent>(
+                sim, transport, *servers.back(),
+                Deployment::AgentEndpoint(servers.back()->name())));
+        }
+        LeafController::Config config;
+        auto make = [&]() {
+            auto c = std::make_unique<LeafController>(sim, transport, "ctl:rpp0",
+                                                      device, config, &log);
+            for (const auto& srv : servers) c->AddAgent(AgentInfoFor(*srv));
+            return c;
+        };
+        primary = make();
+        backup = make();
+        primary->Activate();
+        manager = std::make_unique<FailoverManager>(
+            sim, transport, *primary, *backup, /*check_period=*/Seconds(5),
+            /*miss_threshold=*/3, &log);
+    }
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+    power::PowerDevice device;
+    telemetry::EventLog log;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<DynamoAgent>> agents;
+    std::unique_ptr<LeafController> primary;
+    std::unique_ptr<LeafController> backup;
+    std::unique_ptr<FailoverManager> manager;
+};
+
+TEST(Failover, HealthyPrimaryKeepsControl)
+{
+    FailoverRig rig;
+    rig.sim.RunFor(Minutes(2));
+    EXPECT_FALSE(rig.manager->switched());
+    EXPECT_TRUE(rig.primary->active());
+    EXPECT_FALSE(rig.backup->active());
+}
+
+TEST(Failover, BackupTakesOverAfterMissedHealthChecks)
+{
+    FailoverRig rig;
+    rig.sim.RunFor(Seconds(12));
+    rig.primary->Crash();
+    // 3 misses x 5 s checks: promoted within ~20 s.
+    rig.sim.RunFor(Seconds(25));
+    EXPECT_TRUE(rig.manager->switched());
+    EXPECT_TRUE(rig.backup->active());
+    EXPECT_FALSE(rig.primary->active());
+    EXPECT_EQ(rig.log.CountOf(telemetry::EventKind::kFailover), 1u);
+}
+
+TEST(Failover, BackupActuallyControlsPower)
+{
+    // The device is over-subscribed (10 servers ~2.3 KW on 2.2 KW), so
+    // whoever is active must cap. Kill the primary before it ever
+    // aggregates; the backup must pick up and do the capping.
+    FailoverRig rig;
+    rig.primary->Crash();
+    rig.sim.RunFor(Minutes(2));
+    ASSERT_TRUE(rig.manager->switched());
+    EXPECT_TRUE(rig.backup->capping());
+    EXPECT_LE(rig.device.TotalPower(rig.sim.Now()), 0.99 * 2200.0);
+}
+
+TEST(Failover, TransientBlipsDoNotTriggerSwitch)
+{
+    FailoverRig rig;
+    rig.sim.RunFor(Seconds(12));
+    // Down for one check only (~5 s), then back.
+    rig.primary->Crash();
+    rig.sim.RunFor(Seconds(6));
+    rig.primary->Activate();
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_FALSE(rig.manager->switched());
+    EXPECT_TRUE(rig.primary->active());
+}
+
+}  // namespace
+}  // namespace dynamo::core

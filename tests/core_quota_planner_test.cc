@@ -1,0 +1,137 @@
+// Tests for the quota planner and episode-duration analytics.
+#include "core/quota_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "telemetry/event_log.h"
+#include "telemetry/timeseries.h"
+
+namespace dynamo::core {
+namespace {
+
+telemetry::TimeSeries
+Flat(double value, int samples = 100)
+{
+    telemetry::TimeSeries series;
+    for (int i = 0; i < samples; ++i) series.Add(i * 1000, value);
+    return series;
+}
+
+telemetry::TimeSeries
+Ramp(double lo, double hi, int samples = 101)
+{
+    telemetry::TimeSeries series;
+    for (int i = 0; i < samples; ++i) {
+        series.Add(i * 1000, lo + (hi - lo) * i / (samples - 1));
+    }
+    return series;
+}
+
+TEST(QuotaPlanner, ProposesPeakTimesHeadroom)
+{
+    const telemetry::TimeSeries history = Flat(100.0);
+    QuotaPlanSpec spec;
+    spec.parent_budget = 1000.0;
+    const QuotaPlan plan = PlanQuotas({{"a", &history, 0.0}}, spec);
+    ASSERT_EQ(plan.assignments.size(), 1u);
+    EXPECT_NEAR(plan.assignments[0].planning_peak, 100.0, 1e-9);
+    EXPECT_NEAR(plan.assignments[0].quota, 110.0, 1e-9);
+    EXPECT_TRUE(plan.fits_unscaled);
+}
+
+TEST(QuotaPlanner, UsesConfiguredPercentile)
+{
+    const telemetry::TimeSeries history = Ramp(0.0, 100.0);
+    QuotaPlanSpec spec;
+    spec.peak_percentile = 50.0;
+    spec.headroom = 1.0;
+    spec.parent_budget = 1000.0;
+    const QuotaPlan plan = PlanQuotas({{"a", &history, 0.0}}, spec);
+    EXPECT_NEAR(plan.assignments[0].quota, 50.0, 1.0);
+}
+
+TEST(QuotaPlanner, ScalesDownToFitBudget)
+{
+    const telemetry::TimeSeries hot = Flat(300.0);
+    const telemetry::TimeSeries warm = Flat(100.0);
+    QuotaPlanSpec spec;
+    spec.headroom = 1.0;
+    spec.parent_budget = 200.0;  // raw total is 400
+    const QuotaPlan plan =
+        PlanQuotas({{"hot", &hot, 0.0}, {"warm", &warm, 0.0}}, spec);
+    EXPECT_FALSE(plan.fits_unscaled);
+    EXPECT_NEAR(plan.total, 200.0, 1e-6);
+    // Uniform scaling preserves the 3:1 ratio.
+    EXPECT_NEAR(plan.assignments[0].quota / plan.assignments[1].quota, 3.0,
+                1e-6);
+}
+
+TEST(QuotaPlanner, FloorsSurviveScaling)
+{
+    const telemetry::TimeSeries hot = Flat(300.0);
+    const telemetry::TimeSeries warm = Flat(100.0);
+    QuotaPlanSpec spec;
+    spec.headroom = 1.0;
+    spec.parent_budget = 200.0;
+    const QuotaPlan plan =
+        PlanQuotas({{"hot", &hot, 0.0}, {"warm", &warm, 90.0}}, spec);
+    double warm_quota = 0.0;
+    for (const auto& a : plan.assignments) {
+        if (a.name == "warm") warm_quota = a.quota;
+    }
+    EXPECT_GE(warm_quota, 90.0 - 1e-9);
+    EXPECT_NEAR(plan.total, 200.0, 1e-6);
+}
+
+TEST(QuotaPlanner, EmptyHistoryGetsFloor)
+{
+    QuotaPlanSpec spec;
+    spec.parent_budget = 1000.0;
+    const QuotaPlan plan = PlanQuotas({{"new-device", nullptr, 42.0}}, spec);
+    EXPECT_NEAR(plan.assignments[0].quota, 42.0, 1e-9);
+    EXPECT_DOUBLE_EQ(plan.assignments[0].planning_peak, 0.0);
+}
+
+TEST(QuotaPlanner, ReclaimsStrandedPower)
+{
+    // The motivating use: a device whose observed peak is far below
+    // its old worst-case allocation frees budget for a hotter sibling.
+    const telemetry::TimeSeries cold = Flat(50.0);
+    const telemetry::TimeSeries hot = Flat(170.0);
+    QuotaPlanSpec spec;
+    spec.parent_budget = 260.0;
+    const QuotaPlan plan =
+        PlanQuotas({{"cold", &cold, 0.0}, {"hot", &hot, 0.0}}, spec);
+    EXPECT_TRUE(plan.fits_unscaled);
+    EXPECT_NEAR(plan.assignments[0].quota, 55.0, 1e-9);
+    EXPECT_NEAR(plan.assignments[1].quota, 187.0, 1e-9);
+}
+
+TEST(EpisodeDurations, MeasuresStartToUncap)
+{
+    telemetry::EventLog log;
+    auto add = [&](SimTime t, telemetry::EventKind k, const char* src) {
+        telemetry::Event e;
+        e.time = t;
+        e.kind = k;
+        e.source = src;
+        log.Record(e);
+    };
+    add(1000, telemetry::EventKind::kCapStart, "a");
+    add(2000, telemetry::EventKind::kCapUpdate, "a");
+    add(5000, telemetry::EventKind::kUncap, "a");
+    add(6000, telemetry::EventKind::kCapStart, "b");  // other source
+    add(9000, telemetry::EventKind::kCapStart, "a");
+    add(9500, telemetry::EventKind::kUncap, "a");
+    add(20000, telemetry::EventKind::kCapStart, "a");  // never closed
+
+    const auto durations = log.EpisodeDurations("a");
+    ASSERT_EQ(durations.size(), 2u);
+    EXPECT_EQ(durations[0], 4000);
+    EXPECT_EQ(durations[1], 500);
+    EXPECT_EQ(log.EpisodeDurations("b").size(), 0u);  // still open
+}
+
+}  // namespace
+}  // namespace dynamo::core

@@ -1,0 +1,137 @@
+// Tests for the three-band capping/uncapping algorithm (Fig. 10).
+#include "core/three_band.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamo::core {
+namespace {
+
+constexpr Watts kLimit = 1000.0;
+
+TEST(ThreeBandConfig, DefaultIsValid)
+{
+    EXPECT_TRUE(ThreeBandConfig{}.Valid());
+}
+
+TEST(ThreeBandConfig, RejectsBadOrdering)
+{
+    ThreeBandConfig c;
+    c.cap_target_frac = 1.0;  // above the threshold
+    EXPECT_FALSE(c.Valid());
+    c = ThreeBandConfig{};
+    c.uncap_threshold_frac = 0.97;  // above the target
+    EXPECT_FALSE(c.Valid());
+}
+
+TEST(ThreeBand, NoActionInNormalBand)
+{
+    ThreeBandPolicy policy;
+    const BandDecision d = policy.Evaluate(0.95 * kLimit, kLimit);
+    EXPECT_EQ(d.action, BandAction::kNone);
+    EXPECT_FALSE(policy.capping());
+}
+
+TEST(ThreeBand, CapsAboveThreshold)
+{
+    ThreeBandPolicy policy;
+    const BandDecision d = policy.Evaluate(0.995 * kLimit, kLimit);
+    EXPECT_EQ(d.action, BandAction::kCap);
+    EXPECT_DOUBLE_EQ(d.target, 0.95 * kLimit);
+    EXPECT_NEAR(d.cut, 0.045 * kLimit, 1e-9);
+    EXPECT_TRUE(policy.capping());
+}
+
+TEST(ThreeBand, TargetIsFivePercentBelowLimit)
+{
+    // "The capping target is conservatively chosen to be 5% below the
+    // breaker limit for safety."
+    ThreeBandPolicy policy;
+    const BandDecision d = policy.Evaluate(1.02 * kLimit, kLimit);
+    EXPECT_DOUBLE_EQ(d.target, 0.95 * kLimit);
+}
+
+TEST(ThreeBand, NoUncapWhileInsideHysteresisBand)
+{
+    ThreeBandPolicy policy;
+    policy.Evaluate(1.00 * kLimit, kLimit);  // cap
+    // Power drops below the target but stays above uncap threshold.
+    const BandDecision d = policy.Evaluate(0.93 * kLimit, kLimit);
+    EXPECT_EQ(d.action, BandAction::kNone);
+    EXPECT_TRUE(policy.capping());
+}
+
+TEST(ThreeBand, UncapsBelowUncapThreshold)
+{
+    ThreeBandPolicy policy;
+    policy.Evaluate(1.00 * kLimit, kLimit);
+    const BandDecision d = policy.Evaluate(0.85 * kLimit, kLimit);
+    EXPECT_EQ(d.action, BandAction::kUncap);
+    EXPECT_FALSE(policy.capping());
+}
+
+TEST(ThreeBand, NeverUncapsWhenNotCapping)
+{
+    ThreeBandPolicy policy;
+    const BandDecision d = policy.Evaluate(0.10 * kLimit, kLimit);
+    EXPECT_EQ(d.action, BandAction::kNone);
+}
+
+TEST(ThreeBand, RepeatedOverdrawKeepsCapping)
+{
+    ThreeBandPolicy policy;
+    EXPECT_EQ(policy.Evaluate(1.00 * kLimit, kLimit).action, BandAction::kCap);
+    EXPECT_EQ(policy.Evaluate(0.997 * kLimit, kLimit).action, BandAction::kCap);
+    EXPECT_TRUE(policy.capping());
+}
+
+TEST(ThreeBand, ResetForgetsCappingState)
+{
+    ThreeBandPolicy policy;
+    policy.Evaluate(1.00 * kLimit, kLimit);
+    policy.Reset();
+    EXPECT_FALSE(policy.capping());
+    EXPECT_EQ(policy.Evaluate(0.5 * kLimit, kLimit).action, BandAction::kNone);
+}
+
+TEST(ThreeBand, CustomThresholdsRespected)
+{
+    ThreeBandConfig config;
+    config.cap_threshold_frac = 0.90;
+    config.cap_target_frac = 0.80;
+    config.uncap_threshold_frac = 0.70;
+    ThreeBandPolicy policy(config);
+    EXPECT_EQ(policy.Evaluate(0.95 * kLimit, kLimit).action, BandAction::kCap);
+    EXPECT_DOUBLE_EQ(policy.Evaluate(0.95 * kLimit, kLimit).target,
+                     0.80 * kLimit);
+    EXPECT_EQ(policy.Evaluate(0.65 * kLimit, kLimit).action, BandAction::kUncap);
+}
+
+// Oscillation property: with hysteresis, a sequence of readings that
+// bounces between target and threshold produces no uncap actions (the
+// single-threshold failure mode the paper designed around).
+TEST(ThreeBand, NoOscillationInsideBand)
+{
+    ThreeBandPolicy policy;
+    policy.Evaluate(1.00 * kLimit, kLimit);
+    int transitions = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Watts p = (i % 2 ? 0.955 : 0.92) * kLimit;
+        const BandDecision d = policy.Evaluate(p, kLimit);
+        if (d.action == BandAction::kUncap) ++transitions;
+    }
+    EXPECT_EQ(transitions, 0);
+    EXPECT_TRUE(policy.capping());
+}
+
+TEST(ThreeBand, CapUncapCycleBehavesAcrossLimitChange)
+{
+    // The effective limit can drop when a parent sends a contractual
+    // limit: the same power that was safe becomes over-threshold.
+    ThreeBandPolicy policy;
+    EXPECT_EQ(policy.Evaluate(900.0, kLimit).action, BandAction::kNone);
+    EXPECT_EQ(policy.Evaluate(900.0, 880.0).action, BandAction::kCap);
+    EXPECT_NEAR(policy.Evaluate(900.0, 880.0).target, 0.95 * 880.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dynamo::core

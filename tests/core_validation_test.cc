@@ -1,0 +1,192 @@
+// Tests for breaker-reading validation and dynamic estimator tuning
+// (the Section VI lessons): the leaf controller cross-checks its
+// aggregation against the breaker's own coarse readings, alarms on
+// gross mismatch, and tunes sensorless servers' estimation models.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/agent.h"
+#include "core/deployment.h"
+#include "core/leaf_controller.h"
+#include "power/breaker_telemetry.h"
+#include "power/device.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+class ValidationRig
+{
+  public:
+    /** n servers; the first `sensorless` of them have no power sensor. */
+    explicit ValidationRig(int n, int sensorless, double estimator_bias = 0.0)
+        : transport(sim, 5),
+          device("rpp0", power::DeviceLevel::kRpp, 50000.0, 50000.0)
+    {
+        for (int i = 0; i < n; ++i) {
+            server::SimServer::Config config;
+            config.name = "s" + std::to_string(i);
+            config.has_sensor = i >= sensorless;
+            config.seed = 300 + static_cast<std::uint64_t>(i);
+            servers.push_back(
+                std::make_unique<server::SimServer>(config, SteadyLoad(0.6)));
+            if (i < sensorless && estimator_bias != 0.0) {
+                // Miscalibrated estimation model.
+                servers.back()->estimator() = server::PowerEstimator(
+                    servers.back()->spec(), estimator_bias, 0.0);
+            }
+            device.AttachLoad(servers.back().get());
+            agents.push_back(std::make_unique<DynamoAgent>(
+                sim, transport, *servers.back(),
+                Deployment::AgentEndpoint(servers.back()->name())));
+        }
+        telemetry_feed = std::make_unique<power::BreakerTelemetry>(
+            sim, device, /*period=*/Seconds(30), /*noise_frac=*/0.0);
+        LeafController::Config config;
+        controller = std::make_unique<LeafController>(
+            sim, transport, "ctl:rpp0", device, config, &log);
+        for (const auto& srv : servers) controller->AddAgent(AgentInfoFor(*srv));
+        controller->AttachBreakerTelemetry(telemetry_feed.get());
+        controller->Activate();
+    }
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+    power::PowerDevice device;
+    telemetry::EventLog log;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<DynamoAgent>> agents;
+    std::unique_ptr<power::BreakerTelemetry> telemetry_feed;
+    std::unique_ptr<LeafController> controller;
+};
+
+TEST(BreakerTelemetry, ProducesPeriodicReadings)
+{
+    sim::Simulation sim;
+    power::PowerDevice device("d", power::DeviceLevel::kRpp, 1000.0, 1000.0);
+    power::FixedLoad load(400.0);
+    device.AttachLoad(&load);
+    power::BreakerTelemetry telemetry(sim, device, Seconds(60), 0.0);
+    EXPECT_FALSE(telemetry.last().has_value());
+    sim.RunFor(Seconds(61));
+    ASSERT_TRUE(telemetry.last().has_value());
+    EXPECT_DOUBLE_EQ(telemetry.last()->power, 400.0);
+    EXPECT_EQ(telemetry.last()->time, Seconds(60));
+}
+
+TEST(BreakerTelemetry, NoiseIsApplied)
+{
+    sim::Simulation sim;
+    power::PowerDevice device("d", power::DeviceLevel::kRpp, 1000.0, 1000.0);
+    power::FixedLoad load(400.0);
+    device.AttachLoad(&load);
+    power::BreakerTelemetry telemetry(sim, device, Seconds(60), 0.05, 11);
+    sim.RunFor(Minutes(2));
+    ASSERT_TRUE(telemetry.last().has_value());
+    EXPECT_NE(telemetry.last()->power, 400.0);
+    EXPECT_NEAR(telemetry.last()->power, 400.0, 400.0 * 0.25);
+}
+
+TEST(Validation, AgreementProducesNoAlarm)
+{
+    ValidationRig rig(10, /*sensorless=*/0);
+    rig.sim.RunFor(Minutes(3));
+    EXPECT_EQ(rig.controller->validation_alarms(), 0u);
+    EXPECT_LT(std::abs(rig.controller->last_validation_mismatch()), 0.05);
+}
+
+TEST(Validation, GrossMismatchAlarms)
+{
+    // A phantom load the servers don't report (miswired circuit,
+    // unmodeled equipment) makes the breaker see far more power than
+    // the aggregation: the controller must alarm, not act.
+    ValidationRig rig(10, 0);
+    power::FixedLoad phantom(800.0);  // ~35 % of ~2.3 KW aggregate
+    // Attach as cappable=false but unknown to the controller roster:
+    // NonCappableLoadPower() includes it, so hide it from that path by
+    // attaching a raw PowerLoad subclass that claims to be cappable.
+    struct PhantomServer : power::PowerLoad
+    {
+        Watts PowerAt(SimTime) override { return 800.0; }
+        bool Cappable() const override { return true; }
+    };
+    static PhantomServer phantom_server;
+    rig.device.AttachLoad(&phantom_server);
+    rig.sim.RunFor(Minutes(3));
+    EXPECT_GT(rig.controller->validation_alarms(), 0u);
+    (void)phantom;
+}
+
+TEST(Validation, TunesBiasedEstimatorsTowardTruth)
+{
+    // 3 of 10 servers are sensorless with a +25 % estimation bias. The
+    // validation loop should walk the bias out within a few readings.
+    ValidationRig rig(10, /*sensorless=*/3, /*estimator_bias=*/0.25);
+    rig.sim.RunFor(Seconds(5));
+    const double initial_mismatch =
+        std::abs(rig.controller->last_validation_mismatch());
+    rig.sim.RunFor(Minutes(10));
+    EXPECT_GT(rig.controller->tunes_sent(), 0u);
+    EXPECT_GT(rig.agents[0]->tunes_applied(), 0u);
+    const double final_mismatch =
+        std::abs(rig.controller->last_validation_mismatch());
+    EXPECT_LT(final_mismatch, 0.02);
+    // Bias itself should be mostly gone.
+    EXPECT_LT(std::abs(rig.servers[0]->estimator().bias_frac()), 0.08);
+    (void)initial_mismatch;
+}
+
+TEST(Validation, LittleTuningChurnWhenUnbiased)
+{
+    ValidationRig rig(10, /*sensorless=*/3, /*estimator_bias=*/0.0);
+    rig.sim.RunFor(Minutes(5));
+    // Unbiased estimators: mismatch stays inside the deadband except
+    // for occasional noise excursions, so tuning churn is rare (every
+    // cycle with 3 estimated readings would send 3 tunes/cycle).
+    EXPECT_LT(rig.controller->tunes_sent(),
+              rig.controller->aggregations() / 3);
+    // And whatever tuning happened did not walk the bias away from 0.
+    EXPECT_LT(std::abs(rig.servers[0]->estimator().bias_frac()), 0.05);
+}
+
+TEST(Validation, NoTelemetryMeansNoValidation)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 5);
+    power::PowerDevice device("rpp0", power::DeviceLevel::kRpp, 50000.0,
+                              50000.0);
+    server::SimServer::Config config;
+    config.name = "s0";
+    config.seed = 1;
+    server::SimServer srv(config, SteadyLoad(0.6));
+    device.AttachLoad(&srv);
+    DynamoAgent agent(sim, transport, srv, "agent:s0");
+    telemetry::EventLog log;
+    LeafController controller(sim, transport, "ctl:rpp0", device,
+                              LeafController::Config{}, &log);
+    controller.AddAgent(AgentInfoFor(srv));
+    controller.Activate();
+    sim.RunFor(Minutes(2));
+    EXPECT_EQ(controller.validation_alarms(), 0u);
+    EXPECT_EQ(controller.tunes_sent(), 0u);
+    EXPECT_DOUBLE_EQ(controller.last_validation_mismatch(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamo::core

@@ -1,0 +1,116 @@
+// Randomized end-to-end invariant checks: across seeds, service mixes,
+// and stress levels, the control plane must uphold its global
+// contracts — SLA floors, contractual <= physical, aggregation sanity,
+// and power safety whenever it claims control.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/deployment.h"
+#include "fleet/fleet.h"
+#include "fleet/scenarios.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+namespace {
+
+class FleetInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(FleetInvariantsTest, GlobalContractsHold)
+{
+    const int seed = std::get<0>(GetParam());
+    const double surge = std::get<1>(GetParam());
+
+    FleetSpec spec;
+    spec.scope = FleetScope::kSb;
+    spec.topology.rpps_per_sb = 3;
+    spec.topology.sb_rated = 280e3;
+    spec.topology.quota_fill = 0.95;
+    spec.servers_per_rpp = 180;
+    spec.mix = ServiceMix::Datacenter();
+    spec.sensorless_fraction = 0.05;
+    spec.diurnal_amplitude = 0.1;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    Fleet fleet(spec);
+    ScriptLoadTest(&fleet.scenario(), Minutes(3), Minutes(2), Minutes(20), surge);
+
+    for (int step = 0; step < 10; ++step) {
+        fleet.RunFor(Minutes(3));
+
+        // Invariant 1: no server is ever capped below its SLA floor.
+        for (const auto& srv : fleet.servers()) {
+            if (srv->capped()) {
+                EXPECT_GE(srv->power_limit(),
+                          core::SlaMinCapFor(*srv) - 1.5)
+                    << srv->name() << " capped below SLA";
+            }
+        }
+
+        // Invariant 2: contractual limits never exceed physical ones,
+        // and the effective limit is their minimum.
+        for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+            EXPECT_LE(leaf->EffectiveLimit(), leaf->physical_limit());
+            if (leaf->contractual_limit()) {
+                EXPECT_LE(leaf->EffectiveLimit(), *leaf->contractual_limit());
+            }
+        }
+
+        // Invariant 3: a valid aggregation tracks true device power.
+        for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+            if (!leaf->last_valid()) continue;
+            const Watts truth =
+                leaf->device().TotalPower(fleet.sim().Now());
+            if (truth > 1000.0) {
+                EXPECT_NEAR(leaf->last_aggregated_power(), truth, truth * 0.15)
+                    << leaf->endpoint();
+            }
+        }
+    }
+
+    // Invariant 4: with Dynamo active and no invalid aggregations, the
+    // breakers hold.
+    EXPECT_EQ(fleet.outage_count(), 0u) << "seed " << seed << " surge " << surge;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStress, FleetInvariantsTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1.0, 1.5, 2.0)));
+
+TEST(FleetInvariants, WorkConservation)
+{
+    // delivered <= demanded always; equal when never capped or dark.
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.servers_per_rpp = 60;
+    spec.seed = 5;
+    Fleet fleet(spec);
+    fleet.RunFor(Minutes(20));
+    for (const auto& srv : fleet.servers()) {
+        EXPECT_LE(srv->delivered_work(), srv->demanded_work() + 1e-9);
+        EXPECT_GE(srv->delivered_work(), 0.0);
+    }
+}
+
+TEST(FleetInvariants, EventLogIsTimeOrdered)
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.topology.rpp_rated = 34e3;  // tight: plenty of events
+    spec.servers_per_rpp = 200;
+    spec.seed = 6;
+    Fleet fleet(spec);
+    fleet.RunFor(Minutes(15));
+    const auto& events = fleet.event_log()->events();
+    ASSERT_FALSE(events.empty());
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

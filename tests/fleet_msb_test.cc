@@ -1,0 +1,133 @@
+// Three-level control cascade: an MSB-level overdraw propagates
+// contractual limits MSB -> SB -> RPP -> per-server RAPL caps, the
+// full recursion of Section III-D.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+namespace {
+
+FleetSpec
+MsbSpec()
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kMsb;
+    spec.topology.sbs_per_msb = 2;
+    spec.topology.rpps_per_sb = 3;
+    spec.topology.msb_rated = 262e3;
+    spec.topology.sb_rated = 400e3;   // SBs individually comfortable
+    spec.topology.rpp_rated = 190e3;  // RPPs individually comfortable
+    spec.servers_per_rpp = 180;
+    spec.mix = ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 59;
+    return spec;
+}
+
+class MsbCascadeTest : public ::testing::Test
+{
+  protected:
+    MsbCascadeTest() : fleet_(MsbSpec()) {}
+
+    /** Push the MSB (and only the MSB) past its capping threshold. */
+    void ScriptSustainedSurge()
+    {
+        fleet_.scenario().AddPoint(0, 1.0);
+        fleet_.scenario().AddPoint(Minutes(1), 1.8);
+        fleet_.scenario().AddPoint(Minutes(30), 1.8);
+    }
+
+    /** Surge that ends at minute 7 (for unwind tests). */
+    void ScriptEndingSurge()
+    {
+        fleet_.scenario().AddPoint(0, 1.0);
+        fleet_.scenario().AddPoint(Minutes(1), 1.8);
+        fleet_.scenario().AddPoint(Minutes(6), 1.8);
+        fleet_.scenario().AddPoint(Minutes(7), 0.9);
+        fleet_.scenario().AddPoint(Minutes(40), 0.9);
+    }
+
+    Fleet fleet_;
+};
+
+TEST_F(MsbCascadeTest, HierarchyHasThreeControllerLevels)
+{
+    EXPECT_EQ(fleet_.dynamo()->leaf_controllers().size(), 6u);
+    EXPECT_EQ(fleet_.dynamo()->upper_controllers().size(), 3u);
+    EXPECT_NE(fleet_.dynamo()->FindUpper("ctl:msb0"), nullptr);
+}
+
+TEST_F(MsbCascadeTest, ContractsRecurseToEveryLevel)
+{
+    ScriptSustainedSurge();
+    fleet_.RunFor(Minutes(6));
+    auto* msb = fleet_.dynamo()->FindUpper("ctl:msb0");
+    ASSERT_NE(msb, nullptr);
+    EXPECT_TRUE(msb->capping());
+    EXPECT_GT(msb->contracted_count(), 0u);
+
+    // At least one SB received a contract and pushed its own down.
+    std::size_t sb_contracted = 0;
+    std::size_t rpp_contracted = 0;
+    for (const auto& upper : fleet_.dynamo()->upper_controllers()) {
+        if (upper->endpoint() != "ctl:msb0" &&
+            upper->contractual_limit().has_value()) {
+            ++sb_contracted;
+        }
+    }
+    for (const auto& leaf : fleet_.dynamo()->leaf_controllers()) {
+        if (leaf->contractual_limit().has_value()) ++rpp_contracted;
+    }
+    EXPECT_GT(sb_contracted, 0u);
+    EXPECT_GT(rpp_contracted, 0u);
+
+    // ... and the caps landed on servers.
+    std::size_t capped = 0;
+    for (const auto& srv : fleet_.servers()) {
+        if (srv->capped()) ++capped;
+    }
+    EXPECT_GT(capped, 0u);
+}
+
+TEST_F(MsbCascadeTest, MsbPowerHeldWithinLimit)
+{
+    ScriptSustainedSurge();
+    fleet_.RunFor(Minutes(10));
+    EXPECT_LE(fleet_.TotalPower(), 262e3);
+    EXPECT_EQ(fleet_.outage_count(), 0u);
+}
+
+TEST_F(MsbCascadeTest, FullUnwindWhenSurgeEnds)
+{
+    ScriptEndingSurge();
+    fleet_.RunFor(Minutes(21));
+
+    for (const auto& upper : fleet_.dynamo()->upper_controllers()) {
+        EXPECT_FALSE(upper->capping()) << upper->endpoint();
+        EXPECT_FALSE(upper->contractual_limit().has_value())
+            << upper->endpoint();
+    }
+    for (const auto& leaf : fleet_.dynamo()->leaf_controllers()) {
+        EXPECT_FALSE(leaf->contractual_limit().has_value())
+            << leaf->endpoint();
+    }
+    for (const auto& srv : fleet_.servers()) {
+        EXPECT_FALSE(srv->capped()) << srv->name();
+    }
+}
+
+TEST_F(MsbCascadeTest, EpisodeDurationsAreRecorded)
+{
+    ScriptEndingSurge();
+    fleet_.RunFor(Minutes(21));
+    const auto durations =
+        fleet_.event_log()->EpisodeDurations("ctl:msb0");
+    ASSERT_GE(durations.size(), 1u);
+    EXPECT_GT(durations[0], Minutes(1));
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

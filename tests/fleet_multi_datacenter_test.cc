@@ -1,0 +1,117 @@
+// Tests for the multi-datacenter cascade harness: load redistribution
+// after a site failure, and Dynamo preventing the cascade the paper's
+// introduction warns about.
+#include "fleet/multi_datacenter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+namespace {
+
+FleetSpec
+SiteSpec(bool with_dynamo)
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.topology.rpp_rated = 127.5e3;
+    spec.servers_per_rpp = 560;
+    spec.mix = ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.with_dynamo = with_dynamo;
+    spec.seed = 43;
+    return spec;
+}
+
+TEST(MultiDatacenter, BuildsIndependentSites)
+{
+    MultiDatacenter::Config config;
+    config.sites = 3;
+    config.site_spec = SiteSpec(true);
+    MultiDatacenter region(config);
+    EXPECT_EQ(region.site_count(), 3u);
+    region.RunFor(Minutes(2));
+    // Different seeds: the sites' power trajectories differ.
+    EXPECT_NE(region.site(0).TotalPower(), region.site(1).TotalPower());
+    EXPECT_DOUBLE_EQ(region.AliveFraction(), 1.0);
+    EXPECT_EQ(region.DarkSites(), 0u);
+}
+
+TEST(MultiDatacenter, BalancerShiftsLoadAwayFromDarkSite)
+{
+    MultiDatacenter::Config config;
+    config.sites = 3;
+    config.site_spec = SiteSpec(true);
+    MultiDatacenter region(config);
+    region.RunFor(Minutes(2));
+
+    // Force site 0 dark (as if its MSB tripped).
+    region.site(0).root().breaker().Advance(1e9, Minutes(30));
+    ASSERT_TRUE(region.site(0).root().breaker().tripped());
+    region.site(0).root().NotifyPowerLost(region.site(0).sim().Now());
+
+    region.RunFor(Minutes(2));
+    // Survivors now carry 3 units of demand over 2 sites.
+    EXPECT_NEAR(region.site(1).global_traffic_factor(), 1.5, 0.01);
+    EXPECT_NEAR(region.site(2).global_traffic_factor(), 1.5, 0.01);
+    EXPECT_NEAR(region.site(0).global_traffic_factor(), 0.0, 0.01);
+    EXPECT_EQ(region.DarkSites(), 1u);
+    EXPECT_NEAR(region.AliveFraction(), 2.0 / 3.0, 0.01);
+}
+
+TEST(MultiDatacenter, CascadeWithoutDynamo)
+{
+    // A global surge trips the weakest site; its spillover pushes the
+    // survivors over their breakers in turn — the cascading failure
+    // event from the paper's introduction.
+    MultiDatacenter::Config config;
+    config.sites = 3;
+    config.site_spec = SiteSpec(/*with_dynamo=*/false);
+    MultiDatacenter region(config);
+    region.ScriptGlobalSurge(Minutes(5), Minutes(3), Hours(2), 1.9);
+    region.RunFor(Minutes(100));
+    EXPECT_GE(region.TotalOutages(), 2u) << "expected a cascade";
+    EXPECT_GE(region.DarkSites(), 2u);
+    EXPECT_LT(region.AliveFraction(), 0.5);
+}
+
+TEST(MultiDatacenter, DynamoStopsTheCascade)
+{
+    // Same surge, same sites, Dynamo on: every site caps within its
+    // breaker and the region keeps serving.
+    MultiDatacenter::Config config;
+    config.sites = 3;
+    config.site_spec = SiteSpec(/*with_dynamo=*/true);
+    MultiDatacenter region(config);
+    region.ScriptGlobalSurge(Minutes(5), Minutes(3), Hours(2), 1.9);
+    region.RunFor(Minutes(100));
+    EXPECT_EQ(region.TotalOutages(), 0u);
+    EXPECT_EQ(region.DarkSites(), 0u);
+    EXPECT_DOUBLE_EQ(region.AliveFraction(), 1.0);
+    // Capping did the work.
+    std::size_t episodes = 0;
+    for (std::size_t i = 0; i < region.site_count(); ++i) {
+        episodes += region.site(i).event_log()->CappingEpisodes();
+    }
+    EXPECT_GE(episodes, 1u);
+}
+
+TEST(MultiDatacenter, SpilloverIsBounded)
+{
+    MultiDatacenter::Config config;
+    config.sites = 2;
+    config.site_spec = SiteSpec(true);
+    MultiDatacenter region(config);
+    region.RunFor(Minutes(1));
+    region.site(0).root().breaker().Advance(1e9, Minutes(30));
+    region.site(0).root().NotifyPowerLost(region.site(0).sim().Now());
+    region.RunFor(Minutes(1));
+    // 2 units over 1 surviving site would be 2.0; the balancer sheds
+    // beyond its 2x bound.
+    EXPECT_LE(region.MaxSiteTrafficFactor(), 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

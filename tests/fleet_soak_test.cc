@@ -1,0 +1,103 @@
+// "Everything on" soak: a mixed-service SB runs a full simulated day
+// with every production feature enabled at once — staggered cycles,
+// breaker validation + estimator tuning, load shedding, early warning,
+// backup controllers, sensorless servers, RPC failure injection, and a
+// mid-day surge. The point is feature *interaction*: each feature is
+// tested in isolation elsewhere; this asserts they compose.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/deployment.h"
+#include "fleet/fleet.h"
+#include "fleet/report.h"
+#include "fleet/scenarios.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+namespace {
+
+class SoakTest : public ::testing::Test
+{
+  protected:
+    static FleetSpec Spec()
+    {
+        FleetSpec spec;
+        spec.scope = FleetScope::kSb;
+        spec.topology.rpps_per_sb = 3;
+        spec.topology.sb_rated = 290e3;
+        spec.topology.quota_fill = 0.95;
+        spec.servers_per_rpp = 200;
+        spec.mix = ServiceMix::Datacenter();
+        spec.sensorless_fraction = 0.08;
+        spec.diurnal_amplitude = 0.20;
+        spec.seed = 2026;
+        spec.with_breaker_validation = true;
+        spec.with_load_shedding = true;
+        spec.deployment.with_backup_controllers = true;
+        spec.deployment.with_early_warning = true;
+        spec.deployment.stagger_cycles = true;
+        return spec;
+    }
+};
+
+TEST_F(SoakTest, FullDayWithEverythingEnabled)
+{
+    Fleet fleet(Spec());
+    fleet.transport().failures().SetDefaultFailureProbability(0.03);
+    // Afternoon surge on top of the diurnal peak.
+    ScriptLoadTest(&fleet.scenario(), Hours(14), Minutes(10), Hours(2), 1.35);
+
+    ReportCollector collector(fleet);
+    fleet.RunFor(Hours(24));
+    const FleetReport report = collector.Finish();
+
+    // Safety: nothing tripped across the whole day.
+    EXPECT_EQ(report.outages, 0u);
+
+    // Liveness: every controller is active (or its backup is) and
+    // aggregating; no controller wedged.
+    for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+        EXPECT_GT(leaf->aggregations(), 20000u) << leaf->endpoint();
+        EXPECT_TRUE(fleet.transport().IsRegistered(leaf->endpoint()));
+    }
+    for (const auto& upper : fleet.dynamo()->upper_controllers()) {
+        EXPECT_GT(upper->aggregations(), 7000u);
+    }
+
+    // The 3 % RPC failure injection exercised the estimation path
+    // without ever crossing the 20 % invalid threshold.
+    std::uint64_t estimated = 0;
+    for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
+        estimated += leaf->estimated_readings();
+        EXPECT_EQ(leaf->invalid_aggregations(), 0u) << leaf->endpoint();
+    }
+    EXPECT_GT(estimated, 1000u);
+
+    // Work mostly delivered: the day cost at most a few percent.
+    EXPECT_LT(report.WorkLossPercent(), 5.0);
+    EXPECT_GT(report.demanded_work, 0.0);
+
+    // Monitoring surface stayed coherent.
+    EXPECT_GT(report.peak_power, report.mean_power);
+    EXPECT_EQ(report.services.size(), 6u);
+}
+
+TEST_F(SoakTest, DeterministicEndToEnd)
+{
+    // The whole stack — stochastic loads, failure injection, staggered
+    // controllers, tuning — must still be reproducible run-to-run.
+    double power[2];
+    std::size_t events[2];
+    for (int run = 0; run < 2; ++run) {
+        Fleet fleet(Spec());
+        fleet.transport().failures().SetDefaultFailureProbability(0.03);
+        fleet.RunFor(Hours(2));
+        power[run] = fleet.TotalPower();
+        events[run] = fleet.event_log()->events().size();
+    }
+    EXPECT_DOUBLE_EQ(power[0], power[1]);
+    EXPECT_EQ(events[0], events[1]);
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

@@ -1,0 +1,181 @@
+// Tests for the fleet spec text format and the report collector.
+#include "fleet/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fleet/report.h"
+
+namespace dynamo::fleet {
+namespace {
+
+TEST(SpecParser, DefaultsWhenEmpty)
+{
+    const FleetSpec spec = ParseFleetSpecString("");
+    EXPECT_EQ(spec.scope, FleetScope::kSb);
+    EXPECT_EQ(spec.servers_per_rpp, 240u);
+    EXPECT_TRUE(spec.with_dynamo);
+}
+
+TEST(SpecParser, ParsesScalarKeys)
+{
+    const FleetSpec spec = ParseFleetSpecString(R"(
+        scope = rpp
+        servers_per_rpp = 520
+        rpp_rated_kw = 127.5
+        haswell_fraction = 0.9
+        sensorless_fraction = 0.05
+        turbo = true
+        diurnal_amplitude = 0.1
+        seed = 99
+        with_dynamo = false
+        tor_switch_power_w = 450
+    )");
+    EXPECT_EQ(spec.scope, FleetScope::kRpp);
+    EXPECT_EQ(spec.servers_per_rpp, 520u);
+    EXPECT_DOUBLE_EQ(spec.topology.rpp_rated, 127500.0);
+    EXPECT_DOUBLE_EQ(spec.haswell_fraction, 0.9);
+    EXPECT_DOUBLE_EQ(spec.sensorless_fraction, 0.05);
+    EXPECT_TRUE(spec.turbo_enabled);
+    EXPECT_DOUBLE_EQ(spec.diurnal_amplitude, 0.1);
+    EXPECT_EQ(spec.seed, 99u);
+    EXPECT_FALSE(spec.with_dynamo);
+    EXPECT_DOUBLE_EQ(spec.tor_switch_power, 450.0);
+}
+
+TEST(SpecParser, ParsesControllerKeys)
+{
+    const FleetSpec spec = ParseFleetSpecString(R"(
+        leaf_pull_cycle_ms = 5000
+        upper_pull_cycle_ms = 15000
+        bucket_w = 30
+        cap_threshold = 0.98
+        cap_target = 0.94
+        uncap_threshold = 0.88
+        dry_run = true
+        with_backup_controllers = true
+        with_breaker_validation = true
+    )");
+    EXPECT_EQ(spec.deployment.leaf.base.pull_cycle, 5000);
+    EXPECT_EQ(spec.deployment.upper.base.pull_cycle, 15000);
+    EXPECT_DOUBLE_EQ(spec.deployment.leaf.bucket_size, 30.0);
+    EXPECT_DOUBLE_EQ(spec.deployment.leaf.base.bands.cap_threshold_frac, 0.98);
+    EXPECT_DOUBLE_EQ(spec.deployment.upper.base.bands.cap_target_frac, 0.94);
+    EXPECT_TRUE(spec.deployment.leaf.base.dry_run);
+    EXPECT_TRUE(spec.deployment.with_backup_controllers);
+    EXPECT_TRUE(spec.with_breaker_validation);
+}
+
+TEST(SpecParser, CommentsAndBlanksIgnored)
+{
+    const FleetSpec spec = ParseFleetSpecString(
+        "# full-line comment\n\n  seed = 5  # trailing comment\n");
+    EXPECT_EQ(spec.seed, 5u);
+}
+
+TEST(SpecParser, UnknownKeyFailsLoudly)
+{
+    EXPECT_THROW(ParseFleetSpecString("sevrers_per_rpp = 10"),
+                 std::runtime_error);
+}
+
+TEST(SpecParser, MalformedValueFails)
+{
+    EXPECT_THROW(ParseFleetSpecString("seed = banana"), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("turbo = maybe"), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("scope = rack"), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("seed ="), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("just words"), std::runtime_error);
+}
+
+TEST(SpecParser, InvalidBandOrderingRejected)
+{
+    EXPECT_THROW(ParseFleetSpecString("uncap_threshold = 0.97"),
+                 std::runtime_error);
+}
+
+TEST(SpecParser, MissingFileThrows)
+{
+    EXPECT_THROW(LoadFleetSpec("/nonexistent/spec.conf"), std::runtime_error);
+}
+
+TEST(ServiceMixParser, NamedMixes)
+{
+    EXPECT_EQ(ParseServiceMix("datacenter").shares.size(), 6u);
+    EXPECT_EQ(ParseServiceMix("frontend").shares.size(), 3u);
+}
+
+TEST(ServiceMixParser, WeightedList)
+{
+    const ServiceMix mix = ParseServiceMix("web:200, cache:200, newsfeed:40");
+    ASSERT_EQ(mix.shares.size(), 3u);
+    EXPECT_EQ(mix.shares[0].service, workload::ServiceType::kWeb);
+    EXPECT_DOUBLE_EQ(mix.shares[0].weight, 200.0);
+    EXPECT_EQ(mix.shares[2].service, workload::ServiceType::kNewsfeed);
+}
+
+TEST(ServiceMixParser, UnweightedDefaultsToOne)
+{
+    const ServiceMix mix = ParseServiceMix("hadoop");
+    ASSERT_EQ(mix.shares.size(), 1u);
+    EXPECT_DOUBLE_EQ(mix.shares[0].weight, 1.0);
+}
+
+TEST(ServiceMixParser, UnknownServiceFails)
+{
+    EXPECT_THROW(ParseServiceMix("webscale:3"), std::invalid_argument);
+    EXPECT_THROW(ParseServiceMix(""), std::runtime_error);
+}
+
+TEST(ReportCollector, SummarizesARun)
+{
+    FleetSpec spec = ParseFleetSpecString(R"(
+        scope = rpp
+        servers_per_rpp = 40
+        mix = web
+        diurnal_amplitude = 0
+        seed = 23
+    )");
+    Fleet fleet(spec);
+    ReportCollector collector(fleet);
+    fleet.RunFor(Minutes(10));
+    const FleetReport report = collector.Finish();
+
+    EXPECT_EQ(report.end - report.start, Minutes(10));
+    EXPECT_GT(report.peak_power, 0.0);
+    EXPECT_GE(report.peak_power, report.mean_power);
+    EXPECT_NEAR(report.energy_kwh,
+                report.mean_power / 1000.0 * (10.0 / 60.0), 0.01);
+    EXPECT_EQ(report.outages, 0u);
+    EXPECT_GT(report.demanded_work, 0.0);
+    EXPECT_NEAR(report.delivered_work, report.demanded_work,
+                report.demanded_work * 0.02);
+    ASSERT_EQ(report.services.size(), 1u);
+    EXPECT_EQ(report.services[0].service, workload::ServiceType::kWeb);
+    EXPECT_EQ(report.services[0].servers, 40u);
+
+    const std::string text = report.ToString();
+    EXPECT_NE(text.find("fleet report"), std::string::npos);
+    EXPECT_NE(text.find("web: 40 servers"), std::string::npos);
+}
+
+TEST(ReportCollector, CapturesCappingActivity)
+{
+    FleetSpec spec = ParseFleetSpecString(R"(
+        scope = rpp
+        rpp_rated_kw = 7
+        servers_per_rpp = 40
+        mix = web
+        diurnal_amplitude = 0
+        seed = 23
+    )");
+    Fleet fleet(spec);
+    ReportCollector collector(fleet);
+    fleet.RunFor(Minutes(10));
+    const FleetReport report = collector.Finish();
+    EXPECT_GE(report.cap_starts, 1u);
+    EXPECT_GT(report.WorkLossPercent(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

@@ -1,0 +1,183 @@
+// Unit and property tests for the breaker trip model against the
+// paper's Fig. 3 envelope.
+#include "power/breaker.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace dynamo::power {
+namespace {
+
+TEST(BreakerCurve, NoTripAtOrBelowRating)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    EXPECT_TRUE(std::isinf(curve.TripTimeSeconds(1.0)));
+    EXPECT_TRUE(std::isinf(curve.TripTimeSeconds(0.5)));
+}
+
+TEST(BreakerCurve, RppSustains10PercentFor17Minutes)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    EXPECT_NEAR(curve.TripTimeSeconds(1.10), 17.0 * 60.0, 5.0 * 60.0);
+}
+
+TEST(BreakerCurve, RppSustains40PercentForAboutAMinute)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    EXPECT_NEAR(curve.TripTimeSeconds(1.40), 60.0, 20.0);
+}
+
+TEST(BreakerCurve, MsbTripsOn5PercentInAboutTwoMinutes)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kMsb);
+    EXPECT_NEAR(curve.TripTimeSeconds(1.05), 120.0, 30.0);
+}
+
+TEST(BreakerCurve, MsbSustains15PercentForAboutAMinute)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kMsb);
+    EXPECT_NEAR(curve.TripTimeSeconds(1.15), 60.0, 15.0);
+}
+
+TEST(BreakerCurve, LowerLevelsTolerateMoreOverdraw)
+{
+    // At 15% overdraw: Rack > RPP > SB > MSB in sustained time.
+    const double rack =
+        BreakerCurve::ForLevel(DeviceLevel::kRack).TripTimeSeconds(1.15);
+    const double rpp =
+        BreakerCurve::ForLevel(DeviceLevel::kRpp).TripTimeSeconds(1.15);
+    const double sb =
+        BreakerCurve::ForLevel(DeviceLevel::kSb).TripTimeSeconds(1.15);
+    const double msb =
+        BreakerCurve::ForLevel(DeviceLevel::kMsb).TripTimeSeconds(1.15);
+    EXPECT_GT(rack, rpp * 0.9);  // rack and RPP are close
+    EXPECT_GT(rpp, sb);
+    EXPECT_GT(sb, msb);
+}
+
+TEST(BreakerCurve, MinimumTripTimeFloorsHugeOverloads)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    EXPECT_GE(curve.TripTimeSeconds(10.0), curve.min_trip_s);
+}
+
+// Trip time must be non-increasing in overdraw for every device class.
+class BreakerMonotoneTest : public ::testing::TestWithParam<DeviceLevel>
+{
+};
+
+TEST_P(BreakerMonotoneTest, TripTimeMonotoneInOverdraw)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(GetParam());
+    double prev = curve.TripTimeSeconds(1.01);
+    for (double r = 1.02; r <= 2.0; r += 0.01) {
+        const double t = curve.TripTimeSeconds(r);
+        EXPECT_LE(t, prev + 1e-9) << "ratio=" << r;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, BreakerMonotoneTest,
+                         ::testing::Values(DeviceLevel::kRack, DeviceLevel::kRpp,
+                                           DeviceLevel::kSb, DeviceLevel::kMsb));
+
+TEST(BreakerModel, NoTripUnderRatedDraw)
+{
+    BreakerModel breaker(1000.0, BreakerCurve::ForLevel(DeviceLevel::kRpp));
+    for (int i = 0; i < 3600; ++i) breaker.Advance(999.0, Seconds(1));
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_EQ(breaker.stress(), 0.0);
+}
+
+TEST(BreakerModel, TripsOnSchedule)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    BreakerModel breaker(1000.0, curve);
+    const double expected_s = curve.TripTimeSeconds(1.4);
+    SimTime elapsed = 0;
+    while (!breaker.tripped() && elapsed < Minutes(30)) {
+        breaker.Advance(1400.0, Seconds(1));
+        elapsed += Seconds(1);
+    }
+    EXPECT_TRUE(breaker.tripped());
+    EXPECT_NEAR(ToSeconds(elapsed), expected_s, 2.0);
+    EXPECT_GE(breaker.trip_time(), 0);
+}
+
+TEST(BreakerModel, ShortSpikesSeparatedByCoolingDoNotTrip)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    BreakerModel breaker(1000.0, curve, /*cooling_tau_s=*/30.0);
+    // 10 s spikes at 1.4x (trip time ~60 s) separated by 5 min of
+    // normal draw: stress decays between spikes, so no trip.
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        for (int i = 0; i < 10; ++i) breaker.Advance(1400.0, Seconds(1));
+        for (int i = 0; i < 300; ++i) breaker.Advance(800.0, Seconds(1));
+    }
+    EXPECT_FALSE(breaker.tripped());
+}
+
+TEST(BreakerModel, BackToBackSpikesAccumulate)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kRpp);
+    BreakerModel breaker(1000.0, curve, /*cooling_tau_s=*/1e9);
+    // Without cooling, 7 x 10 s spikes at 1.4x exceed the ~60 s budget.
+    for (int cycle = 0; cycle < 7; ++cycle) {
+        for (int i = 0; i < 10 && !breaker.tripped(); ++i) {
+            breaker.Advance(1400.0, Seconds(1));
+        }
+        breaker.Advance(800.0, 1);  // negligible cooling time
+    }
+    EXPECT_TRUE(breaker.tripped());
+}
+
+TEST(BreakerModel, TrippedStateLatchesUntilReset)
+{
+    BreakerModel breaker(100.0, BreakerCurve{0.001, 1.0, 0.001});
+    breaker.Advance(200.0, Seconds(10));
+    ASSERT_TRUE(breaker.tripped());
+    breaker.Advance(50.0, Seconds(1000));
+    EXPECT_TRUE(breaker.tripped());
+    breaker.Reset();
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_EQ(breaker.stress(), 0.0);
+}
+
+TEST(BreakerModel, StressGrowsUnderOverdraw)
+{
+    BreakerModel breaker(1000.0, BreakerCurve::ForLevel(DeviceLevel::kSb));
+    breaker.Advance(1200.0, Seconds(5));
+    const double s1 = breaker.stress();
+    breaker.Advance(1200.0, Seconds(5));
+    EXPECT_GT(breaker.stress(), s1);
+    EXPECT_GT(s1, 0.0);
+}
+
+TEST(BreakerModel, HigherOverdrawTripsFaster)
+{
+    const BreakerCurve curve = BreakerCurve::ForLevel(DeviceLevel::kSb);
+    auto trip_after = [&](Watts draw) {
+        BreakerModel b(1000.0, curve);
+        SimTime t = 0;
+        while (!b.tripped() && t < Hours(1)) {
+            b.Advance(draw, Seconds(1));
+            t += Seconds(1);
+        }
+        return t;
+    };
+    EXPECT_LT(trip_after(1600.0), trip_after(1200.0));
+}
+
+TEST(DeviceLevelName, AllNamed)
+{
+    EXPECT_STREQ(DeviceLevelName(DeviceLevel::kRack), "Rack");
+    EXPECT_STREQ(DeviceLevelName(DeviceLevel::kRpp), "RPP");
+    EXPECT_STREQ(DeviceLevelName(DeviceLevel::kSb), "SB");
+    EXPECT_STREQ(DeviceLevelName(DeviceLevel::kMsb), "MSB");
+}
+
+}  // namespace
+}  // namespace dynamo::power

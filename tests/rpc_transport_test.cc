@@ -1,0 +1,212 @@
+// Unit tests for the simulated RPC transport: delivery, latency,
+// failure injection, timeouts, crash-while-in-flight semantics.
+#include "rpc/transport.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynamo::rpc {
+namespace {
+
+struct Echo
+{
+    int value;
+};
+
+class TransportTest : public ::testing::Test
+{
+  protected:
+    sim::Simulation sim_;
+    SimTransport transport_{sim_, 42};
+};
+
+TEST_F(TransportTest, DeliversRequestAndResponse)
+{
+    transport_.Register("svc", [](const Payload& req) {
+        return Echo{std::any_cast<Echo>(req).value * 2};
+    });
+    int result = 0;
+    transport_.Call(
+        "svc", Echo{21},
+        [&](const Payload& resp) { result = std::any_cast<Echo>(resp).value; },
+        [&](const std::string&) { FAIL() << "unexpected error"; });
+    sim_.RunUntil(1000);
+    EXPECT_EQ(result, 42);
+}
+
+TEST_F(TransportTest, ResponseArrivesLater)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    SimTime response_time = -1;
+    transport_.Call(
+        "svc", Echo{0},
+        [&](const Payload&) { response_time = sim_.Now(); },
+        [](const std::string&) {});
+    EXPECT_EQ(response_time, -1);  // asynchronous
+    sim_.RunUntil(1000);
+    EXPECT_GT(response_time, 0);
+}
+
+TEST_F(TransportTest, UnregisteredEndpointFails)
+{
+    std::string reason;
+    transport_.Call(
+        "missing", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string& r) { reason = r; });
+    sim_.RunUntil(1000);
+    EXPECT_EQ(reason, "connection failed");
+    EXPECT_EQ(transport_.calls_failed(), 1u);
+}
+
+TEST_F(TransportTest, UnregisterStopsService)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    EXPECT_TRUE(transport_.IsRegistered("svc"));
+    transport_.Unregister("svc");
+    EXPECT_FALSE(transport_.IsRegistered("svc"));
+    bool failed = false;
+    transport_.Call(
+        "svc", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string&) { failed = true; });
+    sim_.RunUntil(1000);
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(TransportTest, CrashWhileInFlightYieldsTimeout)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    std::string reason;
+    transport_.Call(
+        "svc", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string& r) { reason = r; }, /*timeout_ms=*/100);
+    // Unregister before the request latency elapses: the request is
+    // dropped on the floor and the caller learns only via timeout.
+    transport_.Unregister("svc");
+    sim_.RunUntil(1000);
+    EXPECT_EQ(reason, "timeout");
+}
+
+TEST_F(TransportTest, EndpointDownAlwaysFails)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetEndpointDown("svc", true);
+    int errors = 0;
+    for (int i = 0; i < 10; ++i) {
+        transport_.Call(
+            "svc", Echo{0}, [](const Payload&) { FAIL(); },
+            [&](const std::string&) { ++errors; });
+    }
+    sim_.RunUntil(10000);
+    EXPECT_EQ(errors, 10);
+
+    transport_.failures().SetEndpointDown("svc", false);
+    bool ok = false;
+    transport_.Call(
+        "svc", Echo{0}, [&](const Payload&) { ok = true; },
+        [](const std::string&) {});
+    sim_.RunUntil(20000);
+    EXPECT_TRUE(ok);
+}
+
+TEST_F(TransportTest, FailureProbabilityRoughlyRespected)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetEndpointFailureProbability("svc", 0.5);
+    int ok = 0;
+    int err = 0;
+    for (int i = 0; i < 400; ++i) {
+        transport_.Call(
+            "svc", Echo{0}, [&](const Payload&) { ++ok; },
+            [&](const std::string&) { ++err; }, /*timeout_ms=*/50);
+        sim_.RunFor(100);
+    }
+    EXPECT_GT(ok, 120);
+    EXPECT_GT(err, 120);
+    EXPECT_EQ(ok + err, 400);
+}
+
+TEST_F(TransportTest, DefaultFailureProbabilityAppliesToAll)
+{
+    transport_.Register("a", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetDefaultFailureProbability(1.0);
+    bool failed = false;
+    transport_.Call(
+        "a", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string&) { failed = true; }, /*timeout_ms=*/50);
+    sim_.RunUntil(1000);
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(TransportTest, PerEndpointOverrideBeatsDefault)
+{
+    transport_.Register("a", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetDefaultFailureProbability(1.0);
+    transport_.failures().SetEndpointFailureProbability("a", 0.0);
+    bool ok = false;
+    transport_.Call(
+        "a", Echo{0}, [&](const Payload&) { ok = true; },
+        [](const std::string&) { FAIL(); });
+    sim_.RunUntil(1000);
+    EXPECT_TRUE(ok);
+
+    // Clearing the override restores the default.
+    transport_.failures().ClearEndpointFailureProbability("a");
+    bool failed = false;
+    transport_.Call(
+        "a", Echo{0}, [](const Payload&) {},
+        [&](const std::string&) { failed = true; }, /*timeout_ms=*/50);
+    sim_.RunUntil(2000);
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(TransportTest, ExactlyOneContinuationPerCall)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    int continuations = 0;
+    for (int i = 0; i < 100; ++i) {
+        transport_.Call(
+            "svc", Echo{0}, [&](const Payload&) { ++continuations; },
+            [&](const std::string&) { ++continuations; }, /*timeout_ms=*/5);
+        // Tiny timeout races the response path; either way exactly one
+        // continuation must fire.
+    }
+    sim_.RunUntil(10000);
+    EXPECT_EQ(continuations, 100);
+    EXPECT_EQ(transport_.calls_issued(), 100u);
+    EXPECT_EQ(transport_.calls_succeeded() + transport_.calls_failed(), 100u);
+}
+
+TEST_F(TransportTest, HandlerReregistrationReplaces)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    transport_.Register("svc", [](const Payload&) { return Echo{2}; });
+    int value = 0;
+    transport_.Call(
+        "svc", Echo{0},
+        [&](const Payload& resp) { value = std::any_cast<Echo>(resp).value; },
+        [](const std::string&) {});
+    sim_.RunUntil(1000);
+    EXPECT_EQ(value, 2);
+}
+
+TEST(LatencyModel, SampleWithinBounds)
+{
+    Rng rng(1);
+    LatencyModel model{10, 5};
+    for (int i = 0; i < 1000; ++i) {
+        const SimTime l = model.Sample(rng);
+        EXPECT_GE(l, 10);
+        EXPECT_LE(l, 15);
+    }
+}
+
+TEST(LatencyModel, ZeroJitterIsConstant)
+{
+    Rng rng(1);
+    LatencyModel model{7, 0};
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(model.Sample(rng), 7);
+}
+
+}  // namespace
+}  // namespace dynamo::rpc

@@ -1,0 +1,101 @@
+// Generation x service behavior matrix: basic physical sanity for
+// every combination the fleet builder can produce, as a parameterized
+// sweep.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "server/sim_server.h"
+#include "workload/load_process.h"
+
+namespace dynamo::server {
+namespace {
+
+using MatrixParam = std::tuple<ServerGeneration, workload::ServiceType, bool>;
+
+class ServerMatrixTest : public ::testing::TestWithParam<MatrixParam>
+{
+  protected:
+    SimServer MakeServer() const
+    {
+        SimServer::Config config;
+        config.name = "m";
+        config.generation = std::get<0>(GetParam());
+        config.service = std::get<1>(GetParam());
+        config.turbo_enabled = std::get<2>(GetParam());
+        config.seed = 4242;
+        return SimServer(
+            config, workload::LoadProcessParams::For(config.service));
+    }
+};
+
+TEST_P(ServerMatrixTest, PowerStaysWithinPhysicalEnvelope)
+{
+    SimServer srv = MakeServer();
+    const Watts floor = srv.spec().idle * 0.9;  // sensor noise margin
+    const Watts ceiling = srv.spec().TurboPeak() * 1.01;
+    for (SimTime t = 0; t < Hours(2); t += Seconds(3)) {
+        const Watts p = srv.PowerAt(t);
+        EXPECT_GE(p, floor) << "t=" << t;
+        EXPECT_LE(p, ceiling) << "t=" << t;
+    }
+}
+
+TEST_P(ServerMatrixTest, WorkAccumulatesMonotonically)
+{
+    SimServer srv = MakeServer();
+    double last_demanded = 0.0;
+    double last_delivered = 0.0;
+    for (SimTime t = Seconds(30); t <= Minutes(30); t += Seconds(30)) {
+        srv.PowerAt(t);
+        EXPECT_GE(srv.demanded_work(), last_demanded);
+        EXPECT_GE(srv.delivered_work(), last_delivered);
+        EXPECT_LE(srv.delivered_work(), srv.demanded_work() + 1e-9);
+        last_demanded = srv.demanded_work();
+        last_delivered = srv.delivered_work();
+    }
+}
+
+TEST_P(ServerMatrixTest, CapAndUncapRoundTrip)
+{
+    SimServer srv = MakeServer();
+    const Watts before = srv.PowerAt(Minutes(1));
+    const Watts cap = std::max(srv.spec().idle + 10.0, before - 40.0);
+    srv.SetPowerLimit(cap, Minutes(1));
+    EXPECT_TRUE(srv.capped());
+    const Watts capped_power = srv.PowerAt(Minutes(1) + Seconds(4));
+    EXPECT_LE(capped_power, cap + 5.0);
+    srv.ClearPowerLimit(Minutes(2));
+    EXPECT_FALSE(srv.capped());
+    // Power recovers toward the (stochastic) demand.
+    const Watts after = srv.PowerAt(Minutes(2) + Seconds(4));
+    EXPECT_GE(after, capped_power - 5.0);
+}
+
+TEST_P(ServerMatrixTest, BreakdownAlwaysSumsToTotal)
+{
+    SimServer srv = MakeServer();
+    for (SimTime t = Seconds(10); t <= Minutes(5); t += Minutes(1)) {
+        const Watts total = srv.PowerAt(t);
+        const SimServer::Breakdown bd = srv.BreakdownAt(t);
+        EXPECT_NEAR(bd.cpu + bd.memory + bd.other + bd.conversion_loss, total,
+                    1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ServerMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(ServerGeneration::kWestmere2011,
+                          ServerGeneration::kHaswell2015),
+        ::testing::Values(workload::ServiceType::kWeb,
+                          workload::ServiceType::kCache,
+                          workload::ServiceType::kHadoop,
+                          workload::ServiceType::kDatabase,
+                          workload::ServiceType::kNewsfeed,
+                          workload::ServiceType::kF4Storage),
+        ::testing::Bool()));
+
+}  // namespace
+}  // namespace dynamo::server

@@ -1,0 +1,149 @@
+// Tests for the platform-specific RAPL access layer: quantization,
+// actuation delay, and generation defaults.
+#include "server/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "server/sim_server.h"
+
+namespace dynamo::server {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+TEST(PlatformSpec, MsrIsImmediateAndFineGrained)
+{
+    const PlatformSpec msr = PlatformSpec::For(RaplAccess::kMsr);
+    EXPECT_EQ(msr.actuation_delay_ms, 0);
+    EXPECT_DOUBLE_EQ(msr.limit_quantum, 0.125);
+    EXPECT_DOUBLE_EQ(msr.Quantize(200.05), 200.0);
+    EXPECT_DOUBLE_EQ(msr.Quantize(200.1), 200.125);
+}
+
+TEST(PlatformSpec, IpmiIsDelayedAndCoarse)
+{
+    const PlatformSpec ipmi = PlatformSpec::For(RaplAccess::kIpmiNodeManager);
+    EXPECT_GT(ipmi.actuation_delay_ms, 0);
+    EXPECT_DOUBLE_EQ(ipmi.limit_quantum, 1.0);
+    EXPECT_DOUBLE_EQ(ipmi.Quantize(200.4), 200.0);
+    EXPECT_DOUBLE_EQ(ipmi.Quantize(200.6), 201.0);
+}
+
+TEST(PlatformSpec, Names)
+{
+    EXPECT_STREQ(RaplAccessName(RaplAccess::kMsr), "msr");
+    EXPECT_STREQ(RaplAccessName(RaplAccess::kIpmiNodeManager), "ipmi-nm");
+}
+
+TEST(Platform, GenerationDefaults)
+{
+    SimServer::Config w;
+    w.name = "w";
+    w.generation = ServerGeneration::kWestmere2011;
+    w.seed = 1;
+    SimServer westmere(w, SteadyLoad(0.5));
+    EXPECT_EQ(westmere.platform().access, RaplAccess::kMsr);
+
+    SimServer::Config h;
+    h.name = "h";
+    h.generation = ServerGeneration::kHaswell2015;
+    h.seed = 1;
+    SimServer haswell(h, SteadyLoad(0.5));
+    EXPECT_EQ(haswell.platform().access, RaplAccess::kIpmiNodeManager);
+}
+
+TEST(Platform, ExplicitAccessOverridesDefault)
+{
+    SimServer::Config config;
+    config.name = "h";
+    config.generation = ServerGeneration::kHaswell2015;
+    config.rapl_access = RaplAccess::kMsr;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.5));
+    EXPECT_EQ(srv.platform().access, RaplAccess::kMsr);
+}
+
+TEST(Platform, IpmiCapQuantizesToWholeWatts)
+{
+    SimServer::Config config;
+    config.name = "h";
+    config.generation = ServerGeneration::kHaswell2015;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.8));
+    srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(180.4, Seconds(10));
+    EXPECT_TRUE(srv.capped());
+    EXPECT_DOUBLE_EQ(srv.power_limit(), 180.0);
+}
+
+TEST(Platform, IpmiActuationDelayHoldsPowerBriefly)
+{
+    SimServer::Config config;
+    config.name = "h";
+    config.generation = ServerGeneration::kHaswell2015;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.8));
+    const Watts before = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(before - 60.0, Seconds(10));
+    // Capped state is reported immediately (command accepted) ...
+    EXPECT_TRUE(srv.capped());
+    // ... but within the BMC round-trip the power is unchanged.
+    EXPECT_NEAR(srv.PowerAt(Seconds(10) + 100), before, 1.0);
+    // After the delay plus settling, the cap is in force.
+    EXPECT_NEAR(srv.PowerAt(Seconds(14)), before - 60.0, 3.0);
+}
+
+TEST(Platform, MsrCapActsWithoutDelay)
+{
+    SimServer::Config config;
+    config.name = "w";
+    config.generation = ServerGeneration::kWestmere2011;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.8));
+    const Watts before = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(before - 40.0, Seconds(10));
+    // 300 ms later an MSR-driven cap is already visibly biting.
+    EXPECT_LT(srv.PowerAt(Seconds(10) + 300), before - 10.0);
+}
+
+TEST(Platform, DelayedUncapRestoresPower)
+{
+    SimServer::Config config;
+    config.name = "h";
+    config.generation = ServerGeneration::kHaswell2015;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.8));
+    const Watts before = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(before - 60.0, Seconds(10));
+    srv.PowerAt(Seconds(15));
+    srv.ClearPowerLimit(Seconds(15));
+    EXPECT_FALSE(srv.capped());
+    EXPECT_NEAR(srv.PowerAt(Seconds(20)), before, 3.0);
+}
+
+TEST(Platform, NewerCommandSupersedesPending)
+{
+    SimServer::Config config;
+    config.name = "h";
+    config.generation = ServerGeneration::kHaswell2015;
+    config.seed = 1;
+    SimServer srv(config, SteadyLoad(0.8));
+    const Watts before = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(before - 60.0, Seconds(10));
+    // Uncap issued while the cap is still in the BMC pipeline.
+    srv.ClearPowerLimit(Seconds(10) + 100);
+    EXPECT_FALSE(srv.capped());
+    EXPECT_NEAR(srv.PowerAt(Seconds(15)), before, 3.0);
+}
+
+}  // namespace
+}  // namespace dynamo::server

@@ -1,0 +1,104 @@
+// Tests for the Fig. 1 server power curves and Turbo Boost scaling.
+#include "server/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamo::server {
+namespace {
+
+TEST(PowerModel, IdleAndPeakEndpoints)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(spec, 0.0), spec.idle);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(spec, 1.0), spec.peak);
+}
+
+TEST(PowerModel, Fig1PeakPowerNearlyDoubledAcrossGenerations)
+{
+    const ServerPowerSpec w2011 =
+        ServerPowerSpec::For(ServerGeneration::kWestmere2011);
+    const ServerPowerSpec h2015 =
+        ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_NEAR(w2011.peak, 200.0, 10.0);
+    EXPECT_NEAR(h2015.peak, 350.0, 10.0);
+    EXPECT_GT(h2015.peak / w2011.peak, 1.6);
+}
+
+TEST(PowerModel, UtilClamped)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(spec, -0.5), spec.idle);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(spec, 1.5), spec.peak);
+}
+
+TEST(PowerModel, TurboRaisesDynamicPowerOnly)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(spec, 0.0, /*turbo=*/true), spec.idle);
+    const Watts normal = PowerAtUtil(spec, 1.0, false);
+    const Watts turbo = PowerAtUtil(spec, 1.0, true);
+    EXPECT_NEAR(turbo - spec.idle, (normal - spec.idle) * spec.turbo_power_mult,
+                1e-9);
+    EXPECT_DOUBLE_EQ(turbo, spec.TurboPeak());
+}
+
+TEST(PowerModel, TurboPeakAboutTwentyPercentMoreDynamicPower)
+{
+    // Section IV-B: Turbo Boost raises Hadoop server power ~20 %.
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_NEAR(spec.turbo_power_mult, 1.20, 0.03);
+    EXPECT_NEAR(spec.turbo_perf_mult, 1.13, 0.03);
+}
+
+TEST(PowerModel, GenerationNames)
+{
+    EXPECT_STREQ(GenerationName(ServerGeneration::kWestmere2011), "westmere2011");
+    EXPECT_STREQ(GenerationName(ServerGeneration::kHaswell2015), "haswell2015");
+}
+
+class PowerCurveTest : public ::testing::TestWithParam<ServerGeneration>
+{
+};
+
+TEST_P(PowerCurveTest, StrictlyIncreasingInUtil)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(GetParam());
+    Watts prev = PowerAtUtil(spec, 0.0);
+    for (double u = 0.05; u <= 1.0; u += 0.05) {
+        const Watts p = PowerAtUtil(spec, u);
+        EXPECT_GT(p, prev) << "util=" << u;
+        prev = p;
+    }
+}
+
+TEST_P(PowerCurveTest, InverseRecoversUtil)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(GetParam());
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        const Watts p = PowerAtUtil(spec, u);
+        EXPECT_NEAR(UtilAtPower(spec, p), u, 1e-9) << "util=" << u;
+    }
+}
+
+TEST_P(PowerCurveTest, InverseClampsOutOfRangePower)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(GetParam());
+    EXPECT_DOUBLE_EQ(UtilAtPower(spec, spec.idle - 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(UtilAtPower(spec, spec.peak + 50.0), 1.0);
+}
+
+TEST_P(PowerCurveTest, InverseRecoversUtilWithTurbo)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(GetParam());
+    for (double u = 0.1; u <= 1.0; u += 0.3) {
+        const Watts p = PowerAtUtil(spec, u, /*turbo=*/true);
+        EXPECT_NEAR(UtilAtPower(spec, p, /*turbo=*/true), u, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generations, PowerCurveTest,
+                         ::testing::Values(ServerGeneration::kWestmere2011,
+                                           ServerGeneration::kHaswell2015));
+
+}  // namespace
+}  // namespace dynamo::server

@@ -1,0 +1,150 @@
+// Tests for RAPL settling dynamics (Fig. 9) and the sensor/estimator
+// measurement paths.
+#include "server/rapl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "server/sensor.h"
+
+namespace dynamo::server {
+namespace {
+
+TEST(Rapl, UncappedTracksDemand)
+{
+    RaplModel rapl(0.5);
+    EXPECT_DOUBLE_EQ(rapl.Apply(200.0, 0), 200.0);  // first call snaps
+    // After several seconds, tracks a new demand closely.
+    EXPECT_NEAR(rapl.Apply(250.0, Seconds(5)), 250.0, 1.0);
+}
+
+TEST(Rapl, CapTakesAboutTwoSecondsToSettle)
+{
+    // Fig. 9: a cap command issued at ~235 W with a 165 W target
+    // settles within about two seconds.
+    RaplModel rapl(0.5);
+    rapl.Apply(235.0, 0);
+    rapl.SetLimit(165.0);
+    const Watts after_half_s = rapl.Apply(235.0, 500);
+    EXPECT_GT(after_half_s, 180.0);  // not yet settled
+    const Watts after_two_s = rapl.Apply(235.0, Seconds(2));
+    EXPECT_NEAR(after_two_s, 165.0, 3.0);  // ~98 % settled
+}
+
+TEST(Rapl, UncapRecoversOverTwoSeconds)
+{
+    RaplModel rapl(0.5);
+    rapl.Apply(235.0, 0);
+    rapl.SetLimit(165.0);
+    rapl.Apply(235.0, Seconds(5));  // fully settled at the cap
+    rapl.ClearLimit();
+    const Watts mid = rapl.Apply(235.0, Seconds(5) + 500);
+    EXPECT_LT(mid, 220.0);  // still rising
+    const Watts recovered = rapl.Apply(235.0, Seconds(8));
+    EXPECT_NEAR(recovered, 235.0, 3.0);
+}
+
+TEST(Rapl, LimitAboveDemandHasNoEffect)
+{
+    RaplModel rapl(0.5);
+    rapl.Apply(150.0, 0);
+    rapl.SetLimit(300.0);
+    EXPECT_NEAR(rapl.Apply(150.0, Seconds(5)), 150.0, 0.5);
+}
+
+TEST(Rapl, MovingTheLimitMovesTheTarget)
+{
+    RaplModel rapl(0.5);
+    rapl.Apply(300.0, 0);
+    rapl.SetLimit(200.0);
+    rapl.Apply(300.0, Seconds(5));
+    rapl.SetLimit(150.0);
+    EXPECT_NEAR(rapl.Apply(300.0, Seconds(10)), 150.0, 2.0);
+}
+
+TEST(Rapl, HasLimitAndAccessors)
+{
+    RaplModel rapl;
+    EXPECT_FALSE(rapl.has_limit());
+    rapl.SetLimit(123.0);
+    EXPECT_TRUE(rapl.has_limit());
+    EXPECT_DOUBLE_EQ(rapl.limit(), 123.0);
+    rapl.ClearLimit();
+    EXPECT_FALSE(rapl.has_limit());
+}
+
+TEST(Rapl, RepeatedSameTimeReadsAreStable)
+{
+    RaplModel rapl(0.5);
+    rapl.Apply(200.0, 0);
+    rapl.SetLimit(150.0);
+    const Watts a = rapl.Apply(200.0, Seconds(1));
+    const Watts b = rapl.Apply(200.0, Seconds(1));
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Sensor, ReadingIsUnbiasedAndTight)
+{
+    PowerSensor sensor(0.005);
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += sensor.Read(200.0, rng);
+    EXPECT_NEAR(sum / n, 200.0, 0.5);
+}
+
+TEST(Sensor, NoiseScalesWithPower)
+{
+    PowerSensor sensor(0.01);
+    Rng rng(9);
+    double max_dev = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        max_dev = std::max(max_dev, std::abs(sensor.Read(100.0, rng) - 100.0));
+    }
+    EXPECT_LT(max_dev, 100.0 * 0.01 * 5.0);  // within 5 sigma
+    EXPECT_GT(max_dev, 0.0);
+}
+
+TEST(Estimator, TracksCalibratedCurve)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    PowerEstimator est(spec, /*bias_frac=*/0.0, /*noise_frac=*/0.0);
+    Rng rng(1);
+    EXPECT_NEAR(est.Estimate(0.5, rng), PowerAtUtil(spec, 0.5), 1e-9);
+}
+
+TEST(Estimator, BiasShiftsEstimate)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    PowerEstimator est(spec, /*bias_frac=*/0.10, /*noise_frac=*/0.0);
+    Rng rng(1);
+    EXPECT_NEAR(est.Estimate(0.5, rng), PowerAtUtil(spec, 0.5) * 1.10, 1e-9);
+}
+
+TEST(Estimator, TuneCorrectsBiasAgainstBreakerReference)
+{
+    // The paper's lesson: validate server power estimation against the
+    // (coarse) breaker reading and dynamically tune it.
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    PowerEstimator est(spec, /*bias_frac=*/0.20, /*noise_frac=*/0.0);
+    Rng rng(1);
+    const Watts truth = PowerAtUtil(spec, 0.5);
+    for (int i = 0; i < 10; ++i) {
+        const Watts estimate = est.Estimate(0.5, rng);
+        est.Tune(estimate, truth);
+    }
+    EXPECT_NEAR(est.Estimate(0.5, rng), truth, truth * 0.01);
+}
+
+TEST(Estimator, TuneIgnoresDegenerateInputs)
+{
+    const ServerPowerSpec spec = ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    PowerEstimator est(spec, 0.1, 0.0);
+    est.Tune(0.0, 100.0);
+    est.Tune(100.0, 0.0);
+    EXPECT_DOUBLE_EQ(est.bias_frac(), 0.1);
+}
+
+}  // namespace
+}  // namespace dynamo::server

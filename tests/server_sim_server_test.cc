@@ -1,0 +1,179 @@
+// Tests for the integrated simulated server: capping, outage
+// behaviour, work accounting, measurement paths.
+#include "server/sim_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "workload/traffic.h"
+
+namespace dynamo::server {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+SimServer::Config
+WebConfig(const std::string& name = "s0")
+{
+    SimServer::Config config;
+    config.name = name;
+    config.service = workload::ServiceType::kWeb;
+    config.seed = 5;
+    return config;
+}
+
+TEST(SimServer, SteadyUtilGivesModelPower)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.5));
+    const Watts p = srv.PowerAt(Seconds(10));
+    EXPECT_NEAR(p, PowerAtUtil(srv.spec(), 0.5), 1.0);
+    EXPECT_NEAR(srv.UtilAt(Seconds(10)), 0.5, 1e-9);
+}
+
+TEST(SimServer, CapReducesPowerWithinTwoSeconds)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.8));
+    srv.PowerAt(Seconds(10));
+    const Watts uncapped = srv.PowerAt(Seconds(10));
+    const Watts cap = uncapped - 50.0;
+    srv.SetPowerLimit(cap, Seconds(10));
+    EXPECT_TRUE(srv.capped());
+    EXPECT_NEAR(srv.PowerAt(Seconds(13)), cap, 2.0);
+}
+
+TEST(SimServer, UncapRestoresPower)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.8));
+    const Watts before = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(before - 60.0, Seconds(10));
+    srv.PowerAt(Seconds(15));
+    srv.ClearPowerLimit(Seconds(15));
+    EXPECT_FALSE(srv.capped());
+    EXPECT_NEAR(srv.PowerAt(Seconds(20)), before, 2.0);
+}
+
+TEST(SimServer, SlowdownGrowsWithCapDepth)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.8));
+    const Watts demand = srv.PowerAt(Seconds(10));
+    srv.SetPowerLimit(demand * 0.9, Seconds(10));
+    const double mild = srv.SlowdownPercentAt(Seconds(15));
+    srv.SetPowerLimit(demand * 0.6, Seconds(15));
+    const double deep = srv.SlowdownPercentAt(Seconds(25));
+    EXPECT_GT(mild, 0.0);
+    EXPECT_GT(deep, mild * 2.0);
+}
+
+TEST(SimServer, WorkAccountingLosesOnlyWhenCapped)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.6));
+    srv.PowerAt(Minutes(5));
+    const double demanded = srv.demanded_work();
+    const double delivered = srv.delivered_work();
+    EXPECT_GT(demanded, 0.0);
+    EXPECT_NEAR(delivered, demanded, demanded * 0.01);
+
+    const Watts p = srv.PowerAt(Minutes(5));
+    srv.SetPowerLimit(p * 0.7, Minutes(5));
+    srv.PowerAt(Minutes(10));
+    const double demanded2 = srv.demanded_work() - demanded;
+    const double delivered2 = srv.delivered_work() - delivered;
+    EXPECT_LT(delivered2, demanded2 * 0.95);
+}
+
+TEST(SimServer, TurboRaisesPowerAndWork)
+{
+    SimServer::Config config = WebConfig();
+    config.turbo_enabled = true;
+    SimServer turbo(config, SteadyLoad(0.9));
+    SimServer normal(WebConfig(), SteadyLoad(0.9));
+    const Watts pt = turbo.PowerAt(Minutes(1));
+    const Watts pn = normal.PowerAt(Minutes(1));
+    EXPECT_GT(pt, pn * 1.05);
+    EXPECT_GT(turbo.demanded_work(), normal.demanded_work() * 1.08);
+}
+
+TEST(SimServer, DarkServerDrawsNothingAndLosesWork)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.6));
+    srv.PowerAt(Minutes(1));
+    srv.OnPowerLost(Minutes(1));
+    EXPECT_TRUE(srv.dark());
+    EXPECT_DOUBLE_EQ(srv.PowerAt(Minutes(2)), 0.0);
+    const double delivered_before = srv.delivered_work();
+    srv.PowerAt(Minutes(5));
+    EXPECT_DOUBLE_EQ(srv.delivered_work(), delivered_before);
+    EXPECT_GT(srv.demanded_work(), 0.0);
+
+    srv.OnPowerRestored(Minutes(5));
+    EXPECT_FALSE(srv.dark());
+    EXPECT_GT(srv.PowerAt(Minutes(6)), 0.0);
+}
+
+TEST(SimServer, SensorReadTracksTruePower)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.5));
+    const Watts truth = srv.PowerAt(Seconds(30));
+    double sum = 0.0;
+    for (int i = 0; i < 100; ++i) sum += srv.SensorRead(Seconds(30));
+    EXPECT_NEAR(sum / 100.0, truth, truth * 0.01);
+}
+
+TEST(SimServer, EstimateReadIsCloseButNotExact)
+{
+    SimServer::Config config = WebConfig();
+    config.has_sensor = false;
+    SimServer srv(config, SteadyLoad(0.5));
+    const Watts truth = srv.PowerAt(Seconds(30));
+    const Watts estimate = srv.EstimateRead(Seconds(30));
+    EXPECT_NEAR(estimate, truth, truth * 0.25);
+}
+
+TEST(SimServer, BreakdownSumsToTotal)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.7));
+    const Watts total = srv.PowerAt(Seconds(10));
+    const SimServer::Breakdown bd = srv.BreakdownAt(Seconds(10));
+    EXPECT_NEAR(bd.cpu + bd.memory + bd.other + bd.conversion_loss, total, 1e-6);
+    EXPECT_GT(bd.cpu, 0.0);
+    EXPECT_GT(bd.conversion_loss, 0.0);
+}
+
+TEST(SimServer, TrafficModelModulatesLoad)
+{
+    workload::ConstantTraffic traffic(1.0);
+    SimServer srv(WebConfig(), SteadyLoad(0.4), &traffic);
+    const Watts base = srv.PowerAt(Minutes(1));
+    traffic.set_factor(1.5);
+    const Watts surged = srv.PowerAt(Minutes(2));
+    EXPECT_GT(surged, base * 1.1);
+}
+
+TEST(SimServer, BalancerFactorReducesLoad)
+{
+    SimServer srv(WebConfig(), SteadyLoad(0.6));
+    const Watts base = srv.PowerAt(Minutes(1));
+    srv.load().set_balancer_factor(0.5);
+    const Watts reduced = srv.PowerAt(Minutes(2));
+    EXPECT_LT(reduced, base * 0.85);
+}
+
+TEST(SimServer, CappableAndIdentity)
+{
+    SimServer srv(WebConfig("myname"), SteadyLoad(0.5));
+    EXPECT_TRUE(srv.Cappable());
+    EXPECT_EQ(srv.name(), "myname");
+    EXPECT_EQ(srv.service(), workload::ServiceType::kWeb);
+    EXPECT_TRUE(srv.has_sensor());
+}
+
+}  // namespace
+}  // namespace dynamo::server

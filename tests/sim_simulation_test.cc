@@ -1,0 +1,180 @@
+// Unit tests for the discrete-event kernel.
+#include "sim/simulation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynamo::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero)
+{
+    Simulation sim;
+    EXPECT_EQ(sim.Now(), 0);
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.ScheduleAt(30, [&]() { order.push_back(3); });
+    sim.ScheduleAt(10, [&]() { order.push_back(1); });
+    sim.ScheduleAt(20, [&]() { order.push_back(2); });
+    sim.RunUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SameTimestampFiresInScheduleOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.ScheduleAt(10, [&]() { order.push_back(1); });
+    sim.ScheduleAt(10, [&]() { order.push_back(2); });
+    sim.ScheduleAt(10, [&]() { order.push_back(3); });
+    sim.RunUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ClockAdvancesToEventTime)
+{
+    Simulation sim;
+    SimTime seen = -1;
+    sim.ScheduleAt(42, [&]() { seen = sim.Now(); });
+    sim.RunUntil(100);
+    EXPECT_EQ(seen, 42);
+    EXPECT_EQ(sim.Now(), 100);  // advanced to the deadline
+}
+
+TEST(Simulation, RunUntilDoesNotFireLaterEvents)
+{
+    Simulation sim;
+    bool fired = false;
+    sim.ScheduleAt(200, [&]() { fired = true; });
+    sim.RunUntil(100);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.RunUntil(200);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative)
+{
+    Simulation sim;
+    sim.ScheduleAt(50, []() {});
+    sim.RunUntil(50);
+    SimTime seen = -1;
+    sim.ScheduleAfter(25, [&]() { seen = sim.Now(); });
+    sim.RunUntil(100);
+    EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulation, NestedSchedulingWorks)
+{
+    Simulation sim;
+    std::vector<SimTime> times;
+    sim.ScheduleAt(10, [&]() {
+        times.push_back(sim.Now());
+        sim.ScheduleAfter(5, [&]() { times.push_back(sim.Now()); });
+    });
+    sim.RunUntil(100);
+    EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulation, CancelPreventsExecution)
+{
+    Simulation sim;
+    bool fired = false;
+    TaskHandle handle = sim.ScheduleAt(10, [&]() { fired = true; });
+    EXPECT_TRUE(handle.active());
+    handle.Cancel();
+    EXPECT_FALSE(handle.active());
+    sim.RunUntil(100);
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, PeriodicFiresAtPeriod)
+{
+    Simulation sim;
+    std::vector<SimTime> times;
+    sim.SchedulePeriodic(10, [&]() { times.push_back(sim.Now()); });
+    sim.RunUntil(35);
+    EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Simulation, PeriodicInitialDelay)
+{
+    Simulation sim;
+    std::vector<SimTime> times;
+    sim.SchedulePeriodic(10, [&]() { times.push_back(sim.Now()); },
+                         /*initial_delay=*/3);
+    sim.RunUntil(25);
+    EXPECT_EQ(times, (std::vector<SimTime>{3, 13, 23}));
+}
+
+TEST(Simulation, PeriodicCancelStopsFutureFirings)
+{
+    Simulation sim;
+    int count = 0;
+    TaskHandle handle = sim.SchedulePeriodic(10, [&]() { ++count; });
+    sim.RunUntil(25);
+    EXPECT_EQ(count, 2);
+    handle.Cancel();
+    sim.RunUntil(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, PeriodicCancelFromInsideCallback)
+{
+    Simulation sim;
+    int count = 0;
+    TaskHandle handle;
+    handle = sim.SchedulePeriodic(10, [&]() {
+        ++count;
+        if (count == 3) handle.Cancel();
+    });
+    sim.RunUntil(1000);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, EventsExecutedCounts)
+{
+    Simulation sim;
+    sim.ScheduleAt(1, []() {});
+    sim.ScheduleAt(2, []() {});
+    sim.RunUntil(10);
+    EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulation, RunAllDrainsQueue)
+{
+    Simulation sim;
+    int count = 0;
+    sim.ScheduleAt(10, [&]() { ++count; });
+    sim.ScheduleAt(1000000, [&]() { ++count; });
+    sim.RunAll();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, ManyEventsStressOrdering)
+{
+    Simulation sim;
+    SimTime last = -1;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        // Deterministic scatter of times.
+        const SimTime t = (i * 7919) % 5000;
+        sim.ScheduleAt(t, [&, t]() {
+            if (t < last) monotone = false;
+            last = t;
+        });
+    }
+    sim.RunUntil(5000);
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace dynamo::sim

@@ -1,0 +1,116 @@
+// Tests for CSV/gnuplot export and controller status snapshots.
+#include "telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+
+namespace dynamo::telemetry {
+namespace {
+
+TimeSeries
+MakeSeries(std::initializer_list<Sample> samples)
+{
+    TimeSeries series;
+    for (const Sample& s : samples) series.Add(s.time, s.value);
+    return series;
+}
+
+TEST(ExportCsv, SingleSeries)
+{
+    const TimeSeries a = MakeSeries({{0, 1.0}, {1000, 2.0}});
+    std::ostringstream out;
+    WriteCsv(out, {{"power", &a}});
+    EXPECT_EQ(out.str(), "time_s,power\n0,1\n1,2\n");
+}
+
+TEST(ExportCsv, AlignsSecondSeriesToAnchorTimes)
+{
+    const TimeSeries a = MakeSeries({{0, 1.0}, {1000, 2.0}, {2000, 3.0}});
+    const TimeSeries b = MakeSeries({{500, 10.0}, {1500, 20.0}});
+    std::ostringstream out;
+    WriteCsv(out, {{"a", &a}, {"b", &b}});
+    // b has no sample at t=0 (empty cell), then holds its latest value.
+    EXPECT_EQ(out.str(), "time_s,a,b\n0,1,\n1,2,10\n2,3,20\n");
+}
+
+TEST(ExportCsv, EmptyColumnsThrow)
+{
+    std::ostringstream out;
+    EXPECT_THROW(WriteCsv(out, {}), std::invalid_argument);
+}
+
+TEST(ExportCsv, FileWriteAndUnwritablePath)
+{
+    const TimeSeries a = MakeSeries({{0, 1.0}});
+    const std::string path = ::testing::TempDir() + "/dynamo_export_test.csv";
+    WriteCsvFile(path, {{"x", &a}});
+    std::ifstream check(path);
+    std::string header;
+    std::getline(check, header);
+    EXPECT_EQ(header, "time_s,x");
+    std::remove(path.c_str());
+    EXPECT_THROW(WriteCsvFile("/nonexistent/dir/x.csv", {{"x", &a}}),
+                 std::runtime_error);
+}
+
+TEST(ExportGnuplot, IndexBlocksPerSeries)
+{
+    const TimeSeries a = MakeSeries({{0, 1.0}});
+    const TimeSeries b = MakeSeries({{1000, 2.0}});
+    std::ostringstream out;
+    WriteGnuplot(out, {{"first", &a}, {"second", &b}});
+    EXPECT_EQ(out.str(), "# first\n0 1\n\n\n# second\n1 2\n");
+}
+
+TEST(ControllerStatus, SnapshotAndLine)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.topology.rpp_rated = 7000.0;  // force capping
+    spec.servers_per_rpp = 40;
+    spec.mix = fleet::ServiceMix::Single(workload::ServiceType::kWeb);
+    spec.diurnal_amplitude = 0.0;
+    spec.seed = 23;
+    fleet::Fleet fleet(spec);
+    fleet.RunFor(Minutes(2));
+
+    const auto& leaf = *fleet.dynamo()->leaf_controllers()[0];
+    const auto status = leaf.GetStatus();
+    EXPECT_EQ(status.endpoint, "ctl:rpp0");
+    EXPECT_TRUE(status.active);
+    EXPECT_TRUE(status.last_valid);
+    EXPECT_TRUE(status.capping);
+    EXPECT_GT(status.controlled, 0u);
+    EXPECT_DOUBLE_EQ(status.physical_limit, 7000.0);
+    EXPECT_GT(status.last_power, 0.0);
+    EXPECT_FALSE(status.contractual_limit.has_value());
+
+    const std::string line = leaf.StatusLine();
+    EXPECT_NE(line.find("ctl:rpp0"), std::string::npos);
+    EXPECT_NE(line.find("[active]"), std::string::npos);
+    EXPECT_NE(line.find("CAPPING"), std::string::npos);
+}
+
+TEST(ControllerStatus, StandbyAndContractRendering)
+{
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kRpp;
+    spec.servers_per_rpp = 10;
+    spec.seed = 23;
+    fleet::Fleet fleet(spec);
+    auto& leaf = *fleet.dynamo()->leaf_controllers()[0];
+    fleet.RunFor(Seconds(10));
+    leaf.SetContractualLimit(50000.0);
+    EXPECT_NE(leaf.StatusLine().find("contract 50000W"), std::string::npos);
+    leaf.Deactivate();
+    EXPECT_NE(leaf.StatusLine().find("[standby]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynamo::telemetry

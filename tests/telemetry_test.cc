@@ -1,0 +1,227 @@
+// Tests for time series, variation analysis, recorder, and event log.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+#include "telemetry/recorder.h"
+#include "telemetry/timeseries.h"
+#include "telemetry/variation.h"
+
+namespace dynamo::telemetry {
+namespace {
+
+TEST(TimeSeries, BasicAccessors)
+{
+    TimeSeries series;
+    EXPECT_TRUE(series.empty());
+    series.Add(0, 1.0);
+    series.Add(10, 3.0);
+    series.Add(20, 2.0);
+    EXPECT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series.Min(), 1.0);
+    EXPECT_DOUBLE_EQ(series.Max(), 3.0);
+    EXPECT_DOUBLE_EQ(series.MeanValue(), 2.0);
+    EXPECT_EQ(series.StartTime(), 0);
+    EXPECT_EQ(series.EndTime(), 20);
+}
+
+TEST(TimeSeries, ValuesBetweenIsHalfOpen)
+{
+    TimeSeries series;
+    for (SimTime t = 0; t < 100; t += 10) series.Add(t, static_cast<double>(t));
+    const std::vector<double> v = series.ValuesBetween(20, 50);
+    EXPECT_EQ(v, (std::vector<double>{20.0, 30.0, 40.0}));
+}
+
+TEST(TimeSeries, PeakHoursMeanUsesTopFraction)
+{
+    TimeSeries series;
+    // 75 samples at 100, 25 samples at 200: top quartile mean = 200.
+    for (int i = 0; i < 75; ++i) series.Add(i, 100.0);
+    for (int i = 75; i < 100; ++i) series.Add(i, 200.0);
+    EXPECT_NEAR(series.PeakHoursMean(0.25), 200.0, 1.0);
+}
+
+TEST(WindowVariations, MaxMinusMinPerWindow)
+{
+    TimeSeries series;
+    // Window 1 (t in [0,100)): values {1,5,3} -> variation 4.
+    // Window 2 (t in [100,200)): seeded by the boundary sample 3 (the
+    // Fig. 4 semantics), plus {10,20} -> variation 17.
+    series.Add(0, 1.0);
+    series.Add(50, 5.0);
+    series.Add(90, 3.0);
+    series.Add(100, 10.0);
+    series.Add(150, 20.0);
+    const std::vector<double> v = WindowVariations(series, 100);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 4.0);
+    EXPECT_DOUBLE_EQ(v[1], 17.0);
+}
+
+TEST(WindowVariations, SamplePeriodWindowMeasuresConsecutiveDeltas)
+{
+    // Sampling every 3 s with a 3 s window: each window holds one new
+    // sample plus the carried boundary sample, so the variation is the
+    // consecutive-sample delta rather than a degenerate 0.
+    TimeSeries series;
+    series.Add(0, 100.0);
+    series.Add(3000, 110.0);
+    series.Add(6000, 95.0);
+    series.Add(9000, 95.0);
+    const std::vector<double> v = WindowVariations(series, 3000);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);   // first window has no carry
+    EXPECT_DOUBLE_EQ(v[1], 10.0);
+    EXPECT_DOUBLE_EQ(v[2], 15.0);
+    EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(WindowVariations, StaleCarryNotAppliedAcrossGaps)
+{
+    // A long gap with no samples: the pre-gap value must not seed a
+    // window far in the future.
+    TimeSeries series;
+    series.Add(0, 100.0);
+    series.Add(50, 500.0);
+    series.Add(1000000, 10.0);
+    series.Add(1000050, 12.0);
+    const std::vector<double> v = WindowVariations(series, 100);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 400.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);  // not 490
+}
+
+TEST(WindowVariations, EmptyWindowsSkipped)
+{
+    TimeSeries series;
+    series.Add(0, 1.0);
+    series.Add(500, 2.0);  // windows between are empty
+    const std::vector<double> v = WindowVariations(series, 100);
+    EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(WindowVariations, ConstantSeriesHasZeroVariation)
+{
+    TimeSeries series;
+    for (SimTime t = 0; t < 1000; t += 10) series.Add(t, 7.0);
+    for (double v : WindowVariations(series, 100)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NormalizedWindowVariations, PercentOfPeakMean)
+{
+    TimeSeries series;
+    for (SimTime t = 0; t < 100; t += 10) series.Add(t, 100.0);
+    series.Add(100, 100.0);
+    series.Add(110, 110.0);  // window variation 10 on peak mean ~?
+    const std::vector<double> v = NormalizedWindowVariations(series, 100);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_GT(v[1], 8.0);
+    EXPECT_LT(v[1], 11.0);
+}
+
+TEST(SummarizeVariation, ReportsPercentiles)
+{
+    TimeSeries series;
+    for (SimTime t = 0; t < 10000; t += 10) {
+        series.Add(t, 100.0 + ((t / 10) % 2 ? 5.0 : 0.0));
+    }
+    const VariationSummary s = SummarizeVariation(series, 100);
+    EXPECT_EQ(s.window, 100);
+    EXPECT_GT(s.window_count, 90u);
+    EXPECT_NEAR(s.p50, 5.0 / 100.0 * 100.0, 1.0);
+    EXPECT_GE(s.p99, s.p50);
+}
+
+TEST(MaxPowerSlope, FindsSteepestRise)
+{
+    TimeSeries series;
+    series.Add(0, 100.0);
+    series.Add(1000, 150.0);  // +50 W/s
+    series.Add(2000, 130.0);  // falling: ignored
+    series.Add(3000, 200.0);  // +70 W/s
+    EXPECT_DOUBLE_EQ(MaxPowerSlope(series), 70.0);
+}
+
+TEST(MaxPowerSlope, EmptyOrSingleIsZero)
+{
+    TimeSeries series;
+    EXPECT_DOUBLE_EQ(MaxPowerSlope(series), 0.0);
+    series.Add(0, 5.0);
+    EXPECT_DOUBLE_EQ(MaxPowerSlope(series), 0.0);
+}
+
+TEST(Recorder, SamplesPeriodically)
+{
+    sim::Simulation sim;
+    TimeSeries series;
+    double value = 1.0;
+    Recorder recorder(sim, 100, [&]() { return value; }, &series);
+    sim.RunFor(250);
+    value = 2.0;
+    sim.RunFor(250);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series.at(0).value, 1.0);
+    EXPECT_DOUBLE_EQ(series.at(4).value, 2.0);
+    EXPECT_EQ(series.at(0).time, 100);
+}
+
+TEST(Recorder, StopEndsSampling)
+{
+    sim::Simulation sim;
+    TimeSeries series;
+    Recorder recorder(sim, 100, []() { return 0.0; }, &series);
+    sim.RunFor(300);
+    recorder.Stop();
+    sim.RunFor(1000);
+    EXPECT_EQ(series.size(), 3u);
+}
+
+TEST(EventLog, CountsAndFilters)
+{
+    EventLog log;
+    log.Record(Event{0, EventKind::kCapStart, "a", 100.0, 99.0, 5, ""});
+    log.Record(Event{10, EventKind::kCapUpdate, "a", 101.0, 99.0, 2, ""});
+    log.Record(Event{20, EventKind::kUncap, "a", 80.0, 99.0, 7, ""});
+    log.Record(Event{30, EventKind::kAlarm, "b", 0.0, 0.0, 0, "bad"});
+    EXPECT_EQ(log.CountOf(EventKind::kCapStart), 1u);
+    EXPECT_EQ(log.CountOf(EventKind::kAlarm), 1u);
+    EXPECT_EQ(log.OfKind(EventKind::kCapUpdate).size(), 1u);
+    EXPECT_EQ(log.OfKind(EventKind::kCapUpdate)[0].servers_affected, 2);
+}
+
+TEST(EventLog, CappingEpisodesPairStartsWithUncaps)
+{
+    EventLog log;
+    auto add = [&](SimTime t, EventKind k, const std::string& src) {
+        log.Record(Event{t, k, src, 0, 0, 0, ""});
+    };
+    add(0, EventKind::kCapStart, "a");
+    add(5, EventKind::kCapUpdate, "a");
+    add(10, EventKind::kUncap, "a");
+    add(20, EventKind::kCapStart, "a");
+    add(30, EventKind::kUncap, "a");
+    add(40, EventKind::kCapStart, "b");
+    EXPECT_EQ(log.CappingEpisodes("a"), 2u);
+    EXPECT_EQ(log.CappingEpisodes("b"), 1u);
+    EXPECT_EQ(log.CappingEpisodes(), 3u);
+}
+
+TEST(EventLog, ClearEmptiesLog)
+{
+    EventLog log;
+    log.Record(Event{});
+    log.Clear();
+    EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventKindNames, AllDistinct)
+{
+    EXPECT_STREQ(EventKindName(EventKind::kCapStart), "cap_start");
+    EXPECT_STREQ(EventKindName(EventKind::kBreakerTrip), "breaker_trip");
+    EXPECT_STREQ(EventKindName(EventKind::kFailover), "failover");
+}
+
+}  // namespace
+}  // namespace dynamo::telemetry

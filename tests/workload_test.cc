@@ -1,0 +1,222 @@
+// Tests for traffic models, load processes, and the Fig. 13
+// performance model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/load_process.h"
+#include "workload/perf_model.h"
+#include "workload/service.h"
+#include "workload/traffic.h"
+
+namespace dynamo::workload {
+namespace {
+
+TEST(ServiceTraits, NamesRoundTrip)
+{
+    for (ServiceType s : kAllServices) {
+        EXPECT_EQ(ParseServiceType(ServiceName(s)), s);
+    }
+    EXPECT_THROW(ParseServiceType("bogus"), std::invalid_argument);
+}
+
+TEST(ServiceTraits, CacheOutranksWebAndFeed)
+{
+    // Section III-C3: cache servers belong to a higher priority group
+    // than web or news feed servers.
+    EXPECT_GT(TraitsFor(ServiceType::kCache).priority_group,
+              TraitsFor(ServiceType::kWeb).priority_group);
+    EXPECT_GT(TraitsFor(ServiceType::kCache).priority_group,
+              TraitsFor(ServiceType::kNewsfeed).priority_group);
+}
+
+TEST(ServiceTraits, HadoopIsLowestPriority)
+{
+    for (ServiceType s : kAllServices) {
+        EXPECT_LE(TraitsFor(ServiceType::kHadoop).priority_group,
+                  TraitsFor(s).priority_group);
+    }
+}
+
+TEST(ConstantTraffic, FactorIsConstant)
+{
+    ConstantTraffic traffic(1.3);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(0), 1.3);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Days(3)), 1.3);
+}
+
+TEST(DiurnalTraffic, PeaksAtPeakHourAndRepeats)
+{
+    DiurnalTraffic traffic(0.3, /*peak_hour=*/20.0);
+    const double at_peak = traffic.FactorAt(Hours(20));
+    const double at_trough = traffic.FactorAt(Hours(8));
+    EXPECT_NEAR(at_peak, 1.3, 1e-9);
+    EXPECT_NEAR(at_trough, 0.7, 1e-9);
+    EXPECT_NEAR(traffic.FactorAt(Hours(20 + 24)), at_peak, 1e-9);
+}
+
+TEST(PiecewiseTraffic, InterpolatesAndClamps)
+{
+    PiecewiseTraffic traffic;
+    traffic.AddPoint(Seconds(10), 1.0);
+    traffic.AddPoint(Seconds(20), 2.0);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(0), 1.0);         // clamp left
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(15)), 1.5);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(25)), 2.0);  // clamp right
+}
+
+TEST(PiecewiseTraffic, EmptyIsUnity)
+{
+    PiecewiseTraffic traffic;
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(5)), 1.0);
+}
+
+TEST(CompositeTraffic, MultipliesParts)
+{
+    ConstantTraffic a(2.0);
+    ConstantTraffic b(0.5);
+    CompositeTraffic c;
+    c.Add(&a);
+    c.Add(&b);
+    EXPECT_DOUBLE_EQ(c.FactorAt(0), 1.0);
+}
+
+TEST(LoadProcess, StaysInBounds)
+{
+    LoadProcess process(LoadProcessParams::For(ServiceType::kNewsfeed), Rng(3));
+    for (SimTime t = 0; t < Hours(2); t += Seconds(3)) {
+        const double u = process.UtilAt(t);
+        EXPECT_GE(u, 0.02);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(LoadProcess, DeterministicForSameSeed)
+{
+    LoadProcess a(LoadProcessParams::For(ServiceType::kWeb), Rng(11));
+    LoadProcess b(LoadProcessParams::For(ServiceType::kWeb), Rng(11));
+    for (SimTime t = 0; t < Minutes(30); t += Seconds(3)) {
+        EXPECT_DOUBLE_EQ(a.UtilAt(t), b.UtilAt(t));
+    }
+}
+
+TEST(LoadProcess, MeanTracksBaseUtil)
+{
+    LoadProcessParams p;
+    p.base_util = 0.5;
+    p.ou_sigma = 0.1;
+    p.spike_rate_per_hour = 0.0;
+    LoadProcess process(p, Rng(17));
+    double sum = 0.0;
+    int n = 0;
+    for (SimTime t = 0; t < Hours(12); t += Seconds(30)) {
+        sum += process.UtilAt(t);
+        ++n;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(LoadProcess, TrafficFactorScalesUtil)
+{
+    LoadProcessParams p;
+    p.base_util = 0.4;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    ConstantTraffic traffic(1.5);
+    LoadProcess process(p, Rng(1), &traffic);
+    EXPECT_NEAR(process.UtilAt(Seconds(10)), 0.6, 1e-9);
+}
+
+TEST(LoadProcess, BalancerFactorScalesUtil)
+{
+    LoadProcessParams p;
+    p.base_util = 0.4;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    LoadProcess process(p, Rng(1));
+    process.set_balancer_factor(0.5);
+    EXPECT_NEAR(process.UtilAt(Seconds(10)), 0.2, 1e-9);
+}
+
+TEST(LoadProcess, SpikesActuallyOccur)
+{
+    LoadProcessParams p;
+    p.base_util = 0.2;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 20.0;
+    p.spike_util = 0.4;
+    p.spike_dur_s = 60.0;
+    LoadProcess process(p, Rng(23));
+    int above = 0;
+    for (SimTime t = 0; t < Hours(4); t += Seconds(3)) {
+        if (process.UtilAt(t) > 0.35) ++above;
+    }
+    EXPECT_GT(above, 10);
+}
+
+TEST(LoadProcess, ZeroSpikeRateNeverSpikes)
+{
+    LoadProcessParams p;
+    p.base_util = 0.2;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    LoadProcess process(p, Rng(23));
+    for (SimTime t = 0; t < Hours(2); t += Seconds(3)) {
+        EXPECT_NEAR(process.UtilAt(t), 0.2, 1e-9);
+    }
+}
+
+TEST(PerfModel, ZeroReductionZeroSlowdown)
+{
+    const PerfModelParams p = PerfModelParams::For(ServiceType::kWeb);
+    EXPECT_DOUBLE_EQ(SlowdownPercent(p, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(SlowdownPercent(p, -10.0), 0.0);
+    EXPECT_DOUBLE_EQ(ThrottleFactor(p, 0.0), 1.0);
+}
+
+TEST(PerfModel, Fig13KneeAtTwentyPercent)
+{
+    // "performance decreases slowly within the 20% power reduction
+    // range ... beyond 20%, the performance decreases faster".
+    const PerfModelParams p = PerfModelParams::For(ServiceType::kWeb);
+    const double below = SlowdownPercent(p, 19.0) - SlowdownPercent(p, 18.0);
+    const double above = SlowdownPercent(p, 31.0) - SlowdownPercent(p, 30.0);
+    EXPECT_GT(above, below * 3.0);
+    EXPECT_LT(SlowdownPercent(p, 20.0), 15.0);
+    EXPECT_GT(SlowdownPercent(p, 40.0), 60.0);
+}
+
+TEST(PerfModel, MonotoneInReduction)
+{
+    for (ServiceType s : kAllServices) {
+        const PerfModelParams p = PerfModelParams::For(s);
+        double prev = 0.0;
+        for (double r = 0.0; r <= 60.0; r += 2.0) {
+            const double cur = SlowdownPercent(p, r);
+            EXPECT_GE(cur, prev);
+            prev = cur;
+        }
+    }
+}
+
+TEST(PerfModel, ThrottleInUnitInterval)
+{
+    for (ServiceType s : kAllServices) {
+        const PerfModelParams p = PerfModelParams::For(s);
+        for (double r = 0.0; r <= 0.9; r += 0.1) {
+            const double f = ThrottleFactor(p, r);
+            EXPECT_GT(f, 0.0);
+            EXPECT_LE(f, 1.0);
+        }
+    }
+}
+
+TEST(PerfModel, IoBoundServicesDegradeLess)
+{
+    const PerfModelParams web = PerfModelParams::For(ServiceType::kWeb);
+    const PerfModelParams f4 = PerfModelParams::For(ServiceType::kF4Storage);
+    EXPECT_LT(SlowdownPercent(f4, 30.0), SlowdownPercent(web, 30.0));
+}
+
+}  // namespace
+}  // namespace dynamo::workload

@@ -1,0 +1,152 @@
+// Tests for trace record/replay and the shared GroupTraffic component.
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/traffic.h"
+
+namespace dynamo::workload {
+namespace {
+
+TEST(Trace, ParseBasicFormat)
+{
+    std::istringstream in("# comment\n0 1.0\n1000 2.0\n\n2000 1.5\n");
+    const Trace trace = Trace::Parse(in);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.points()[1].time, 1000);
+    EXPECT_DOUBLE_EQ(trace.points()[1].value, 2.0);
+    EXPECT_EQ(trace.Duration(), 2000);
+}
+
+TEST(Trace, ParseRejectsGarbage)
+{
+    std::istringstream in("0 1.0\nnot numbers\n");
+    EXPECT_THROW(Trace::Parse(in), std::runtime_error);
+}
+
+TEST(Trace, RejectsUnsortedPoints)
+{
+    EXPECT_THROW(Trace({{1000, 1.0}, {0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Trace, RoundTripsThroughText)
+{
+    const Trace original({{0, 1.5}, {500, 2.25}, {900, 0.75}});
+    std::ostringstream out;
+    original.Write(out);
+    std::istringstream in(out.str());
+    const Trace loaded = Trace::Parse(in);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded.points()[i].time, original.points()[i].time);
+        EXPECT_DOUBLE_EQ(loaded.points()[i].value, original.points()[i].value);
+    }
+}
+
+TEST(Trace, RoundTripsThroughFile)
+{
+    const Trace original({{0, 1.0}, {3000, 3.0}});
+    const std::string path = ::testing::TempDir() + "/dynamo_trace_test.txt";
+    original.Save(path);
+    const Trace loaded = Trace::Load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.ValueAt(1500), 2.0);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileThrows)
+{
+    EXPECT_THROW(Trace::Load("/nonexistent/trace.txt"), std::runtime_error);
+}
+
+TEST(Trace, ValueInterpolatesAndClamps)
+{
+    const Trace trace({{1000, 10.0}, {2000, 20.0}});
+    EXPECT_DOUBLE_EQ(trace.ValueAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(trace.ValueAt(1500), 15.0);
+    EXPECT_DOUBLE_EQ(trace.ValueAt(5000), 20.0);
+}
+
+TEST(Trace, MeanValue)
+{
+    const Trace trace({{0, 1.0}, {1, 2.0}, {2, 3.0}});
+    EXPECT_DOUBLE_EQ(trace.MeanValue(), 2.0);
+    EXPECT_DOUBLE_EQ(Trace().MeanValue(), 0.0);
+}
+
+TEST(TraceTraffic, NormalizesByMean)
+{
+    // Values 100/200/300 (mean 200): factors 0.5/1.0/1.5.
+    TraceTraffic traffic(Trace({{0, 100.0}, {1000, 200.0}, {2000, 300.0}}));
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(0), 0.5);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(1000), 1.0);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(2000), 1.5);
+}
+
+TEST(TraceTraffic, ClampsWithoutLoop)
+{
+    TraceTraffic traffic(Trace({{0, 1.0}, {1000, 3.0}}), /*loop=*/false);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(50000), 1.5);  // 3.0 / mean 2.0
+}
+
+TEST(TraceTraffic, LoopsWhenRequested)
+{
+    TraceTraffic traffic(Trace({{0, 1.0}, {1000, 3.0}}), /*loop=*/true);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(500), traffic.FactorAt(1500));
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(250), traffic.FactorAt(2250));
+}
+
+TEST(TraceTraffic, EmptyTraceIsUnity)
+{
+    TraceTraffic traffic(Trace{});
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(12345), 1.0);
+}
+
+TEST(GroupTraffic, MeanRevertsAroundUnity)
+{
+    GroupTraffic traffic(0.1, 60.0, Rng(5));
+    double sum = 0.0;
+    int n = 0;
+    for (SimTime t = 0; t < Hours(20); t += Seconds(30)) {
+        sum += traffic.FactorAt(t);
+        ++n;
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.03);
+}
+
+TEST(GroupTraffic, SameTimeQueriesAreConsistent)
+{
+    GroupTraffic traffic(0.2, 60.0, Rng(5));
+    const double a = traffic.FactorAt(Seconds(100));
+    const double b = traffic.FactorAt(Seconds(100));
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(GroupTraffic, RespectsFloor)
+{
+    GroupTraffic traffic(1.5, 10.0, Rng(9), /*min_factor=*/0.2);
+    for (SimTime t = 0; t < Hours(2); t += Seconds(10)) {
+        EXPECT_GE(traffic.FactorAt(t), 0.2);
+    }
+}
+
+TEST(GroupTraffic, VolatilityScalesWithSigma)
+{
+    GroupTraffic quiet(0.02, 60.0, Rng(7));
+    GroupTraffic loud(0.40, 60.0, Rng(7));
+    double quiet_dev = 0.0;
+    double loud_dev = 0.0;
+    for (SimTime t = 0; t < Hours(4); t += Seconds(30)) {
+        quiet_dev = std::max(quiet_dev, std::abs(quiet.FactorAt(t) - 1.0));
+        loud_dev = std::max(loud_dev, std::abs(loud.FactorAt(t) - 1.0));
+    }
+    EXPECT_GT(loud_dev, quiet_dev * 3.0);
+}
+
+}  // namespace
+}  // namespace dynamo::workload

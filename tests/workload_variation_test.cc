@@ -1,0 +1,196 @@
+// Property tests for the Fig. 6 per-service power-variation
+// calibration: the *ordering* of service medians and tails must match
+// the paper's measurements (exact magnitudes are checked more loosely
+// in bench_fig06).
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "server/sim_server.h"
+#include "telemetry/timeseries.h"
+#include "telemetry/variation.h"
+#include "workload/load_process.h"
+#include "workload/service.h"
+
+namespace dynamo {
+namespace {
+
+using workload::ServiceType;
+
+struct ServiceVariation
+{
+    double p50;
+    double p99;
+};
+
+/** 60 s-window power-variation stats for `n` servers of one service. */
+ServiceVariation
+MeasureService(ServiceType service, int n_servers, SimTime duration)
+{
+    std::vector<double> variations;
+    for (int i = 0; i < n_servers; ++i) {
+        server::SimServer::Config config;
+        config.name = "s";
+        config.service = service;
+        config.seed = 1000 + static_cast<std::uint64_t>(i) * 7;
+        server::SimServer srv(config,
+                              workload::LoadProcessParams::For(service));
+        telemetry::TimeSeries series;
+        for (SimTime t = 0; t < duration; t += Seconds(3)) {
+            series.Add(t, srv.PowerAt(t));
+        }
+        const std::vector<double> v =
+            telemetry::NormalizedWindowVariations(series, Seconds(60));
+        variations.insert(variations.end(), v.begin(), v.end());
+    }
+    ServiceVariation result;
+    result.p50 = Percentile(variations, 50.0);
+    result.p99 = Percentile(variations, 99.0);
+    return result;
+}
+
+class ServiceVariationTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        // Paper: 30 servers per service over six months, 60 s window.
+        // 20 servers x 6 h gives a stable p50 and enough tail mass for
+        // p99 ordering (f4's rare bursts occupy ~1-2 % of windows).
+        stats_ = new std::map<ServiceType, ServiceVariation>();
+        for (ServiceType s : workload::kAllServices) {
+            (*stats_)[s] = MeasureService(s, 20, Hours(6));
+        }
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete stats_;
+        stats_ = nullptr;
+    }
+
+    static std::map<ServiceType, ServiceVariation>* stats_;
+};
+
+std::map<ServiceType, ServiceVariation>* ServiceVariationTest::stats_ = nullptr;
+
+TEST_F(ServiceVariationTest, F4HasLowestMedian)
+{
+    // Fig. 6: f4/photo storage has the lowest p50 variation of all
+    // studied services.
+    const double f4 = (*stats_)[ServiceType::kF4Storage].p50;
+    for (ServiceType s : workload::kAllServices) {
+        if (s == ServiceType::kF4Storage) continue;
+        EXPECT_LT(f4, (*stats_)[s].p50) << workload::ServiceName(s);
+    }
+}
+
+TEST_F(ServiceVariationTest, F4HasHeaviestTail)
+{
+    // ... but the highest p99 variation.
+    const double f4 = (*stats_)[ServiceType::kF4Storage].p99;
+    for (ServiceType s : workload::kAllServices) {
+        if (s == ServiceType::kF4Storage) continue;
+        EXPECT_GT(f4, (*stats_)[s].p99) << workload::ServiceName(s);
+    }
+}
+
+TEST_F(ServiceVariationTest, WebAndFeedHaveHighMedians)
+{
+    // Web (37.2 %) and news feed (42.4 %) have far higher medians than
+    // cache (9.2 %), hadoop (11.1 %), and database (15.1 %).
+    for (ServiceType noisy :
+         {ServiceType::kWeb, ServiceType::kNewsfeed}) {
+        for (ServiceType quiet : {ServiceType::kCache, ServiceType::kHadoop,
+                                  ServiceType::kDatabase}) {
+            EXPECT_GT((*stats_)[noisy].p50, (*stats_)[quiet].p50)
+                << workload::ServiceName(noisy) << " vs "
+                << workload::ServiceName(quiet);
+        }
+    }
+}
+
+TEST_F(ServiceVariationTest, CacheIsQuietestOutsideF4)
+{
+    const double cache = (*stats_)[ServiceType::kCache].p50;
+    for (ServiceType s : {ServiceType::kWeb, ServiceType::kNewsfeed,
+                          ServiceType::kDatabase, ServiceType::kHadoop}) {
+        EXPECT_LT(cache, (*stats_)[s].p50) << workload::ServiceName(s);
+    }
+}
+
+TEST_F(ServiceVariationTest, TailsExceedMedians)
+{
+    for (ServiceType s : workload::kAllServices) {
+        EXPECT_GT((*stats_)[s].p99, (*stats_)[s].p50)
+            << workload::ServiceName(s);
+    }
+}
+
+TEST_F(ServiceVariationTest, MagnitudesRoughlyMatchFig6)
+{
+    // Coarse magnitude sanity (generous bands around the paper's
+    // numbers; the bench prints exact values).
+    EXPECT_LT((*stats_)[ServiceType::kF4Storage].p50, 15.0);
+    EXPECT_GT((*stats_)[ServiceType::kF4Storage].p99, 40.0);
+    EXPECT_GT((*stats_)[ServiceType::kWeb].p50, 15.0);
+    EXPECT_LT((*stats_)[ServiceType::kCache].p50, 20.0);
+}
+
+TEST(AggregationSmoothing, HigherAggregationLevelsVaryLess)
+{
+    // Fig. 5's second observation: the higher the hierarchy level, the
+    // smaller the relative variation, due to load multiplexing.
+    // Compare a single server against the sum of 30.
+    const int n = 30;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    for (int i = 0; i < n; ++i) {
+        server::SimServer::Config config;
+        config.name = "s";
+        config.service = ServiceType::kWeb;
+        config.seed = 50 + static_cast<std::uint64_t>(i);
+        servers.push_back(std::make_unique<server::SimServer>(
+            config, workload::LoadProcessParams::For(ServiceType::kWeb)));
+    }
+    telemetry::TimeSeries single;
+    telemetry::TimeSeries aggregate;
+    for (SimTime t = 0; t < Hours(3); t += Seconds(3)) {
+        double sum = 0.0;
+        for (auto& srv : servers) sum += srv->PowerAt(t);
+        single.Add(t, servers[0]->PowerAt(t));
+        aggregate.Add(t, sum);
+    }
+    const auto s_single = telemetry::SummarizeVariation(single, Seconds(60));
+    const auto s_agg = telemetry::SummarizeVariation(aggregate, Seconds(60));
+    EXPECT_LT(s_agg.p99, s_single.p99 * 0.6);
+}
+
+TEST(WindowScaling, LargerWindowsHaveLargerVariation)
+{
+    // Fig. 5's first observation: larger time windows have generally
+    // larger power variations.
+    server::SimServer::Config config;
+    config.name = "s";
+    config.service = ServiceType::kWeb;
+    config.seed = 99;
+    server::SimServer srv(config,
+                          workload::LoadProcessParams::For(ServiceType::kWeb));
+    telemetry::TimeSeries series;
+    for (SimTime t = 0; t < Hours(6); t += Seconds(3)) {
+        series.Add(t, srv.PowerAt(t));
+    }
+    const double p99_3s =
+        telemetry::SummarizeVariation(series, Seconds(3)).p99;
+    const double p99_60s =
+        telemetry::SummarizeVariation(series, Seconds(60)).p99;
+    const double p99_600s =
+        telemetry::SummarizeVariation(series, Seconds(600)).p99;
+    EXPECT_LT(p99_3s, p99_60s);
+    EXPECT_LT(p99_60s, p99_600s);
+}
+
+}  // namespace
+}  // namespace dynamo
