@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_three_band.dir/bench_ablation_three_band.cc.o"
+  "CMakeFiles/bench_ablation_three_band.dir/bench_ablation_three_band.cc.o.d"
+  "bench_ablation_three_band"
+  "bench_ablation_three_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_three_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

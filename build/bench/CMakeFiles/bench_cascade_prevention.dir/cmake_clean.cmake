@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascade_prevention.dir/bench_cascade_prevention.cc.o"
+  "CMakeFiles/bench_cascade_prevention.dir/bench_cascade_prevention.cc.o.d"
+  "bench_cascade_prevention"
+  "bench_cascade_prevention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascade_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

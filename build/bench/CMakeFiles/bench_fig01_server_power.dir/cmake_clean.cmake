@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_server_power.dir/bench_fig01_server_power.cc.o"
+  "CMakeFiles/bench_fig01_server_power.dir/bench_fig01_server_power.cc.o.d"
+  "bench_fig01_server_power"
+  "bench_fig01_server_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_server_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_breaker_trip.dir/bench_fig03_breaker_trip.cc.o"
+  "CMakeFiles/bench_fig03_breaker_trip.dir/bench_fig03_breaker_trip.cc.o.d"
+  "bench_fig03_breaker_trip"
+  "bench_fig03_breaker_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_breaker_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

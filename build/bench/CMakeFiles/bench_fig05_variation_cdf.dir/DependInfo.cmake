@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig05_variation_cdf.cc" "bench/CMakeFiles/bench_fig05_variation_cdf.dir/bench_fig05_variation_cdf.cc.o" "gcc" "bench/CMakeFiles/bench_fig05_variation_cdf.dir/bench_fig05_variation_cdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/dynamo_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynamo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dynamo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dynamo_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dynamo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynamo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dynamo_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_service_variation.dir/bench_fig06_service_variation.cc.o"
+  "CMakeFiles/bench_fig06_service_variation.dir/bench_fig06_service_variation.cc.o.d"
+  "bench_fig06_service_variation"
+  "bench_fig06_service_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_service_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_three_band.dir/bench_fig10_three_band.cc.o"
+  "CMakeFiles/bench_fig10_three_band.dir/bench_fig10_three_band.cc.o.d"
+  "bench_fig10_three_band"
+  "bench_fig10_three_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_three_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

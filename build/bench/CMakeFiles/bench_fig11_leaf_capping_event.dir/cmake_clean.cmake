@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_leaf_capping_event.dir/bench_fig11_leaf_capping_event.cc.o"
+  "CMakeFiles/bench_fig11_leaf_capping_event.dir/bench_fig11_leaf_capping_event.cc.o.d"
+  "bench_fig11_leaf_capping_event"
+  "bench_fig11_leaf_capping_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_leaf_capping_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

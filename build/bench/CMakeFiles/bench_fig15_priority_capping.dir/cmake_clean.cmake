@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_priority_capping.dir/bench_fig15_priority_capping.cc.o"
+  "CMakeFiles/bench_fig15_priority_capping.dir/bench_fig15_priority_capping.cc.o.d"
+  "bench_fig15_priority_capping"
+  "bench_fig15_priority_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_priority_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

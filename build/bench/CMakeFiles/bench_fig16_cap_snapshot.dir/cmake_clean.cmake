@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cap_snapshot.dir/bench_fig16_cap_snapshot.cc.o"
+  "CMakeFiles/bench_fig16_cap_snapshot.dir/bench_fig16_cap_snapshot.cc.o.d"
+  "bench_fig16_cap_snapshot"
+  "bench_fig16_cap_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cap_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longhorizon_variation.dir/bench_longhorizon_variation.cc.o"
+  "CMakeFiles/bench_longhorizon_variation.dir/bench_longhorizon_variation.cc.o.d"
+  "bench_longhorizon_variation"
+  "bench_longhorizon_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longhorizon_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

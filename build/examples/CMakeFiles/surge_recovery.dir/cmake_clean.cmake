@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_recovery.dir/surge_recovery.cpp.o"
+  "CMakeFiles/surge_recovery.dir/surge_recovery.cpp.o.d"
+  "surge_recovery"
+  "surge_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

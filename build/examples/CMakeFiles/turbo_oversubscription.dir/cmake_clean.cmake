@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_oversubscription.dir/turbo_oversubscription.cpp.o"
+  "CMakeFiles/turbo_oversubscription.dir/turbo_oversubscription.cpp.o.d"
+  "turbo_oversubscription"
+  "turbo_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_common.dir/logging.cc.o"
+  "CMakeFiles/dynamo_common.dir/logging.cc.o.d"
+  "CMakeFiles/dynamo_common.dir/stats.cc.o"
+  "CMakeFiles/dynamo_common.dir/stats.cc.o.d"
+  "libdynamo_common.a"
+  "libdynamo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

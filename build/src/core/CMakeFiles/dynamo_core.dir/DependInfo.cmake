@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/dynamo_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/capping_policy.cc" "src/core/CMakeFiles/dynamo_core.dir/capping_policy.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/capping_policy.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/dynamo_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/dynamo_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/early_warning.cc" "src/core/CMakeFiles/dynamo_core.dir/early_warning.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/early_warning.cc.o.d"
+  "/root/repo/src/core/failover.cc" "src/core/CMakeFiles/dynamo_core.dir/failover.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/failover.cc.o.d"
+  "/root/repo/src/core/leaf_controller.cc" "src/core/CMakeFiles/dynamo_core.dir/leaf_controller.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/leaf_controller.cc.o.d"
+  "/root/repo/src/core/quota_planner.cc" "src/core/CMakeFiles/dynamo_core.dir/quota_planner.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/quota_planner.cc.o.d"
+  "/root/repo/src/core/three_band.cc" "src/core/CMakeFiles/dynamo_core.dir/three_band.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/three_band.cc.o.d"
+  "/root/repo/src/core/upper_controller.cc" "src/core/CMakeFiles/dynamo_core.dir/upper_controller.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/upper_controller.cc.o.d"
+  "/root/repo/src/core/watchdog.cc" "src/core/CMakeFiles/dynamo_core.dir/watchdog.cc.o" "gcc" "src/core/CMakeFiles/dynamo_core.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dynamo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dynamo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dynamo_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynamo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/dynamo_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

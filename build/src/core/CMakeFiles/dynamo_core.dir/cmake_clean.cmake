@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_core.dir/agent.cc.o"
+  "CMakeFiles/dynamo_core.dir/agent.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/capping_policy.cc.o"
+  "CMakeFiles/dynamo_core.dir/capping_policy.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/controller.cc.o"
+  "CMakeFiles/dynamo_core.dir/controller.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/deployment.cc.o"
+  "CMakeFiles/dynamo_core.dir/deployment.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/early_warning.cc.o"
+  "CMakeFiles/dynamo_core.dir/early_warning.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/failover.cc.o"
+  "CMakeFiles/dynamo_core.dir/failover.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/leaf_controller.cc.o"
+  "CMakeFiles/dynamo_core.dir/leaf_controller.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/quota_planner.cc.o"
+  "CMakeFiles/dynamo_core.dir/quota_planner.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/three_band.cc.o"
+  "CMakeFiles/dynamo_core.dir/three_band.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/upper_controller.cc.o"
+  "CMakeFiles/dynamo_core.dir/upper_controller.cc.o.d"
+  "CMakeFiles/dynamo_core.dir/watchdog.cc.o"
+  "CMakeFiles/dynamo_core.dir/watchdog.cc.o.d"
+  "libdynamo_core.a"
+  "libdynamo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

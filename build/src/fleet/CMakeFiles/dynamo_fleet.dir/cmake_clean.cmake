@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_fleet.dir/fleet.cc.o"
+  "CMakeFiles/dynamo_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/dynamo_fleet.dir/multi_datacenter.cc.o"
+  "CMakeFiles/dynamo_fleet.dir/multi_datacenter.cc.o.d"
+  "CMakeFiles/dynamo_fleet.dir/report.cc.o"
+  "CMakeFiles/dynamo_fleet.dir/report.cc.o.d"
+  "CMakeFiles/dynamo_fleet.dir/scenarios.cc.o"
+  "CMakeFiles/dynamo_fleet.dir/scenarios.cc.o.d"
+  "CMakeFiles/dynamo_fleet.dir/spec_parser.cc.o"
+  "CMakeFiles/dynamo_fleet.dir/spec_parser.cc.o.d"
+  "libdynamo_fleet.a"
+  "libdynamo_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breaker.cc" "src/power/CMakeFiles/dynamo_power.dir/breaker.cc.o" "gcc" "src/power/CMakeFiles/dynamo_power.dir/breaker.cc.o.d"
+  "/root/repo/src/power/breaker_monitor.cc" "src/power/CMakeFiles/dynamo_power.dir/breaker_monitor.cc.o" "gcc" "src/power/CMakeFiles/dynamo_power.dir/breaker_monitor.cc.o.d"
+  "/root/repo/src/power/breaker_telemetry.cc" "src/power/CMakeFiles/dynamo_power.dir/breaker_telemetry.cc.o" "gcc" "src/power/CMakeFiles/dynamo_power.dir/breaker_telemetry.cc.o.d"
+  "/root/repo/src/power/device.cc" "src/power/CMakeFiles/dynamo_power.dir/device.cc.o" "gcc" "src/power/CMakeFiles/dynamo_power.dir/device.cc.o.d"
+  "/root/repo/src/power/topology.cc" "src/power/CMakeFiles/dynamo_power.dir/topology.cc.o" "gcc" "src/power/CMakeFiles/dynamo_power.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_power.dir/breaker.cc.o"
+  "CMakeFiles/dynamo_power.dir/breaker.cc.o.d"
+  "CMakeFiles/dynamo_power.dir/breaker_monitor.cc.o"
+  "CMakeFiles/dynamo_power.dir/breaker_monitor.cc.o.d"
+  "CMakeFiles/dynamo_power.dir/breaker_telemetry.cc.o"
+  "CMakeFiles/dynamo_power.dir/breaker_telemetry.cc.o.d"
+  "CMakeFiles/dynamo_power.dir/device.cc.o"
+  "CMakeFiles/dynamo_power.dir/device.cc.o.d"
+  "CMakeFiles/dynamo_power.dir/topology.cc.o"
+  "CMakeFiles/dynamo_power.dir/topology.cc.o.d"
+  "libdynamo_power.a"
+  "libdynamo_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

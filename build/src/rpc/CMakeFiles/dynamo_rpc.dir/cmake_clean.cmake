@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_rpc.dir/transport.cc.o"
+  "CMakeFiles/dynamo_rpc.dir/transport.cc.o.d"
+  "libdynamo_rpc.a"
+  "libdynamo_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

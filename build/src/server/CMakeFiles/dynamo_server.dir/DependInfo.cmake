@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/platform.cc" "src/server/CMakeFiles/dynamo_server.dir/platform.cc.o" "gcc" "src/server/CMakeFiles/dynamo_server.dir/platform.cc.o.d"
+  "/root/repo/src/server/power_model.cc" "src/server/CMakeFiles/dynamo_server.dir/power_model.cc.o" "gcc" "src/server/CMakeFiles/dynamo_server.dir/power_model.cc.o.d"
+  "/root/repo/src/server/rapl.cc" "src/server/CMakeFiles/dynamo_server.dir/rapl.cc.o" "gcc" "src/server/CMakeFiles/dynamo_server.dir/rapl.cc.o.d"
+  "/root/repo/src/server/sensor.cc" "src/server/CMakeFiles/dynamo_server.dir/sensor.cc.o" "gcc" "src/server/CMakeFiles/dynamo_server.dir/sensor.cc.o.d"
+  "/root/repo/src/server/sim_server.cc" "src/server/CMakeFiles/dynamo_server.dir/sim_server.cc.o" "gcc" "src/server/CMakeFiles/dynamo_server.dir/sim_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dynamo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynamo_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_server.dir/platform.cc.o"
+  "CMakeFiles/dynamo_server.dir/platform.cc.o.d"
+  "CMakeFiles/dynamo_server.dir/power_model.cc.o"
+  "CMakeFiles/dynamo_server.dir/power_model.cc.o.d"
+  "CMakeFiles/dynamo_server.dir/rapl.cc.o"
+  "CMakeFiles/dynamo_server.dir/rapl.cc.o.d"
+  "CMakeFiles/dynamo_server.dir/sensor.cc.o"
+  "CMakeFiles/dynamo_server.dir/sensor.cc.o.d"
+  "CMakeFiles/dynamo_server.dir/sim_server.cc.o"
+  "CMakeFiles/dynamo_server.dir/sim_server.cc.o.d"
+  "libdynamo_server.a"
+  "libdynamo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_sim.dir/simulation.cc.o"
+  "CMakeFiles/dynamo_sim.dir/simulation.cc.o.d"
+  "libdynamo_sim.a"
+  "libdynamo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynamo_sim.a"
+)

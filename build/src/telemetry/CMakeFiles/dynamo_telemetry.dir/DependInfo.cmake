@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/event_log.cc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/event_log.cc.o" "gcc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/event_log.cc.o.d"
+  "/root/repo/src/telemetry/export.cc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/export.cc.o" "gcc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/export.cc.o.d"
+  "/root/repo/src/telemetry/recorder.cc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/recorder.cc.o" "gcc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/recorder.cc.o.d"
+  "/root/repo/src/telemetry/timeseries.cc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/timeseries.cc.o" "gcc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/timeseries.cc.o.d"
+  "/root/repo/src/telemetry/variation.cc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/variation.cc.o" "gcc" "src/telemetry/CMakeFiles/dynamo_telemetry.dir/variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_telemetry.dir/event_log.cc.o"
+  "CMakeFiles/dynamo_telemetry.dir/event_log.cc.o.d"
+  "CMakeFiles/dynamo_telemetry.dir/export.cc.o"
+  "CMakeFiles/dynamo_telemetry.dir/export.cc.o.d"
+  "CMakeFiles/dynamo_telemetry.dir/recorder.cc.o"
+  "CMakeFiles/dynamo_telemetry.dir/recorder.cc.o.d"
+  "CMakeFiles/dynamo_telemetry.dir/timeseries.cc.o"
+  "CMakeFiles/dynamo_telemetry.dir/timeseries.cc.o.d"
+  "CMakeFiles/dynamo_telemetry.dir/variation.cc.o"
+  "CMakeFiles/dynamo_telemetry.dir/variation.cc.o.d"
+  "libdynamo_telemetry.a"
+  "libdynamo_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/load_process.cc" "src/workload/CMakeFiles/dynamo_workload.dir/load_process.cc.o" "gcc" "src/workload/CMakeFiles/dynamo_workload.dir/load_process.cc.o.d"
+  "/root/repo/src/workload/perf_model.cc" "src/workload/CMakeFiles/dynamo_workload.dir/perf_model.cc.o" "gcc" "src/workload/CMakeFiles/dynamo_workload.dir/perf_model.cc.o.d"
+  "/root/repo/src/workload/service.cc" "src/workload/CMakeFiles/dynamo_workload.dir/service.cc.o" "gcc" "src/workload/CMakeFiles/dynamo_workload.dir/service.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/dynamo_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/dynamo_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "src/workload/CMakeFiles/dynamo_workload.dir/traffic.cc.o" "gcc" "src/workload/CMakeFiles/dynamo_workload.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynamo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamo_workload.dir/load_process.cc.o"
+  "CMakeFiles/dynamo_workload.dir/load_process.cc.o.d"
+  "CMakeFiles/dynamo_workload.dir/perf_model.cc.o"
+  "CMakeFiles/dynamo_workload.dir/perf_model.cc.o.d"
+  "CMakeFiles/dynamo_workload.dir/service.cc.o"
+  "CMakeFiles/dynamo_workload.dir/service.cc.o.d"
+  "CMakeFiles/dynamo_workload.dir/trace.cc.o"
+  "CMakeFiles/dynamo_workload.dir/trace.cc.o.d"
+  "CMakeFiles/dynamo_workload.dir/traffic.cc.o"
+  "CMakeFiles/dynamo_workload.dir/traffic.cc.o.d"
+  "libdynamo_workload.a"
+  "libdynamo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_agent_test.dir/core_agent_test.cc.o"
+  "CMakeFiles/core_agent_test.dir/core_agent_test.cc.o.d"
+  "core_agent_test"
+  "core_agent_test.pdb"
+  "core_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

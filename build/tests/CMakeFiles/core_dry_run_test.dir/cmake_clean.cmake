@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dry_run_test.dir/core_dry_run_test.cc.o"
+  "CMakeFiles/core_dry_run_test.dir/core_dry_run_test.cc.o.d"
+  "core_dry_run_test"
+  "core_dry_run_test.pdb"
+  "core_dry_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dry_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_early_warning_test.dir/core_early_warning_test.cc.o"
+  "CMakeFiles/core_early_warning_test.dir/core_early_warning_test.cc.o.d"
+  "core_early_warning_test"
+  "core_early_warning_test.pdb"
+  "core_early_warning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_early_warning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

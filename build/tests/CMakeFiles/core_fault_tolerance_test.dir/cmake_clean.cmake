@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fault_tolerance_test.dir/core_fault_tolerance_test.cc.o"
+  "CMakeFiles/core_fault_tolerance_test.dir/core_fault_tolerance_test.cc.o.d"
+  "core_fault_tolerance_test"
+  "core_fault_tolerance_test.pdb"
+  "core_fault_tolerance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fault_tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

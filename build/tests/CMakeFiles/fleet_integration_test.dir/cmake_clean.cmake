@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_integration_test.dir/fleet_integration_test.cc.o"
+  "CMakeFiles/fleet_integration_test.dir/fleet_integration_test.cc.o.d"
+  "fleet_integration_test"
+  "fleet_integration_test.pdb"
+  "fleet_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_invariants_test.dir/fleet_invariants_test.cc.o"
+  "CMakeFiles/fleet_invariants_test.dir/fleet_invariants_test.cc.o.d"
+  "fleet_invariants_test"
+  "fleet_invariants_test.pdb"
+  "fleet_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_msb_test.dir/fleet_msb_test.cc.o"
+  "CMakeFiles/fleet_msb_test.dir/fleet_msb_test.cc.o.d"
+  "fleet_msb_test"
+  "fleet_msb_test.pdb"
+  "fleet_msb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_msb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_multi_datacenter_test.dir/fleet_multi_datacenter_test.cc.o"
+  "CMakeFiles/fleet_multi_datacenter_test.dir/fleet_multi_datacenter_test.cc.o.d"
+  "fleet_multi_datacenter_test"
+  "fleet_multi_datacenter_test.pdb"
+  "fleet_multi_datacenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_multi_datacenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

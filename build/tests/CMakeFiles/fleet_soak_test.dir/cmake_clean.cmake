@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_soak_test.dir/fleet_soak_test.cc.o"
+  "CMakeFiles/fleet_soak_test.dir/fleet_soak_test.cc.o.d"
+  "fleet_soak_test"
+  "fleet_soak_test.pdb"
+  "fleet_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

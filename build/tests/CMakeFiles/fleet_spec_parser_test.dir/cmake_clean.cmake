@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_spec_parser_test.dir/fleet_spec_parser_test.cc.o"
+  "CMakeFiles/fleet_spec_parser_test.dir/fleet_spec_parser_test.cc.o.d"
+  "fleet_spec_parser_test"
+  "fleet_spec_parser_test.pdb"
+  "fleet_spec_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_spec_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

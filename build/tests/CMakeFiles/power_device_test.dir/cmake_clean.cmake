@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_device_test.dir/power_device_test.cc.o"
+  "CMakeFiles/power_device_test.dir/power_device_test.cc.o.d"
+  "power_device_test"
+  "power_device_test.pdb"
+  "power_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

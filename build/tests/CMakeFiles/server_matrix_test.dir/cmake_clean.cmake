@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_matrix_test.dir/server_matrix_test.cc.o"
+  "CMakeFiles/server_matrix_test.dir/server_matrix_test.cc.o.d"
+  "server_matrix_test"
+  "server_matrix_test.pdb"
+  "server_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_platform_test.dir/server_platform_test.cc.o"
+  "CMakeFiles/server_platform_test.dir/server_platform_test.cc.o.d"
+  "server_platform_test"
+  "server_platform_test.pdb"
+  "server_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

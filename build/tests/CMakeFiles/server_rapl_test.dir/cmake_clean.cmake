@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_rapl_test.dir/server_rapl_test.cc.o"
+  "CMakeFiles/server_rapl_test.dir/server_rapl_test.cc.o.d"
+  "server_rapl_test"
+  "server_rapl_test.pdb"
+  "server_rapl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_rapl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

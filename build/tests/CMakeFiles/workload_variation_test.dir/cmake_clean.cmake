@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_variation_test.dir/workload_variation_test.cc.o"
+  "CMakeFiles/workload_variation_test.dir/workload_variation_test.cc.o.d"
+  "workload_variation_test"
+  "workload_variation_test.pdb"
+  "workload_variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
