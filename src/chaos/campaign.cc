@@ -1,0 +1,135 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynamo::chaos {
+
+CampaignEngine::CampaignEngine(sim::Simulation& sim,
+                               rpc::SimTransport& transport,
+                               telemetry::EventLog* log)
+    : sim_(sim), transport_(transport), log_(log)
+{
+}
+
+void
+CampaignEngine::Log(const std::string& description)
+{
+    if (log_ == nullptr) return;
+    telemetry::Event event;
+    event.time = sim_.Now();
+    event.kind = telemetry::EventKind::kChaosFault;
+    event.source = "chaos";
+    event.detail = description;
+    log_->Record(std::move(event));
+}
+
+void
+CampaignEngine::At(SimTime when, std::string description,
+                   std::function<void()> action)
+{
+    last_action_time_ = std::max(last_action_time_, when);
+    tasks_.push_back(sim_.ScheduleAt(
+        when, [this, description = std::move(description),
+               action = std::move(action)]() {
+            ++faults_applied_;
+            Log(description);
+            action();
+        }));
+}
+
+void
+CampaignEngine::Partition(SimTime start, SimTime end,
+                          std::vector<std::string> endpoints)
+{
+    const std::string size = std::to_string(endpoints.size());
+    At(start, "partition start (" + size + " endpoints)", [this, endpoints]() {
+        for (const std::string& e : endpoints) {
+            transport_.failures().SetEndpointDown(e, true);
+        }
+    });
+    At(end, "partition heal (" + size + " endpoints)",
+       [this, endpoints = std::move(endpoints)]() {
+           for (const std::string& e : endpoints) {
+               transport_.failures().SetEndpointDown(e, false);
+           }
+       });
+}
+
+void
+CampaignEngine::Flap(SimTime start, SimTime end, const std::string& endpoint,
+                     SimTime period)
+{
+    bool down = true;
+    for (SimTime t = start; t < end; t += period) {
+        At(t, (down ? "flap down " : "flap up ") + endpoint,
+           [this, endpoint, down]() {
+               transport_.failures().SetEndpointDown(endpoint, down);
+           });
+        down = !down;
+    }
+    At(end, "flap settle up " + endpoint, [this, endpoint]() {
+        transport_.failures().SetEndpointDown(endpoint, false);
+    });
+}
+
+void
+CampaignEngine::LatencyStorm(SimTime start, SimTime end,
+                             std::vector<std::string> endpoints,
+                             SimTime extra_latency)
+{
+    const std::string what = std::to_string(endpoints.size()) +
+                             " endpoints +" + std::to_string(extra_latency) +
+                             "ms";
+    At(start, "latency storm start (" + what + ")",
+       [this, endpoints, extra_latency]() {
+           for (const std::string& e : endpoints) {
+               transport_.failures().SetEndpointExtraLatency(e, extra_latency);
+           }
+       });
+    At(end, "latency storm end (" + what + ")",
+       [this, endpoints = std::move(endpoints)]() {
+           for (const std::string& e : endpoints) {
+               transport_.failures().ClearEndpointExtraLatency(e);
+           }
+       });
+}
+
+void
+CampaignEngine::DegradePulls(SimTime start, SimTime end,
+                             std::vector<std::string> endpoints, double p)
+{
+    const std::string what =
+        std::to_string(endpoints.size()) + " endpoints p=" + std::to_string(p);
+    At(start, "pull degradation start (" + what + ")",
+       [this, endpoints, p]() {
+           for (const std::string& e : endpoints) {
+               transport_.failures().SetEndpointFailureProbability(e, p);
+           }
+       });
+    At(end, "pull degradation end (" + what + ")",
+       [this, endpoints = std::move(endpoints)]() {
+           for (const std::string& e : endpoints) {
+               transport_.failures().ClearEndpointFailureProbability(e);
+           }
+       });
+}
+
+void
+CampaignEngine::CrashController(SimTime when, core::Controller& controller)
+{
+    At(when, "crash controller " + controller.endpoint(),
+       [&controller]() { controller.Crash(); });
+}
+
+void
+CampaignEngine::TelemetryBlackout(SimTime start, SimTime end,
+                                  power::BreakerTelemetry& telemetry)
+{
+    At(start, "telemetry blackout start",
+       [&telemetry]() { telemetry.set_blackout(true); });
+    At(end, "telemetry blackout end",
+       [&telemetry]() { telemetry.set_blackout(false); });
+}
+
+}  // namespace dynamo::chaos

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Scripted fault-campaign engine.
+ *
+ * Dynamo's safety story (Sections III-C1/III-E) is about what happens
+ * when the control plane's inputs fail: pulls time out, agents flap,
+ * controllers crash mid-capping-event. The campaign engine drives
+ * those fault patterns deterministically on the simulation clock,
+ * layered on SimTransport::failures(): correlated sub-tree partitions,
+ * agent flapping, latency storms (slow-responder injection), pull
+ * degradation, controller crashes, and telemetry blackouts. Every
+ * fault application and clearance is logged as a kChaosFault event so
+ * experiment output interleaves faults with the controller reactions
+ * they provoked.
+ */
+#ifndef DYNAMO_CHAOS_CAMPAIGN_H_
+#define DYNAMO_CHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/controller.h"
+#include "power/breaker_telemetry.h"
+#include "rpc/transport.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::chaos {
+
+/**
+ * Schedules scripted faults against one transport. All times are
+ * absolute simulation times; helpers schedule immediately, so build
+ * the campaign before (or while) the simulation runs past its start
+ * times. The engine must outlive the scheduled actions.
+ */
+class CampaignEngine
+{
+  public:
+    CampaignEngine(sim::Simulation& sim, rpc::SimTransport& transport,
+                   telemetry::EventLog* log = nullptr);
+
+    CampaignEngine(const CampaignEngine&) = delete;
+    CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+    /** Schedule an arbitrary fault action (logged as kChaosFault). */
+    void At(SimTime when, std::string description, std::function<void()> action);
+
+    /**
+     * Correlated partition: every endpoint in the set is hard-down
+     * from `start` to `end` — the paper's "sub-tree loses its network
+     * segment" case.
+     */
+    void Partition(SimTime start, SimTime end,
+                   std::vector<std::string> endpoints);
+
+    /**
+     * Flapping: the endpoint alternates down/up every `period` from
+     * `start`, and is left up at `end`.
+     */
+    void Flap(SimTime start, SimTime end, const std::string& endpoint,
+              SimTime period);
+
+    /**
+     * Latency storm: each endpoint responds `extra_latency` ms slower
+     * between `start` and `end`. Overrides above the caller's RPC
+     * timeout turn the endpoints into de-facto blackholes.
+     */
+    void LatencyStorm(SimTime start, SimTime end,
+                      std::vector<std::string> endpoints,
+                      SimTime extra_latency);
+
+    /**
+     * Degraded network: every listed endpoint independently fails each
+     * call with probability `p` between `start` and `end`.
+     */
+    void DegradePulls(SimTime start, SimTime end,
+                      std::vector<std::string> endpoints, double p);
+
+    /** Crash a controller at `when` (failover managers take it from there). */
+    void CrashController(SimTime when, core::Controller& controller);
+
+    /** Suppress a breaker-telemetry feed between `start` and `end`. */
+    void TelemetryBlackout(SimTime start, SimTime end,
+                           power::BreakerTelemetry& telemetry);
+
+    /** Faults applied so far (actions that have fired). */
+    std::uint64_t faults_applied() const { return faults_applied_; }
+
+    /**
+     * Latest scheduled action time — after this the campaign injects
+     * nothing further, so invariant checkers can arm their
+     * all-caps-released deadline against it.
+     */
+    SimTime last_action_time() const { return last_action_time_; }
+
+  private:
+    void Log(const std::string& description);
+
+    sim::Simulation& sim_;
+    rpc::SimTransport& transport_;
+    telemetry::EventLog* log_;
+    std::uint64_t faults_applied_ = 0;
+    SimTime last_action_time_ = 0;
+    std::vector<sim::TaskHandle> tasks_;
+};
+
+}  // namespace dynamo::chaos
+
+#endif  // DYNAMO_CHAOS_CAMPAIGN_H_

@@ -1,0 +1,149 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+
+#include "core/deployment.h"
+
+namespace dynamo::chaos {
+namespace {
+
+/** Device protected by a controller endpoint ("ctl:<name>"). */
+power::PowerDevice*
+DeviceFor(fleet::Fleet& fleet, const std::string& endpoint)
+{
+    const std::string prefix = "ctl:";
+    if (endpoint.rfind(prefix, 0) != 0) return nullptr;
+    return fleet.root().Find(endpoint.substr(prefix.size()));
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(fleet::Fleet& fleet)
+    : InvariantChecker(fleet, Config{})
+{
+}
+
+InvariantChecker::InvariantChecker(fleet::Fleet& fleet, Config config)
+    : fleet_(fleet), config_(config)
+{
+    task_ = fleet_.sim().SchedulePeriodic(config_.check_period,
+                                          [this]() { Check(); });
+}
+
+void
+InvariantChecker::NoteFaultsCleared()
+{
+    faults_cleared_at_ = fleet_.sim().Now();
+    recovery_time_ = -1;
+    release_violation_reported_ = false;
+}
+
+void
+InvariantChecker::Violation(const std::string& description)
+{
+    ++violation_count_;
+    if (violations_.size() < config_.max_recorded) {
+        violations_.push_back(
+            "t=" + std::to_string(fleet_.sim().Now()) + "ms " + description);
+    }
+}
+
+bool
+InvariantChecker::AllReleased()
+{
+    for (const auto& srv : fleet_.servers()) {
+        if (srv->capped()) return false;
+    }
+    core::Deployment* dynamo = fleet_.dynamo();
+    if (dynamo == nullptr) return true;
+    const auto controller_released = [](const core::Controller& c) {
+        if (!c.active()) return true;  // crashed/standby: no authority
+        return !c.capping() && !c.releases_frozen() && !c.contractual_limit();
+    };
+    for (const auto& leaf : dynamo->leaf_controllers()) {
+        if (!controller_released(*leaf)) return false;
+        if (leaf->active() && leaf->shedding()) return false;
+    }
+    for (const auto& leaf : dynamo->leaf_backups()) {
+        if (!controller_released(*leaf)) return false;
+        if (leaf->active() && leaf->shedding()) return false;
+    }
+    for (const auto& upper : dynamo->upper_controllers()) {
+        if (!controller_released(*upper)) return false;
+        if (upper->active() && upper->contracted_count() > 0) return false;
+    }
+    for (const auto& upper : dynamo->upper_backups()) {
+        if (!controller_released(*upper)) return false;
+        if (upper->active() && upper->contracted_count() > 0) return false;
+    }
+    return true;
+}
+
+void
+InvariantChecker::Check()
+{
+    ++checks_run_;
+    const SimTime now = fleet_.sim().Now();
+
+    // 1. Breakers hold: the trip curve was never exceeded to firing.
+    bool over_limit = false;
+    fleet_.root().ForEach([&](power::PowerDevice& device) {
+        max_breaker_stress_ =
+            std::max(max_breaker_stress_, device.breaker().stress());
+        if (device.breaker().tripped()) {
+            Violation("breaker tripped: " + device.name());
+        }
+    });
+
+    core::Deployment* dynamo = fleet_.dynamo();
+    if (dynamo != nullptr) {
+        // 2. Effective limit is min(physical, contractual) everywhere.
+        const auto check_limits = [&](const core::Controller& c) {
+            if (c.EffectiveLimit() > c.physical_limit()) {
+                Violation("effective limit above physical: " + c.endpoint());
+            }
+            if (c.contractual_limit() &&
+                c.EffectiveLimit() > *c.contractual_limit()) {
+                Violation("effective limit above contract: " + c.endpoint());
+            }
+        };
+        for (const auto& leaf : dynamo->leaf_controllers()) check_limits(*leaf);
+        for (const auto& upper : dynamo->upper_controllers()) {
+            check_limits(*upper);
+        }
+
+        // Over-limit accounting for the bench: any controlled device
+        // drawing above its active controller's effective limit.
+        for (const auto& leaf : dynamo->leaf_controllers()) {
+            power::PowerDevice* device = DeviceFor(fleet_, leaf->endpoint());
+            if (device == nullptr) continue;
+            const Watts draw = device->TotalPower(now);
+            if (draw > leaf->EffectiveLimit()) over_limit = true;
+        }
+
+        // 3. SLA floors: no capped server below its floor.
+        for (const auto& srv : fleet_.servers()) {
+            if (!srv->capped()) continue;
+            const Watts floor = core::SlaMinCapFor(*srv);
+            if (srv->power_limit() < floor - config_.sla_epsilon) {
+                Violation("server below SLA floor: " + srv->name());
+            }
+        }
+    }
+    if (over_limit) over_limit_ms_ += config_.check_period;
+
+    // 4. Prompt release once faults cleared.
+    if (faults_cleared_at_ >= 0 && recovery_time_ < 0 && AllReleased()) {
+        recovery_time_ = now - faults_cleared_at_;
+    }
+    if (faults_cleared_at_ >= 0 && recovery_time_ < 0 &&
+        now - faults_cleared_at_ > config_.release_bound &&
+        !release_violation_reported_) {
+        release_violation_reported_ = true;
+        Violation("caps not released within " +
+                  std::to_string(config_.release_bound) +
+                  "ms of faults clearing");
+    }
+}
+
+}  // namespace dynamo::chaos

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Continuous invariant checking during chaos campaigns.
+ *
+ * The point of a campaign is not that the fleet survives one scripted
+ * fault, but that Dynamo's safety contract holds at every instant
+ * while faults are active and is restored promptly once they clear:
+ *
+ *   1. no breaker trips (its inverse-time trip curve is never
+ *      exceeded long enough to fire);
+ *   2. every controller enforces min(physical, contractual) as its
+ *      effective limit;
+ *   3. no server is capped below its SLA power floor (which implies
+ *      every priority group keeps its aggregate floor);
+ *   4. after the campaign's last fault clears — and demand has
+ *      receded — all caps, contracts, and shed requests are released
+ *      and every controller returns to NORMAL health within a bound.
+ *
+ * The checker samples the fleet on the sim clock, records violations
+ * as human-readable strings (tests assert the list is empty), and
+ * accumulates recovery-time / over-limit metrics for the chaos bench.
+ */
+#ifndef DYNAMO_CHAOS_INVARIANTS_H_
+#define DYNAMO_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "sim/simulation.h"
+
+namespace dynamo::chaos {
+
+/** Periodic invariant checker over one fleet. */
+class InvariantChecker
+{
+  public:
+    struct Config
+    {
+        /** Sampling period, ms (1 s default: finer than pull cycles). */
+        SimTime check_period = 1000;
+
+        /** Tolerance on SLA floor comparisons (cap quantization), W. */
+        double sla_epsilon = 1.5;
+
+        /**
+         * Once faults clear, all caps/contracts must be released and
+         * all controllers back to NORMAL within this bound, ms.
+         */
+        SimTime release_bound = 180000;
+
+        /** Cap on recorded violation strings (counting continues). */
+        std::size_t max_recorded = 100;
+    };
+
+    /** Starts sampling immediately; must not outlive `fleet`. */
+    explicit InvariantChecker(fleet::Fleet& fleet);
+    InvariantChecker(fleet::Fleet& fleet, Config config);
+
+    ~InvariantChecker() { task_.Cancel(); }
+
+    InvariantChecker(const InvariantChecker&) = delete;
+    InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+    /**
+     * Arm the release-bound invariant: the campaign's faults have all
+     * cleared as of now, so full release must be observed within
+     * release_bound.
+     */
+    void NoteFaultsCleared();
+
+    /**
+     * True when no controller is capping or degraded, no server is
+     * capped, and no contractual limits are outstanding.
+     */
+    bool AllReleased();
+
+    /** True if no invariant has been violated so far. */
+    bool ok() const { return violation_count_ == 0; }
+
+    /** Recorded violation descriptions (capped at max_recorded). */
+    const std::vector<std::string>& violations() const { return violations_; }
+
+    /** Total violations observed (recorded or not). */
+    std::uint64_t violation_count() const { return violation_count_; }
+
+    std::uint64_t checks_run() const { return checks_run_; }
+
+    /** Accumulated time any controlled device drew above its limit. */
+    SimTime over_limit_ms() const { return over_limit_ms_; }
+
+    /** Peak breaker thermal stress observed, in [0, 1]. */
+    double max_breaker_stress() const { return max_breaker_stress_; }
+
+    /**
+     * Time from NoteFaultsCleared to the first fully-released sample;
+     * -1 while not yet recovered.
+     */
+    SimTime recovery_time() const { return recovery_time_; }
+
+  private:
+    void Check();
+    void Violation(const std::string& description);
+
+    fleet::Fleet& fleet_;
+    Config config_;
+    std::vector<std::string> violations_;
+    std::uint64_t violation_count_ = 0;
+    std::uint64_t checks_run_ = 0;
+    SimTime over_limit_ms_ = 0;
+    double max_breaker_stress_ = 0.0;
+    SimTime faults_cleared_at_ = -1;
+    SimTime recovery_time_ = -1;
+    bool release_violation_reported_ = false;
+    sim::TaskHandle task_;
+};
+
+}  // namespace dynamo::chaos
+
+#endif  // DYNAMO_CHAOS_INVARIANTS_H_

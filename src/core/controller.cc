@@ -1,8 +1,21 @@
 #include "core/controller.h"
 
+#include <functional>
+#include <stdexcept>
 #include <utility>
 
 namespace dynamo::core {
+
+const char*
+HealthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::kNormal: return "normal";
+      case HealthState::kDegraded: return "degraded";
+      case HealthState::kRecovering: return "recovering";
+    }
+    return "?";
+}
 
 Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
                        std::string endpoint, Watts physical_limit, Watts quota,
@@ -14,8 +27,24 @@ Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
       log_(log),
       endpoint_(std::move(endpoint)),
       physical_limit_(physical_limit),
-      quota_(quota)
+      quota_(quota),
+      retry_rng_(std::hash<std::string>{}(endpoint_) ^ 0x9e3779b97f4a7c15ULL)
 {
+    if (config_.rpc_timeout <= 0 || config_.rpc_timeout >= config_.response_wait) {
+        throw std::invalid_argument(
+            "ControllerBaseConfig: rpc_timeout must be in (0, response_wait); "
+            "got rpc_timeout=" + std::to_string(config_.rpc_timeout) +
+            " response_wait=" + std::to_string(config_.response_wait));
+    }
+    if (config_.pull_retries < 0 || config_.retry_backoff < 0 ||
+        config_.retry_jitter < 0) {
+        throw std::invalid_argument(
+            "ControllerBaseConfig: retry knobs must be non-negative");
+    }
+    if (config_.degraded_entry_cycles < 1 || config_.recovery_exit_cycles < 1) {
+        throw std::invalid_argument(
+            "ControllerBaseConfig: hysteresis cycle counts must be >= 1");
+    }
 }
 
 Controller::~Controller()
@@ -80,10 +109,97 @@ Controller::HandleExtra(const rpc::Payload&)
     return AckResponse{false};
 }
 
-BandDecision
-Controller::DecideBand(Watts aggregated)
+void
+Controller::PullWithRetry(const std::string& endpoint, rpc::Payload request,
+                          rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err)
 {
-    BandDecision decision = bands_.Evaluate(aggregated, EffectiveLimit());
+    const int attempts = 1 + config_.pull_retries;
+    const SimTime per_attempt =
+        std::max<SimTime>(1, config_.rpc_timeout / attempts);
+    PullAttempt(endpoint, std::move(request), std::move(on_ok),
+                std::move(on_err), 0, per_attempt, cycle_id_);
+}
+
+void
+Controller::PullAttempt(const std::string& endpoint, rpc::Payload request,
+                        rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err,
+                        int attempt, SimTime per_attempt_timeout,
+                        std::uint64_t cycle)
+{
+    transport_.Call(
+        endpoint, request, on_ok,
+        [this, endpoint, request, on_ok, on_err, attempt, per_attempt_timeout,
+         cycle](const std::string& reason) {
+            if (cycle != cycle_id_) return;  // cycle moved on; abandon
+            if (attempt >= config_.pull_retries) {
+                on_err(reason);
+                return;
+            }
+            ++retries_issued_;
+            SimTime backoff = config_.retry_backoff << attempt;
+            if (config_.retry_jitter > 0) {
+                backoff += static_cast<SimTime>(retry_rng_.UniformInt(
+                    static_cast<std::uint64_t>(config_.retry_jitter) + 1));
+            }
+            sim_.ScheduleAfter(backoff, [this, endpoint, request, on_ok, on_err,
+                                         attempt, per_attempt_timeout, cycle]() {
+                if (cycle != cycle_id_) return;
+                PullAttempt(endpoint, request, on_ok, on_err, attempt + 1,
+                            per_attempt_timeout, cycle);
+            });
+        },
+        per_attempt_timeout);
+}
+
+void
+Controller::UpdateHealth(bool cycle_valid)
+{
+    if (health_ != HealthState::kNormal) ++unhealthy_cycles_;
+
+    if (!cycle_valid) {
+        consecutive_healthy_ = 0;
+        ++consecutive_invalid_;
+        const bool enter =
+            (health_ == HealthState::kNormal &&
+             consecutive_invalid_ >= config_.degraded_entry_cycles) ||
+            health_ == HealthState::kRecovering;
+        if (enter) {
+            health_ = HealthState::kDegraded;
+            ++degraded_entries_;
+            LogEvent(telemetry::EventKind::kDegradedEnter, last_power_,
+                     EffectiveLimit(), 0,
+                     "cap releases frozen after " +
+                         std::to_string(consecutive_invalid_) +
+                         " invalid aggregations");
+        }
+        return;
+    }
+
+    consecutive_invalid_ = 0;
+    switch (health_) {
+      case HealthState::kNormal:
+        break;
+      case HealthState::kDegraded:
+        health_ = HealthState::kRecovering;
+        consecutive_healthy_ = 1;
+        break;
+      case HealthState::kRecovering:
+        if (++consecutive_healthy_ >= config_.recovery_exit_cycles) {
+            health_ = HealthState::kNormal;
+            LogEvent(telemetry::EventKind::kDegradedExit, last_power_,
+                     EffectiveLimit(), 0,
+                     "recovered after " + std::to_string(consecutive_healthy_) +
+                         " healthy cycles");
+        }
+        break;
+    }
+}
+
+BandDecision
+Controller::DecideBand(Watts aggregated, bool allow_uncap)
+{
+    BandDecision decision =
+        bands_.Evaluate(aggregated, EffectiveLimit(), allow_uncap);
     if (decision.action == BandAction::kCap && contractual_limit_ &&
         *contractual_limit_ < physical_limit_) {
         const Watts target =
@@ -105,11 +221,14 @@ Controller::GetStatus() const
     status.active = active_;
     status.capping = bands_.capping();
     status.last_valid = last_valid_;
+    status.health = health_;
     status.physical_limit = physical_limit_;
     status.contractual_limit = contractual_limit_;
     status.last_power = last_power_;
     status.aggregations = aggregations_;
     status.invalid_aggregations = invalid_aggregations_;
+    status.degraded_entries = degraded_entries_;
+    status.frozen_releases = frozen_releases_;
     status.controlled = ControlledCount();
     return status;
 }
@@ -129,6 +248,8 @@ Controller::StatusLine() const
                 "W)";
     }
     if (!s.last_valid) line += " INVALID";
+    if (s.health == HealthState::kDegraded) line += " DEGRADED";
+    if (s.health == HealthState::kRecovering) line += " RECOVERING";
     if (s.capping) {
         line += " CAPPING(" + std::to_string(s.controlled) + ")";
     }

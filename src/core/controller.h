@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "core/messages.h"
 #include "core/three_band.h"
@@ -38,7 +39,11 @@ struct ControllerBaseConfig
     /** Delay between issuing pulls and aggregating responses, ms. */
     SimTime response_wait = 1000;
 
-    /** Per-pull RPC timeout, ms (must be < response_wait). */
+    /**
+     * Per-pull RPC budget, ms. Must be < response_wait (enforced at
+     * controller construction); shared across all attempts when pulls
+     * are retried.
+     */
     SimTime rpc_timeout = 900;
 
     /** Three-band thresholds relative to the effective limit. */
@@ -58,7 +63,60 @@ struct ControllerBaseConfig
      * Logged events carry the "dry-run" detail tag.
      */
     bool dry_run = false;
+
+    /**
+     * Extra pull attempts after a failed first try. The rpc_timeout
+     * budget is split evenly across attempts so the whole retry chain
+     * still finishes before aggregation; retries are spaced by
+     * exponential backoff with jitter.
+     */
+    int pull_retries = 2;
+
+    /** Backoff before the first retry, ms (doubles per attempt). */
+    SimTime retry_backoff = 25;
+
+    /** Max uniform jitter added to each backoff, ms. */
+    SimTime retry_jitter = 10;
+
+    /**
+     * TTL for last-known-good readings, ms. A failed pull is first
+     * patched with the endpoint's own cached reading while it is
+     * fresher than this; only stale entries fall back to neighbour
+     * estimation. 0 selects the default of 4 pull cycles.
+     */
+    SimTime reading_ttl = 0;
+
+    /**
+     * Consecutive invalid aggregations (failure fraction above
+     * max_failure_fraction) before the controller drops from NORMAL
+     * to DEGRADED and freezes cap releases.
+     */
+    int degraded_entry_cycles = 2;
+
+    /**
+     * Consecutive healthy cycles required in RECOVERING before the
+     * controller returns to NORMAL and may release caps again
+     * (hysteresis against flapping inputs).
+     */
+    int recovery_exit_cycles = 3;
 };
+
+/**
+ * Controller health (degraded-mode state machine).
+ *
+ *   NORMAL --(N consecutive invalid aggregations)--> DEGRADED
+ *   DEGRADED --(one valid aggregation)--> RECOVERING
+ *   RECOVERING --(M consecutive valid)--> NORMAL
+ *   RECOVERING --(any invalid)--> DEGRADED
+ *
+ * Outside NORMAL the controller still caps on valid data (capping is
+ * the safe direction) but never releases caps: uncapping on partial or
+ * stale readings could let a genuinely overloaded breaker trip.
+ */
+enum class HealthState { kNormal, kDegraded, kRecovering };
+
+/** Readable name ("normal", "degraded", "recovering"). */
+const char* HealthStateName(HealthState state);
 
 /** Abstract controller: one instance protects one power device. */
 class Controller
@@ -72,6 +130,10 @@ class Controller
      * @param quota     The device's planned-peak power quota.
      * @param config    Shared configuration.
      * @param log       Event log (may be nullptr).
+     *
+     * @throws std::invalid_argument if the config violates
+     *         rpc_timeout < response_wait or has negative retry /
+     *         hysteresis knobs.
      */
     Controller(sim::Simulation& sim, rpc::SimTransport& transport,
                std::string endpoint, Watts physical_limit, Watts quota,
@@ -123,6 +185,24 @@ class Controller
     /** True while this controller's caps are in force. */
     bool capping() const { return bands_.capping(); }
 
+    /** Current degraded-mode state. */
+    HealthState health() const { return health_; }
+
+    /** True while cap releases are frozen (health != NORMAL). */
+    bool releases_frozen() const { return health_ != HealthState::kNormal; }
+
+    /** Times the controller entered DEGRADED. */
+    std::uint64_t degraded_entries() const { return degraded_entries_; }
+
+    /** Aggregation cycles spent outside NORMAL so far. */
+    std::uint64_t unhealthy_cycles() const { return unhealthy_cycles_; }
+
+    /** Uncap decisions suppressed by the release freeze. */
+    std::uint64_t frozen_releases() const { return frozen_releases_; }
+
+    /** Pull retry attempts issued so far. */
+    std::uint64_t retries_issued() const { return retries_issued_; }
+
     /** Lowest contractual limit this controller could honor. */
     virtual Watts Floor() const = 0;
 
@@ -136,11 +216,14 @@ class Controller
         bool active = false;
         bool capping = false;
         bool last_valid = false;
+        HealthState health = HealthState::kNormal;
         Watts physical_limit = 0.0;
         std::optional<Watts> contractual_limit;
         Watts last_power = 0.0;
         std::uint64_t aggregations = 0;
         std::uint64_t invalid_aggregations = 0;
+        std::uint64_t degraded_entries = 0;
+        std::uint64_t frozen_releases = 0;
 
         /** Servers capped (leaf) or children contracted (upper). */
         std::size_t controlled = 0;
@@ -156,9 +239,6 @@ class Controller
     /** Subclass contribution to Status::controlled. */
     virtual std::size_t ControlledCount() const = 0;
 
-  public:
-
-  protected:
     /** Issue this cycle's pulls; called every pull_cycle while active. */
     virtual void RunCycle() = 0;
 
@@ -173,14 +253,41 @@ class Controller
      * binding contract the target is therefore placed just below the
      * contract itself (kContractTargetFrac), which settles each level
      * inside its hysteresis band.
+     *
+     * With `allow_uncap` false (controller not in NORMAL health) a due
+     * release comes back as kHold; callers count it and log kCapHold.
      */
-    BandDecision DecideBand(Watts aggregated);
+    BandDecision DecideBand(Watts aggregated, bool allow_uncap = true);
 
     /** Target fraction of a binding contractual limit. */
     static constexpr double kContractTargetFrac = 0.985;
 
     /** Hook for subclasses to serve extra request types; default nack. */
     virtual rpc::Payload HandleExtra(const rpc::Payload& request);
+
+    /**
+     * Issue one pull with bounded retry: the rpc_timeout budget is
+     * split evenly across 1 + pull_retries attempts; failed attempts
+     * are retried after exponential backoff with jitter. Exactly one
+     * of `on_ok` / `on_err` fires unless the cycle advances first, in
+     * which case the chain is abandoned (the next cycle re-pulls).
+     */
+    void PullWithRetry(const std::string& endpoint, rpc::Payload request,
+                       rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err);
+
+    /**
+     * Advance the health state machine after one aggregation attempt
+     * (valid or not), logging kDegradedEnter / kDegradedExit events on
+     * transitions.
+     */
+    void UpdateHealth(bool cycle_valid);
+
+    /** Effective last-known-good TTL (resolves the 0 = auto default). */
+    SimTime ReadingTtl() const
+    {
+        return config_.reading_ttl > 0 ? config_.reading_ttl
+                                       : 4 * config_.pull_cycle;
+    }
 
     /** Append to the event log (no-op when log is null). */
     void LogEvent(telemetry::EventKind kind, Watts aggregated, Watts limit,
@@ -196,11 +303,17 @@ class Controller
     bool last_valid_ = false;
     std::uint64_t aggregations_ = 0;
     std::uint64_t invalid_aggregations_ = 0;
+    std::uint64_t frozen_releases_ = 0;
 
     /** Incremented per cycle; stale async responses are discarded. */
     std::uint64_t cycle_id_ = 0;
 
   private:
+    void PullAttempt(const std::string& endpoint, rpc::Payload request,
+                     rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err,
+                     int attempt, SimTime per_attempt_timeout,
+                     std::uint64_t cycle);
+
     rpc::Payload Handle(const rpc::Payload& request);
 
     std::string endpoint_;
@@ -209,6 +322,14 @@ class Controller
     std::optional<Watts> contractual_limit_;
     bool active_ = false;
     sim::TaskHandle cycle_task_;
+
+    HealthState health_ = HealthState::kNormal;
+    int consecutive_invalid_ = 0;
+    int consecutive_healthy_ = 0;
+    std::uint64_t degraded_entries_ = 0;
+    std::uint64_t unhealthy_cycles_ = 0;
+    std::uint64_t retries_issued_ = 0;
+    Rng retry_rng_;
 };
 
 }  // namespace dynamo::core

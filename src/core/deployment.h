@@ -89,6 +89,18 @@ class Deployment
         return uppers_;
     }
 
+    /** Standby leaf controllers (empty unless backups configured). */
+    const std::vector<std::unique_ptr<LeafController>>& leaf_backups() const
+    {
+        return leaf_backups_;
+    }
+
+    /** Standby upper controllers (empty unless backups configured). */
+    const std::vector<std::unique_ptr<UpperController>>& upper_backups() const
+    {
+        return upper_backups_;
+    }
+
     const std::vector<std::unique_ptr<FailoverManager>>& failovers() const
     {
         return failovers_;

@@ -52,7 +52,7 @@ LeafController::RunCycle()
         a.failed = false;
     }
     for (std::size_t i = 0; i < agents_.size(); ++i) {
-        transport_.Call(
+        PullWithRetry(
             agents_[i].info.endpoint, PowerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;  // stale cycle
@@ -65,8 +65,7 @@ LeafController::RunCycle()
             [this, i, id](const std::string&) {
                 if (id != cycle_id_) return;
                 agents_[i].failed = true;
-            },
-            config_.rpc_timeout);
+            });
     }
     sim_.ScheduleAfter(config_.response_wait, [this, id]() {
         if (id != cycle_id_) return;
@@ -116,12 +115,18 @@ LeafController::ValidateAgainstBreaker(Watts aggregated)
 }
 
 Watts
-LeafController::EstimateFor(const AgentState& agent) const
+LeafController::EstimateFor(AgentState& agent)
 {
-    // Prefer the mean of this cycle's successful readings from the
-    // same service — "estimate the power reading for the failed
-    // servers using power readings from neighboring servers running
-    // similar workloads".
+    // The agent's own recent reading beats any cross-server estimate:
+    // use the last-known-good value while it is fresher than the TTL.
+    if (agent.have_last && sim_.Now() - agent.last_time <= ReadingTtl()) {
+        ++cache_hits_;
+        return agent.last_power;
+    }
+    // Then the mean of this cycle's successful readings from the same
+    // service — "estimate the power reading for the failed servers
+    // using power readings from neighboring servers running similar
+    // workloads".
     Watts sum = 0.0;
     std::size_t n = 0;
     for (const AgentState& other : agents_) {
@@ -156,34 +161,55 @@ LeafController::Aggregate()
         last_valid_ = false;
         LogEvent(telemetry::EventKind::kAlarm, 0.0, EffectiveLimit(),
                  static_cast<int>(failures), "power aggregation invalid");
+        UpdateHealth(false);
         return;
     }
 
     last_noncappable_ = device_.NonCappableLoadPower(now);
     Watts aggregated = last_noncappable_;
     std::vector<Watts> powers(agents_.size(), 0.0);
+    std::size_t adopted = 0;
     for (std::size_t i = 0; i < agents_.size(); ++i) {
         AgentState& a = agents_[i];
         if (a.current) {
             powers[i] = a.current->power;
             a.last_power = a.current->power;
             a.have_last = true;
+            a.last_time = now;
+            // Caps in force that this instance didn't issue — a
+            // predecessor's capping event surviving failover, or a
+            // lost uncap command. Adopt them so they are updated and
+            // eventually released through the normal band path
+            // instead of being stranded on the servers.
+            if (!config_.dry_run && a.current->capped && !a.capped) {
+                a.capped = true;
+                a.cap = a.current->power_limit;
+                ++adopted;
+            }
         } else {
             powers[i] = EstimateFor(a);
             ++estimated_readings_;
         }
         aggregated += powers[i];
     }
+    if (adopted > 0) {
+        caps_adopted_ += adopted;
+        if (!bands_.capping()) bands_.AdoptCappingEvent();
+        LogEvent(telemetry::EventKind::kCapUpdate, aggregated,
+                 EffectiveLimit(), static_cast<int>(adopted),
+                 "adopted in-flight caps");
+    }
 
     last_power_ = aggregated;
     last_valid_ = true;
     ++aggregations_;
+    UpdateHealth(true);
 
     ValidateAgainstBreaker(aggregated);
 
     const Watts limit = EffectiveLimit();
     const bool was_capping = bands_.capping();
-    const BandDecision decision = DecideBand(aggregated);
+    const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
     if (decision.action == BandAction::kCap) {
         std::vector<ServerPowerInfo> infos;
@@ -234,6 +260,15 @@ LeafController::Aggregate()
         LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
                  static_cast<int>(agents_.size()),
                  config_.dry_run ? "dry-run" : "");
+    } else if (decision.action == BandAction::kHold) {
+        // A release was due but the controller is not back to NORMAL
+        // health: hold current caps rather than uncap on data we only
+        // just started trusting again.
+        ++frozen_releases_;
+        LogEvent(telemetry::EventKind::kCapHold, aggregated, limit,
+                 static_cast<int>(capped_count()),
+                 std::string("release frozen: health ") +
+                     HealthStateName(health()));
     }
 }
 

@@ -102,6 +102,20 @@ class LeafController : public Controller
     /** Readings replaced by estimates so far (failed pulls). */
     std::uint64_t estimated_readings() const { return estimated_readings_; }
 
+    /**
+     * Failed pulls patched with the agent's own last-known-good
+     * reading while still within the TTL (subset of
+     * estimated_readings).
+     */
+    std::uint64_t cache_hits() const { return cache_hits_; }
+
+    /**
+     * Caps found already in force on servers but not issued by this
+     * instance (predecessor's event surviving failover, or a lost
+     * uncap command) and adopted into the local capping state.
+     */
+    std::uint64_t caps_adopted() const { return caps_adopted_; }
+
     /** Device power used for validation, as the paper's breaker check. */
     power::PowerDevice& device() { return device_; }
 
@@ -155,6 +169,7 @@ class LeafController : public Controller
         bool failed = false;
         Watts last_power = 0.0;
         bool have_last = false;
+        SimTime last_time = 0;  ///< When last_power was read (TTL check).
         bool capped = false;
         Watts cap = 0.0;
     };
@@ -164,8 +179,12 @@ class LeafController : public Controller
     /** Validate `aggregated` against breaker telemetry; tune estimators. */
     void ValidateAgainstBreaker(Watts aggregated);
 
-    /** Estimate a failed agent's power from same-service neighbours. */
-    Watts EstimateFor(const AgentState& agent) const;
+    /**
+     * Substitute a failed agent's reading: its own last-known-good
+     * value while fresh (within the TTL), then same-service neighbour
+     * estimation, then the stale cache, then nominal power.
+     */
+    Watts EstimateFor(AgentState& agent);
 
     void ExecuteCapPlan(const CappingPlan& plan);
     void ExecuteUncap();
@@ -176,6 +195,8 @@ class LeafController : public Controller
     std::unordered_map<std::string, std::size_t> agent_index_;
     std::size_t last_failure_count_ = 0;
     std::uint64_t estimated_readings_ = 0;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t caps_adopted_ = 0;
     Watts last_noncappable_ = 0.0;
     const power::BreakerTelemetry* breaker_telemetry_ = nullptr;
     LoadShedder* shedder_ = nullptr;

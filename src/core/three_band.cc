@@ -10,7 +10,7 @@ ThreeBandPolicy::ThreeBandPolicy(ThreeBandConfig config) : config_(config)
 }
 
 BandDecision
-ThreeBandPolicy::Evaluate(Watts aggregated, Watts limit)
+ThreeBandPolicy::Evaluate(Watts aggregated, Watts limit, bool allow_uncap)
 {
     BandDecision decision;
     const Watts cap_threshold = config_.cap_threshold_frac * limit;
@@ -23,8 +23,12 @@ ThreeBandPolicy::Evaluate(Watts aggregated, Watts limit)
         decision.cut = aggregated - cap_target;
         capping_ = true;
     } else if (capping_ && aggregated < uncap_threshold) {
-        decision.action = BandAction::kUncap;
-        capping_ = false;
+        if (allow_uncap) {
+            decision.action = BandAction::kUncap;
+            capping_ = false;
+        } else {
+            decision.action = BandAction::kHold;
+        }
     }
     return decision;
 }

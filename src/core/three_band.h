@@ -39,8 +39,13 @@ struct ThreeBandConfig
     }
 };
 
-/** What the policy wants done this cycle. */
-enum class BandAction { kNone, kCap, kUncap };
+/**
+ * What the policy wants done this cycle. kHold is reported when an
+ * uncap would have fired but the caller disallowed releases (degraded
+ * or recovering controller health): caps stay in force and the policy
+ * keeps its capping state so the release fires once allowed again.
+ */
+enum class BandAction { kNone, kCap, kUncap, kHold };
 
 /** Decision plus the numbers behind it. */
 struct BandDecision
@@ -65,14 +70,28 @@ class ThreeBandPolicy
   public:
     explicit ThreeBandPolicy(ThreeBandConfig config = ThreeBandConfig{});
 
-    /** Evaluate one aggregated reading against `limit`. */
-    BandDecision Evaluate(Watts aggregated, Watts limit);
+    /**
+     * Evaluate one aggregated reading against `limit`. With
+     * `allow_uncap` false a due release is reported as kHold instead
+     * of kUncap and the capping state is retained.
+     */
+    BandDecision Evaluate(Watts aggregated, Watts limit,
+                          bool allow_uncap = true);
 
     /** True while caps issued by this policy are in force. */
     bool capping() const { return capping_; }
 
     /** Forget capping state (e.g. after failover). */
     void Reset() { capping_ = false; }
+
+    /**
+     * Adopt an in-flight capping event discovered rather than started
+     * — caps found already applied on the hardware (a predecessor's
+     * event surviving controller failover, or a lost uncap command).
+     * Puts the policy in the capping state so updates and the eventual
+     * release follow the normal three-band path.
+     */
+    void AdoptCappingEvent() { capping_ = true; }
 
     const ThreeBandConfig& config() const { return config_; }
 

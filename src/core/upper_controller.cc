@@ -61,7 +61,7 @@ UpperController::RunCycle()
         c.failed = false;
     }
     for (std::size_t i = 0; i < children_.size(); ++i) {
-        transport_.Call(
+        PullWithRetry(
             children_[i].endpoint, ControllerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;
@@ -75,8 +75,7 @@ UpperController::RunCycle()
             [this, i, id](const std::string&) {
                 if (id != cycle_id_) return;
                 children_[i].failed = true;
-            },
-            config_.rpc_timeout);
+            });
     }
     sim_.ScheduleAfter(config_.response_wait, [this, id]() {
         if (id != cycle_id_) return;
@@ -88,6 +87,7 @@ void
 UpperController::Aggregate()
 {
     if (children_.empty()) return;
+    const SimTime now = sim_.Now();
 
     std::size_t failures = 0;
     Watts aggregated = 0.0;
@@ -97,14 +97,17 @@ UpperController::Aggregate()
     for (ChildState& c : children_) {
         // A child whose own aggregation was invalid reports
         // valid=false; treat it like a pull failure and fall back to
-        // its last good value.
+        // its last good value — but only while that cached value is
+        // fresher than the TTL.
         if (c.current && c.current->valid) {
             c.last = *c.current;
             c.have_last = true;
+            c.last_time = now;
         } else {
             ++failures;
         }
         if (!c.have_last) continue;  // never heard from it; skip
+        if (now - c.last_time > ReadingTtl()) continue;  // stale cache
         aggregated += c.last.power;
         infos.push_back(
             ChildPowerInfo{c.endpoint, c.last.power, c.last.quota, c.last.floor});
@@ -119,16 +122,18 @@ UpperController::Aggregate()
         LogEvent(telemetry::EventKind::kAlarm, 0.0, EffectiveLimit(),
                  static_cast<int>(failures),
                  "upper-level aggregation invalid");
+        UpdateHealth(false);
         return;
     }
 
     last_power_ = aggregated;
     last_valid_ = true;
     ++aggregations_;
+    UpdateHealth(true);
 
     const Watts limit = EffectiveLimit();
     const bool was_capping = bands_.capping();
-    const BandDecision decision = DecideBand(aggregated);
+    const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
     if (decision.action == BandAction::kCap) {
         const OffenderPlan plan =
@@ -148,6 +153,16 @@ UpperController::Aggregate()
         LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
                  static_cast<int>(children_.size()),
                  config_.dry_run ? "dry-run" : "");
+    } else if (decision.action == BandAction::kHold) {
+        ++frozen_releases_;
+        LogEvent(telemetry::EventKind::kCapHold, aggregated, limit,
+                 static_cast<int>(contracted_count()),
+                 std::string("release frozen: health ") +
+                     HealthStateName(health()));
+    } else if (!config_.dry_run) {
+        // Settled in-band: keep standing contracts alive so children
+        // that failed over (losing in-memory state) re-learn them.
+        ReaffirmContracts();
     }
 }
 
@@ -168,6 +183,19 @@ UpperController::ExecutePlan(const OffenderPlan& plan)
                 config_.rpc_timeout);
             break;
         }
+    }
+}
+
+void
+UpperController::ReaffirmContracts()
+{
+    for (ChildState& c : children_) {
+        if (!c.contracted) continue;
+        ++contracts_reaffirmed_;
+        transport_.Call(
+            c.endpoint, SetContractualLimitRequest{c.limit},
+            [](const rpc::Payload&) {}, [](const std::string&) {},
+            config_.rpc_timeout);
     }
 }
 

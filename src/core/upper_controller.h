@@ -50,6 +50,9 @@ class UpperController : public Controller
     /** Children currently under a contractual limit from us. */
     std::size_t contracted_count() const;
 
+    /** Contract re-issues sent to already-contracted children. */
+    std::uint64_t contracts_reaffirmed() const { return contracts_reaffirmed_; }
+
     /** Quota/floor data discovered from a child (for tests). */
     std::optional<ControllerReadResponse> LastChildResponse(
         const std::string& endpoint) const;
@@ -70,6 +73,7 @@ class UpperController : public Controller
         std::optional<ControllerReadResponse> current;
         ControllerReadResponse last;
         bool have_last = false;
+        SimTime last_time = 0;  ///< When `last` was read (TTL check).
         bool failed = false;
         bool contracted = false;
         Watts limit = 0.0;
@@ -77,11 +81,22 @@ class UpperController : public Controller
 
     void Aggregate();
     void ExecutePlan(const OffenderPlan& plan);
+
+    /**
+     * Re-send standing contractual limits to contracted children.
+     * Children keep no durable state across failover, so a promoted
+     * backup only learns its outstanding contract when the parent
+     * repeats it; re-issuing every settled cycle bounds that window
+     * to one pull period.
+     */
+    void ReaffirmContracts();
+
     void ClearContracts();
 
     Config upper_config_;
     std::vector<ChildState> children_;
     std::size_t last_failure_count_ = 0;
+    std::uint64_t contracts_reaffirmed_ = 0;
 };
 
 }  // namespace dynamo::core

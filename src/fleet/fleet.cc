@@ -156,6 +156,32 @@ Fleet::ServersUnder(const std::string& device_name)
     return result;
 }
 
+std::vector<std::string>
+Fleet::AgentEndpointsUnder(const std::string& device_name)
+{
+    std::vector<std::string> endpoints;
+    for (server::SimServer* srv : ServersUnder(device_name)) {
+        endpoints.push_back(core::Deployment::AgentEndpoint(srv->name()));
+    }
+    return endpoints;
+}
+
+std::vector<std::string>
+Fleet::ControllerEndpointsUnder(const std::string& device_name)
+{
+    std::vector<std::string> endpoints;
+    power::PowerDevice* device = root_->Find(device_name);
+    if (device == nullptr || deployment_ == nullptr) return endpoints;
+    device->ForEach([&](power::PowerDevice& d) {
+        const std::string endpoint = core::Deployment::ControllerEndpoint(d.name());
+        if (deployment_->FindLeaf(endpoint) != nullptr ||
+            deployment_->FindUpper(endpoint) != nullptr) {
+            endpoints.push_back(endpoint);
+        }
+    });
+    return endpoints;
+}
+
 std::vector<server::SimServer*>
 Fleet::ServersOf(workload::ServiceType service)
 {

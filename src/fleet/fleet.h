@@ -165,6 +165,25 @@ class Fleet
     std::vector<server::SimServer*> ServersOf(workload::ServiceType service);
 
     /**
+     * Campaign hooks: RPC endpoint rosters for a device subtree, so
+     * chaos campaigns can target correlated faults ("partition this
+     * RPP's agents", "storm this SB's controllers") without knowing
+     * how the fleet names things.
+     */
+    std::vector<std::string> AgentEndpointsUnder(const std::string& device_name);
+
+    /** Controller endpoints (leaf + upper) in a device subtree. */
+    std::vector<std::string> ControllerEndpointsUnder(
+        const std::string& device_name);
+
+    /** Breaker telemetry feeds (empty unless with_breaker_validation). */
+    const std::vector<std::unique_ptr<power::BreakerTelemetry>>&
+    breaker_telemetry()
+    {
+        return breaker_telemetry_;
+    }
+
+    /**
      * The scriptable scenario traffic curve shared by every server;
      * add breakpoints to drive load tests and surges.
      */

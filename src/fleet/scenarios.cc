@@ -35,4 +35,15 @@ ScriptOutageRecovery(workload::PiecewiseTraffic* scenario, SimTime issue_start,
     scenario->AddPoint(settle + 25 * m, 1.0);
 }
 
+void
+ScriptSurgeHold(workload::PiecewiseTraffic* scenario, SimTime start,
+                SimTime ramp, SimTime release, double factor)
+{
+    scenario->AddPoint(0, 1.0);
+    scenario->AddPoint(start, 1.0);
+    scenario->AddPoint(start + ramp, factor);
+    scenario->AddPoint(release, factor);
+    scenario->AddPoint(release + ramp, 1.0);
+}
+
 }  // namespace dynamo::fleet

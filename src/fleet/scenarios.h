@@ -43,6 +43,15 @@ void ScriptOutageRecovery(workload::PiecewiseTraffic* scenario,
                           SimTime issue_start, double surge_factor,
                           SimTime settle);
 
+/**
+ * Chaos-campaign traffic backdrop: ramp to `factor` by `start + ramp`,
+ * hold until `release`, then decay back to 1.0. Campaigns use this to
+ * pin a fleet near its limits while faults are injected, and to drop
+ * demand afterwards so cap-release behaviour is observable.
+ */
+void ScriptSurgeHold(workload::PiecewiseTraffic* scenario, SimTime start,
+                     SimTime ramp, SimTime release, double factor);
+
 }  // namespace dynamo::fleet
 
 #endif  // DYNAMO_FLEET_SCENARIOS_H_

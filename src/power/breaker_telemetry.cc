@@ -9,6 +9,7 @@ BreakerTelemetry::BreakerTelemetry(sim::Simulation& sim, PowerDevice& device,
       rng_(seed)
 {
     task_ = sim_.SchedulePeriodic(period_, [this]() {
+        if (blackout_) return;
         const Watts truth = device_.TotalPower(sim_.Now());
         last_ = Reading{sim_.Now(), truth * (1.0 + rng_.Normal(0.0, noise_frac_))};
     });

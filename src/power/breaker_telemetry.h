@@ -50,12 +50,22 @@ class BreakerTelemetry
 
     SimTime period() const { return period_; }
 
+    /**
+     * Telemetry blackout (chaos campaigns): while set, no new readings
+     * are taken, so consumers see the last one go stale — exactly how
+     * a metering outage presents in production.
+     */
+    void set_blackout(bool blackout) { blackout_ = blackout; }
+
+    bool blackout() const { return blackout_; }
+
   private:
     sim::Simulation& sim_;
     PowerDevice& device_;
     SimTime period_;
     double noise_frac_;
     Rng rng_;
+    bool blackout_ = false;
     std::optional<Reading> last_;
     sim::TaskHandle task_;
 };

@@ -35,6 +35,26 @@ FailureInjector::IsEndpointDown(const std::string& endpoint) const
     return down_.count(endpoint) > 0;
 }
 
+void
+FailureInjector::SetEndpointExtraLatency(const std::string& endpoint,
+                                         SimTime extra)
+{
+    extra_latency_[endpoint] = extra;
+}
+
+void
+FailureInjector::ClearEndpointExtraLatency(const std::string& endpoint)
+{
+    extra_latency_.erase(endpoint);
+}
+
+SimTime
+FailureInjector::ExtraLatency(const std::string& endpoint) const
+{
+    const auto it = extra_latency_.find(endpoint);
+    return it == extra_latency_.end() ? 0 : it->second;
+}
+
 CallFate
 FailureInjector::Decide(const std::string& endpoint)
 {
@@ -112,7 +132,8 @@ SimTransport::Call(const std::string& endpoint, Payload request,
         on_err("timeout");
     });
 
-    const SimTime request_latency = options_.request_latency.Sample(rng_);
+    const SimTime request_latency =
+        options_.request_latency.Sample(rng_) + failures_.ExtraLatency(endpoint);
     sim_.ScheduleAfter(
         request_latency,
         [this, endpoint, request = std::move(request), on_ok = std::move(on_ok),

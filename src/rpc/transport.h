@@ -67,7 +67,10 @@ enum class CallFate { kOk, kFail, kBlackhole };
  *
  * Endpoints marked down always fail; otherwise each call independently
  * fails with the endpoint-specific (or default) probability, split
- * evenly between prompt failures and blackholes.
+ * evenly between prompt failures and blackholes. Endpoints may also be
+ * made slow responders: an extra latency override is added to request
+ * delivery, so calls to them time out when the override exceeds the
+ * caller's deadline (latency storms in chaos campaigns).
  */
 class FailureInjector
 {
@@ -92,10 +95,20 @@ class FailureInjector
     /** Decide the fate of one call to `endpoint`. */
     CallFate Decide(const std::string& endpoint);
 
+    /** Add `extra` ms to request delivery toward one endpoint. */
+    void SetEndpointExtraLatency(const std::string& endpoint, SimTime extra);
+
+    /** Remove a slow-responder override. */
+    void ClearEndpointExtraLatency(const std::string& endpoint);
+
+    /** Extra request latency for `endpoint` (0 when none set). */
+    SimTime ExtraLatency(const std::string& endpoint) const;
+
   private:
     Rng rng_;
     double default_failure_p_ = 0.0;
     std::unordered_map<std::string, double> endpoint_failure_p_;
+    std::unordered_map<std::string, SimTime> extra_latency_;
     std::unordered_set<std::string> down_;
 };
 

@@ -16,6 +16,10 @@ EventKindName(EventKind kind)
       case EventKind::kFailover: return "failover";
       case EventKind::kAgentRestart: return "agent_restart";
       case EventKind::kLoadShed: return "load_shed";
+      case EventKind::kDegradedEnter: return "degraded_enter";
+      case EventKind::kDegradedExit: return "degraded_exit";
+      case EventKind::kCapHold: return "cap_hold";
+      case EventKind::kChaosFault: return "chaos_fault";
     }
     return "?";
 }

@@ -29,6 +29,10 @@ enum class EventKind {
     kFailover,      ///< Backup controller took over.
     kAgentRestart,  ///< Watchdog restarted a crashed agent.
     kLoadShed,      ///< Emergency traffic shed requested (caps exhausted).
+    kDegradedEnter, ///< Controller entered degraded mode (pulls unreliable).
+    kDegradedExit,  ///< Controller recovered to normal operation.
+    kCapHold,       ///< Cap release frozen while not in normal health.
+    kChaosFault,    ///< Chaos campaign injected or cleared a fault.
 };
 
 /** Readable name for an event kind. */

@@ -1,0 +1,168 @@
+// End-to-end chaos campaigns over a full fleet: scripted fault
+// injection plus continuous invariant checking. The acceptance story:
+// under 30 % correlated pull failures the leaf controller enters
+// DEGRADED, never uncaps on stale data, violates no breaker or SLA
+// invariant, and returns to NORMAL with every cap released once the
+// faults clear.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "chaos/invariants.h"
+#include "common/units.h"
+#include "core/deployment.h"
+#include "fleet/fleet.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::fleet {
+namespace {
+
+/** One tightly-rated RPP whose row caps from the start. */
+FleetSpec TightRppSpec()
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.topology.rpp_rated = 34e3;
+    spec.servers_per_rpp = 200;
+    spec.mix = ServiceMix::Datacenter();
+    spec.diurnal_amplitude = 0.0;
+    spec.sensorless_fraction = 0.0;
+    spec.seed = 11;
+    return spec;
+}
+
+TEST(ChaosCampaign, CorrelatedPullFailuresFreezeReleasesUntilRecovery)
+{
+    Fleet fleet(TightRppSpec());
+    chaos::InvariantChecker checker(fleet);
+    chaos::CampaignEngine engine(fleet.sim(), fleet.transport(),
+                                 fleet.event_log());
+
+    // Partition 30 % of the row's agents from t=60 s to t=150 s.
+    std::vector<std::string> agents = fleet.AgentEndpointsUnder("rpp0");
+    ASSERT_EQ(agents.size(), 200u);
+    agents.resize(60);
+    engine.Partition(Seconds(60), Seconds(150), agents);
+
+    // Phase 1: over-subscribed row settles into capping.
+    fleet.RunFor(Seconds(60));
+    core::LeafController& leaf = *fleet.dynamo()->leaf_controllers()[0];
+    ASSERT_TRUE(leaf.capping());
+    ASSERT_EQ(leaf.health(), core::HealthState::kNormal);
+    const std::uint64_t uncaps_before =
+        fleet.event_log()->CountOf(telemetry::EventKind::kUncap);
+
+    // Phase 2: partition active. 30 % pull failures exceed the 20 %
+    // validity threshold, so the controller must go DEGRADED.
+    fleet.RunFor(Seconds(30));
+    EXPECT_EQ(leaf.health(), core::HealthState::kDegraded);
+    EXPECT_GE(leaf.degraded_entries(), 1u);
+    EXPECT_GT(leaf.invalid_aggregations(), 0u);
+
+    // Phase 3: demand collapses mid-partition — the release condition
+    // becomes true, but on unreliable data. Caps must hold.
+    fleet.set_global_traffic_factor(0.7);
+    fleet.RunFor(Seconds(60));
+    EXPECT_EQ(fleet.event_log()->CountOf(telemetry::EventKind::kUncap),
+              uncaps_before)
+        << "uncapped on unreliable data during the fault window";
+    std::size_t capped = 0;
+    for (const auto& srv : fleet.servers()) capped += srv->capped() ? 1 : 0;
+    EXPECT_GT(capped, 0u);
+
+    // Phase 4: partition healed at t=150 s. The controller walks
+    // DEGRADED -> RECOVERING (holding releases) -> NORMAL, then
+    // releases everything.
+    checker.NoteFaultsCleared();
+    fleet.RunFor(Seconds(90));
+    EXPECT_EQ(leaf.health(), core::HealthState::kNormal);
+    EXPECT_GE(fleet.event_log()->CountOf(telemetry::EventKind::kCapHold), 1u);
+    EXPECT_GE(fleet.event_log()->CountOf(telemetry::EventKind::kDegradedExit),
+              1u);
+    EXPECT_GT(fleet.event_log()->CountOf(telemetry::EventKind::kUncap),
+              uncaps_before);
+    EXPECT_TRUE(checker.AllReleased());
+    EXPECT_GE(checker.recovery_time(), 0);
+    EXPECT_LE(checker.recovery_time(), Seconds(90));
+
+    // Throughout: no breaker trip, no SLA-floor violation, effective
+    // limits coherent.
+    EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                      ? "(none recorded)"
+                                      : checker.violations().front());
+    EXPECT_EQ(fleet.outage_count(), 0u);
+    EXPECT_GT(checker.checks_run(), 0u);
+}
+
+TEST(ChaosCampaign, ControllerCrashMidCappingFailsOverSafely)
+{
+    FleetSpec spec = TightRppSpec();
+    spec.deployment.with_backup_controllers = true;
+    Fleet fleet(spec);
+    chaos::InvariantChecker checker(fleet);
+    chaos::CampaignEngine engine(fleet.sim(), fleet.transport(),
+                                 fleet.event_log());
+
+    core::LeafController& primary = *fleet.dynamo()->leaf_controllers()[0];
+    engine.CrashController(Seconds(60), primary);
+
+    fleet.RunFor(Seconds(59));
+    ASSERT_TRUE(primary.capping());
+
+    // Failover: 3 missed 5 s health checks then promotion.
+    fleet.RunFor(Seconds(61));
+    EXPECT_FALSE(primary.active());
+    ASSERT_EQ(fleet.dynamo()->leaf_backups().size(), 1u);
+    core::LeafController& backup = *fleet.dynamo()->leaf_backups()[0];
+    EXPECT_TRUE(backup.active());
+    EXPECT_GE(fleet.event_log()->CountOf(telemetry::EventKind::kFailover), 1u);
+
+    // The caps the primary issued survive on the servers, so the row
+    // stays in-band through the handover — and the backup must not
+    // blindly release them.
+    fleet.RunFor(Seconds(60));
+    std::size_t still_capped = 0;
+    for (const auto& srv : fleet.servers()) {
+        still_capped += srv->capped() ? 1 : 0;
+    }
+    EXPECT_GT(still_capped, 0u);
+    EXPECT_LE(fleet.TotalPower(), 0.99 * 34e3);
+
+    // Rising demand puts the backup in charge of the capping event.
+    fleet.set_global_traffic_factor(1.2);
+    fleet.RunFor(Seconds(60));
+    EXPECT_TRUE(backup.capping());
+    EXPECT_LE(fleet.TotalPower(), 0.99 * 34e3);
+    EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                      ? "(none recorded)"
+                                      : checker.violations().front());
+    EXPECT_EQ(fleet.outage_count(), 0u);
+}
+
+TEST(ChaosCampaign, TelemetryBlackoutIsWeatheredWithoutFalseAlarms)
+{
+    FleetSpec spec = TightRppSpec();
+    spec.with_breaker_validation = true;
+    Fleet fleet(spec);
+    chaos::InvariantChecker checker(fleet);
+    chaos::CampaignEngine engine(fleet.sim(), fleet.transport(),
+                                 fleet.event_log());
+
+    ASSERT_FALSE(fleet.breaker_telemetry().empty());
+    engine.TelemetryBlackout(Seconds(60), Seconds(240),
+                             *fleet.breaker_telemetry()[0]);
+
+    fleet.RunFor(Seconds(300));
+    core::LeafController& leaf = *fleet.dynamo()->leaf_controllers()[0];
+    // Stale breaker readings are ignored, not treated as mismatch.
+    EXPECT_EQ(leaf.validation_alarms(), 0u);
+    EXPECT_EQ(leaf.health(), core::HealthState::kNormal);
+    EXPECT_TRUE(checker.ok());
+    EXPECT_EQ(engine.faults_applied(), 2u);
+    EXPECT_EQ(fleet.outage_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

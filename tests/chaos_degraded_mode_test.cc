@@ -1,0 +1,270 @@
+// Tests for the degraded-mode controller machinery: the
+// NORMAL -> DEGRADED -> RECOVERING state machine, the cap-release
+// freeze, the last-known-good reading cache, and pull retries.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "common/units.h"
+#include "core/agent.h"
+#include "core/deployment.h"
+#include "core/leaf_controller.h"
+#include "power/device.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+/** A row of web servers with per-server utilization and leaf config. */
+class DegradedRig
+{
+  public:
+    DegradedRig(Watts rated, const std::vector<double>& utils,
+                LeafController::Config config = LeafController::Config{})
+        : transport(sim, 5),
+          device("rpp0", power::DeviceLevel::kRpp, rated, rated)
+    {
+        for (std::size_t i = 0; i < utils.size(); ++i) {
+            server::SimServer::Config sc;
+            sc.name = "s" + std::to_string(i);
+            sc.service = workload::ServiceType::kWeb;
+            sc.seed = 400 + static_cast<std::uint64_t>(i);
+            servers.push_back(
+                std::make_unique<server::SimServer>(sc, SteadyLoad(utils[i])));
+            device.AttachLoad(servers.back().get());
+            agents.push_back(std::make_unique<DynamoAgent>(
+                sim, transport, *servers.back(),
+                Deployment::AgentEndpoint(servers.back()->name())));
+        }
+        controller = std::make_unique<LeafController>(
+            sim, transport, "ctl:rpp0", device, config, &log);
+        for (const auto& srv : servers) controller->AddAgent(AgentInfoFor(*srv));
+        controller->Activate();
+    }
+
+    /** Hard-partition (or heal) the first `n` agents. */
+    void Partition(int n, bool down)
+    {
+        for (int i = 0; i < n; ++i) {
+            transport.failures().SetEndpointDown("agent:s" + std::to_string(i),
+                                                 down);
+        }
+    }
+
+    Watts TruePower() { return device.TotalPower(sim.Now()); }
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+    power::PowerDevice device;
+    telemetry::EventLog log;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<DynamoAgent>> agents;
+    std::unique_ptr<LeafController> controller;
+};
+
+TEST(DegradedMode, EntersAfterConsecutiveInvalidAndRecoversWithHysteresis)
+{
+    // 30 % of agents hard-down -> failure fraction above the 20 %
+    // threshold -> invalid aggregations -> DEGRADED after two in a row.
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5));
+    rig.sim.RunFor(Seconds(20));
+    EXPECT_EQ(rig.controller->health(), HealthState::kNormal);
+    EXPECT_FALSE(rig.controller->releases_frozen());
+    EXPECT_EQ(rig.controller->invalid_aggregations(), 0u);
+
+    rig.Partition(3, true);
+    rig.sim.RunFor(Seconds(10));
+    EXPECT_EQ(rig.controller->health(), HealthState::kDegraded);
+    EXPECT_TRUE(rig.controller->releases_frozen());
+    EXPECT_EQ(rig.controller->degraded_entries(), 1u);
+    EXPECT_GE(rig.log.CountOf(telemetry::EventKind::kDegradedEnter), 1u);
+
+    // One valid cycle moves to RECOVERING, not straight to NORMAL.
+    rig.Partition(3, false);
+    rig.sim.RunFor(Seconds(5));
+    EXPECT_EQ(rig.controller->health(), HealthState::kRecovering);
+    EXPECT_TRUE(rig.controller->releases_frozen());
+
+    // Three consecutive healthy cycles complete the exit.
+    rig.sim.RunFor(Seconds(10));
+    EXPECT_EQ(rig.controller->health(), HealthState::kNormal);
+    EXPECT_FALSE(rig.controller->releases_frozen());
+    EXPECT_EQ(rig.controller->degraded_entries(), 1u);
+    EXPECT_GE(rig.log.CountOf(telemetry::EventKind::kDegradedExit), 1u);
+    EXPECT_GT(rig.controller->unhealthy_cycles(), 0u);
+}
+
+TEST(DegradedMode, InvalidCycleDuringRecoveryFallsBackToDegraded)
+{
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5));
+    rig.sim.RunFor(Seconds(20));
+    rig.Partition(3, true);
+    rig.sim.RunFor(Seconds(10));
+    ASSERT_EQ(rig.controller->health(), HealthState::kDegraded);
+
+    rig.Partition(3, false);
+    rig.sim.RunFor(Seconds(5));
+    ASSERT_EQ(rig.controller->health(), HealthState::kRecovering);
+
+    // Flap: a single bad cycle while RECOVERING drops straight back.
+    rig.Partition(3, true);
+    rig.sim.RunFor(Seconds(5));
+    EXPECT_EQ(rig.controller->health(), HealthState::kDegraded);
+    EXPECT_EQ(rig.controller->degraded_entries(), 2u);
+}
+
+TEST(DegradedMode, ReleaseFrozenUntilRecoveredThenUncaps)
+{
+    // Cap via a contractual limit, then make the release condition
+    // true while the controller's inputs are unreliable: the caps must
+    // hold (kCapHold) until the state machine returns to NORMAL.
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.6));
+    rig.controller->SetContractualLimit(2000.0);
+    rig.sim.RunFor(Seconds(30));
+    ASSERT_TRUE(rig.controller->capping());
+    ASSERT_GT(rig.controller->capped_count(), 0u);
+
+    rig.Partition(3, true);
+    rig.sim.RunFor(Seconds(10));
+    ASSERT_EQ(rig.controller->health(), HealthState::kDegraded);
+
+    // Release condition becomes true mid-degradation: without the
+    // contract the aggregate is far below the uncap threshold.
+    rig.controller->ClearContractualLimit();
+    rig.sim.RunFor(Seconds(10));
+    EXPECT_TRUE(rig.controller->capping());
+    EXPECT_GT(rig.controller->capped_count(), 0u);
+    EXPECT_EQ(rig.log.CountOf(telemetry::EventKind::kUncap), 0u);
+
+    // Inputs heal: the first valid cycles run in RECOVERING, where the
+    // due release is held and counted instead of executed.
+    rig.Partition(3, false);
+    rig.sim.RunFor(Seconds(5));
+    EXPECT_EQ(rig.controller->health(), HealthState::kRecovering);
+    EXPECT_GT(rig.controller->frozen_releases(), 0u);
+    EXPECT_GE(rig.log.CountOf(telemetry::EventKind::kCapHold), 1u);
+    EXPECT_GT(rig.controller->capped_count(), 0u);
+
+    // Back to NORMAL: the release finally goes through.
+    rig.sim.RunFor(Seconds(15));
+    EXPECT_EQ(rig.controller->health(), HealthState::kNormal);
+    EXPECT_FALSE(rig.controller->capping());
+    EXPECT_EQ(rig.controller->capped_count(), 0u);
+    EXPECT_GE(rig.log.CountOf(telemetry::EventKind::kUncap), 1u);
+    for (const auto& srv : rig.servers) EXPECT_FALSE(srv->capped());
+}
+
+TEST(DegradedMode, CachedReadingServesWhileFreshThenExpires)
+{
+    // s0 runs hot (0.9) among cool neighbours (0.4). While s0's cached
+    // reading is fresher than the TTL a failed pull is patched with it;
+    // once stale, estimation falls back to the (much cooler) neighbour
+    // mean and the aggregate visibly drops.
+    std::vector<double> utils(10, 0.4);
+    utils[0] = 0.9;
+    DegradedRig rig(10000.0, utils);
+    rig.sim.RunFor(Seconds(20));
+    ASSERT_TRUE(rig.controller->last_valid());
+    const Watts truth = rig.TruePower();
+    EXPECT_NEAR(rig.controller->last_aggregated_power(), truth, truth * 0.03);
+
+    rig.Partition(1, true);  // only s0: 10 % failures, still valid
+    rig.sim.RunFor(Seconds(4));
+    ASSERT_TRUE(rig.controller->last_valid());
+    EXPECT_GT(rig.controller->cache_hits(), 0u);
+    const Watts fresh_estimate = rig.controller->last_aggregated_power();
+    EXPECT_NEAR(fresh_estimate, truth, truth * 0.03);
+
+    // Default TTL is 4 pull cycles (12 s); run well past it.
+    rig.sim.RunFor(Seconds(20));
+    ASSERT_TRUE(rig.controller->last_valid());
+    const Watts stale_estimate = rig.controller->last_aggregated_power();
+    EXPECT_LT(stale_estimate, fresh_estimate - 25.0);
+    EXPECT_GT(rig.controller->estimated_readings(), rig.controller->cache_hits());
+}
+
+TEST(DegradedMode, RetriesAbsorbTransientFailures)
+{
+    // 30 % per-attempt failure: with two retries the effective per-pull
+    // failure rate is ~2.7 %, far below the 20 % invalid threshold.
+    LeafController::Config with_retries;
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5), with_retries);
+    rig.transport.failures().SetDefaultFailureProbability(0.3);
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_GT(rig.controller->retries_issued(), 0u);
+    EXPECT_GT(rig.controller->aggregations(), 15u);
+    EXPECT_LE(rig.controller->invalid_aggregations(), 1u);
+}
+
+TEST(DegradedMode, WithoutRetriesTheSameNoiseInvalidatesCycles)
+{
+    LeafController::Config no_retries;
+    no_retries.base.pull_retries = 0;
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5), no_retries);
+    rig.transport.failures().SetDefaultFailureProbability(0.3);
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_EQ(rig.controller->retries_issued(), 0u);
+    EXPECT_GT(rig.controller->invalid_aggregations(), 3u);
+}
+
+TEST(DegradedMode, LatencyStormTimesOutPullsAndDegrades)
+{
+    // Slow responders beyond the per-attempt timeout behave like
+    // failures: a storm over 30 % of agents degrades the controller;
+    // clearing it recovers.
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5));
+    rig.sim.RunFor(Seconds(20));
+    for (int i = 0; i < 3; ++i) {
+        rig.transport.failures().SetEndpointExtraLatency(
+            "agent:s" + std::to_string(i), 2000);
+    }
+    rig.sim.RunFor(Seconds(10));
+    EXPECT_EQ(rig.controller->health(), HealthState::kDegraded);
+    for (int i = 0; i < 3; ++i) {
+        rig.transport.failures().ClearEndpointExtraLatency(
+            "agent:s" + std::to_string(i));
+    }
+    rig.sim.RunFor(Seconds(15));
+    EXPECT_EQ(rig.controller->health(), HealthState::kNormal);
+    EXPECT_GE(rig.controller->degraded_entries(), 1u);
+}
+
+TEST(CampaignEngine, SchedulesFaultsAndLogsThem)
+{
+    DegradedRig rig(10000.0, std::vector<double>(10, 0.5));
+    chaos::CampaignEngine engine(rig.sim, rig.transport, &rig.log);
+    engine.Partition(Seconds(5), Seconds(10), {"agent:s0", "agent:s1"});
+    engine.Flap(Seconds(12), Seconds(18), "agent:s2", 1500);
+    bool custom_ran = false;
+    engine.At(Seconds(20), "custom", [&custom_ran]() { custom_ran = true; });
+    EXPECT_EQ(engine.last_action_time(), Seconds(20));
+
+    rig.sim.RunFor(Seconds(25));
+    EXPECT_TRUE(custom_ran);
+    // partition start+heal, 4 flap toggles + settle, custom = 8.
+    EXPECT_EQ(engine.faults_applied(), 8u);
+    EXPECT_EQ(rig.log.CountOf(telemetry::EventKind::kChaosFault),
+              engine.faults_applied());
+    // The row survived the mechanics: still aggregating and healthy.
+    EXPECT_GT(rig.controller->aggregations(), 0u);
+    EXPECT_EQ(rig.controller->health(), HealthState::kNormal);
+}
+
+}  // namespace
+}  // namespace dynamo::core

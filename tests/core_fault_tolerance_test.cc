@@ -10,6 +10,7 @@
 #include "core/deployment.h"
 #include "core/failover.h"
 #include "core/leaf_controller.h"
+#include "core/upper_controller.h"
 #include "core/watchdog.h"
 #include "power/device.h"
 #include "rpc/transport.h"
@@ -163,6 +164,126 @@ TEST(Failover, BackupActuallyControlsPower)
     ASSERT_TRUE(rig.manager->switched());
     EXPECT_TRUE(rig.backup->capping());
     EXPECT_LE(rig.device.TotalPower(rig.sim.Now()), 0.99 * 2200.0);
+}
+
+TEST(Failover, BackupTakesOverMidCappingEvent)
+{
+    // The primary dies *while a capping event is in force*. RAPL caps
+    // on the servers survive the crash, and the promoted backup must
+    // re-establish control of the still-over-subscribed row without
+    // ever letting it back above the threshold.
+    FailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.primary->capping());
+    ASSERT_GT(rig.primary->capped_count(), 0u);
+    ASSERT_LE(rig.device.TotalPower(rig.sim.Now()), 0.99 * 2200.0);
+
+    rig.primary->Crash();
+    // Promotion takes ~3 x 5 s checks; server-side caps hold meanwhile.
+    rig.sim.RunFor(Seconds(20));
+    std::size_t still_capped = 0;
+    for (const auto& srv : rig.servers) still_capped += srv->capped() ? 1 : 0;
+    EXPECT_GT(still_capped, 0u);
+
+    // The promoted backup discovers the orphaned caps through agent
+    // readings and adopts the in-flight capping event as its own.
+    rig.sim.RunFor(Seconds(40));
+    ASSERT_TRUE(rig.manager->switched());
+    EXPECT_TRUE(rig.backup->active());
+    EXPECT_TRUE(rig.backup->capping());
+    EXPECT_GT(rig.backup->caps_adopted(), 0u);
+    EXPECT_GT(rig.backup->capped_count(), 0u);
+    EXPECT_LE(rig.device.TotalPower(rig.sim.Now()), 0.99 * 2200.0);
+
+    // Because it owns the event, the backup can also end it: when
+    // demand drops below the uncap threshold the adopted caps are
+    // released — they don't stay stranded on the servers.
+    for (auto& srv : rig.servers) srv->load().set_balancer_factor(0.5);
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_FALSE(rig.backup->capping());
+    for (const auto& srv : rig.servers) EXPECT_FALSE(srv->capped());
+}
+
+/** An upper controller contracting one leaf child that has a backup. */
+class ContractFailoverRig
+{
+  public:
+    ContractFailoverRig()
+        : transport(sim, 3),
+          sb("sb0", power::DeviceLevel::kSb, 2000.0, 2000.0)
+    {
+        rpp = sb.AddChild(std::make_unique<power::PowerDevice>(
+            "rpp0", power::DeviceLevel::kRpp, 3000.0, 3000.0));
+        for (int i = 0; i < 10; ++i) {
+            servers.push_back(std::make_unique<server::SimServer>(
+                ServerConfig("s" + std::to_string(i)), SteadyLoad(0.6)));
+            rpp->AttachLoad(servers.back().get());
+            agents.push_back(std::make_unique<DynamoAgent>(
+                sim, transport, *servers.back(),
+                Deployment::AgentEndpoint(servers.back()->name())));
+        }
+        auto make_leaf = [&]() {
+            auto c = std::make_unique<LeafController>(
+                sim, transport, "ctl:rpp0", *rpp, LeafController::Config{},
+                &log);
+            for (const auto& srv : servers) c->AddAgent(AgentInfoFor(*srv));
+            return c;
+        };
+        leaf_primary = make_leaf();
+        leaf_backup = make_leaf();
+        leaf_primary->Activate();
+        manager = std::make_unique<FailoverManager>(
+            sim, transport, *leaf_primary, *leaf_backup,
+            /*check_period=*/Seconds(5), /*miss_threshold=*/3, &log);
+
+        upper = std::make_unique<UpperController>(
+            sim, transport, "ctl:sb0", sb.rated_power(), sb.quota(),
+            UpperController::Config{}, &log);
+        upper->AddChild("ctl:rpp0");
+        upper->Activate();
+    }
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+    power::PowerDevice sb;
+    power::PowerDevice* rpp = nullptr;
+    telemetry::EventLog log;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<DynamoAgent>> agents;
+    std::unique_ptr<LeafController> leaf_primary;
+    std::unique_ptr<LeafController> leaf_backup;
+    std::unique_ptr<FailoverManager> manager;
+    std::unique_ptr<UpperController> upper;
+};
+
+TEST(Failover, BackupRelearnsOutstandingContractualLimit)
+{
+    // A standing contractual limit lives only in the (volatile) child
+    // controller. When the child fails over, its backup starts with no
+    // contract; the parent's periodic reaffirmation must re-teach it
+    // within about one pull cycle, or the sub-tree would silently run
+    // against the raw physical limit.
+    ContractFailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.upper->capping());
+    ASSERT_TRUE(rig.leaf_primary->contractual_limit().has_value());
+    const Watts contract = *rig.leaf_primary->contractual_limit();
+
+    rig.leaf_primary->Crash();
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.manager->switched());
+    ASSERT_TRUE(rig.leaf_backup->active());
+
+    // The backup re-learned the same standing contract.
+    ASSERT_TRUE(rig.leaf_backup->contractual_limit().has_value());
+    EXPECT_DOUBLE_EQ(*rig.leaf_backup->contractual_limit(), contract);
+    EXPECT_GT(rig.upper->contracts_reaffirmed(), 0u);
+    EXPECT_LT(rig.leaf_backup->EffectiveLimit(), 3000.0);
+
+    // And the sub-tree is actually held near the contract, not the
+    // 3 KW physical limit.
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_LE(rig.sb.TotalPower(rig.sim.Now()), 0.99 * 2000.0);
 }
 
 TEST(Failover, TransientBlipsDoNotTriggerSwitch)

@@ -3,6 +3,7 @@
 // aggregation against the breaker's own coarse readings, alarms on
 // gross mismatch, and tunes sensorless servers' estimation models.
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -163,6 +164,47 @@ TEST(Validation, LittleTuningChurnWhenUnbiased)
               rig.controller->aggregations() / 3);
     // And whatever tuning happened did not walk the bias away from 0.
     EXPECT_LT(std::abs(rig.servers[0]->estimator().bias_frac()), 0.05);
+}
+
+TEST(ConfigValidation, RejectsRpcTimeoutNotBelowResponseWait)
+{
+    // The documented invariant rpc_timeout < response_wait is enforced
+    // at construction: a timeout that outlives the aggregation window
+    // would let responses race the cycle boundary.
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 5);
+    power::PowerDevice device("rpp0", power::DeviceLevel::kRpp, 1000.0, 1000.0);
+    telemetry::EventLog log;
+
+    LeafController::Config bad;
+    bad.base.rpc_timeout = bad.base.response_wait;  // == is still invalid
+    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
+                 std::invalid_argument);
+
+    bad.base.rpc_timeout = bad.base.response_wait + 500;
+    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
+                 std::invalid_argument);
+
+    bad.base.rpc_timeout = 0;
+    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
+                 std::invalid_argument);
+
+    LeafController::Config bad_retry;
+    bad_retry.base.pull_retries = -1;
+    EXPECT_THROW(
+        LeafController(sim, transport, "ctl:rpp0", device, bad_retry, &log),
+        std::invalid_argument);
+
+    LeafController::Config bad_hysteresis;
+    bad_hysteresis.base.degraded_entry_cycles = 0;
+    EXPECT_THROW(
+        LeafController(sim, transport, "ctl:rpp0", device, bad_hysteresis, &log),
+        std::invalid_argument);
+
+    // A valid config still constructs.
+    LeafController::Config good;
+    EXPECT_NO_THROW(
+        LeafController(sim, transport, "ctl:rpp0", device, good, &log));
 }
 
 TEST(Validation, NoTelemetryMeansNoValidation)

@@ -65,13 +65,15 @@ TEST_F(SoakTest, FullDayWithEverythingEnabled)
     }
 
     // The 3 % RPC failure injection exercised the estimation path
-    // without ever crossing the 20 % invalid threshold.
+    // without ever crossing the 20 % invalid threshold. Retries absorb
+    // most transient failures, so only pulls whose every attempt failed
+    // (p^3) reach estimation — a few hundred over the day.
     std::uint64_t estimated = 0;
     for (const auto& leaf : fleet.dynamo()->leaf_controllers()) {
         estimated += leaf->estimated_readings();
         EXPECT_EQ(leaf->invalid_aggregations(), 0u) << leaf->endpoint();
     }
-    EXPECT_GT(estimated, 1000u);
+    EXPECT_GT(estimated, 100u);
 
     // Work mostly delivered: the day cost at most a few percent.
     EXPECT_LT(report.WorkLossPercent(), 5.0);
