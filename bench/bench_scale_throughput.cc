@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Fleet-scale control-plane throughput benchmark.
+ *
+ * Instantiates the full Dynamo control plane — agents, leaf
+ * controllers (3 s pull cycles), SB/MSB upper controllers (9 s
+ * cycles) — over 1 k / 10 k / 100 k servers and measures how fast the
+ * event kernel and the controller hot paths execute it:
+ *
+ *   - events/sec through the timing-wheel kernel,
+ *   - sim-time / wall-time ratio (how many times faster than real
+ *     time the suite simulates),
+ *   - p50/p99 wall cost of one leaf / upper RunCycle dispatch (the
+ *     pull fan-out, the per-cycle hot path).
+ *
+ * Modes:
+ *   bench_scale_throughput                      # full 1k/10k/100k suite
+ *   bench_scale_throughput --servers 10000      # one size only
+ *   bench_scale_throughput --out BENCH_SCALE.json
+ *   bench_scale_throughput --servers 1000 --check BENCH_SCALE.json
+ *
+ * --check is the CI perf smoke: it compares measured events/sec
+ * against the committed baseline and exits non-zero on a >3x
+ * regression (generous enough to absorb shared-runner noise, tight
+ * enough to catch an accidental O(n log n) -> O(n^2) slip).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/leaf_controller.h"
+#include "core/upper_controller.h"
+#include "power/topology.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+#include "workload/load_process.h"
+
+namespace dynamo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kServersPerLeaf = 240;
+constexpr std::size_t kLeavesPerSb = 8;
+constexpr std::size_t kSbsPerMsb = 4;
+
+/** Leaf controller that wall-times each pull-cycle dispatch. */
+class TimedLeaf : public core::LeafController
+{
+  public:
+    using core::LeafController::LeafController;
+
+    void set_samples(std::vector<double>* samples) { samples_ = samples; }
+
+  protected:
+    void RunCycle() override
+    {
+        const Clock::time_point t0 = Clock::now();
+        core::LeafController::RunCycle();
+        samples_->push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+    }
+
+  private:
+    std::vector<double>* samples_ = nullptr;
+};
+
+/** Upper controller that wall-times each pull-cycle dispatch. */
+class TimedUpper : public core::UpperController
+{
+  public:
+    using core::UpperController::UpperController;
+
+    void set_samples(std::vector<double>* samples) { samples_ = samples; }
+
+  protected:
+    void RunCycle() override
+    {
+        const Clock::time_point t0 = Clock::now();
+        core::UpperController::RunCycle();
+        samples_->push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                .count());
+    }
+
+  private:
+    std::vector<double>* samples_ = nullptr;
+};
+
+double
+Percentile(std::vector<double> values, double p)
+{
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t idx = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(values.size())));
+    return values[idx];
+}
+
+struct SuiteResult
+{
+    std::size_t servers = 0;
+    std::size_t leaf_controllers = 0;
+    std::size_t upper_controllers = 0;
+    double sim_seconds = 0.0;
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;
+    double events_per_sec = 0.0;
+    double realtime_ratio = 0.0;
+    double leaf_p50_us = 0.0;
+    double leaf_p99_us = 0.0;
+    double upper_p50_us = 0.0;
+    double upper_p99_us = 0.0;
+};
+
+SuiteResult
+RunSuite(std::size_t n_servers, SimTime measure_ms)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, /*seed=*/1234);
+    Rng rng(n_servers * 0x9e3779b97f4a7c15ULL + 7);
+
+    const std::size_t n_leaves =
+        (n_servers + kServersPerLeaf - 1) / kServersPerLeaf;
+    const std::size_t n_sbs = (n_leaves + kLeavesPerSb - 1) / kLeavesPerSb;
+    const std::size_t n_msbs =
+        n_sbs > 1 ? (n_sbs + kSbsPerMsb - 1) / kSbsPerMsb : 0;
+
+    // --- Servers and agents ---
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<core::DynamoAgent>> agents;
+    servers.reserve(n_servers);
+    agents.reserve(n_servers);
+    const workload::ServiceType services[] = {
+        workload::ServiceType::kWeb, workload::ServiceType::kCache,
+        workload::ServiceType::kHadoop, workload::ServiceType::kDatabase};
+    for (std::size_t i = 0; i < n_servers; ++i) {
+        server::SimServer::Config config;
+        config.name = "srv" + std::to_string(i);
+        config.service = services[i % 4];
+        config.generation = (i % 10 < 7)
+                                ? server::ServerGeneration::kHaswell2015
+                                : server::ServerGeneration::kWestmere2011;
+        config.seed = rng.NextU64();
+        workload::LoadProcessParams params =
+            workload::LoadProcessParams::For(config.service);
+        params.base_util = rng.Uniform(0.35, 0.75);
+        params.spike_rate_per_hour = 0.0;  // steady-state throughput run
+        servers.push_back(std::make_unique<server::SimServer>(
+            std::move(config), params));
+        agents.push_back(std::make_unique<core::DynamoAgent>(
+            sim, transport, *servers.back(), "agent:" + std::to_string(i)));
+    }
+
+    // --- Leaf controllers, one per RPP ---
+    std::vector<std::unique_ptr<power::PowerDevice>> devices;
+    std::vector<std::unique_ptr<TimedLeaf>> leaves;
+    std::vector<double> leaf_samples;
+    std::vector<Watts> leaf_rated;
+    devices.reserve(n_leaves);
+    leaves.reserve(n_leaves);
+    for (std::size_t l = 0; l < n_leaves; ++l) {
+        const std::size_t first = l * kServersPerLeaf;
+        const std::size_t last = std::min(first + kServersPerLeaf, n_servers);
+
+        // Size the breaker just above the domain's initial draw so the
+        // three-band policy works near its thresholds: OU load noise
+        // pushes the aggregate across the cap/uncap bands and the
+        // capping hot path (plan + RAPL fan-out) actually runs.
+        Watts draw = 0.0;
+        for (std::size_t i = first; i < last; ++i) draw += servers[i]->PowerAt(0);
+        const Watts rated = draw / 0.965;
+        leaf_rated.push_back(rated);
+        devices.push_back(power::BuildRpp("rpp" + std::to_string(l), rated,
+                                          /*quota=*/0.95 * rated));
+
+        core::LeafController::Config config;
+        auto leaf = std::make_unique<TimedLeaf>(
+            sim, transport, "ctl:rpp:" + std::to_string(l), *devices.back(),
+            config, /*log=*/nullptr);
+        leaf->set_samples(&leaf_samples);
+        for (std::size_t i = first; i < last; ++i) {
+            core::AgentInfo info;
+            info.endpoint = agents[i]->endpoint();
+            info.service = servers[i]->service();
+            info.priority_group = static_cast<int>(i % 3);
+            info.sla_min_cap = 70.0 + static_cast<double>(i % 3) * 15.0;
+            leaf->AddAgent(std::move(info));
+        }
+        // Stagger activation so hundreds of controllers don't pull in
+        // lock-step (the deployment does the same).
+        leaf->Activate(static_cast<SimTime>((l * 37) % 3000));
+        leaves.push_back(std::move(leaf));
+    }
+
+    // --- Upper controllers: SBs over leaves, MSBs over SBs ---
+    std::vector<std::unique_ptr<TimedUpper>> uppers;
+    std::vector<double> upper_samples;
+    std::vector<Watts> sb_rated;
+    for (std::size_t s = 0; s < n_sbs; ++s) {
+        const std::size_t first = s * kLeavesPerSb;
+        const std::size_t last = std::min(first + kLeavesPerSb, n_leaves);
+        Watts rated = 0.0;
+        for (std::size_t l = first; l < last; ++l) rated += leaf_rated[l];
+        rated *= 0.99;  // slightly oversubscribed, as real SBs are
+        sb_rated.push_back(rated);
+
+        core::UpperController::Config config;
+        auto sb = std::make_unique<TimedUpper>(
+            sim, transport, "ctl:sb:" + std::to_string(s), rated,
+            /*quota=*/0.95 * rated, config, /*log=*/nullptr);
+        sb->set_samples(&upper_samples);
+        for (std::size_t l = first; l < last; ++l) {
+            sb->AddChild("ctl:rpp:" + std::to_string(l));
+        }
+        sb->Activate(static_cast<SimTime>((s * 113) % 9000));
+        uppers.push_back(std::move(sb));
+    }
+    for (std::size_t m = 0; m < n_msbs; ++m) {
+        const std::size_t first = m * kSbsPerMsb;
+        const std::size_t last = std::min(first + kSbsPerMsb, n_sbs);
+        Watts rated = 0.0;
+        for (std::size_t s = first; s < last; ++s) rated += sb_rated[s];
+        rated *= 0.99;
+
+        core::UpperController::Config config;
+        auto msb = std::make_unique<TimedUpper>(
+            sim, transport, "ctl:msb:" + std::to_string(m), rated,
+            /*quota=*/0.95 * rated, config, /*log=*/nullptr);
+        msb->set_samples(&upper_samples);
+        for (std::size_t s = first; s < last; ++s) {
+            msb->AddChild("ctl:sb:" + std::to_string(s));
+        }
+        msb->Activate(static_cast<SimTime>((m * 199) % 9000));
+        uppers.push_back(std::move(msb));
+    }
+
+    // --- Warm up, then measure ---
+    constexpr SimTime kWarmupMs = 15'000;
+    sim.RunFor(kWarmupMs);
+    leaf_samples.clear();
+    upper_samples.clear();
+
+    const std::uint64_t events_before = sim.events_executed();
+    const Clock::time_point wall_start = Clock::now();
+    sim.RunFor(measure_ms);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    const std::uint64_t events = sim.events_executed() - events_before;
+
+    SuiteResult result;
+    result.servers = n_servers;
+    result.leaf_controllers = n_leaves;
+    result.upper_controllers = uppers.size();
+    result.sim_seconds = static_cast<double>(measure_ms) / 1000.0;
+    result.wall_seconds = wall_s;
+    result.events = events;
+    result.events_per_sec =
+        wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+    result.realtime_ratio = wall_s > 0.0 ? result.sim_seconds / wall_s : 0.0;
+    result.leaf_p50_us = Percentile(leaf_samples, 0.50);
+    result.leaf_p99_us = Percentile(leaf_samples, 0.99);
+    result.upper_p50_us = Percentile(upper_samples, 0.50);
+    result.upper_p99_us = Percentile(upper_samples, 0.99);
+    return result;
+}
+
+std::string
+ToJson(const std::vector<SuiteResult>& results)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"bench\": \"scale_throughput\",\n";
+#ifdef NDEBUG
+    out << "  \"build\": \"release\",\n";
+#else
+    out << "  \"build\": \"debug\",\n";
+#endif
+    out << "  \"cycle_cost_note\": \"leaf/upper cycle cost is the wall time "
+           "of one RunCycle pull fan-out dispatch\",\n";
+    out << "  \"suites\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SuiteResult& r = results[i];
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\n"
+            "      \"servers\": %zu,\n"
+            "      \"leaf_controllers\": %zu,\n"
+            "      \"upper_controllers\": %zu,\n"
+            "      \"sim_seconds\": %.1f,\n"
+            "      \"wall_seconds\": %.4f,\n"
+            "      \"events_executed\": %llu,\n"
+            "      \"events_per_sec\": %.0f,\n"
+            "      \"realtime_ratio\": %.1f,\n"
+            "      \"leaf_cycle_us\": {\"p50\": %.1f, \"p99\": %.1f},\n"
+            "      \"upper_cycle_us\": {\"p50\": %.1f, \"p99\": %.1f}\n"
+            "    }%s\n",
+            r.servers, r.leaf_controllers, r.upper_controllers, r.sim_seconds,
+            r.wall_seconds, static_cast<unsigned long long>(r.events),
+            r.events_per_sec, r.realtime_ratio, r.leaf_p50_us, r.leaf_p99_us,
+            r.upper_p50_us, r.upper_p99_us,
+            i + 1 < results.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+/**
+ * Pull one suite's events/sec out of a baseline BENCH_SCALE.json.
+ * Hand-rolled scan (no JSON dependency): finds the `"servers": N`
+ * entry, then the following `"events_per_sec"` value.
+ */
+bool
+BaselineThroughput(const std::string& json, std::size_t servers, double* out)
+{
+    const std::string anchor = "\"servers\": " + std::to_string(servers);
+    const std::size_t at = json.find(anchor);
+    if (at == std::string::npos) return false;
+    const std::string key = "\"events_per_sec\": ";
+    const std::size_t kat = json.find(key, at);
+    if (kat == std::string::npos) return false;
+    *out = std::strtod(json.c_str() + kat + key.size(), nullptr);
+    return *out > 0.0;
+}
+
+}  // namespace
+}  // namespace dynamo
+
+int
+main(int argc, char** argv)
+{
+    using namespace dynamo;
+
+    std::vector<std::size_t> sizes = {1'000, 10'000, 100'000};
+    SimTime measure_ms = 60'000;
+    std::string out_path;
+    std::string check_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--servers") {
+            sizes = {static_cast<std::size_t>(std::strtoull(next(), nullptr, 10))};
+        } else if (arg == "--sim-seconds") {
+            measure_ms = static_cast<SimTime>(std::strtoll(next(), nullptr, 10)) *
+                         1000;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--check") {
+            check_path = next();
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--servers N] [--sim-seconds S] "
+                         "[--out FILE] [--check BASELINE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "warning: debug build; throughput numbers are not "
+                 "comparable to the committed Release baseline\n");
+#endif
+
+    std::vector<SuiteResult> results;
+    for (const std::size_t n : sizes) {
+        std::printf("running %zu-server suite (%lld sim-seconds)...\n", n,
+                    static_cast<long long>(measure_ms / 1000));
+        std::fflush(stdout);
+        results.push_back(RunSuite(n, measure_ms));
+        const SuiteResult& r = results.back();
+        std::printf(
+            "  %zu servers: %.2fM events/s, %.0fx real-time, "
+            "leaf cycle p50/p99 %.0f/%.0f us, upper %.0f/%.0f us\n",
+            r.servers, r.events_per_sec / 1e6, r.realtime_ratio, r.leaf_p50_us,
+            r.leaf_p99_us, r.upper_p50_us, r.upper_p99_us);
+        std::fflush(stdout);
+    }
+
+    const std::string json = ToJson(results);
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << json;
+        std::printf("wrote %s\n", out_path.c_str());
+    } else {
+        std::printf("%s", json.c_str());
+    }
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         check_path.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const std::string baseline = buffer.str();
+        bool ok = true;
+        for (const SuiteResult& r : results) {
+            double want = 0.0;
+            if (!BaselineThroughput(baseline, r.servers, &want)) {
+                std::fprintf(stderr,
+                             "baseline has no %zu-server suite; skipping\n",
+                             r.servers);
+                continue;
+            }
+            const double floor = want / 3.0;
+            if (r.events_per_sec < floor) {
+                std::fprintf(stderr,
+                             "PERF REGRESSION: %zu servers ran at %.0f "
+                             "events/s, baseline %.0f (floor %.0f)\n",
+                             r.servers, r.events_per_sec, want, floor);
+                ok = false;
+            } else {
+                std::printf("perf check ok: %zu servers at %.0f events/s "
+                            "(baseline %.0f, floor %.0f)\n",
+                            r.servers, r.events_per_sec, want, floor);
+            }
+        }
+        if (!ok) return 1;
+    }
+    return 0;
+}

@@ -5,6 +5,24 @@
 
 namespace dynamo::chaos {
 
+namespace {
+
+/**
+ * Pre-resolve endpoint names to interned ids at campaign-build time so
+ * the scheduled fault actions touch only the id-indexed injector fast
+ * paths (and capture 4-byte ids instead of strings).
+ */
+std::vector<rpc::EndpointId>
+ResolveAll(rpc::SimTransport& transport, const std::vector<std::string>& names)
+{
+    std::vector<rpc::EndpointId> ids;
+    ids.reserve(names.size());
+    for (const std::string& name : names) ids.push_back(transport.Resolve(name));
+    return ids;
+}
+
+}  // namespace
+
 CampaignEngine::CampaignEngine(sim::Simulation& sim,
                                rpc::SimTransport& transport,
                                telemetry::EventLog* log)
@@ -43,14 +61,15 @@ CampaignEngine::Partition(SimTime start, SimTime end,
                           std::vector<std::string> endpoints)
 {
     const std::string size = std::to_string(endpoints.size());
-    At(start, "partition start (" + size + " endpoints)", [this, endpoints]() {
-        for (const std::string& e : endpoints) {
+    std::vector<rpc::EndpointId> ids = ResolveAll(transport_, endpoints);
+    At(start, "partition start (" + size + " endpoints)", [this, ids]() {
+        for (rpc::EndpointId e : ids) {
             transport_.failures().SetEndpointDown(e, true);
         }
     });
     At(end, "partition heal (" + size + " endpoints)",
-       [this, endpoints = std::move(endpoints)]() {
-           for (const std::string& e : endpoints) {
+       [this, ids = std::move(ids)]() {
+           for (rpc::EndpointId e : ids) {
                transport_.failures().SetEndpointDown(e, false);
            }
        });
@@ -60,16 +79,17 @@ void
 CampaignEngine::Flap(SimTime start, SimTime end, const std::string& endpoint,
                      SimTime period)
 {
+    const rpc::EndpointId id = transport_.Resolve(endpoint);
     bool down = true;
     for (SimTime t = start; t < end; t += period) {
         At(t, (down ? "flap down " : "flap up ") + endpoint,
-           [this, endpoint, down]() {
-               transport_.failures().SetEndpointDown(endpoint, down);
+           [this, id, down]() {
+               transport_.failures().SetEndpointDown(id, down);
            });
         down = !down;
     }
-    At(end, "flap settle up " + endpoint, [this, endpoint]() {
-        transport_.failures().SetEndpointDown(endpoint, false);
+    At(end, "flap settle up " + endpoint, [this, id]() {
+        transport_.failures().SetEndpointDown(id, false);
     });
 }
 
@@ -81,15 +101,16 @@ CampaignEngine::LatencyStorm(SimTime start, SimTime end,
     const std::string what = std::to_string(endpoints.size()) +
                              " endpoints +" + std::to_string(extra_latency) +
                              "ms";
+    std::vector<rpc::EndpointId> ids = ResolveAll(transport_, endpoints);
     At(start, "latency storm start (" + what + ")",
-       [this, endpoints, extra_latency]() {
-           for (const std::string& e : endpoints) {
+       [this, ids, extra_latency]() {
+           for (rpc::EndpointId e : ids) {
                transport_.failures().SetEndpointExtraLatency(e, extra_latency);
            }
        });
     At(end, "latency storm end (" + what + ")",
-       [this, endpoints = std::move(endpoints)]() {
-           for (const std::string& e : endpoints) {
+       [this, ids = std::move(ids)]() {
+           for (rpc::EndpointId e : ids) {
                transport_.failures().ClearEndpointExtraLatency(e);
            }
        });
@@ -101,15 +122,16 @@ CampaignEngine::DegradePulls(SimTime start, SimTime end,
 {
     const std::string what =
         std::to_string(endpoints.size()) + " endpoints p=" + std::to_string(p);
+    std::vector<rpc::EndpointId> ids = ResolveAll(transport_, endpoints);
     At(start, "pull degradation start (" + what + ")",
-       [this, endpoints, p]() {
-           for (const std::string& e : endpoints) {
+       [this, ids, p]() {
+           for (rpc::EndpointId e : ids) {
                transport_.failures().SetEndpointFailureProbability(e, p);
            }
        });
     At(end, "pull degradation end (" + what + ")",
-       [this, endpoints = std::move(endpoints)]() {
-           for (const std::string& e : endpoints) {
+       [this, ids = std::move(ids)]() {
+           for (rpc::EndpointId e : ids) {
                transport_.failures().ClearEndpointFailureProbability(e);
            }
        });

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, `void()` signature.
+ *
+ * The event kernel stores millions of short-lived callbacks; wrapping
+ * each in `std::function` costs a heap allocation for anything larger
+ * than the implementation's tiny inline buffer (typically 16 bytes —
+ * smaller than a single captured `std::shared_ptr` plus `this`).
+ * `InlineFunction` raises the inline capacity so the kernel's dominant
+ * closures (controller cycle ticks, RPC delivery/timeout
+ * continuations) are stored directly inside the event slab, falling
+ * back to the heap only for outsized captures.
+ */
+#ifndef DYNAMO_COMMON_INLINE_FUNCTION_H_
+#define DYNAMO_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dynamo {
+
+/**
+ * Move-only `void()` callable with `Capacity` bytes of inline storage.
+ *
+ * Callables that fit in `Capacity` bytes (and are nothrow
+ * move-constructible) are stored inline; larger ones are heap-backed.
+ * Invoking an empty InlineFunction is undefined (assert in debug via
+ * the null vtable check at the call site).
+ */
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F&& fn)  // NOLINT(google-explicit-constructor)
+    {
+        using Decayed = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Decayed&>,
+                      "InlineFunction requires a void() callable");
+        if constexpr (sizeof(Decayed) <= Capacity &&
+                      alignof(Decayed) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Decayed>) {
+            ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+            vtable_ = &kInlineVtable<Decayed>;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                Decayed*(new Decayed(std::forward<F>(fn)));
+            vtable_ = &kHeapVtable<Decayed>;
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+    InlineFunction& operator=(InlineFunction&& other) noexcept
+    {
+        if (this != &other) {
+            Reset();
+            MoveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { Reset(); }
+
+    explicit operator bool() const { return vtable_ != nullptr; }
+
+    void operator()() { vtable_->invoke(storage_); }
+
+    /** True if the wrapped callable lives in the inline buffer. */
+    bool is_inline() const { return vtable_ != nullptr && vtable_->inline_storage; }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void* storage);
+        void (*move)(void* dst, void* src);  // move-construct dst from src
+        void (*destroy)(void* storage);
+        bool inline_storage;
+    };
+
+    template <typename F>
+    static constexpr VTable kInlineVtable = {
+        [](void* storage) { (*std::launder(reinterpret_cast<F*>(storage)))(); },
+        [](void* dst, void* src) {
+            ::new (dst) F(std::move(*std::launder(reinterpret_cast<F*>(src))));
+        },
+        [](void* storage) { std::launder(reinterpret_cast<F*>(storage))->~F(); },
+        /*inline_storage=*/true,
+    };
+
+    template <typename F>
+    static constexpr VTable kHeapVtable = {
+        [](void* storage) {
+            (**std::launder(reinterpret_cast<F**>(storage)))();
+        },
+        [](void* dst, void* src) {
+            ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+            *std::launder(reinterpret_cast<F**>(src)) = nullptr;
+        },
+        [](void* storage) {
+            delete *std::launder(reinterpret_cast<F**>(storage));
+        },
+        /*inline_storage=*/false,
+    };
+
+    void MoveFrom(InlineFunction& other) noexcept
+    {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->move(storage_, other.storage_);
+            other.Reset();
+        }
+    }
+
+    void Reset() noexcept
+    {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_INLINE_FUNCTION_H_

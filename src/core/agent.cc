@@ -7,14 +7,15 @@ namespace dynamo::core {
 DynamoAgent::DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
                          server::SimServer& server, std::string endpoint)
     : sim_(sim), transport_(transport), server_(server),
-      endpoint_(std::move(endpoint))
+      endpoint_(std::move(endpoint)),
+      endpoint_id_(transport.Resolve(endpoint_))
 {
     Restart();
 }
 
 DynamoAgent::~DynamoAgent()
 {
-    if (alive_) transport_.Unregister(endpoint_);
+    if (alive_) transport_.Unregister(endpoint_id_);
 }
 
 void
@@ -22,7 +23,7 @@ DynamoAgent::Crash()
 {
     if (!alive_) return;
     alive_ = false;
-    transport_.Unregister(endpoint_);
+    transport_.Unregister(endpoint_id_);
 }
 
 void
@@ -30,7 +31,7 @@ DynamoAgent::Restart()
 {
     if (alive_) return;
     alive_ = true;
-    transport_.Register(endpoint_,
+    transport_.Register(endpoint_id_,
                         [this](const rpc::Payload& req) { return Handle(req); });
 }
 

@@ -41,6 +41,9 @@ class DynamoAgent
     DynamoAgent& operator=(const DynamoAgent&) = delete;
 
     const std::string& endpoint() const { return endpoint_; }
+
+    /** Interned id of this agent's endpoint (hot-path RPC key). */
+    rpc::EndpointId endpoint_id() const { return endpoint_id_; }
     server::SimServer& server() { return server_; }
 
     /** Simulate an agent crash: stop serving requests. */
@@ -63,6 +66,7 @@ class DynamoAgent
     rpc::SimTransport& transport_;
     server::SimServer& server_;
     std::string endpoint_;
+    rpc::EndpointId endpoint_id_ = rpc::kInvalidEndpoint;
     bool alive_ = false;
     std::uint64_t reads_served_ = 0;
     std::uint64_t caps_applied_ = 0;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <numeric>
 
 namespace dynamo::core {
@@ -11,50 +10,69 @@ namespace {
 
 constexpr Watts kEpsilon = 1e-6;
 
-/** Even water-fill of `cut` across items bounded by per-item headroom. */
+/**
+ * Even water-fill of `cut` across `included` items bounded by
+ * per-item headroom, accumulating into `cuts`. The active set is
+ * compacted in place each round instead of rebuilt; the arithmetic
+ * (iteration order, per-round split, exit condition) is identical to
+ * the reference implementation, so results are bit-equal.
+ */
 void
-WaterFill(const std::vector<std::size_t>& included,
-          const std::vector<Watts>& headroom, Watts cut, std::vector<Watts>* cuts)
+WaterFillInPlace(std::vector<std::uint32_t>& active,
+                 const std::vector<std::uint32_t>& included,
+                 const Watts* headroom, Watts cut, Watts* cuts)
 {
-    std::vector<std::size_t> active;
-    for (std::size_t i : included) {
-        if (headroom[i] - (*cuts)[i] > kEpsilon) active.push_back(i);
+    active.clear();
+    for (std::uint32_t i : included) {
+        if (headroom[i] - cuts[i] > kEpsilon) active.push_back(i);
     }
+    std::size_t n_active = active.size();
     Watts left = cut;
-    while (left > kEpsilon && !active.empty()) {
-        const Watts per = left / static_cast<double>(active.size());
-        std::vector<std::size_t> next;
-        for (std::size_t i : active) {
-            const Watts avail = headroom[i] - (*cuts)[i];
+    while (left > kEpsilon && n_active > 0) {
+        const Watts per = left / static_cast<double>(n_active);
+        std::size_t keep = 0;
+        for (std::size_t r = 0; r < n_active; ++r) {
+            const std::uint32_t i = active[r];
+            const Watts avail = headroom[i] - cuts[i];
             const Watts take = std::min(per, avail);
-            (*cuts)[i] += take;
+            cuts[i] += take;
             left -= take;
-            if (headroom[i] - (*cuts)[i] > kEpsilon) next.push_back(i);
+            if (headroom[i] - cuts[i] > kEpsilon) active[keep++] = i;
         }
-        if (next.size() == active.size()) break;  // everyone took `per`; done
-        active = std::move(next);
+        if (keep == n_active) break;  // everyone took `per`; done
+        n_active = keep;
     }
 }
 
-}  // namespace
-
-std::vector<Watts>
-BucketedEvenCut(const std::vector<Watts>& powers, const std::vector<Watts>& floors,
-                Watts cut, Watts bucket_size)
+/**
+ * Core of BucketedEvenCut over an index subset: items[0..n) select
+ * rows of powers/floors, per-item cuts land in cuts[items[r]] (which
+ * must be zero on entry for those rows). Scratch comes from `ws`.
+ */
+void
+BucketedEvenCutInto(const Watts* powers, const Watts* floors,
+                    const std::uint32_t* item_indices, std::size_t n, Watts cut,
+                    Watts bucket_size, CappingWorkspace& ws, Watts* cuts)
 {
-    std::vector<Watts> cuts(powers.size(), 0.0);
-    if (cut <= kEpsilon || powers.empty()) return cuts;
+    if (cut <= kEpsilon || n == 0) return;
 
-    const Watts max_power = *std::max_element(powers.begin(), powers.end());
+    Watts max_power = powers[item_indices[0]];
+    for (std::size_t r = 1; r < n; ++r) {
+        max_power = std::max(max_power, powers[item_indices[r]]);
+    }
 
     // Degenerate bucket: pure water-filling — find the level L such
     // that shaving every item down to max(L, floor) yields the cut.
     if (bucket_size <= kEpsilon) {
-        Watts lo = *std::min_element(floors.begin(), floors.end());
+        Watts lo = floors[item_indices[0]];
+        for (std::size_t r = 1; r < n; ++r) {
+            lo = std::min(lo, floors[item_indices[r]]);
+        }
         Watts hi = max_power;
         auto capacity_at = [&](Watts level) {
             Watts c = 0.0;
-            for (std::size_t i = 0; i < powers.size(); ++i) {
+            for (std::size_t r = 0; r < n; ++r) {
+                const std::uint32_t i = item_indices[r];
                 c += std::max(0.0, powers[i] - std::max(level, floors[i]));
             }
             return c;
@@ -66,39 +84,97 @@ BucketedEvenCut(const std::vector<Watts>& powers, const std::vector<Watts>& floo
             const Watts mid = 0.5 * (lo + hi);
             (capacity_at(mid) > cut ? lo : hi) = mid;
         }
-        for (std::size_t i = 0; i < powers.size(); ++i) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::uint32_t i = item_indices[r];
             cuts[i] = std::max(0.0, powers[i] - std::max(hi, floors[i]));
         }
-        return cuts;
+        return;
     }
 
     Watts bucket_floor = std::floor(max_power / bucket_size) * bucket_size;
-    const bool bucketed = true;
+    Watts* headroom = ws.headroom.data();
 
     // Expand the included bucket range downward until the headroom
     // above max(bucket floor, item floor) covers the cut or everything
     // is included down to the item floors.
     while (true) {
-        std::vector<std::size_t> included;
-        std::vector<Watts> headroom(powers.size(), 0.0);
+        ws.included.clear();
         Watts capacity = 0.0;
         Watts min_floor = std::numeric_limits<Watts>::infinity();
-        for (std::size_t i = 0; i < powers.size(); ++i) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::uint32_t i = item_indices[r];
             min_floor = std::min(min_floor, floors[i]);
             const Watts eff_floor = std::max(bucket_floor, floors[i]);
             if (powers[i] > eff_floor + kEpsilon) {
-                included.push_back(i);
+                ws.included.push_back(i);
                 headroom[i] = powers[i] - eff_floor;
                 capacity += headroom[i];
             }
         }
-        const bool fully_expanded = !bucketed || bucket_floor <= min_floor;
+        const bool fully_expanded = bucket_floor <= min_floor;
         if (capacity >= cut - kEpsilon || fully_expanded) {
-            WaterFill(included, headroom, std::min(cut, capacity), &cuts);
-            return cuts;
+            WaterFillInPlace(ws.active, ws.included, headroom,
+                             std::min(cut, capacity), cuts);
+            return;
         }
         bucket_floor -= bucket_size;
     }
+}
+
+/** Cut proportional to each item's headroom above its floor. */
+void
+ProportionalCutInto(const Watts* powers, const Watts* floors,
+                    const std::uint32_t* item_indices, std::size_t n, Watts cut,
+                    Watts* cuts)
+{
+    Watts total_headroom = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::uint32_t i = item_indices[r];
+        total_headroom += std::max(0.0, powers[i] - floors[i]);
+    }
+    if (total_headroom <= kEpsilon) return;
+    const double frac = std::min(1.0, cut / total_headroom);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::uint32_t i = item_indices[r];
+        cuts[i] = frac * std::max(0.0, powers[i] - floors[i]);
+    }
+}
+
+void
+GroupCutInto(const Watts* powers, const Watts* floors,
+             const std::uint32_t* item_indices, std::size_t n, Watts cut,
+             Watts bucket_size, AllocationPolicy policy, CappingWorkspace& ws,
+             Watts* cuts)
+{
+    switch (policy) {
+      case AllocationPolicy::kHighBucketFirst:
+        BucketedEvenCutInto(powers, floors, item_indices, n, cut, bucket_size,
+                            ws, cuts);
+        return;
+      case AllocationPolicy::kProportional:
+        ProportionalCutInto(powers, floors, item_indices, n, cut, cuts);
+        return;
+      case AllocationPolicy::kWaterFill:
+        BucketedEvenCutInto(powers, floors, item_indices, n, cut, 0.0, ws,
+                            cuts);
+        return;
+    }
+}
+
+}  // namespace
+
+void
+CappingWorkspace::Prepare(std::size_t n)
+{
+    powers.resize(n);
+    floors.resize(n);
+    headroom.resize(n);
+    cuts.resize(n);
+    stage.resize(n);
+    order.resize(n);
+    items.reserve(n);
+    included.reserve(n);
+    active.reserve(n);
 }
 
 const char*
@@ -112,157 +188,194 @@ AllocationPolicyName(AllocationPolicy policy)
     return "?";
 }
 
-namespace {
-
-/** Cut proportional to each item's headroom above its floor. */
-std::vector<Watts>
-ProportionalCut(const std::vector<Watts>& powers, const std::vector<Watts>& floors,
-                Watts cut)
+void
+BucketedEvenCut(const std::vector<Watts>& powers,
+                const std::vector<Watts>& floors, Watts cut, Watts bucket_size,
+                CappingWorkspace& ws)
 {
-    std::vector<Watts> cuts(powers.size(), 0.0);
-    Watts total_headroom = 0.0;
-    for (std::size_t i = 0; i < powers.size(); ++i) {
-        total_headroom += std::max(0.0, powers[i] - floors[i]);
-    }
-    if (total_headroom <= kEpsilon) return cuts;
-    const double frac = std::min(1.0, cut / total_headroom);
-    for (std::size_t i = 0; i < powers.size(); ++i) {
-        cuts[i] = frac * std::max(0.0, powers[i] - floors[i]);
-    }
-    return cuts;
+    const std::size_t n = powers.size();
+    ws.Prepare(n);
+    std::fill(ws.cuts.begin(), ws.cuts.end(), 0.0);
+    std::iota(ws.order.begin(), ws.order.end(), 0u);
+    BucketedEvenCutInto(powers.data(), floors.data(), ws.order.data(), n, cut,
+                        bucket_size, ws, ws.cuts.data());
 }
 
 std::vector<Watts>
-GroupCut(const std::vector<Watts>& powers, const std::vector<Watts>& floors,
-         Watts cut, Watts bucket_size, AllocationPolicy policy)
+BucketedEvenCut(const std::vector<Watts>& powers, const std::vector<Watts>& floors,
+                Watts cut, Watts bucket_size)
 {
-    switch (policy) {
-      case AllocationPolicy::kHighBucketFirst:
-        return BucketedEvenCut(powers, floors, cut, bucket_size);
-      case AllocationPolicy::kProportional:
-        return ProportionalCut(powers, floors, cut);
-      case AllocationPolicy::kWaterFill:
-        return BucketedEvenCut(powers, floors, cut, 0.0);
-    }
-    return std::vector<Watts>(powers.size(), 0.0);
+    CappingWorkspace ws;
+    BucketedEvenCut(powers, floors, cut, bucket_size, ws);
+    return ws.cuts;
 }
 
-}  // namespace
+void
+ComputeCappingPlan(const std::vector<ServerPowerInfo>& servers,
+                   Watts total_power_cut, Watts bucket_size,
+                   AllocationPolicy policy, CappingWorkspace& ws,
+                   CappingPlan* plan)
+{
+    plan->assignments.clear();
+    plan->planned_cut = 0.0;
+    plan->satisfied = false;
+    if (total_power_cut <= kEpsilon) {
+        plan->satisfied = true;
+        return;
+    }
+
+    const std::size_t n = servers.size();
+    ws.Prepare(n);
+    bool single_group = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        ws.powers[i] = servers[i].power;
+        ws.floors[i] = servers[i].sla_min_cap;
+        ws.cuts[i] = 0.0;
+        single_group = single_group &&
+                       servers[i].priority_group == servers[0].priority_group;
+    }
+
+    // Priority grouping as one sort-index pass: a stable sort on the
+    // group key yields contiguous runs per group, lowest first, with
+    // members in input order inside each run — the same member order a
+    // per-group map of index lists would produce. The common
+    // one-group roster skips the sort entirely.
+    std::iota(ws.order.begin(), ws.order.end(), 0u);
+    if (!single_group) {
+        std::stable_sort(ws.order.begin(), ws.order.end(),
+                         [&servers](std::uint32_t a, std::uint32_t b) {
+                             return servers[a].priority_group <
+                                    servers[b].priority_group;
+                         });
+    }
+
+    Watts remaining = total_power_cut;
+    std::size_t start = 0;
+    while (start < n) {
+        if (remaining <= kEpsilon) break;
+        std::size_t end = start + 1;
+        const int group = servers[ws.order[start]].priority_group;
+        while (end < n && servers[ws.order[end]].priority_group == group) {
+            ++end;
+        }
+        GroupCutInto(ws.powers.data(), ws.floors.data(), ws.order.data() + start,
+                     end - start, remaining, bucket_size, policy, ws,
+                     ws.cuts.data());
+        for (std::size_t r = start; r < end; ++r) {
+            remaining -= ws.cuts[ws.order[r]];
+        }
+        start = end;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ws.cuts[i] > kEpsilon) {
+            CapAssignment assignment;
+            assignment.index = i;
+            assignment.cap = servers[i].power - ws.cuts[i];
+            assignment.cut = ws.cuts[i];
+            plan->assignments.push_back(std::move(assignment));
+            plan->planned_cut += ws.cuts[i];
+        }
+    }
+    plan->satisfied = remaining <= 1e-3;
+}
 
 CappingPlan
 ComputeCappingPlan(const std::vector<ServerPowerInfo>& servers,
                    Watts total_power_cut, Watts bucket_size,
                    AllocationPolicy policy)
 {
+    CappingWorkspace ws;
     CappingPlan plan;
-    if (total_power_cut <= kEpsilon) {
-        plan.satisfied = true;
-        return plan;
+    ComputeCappingPlan(servers, total_power_cut, bucket_size, policy, ws,
+                       &plan);
+    for (CapAssignment& assignment : plan.assignments) {
+        assignment.name = servers[assignment.index].name;
     }
-
-    // Partition by priority group, lowest (capped first) to highest.
-    std::map<int, std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-        groups[servers[i].priority_group].push_back(i);
-    }
-
-    std::vector<Watts> cuts(servers.size(), 0.0);
-    Watts remaining = total_power_cut;
-    for (const auto& [priority, members] : groups) {
-        (void)priority;
-        if (remaining <= kEpsilon) break;
-        std::vector<Watts> powers;
-        std::vector<Watts> floors;
-        powers.reserve(members.size());
-        floors.reserve(members.size());
-        for (std::size_t i : members) {
-            powers.push_back(servers[i].power);
-            floors.push_back(servers[i].sla_min_cap);
-        }
-        const std::vector<Watts> group_cuts =
-            GroupCut(powers, floors, remaining, bucket_size, policy);
-        for (std::size_t k = 0; k < members.size(); ++k) {
-            cuts[members[k]] = group_cuts[k];
-            remaining -= group_cuts[k];
-        }
-    }
-
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-        if (cuts[i] > kEpsilon) {
-            plan.assignments.push_back(CapAssignment{
-                servers[i].name, servers[i].power - cuts[i], cuts[i]});
-            plan.planned_cut += cuts[i];
-        }
-    }
-    plan.satisfied = remaining <= 1e-3;
     return plan;
 }
 
-OffenderPlan
+void
 ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
-                    Watts total_power_cut, Watts bucket_size)
+                    Watts total_power_cut, Watts bucket_size,
+                    CappingWorkspace& ws, OffenderPlan* plan)
 {
-    OffenderPlan plan;
+    plan->limits.clear();
+    plan->planned_cut = 0.0;
+    plan->satisfied = false;
     if (total_power_cut <= kEpsilon) {
-        plan.satisfied = true;
-        return plan;
+        plan->satisfied = true;
+        return;
     }
 
-    std::vector<Watts> cuts(children.size(), 0.0);
+    const std::size_t n = children.size();
+    ws.Prepare(n);
+    std::fill(ws.cuts.begin(), ws.cuts.end(), 0.0);
     Watts remaining = total_power_cut;
 
     // Stage 1: punish the offenders (power above quota), never pushing
     // them below quota, high-bucket-first among them.
-    {
-        std::vector<std::size_t> offenders;
-        std::vector<Watts> powers;
-        std::vector<Watts> floors;
-        for (std::size_t i = 0; i < children.size(); ++i) {
-            if (children[i].power > children[i].quota + kEpsilon) {
-                offenders.push_back(i);
-                powers.push_back(children[i].power);
-                // Quota is the stage-1 floor, but never contract a
-                // child below the floor it can actually honor.
-                floors.push_back(std::max(children[i].quota, children[i].floor));
-            }
+    ws.items.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (children[i].power > children[i].quota + kEpsilon) {
+            ws.items.push_back(static_cast<std::uint32_t>(i));
+            ws.powers[i] = children[i].power;
+            // Quota is the stage-1 floor, but never contract a child
+            // below the floor it can actually honor.
+            ws.floors[i] = std::max(children[i].quota, children[i].floor);
+            ws.stage[i] = 0.0;
         }
-        if (!offenders.empty()) {
-            const std::vector<Watts> stage_cuts =
-                BucketedEvenCut(powers, floors, remaining, bucket_size);
-            for (std::size_t k = 0; k < offenders.size(); ++k) {
-                cuts[offenders[k]] += stage_cuts[k];
-                remaining -= stage_cuts[k];
-            }
+    }
+    if (!ws.items.empty()) {
+        BucketedEvenCutInto(ws.powers.data(), ws.floors.data(), ws.items.data(),
+                            ws.items.size(), remaining, bucket_size, ws,
+                            ws.stage.data());
+        for (std::uint32_t i : ws.items) {
+            ws.cuts[i] += ws.stage[i];
+            remaining -= ws.stage[i];
         }
     }
 
     // Stage 2: if the offenders' excess was not enough, spread the
     // remainder across all children down to their floors.
     if (remaining > kEpsilon) {
-        std::vector<Watts> powers;
-        std::vector<Watts> floors;
-        powers.reserve(children.size());
-        floors.reserve(children.size());
-        for (std::size_t i = 0; i < children.size(); ++i) {
-            powers.push_back(children[i].power - cuts[i]);
-            floors.push_back(children[i].floor);
+        std::iota(ws.order.begin(), ws.order.end(), 0u);
+        for (std::size_t i = 0; i < n; ++i) {
+            ws.powers[i] = children[i].power - ws.cuts[i];
+            ws.floors[i] = children[i].floor;
+            ws.stage[i] = 0.0;
         }
-        const std::vector<Watts> stage_cuts =
-            BucketedEvenCut(powers, floors, remaining, bucket_size);
-        for (std::size_t i = 0; i < children.size(); ++i) {
-            cuts[i] += stage_cuts[i];
-            remaining -= stage_cuts[i];
+        BucketedEvenCutInto(ws.powers.data(), ws.floors.data(), ws.order.data(),
+                            n, remaining, bucket_size, ws, ws.stage.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ws.cuts[i] += ws.stage[i];
+            remaining -= ws.stage[i];
         }
     }
 
-    for (std::size_t i = 0; i < children.size(); ++i) {
-        if (cuts[i] > kEpsilon) {
-            plan.limits.push_back(ChildLimit{
-                children[i].name, children[i].power - cuts[i], cuts[i]});
-            plan.planned_cut += cuts[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ws.cuts[i] > kEpsilon) {
+            ChildLimit limit;
+            limit.index = i;
+            limit.contractual_limit = children[i].power - ws.cuts[i];
+            limit.cut = ws.cuts[i];
+            plan->limits.push_back(std::move(limit));
+            plan->planned_cut += ws.cuts[i];
         }
     }
-    plan.satisfied = remaining <= 1e-3;
+    plan->satisfied = remaining <= 1e-3;
+}
+
+OffenderPlan
+ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
+                    Watts total_power_cut, Watts bucket_size)
+{
+    CappingWorkspace ws;
+    OffenderPlan plan;
+    ComputeOffenderPlan(children, total_power_cut, bucket_size, ws, &plan);
+    for (ChildLimit& limit : plan.limits) {
+        limit.name = children[limit.index].name;
+    }
     return plan;
 }
 

@@ -22,10 +22,20 @@
  *    offenders' excess cannot cover the cut is the remainder spread
  *    over all children down to their floors. The result is expressed
  *    as contractual power limits (power minus cut).
+ *
+ * These run every capping cycle on every controller, so the primary
+ * entry points are allocation-free on the steady path: callers own a
+ * `CappingWorkspace` whose buffers are reused across cycles, priority
+ * grouping is a sort-index pass (no per-group map or array copies),
+ * and plans identify servers by *index* into the input vector — names
+ * are only materialized by the legacy by-value wrappers. The optimized
+ * paths are pinned bit-identical to the originals by equivalence tests
+ * against capping_policy_reference.h.
  */
 #ifndef DYNAMO_CORE_CAPPING_POLICY_H_
 #define DYNAMO_CORE_CAPPING_POLICY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +46,7 @@ namespace dynamo::core {
 /** Leaf-controller view of one downstream server. */
 struct ServerPowerInfo
 {
+    /** Display name; may be empty on the hot path (plans carry indices). */
     std::string name;
 
     /** Latest power reading (or estimate). */
@@ -51,7 +62,12 @@ struct ServerPowerInfo
 /** One server's assignment in a capping plan. */
 struct CapAssignment
 {
+    /** Position of the server in the input vector. */
+    std::size_t index = 0;
+
+    /** Name copied from the input (empty in workspace-API plans). */
     std::string name;
+
     Watts cap = 0.0;
     Watts cut = 0.0;
 };
@@ -90,6 +106,30 @@ enum class AllocationPolicy {
 const char* AllocationPolicyName(AllocationPolicy policy);
 
 /**
+ * Caller-owned scratch arena for the allocation entry points.
+ *
+ * All buffers grow to the fleet size on first use and are reused on
+ * every subsequent call, so a controller that computes a plan per
+ * cycle performs no heap allocation in steady state. A workspace may
+ * be shared by any number of sequential calls but not concurrent ones.
+ */
+struct CappingWorkspace
+{
+    std::vector<Watts> powers;
+    std::vector<Watts> floors;
+    std::vector<Watts> headroom;
+    std::vector<Watts> cuts;
+    std::vector<Watts> stage;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> items;
+    std::vector<std::uint32_t> included;
+    std::vector<std::uint32_t> active;
+
+    /** Resize every per-item buffer for `n` items. */
+    void Prepare(std::size_t n);
+};
+
+/**
  * Allocate `total_power_cut` watts of cut across `servers`.
  *
  * @param servers          Current readings plus capping metadata.
@@ -103,9 +143,20 @@ CappingPlan ComputeCappingPlan(
     Watts bucket_size = 20.0,
     AllocationPolicy policy = AllocationPolicy::kHighBucketFirst);
 
+/**
+ * Allocation-free variant: scratch lives in `ws`, the result in
+ * `plan` (its assignment vector is reused), and assignments carry only
+ * indices into `servers` — names are not copied.
+ */
+void ComputeCappingPlan(const std::vector<ServerPowerInfo>& servers,
+                        Watts total_power_cut, Watts bucket_size,
+                        AllocationPolicy policy, CappingWorkspace& ws,
+                        CappingPlan* plan);
+
 /** Upper-controller view of one child controller/device. */
 struct ChildPowerInfo
 {
+    /** Display name; may be empty on the hot path (plans carry indices). */
     std::string name;
 
     /** Child's last aggregated power. */
@@ -121,7 +172,12 @@ struct ChildPowerInfo
 /** One child's assignment: the contractual limit to send. */
 struct ChildLimit
 {
+    /** Position of the child in the input vector. */
+    std::size_t index = 0;
+
+    /** Name copied from the input (empty in workspace-API plans). */
     std::string name;
+
     Watts contractual_limit = 0.0;
     Watts cut = 0.0;
 };
@@ -144,6 +200,11 @@ OffenderPlan ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
                                  Watts total_power_cut,
                                  Watts bucket_size = 2000.0);
 
+/** Allocation-free variant of ComputeOffenderPlan (see above). */
+void ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
+                         Watts total_power_cut, Watts bucket_size,
+                         CappingWorkspace& ws, OffenderPlan* plan);
+
 /**
  * Shared primitive: distribute `cut` over items high-bucket-first.
  *
@@ -158,6 +219,11 @@ OffenderPlan ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
 std::vector<Watts> BucketedEvenCut(const std::vector<Watts>& powers,
                                    const std::vector<Watts>& floors, Watts cut,
                                    Watts bucket_size);
+
+/** Workspace variant of BucketedEvenCut; cuts land in `ws.cuts[0..n)`. */
+void BucketedEvenCut(const std::vector<Watts>& powers,
+                     const std::vector<Watts>& floors, Watts cut,
+                     Watts bucket_size, CappingWorkspace& ws);
 
 }  // namespace dynamo::core
 

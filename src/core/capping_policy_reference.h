@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference (pre-optimization) capping allocators.
+ *
+ * Verbatim copies of the original clarity-first implementations of
+ * BucketedEvenCut / ComputeCappingPlan / ComputeOffenderPlan, kept as
+ * the behavioural oracle for the optimized, allocation-free versions
+ * in capping_policy.cc: equivalence tests assert the optimized paths
+ * produce bit-identical plans for the same inputs. Not for production
+ * use — these allocate per call (per-group array copies, a std::map
+ * for priority grouping, rebuilt active sets in the water-fill).
+ */
+#ifndef DYNAMO_CORE_CAPPING_POLICY_REFERENCE_H_
+#define DYNAMO_CORE_CAPPING_POLICY_REFERENCE_H_
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/capping_policy.h"
+
+namespace dynamo::core::reference {
+
+/** Original ComputeCappingPlan (names filled, allocates per call). */
+CappingPlan ComputeCappingPlan(
+    const std::vector<ServerPowerInfo>& servers, Watts total_power_cut,
+    Watts bucket_size = 20.0,
+    AllocationPolicy policy = AllocationPolicy::kHighBucketFirst);
+
+/** Original ComputeOffenderPlan. */
+OffenderPlan ComputeOffenderPlan(const std::vector<ChildPowerInfo>& children,
+                                 Watts total_power_cut,
+                                 Watts bucket_size = 2000.0);
+
+/** Original BucketedEvenCut. */
+std::vector<Watts> BucketedEvenCut(const std::vector<Watts>& powers,
+                                   const std::vector<Watts>& floors, Watts cut,
+                                   Watts bucket_size);
+
+}  // namespace dynamo::core::reference
+
+#endif  // DYNAMO_CORE_CAPPING_POLICY_REFERENCE_H_

@@ -26,6 +26,7 @@ Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
       bands_(config.bands),
       log_(log),
       endpoint_(std::move(endpoint)),
+      endpoint_id_(transport.Resolve(endpoint_)),
       physical_limit_(physical_limit),
       quota_(quota),
       retry_rng_(std::hash<std::string>{}(endpoint_) ^ 0x9e3779b97f4a7c15ULL)
@@ -57,7 +58,7 @@ Controller::Activate(SimTime initial_delay)
 {
     if (active_) return;
     active_ = true;
-    transport_.Register(endpoint_,
+    transport_.Register(endpoint_id_,
                         [this](const rpc::Payload& req) { return Handle(req); });
     cycle_task_ = sim_.SchedulePeriodic(
         config_.pull_cycle, [this]() {
@@ -72,7 +73,7 @@ Controller::Deactivate()
     if (!active_) return;
     active_ = false;
     cycle_task_.Cancel();
-    transport_.Unregister(endpoint_);
+    transport_.Unregister(endpoint_id_);
     // Invalidate any in-flight cycle so late responses are dropped.
     ++cycle_id_;
 }
@@ -110,7 +111,7 @@ Controller::HandleExtra(const rpc::Payload&)
 }
 
 void
-Controller::PullWithRetry(const std::string& endpoint, rpc::Payload request,
+Controller::PullWithRetry(rpc::EndpointId endpoint, rpc::Payload request,
                           rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err)
 {
     const int attempts = 1 + config_.pull_retries;
@@ -121,7 +122,7 @@ Controller::PullWithRetry(const std::string& endpoint, rpc::Payload request,
 }
 
 void
-Controller::PullAttempt(const std::string& endpoint, rpc::Payload request,
+Controller::PullAttempt(rpc::EndpointId endpoint, rpc::Payload request,
                         rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err,
                         int attempt, SimTime per_attempt_timeout,
                         std::uint64_t cycle)

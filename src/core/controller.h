@@ -145,6 +145,9 @@ class Controller
     Controller& operator=(const Controller&) = delete;
 
     const std::string& endpoint() const { return endpoint_; }
+
+    /** Interned id of this controller's endpoint (hot-path RPC key). */
+    rpc::EndpointId endpoint_id() const { return endpoint_id_; }
     Watts physical_limit() const { return physical_limit_; }
     Watts quota() const { return quota_; }
 
@@ -272,7 +275,7 @@ class Controller
      * of `on_ok` / `on_err` fires unless the cycle advances first, in
      * which case the chain is abandoned (the next cycle re-pulls).
      */
-    void PullWithRetry(const std::string& endpoint, rpc::Payload request,
+    void PullWithRetry(rpc::EndpointId endpoint, rpc::Payload request,
                        rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err);
 
     /**
@@ -309,7 +312,7 @@ class Controller
     std::uint64_t cycle_id_ = 0;
 
   private:
-    void PullAttempt(const std::string& endpoint, rpc::Payload request,
+    void PullAttempt(rpc::EndpointId endpoint, rpc::Payload request,
                      rpc::ResponseCallback on_ok, rpc::ErrorCallback on_err,
                      int attempt, SimTime per_attempt_timeout,
                      std::uint64_t cycle);
@@ -317,6 +320,7 @@ class Controller
     rpc::Payload Handle(const rpc::Payload& request);
 
     std::string endpoint_;
+    rpc::EndpointId endpoint_id_ = rpc::kInvalidEndpoint;
     Watts physical_limit_;
     Watts quota_;
     std::optional<Watts> contractual_limit_;

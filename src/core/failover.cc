@@ -24,7 +24,7 @@ FailoverManager::Check()
 {
     if (switched_) return;
     transport_.Call(
-        primary_.endpoint(), HealthCheckRequest{},
+        primary_.endpoint_id(), HealthCheckRequest{},
         [this](const rpc::Payload&) { misses_ = 0; },
         [this](const std::string&) {
             ++misses_;

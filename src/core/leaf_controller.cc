@@ -19,9 +19,9 @@ LeafController::LeafController(sim::Simulation& sim, rpc::SimTransport& transpor
 void
 LeafController::AddAgent(AgentInfo info)
 {
-    agent_index_[info.endpoint] = agents_.size();
     AgentState state;
     state.info = std::move(info);
+    state.id = transport_.Resolve(state.info.endpoint);
     agents_.push_back(std::move(state));
 }
 
@@ -53,7 +53,7 @@ LeafController::RunCycle()
     }
     for (std::size_t i = 0; i < agents_.size(); ++i) {
         PullWithRetry(
-            agents_[i].info.endpoint, PowerReadRequest{},
+            agents_[i].id, PowerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;  // stale cycle
                 if (const auto* r = std::any_cast<PowerReadResponse>(&resp)) {
@@ -108,7 +108,7 @@ LeafController::ValidateAgainstBreaker(Watts aggregated)
         if (!a.current || !a.current->estimated) continue;
         ++tunes_sent_;
         transport_.Call(
-            a.info.endpoint, TuneEstimateRequest{ratio},
+            a.id, TuneEstimateRequest{ratio},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -167,7 +167,8 @@ LeafController::Aggregate()
 
     last_noncappable_ = device_.NonCappableLoadPower(now);
     Watts aggregated = last_noncappable_;
-    std::vector<Watts> powers(agents_.size(), 0.0);
+    powers_.assign(agents_.size(), 0.0);
+    std::vector<Watts>& powers = powers_;
     std::size_t adopted = 0;
     for (std::size_t i = 0; i < agents_.size(); ++i) {
         AgentState& a = agents_[i];
@@ -212,16 +213,18 @@ LeafController::Aggregate()
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
     if (decision.action == BandAction::kCap) {
-        std::vector<ServerPowerInfo> infos;
-        infos.reserve(agents_.size());
+        // Names are deliberately left empty: the plan refers to agents
+        // by index, so no per-cycle string copies are needed.
+        infos_.resize(agents_.size());
         for (std::size_t i = 0; i < agents_.size(); ++i) {
-            infos.push_back(ServerPowerInfo{agents_[i].info.endpoint, powers[i],
-                                            agents_[i].info.priority_group,
-                                            agents_[i].info.sla_min_cap});
+            infos_[i].power = powers[i];
+            infos_[i].priority_group = agents_[i].info.priority_group;
+            infos_[i].sla_min_cap = agents_[i].info.sla_min_cap;
         }
-        const CappingPlan plan =
-            ComputeCappingPlan(infos, decision.cut, leaf_config_.bucket_size,
-                               leaf_config_.allocation_policy);
+        ComputeCappingPlan(infos_, decision.cut, leaf_config_.bucket_size,
+                           leaf_config_.allocation_policy, capping_ws_,
+                           &capping_plan_);
+        const CappingPlan& plan = capping_plan_;
         if (!config_.dry_run) ExecuteCapPlan(plan);
         LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
                              : telemetry::EventKind::kCapStart,
@@ -276,13 +279,12 @@ void
 LeafController::ExecuteCapPlan(const CappingPlan& plan)
 {
     for (const CapAssignment& assignment : plan.assignments) {
-        const auto it = agent_index_.find(assignment.name);
-        if (it == agent_index_.end()) continue;
-        AgentState& a = agents_[it->second];
+        if (assignment.index >= agents_.size()) continue;
+        AgentState& a = agents_[assignment.index];
         a.capped = true;
         a.cap = assignment.cap;
         transport_.Call(
-            a.info.endpoint, SetCapRequest{assignment.cap},
+            a.id, SetCapRequest{assignment.cap},
             [](const rpc::Payload&) {},
             [](const std::string&) {
                 // A lost cap command is retried implicitly: the next
@@ -300,7 +302,7 @@ LeafController::ExecuteUncap()
         a.capped = false;
         a.cap = 0.0;
         transport_.Call(
-            a.info.endpoint, UncapRequest{}, [](const rpc::Payload&) {},
+            a.id, UncapRequest{}, [](const rpc::Payload&) {},
             [](const std::string&) {}, config_.rpc_timeout);
     }
 }

@@ -18,7 +18,6 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/capping_policy.h"
@@ -165,6 +164,10 @@ class LeafController : public Controller
     struct AgentState
     {
         AgentInfo info;
+
+        /** Interned endpoint id, resolved once in AddAgent. */
+        rpc::EndpointId id = rpc::kInvalidEndpoint;
+
         std::optional<PowerReadResponse> current;  ///< This cycle's reading.
         bool failed = false;
         Watts last_power = 0.0;
@@ -192,7 +195,13 @@ class LeafController : public Controller
     power::PowerDevice& device_;
     Config leaf_config_;
     std::vector<AgentState> agents_;
-    std::unordered_map<std::string, std::size_t> agent_index_;
+
+    /** Per-cycle scratch, reused so aggregation is allocation-free. */
+    std::vector<Watts> powers_;
+    std::vector<ServerPowerInfo> infos_;
+    CappingWorkspace capping_ws_;
+    CappingPlan capping_plan_;
+
     std::size_t last_failure_count_ = 0;
     std::uint64_t estimated_readings_ = 0;
     std::uint64_t cache_hits_ = 0;

@@ -20,6 +20,7 @@ UpperController::AddChild(const std::string& endpoint)
 {
     ChildState state;
     state.endpoint = endpoint;
+    state.id = transport_.Resolve(endpoint);
     children_.push_back(std::move(state));
 }
 
@@ -62,7 +63,7 @@ UpperController::RunCycle()
     }
     for (std::size_t i = 0; i < children_.size(); ++i) {
         PullWithRetry(
-            children_[i].endpoint, ControllerReadRequest{},
+            children_[i].id, ControllerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;
                 if (const auto* r =
@@ -91,10 +92,16 @@ UpperController::Aggregate()
 
     std::size_t failures = 0;
     Watts aggregated = 0.0;
-    std::vector<ChildPowerInfo> infos;
-    infos.reserve(children_.size());
+    // Names are deliberately left empty: the plan refers to fresh
+    // children by index (via fresh_child_), so no per-cycle string
+    // copies are needed.
+    infos_.clear();
+    fresh_child_.clear();
+    infos_.reserve(children_.size());
+    fresh_child_.reserve(children_.size());
 
-    for (ChildState& c : children_) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        ChildState& c = children_[i];
         // A child whose own aggregation was invalid reports
         // valid=false; treat it like a pull failure and fall back to
         // its last good value — but only while that cached value is
@@ -109,8 +116,12 @@ UpperController::Aggregate()
         if (!c.have_last) continue;  // never heard from it; skip
         if (now - c.last_time > ReadingTtl()) continue;  // stale cache
         aggregated += c.last.power;
-        infos.push_back(
-            ChildPowerInfo{c.endpoint, c.last.power, c.last.quota, c.last.floor});
+        ChildPowerInfo info;
+        info.power = c.last.power;
+        info.quota = c.last.quota;
+        info.floor = c.last.floor;
+        infos_.push_back(std::move(info));
+        fresh_child_.push_back(static_cast<std::uint32_t>(i));
     }
     last_failure_count_ = failures;
 
@@ -136,8 +147,9 @@ UpperController::Aggregate()
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
     if (decision.action == BandAction::kCap) {
-        const OffenderPlan plan =
-            ComputeOffenderPlan(infos, decision.cut, upper_config_.bucket_size);
+        ComputeOffenderPlan(infos_, decision.cut, upper_config_.bucket_size,
+                            offender_ws_, &offender_plan_);
+        const OffenderPlan& plan = offender_plan_;
         if (!config_.dry_run) ExecutePlan(plan);
         LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
                              : telemetry::EventKind::kCapStart,
@@ -170,19 +182,17 @@ void
 UpperController::ExecutePlan(const OffenderPlan& plan)
 {
     for (const ChildLimit& child_limit : plan.limits) {
-        for (ChildState& c : children_) {
-            if (c.endpoint != child_limit.name) continue;
-            c.contracted = true;
-            c.limit = child_limit.contractual_limit;
-            transport_.Call(
-                c.endpoint, SetContractualLimitRequest{child_limit.contractual_limit},
-                [](const rpc::Payload&) {},
-                [](const std::string&) {
-                    // Re-issued next cycle if still needed.
-                },
-                config_.rpc_timeout);
-            break;
-        }
+        if (child_limit.index >= fresh_child_.size()) continue;
+        ChildState& c = children_[fresh_child_[child_limit.index]];
+        c.contracted = true;
+        c.limit = child_limit.contractual_limit;
+        transport_.Call(
+            c.id, SetContractualLimitRequest{child_limit.contractual_limit},
+            [](const rpc::Payload&) {},
+            [](const std::string&) {
+                // Re-issued next cycle if still needed.
+            },
+            config_.rpc_timeout);
     }
 }
 
@@ -193,7 +203,7 @@ UpperController::ReaffirmContracts()
         if (!c.contracted) continue;
         ++contracts_reaffirmed_;
         transport_.Call(
-            c.endpoint, SetContractualLimitRequest{c.limit},
+            c.id, SetContractualLimitRequest{c.limit},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -207,7 +217,7 @@ UpperController::ClearContracts()
         c.contracted = false;
         c.limit = 0.0;
         transport_.Call(
-            c.endpoint, ClearContractualLimitRequest{},
+            c.id, ClearContractualLimitRequest{},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }

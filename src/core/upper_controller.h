@@ -70,6 +70,10 @@ class UpperController : public Controller
     struct ChildState
     {
         std::string endpoint;
+
+        /** Interned endpoint id, resolved once in AddChild. */
+        rpc::EndpointId id = rpc::kInvalidEndpoint;
+
         std::optional<ControllerReadResponse> current;
         ControllerReadResponse last;
         bool have_last = false;
@@ -95,6 +99,18 @@ class UpperController : public Controller
 
     Config upper_config_;
     std::vector<ChildState> children_;
+
+    /**
+     * Per-cycle scratch, reused so aggregation is allocation-free.
+     * `fresh_child_[i]` maps infos_[i] (fresh children only) back to
+     * its index in children_, letting plan limits address children by
+     * index without name lookups.
+     */
+    std::vector<ChildPowerInfo> infos_;
+    std::vector<std::uint32_t> fresh_child_;
+    CappingWorkspace offender_ws_;
+    OffenderPlan offender_plan_;
+
     std::size_t last_failure_count_ = 0;
     std::uint64_t contracts_reaffirmed_ = 0;
 };

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Endpoint interning.
+ *
+ * A 10k-server suite routes millions of RPCs per simulated hour; keying
+ * transport routing and fault state by `std::string` makes every call
+ * hash and compare a heap string. Endpoints are instead interned once
+ * into a dense 32-bit `EndpointId`, and every hot lookup (handler
+ * dispatch, fault decision, latency override) becomes a vector index.
+ * Human-readable names survive in the table for construction-time
+ * resolution and logging edges.
+ */
+#ifndef DYNAMO_RPC_ENDPOINT_H_
+#define DYNAMO_RPC_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynamo::rpc {
+
+/** Dense interned endpoint identity; index into per-endpoint vectors. */
+using EndpointId = std::uint32_t;
+
+/** Sentinel for "no such endpoint". */
+inline constexpr EndpointId kInvalidEndpoint = 0xffffffffu;
+
+/**
+ * Bidirectional name <-> id intern table. Ids are assigned densely in
+ * interning order and never recycled, so they stay valid as vector
+ * indices for the lifetime of the transport that owns the table.
+ */
+class EndpointTable
+{
+  public:
+    /** Return the id for `name`, interning it on first sight. */
+    EndpointId Intern(const std::string& name)
+    {
+        const auto it = by_name_.find(name);
+        if (it != by_name_.end()) return it->second;
+        const EndpointId id = static_cast<EndpointId>(names_.size());
+        names_.push_back(name);
+        by_name_.emplace(name, id);
+        return id;
+    }
+
+    /** Id for `name`, or kInvalidEndpoint if never interned. */
+    EndpointId Find(const std::string& name) const
+    {
+        const auto it = by_name_.find(name);
+        return it == by_name_.end() ? kInvalidEndpoint : it->second;
+    }
+
+    /** Name for a valid id (logging / error edges). */
+    const std::string& Name(EndpointId id) const { return names_[id]; }
+
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::unordered_map<std::string, EndpointId> by_name_;
+    std::vector<std::string> names_;
+};
+
+}  // namespace dynamo::rpc
+
+#endif  // DYNAMO_RPC_ENDPOINT_H_

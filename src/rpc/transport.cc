@@ -5,94 +5,186 @@
 
 namespace dynamo::rpc {
 
-FailureInjector::FailureInjector(std::uint64_t seed) : rng_(seed) {}
+FailureInjector::FailureInjector(std::uint64_t seed, EndpointTable* endpoints)
+    : rng_(seed), endpoints_(endpoints)
+{
+}
 
 void
-FailureInjector::SetEndpointFailureProbability(const std::string& endpoint, double p)
+FailureInjector::EnsureSize(EndpointId id)
 {
-    endpoint_failure_p_[endpoint] = p;
+    if (id >= failure_p_.size()) {
+        failure_p_.resize(id + 1, -1.0);
+        extra_latency_.resize(id + 1, 0);
+        down_.resize(id + 1, 0);
+    }
+}
+
+void
+FailureInjector::SetEndpointFailureProbability(EndpointId id, double p)
+{
+    EnsureSize(id);
+    if (failure_p_[id] < 0.0) ++override_count_;
+    failure_p_[id] = p;
+}
+
+void
+FailureInjector::SetEndpointFailureProbability(const std::string& endpoint,
+                                               double p)
+{
+    SetEndpointFailureProbability(endpoints_->Intern(endpoint), p);
+}
+
+void
+FailureInjector::ClearEndpointFailureProbability(EndpointId id)
+{
+    if (id >= failure_p_.size() || failure_p_[id] < 0.0) return;
+    failure_p_[id] = -1.0;
+    --override_count_;
 }
 
 void
 FailureInjector::ClearEndpointFailureProbability(const std::string& endpoint)
 {
-    endpoint_failure_p_.erase(endpoint);
+    const EndpointId id = endpoints_->Find(endpoint);
+    if (id != kInvalidEndpoint) ClearEndpointFailureProbability(id);
+}
+
+void
+FailureInjector::SetEndpointDown(EndpointId id, bool down)
+{
+    EnsureSize(id);
+    if (down && !down_[id]) ++down_count_;
+    if (!down && down_[id]) --down_count_;
+    down_[id] = down ? 1 : 0;
 }
 
 void
 FailureInjector::SetEndpointDown(const std::string& endpoint, bool down)
 {
-    if (down) {
-        down_.insert(endpoint);
-    } else {
-        down_.erase(endpoint);
-    }
+    SetEndpointDown(endpoints_->Intern(endpoint), down);
+}
+
+bool
+FailureInjector::IsEndpointDown(EndpointId id) const
+{
+    if (down_count_ == 0) return false;
+    return id < down_.size() && down_[id] != 0;
 }
 
 bool
 FailureInjector::IsEndpointDown(const std::string& endpoint) const
 {
-    return down_.count(endpoint) > 0;
+    const EndpointId id = endpoints_->Find(endpoint);
+    return id != kInvalidEndpoint && IsEndpointDown(id);
+}
+
+void
+FailureInjector::SetEndpointExtraLatency(EndpointId id, SimTime extra)
+{
+    EnsureSize(id);
+    if (extra != 0 && extra_latency_[id] == 0) ++latency_count_;
+    if (extra == 0 && extra_latency_[id] != 0) --latency_count_;
+    extra_latency_[id] = extra;
 }
 
 void
 FailureInjector::SetEndpointExtraLatency(const std::string& endpoint,
                                          SimTime extra)
 {
-    extra_latency_[endpoint] = extra;
+    SetEndpointExtraLatency(endpoints_->Intern(endpoint), extra);
+}
+
+void
+FailureInjector::ClearEndpointExtraLatency(EndpointId id)
+{
+    SetEndpointExtraLatency(id, 0);
 }
 
 void
 FailureInjector::ClearEndpointExtraLatency(const std::string& endpoint)
 {
-    extra_latency_.erase(endpoint);
+    const EndpointId id = endpoints_->Find(endpoint);
+    if (id != kInvalidEndpoint) SetEndpointExtraLatency(id, 0);
 }
 
 SimTime
 FailureInjector::ExtraLatency(const std::string& endpoint) const
 {
-    const auto it = extra_latency_.find(endpoint);
-    return it == extra_latency_.end() ? 0 : it->second;
+    if (latency_count_ == 0) return 0;
+    const EndpointId id = endpoints_->Find(endpoint);
+    return id == kInvalidEndpoint ? 0 : ExtraLatency(id);
 }
 
 CallFate
-FailureInjector::Decide(const std::string& endpoint)
+FailureInjector::Decide(EndpointId id)
 {
-    if (down_.count(endpoint) > 0) return CallFate::kFail;
+    // Fast path: nothing configured, nothing to look up. This is the
+    // steady state of every non-chaos run.
+    if (down_count_ == 0 && override_count_ == 0 && default_failure_p_ <= 0.0) {
+        return CallFate::kOk;
+    }
+    if (IsEndpointDown(id)) return CallFate::kFail;
     double p = default_failure_p_;
-    const auto it = endpoint_failure_p_.find(endpoint);
-    if (it != endpoint_failure_p_.end()) p = it->second;
+    if (override_count_ > 0 && id < failure_p_.size() && failure_p_[id] >= 0.0) {
+        p = failure_p_[id];
+    }
     if (p <= 0.0) return CallFate::kOk;
     if (!rng_.Bernoulli(p)) return CallFate::kOk;
     return rng_.Bernoulli(0.5) ? CallFate::kFail : CallFate::kBlackhole;
 }
 
 SimTransport::SimTransport(sim::Simulation& sim, std::uint64_t seed, Options options)
-    : sim_(sim), rng_(seed), options_(options), failures_(seed ^ 0xfeedULL)
+    : sim_(sim), rng_(seed), options_(options),
+      failures_(seed ^ 0xfeedULL, &endpoints_)
 {
+}
+
+void
+SimTransport::Register(EndpointId id, RequestHandler handler)
+{
+    if (id >= handlers_.size()) handlers_.resize(id + 1);
+    handlers_[id] = std::move(handler);
 }
 
 void
 SimTransport::Register(const std::string& endpoint, RequestHandler handler)
 {
-    handlers_[endpoint] = std::move(handler);
+    Register(endpoints_.Intern(endpoint), std::move(handler));
+}
+
+void
+SimTransport::Unregister(EndpointId id)
+{
+    if (id < handlers_.size()) handlers_[id] = nullptr;
 }
 
 void
 SimTransport::Unregister(const std::string& endpoint)
 {
-    handlers_.erase(endpoint);
+    const EndpointId id = endpoints_.Find(endpoint);
+    if (id != kInvalidEndpoint) Unregister(id);
 }
 
 bool
 SimTransport::IsRegistered(const std::string& endpoint) const
 {
-    return handlers_.count(endpoint) > 0;
+    const EndpointId id = endpoints_.Find(endpoint);
+    return id != kInvalidEndpoint && IsRegistered(id);
 }
 
 void
 SimTransport::Call(const std::string& endpoint, Payload request,
-                   ResponseCallback on_ok, ErrorCallback on_err, SimTime timeout_ms)
+                   ResponseCallback on_ok, ErrorCallback on_err,
+                   SimTime timeout_ms)
+{
+    Call(endpoints_.Intern(endpoint), std::move(request), std::move(on_ok),
+         std::move(on_err), timeout_ms);
+}
+
+void
+SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
+                   ErrorCallback on_err, SimTime timeout_ms)
 {
     ++calls_issued_;
 
@@ -100,7 +192,7 @@ SimTransport::Call(const std::string& endpoint, Payload request,
     // so exactly one continuation fires per call.
     auto done = std::make_shared<bool>(false);
 
-    const CallFate fate = failures_.Decide(endpoint);
+    const CallFate fate = failures_.Decide(id);
     if (fate == CallFate::kBlackhole) {
         sim_.ScheduleAfter(timeout_ms,
                            [this, done, on_err = std::move(on_err)]() {
@@ -111,7 +203,7 @@ SimTransport::Call(const std::string& endpoint, Payload request,
                            });
         return;
     }
-    if (fate == CallFate::kFail || handlers_.count(endpoint) == 0) {
+    if (fate == CallFate::kFail || !IsRegistered(id)) {
         const SimTime latency = options_.request_latency.Sample(rng_);
         sim_.ScheduleAfter(latency, [this, done, on_err = std::move(on_err)]() {
             if (*done) return;
@@ -133,17 +225,16 @@ SimTransport::Call(const std::string& endpoint, Payload request,
     });
 
     const SimTime request_latency =
-        options_.request_latency.Sample(rng_) + failures_.ExtraLatency(endpoint);
+        options_.request_latency.Sample(rng_) + failures_.ExtraLatency(id);
     sim_.ScheduleAfter(
         request_latency,
-        [this, endpoint, request = std::move(request), on_ok = std::move(on_ok),
+        [this, id, request = std::move(request), on_ok = std::move(on_ok),
          done]() mutable {
             // Re-resolve the handler at delivery time: the endpoint may
             // have crashed while the request was in flight, in which
             // case the caller only learns via the timeout.
-            const auto it = handlers_.find(endpoint);
-            if (it == handlers_.end()) return;
-            Payload response = it->second(request);
+            if (!IsRegistered(id)) return;
+            Payload response = handlers_[id](request);
             const SimTime response_latency = options_.response_latency.Sample(rng_);
             sim_.ScheduleAfter(response_latency,
                                [this, response = std::move(response),

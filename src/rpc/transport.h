@@ -10,6 +10,11 @@
  * policy so tests can exercise the paper's resilience behaviours
  * (estimating power for failed pulls, alarming past the 20 % failure
  * threshold, failing over dead controllers).
+ *
+ * Endpoints are interned (see endpoint.h): the hot path — handler
+ * dispatch and fault decisions on every call — indexes dense vectors
+ * by `EndpointId`. String-keyed overloads remain for construction and
+ * test edges and resolve through the intern table.
  */
 #ifndef DYNAMO_RPC_TRANSPORT_H_
 #define DYNAMO_RPC_TRANSPORT_H_
@@ -18,11 +23,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "rpc/endpoint.h"
 #include "sim/simulation.h"
 
 namespace dynamo::rpc {
@@ -71,45 +76,77 @@ enum class CallFate { kOk, kFail, kBlackhole };
  * made slow responders: an extra latency override is added to request
  * delivery, so calls to them time out when the override exceeds the
  * caller's deadline (latency storms in chaos campaigns).
+ *
+ * State is held in vectors indexed by EndpointId, with live counters
+ * per fault class so the common no-faults-configured case decides
+ * without touching per-endpoint state at all.
  */
 class FailureInjector
 {
   public:
-    explicit FailureInjector(std::uint64_t seed = 7);
+    FailureInjector(std::uint64_t seed, EndpointTable* endpoints);
 
     /** Probability applied to endpoints with no specific setting. */
     void SetDefaultFailureProbability(double p) { default_failure_p_ = p; }
 
     /** Override failure probability for one endpoint. */
+    void SetEndpointFailureProbability(EndpointId id, double p);
     void SetEndpointFailureProbability(const std::string& endpoint, double p);
 
     /** Remove a per-endpoint override. */
+    void ClearEndpointFailureProbability(EndpointId id);
     void ClearEndpointFailureProbability(const std::string& endpoint);
 
     /** Mark an endpoint hard-down (every call fails) or back up. */
+    void SetEndpointDown(EndpointId id, bool down);
     void SetEndpointDown(const std::string& endpoint, bool down);
 
     /** True if the endpoint is currently marked hard-down. */
+    bool IsEndpointDown(EndpointId id) const;
     bool IsEndpointDown(const std::string& endpoint) const;
 
-    /** Decide the fate of one call to `endpoint`. */
-    CallFate Decide(const std::string& endpoint);
+    /** Decide the fate of one call to an endpoint. */
+    CallFate Decide(EndpointId id);
 
     /** Add `extra` ms to request delivery toward one endpoint. */
+    void SetEndpointExtraLatency(EndpointId id, SimTime extra);
     void SetEndpointExtraLatency(const std::string& endpoint, SimTime extra);
 
     /** Remove a slow-responder override. */
+    void ClearEndpointExtraLatency(EndpointId id);
     void ClearEndpointExtraLatency(const std::string& endpoint);
 
-    /** Extra request latency for `endpoint` (0 when none set). */
+    /** Extra request latency for an endpoint (0 when none set). */
+    SimTime ExtraLatency(EndpointId id) const
+    {
+        if (latency_count_ == 0) return 0;  // common case: no storms
+        return id < extra_latency_.size() ? extra_latency_[id] : 0;
+    }
     SimTime ExtraLatency(const std::string& endpoint) const;
 
+    /** True when no fault of any kind is configured. */
+    bool quiescent() const
+    {
+        return down_count_ == 0 && override_count_ == 0 &&
+               latency_count_ == 0 && default_failure_p_ <= 0.0;
+    }
+
   private:
+    /** Grow per-endpoint vectors to cover `id`. */
+    void EnsureSize(EndpointId id);
+
     Rng rng_;
+    EndpointTable* endpoints_;
     double default_failure_p_ = 0.0;
-    std::unordered_map<std::string, double> endpoint_failure_p_;
-    std::unordered_map<std::string, SimTime> extra_latency_;
-    std::unordered_set<std::string> down_;
+
+    /** Per-endpoint failure probability; < 0 means "no override". */
+    std::vector<double> failure_p_;
+    std::vector<SimTime> extra_latency_;
+    std::vector<std::uint8_t> down_;
+
+    std::size_t override_count_ = 0;
+    std::size_t latency_count_ = 0;
+    std::size_t down_count_ = 0;
 };
 
 /**
@@ -131,13 +168,28 @@ class SimTransport
     SimTransport(sim::Simulation& sim, std::uint64_t seed = 11,
                  Options options = Options{});
 
-    /** Register a handler under `endpoint`, replacing any existing one. */
+    /** Intern `name`, returning its dense id (stable for this transport). */
+    EndpointId Resolve(const std::string& name)
+    {
+        return endpoints_.Intern(name);
+    }
+
+    /** The intern table (name lookups for logging edges). */
+    const EndpointTable& endpoints() const { return endpoints_; }
+
+    /** Register a handler under an endpoint, replacing any existing one. */
+    void Register(EndpointId id, RequestHandler handler);
     void Register(const std::string& endpoint, RequestHandler handler);
 
     /** Remove an endpoint; subsequent calls to it fail. */
+    void Unregister(EndpointId id);
     void Unregister(const std::string& endpoint);
 
-    /** True if a handler is registered under `endpoint`. */
+    /** True if a handler is registered under the endpoint. */
+    bool IsRegistered(EndpointId id) const
+    {
+        return id < handlers_.size() && static_cast<bool>(handlers_[id]);
+    }
     bool IsRegistered(const std::string& endpoint) const;
 
     /**
@@ -145,6 +197,8 @@ class SimTransport
      * fires, at a later simulation time; `on_err` fires with reason
      * "timeout" if no response arrives within `timeout_ms`.
      */
+    void Call(EndpointId id, Payload request, ResponseCallback on_ok,
+              ErrorCallback on_err, SimTime timeout_ms = 1000);
     void Call(const std::string& endpoint, Payload request,
               ResponseCallback on_ok, ErrorCallback on_err,
               SimTime timeout_ms = 1000);
@@ -165,8 +219,12 @@ class SimTransport
     sim::Simulation& sim_;
     Rng rng_;
     Options options_;
+    EndpointTable endpoints_;
     FailureInjector failures_;
-    std::unordered_map<std::string, RequestHandler> handlers_;
+
+    /** Handler per EndpointId; empty function == not registered. */
+    std::vector<RequestHandler> handlers_;
+
     std::uint64_t calls_issued_ = 0;
     std::uint64_t calls_succeeded_ = 0;
     std::uint64_t calls_failed_ = 0;

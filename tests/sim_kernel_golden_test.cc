@@ -1,0 +1,389 @@
+// Golden-equivalence tests for the timing-wheel event kernel.
+//
+// The wheel replaced a binary-heap kernel; the externally observable
+// contract — events fire in (time, insertion sequence) order, periodic
+// tasks re-arm after each firing, cancellation drops pending firings —
+// must be bit-for-bit unchanged. These tests drive the production
+// kernel and a deliberately naive reference kernel (a priority queue,
+// matching the original implementation) through identical randomized
+// scenarios and require identical execution traces.
+#include "sim/simulation.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace dynamo::sim {
+namespace {
+
+/**
+ * Reference kernel: the pre-wheel design. A binary heap of events
+ * ordered by (when, seq), heap-allocated std::function callbacks, and
+ * shared-flag cancellation. Slow but transparently correct.
+ */
+class ReferenceKernel
+{
+  public:
+    class Handle
+    {
+      public:
+        Handle() = default;
+        explicit Handle(std::shared_ptr<bool> cancelled)
+            : cancelled_(std::move(cancelled))
+        {
+        }
+        void Cancel()
+        {
+            if (cancelled_) *cancelled_ = true;
+        }
+
+      private:
+        std::shared_ptr<bool> cancelled_;
+    };
+
+    SimTime Now() const { return now_; }
+
+    Handle ScheduleAt(SimTime when, std::function<void()> fn)
+    {
+        auto cancelled = std::make_shared<bool>(false);
+        queue_.push(Event{when, next_seq_++, 0, std::move(fn), cancelled});
+        return Handle(cancelled);
+    }
+
+    Handle ScheduleAfter(SimTime delay, std::function<void()> fn)
+    {
+        return ScheduleAt(now_ + delay, std::move(fn));
+    }
+
+    Handle SchedulePeriodic(SimTime period, std::function<void()> fn,
+                            SimTime initial_delay = -1)
+    {
+        auto cancelled = std::make_shared<bool>(false);
+        const SimTime first = now_ + (initial_delay >= 0 ? initial_delay : period);
+        queue_.push(Event{first, next_seq_++, period, std::move(fn), cancelled});
+        return Handle(cancelled);
+    }
+
+    void RunUntil(SimTime deadline)
+    {
+        while (!queue_.empty()) {
+            const Event& top = queue_.top();
+            if (top.when > deadline) break;
+            Event ev = top;
+            queue_.pop();
+            if (*ev.cancelled) continue;
+            now_ = ev.when;
+            ++events_executed_;
+            ev.fn();
+            // Re-arm after the callback so a self-cancelling periodic
+            // task stops, with the seq drawn after execution (the same
+            // ordering the original kernel's re-push produced).
+            if (ev.period > 0 && !*ev.cancelled) {
+                queue_.push(Event{now_ + ev.period, next_seq_++, ev.period,
+                                  std::move(ev.fn), ev.cancelled});
+            }
+        }
+        if (deadline > now_) now_ = deadline;
+    }
+
+    void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+    void RunAll()
+    {
+        // Unlike RunUntil, draining everything leaves the clock at the
+        // last executed event (the production kernel does the same).
+        while (!queue_.empty()) {
+            Event ev = queue_.top();
+            queue_.pop();
+            if (*ev.cancelled) continue;
+            now_ = ev.when;
+            ++events_executed_;
+            ev.fn();
+            if (ev.period > 0 && !*ev.cancelled) {
+                queue_.push(Event{now_ + ev.period, next_seq_++, ev.period,
+                                  std::move(ev.fn), ev.cancelled});
+            }
+        }
+    }
+
+    std::uint64_t events_executed() const { return events_executed_; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        SimTime period;
+        std::function<void()> fn;
+        std::shared_ptr<bool> cancelled;
+    };
+
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/** One executed event: (label, firing time). */
+using Trace = std::vector<std::pair<int, SimTime>>;
+
+/**
+ * Drive one randomized scenario against either kernel. Everything —
+ * event times, nesting, periodic tasks, cancellations, the run
+ * schedule — derives from `seed`, so both kernels see the exact same
+ * program and must produce the exact same trace.
+ */
+template <typename Kernel>
+Trace
+RunScenario(Kernel& kernel, std::uint64_t seed)
+{
+    Trace trace;
+    Rng rng(seed);
+
+    std::vector<typename std::decay_t<decltype(kernel.ScheduleAt(
+        0, std::function<void()>([] {})))>>
+        handles;
+
+    int next_label = 0;
+
+    // A batch of one-shot events over ~10 minutes of simulated time;
+    // duplicated timestamps are common (range << count) to exercise
+    // FIFO ordering within a timestamp.
+    for (int i = 0; i < 150; ++i) {
+        const int label = next_label++;
+        const SimTime when = static_cast<SimTime>(rng.UniformInt(600'000));
+        const bool nest = rng.Bernoulli(0.3);
+        const SimTime nested_delay = static_cast<SimTime>(rng.UniformInt(20'000));
+        const int nested_label = nest ? next_label++ : -1;
+        handles.push_back(kernel.ScheduleAt(when, [&kernel, &trace, label, nest,
+                                                   nested_delay, nested_label]() {
+            trace.emplace_back(label, kernel.Now());
+            if (nest) {
+                kernel.ScheduleAfter(nested_delay,
+                                     [&kernel, &trace, nested_label]() {
+                                         trace.emplace_back(nested_label,
+                                                            kernel.Now());
+                                     });
+            }
+        }));
+    }
+
+    // Same-timestamp pile-up: schedule order must be execution order.
+    for (int i = 0; i < 20; ++i) {
+        const int label = next_label++;
+        handles.push_back(kernel.ScheduleAt(123'456, [&kernel, &trace, label]() {
+            trace.emplace_back(label, kernel.Now());
+        }));
+    }
+
+    // Periodic tasks, including self-cancelling ones. Shared tick
+    // counters mimic controllers cancelling their own cycle task.
+    auto ticks = std::make_shared<std::vector<int>>(10, 0);
+    for (int i = 0; i < 10; ++i) {
+        const int label = next_label++;
+        const SimTime period = 1 + static_cast<SimTime>(rng.UniformInt(7'000));
+        const SimTime initial =
+            rng.Bernoulli(0.5)
+                ? static_cast<SimTime>(rng.UniformInt(3'000))
+                : SimTime{-1};
+        const int max_ticks = 1 + static_cast<int>(rng.UniformInt(8));
+        const std::size_t slot = handles.size();
+        handles.push_back(typename std::decay_t<decltype(handles[0])>{});
+        handles[slot] = kernel.SchedulePeriodic(
+            period,
+            [&kernel, &trace, &handles, ticks, i, label, max_ticks, slot]() {
+                trace.emplace_back(label, kernel.Now());
+                if (++(*ticks)[static_cast<std::size_t>(i)] >= max_ticks) {
+                    handles[slot].Cancel();  // cancel from inside the callback
+                }
+            },
+            initial);
+    }
+
+    // Far-future events: land beyond every wheel level (> ~199 days)
+    // and in intermediate overflow levels.
+    for (int i = 0; i < 12; ++i) {
+        const int label = next_label++;
+        const SimTime when =
+            static_cast<SimTime>(rng.UniformInt(2)) == 0
+                ? static_cast<SimTime>(1'000'000 + rng.UniformInt(86'400'000))
+                : static_cast<SimTime>(20'000'000'000LL +
+                                       rng.UniformInt(1'000'000'000));
+        handles.push_back(kernel.ScheduleAt(when, [&kernel, &trace, label]() {
+            trace.emplace_back(label, kernel.Now());
+        }));
+    }
+
+    // Cancel a random subset before anything runs.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (rng.Bernoulli(0.15)) handles[i].Cancel();
+    }
+
+    // Run in stages, cancelling more events between stages.
+    kernel.RunUntil(200'000);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (rng.Bernoulli(0.1)) handles[i].Cancel();
+    }
+    kernel.RunFor(150'000);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (rng.Bernoulli(0.1)) handles[i].Cancel();
+    }
+    // Late scheduling after partial progress, including in the past's
+    // same millisecond (when == Now()).
+    for (int i = 0; i < 30; ++i) {
+        const int label = next_label++;
+        const SimTime when =
+            kernel.Now() + static_cast<SimTime>(rng.UniformInt(400'000));
+        handles.push_back(kernel.ScheduleAt(when, [&kernel, &trace, label]() {
+            trace.emplace_back(label, kernel.Now());
+        }));
+    }
+    kernel.RunUntil(900'000);
+
+    // Cancel every surviving periodic task, then drain completely.
+    for (auto& h : handles) h.Cancel();
+    kernel.RunAll();
+    return trace;
+}
+
+TEST(KernelGoldenEquivalence, RandomizedScenariosMatchReferenceKernel)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Simulation wheel;
+        ReferenceKernel reference;
+        const Trace got = RunScenario(wheel, seed);
+        const Trace want = RunScenario(reference, seed);
+        ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i].first, want[i].first)
+                << "seed " << seed << " event " << i;
+            ASSERT_EQ(got[i].second, want[i].second)
+                << "seed " << seed << " event " << i;
+        }
+        EXPECT_EQ(wheel.events_executed(), reference.events_executed())
+            << "seed " << seed;
+    }
+}
+
+TEST(KernelGoldenEquivalence, DenseSameMillisecondBurstsMatch)
+{
+    // Heavy duplication at a handful of timestamps — the regime where
+    // FIFO-within-timestamp bugs would show.
+    for (std::uint64_t seed = 100; seed < 104; ++seed) {
+        auto burst = [seed](auto& kernel) {
+            Trace trace;
+            Rng rng(seed);
+            for (int i = 0; i < 400; ++i) {
+                const SimTime when = static_cast<SimTime>(rng.UniformInt(5));
+                kernel.ScheduleAt(when, [&kernel, &trace, i]() {
+                    trace.emplace_back(i, kernel.Now());
+                });
+            }
+            kernel.RunAll();
+            return trace;
+        };
+        Simulation wheel;
+        ReferenceKernel reference;
+        EXPECT_EQ(burst(wheel), burst(reference)) << "seed " << seed;
+    }
+}
+
+TEST(PendingEvents, ExcludesCancelledButUnpoppedEvents)
+{
+    // Regression: pending_events() used to report queue size including
+    // cancelled events awaiting lazy removal, so cancel-heavy callers
+    // (re-arming timers) saw a phantom backlog.
+    Simulation sim;
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < 100; ++i) {
+        handles.push_back(sim.ScheduleAt(1000 + i, [] {}));
+    }
+    EXPECT_EQ(sim.pending_events(), 100u);
+
+    for (int i = 0; i < 60; ++i) handles[static_cast<std::size_t>(i)].Cancel();
+    EXPECT_EQ(sim.pending_events(), 40u);
+    EXPECT_EQ(sim.lazily_cancelled(), 60u);
+
+    // Double-cancel must not double-count.
+    handles[0].Cancel();
+    EXPECT_EQ(sim.pending_events(), 40u);
+    EXPECT_EQ(sim.lazily_cancelled(), 60u);
+
+    sim.RunAll();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.lazily_cancelled(), 0u);
+    EXPECT_EQ(sim.events_executed(), 40u);
+}
+
+TEST(PendingEvents, PeriodicReArmKeepsCountStable)
+{
+    Simulation sim;
+    TaskHandle task = sim.SchedulePeriodic(10, [] {});
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.RunUntil(1000);
+    EXPECT_EQ(sim.pending_events(), 1u);  // re-armed, still exactly one
+    task.Cancel();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    sim.RunAll();
+    EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(PendingEvents, PurgeReclaimsCancelledNodes)
+{
+    Simulation sim;
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < 500; ++i) {
+        handles.push_back(sim.ScheduleAt(10'000 + i, [] {}));
+    }
+    for (auto& h : handles) h.Cancel();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.lazily_cancelled(), 500u);
+
+    sim.PurgeCancelled();
+    EXPECT_EQ(sim.lazily_cancelled(), 0u);
+
+    // The freed nodes must be reused, not leaked: the slab should not
+    // grow past its previous size when the same load is re-scheduled.
+    const std::size_t pool_before = sim.event_pool_size();
+    for (int i = 0; i < 500; ++i) sim.ScheduleAt(20'000 + i, [] {});
+    EXPECT_EQ(sim.event_pool_size(), pool_before);
+    sim.RunAll();
+    EXPECT_EQ(sim.events_executed(), 500u);
+}
+
+TEST(PendingEvents, CancelChurnTriggersAutomaticPurge)
+{
+    // Schedule/cancel far more events than the purge threshold; the
+    // lazy backlog must stay bounded rather than growing monotonically.
+    Simulation sim;
+    for (int round = 0; round < 40; ++round) {
+        std::vector<TaskHandle> handles;
+        for (int i = 0; i < 200; ++i) {
+            handles.push_back(sim.ScheduleAt(1'000'000 + i, [] {}));
+        }
+        for (auto& h : handles) h.Cancel();
+    }
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_LT(sim.lazily_cancelled(), 8000u * 2);
+    EXPECT_LT(sim.event_pool_size(), 8000u * 2);
+}
+
+}  // namespace
+}  // namespace dynamo::sim
