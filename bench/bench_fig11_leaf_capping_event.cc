@@ -10,12 +10,16 @@
  * the row is uncapped.
  */
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "bench_util.h"
 #include "common/units.h"
 #include "fleet/fleet.h"
 #include "fleet/scenarios.h"
 #include "telemetry/event_log.h"
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
 
 using namespace dynamo;
 
@@ -62,6 +66,36 @@ main()
             first_cap = e.time;
         }
         if (e.kind == telemetry::EventKind::kUncap) uncap_at = e.time;
+    }
+
+    // The decision trace for the cycle that triggered capping: band
+    // transition, per-priority-group cut split, and the high-bucket-
+    // first per-server allocation (truncated; the span holds all).
+    const telemetry::TraceLog* traces = fleet.trace_log();
+    for (const telemetry::TraceSpan& span : traces->spans()) {
+        if (span.band != telemetry::TraceBand::kCap || span.was_capping) {
+            continue;
+        }
+        std::printf("\nFirst capping decision (of %llu spans recorded):\n",
+                    static_cast<unsigned long long>(traces->total_appended()));
+        std::ostringstream text;
+        telemetry::WriteTraceSpan(text, span, /*indent=*/2);
+        std::istringstream lines(text.str());
+        std::string line;
+        int printed = 0;
+        int skipped = 0;
+        while (std::getline(lines, line)) {
+            if (printed < 24) {
+                std::printf("%s\n", line.c_str());
+                ++printed;
+            } else {
+                ++skipped;
+            }
+        }
+        if (skipped > 0) {
+            std::printf("  ... (%d more allocation lines)\n", skipped);
+        }
+        break;
     }
 
     std::printf("\nHeadline comparison:\n");

@@ -18,11 +18,23 @@
  *   bench_scale_throughput --servers 10000      # one size only
  *   bench_scale_throughput --out BENCH_SCALE.json
  *   bench_scale_throughput --servers 1000 --check BENCH_SCALE.json
+ *   bench_scale_throughput --metrics            # instrumented run
+ *   bench_scale_throughput --servers 10000 --overhead-check 5
  *
  * --check is the CI perf smoke: it compares measured events/sec
  * against the committed baseline and exits non-zero on a >3x
  * regression (generous enough to absorb shared-runner noise, tight
  * enough to catch an accidental O(n log n) -> O(n^2) slip).
+ *
+ * --metrics wires the telemetry registry + decision-trace log into the
+ * transport, every agent, and every controller — the instrumented
+ * configuration the fleet harness runs with by default.
+ *
+ * --overhead-check PCT measures instrumentation cost: for each size it
+ * runs metrics-off and metrics-on suites alternating (best-of-3 each,
+ * interleaved so thermal/scheduler drift hits both arms equally) and
+ * exits non-zero when metrics-on throughput lands more than PCT
+ * percent below metrics-off.
  */
 #include <algorithm>
 #include <chrono>
@@ -42,6 +54,8 @@
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workload/load_process.h"
 
 namespace dynamo {
@@ -122,13 +136,19 @@ struct SuiteResult
     double leaf_p99_us = 0.0;
     double upper_p50_us = 0.0;
     double upper_p99_us = 0.0;
+    bool metrics_on = false;
+    std::uint64_t rpc_calls = 0;
+    std::uint64_t spans = 0;
 };
 
 SuiteResult
-RunSuite(std::size_t n_servers, SimTime measure_ms)
+RunSuite(std::size_t n_servers, SimTime measure_ms, bool with_metrics)
 {
     sim::Simulation sim;
     rpc::SimTransport transport(sim, /*seed=*/1234);
+    telemetry::MetricsRegistry registry;
+    telemetry::TraceLog traces;
+    if (with_metrics) transport.AttachMetrics(&registry);
     Rng rng(n_servers * 0x9e3779b97f4a7c15ULL + 7);
 
     const std::size_t n_leaves =
@@ -161,6 +181,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms)
             std::move(config), params));
         agents.push_back(std::make_unique<core::DynamoAgent>(
             sim, transport, *servers.back(), "agent:" + std::to_string(i)));
+        if (with_metrics) agents.back()->AttachMetrics(&registry);
     }
 
     // --- Leaf controllers, one per RPP ---
@@ -198,6 +219,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms)
             info.sla_min_cap = 70.0 + static_cast<double>(i % 3) * 15.0;
             leaf->AddAgent(std::move(info));
         }
+        if (with_metrics) leaf->AttachTelemetry(&registry, &traces);
         // Stagger activation so hundreds of controllers don't pull in
         // lock-step (the deployment does the same).
         leaf->Activate(static_cast<SimTime>((l * 37) % 3000));
@@ -224,6 +246,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms)
         for (std::size_t l = first; l < last; ++l) {
             sb->AddChild("ctl:rpp:" + std::to_string(l));
         }
+        if (with_metrics) sb->AttachTelemetry(&registry, &traces);
         sb->Activate(static_cast<SimTime>((s * 113) % 9000));
         uppers.push_back(std::move(sb));
     }
@@ -242,6 +265,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms)
         for (std::size_t s = first; s < last; ++s) {
             msb->AddChild("ctl:sb:" + std::to_string(s));
         }
+        if (with_metrics) msb->AttachTelemetry(&registry, &traces);
         msb->Activate(static_cast<SimTime>((m * 199) % 9000));
         uppers.push_back(std::move(msb));
     }
@@ -273,6 +297,22 @@ RunSuite(std::size_t n_servers, SimTime measure_ms)
     result.leaf_p99_us = Percentile(leaf_samples, 0.99);
     result.upper_p50_us = Percentile(upper_samples, 0.50);
     result.upper_p99_us = Percentile(upper_samples, 0.99);
+    result.metrics_on = with_metrics;
+    if (with_metrics) {
+        // Kernel counters sit below telemetry; snapshot them into
+        // gauges here, the way the fleet harness does.
+        const sim::KernelStats& ks = sim.kernel_stats();
+        registry.GetGauge("sim.cascades")->Set(static_cast<double>(ks.cascades));
+        registry.GetGauge("sim.far_drains")
+            ->Set(static_cast<double>(ks.far_drains));
+        registry.GetGauge("sim.purges")->Set(static_cast<double>(ks.purges));
+        registry.GetGauge("sim.slot_sorts")
+            ->Set(static_cast<double>(ks.slot_sorts));
+        if (telemetry::Counter* calls = registry.GetCounter("rpc.calls")) {
+            result.rpc_calls = calls->value();
+        }
+        result.spans = traces.total_appended();
+    }
     return result;
 }
 
@@ -349,6 +389,8 @@ main(int argc, char** argv)
     SimTime measure_ms = 60'000;
     std::string out_path;
     std::string check_path;
+    bool with_metrics = false;
+    double overhead_pct = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -368,10 +410,20 @@ main(int argc, char** argv)
             out_path = next();
         } else if (arg == "--check") {
             check_path = next();
+        } else if (arg == "--metrics") {
+            with_metrics = true;
+        } else if (arg == "--overhead-check") {
+            overhead_pct = std::strtod(next(), nullptr);
+            if (overhead_pct <= 0.0) {
+                std::fprintf(stderr, "--overhead-check needs a positive "
+                                     "percentage\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--servers N] [--sim-seconds S] "
-                         "[--out FILE] [--check BASELINE]\n",
+                         "[--out FILE] [--check BASELINE] [--metrics] "
+                         "[--overhead-check PCT]\n",
                          argv[0]);
             return 2;
         }
@@ -383,18 +435,66 @@ main(int argc, char** argv)
                  "comparable to the committed Release baseline\n");
 #endif
 
+    if (overhead_pct > 0.0) {
+        // Instrumentation-overhead gate: alternate off/on arms so slow
+        // drift (turbo, thermal, noisy neighbours) biases neither.
+        bool ok = true;
+        for (const std::size_t n : sizes) {
+            constexpr int kReps = 3;
+            double best_off = 0.0;
+            double best_on = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                std::printf("overhead rep %d/%d at %zu servers...\n", rep + 1,
+                            kReps, n);
+                std::fflush(stdout);
+                best_off = std::max(
+                    best_off,
+                    RunSuite(n, measure_ms, /*with_metrics=*/false)
+                        .events_per_sec);
+                best_on = std::max(
+                    best_on,
+                    RunSuite(n, measure_ms, /*with_metrics=*/true)
+                        .events_per_sec);
+            }
+            const double floor = best_off * (1.0 - overhead_pct / 100.0);
+            const double drop =
+                best_off > 0.0 ? 100.0 * (1.0 - best_on / best_off) : 0.0;
+            if (best_on < floor) {
+                std::fprintf(stderr,
+                             "METRICS OVERHEAD: %zu servers ran at %.0f "
+                             "events/s with metrics vs %.0f without "
+                             "(%.1f%% drop, budget %.1f%%)\n",
+                             n, best_on, best_off, drop, overhead_pct);
+                ok = false;
+            } else {
+                std::printf("overhead check ok: %zu servers, metrics-on %.0f "
+                            "events/s vs metrics-off %.0f (%.1f%% drop, "
+                            "budget %.1f%%)\n",
+                            n, best_on, best_off, drop, overhead_pct);
+            }
+        }
+        return ok ? 0 : 1;
+    }
+
     std::vector<SuiteResult> results;
     for (const std::size_t n : sizes) {
-        std::printf("running %zu-server suite (%lld sim-seconds)...\n", n,
-                    static_cast<long long>(measure_ms / 1000));
+        std::printf("running %zu-server suite (%lld sim-seconds)%s...\n", n,
+                    static_cast<long long>(measure_ms / 1000),
+                    with_metrics ? " with metrics" : "");
         std::fflush(stdout);
-        results.push_back(RunSuite(n, measure_ms));
+        results.push_back(RunSuite(n, measure_ms, with_metrics));
         const SuiteResult& r = results.back();
         std::printf(
             "  %zu servers: %.2fM events/s, %.0fx real-time, "
             "leaf cycle p50/p99 %.0f/%.0f us, upper %.0f/%.0f us\n",
             r.servers, r.events_per_sec / 1e6, r.realtime_ratio, r.leaf_p50_us,
             r.leaf_p99_us, r.upper_p50_us, r.upper_p99_us);
+        if (r.metrics_on) {
+            std::printf("  telemetry: %llu rpc calls counted, %llu decision "
+                        "spans\n",
+                        static_cast<unsigned long long>(r.rpc_calls),
+                        static_cast<unsigned long long>(r.spans));
+        }
         std::fflush(stdout);
     }
 

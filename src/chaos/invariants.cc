@@ -1,6 +1,7 @@
 #include "chaos/invariants.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/deployment.h"
 
@@ -132,6 +133,9 @@ InvariantChecker::Check()
     }
     if (over_limit) over_limit_ms_ += config_.check_period;
 
+    // 5. Policy invariants on every decision span since the last check.
+    CheckTraces();
+
     // 4. Prompt release once faults cleared.
     if (faults_cleared_at_ >= 0 && recovery_time_ < 0 && AllReleased()) {
         recovery_time_ = now - faults_cleared_at_;
@@ -143,6 +147,93 @@ InvariantChecker::Check()
         Violation("caps not released within " +
                   std::to_string(config_.release_bound) +
                   "ms of faults clearing");
+    }
+}
+
+void
+InvariantChecker::CheckTraces()
+{
+    telemetry::TraceLog* log = fleet_.trace_log();
+    if (log == nullptr) return;
+
+    // Incremental watermark: spans are dense by id, so anything between
+    // the cursor and the oldest retained id was evicted unseen. Count
+    // it instead of pretending coverage.
+    const telemetry::SpanId first = log->first_id();
+    if (first != telemetry::kNoSpan && trace_cursor_ < first) {
+        spans_missed_ += first - trace_cursor_;
+        trace_cursor_ = first;
+    }
+    for (; trace_cursor_ < log->next_id(); ++trace_cursor_) {
+        const telemetry::TraceSpan* span = log->Find(trace_cursor_);
+        if (span == nullptr) continue;
+        CheckSpan(*span);
+        ++spans_checked_;
+    }
+}
+
+void
+InvariantChecker::CheckSpan(const telemetry::TraceSpan& span)
+{
+    if (span.band != telemetry::TraceBand::kCap) return;
+    const std::string where =
+        " (span#" + std::to_string(span.id) + " " + span.source + ")";
+
+    // The plan's allocations must sum to what it claims it cut.
+    Watts allocated = 0.0;
+    for (const telemetry::TraceAllocation& alloc : span.allocs) {
+        allocated += alloc.cut;
+    }
+    const double sum_tolerance =
+        1e-6 * std::max(1.0, std::max(allocated, span.planned_cut));
+    if (std::abs(allocated - span.planned_cut) > sum_tolerance) {
+        Violation("trace: allocations sum to " + std::to_string(allocated) +
+                  "W but planned cut is " + std::to_string(span.planned_cut) +
+                  "W" + where);
+    }
+    if (span.satisfied && span.planned_cut < span.cut - config_.sla_epsilon) {
+        Violation("trace: plan claims satisfied but allocated " +
+                  std::to_string(span.planned_cut) + "W of " +
+                  std::to_string(span.cut) + "W" + where);
+    }
+
+    if (span.kind == telemetry::SpanKind::kLeafDecision) {
+        // SLA floor: no RAPL cap in the plan dips below the server's floor.
+        for (const telemetry::TraceAllocation& alloc : span.allocs) {
+            if (alloc.limit_sent < alloc.floor - config_.sla_epsilon) {
+                Violation("trace: cap " + std::to_string(alloc.limit_sent) +
+                          "W below SLA floor " + std::to_string(alloc.floor) +
+                          "W for " + alloc.target + where);
+            }
+        }
+        return;
+    }
+
+    // Upper spans: offender-first. An innocent (child at/under quota)
+    // may only be cut once every offender has been pushed down to its
+    // quota — i.e. absorbed its full overage.
+    bool innocent_cut = false;
+    for (const telemetry::TraceAllocation& alloc : span.allocs) {
+        if (!alloc.offender && alloc.cut > config_.sla_epsilon) {
+            innocent_cut = true;
+        }
+    }
+    if (!innocent_cut) return;
+    for (const telemetry::TraceAllocation& alloc : span.allocs) {
+        if (!alloc.offender) continue;
+        const Watts overage = alloc.power - alloc.quota;
+        const bool fully_punished =
+            alloc.cut >= overage - config_.sla_epsilon;
+        // An offender whose aggregate floor sits above its quota can
+        // only be pushed to the floor; that still counts as punished.
+        const bool at_floor =
+            alloc.limit_sent <= alloc.floor + config_.sla_epsilon;
+        if (!fully_punished && !at_floor) {
+            Violation("trace: innocent child cut while offender " +
+                      alloc.target + " kept " +
+                      std::to_string(overage - alloc.cut) +
+                      "W of its overage" + where);
+        }
     }
 }
 

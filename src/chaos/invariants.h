@@ -14,11 +14,20 @@
  *      every priority group keeps its aggregate floor);
  *   4. after the campaign's last fault clears — and demand has
  *      receded — all caps, contracts, and shed requests are released
- *      and every controller returns to NORMAL health within a bound.
+ *      and every controller returns to NORMAL health within a bound;
+ *   5. every *decision* (not just the resulting fleet state) respects
+ *      the policy: leaf cap plans never assign a RAPL limit below a
+ *      server's SLA floor, upper cap plans punish offenders (children
+ *      over quota) before cutting innocents, and a plan that claims
+ *      to be satisfied allocated the full requested cut.
  *
- * The checker samples the fleet on the sim clock, records violations
- * as human-readable strings (tests assert the list is empty), and
- * accumulates recovery-time / over-limit metrics for the chaos bench.
+ * Invariants 1–4 are sampled from fleet state on the sim clock;
+ * invariant 5 is checked from the controllers' decision traces
+ * (telemetry::TraceLog), consumed incrementally by span-id watermark
+ * so ring eviction is detected rather than silently skipped. The
+ * checker records violations as human-readable strings (tests assert
+ * the list is empty) and accumulates recovery-time / over-limit
+ * metrics for the chaos bench.
  */
 #ifndef DYNAMO_CHAOS_INVARIANTS_H_
 #define DYNAMO_CHAOS_INVARIANTS_H_
@@ -30,6 +39,7 @@
 #include "common/units.h"
 #include "fleet/fleet.h"
 #include "sim/simulation.h"
+#include "telemetry/trace.h"
 
 namespace dynamo::chaos {
 
@@ -88,6 +98,12 @@ class InvariantChecker
 
     std::uint64_t checks_run() const { return checks_run_; }
 
+    /** Decision spans verified against the policy invariants. */
+    std::uint64_t spans_checked() const { return spans_checked_; }
+
+    /** Spans evicted from the trace ring before we could check them. */
+    std::uint64_t spans_missed() const { return spans_missed_; }
+
     /** Accumulated time any controlled device drew above its limit. */
     SimTime over_limit_ms() const { return over_limit_ms_; }
 
@@ -102,6 +118,8 @@ class InvariantChecker
 
   private:
     void Check();
+    void CheckTraces();
+    void CheckSpan(const telemetry::TraceSpan& span);
     void Violation(const std::string& description);
 
     fleet::Fleet& fleet_;
@@ -113,6 +131,9 @@ class InvariantChecker
     double max_breaker_stress_ = 0.0;
     SimTime faults_cleared_at_ = -1;
     SimTime recovery_time_ = -1;
+    telemetry::SpanId trace_cursor_ = 1;  ///< Next span id to verify.
+    std::uint64_t spans_checked_ = 0;
+    std::uint64_t spans_missed_ = 0;
     bool release_violation_reported_ = false;
     sim::TaskHandle task_;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace dynamo::core {
 
 DynamoAgent::DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
@@ -35,6 +37,19 @@ DynamoAgent::Restart()
                         [this](const rpc::Payload& req) { return Handle(req); });
 }
 
+void
+DynamoAgent::AttachMetrics(telemetry::MetricsRegistry* registry)
+{
+    if (registry == nullptr) {
+        m_reads_ = m_caps_ = m_uncaps_ = m_tunes_ = nullptr;
+        return;
+    }
+    m_reads_ = registry->GetCounter("agent.reads");
+    m_caps_ = registry->GetCounter("agent.caps");
+    m_uncaps_ = registry->GetCounter("agent.uncaps");
+    m_tunes_ = registry->GetCounter("agent.tunes");
+}
+
 rpc::Payload
 DynamoAgent::Handle(const rpc::Payload& request)
 {
@@ -42,6 +57,7 @@ DynamoAgent::Handle(const rpc::Payload& request)
 
     if (std::any_cast<PowerReadRequest>(&request) != nullptr) {
         ++reads_served_;
+        if (m_reads_ != nullptr) m_reads_->Inc();
         PowerReadResponse resp;
         resp.server = server_.name();
         resp.service = server_.service();
@@ -63,11 +79,13 @@ DynamoAgent::Handle(const rpc::Payload& request)
     }
     if (const auto* cap = std::any_cast<SetCapRequest>(&request)) {
         ++caps_applied_;
+        if (m_caps_ != nullptr) m_caps_->Inc();
         server_.SetPowerLimit(cap->limit, now);
         return AckResponse{true};
     }
     if (std::any_cast<UncapRequest>(&request) != nullptr) {
         ++uncaps_applied_;
+        if (m_uncaps_ != nullptr) m_uncaps_->Inc();
         server_.ClearPowerLimit(now);
         return AckResponse{true};
     }
@@ -76,6 +94,7 @@ DynamoAgent::Handle(const rpc::Payload& request)
         // controller-computed correction factor.
         server_.estimator().Tune(1.0, tune->reference_ratio);
         ++tunes_applied_;
+        if (m_tunes_ != nullptr) m_tunes_->Inc();
         return AckResponse{true};
     }
     return AckResponse{false};

@@ -20,6 +20,11 @@
 #include "server/sim_server.h"
 #include "sim/simulation.h"
 
+namespace dynamo::telemetry {
+class Counter;
+class MetricsRegistry;
+}  // namespace dynamo::telemetry
+
 namespace dynamo::core {
 
 /** One server's Dynamo agent. */
@@ -59,6 +64,14 @@ class DynamoAgent
     std::uint64_t uncaps_applied() const { return uncaps_applied_; }
     std::uint64_t tunes_applied() const { return tunes_applied_; }
 
+    /**
+     * Wire fleet-wide agent counters (`agent.reads`, `agent.caps`,
+     * `agent.uncaps`, `agent.tunes`) into `registry`; every agent
+     * shares the same instruments, so cardinality stays O(1). Pass
+     * nullptr to detach.
+     */
+    void AttachMetrics(telemetry::MetricsRegistry* registry);
+
   private:
     rpc::Payload Handle(const rpc::Payload& request);
 
@@ -72,6 +85,12 @@ class DynamoAgent
     std::uint64_t caps_applied_ = 0;
     std::uint64_t uncaps_applied_ = 0;
     std::uint64_t tunes_applied_ = 0;
+
+    /** Cached metric handles; null when no registry is attached. */
+    telemetry::Counter* m_reads_ = nullptr;
+    telemetry::Counter* m_caps_ = nullptr;
+    telemetry::Counter* m_uncaps_ = nullptr;
+    telemetry::Counter* m_tunes_ = nullptr;
 };
 
 }  // namespace dynamo::core

@@ -92,10 +92,12 @@ Controller::Handle(const rpc::Payload& request)
     }
     if (const auto* set = std::any_cast<SetContractualLimitRequest>(&request)) {
         SetContractualLimit(set->limit);
+        contract_span_ = set->span_id;
         return AckResponse{true};
     }
     if (std::any_cast<ClearContractualLimitRequest>(&request) != nullptr) {
         ClearContractualLimit();
+        contract_span_ = telemetry::kNoSpan;
         return AckResponse{true};
     }
     if (std::any_cast<HealthCheckRequest>(&request) != nullptr) {
@@ -255,6 +257,29 @@ Controller::StatusLine() const
         line += " CAPPING(" + std::to_string(s.controlled) + ")";
     }
     return line;
+}
+
+void
+Controller::AttachTelemetry(telemetry::MetricsRegistry* registry,
+                            telemetry::TraceLog* traces)
+{
+    traces_ = traces;
+    if (registry == nullptr) {
+        m_cycles_ = m_caps_ = m_uncaps_ = m_holds_ = nullptr;
+        m_cycle_us_ = m_cut_w_ = nullptr;
+        return;
+    }
+    const std::string prefix = MetricPrefix();
+    m_cycles_ = registry->GetCounter(prefix + ".cycles");
+    m_caps_ = registry->GetCounter(prefix + ".caps");
+    m_uncaps_ = registry->GetCounter(prefix + ".uncaps");
+    m_holds_ = registry->GetCounter(prefix + ".holds");
+    m_cycle_us_ = registry->GetHistogram(prefix + ".cycle_us");
+    // Cut sizes span single-server trims to multi-rack sheds: extend
+    // the exponential bounds up to ~1 MW.
+    std::vector<double> cut_bounds;
+    for (double b = 1.0; b <= 1048576.0; b *= 4.0) cut_bounds.push_back(b);
+    m_cut_w_ = registry->GetHistogram(prefix + ".cut_w", std::move(cut_bounds));
 }
 
 void

@@ -16,6 +16,7 @@
 #define DYNAMO_CORE_CONTROLLER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -27,6 +28,8 @@
 #include "rpc/transport.h"
 #include "sim/simulation.h"
 #include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dynamo::core {
 
@@ -117,6 +120,35 @@ enum class HealthState { kNormal, kDegraded, kRecovering };
 
 /** Readable name ("normal", "degraded", "recovering"). */
 const char* HealthStateName(HealthState state);
+
+/**
+ * RAII wall-clock timer: observes the scope's duration in microseconds
+ * into `hist` on destruction. Null-safe — with no histogram attached
+ * it never touches the clock, so untelemetered runs pay nothing.
+ */
+class CycleTimer
+{
+  public:
+    explicit CycleTimer(telemetry::Histogram* hist) : hist_(hist)
+    {
+        if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+
+    ~CycleTimer()
+    {
+        if (hist_ == nullptr) return;
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_);
+        hist_->Observe(static_cast<double>(us.count()));
+    }
+
+    CycleTimer(const CycleTimer&) = delete;
+    CycleTimer& operator=(const CycleTimer&) = delete;
+
+  private:
+    telemetry::Histogram* hist_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Abstract controller: one instance protects one power device. */
 class Controller
@@ -238,9 +270,32 @@ class Controller
     /** One-line human-readable rendering of GetStatus(). */
     std::string StatusLine() const;
 
+    /**
+     * Wire this controller into the observability layer. Metric
+     * handles (`<prefix>.cycles`, `<prefix>.cycle_us`, `<prefix>.cut_w`,
+     * `<prefix>.caps` / `.uncaps` / `.holds`, prefix = MetricPrefix())
+     * are resolved once here; decision cycles then emit spans into
+     * `traces` and increment through cached pointers. Either argument
+     * may be nullptr to leave that half detached.
+     */
+    void AttachTelemetry(telemetry::MetricsRegistry* registry,
+                         telemetry::TraceLog* traces);
+
+    /** Decision-trace sink (nullptr when not attached). */
+    telemetry::TraceLog* trace_log() const { return traces_; }
+
+    /**
+     * Span id of the parent decision that set the current contractual
+     * limit (kNoSpan when none); child decision spans link to it.
+     */
+    telemetry::SpanId contract_span() const { return contract_span_; }
+
   protected:
     /** Subclass contribution to Status::controlled. */
     virtual std::size_t ControlledCount() const = 0;
+
+    /** Metric name prefix for this controller level ("leaf"/"upper"). */
+    virtual const char* MetricPrefix() const = 0;
 
     /** Issue this cycle's pulls; called every pull_cycle while active. */
     virtual void RunCycle() = 0;
@@ -301,6 +356,20 @@ class Controller
     ControllerBaseConfig config_;
     ThreeBandPolicy bands_;
     telemetry::EventLog* log_;
+
+    /** Decision-trace sink; nullptr when telemetry is not attached. */
+    telemetry::TraceLog* traces_ = nullptr;
+
+    /** Parent span that set the current contractual limit (or kNoSpan). */
+    telemetry::SpanId contract_span_ = telemetry::kNoSpan;
+
+    /** Cached metric handles; null when no registry is attached. */
+    telemetry::Counter* m_cycles_ = nullptr;
+    telemetry::Counter* m_caps_ = nullptr;
+    telemetry::Counter* m_uncaps_ = nullptr;
+    telemetry::Counter* m_holds_ = nullptr;
+    telemetry::Histogram* m_cycle_us_ = nullptr;
+    telemetry::Histogram* m_cut_w_ = nullptr;
 
     Watts last_power_ = 0.0;
     bool last_valid_ = false;

@@ -121,6 +121,7 @@ DeploymentBuilder::Build(sim::Simulation& sim, rpc::SimTransport& transport,
                          power::PowerDevice& root, const DeploymentConfig& config)
 {
     auto deployment = std::make_unique<Deployment>();
+    deployment->traces_ = telemetry::TraceLog(config.trace_capacity);
 
     // Agents for every server anywhere under the root.
     for (server::SimServer* srv : ServersUnder(root)) {
@@ -131,6 +132,28 @@ DeploymentBuilder::Build(sim::Simulation& sim, rpc::SimTransport& transport,
     }
 
     BuildControllersFor(root, sim, transport, config, deployment.get());
+
+    if (config.with_telemetry) {
+        telemetry::MetricsRegistry* metrics = &deployment->metrics_;
+        telemetry::TraceLog* traces = &deployment->traces_;
+        for (const auto& agent : deployment->agents_) {
+            agent->AttachMetrics(metrics);
+        }
+        for (const auto& leaf : deployment->leaves_) {
+            leaf->AttachTelemetry(metrics, traces);
+        }
+        for (const auto& upper : deployment->uppers_) {
+            upper->AttachTelemetry(metrics, traces);
+        }
+        // Backups share the same instruments: a promoted standby keeps
+        // recording into the fleet-wide series without a gap.
+        for (const auto& leaf : deployment->leaf_backups_) {
+            leaf->AttachTelemetry(metrics, traces);
+        }
+        for (const auto& upper : deployment->upper_backups_) {
+            upper->AttachTelemetry(metrics, traces);
+        }
+    }
 
     if (config.with_watchdog) {
         deployment->watchdog_ = std::make_unique<Watchdog>(

@@ -28,6 +28,8 @@
 #include "rpc/transport.h"
 #include "sim/simulation.h"
 #include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dynamo::core {
 
@@ -57,6 +59,16 @@ struct DeploymentConfig
     /** Create the early-warning monitor over every controller. */
     bool with_early_warning = false;
 
+    /**
+     * Wire the deployment's metrics registry and decision-trace log
+     * into every controller and agent. On by default; the scale bench
+     * turns it off to measure instrumentation overhead.
+     */
+    bool with_telemetry = true;
+
+    /** Decision-trace ring capacity (spans retained). */
+    std::size_t trace_capacity = telemetry::TraceLog::kDefaultCapacity;
+
     EarlyWarningMonitor::Config early_warning;
 
     SimTime watchdog_period = 30000;
@@ -73,6 +85,15 @@ class Deployment
     Deployment& operator=(const Deployment&) = delete;
 
     telemetry::EventLog& event_log() { return log_; }
+
+    /**
+     * Fleet-wide metrics registry. Always present; instruments only
+     * record when the config wired them in (with_telemetry).
+     */
+    telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+    /** Hierarchical decision-trace ring shared by every controller. */
+    telemetry::TraceLog& trace_log() { return traces_; }
 
     const std::vector<std::unique_ptr<DynamoAgent>>& agents() const
     {
@@ -135,6 +156,8 @@ class Deployment
     friend class DeploymentBuilder;
 
     telemetry::EventLog log_;
+    telemetry::MetricsRegistry metrics_;
+    telemetry::TraceLog traces_;
     std::vector<std::unique_ptr<DynamoAgent>> agents_;
     std::vector<std::unique_ptr<LeafController>> leaves_;
     std::vector<std::unique_ptr<UpperController>> uppers_;

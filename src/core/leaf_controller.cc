@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 namespace dynamo::core {
@@ -144,6 +145,8 @@ void
 LeafController::Aggregate()
 {
     if (agents_.empty()) return;
+    const CycleTimer timer(m_cycle_us_);
+    if (m_cycles_ != nullptr) m_cycles_->Inc();
     const SimTime now = sim_.Now();
 
     std::size_t failures = 0;
@@ -212,6 +215,22 @@ LeafController::Aggregate()
     const bool was_capping = bands_.capping();
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
+    // Decision spans share this header; each branch fills in the band
+    // evidence and (for caps) the per-group / per-server split.
+    auto new_span = [&](telemetry::TraceBand band) {
+        telemetry::TraceSpan span;
+        span.parent = contract_span_;
+        span.time = now;
+        span.kind = telemetry::SpanKind::kLeafDecision;
+        span.source = endpoint();
+        span.band = band;
+        span.was_capping = was_capping;
+        span.measured = aggregated;
+        span.limit = limit;
+        span.dry_run = config_.dry_run;
+        return span;
+    };
+
     if (decision.action == BandAction::kCap) {
         // Names are deliberately left empty: the plan refers to agents
         // by index, so no per-cycle string copies are needed.
@@ -230,6 +249,38 @@ LeafController::Aggregate()
                              : telemetry::EventKind::kCapStart,
                  aggregated, limit, static_cast<int>(plan.assignments.size()),
                  config_.dry_run ? "dry-run" : "");
+        if (m_caps_ != nullptr) m_caps_->Inc();
+        if (m_cut_w_ != nullptr) m_cut_w_->Observe(decision.cut);
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kCap);
+            span.threshold = config_.bands.cap_threshold_frac * limit;
+            span.target = decision.target;
+            span.cut = decision.cut;
+            span.planned_cut = plan.planned_cut;
+            span.satisfied = plan.satisfied;
+            std::map<int, std::pair<Watts, int>> by_group;
+            for (const CapAssignment& assignment : plan.assignments) {
+                if (assignment.index >= agents_.size()) continue;
+                const AgentState& a = agents_[assignment.index];
+                auto& group = by_group[a.info.priority_group];
+                group.first += assignment.cut;
+                ++group.second;
+                telemetry::TraceAllocation alloc;
+                alloc.target = a.info.endpoint;
+                alloc.power = powers[assignment.index];
+                alloc.floor = a.info.sla_min_cap;
+                alloc.cut = assignment.cut;
+                alloc.limit_sent = assignment.cap;
+                alloc.bucket = static_cast<int>(
+                    powers[assignment.index] / leaf_config_.bucket_size);
+                span.allocs.push_back(std::move(alloc));
+            }
+            for (const auto& [pg, cut_servers] : by_group) {
+                span.groups.push_back(telemetry::TraceGroupCut{
+                    pg, cut_servers.first, cut_servers.second});
+            }
+            traces_->Append(std::move(span));
+        }
         if (!plan.satisfied) {
             LogEvent(telemetry::EventKind::kAlarm, aggregated, limit,
                      static_cast<int>(plan.assignments.size()),
@@ -263,6 +314,12 @@ LeafController::Aggregate()
         LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
                  static_cast<int>(agents_.size()),
                  config_.dry_run ? "dry-run" : "");
+        if (m_uncaps_ != nullptr) m_uncaps_->Inc();
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kUncap);
+            span.threshold = config_.bands.uncap_threshold_frac * limit;
+            traces_->Append(std::move(span));
+        }
     } else if (decision.action == BandAction::kHold) {
         // A release was due but the controller is not back to NORMAL
         // health: hold current caps rather than uncap on data we only
@@ -272,6 +329,12 @@ LeafController::Aggregate()
                  static_cast<int>(capped_count()),
                  std::string("release frozen: health ") +
                      HealthStateName(health()));
+        if (m_holds_ != nullptr) m_holds_->Inc();
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kHold);
+            span.threshold = config_.bands.uncap_threshold_frac * limit;
+            traces_->Append(std::move(span));
+        }
     }
 }
 

@@ -160,6 +160,8 @@ class LeafController : public Controller
 
     std::size_t ControlledCount() const override { return capped_count(); }
 
+    const char* MetricPrefix() const override { return "leaf"; }
+
   private:
     struct AgentState
     {

@@ -12,6 +12,7 @@
 #ifndef DYNAMO_CORE_MESSAGES_H_
 #define DYNAMO_CORE_MESSAGES_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/units.h"
@@ -98,6 +99,15 @@ struct ControllerReadResponse
 struct SetContractualLimitRequest
 {
     Watts limit = 0.0;
+
+    /**
+     * Decision-trace span of the parent cycle that issued this limit
+     * (telemetry::SpanId; plain integer here to keep wire messages
+     * free of telemetry types). 0 = untraced. The child links its next
+     * decision spans to it, making upper → leaf → RAPL chains
+     * followable.
+     */
+    std::uint64_t span_id = 0;
 };
 
 /** Parent → child: lift the contractual power limit. */

@@ -88,6 +88,8 @@ void
 UpperController::Aggregate()
 {
     if (children_.empty()) return;
+    const CycleTimer timer(m_cycle_us_);
+    if (m_cycles_ != nullptr) m_cycles_->Inc();
     const SimTime now = sim_.Now();
 
     std::size_t failures = 0;
@@ -146,15 +148,67 @@ UpperController::Aggregate()
     const bool was_capping = bands_.capping();
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
+    auto new_span = [&](telemetry::TraceBand band) {
+        telemetry::TraceSpan span;
+        span.parent = contract_span_;
+        span.time = now;
+        span.kind = telemetry::SpanKind::kUpperDecision;
+        span.source = endpoint();
+        span.band = band;
+        span.was_capping = was_capping;
+        span.measured = aggregated;
+        span.limit = limit;
+        span.dry_run = config_.dry_run;
+        return span;
+    };
+
     if (decision.action == BandAction::kCap) {
         ComputeOffenderPlan(infos_, decision.cut, upper_config_.bucket_size,
                             offender_ws_, &offender_plan_);
         const OffenderPlan& plan = offender_plan_;
-        if (!config_.dry_run) ExecutePlan(plan);
+
+        // The span is appended before the contract commands go out so
+        // its id can ride along in SetContractualLimitRequest and the
+        // children's decisions link back to this one.
+        telemetry::SpanId span_id = telemetry::kNoSpan;
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kCap);
+            span.threshold = config_.bands.cap_threshold_frac * limit;
+            span.target = decision.target;
+            span.cut = decision.cut;
+            span.planned_cut = plan.planned_cut;
+            span.satisfied = plan.satisfied;
+            // Record every fresh child, not just the ones the plan
+            // cuts: a zero-cut innocent is evidence the split was
+            // offender-first, not an omission.
+            span.allocs.resize(infos_.size());
+            for (std::size_t i = 0; i < infos_.size(); ++i) {
+                const ChildPowerInfo& info = infos_[i];
+                telemetry::TraceAllocation& alloc = span.allocs[i];
+                alloc.target = children_[fresh_child_[i]].endpoint;
+                alloc.power = info.power;
+                alloc.floor = info.floor;
+                alloc.quota = info.quota;
+                alloc.offender = info.power > info.quota;
+                alloc.bucket = static_cast<int>(
+                    info.power / upper_config_.bucket_size);
+            }
+            for (const ChildLimit& child_limit : plan.limits) {
+                if (child_limit.index >= span.allocs.size()) continue;
+                span.allocs[child_limit.index].cut = child_limit.cut;
+                span.allocs[child_limit.index].limit_sent =
+                    child_limit.contractual_limit;
+            }
+            span_id = traces_->Append(std::move(span));
+        }
+
+        if (!config_.dry_run) ExecutePlan(plan, span_id);
         LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
                              : telemetry::EventKind::kCapStart,
                  aggregated, limit, static_cast<int>(plan.limits.size()),
                  config_.dry_run ? "dry-run" : "");
+        if (m_caps_ != nullptr) m_caps_->Inc();
+        if (m_cut_w_ != nullptr) m_cut_w_->Observe(decision.cut);
         if (!plan.satisfied) {
             LogEvent(telemetry::EventKind::kAlarm, aggregated, limit,
                      static_cast<int>(plan.limits.size()),
@@ -165,12 +219,24 @@ UpperController::Aggregate()
         LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
                  static_cast<int>(children_.size()),
                  config_.dry_run ? "dry-run" : "");
+        if (m_uncaps_ != nullptr) m_uncaps_->Inc();
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kUncap);
+            span.threshold = config_.bands.uncap_threshold_frac * limit;
+            traces_->Append(std::move(span));
+        }
     } else if (decision.action == BandAction::kHold) {
         ++frozen_releases_;
         LogEvent(telemetry::EventKind::kCapHold, aggregated, limit,
                  static_cast<int>(contracted_count()),
                  std::string("release frozen: health ") +
                      HealthStateName(health()));
+        if (m_holds_ != nullptr) m_holds_->Inc();
+        if (traces_ != nullptr) {
+            telemetry::TraceSpan span = new_span(telemetry::TraceBand::kHold);
+            span.threshold = config_.bands.uncap_threshold_frac * limit;
+            traces_->Append(std::move(span));
+        }
     } else if (!config_.dry_run) {
         // Settled in-band: keep standing contracts alive so children
         // that failed over (losing in-memory state) re-learn them.
@@ -179,15 +245,18 @@ UpperController::Aggregate()
 }
 
 void
-UpperController::ExecutePlan(const OffenderPlan& plan)
+UpperController::ExecutePlan(const OffenderPlan& plan,
+                             telemetry::SpanId span_id)
 {
     for (const ChildLimit& child_limit : plan.limits) {
         if (child_limit.index >= fresh_child_.size()) continue;
         ChildState& c = children_[fresh_child_[child_limit.index]];
         c.contracted = true;
         c.limit = child_limit.contractual_limit;
+        c.span = span_id;
         transport_.Call(
-            c.id, SetContractualLimitRequest{child_limit.contractual_limit},
+            c.id,
+            SetContractualLimitRequest{child_limit.contractual_limit, span_id},
             [](const rpc::Payload&) {},
             [](const std::string&) {
                 // Re-issued next cycle if still needed.
@@ -203,7 +272,7 @@ UpperController::ReaffirmContracts()
         if (!c.contracted) continue;
         ++contracts_reaffirmed_;
         transport_.Call(
-            c.id, SetContractualLimitRequest{c.limit},
+            c.id, SetContractualLimitRequest{c.limit, c.span},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }

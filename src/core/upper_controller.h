@@ -66,6 +66,8 @@ class UpperController : public Controller
 
     std::size_t ControlledCount() const override { return contracted_count(); }
 
+    const char* MetricPrefix() const override { return "upper"; }
+
   private:
     struct ChildState
     {
@@ -81,10 +83,13 @@ class UpperController : public Controller
         bool failed = false;
         bool contracted = false;
         Watts limit = 0.0;
+
+        /** Decision span that set the standing contract (or kNoSpan). */
+        telemetry::SpanId span = telemetry::kNoSpan;
     };
 
     void Aggregate();
-    void ExecutePlan(const OffenderPlan& plan);
+    void ExecutePlan(const OffenderPlan& plan, telemetry::SpanId span_id);
 
     /**
      * Re-send standing contractual limits to contracted children.

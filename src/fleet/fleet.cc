@@ -70,6 +70,9 @@ Fleet::Fleet(FleetSpec spec)
     if (spec_.with_dynamo) {
         deployment_ =
             core::BuildDeployment(sim_, transport_, *root_, spec_.deployment);
+        if (spec_.deployment.with_telemetry) {
+            transport_.AttachMetrics(&deployment_->metrics());
+        }
         if (spec_.with_load_shedding) {
             shedder_ = std::make_unique<Shedder>(*this);
             for (const auto& leaf : deployment_->leaf_controllers()) {
@@ -87,6 +90,23 @@ Fleet::Fleet(FleetSpec spec)
             }
         }
     }
+}
+
+void
+Fleet::PublishKernelStats()
+{
+    if (!deployment_) return;
+    telemetry::MetricsRegistry& registry = deployment_->metrics();
+    const sim::KernelStats& stats = sim_.kernel_stats();
+    registry.GetGauge("sim.cascades")
+        ->Set(static_cast<double>(stats.cascades));
+    registry.GetGauge("sim.far_drains")
+        ->Set(static_cast<double>(stats.far_drains));
+    registry.GetGauge("sim.purges")->Set(static_cast<double>(stats.purges));
+    registry.GetGauge("sim.slot_sorts")
+        ->Set(static_cast<double>(stats.slot_sorts));
+    registry.GetGauge("sim.events_executed")
+        ->Set(static_cast<double>(sim_.events_executed()));
 }
 
 void

@@ -150,6 +150,27 @@ class Fleet
         return deployment_ ? &deployment_->event_log() : nullptr;
     }
 
+    /** Metrics registry (nullptr when Dynamo is disabled). */
+    telemetry::MetricsRegistry* metrics()
+    {
+        return deployment_ ? &deployment_->metrics() : nullptr;
+    }
+
+    /** Decision-trace log (nullptr when Dynamo is disabled). */
+    telemetry::TraceLog* trace_log()
+    {
+        return deployment_ ? &deployment_->trace_log() : nullptr;
+    }
+
+    /**
+     * Copy the simulation kernel's internal counters into gauges on
+     * the deployment registry (`sim.cascades`, `sim.far_drains`,
+     * `sim.purges`, `sim.slot_sorts`, `sim.events_executed`). The sim
+     * layer sits below telemetry, so the harness snapshots on demand
+     * rather than the kernel pushing. No-op without a deployment.
+     */
+    void PublishKernelStats();
+
     const FleetSpec& spec() const { return spec_; }
 
     /** All servers (owned by the fleet), in construction order. */

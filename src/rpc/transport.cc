@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace dynamo::rpc {
 
 FailureInjector::FailureInjector(std::uint64_t seed, EndpointTable* endpoints)
@@ -183,10 +185,24 @@ SimTransport::Call(const std::string& endpoint, Payload request,
 }
 
 void
+SimTransport::AttachMetrics(telemetry::MetricsRegistry* registry)
+{
+    if (registry == nullptr) {
+        m_calls_ = m_ok_ = m_failed_ = m_timeouts_ = nullptr;
+        return;
+    }
+    m_calls_ = registry->GetCounter("rpc.calls");
+    m_ok_ = registry->GetCounter("rpc.ok");
+    m_failed_ = registry->GetCounter("rpc.failed");
+    m_timeouts_ = registry->GetCounter("rpc.timeouts");
+}
+
+void
 SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                    ErrorCallback on_err, SimTime timeout_ms)
 {
     ++calls_issued_;
+    if (m_calls_ != nullptr) m_calls_->Inc();
 
     // `done` arbitrates between the response path and the timeout path
     // so exactly one continuation fires per call.
@@ -199,6 +215,8 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                                if (*done) return;
                                *done = true;
                                ++calls_failed_;
+                               if (m_failed_ != nullptr) m_failed_->Inc();
+                               if (m_timeouts_ != nullptr) m_timeouts_->Inc();
                                on_err("timeout");
                            });
         return;
@@ -209,6 +227,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
             if (*done) return;
             *done = true;
             ++calls_failed_;
+            if (m_failed_ != nullptr) m_failed_->Inc();
             on_err("connection failed");
         });
         return;
@@ -221,6 +240,8 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
         if (*done) return;
         *done = true;
         ++calls_failed_;
+        if (m_failed_ != nullptr) m_failed_->Inc();
+        if (m_timeouts_ != nullptr) m_timeouts_->Inc();
         on_err("timeout");
     });
 
@@ -242,6 +263,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                                    if (*done) return;
                                    *done = true;
                                    ++calls_succeeded_;
+                                   if (m_ok_ != nullptr) m_ok_->Inc();
                                    on_ok(response);
                                });
         });

@@ -30,6 +30,11 @@
 #include "rpc/endpoint.h"
 #include "sim/simulation.h"
 
+namespace dynamo::telemetry {
+class Counter;
+class MetricsRegistry;
+}  // namespace dynamo::telemetry
+
 namespace dynamo::rpc {
 
 /** Opaque request/response payload (concrete types defined by callers). */
@@ -206,6 +211,14 @@ class SimTransport
     /** Fault injection knobs. */
     FailureInjector& failures() { return failures_; }
 
+    /**
+     * Wire transport counters (`rpc.calls`, `rpc.ok`, `rpc.failed`,
+     * `rpc.timeouts`) into `registry`. Handles are resolved once here;
+     * the per-call path increments through cached pointers. Pass
+     * nullptr to detach.
+     */
+    void AttachMetrics(telemetry::MetricsRegistry* registry);
+
     /** Total calls issued (for test assertions). */
     std::uint64_t calls_issued() const { return calls_issued_; }
 
@@ -228,6 +241,12 @@ class SimTransport
     std::uint64_t calls_issued_ = 0;
     std::uint64_t calls_succeeded_ = 0;
     std::uint64_t calls_failed_ = 0;
+
+    /** Cached metric handles; null when no registry is attached. */
+    telemetry::Counter* m_calls_ = nullptr;
+    telemetry::Counter* m_ok_ = nullptr;
+    telemetry::Counter* m_failed_ = nullptr;
+    telemetry::Counter* m_timeouts_ = nullptr;
 };
 
 }  // namespace dynamo::rpc

@@ -127,6 +127,7 @@ void Simulation::InsertNode(std::uint32_t idx)
 
 void Simulation::CascadeBucket(Bucket& bucket)
 {
+    ++kernel_stats_.cascades;
     std::uint32_t idx = bucket.head;
     bucket.head = bucket.tail = kNil;
     while (idx != kNil) {
@@ -145,6 +146,7 @@ void Simulation::DrainFarHeap()
         std::pop_heap(far_.begin(), far_.end(), FarLater);
         far_.pop_back();
         InsertNode(idx);
+        ++kernel_stats_.far_drains;
     }
 }
 
@@ -258,6 +260,7 @@ void Simulation::ExecuteSlot(SimTime t)
             first = false;
         }
         if (!sorted) {
+            ++kernel_stats_.slot_sorts;
             std::vector<std::uint32_t> order;
             for (std::uint32_t i = head; i != kNil; i = pool_[i].next) {
                 order.push_back(i);
@@ -365,6 +368,7 @@ void Simulation::PurgeBucket(Bucket& bucket)
 
 void Simulation::PurgeCancelled()
 {
+    ++kernel_stats_.purges;
     for (int slot = 0; slot < kL0Slots; ++slot) {
         if (l0_[slot].head == kNil) continue;
         PurgeBucket(l0_[slot]);

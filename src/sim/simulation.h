@@ -61,6 +61,19 @@ struct TaskTable
 }  // namespace detail
 
 /**
+ * Kernel internals counters, exposed for observability. The sim layer
+ * sits below telemetry in the library graph, so these are plain
+ * integers here; the fleet/bench layer copies them into gauges.
+ */
+struct KernelStats
+{
+    std::uint64_t cascades = 0;    ///< Upper-level slots cascaded down.
+    std::uint64_t far_drains = 0;  ///< Events drained from the far heap.
+    std::uint64_t purges = 0;      ///< Eager cancelled-backlog purges.
+    std::uint64_t slot_sorts = 0;  ///< L0 chains re-sorted for seq order.
+};
+
+/**
  * Handle to a scheduled event or periodic task; allows cancellation.
  * Cancelling an already-fired one-shot event is a harmless no-op.
  */
@@ -174,6 +187,9 @@ class Simulation
     /** Slab size in nodes (diagnostics; bounded under cancel churn). */
     std::size_t event_pool_size() const { return pool_.size(); }
 
+    /** Timing-wheel internals counters (cascades, far drains, …). */
+    const KernelStats& kernel_stats() const { return kernel_stats_; }
+
     /**
      * Eagerly drop every cancelled-but-unpopped event and return their
      * slab nodes to the free list. Called automatically when the
@@ -277,6 +293,7 @@ class Simulation
 
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
+    KernelStats kernel_stats_;
 
     std::vector<EventNode> pool_;
     std::uint32_t free_head_ = kNil;

@@ -1,5 +1,6 @@
 #include "telemetry/event_log.h"
 
+#include <unordered_map>
 #include <utility>
 
 namespace dynamo::telemetry {
@@ -24,20 +25,27 @@ EventKindName(EventKind kind)
     return "?";
 }
 
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
 void
 EventLog::Record(Event event)
 {
+    ++counts_[static_cast<std::size_t>(event.kind)];
+    ++total_recorded_;
     events_.push_back(std::move(event));
+    while (events_.size() > capacity_) {
+        events_.pop_front();
+        ++evicted_;
+    }
 }
 
 std::size_t
 EventLog::CountOf(EventKind kind) const
 {
-    std::size_t n = 0;
-    for (const Event& e : events_) {
-        if (e.kind == kind) ++n;
-    }
-    return n;
+    return static_cast<std::size_t>(counts_[static_cast<std::size_t>(kind)]);
 }
 
 std::vector<Event>
@@ -51,7 +59,7 @@ EventLog::OfKind(EventKind kind) const
 }
 
 std::vector<SimTime>
-EventLog::EpisodeDurations(const std::string& source) const
+EventLog::EpisodeDurations(const std::string& source, SimTime end_time) const
 {
     std::vector<SimTime> durations;
     SimTime open_since = -1;
@@ -64,24 +72,42 @@ EventLog::EpisodeDurations(const std::string& source) const
             open_since = -1;
         }
     }
+    // Close out an episode still capping at end-of-run, so "capped and
+    // never released" contributes its (ongoing) duration instead of
+    // silently vanishing from the report.
+    if (open_since >= 0 && end_time >= 0 && end_time >= open_since) {
+        durations.push_back(end_time - open_since);
+    }
     return durations;
 }
 
 std::size_t
 EventLog::CappingEpisodes(const std::string& source) const
 {
+    // Track open state per source: an uncap only closes episodes of the
+    // controller that issued it, never a sibling's.
     std::size_t episodes = 0;
-    bool open = false;
+    std::unordered_map<std::string, bool> open;
     for (const Event& e : events_) {
         if (!source.empty() && e.source != source) continue;
-        if (e.kind == EventKind::kCapStart && !open) {
-            open = true;
+        bool& is_open = open[e.source];
+        if (e.kind == EventKind::kCapStart && !is_open) {
+            is_open = true;
             ++episodes;
         } else if (e.kind == EventKind::kUncap) {
-            open = false;
+            is_open = false;
         }
     }
     return episodes;
+}
+
+void
+EventLog::Clear()
+{
+    events_.clear();
+    counts_.fill(0);
+    total_recorded_ = 0;
+    evicted_ = 0;
 }
 
 }  // namespace dynamo::telemetry

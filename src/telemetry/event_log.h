@@ -7,11 +7,20 @@
  * is recorded here so experiments can count and time them (e.g.
  * Table I's "18 potential outages prevented", Fig. 14's "capping was
  * triggered seven times").
+ *
+ * The log is a bounded ring: long soak runs evict the oldest events
+ * instead of growing without bound. Per-kind counters are maintained
+ * on Record, so `CountOf` is O(1) and stays correct (it reports the
+ * lifetime total, including evicted events) no matter how much the
+ * ring has turned over.
  */
 #ifndef DYNAMO_TELEMETRY_EVENT_LOG_H_
 #define DYNAMO_TELEMETRY_EVENT_LOG_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -35,6 +44,9 @@ enum class EventKind {
     kChaosFault,    ///< Chaos campaign injected or cleared a fault.
 };
 
+/** Number of EventKind values (for per-kind counter arrays). */
+inline constexpr std::size_t kEventKindCount = 12;
+
 /** Readable name for an event kind. */
 const char* EventKindName(EventKind kind);
 
@@ -50,39 +62,64 @@ struct Event
     std::string detail;
 };
 
-/** Append-only event log with simple query helpers. */
+/** Bounded event log with simple query helpers. */
 class EventLog
 {
   public:
-    /** Record one event. */
+    /** Default ring capacity; plenty for any single experiment. */
+    static constexpr std::size_t kDefaultCapacity = 8192;
+
+    explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+    /** Record one event (evicts the oldest when the ring is full). */
     void Record(Event event);
 
-    const std::vector<Event>& events() const { return events_; }
+    /** Retained events, oldest first. */
+    const std::deque<Event>& events() const { return events_; }
 
-    /** Number of events of the given kind. */
+    /**
+     * Lifetime number of events of the given kind, including events
+     * already evicted from the ring. O(1).
+     */
     std::size_t CountOf(EventKind kind) const;
 
-    /** Events of one kind, in time order. */
+    /** Retained events of one kind, in time order. */
     std::vector<Event> OfKind(EventKind kind) const;
 
     /**
      * Number of distinct capping episodes: a kCapStart opens an
-     * episode, the next kUncap from the same source closes it.
+     * episode for its source, the next kUncap *from the same source*
+     * closes it. With an empty `source`, episodes are counted across
+     * all sources (each source tracked independently).
      */
     std::size_t CappingEpisodes(const std::string& source = "") const;
 
     /**
-     * Durations of closed capping episodes for `source` (kCapStart to
-     * the matching kUncap), in ms. An episode still open at the end of
-     * the log is not reported.
+     * Durations of capping episodes for `source` (kCapStart to the
+     * matching kUncap), in ms. An episode still open at the end of
+     * the log is closed out at `end_time` when `end_time >= 0`;
+     * with the default end_time = -1 it is not reported.
      */
-    std::vector<SimTime> EpisodeDurations(const std::string& source) const;
+    std::vector<SimTime> EpisodeDurations(const std::string& source,
+                                          SimTime end_time = -1) const;
 
-    /** Drop all events. */
-    void Clear() { events_.clear(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Lifetime number of events recorded (including evicted). */
+    std::uint64_t total_recorded() const { return total_recorded_; }
+
+    /** Events dropped by ring eviction. */
+    std::uint64_t evicted() const { return evicted_; }
+
+    /** Drop all events and reset counters. */
+    void Clear();
 
   private:
-    std::vector<Event> events_;
+    std::size_t capacity_;
+    std::deque<Event> events_;
+    std::array<std::uint64_t, kEventKindCount> counts_{};
+    std::uint64_t total_recorded_ = 0;
+    std::uint64_t evicted_ = 0;
 };
 
 }  // namespace dynamo::telemetry

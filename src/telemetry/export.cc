@@ -1,7 +1,12 @@
 #include "telemetry/export.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/units.h"
@@ -20,6 +25,106 @@ LastIndexAtOrBefore(const TimeSeries& series, SimTime time,
         ++i;
     }
     return i;
+}
+
+/** 17 significant digits: enough for strtod to reproduce the bits. */
+std::string
+ExactDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+JoinDoubles(const std::vector<double>& values)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out += ',';
+        out += ExactDouble(values[i]);
+    }
+    return out;
+}
+
+std::string
+JoinCounts(const std::vector<std::uint64_t>& values)
+{
+    std::string out;
+    char buf[32];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out += ',';
+        std::snprintf(buf, sizeof buf, "%" PRIu64, values[i]);
+        out += buf;
+    }
+    return out;
+}
+
+std::vector<std::string>
+SplitList(const std::string& joined)
+{
+    std::vector<std::string> out;
+    if (joined.empty()) return out;
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t comma = joined.find(',', begin);
+        if (comma == std::string::npos) {
+            out.push_back(joined.substr(begin));
+            return out;
+        }
+        out.push_back(joined.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+}
+
+double
+ParseDoubleOrThrow(const std::string& text, const std::string& line)
+{
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+        throw std::runtime_error("bad double '" + text + "' in: " + line);
+    }
+    return v;
+}
+
+std::uint64_t
+ParseU64OrThrow(const std::string& text, const std::string& line)
+{
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        throw std::runtime_error("bad integer '" + text + "' in: " + line);
+    }
+    return v;
+}
+
+/** Value of a `key=` token on the line; throws if missing. */
+std::string
+TokenValue(const std::vector<std::string>& tokens, const std::string& key,
+           const std::string& line)
+{
+    const std::string prefix = key + "=";
+    for (const std::string& token : tokens) {
+        if (token.compare(0, prefix.size(), prefix) == 0) {
+            return token.substr(prefix.size());
+        }
+    }
+    throw std::runtime_error("missing '" + prefix + "' in: " + line);
+}
+
+void
+JsonEscape(std::ostream& out, const std::string& text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          default: out << c;
+        }
+    }
 }
 
 }  // namespace
@@ -73,6 +178,303 @@ WriteGnuplot(std::ostream& out, const std::vector<NamedSeries>& columns)
             out << ToSeconds(s.time) << " " << s.value << "\n";
         }
     }
+}
+
+MetricsSnapshot
+SnapshotOf(const MetricsRegistry& registry)
+{
+    MetricsSnapshot snapshot;
+    snapshot.metrics.reserve(registry.size());
+    for (const MetricsRegistry::Entry& entry : registry.entries()) {
+        MetricValue value;
+        value.name = entry.name;
+        value.kind = entry.kind;
+        switch (entry.kind) {
+          case MetricKind::kCounter:
+            if (entry.counter != nullptr) value.count = entry.counter->value();
+            break;
+          case MetricKind::kGauge:
+            if (entry.gauge != nullptr) value.value = entry.gauge->value();
+            break;
+          case MetricKind::kHistogram:
+            if (entry.histogram != nullptr) {
+                const Histogram& h = *entry.histogram;
+                value.count = h.count();
+                value.sum = h.sum();
+                value.min = h.min();
+                value.max = h.max();
+                value.bounds = h.bounds();
+                value.bucket_counts = h.bucket_counts();
+            }
+            break;
+        }
+        snapshot.metrics.push_back(std::move(value));
+    }
+    return snapshot;
+}
+
+void
+WriteMetricsText(std::ostream& out, const MetricsSnapshot& snapshot)
+{
+    out << "# dynamo metrics v1\n";
+    for (const MetricValue& m : snapshot.metrics) {
+        out << "metric " << m.name << " " << MetricKindName(m.kind);
+        switch (m.kind) {
+          case MetricKind::kCounter:
+            out << " " << m.count;
+            break;
+          case MetricKind::kGauge:
+            out << " " << ExactDouble(m.value);
+            break;
+          case MetricKind::kHistogram:
+            out << " count=" << m.count
+                << " sum=" << ExactDouble(m.sum)
+                << " min=" << ExactDouble(m.min)
+                << " max=" << ExactDouble(m.max)
+                << " bounds=" << JoinDoubles(m.bounds)
+                << " buckets=" << JoinCounts(m.bucket_counts);
+            break;
+        }
+        out << "\n";
+    }
+}
+
+MetricsSnapshot
+ParseMetricsText(std::istream& in)
+{
+    MetricsSnapshot snapshot;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+
+        std::vector<std::string> tokens;
+        std::istringstream fields(line);
+        std::string token;
+        while (fields >> token) tokens.push_back(token);
+        if (tokens.size() < 4 || tokens[0] != "metric") {
+            throw std::runtime_error("malformed metrics line: " + line);
+        }
+
+        MetricValue m;
+        m.name = tokens[1];
+        const std::string& kind = tokens[2];
+        if (kind == "counter") {
+            m.kind = MetricKind::kCounter;
+            m.count = ParseU64OrThrow(tokens[3], line);
+        } else if (kind == "gauge") {
+            m.kind = MetricKind::kGauge;
+            m.value = ParseDoubleOrThrow(tokens[3], line);
+        } else if (kind == "histogram") {
+            m.kind = MetricKind::kHistogram;
+            m.count = ParseU64OrThrow(TokenValue(tokens, "count", line), line);
+            m.sum = ParseDoubleOrThrow(TokenValue(tokens, "sum", line), line);
+            m.min = ParseDoubleOrThrow(TokenValue(tokens, "min", line), line);
+            m.max = ParseDoubleOrThrow(TokenValue(tokens, "max", line), line);
+            for (const std::string& b :
+                 SplitList(TokenValue(tokens, "bounds", line))) {
+                m.bounds.push_back(ParseDoubleOrThrow(b, line));
+            }
+            for (const std::string& b :
+                 SplitList(TokenValue(tokens, "buckets", line))) {
+                m.bucket_counts.push_back(ParseU64OrThrow(b, line));
+            }
+        } else {
+            throw std::runtime_error("unknown metric kind in: " + line);
+        }
+        snapshot.metrics.push_back(std::move(m));
+    }
+    return snapshot;
+}
+
+void
+WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot)
+{
+    out << "{\"metrics\":[";
+    for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+        const MetricValue& m = snapshot.metrics[i];
+        if (i > 0) out << ",";
+        out << "\n  {\"name\":\"";
+        JsonEscape(out, m.name);
+        out << "\",\"kind\":\"" << MetricKindName(m.kind) << "\"";
+        switch (m.kind) {
+          case MetricKind::kCounter:
+            out << ",\"value\":" << m.count;
+            break;
+          case MetricKind::kGauge:
+            out << ",\"value\":" << ExactDouble(m.value);
+            break;
+          case MetricKind::kHistogram:
+            out << ",\"count\":" << m.count
+                << ",\"sum\":" << ExactDouble(m.sum)
+                << ",\"min\":" << ExactDouble(m.min)
+                << ",\"max\":" << ExactDouble(m.max)
+                << ",\"bounds\":[" << JoinDoubles(m.bounds) << "]"
+                << ",\"buckets\":[" << JoinCounts(m.bucket_counts) << "]";
+            break;
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+}
+
+bool
+SnapshotsEqual(const MetricsSnapshot& a, const MetricsSnapshot& b,
+               std::string* why)
+{
+    auto differ = [&](const std::string& what) {
+        if (why != nullptr) *why = what;
+        return false;
+    };
+    if (a.metrics.size() != b.metrics.size()) {
+        return differ("metric count differs: " +
+                      std::to_string(a.metrics.size()) + " vs " +
+                      std::to_string(b.metrics.size()));
+    }
+    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+        const MetricValue& x = a.metrics[i];
+        const MetricValue& y = b.metrics[i];
+        if (x.name != y.name) {
+            return differ("name differs at " + std::to_string(i) + ": " +
+                          x.name + " vs " + y.name);
+        }
+        if (x.kind != y.kind) return differ(x.name + ": kind differs");
+        if (x.count != y.count) return differ(x.name + ": count differs");
+        if (x.value != y.value) return differ(x.name + ": value differs");
+        if (x.sum != y.sum) return differ(x.name + ": sum differs");
+        if (x.min != y.min) return differ(x.name + ": min differs");
+        if (x.max != y.max) return differ(x.name + ": max differs");
+        if (x.bounds != y.bounds) return differ(x.name + ": bounds differ");
+        if (x.bucket_counts != y.bucket_counts) {
+            return differ(x.name + ": bucket counts differ");
+        }
+    }
+    return true;
+}
+
+namespace {
+
+void
+Indent(std::ostream& out, int n)
+{
+    for (int i = 0; i < n; ++i) out << ' ';
+}
+
+void
+WriteSpanSubtree(std::ostream& out, const TraceLog& log,
+                 const TraceSpan& span, int indent)
+{
+    WriteTraceSpan(out, span, indent);
+    for (const TraceSpan* child : log.ChildrenOf(span.id)) {
+        WriteSpanSubtree(out, log, *child, indent + 4);
+    }
+}
+
+}  // namespace
+
+void
+WriteTraceSpan(std::ostream& out, const TraceSpan& span, int indent)
+{
+    Indent(out, indent);
+    out << "span#" << span.id;
+    if (span.parent != kNoSpan) out << " parent=" << span.parent;
+    out << " " << SpanKindName(span.kind)
+        << " " << (span.source.empty() ? "?" : span.source)
+        << " t=" << ToSeconds(span.time) << "s"
+        << " band=" << TraceBandName(span.band)
+        << " transition=" << TraceTransitionName(span)
+        << " measured=" << span.measured << "W"
+        << " limit=" << span.limit << "W"
+        << " threshold=" << span.threshold << "W";
+    if (span.band == TraceBand::kCap) {
+        out << " target=" << span.target << "W"
+            << " cut=" << span.cut << "W"
+            << " planned=" << span.planned_cut << "W"
+            << " satisfied=" << (span.satisfied ? "yes" : "NO");
+    }
+    if (span.dry_run) out << " dry_run";
+    out << "\n";
+    for (const TraceGroupCut& group : span.groups) {
+        Indent(out, indent + 2);
+        out << "group pg=" << group.priority_group
+            << " cut=" << group.cut << "W"
+            << " servers=" << group.servers << "\n";
+    }
+    for (const TraceAllocation& alloc : span.allocs) {
+        Indent(out, indent + 2);
+        out << "alloc " << alloc.target;
+        if (alloc.bucket >= 0) out << " bucket=" << alloc.bucket;
+        out << " power=" << alloc.power << "W"
+            << " floor=" << alloc.floor << "W";
+        if (span.kind == SpanKind::kUpperDecision) {
+            out << " quota=" << alloc.quota << "W"
+                << " offender=" << (alloc.offender ? "yes" : "no");
+        }
+        out << " cut=" << alloc.cut << "W"
+            << " limit_sent=" << alloc.limit_sent << "W\n";
+    }
+}
+
+void
+WriteTraceTree(std::ostream& out, const TraceLog& log)
+{
+    out << "# dynamo decision traces: " << log.size() << " retained, "
+        << log.evicted() << " evicted\n";
+    for (const TraceSpan& span : log.spans()) {
+        const bool is_root =
+            span.parent == kNoSpan || log.Find(span.parent) == nullptr;
+        if (is_root) WriteSpanSubtree(out, log, span, 0);
+    }
+}
+
+void
+WriteTraceJson(std::ostream& out, const TraceLog& log)
+{
+    out << "{\"spans\":[";
+    bool first = true;
+    for (const TraceSpan& span : log.spans()) {
+        if (!first) out << ",";
+        first = false;
+        out << "\n  {\"id\":" << span.id
+            << ",\"parent\":" << span.parent
+            << ",\"time_ms\":" << span.time
+            << ",\"kind\":\"" << SpanKindName(span.kind) << "\""
+            << ",\"source\":\"";
+        JsonEscape(out, span.source);
+        out << "\",\"band\":\"" << TraceBandName(span.band) << "\""
+            << ",\"transition\":\"" << TraceTransitionName(span) << "\""
+            << ",\"measured\":" << ExactDouble(span.measured)
+            << ",\"limit\":" << ExactDouble(span.limit)
+            << ",\"threshold\":" << ExactDouble(span.threshold)
+            << ",\"target\":" << ExactDouble(span.target)
+            << ",\"cut\":" << ExactDouble(span.cut)
+            << ",\"planned_cut\":" << ExactDouble(span.planned_cut)
+            << ",\"satisfied\":" << (span.satisfied ? "true" : "false")
+            << ",\"dry_run\":" << (span.dry_run ? "true" : "false")
+            << ",\"groups\":[";
+        for (std::size_t i = 0; i < span.groups.size(); ++i) {
+            const TraceGroupCut& g = span.groups[i];
+            if (i > 0) out << ",";
+            out << "{\"pg\":" << g.priority_group
+                << ",\"cut\":" << ExactDouble(g.cut)
+                << ",\"servers\":" << g.servers << "}";
+        }
+        out << "],\"allocs\":[";
+        for (std::size_t i = 0; i < span.allocs.size(); ++i) {
+            const TraceAllocation& a = span.allocs[i];
+            if (i > 0) out << ",";
+            out << "{\"target\":\"";
+            JsonEscape(out, a.target);
+            out << "\",\"bucket\":" << a.bucket
+                << ",\"power\":" << ExactDouble(a.power)
+                << ",\"floor\":" << ExactDouble(a.floor)
+                << ",\"quota\":" << ExactDouble(a.quota)
+                << ",\"offender\":" << (a.offender ? "true" : "false")
+                << ",\"cut\":" << ExactDouble(a.cut)
+                << ",\"limit_sent\":" << ExactDouble(a.limit_sent) << "}";
+        }
+        out << "]}";
+    }
+    out << "\n]}\n";
 }
 
 }  // namespace dynamo::telemetry

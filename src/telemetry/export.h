@@ -1,19 +1,28 @@
 /**
  * @file
- * Time-series export for offline analysis.
+ * Telemetry export for offline analysis.
  *
- * Writes one or more aligned series as CSV (and a gnuplot-friendly
- * whitespace format) so bench outputs can be re-plotted against the
- * paper's figures without re-running the simulation.
+ * Three families of writers:
+ *   - time series as CSV / gnuplot blocks, so bench outputs can be
+ *     re-plotted against the paper's figures without re-running;
+ *   - metrics-registry snapshots as a line-oriented text format (with
+ *     an exact round-trip parser — doubles are printed with 17
+ *     significant digits) and as JSON;
+ *   - decision-trace trees, human-readable (indented parent→child,
+ *     naming the band transition and per-group/per-target split) and
+ *     as JSON.
  */
 #ifndef DYNAMO_TELEMETRY_EXPORT_H_
 #define DYNAMO_TELEMETRY_EXPORT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
 
 namespace dynamo::telemetry {
 
@@ -41,6 +50,68 @@ void WriteCsvFile(const std::string& path,
  * blank lines and titled with '#' comments — gnuplot's `index` format.
  */
 void WriteGnuplot(std::ostream& out, const std::vector<NamedSeries>& columns);
+
+/** Point-in-time value of one instrument. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t count = 0;  ///< Counter value / histogram count.
+    double value = 0.0;       ///< Gauge value.
+    double sum = 0.0;         ///< Histogram sum.
+    double min = 0.0;         ///< Histogram min.
+    double max = 0.0;         ///< Histogram max.
+    std::vector<double> bounds;               ///< Histogram bounds.
+    std::vector<std::uint64_t> bucket_counts; ///< bounds.size() + 1.
+};
+
+/** Copy of every instrument's value at one instant. */
+struct MetricsSnapshot
+{
+    std::vector<MetricValue> metrics;
+};
+
+/** Snapshot the registry (values copied, registration order kept). */
+MetricsSnapshot SnapshotOf(const MetricsRegistry& registry);
+
+/**
+ * Line-oriented text format, one `metric <name> <kind> ...` line per
+ * instrument. Doubles use 17 significant digits so ParseMetricsText
+ * reproduces the snapshot bit-exactly.
+ */
+void WriteMetricsText(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/** Parse WriteMetricsText output; throws std::runtime_error on a
+ * malformed line. */
+MetricsSnapshot ParseMetricsText(std::istream& in);
+
+/** JSON object {"metrics": [...]} with one entry per instrument. */
+void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/**
+ * Exact equality (names, kinds, counts, bit-exact doubles) — the
+ * round-trip check. On mismatch, returns false and (if `why` is
+ * non-null) describes the first difference.
+ */
+bool SnapshotsEqual(const MetricsSnapshot& a, const MetricsSnapshot& b,
+                    std::string* why = nullptr);
+
+/**
+ * Human-readable rendering of one span: header line naming the band
+ * transition and measured-vs-threshold evidence, then one indented
+ * line per priority-group cut and per-target allocation. `indent` is
+ * the number of leading spaces on the header.
+ */
+void WriteTraceSpan(std::ostream& out, const TraceSpan& span, int indent = 0);
+
+/**
+ * Render retained spans as parent→child trees, oldest root first.
+ * Spans whose parent was evicted (or never traced) are roots.
+ */
+void WriteTraceTree(std::ostream& out, const TraceLog& log);
+
+/** JSON array of span objects (flat; parent linkage via ids). */
+void WriteTraceJson(std::ostream& out, const TraceLog& log);
 
 }  // namespace dynamo::telemetry
 

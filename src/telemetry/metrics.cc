@@ -1,0 +1,150 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynamo::telemetry {
+
+const char*
+MetricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::kCounter: return "counter";
+      case MetricKind::kGauge: return "gauge";
+      case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+std::vector<double>
+Histogram::DefaultBounds()
+{
+    std::vector<double> bounds;
+    bounds.reserve(14);
+    double b = 1.0;
+    for (int i = 0; i < 14; ++i) {
+        bounds.push_back(b);
+        b *= 2.0;
+    }
+    return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds))
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::invalid_argument("Histogram bounds must be sorted");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::Observe(double value)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+double
+Histogram::Quantile(double q) const
+{
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        const double lo = static_cast<double>(seen);
+        seen += counts_[i];
+        if (static_cast<double>(seen) < rank) continue;
+
+        // Interpolate within [bucket_lo, bucket_hi], clamped to the
+        // recorded min/max so sparse tails don't overshoot.
+        double bucket_lo = i == 0 ? min_ : bounds_[i - 1];
+        double bucket_hi = i < bounds_.size() ? bounds_[i] : max_;
+        bucket_lo = std::max(bucket_lo, min_);
+        bucket_hi = std::min(bucket_hi, max_);
+        if (bucket_hi <= bucket_lo) return bucket_hi;
+        const double within =
+            (rank - lo) / static_cast<double>(counts_[i]);
+        return bucket_lo + within * (bucket_hi - bucket_lo);
+    }
+    return max_;
+}
+
+MetricId
+MetricsRegistry::Intern(const std::string& name, MetricKind kind)
+{
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+        const Entry& entry = entries_[it->second];
+        if (entry.kind != kind) {
+            throw std::invalid_argument(
+                "metric '" + name + "' already registered as " +
+                MetricKindName(entry.kind) + ", requested " +
+                MetricKindName(kind));
+        }
+        return it->second;
+    }
+    const MetricId id = static_cast<MetricId>(entries_.size());
+    Entry entry;
+    entry.name = name;
+    entry.kind = kind;
+    entries_.push_back(std::move(entry));
+    by_name_.emplace(name, id);
+    return id;
+}
+
+Counter*
+MetricsRegistry::GetCounter(const std::string& name)
+{
+    const MetricId id = Intern(name, MetricKind::kCounter);
+    Entry& entry = entries_[id];
+    if (entry.counter == nullptr) {
+        counters_.emplace_back();
+        entry.counter = &counters_.back();
+    }
+    return entry.counter;
+}
+
+Gauge*
+MetricsRegistry::GetGauge(const std::string& name)
+{
+    const MetricId id = Intern(name, MetricKind::kGauge);
+    Entry& entry = entries_[id];
+    if (entry.gauge == nullptr) {
+        gauges_.emplace_back();
+        entry.gauge = &gauges_.back();
+    }
+    return entry.gauge;
+}
+
+Histogram*
+MetricsRegistry::GetHistogram(const std::string& name,
+                              std::vector<double> bounds)
+{
+    const MetricId id = Intern(name, MetricKind::kHistogram);
+    Entry& entry = entries_[id];
+    if (entry.histogram == nullptr) {
+        histograms_.emplace_back(std::move(bounds));
+        entry.histogram = &histograms_.back();
+    }
+    return entry.histogram;
+}
+
+MetricId
+MetricsRegistry::Find(const std::string& name) const
+{
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidMetric : it->second;
+}
+
+}  // namespace dynamo::telemetry

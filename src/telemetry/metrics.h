@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Low-overhead metrics registry.
+ *
+ * Dynamo's monitoring half needs attributable counters on the control
+ * plane's hot paths — transport sends/failures, controller cycles,
+ * capping cut sizes — without perturbing the paths it measures. The
+ * registry interns metric names into dense 32-bit ids (mirroring
+ * rpc/endpoint.h) and hands out *stable handles*: a hot path resolves
+ * its metric once at attach time and then increments through a plain
+ * pointer — no hashing, no lookup, no allocation per event.
+ *
+ * Three instrument kinds:
+ *   - Counter:   monotonically increasing u64 (events, failures);
+ *   - Gauge:     last-written double (queue depths, kernel stats);
+ *   - Histogram: fixed-bucket distribution with recorded sum/min/max
+ *     and interpolated quantiles (p50/p99 of cycle latency, cut sizes).
+ *
+ * Naming scheme (see DESIGN.md §8): dot-separated `<subsystem>.<what>`
+ * with unit suffixes (`_us`, `_w`) — e.g. `rpc.calls`, `leaf.cycle_us`,
+ * `leaf.cut_w`. Names are fleet-wide (not per-endpoint) so cardinality
+ * stays O(subsystems), not O(servers).
+ */
+#ifndef DYNAMO_TELEMETRY_METRICS_H_
+#define DYNAMO_TELEMETRY_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynamo::telemetry {
+
+/** Dense interned metric identity (index into the registry's tables). */
+using MetricId = std::uint32_t;
+
+/** Sentinel for "no such metric". */
+inline constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+/** Instrument kind. */
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/** Readable name for a metric kind ("counter", "gauge", "histogram"). */
+const char* MetricKindName(MetricKind kind);
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void Inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void Reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-written value. */
+class Gauge
+{
+  public:
+    void Set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram.
+ *
+ * Bucket i counts observations in (bounds[i-1], bounds[i]]; a final
+ * overflow bucket catches everything above the last bound. Bounds are
+ * fixed at creation, so Observe is a branchless-ish linear scan over a
+ * small array (default 14 exponential buckets) — no allocation, no
+ * re-binning.
+ */
+class Histogram
+{
+  public:
+    /** Exponential default bounds: 1, 2, 4, ... 8192 (14 buckets). */
+    static std::vector<double> DefaultBounds();
+
+    explicit Histogram(std::vector<double> bounds = DefaultBounds());
+
+    void Observe(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /**
+     * Quantile estimate for q in [0, 1] by linear interpolation inside
+     * the containing bucket (the overflow bucket reports the recorded
+     * max). 0 when empty.
+     */
+    double Quantile(double q) const;
+
+    double p50() const { return Quantile(0.50); }
+    double p99() const { return Quantile(0.99); }
+
+    const std::vector<double>& bounds() const { return bounds_; }
+
+    /** Per-bucket counts; size() == bounds().size() + 1 (overflow last). */
+    const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * The registry: name -> instrument, with stable handle pointers.
+ *
+ * Get* interns the name on first use and returns the same handle ever
+ * after (instruments live in deques, so handles stay valid as the
+ * registry grows). Requesting an existing name with a different kind
+ * throws std::invalid_argument — one name, one instrument.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** Counter handle for `name` (created on first use). */
+    Counter* GetCounter(const std::string& name);
+
+    /** Gauge handle for `name` (created on first use). */
+    Gauge* GetGauge(const std::string& name);
+
+    /**
+     * Histogram handle for `name`. `bounds` applies only on creation;
+     * later calls return the existing instrument regardless of bounds.
+     */
+    Histogram* GetHistogram(const std::string& name,
+                            std::vector<double> bounds = Histogram::DefaultBounds());
+
+    /** Id for `name`, or kInvalidMetric if never registered. */
+    MetricId Find(const std::string& name) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** One registered instrument, for iteration/export. */
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind = MetricKind::kCounter;
+        Counter* counter = nullptr;
+        Gauge* gauge = nullptr;
+        Histogram* histogram = nullptr;
+    };
+
+    /** All instruments in registration (id) order. */
+    const std::deque<Entry>& entries() const { return entries_; }
+
+  private:
+    MetricId Intern(const std::string& name, MetricKind kind);
+
+    std::unordered_map<std::string, MetricId> by_name_;
+    std::deque<Entry> entries_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+}  // namespace dynamo::telemetry
+
+#endif  // DYNAMO_TELEMETRY_METRICS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace dynamo::telemetry {
 
@@ -63,14 +64,21 @@ double
 TimeSeries::PeakHoursMean(double frac) const
 {
     if (samples_.empty()) return 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    if (frac <= 0.0) return 0.0;
     std::vector<double> values = Values();
     std::sort(values.begin(), values.end());
-    const auto start = static_cast<std::size_t>(
-        static_cast<double>(values.size()) * (1.0 - frac));
-    const std::size_t first = std::min(start, values.size() - 1);
+    // Window size rounds up so any positive fraction sees at least one
+    // sample; the epsilon absorbs fp artifacts like 0.25*100 = 25.0000…4
+    // that would otherwise round a whole-sample fraction up by one.
+    const double want =
+        std::ceil(static_cast<double>(values.size()) * frac - 1e-9);
+    const std::size_t count = std::clamp<std::size_t>(
+        static_cast<std::size_t>(want), 1, values.size());
+    const std::size_t first = values.size() - count;
     double sum = 0.0;
     for (std::size_t i = first; i < values.size(); ++i) sum += values[i];
-    return sum / static_cast<double>(values.size() - first);
+    return sum / static_cast<double>(count);
 }
 
 }  // namespace dynamo::telemetry

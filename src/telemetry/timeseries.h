@@ -56,6 +56,10 @@ class TimeSeries
      * Mean of the top `frac` fraction of values — the paper's
      * "average power during peak hours" normalizer for variation
      * percentages (we use the busiest quartile by default).
+     *
+     * `frac` is clamped to [0, 1]; frac == 0 yields 0 (an empty
+     * window), any positive frac sees at least the single largest
+     * sample, and frac == 1 equals MeanValue().
      */
     double PeakHoursMean(double frac = 0.25) const;
 

@@ -1,0 +1,83 @@
+#include "telemetry/trace.h"
+
+namespace dynamo::telemetry {
+
+const char*
+SpanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::kLeafDecision: return "leaf";
+      case SpanKind::kUpperDecision: return "upper";
+    }
+    return "?";
+}
+
+const char*
+TraceBandName(TraceBand band)
+{
+    switch (band) {
+      case TraceBand::kNone: return "none";
+      case TraceBand::kCap: return "cap";
+      case TraceBand::kUncap: return "uncap";
+      case TraceBand::kHold: return "hold";
+    }
+    return "?";
+}
+
+std::string
+TraceTransitionName(const TraceSpan& span)
+{
+    const char* from = span.was_capping ? "capping" : "settled";
+    const char* to = "?";
+    switch (span.band) {
+      case TraceBand::kNone: to = span.was_capping ? "capping" : "settled"; break;
+      case TraceBand::kCap: to = "capping"; break;
+      case TraceBand::kUncap: to = "released"; break;
+      case TraceBand::kHold: to = "held"; break;
+    }
+    return std::string(from) + "->" + to;
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+SpanId
+TraceLog::Append(TraceSpan span)
+{
+    span.id = next_id_++;
+    spans_.push_back(std::move(span));
+    while (spans_.size() > capacity_) {
+        spans_.pop_front();
+        ++evicted_;
+    }
+    return spans_.back().id;
+}
+
+const TraceSpan*
+TraceLog::Find(SpanId id) const
+{
+    if (spans_.empty()) return nullptr;
+    const SpanId first = spans_.front().id;
+    if (id < first || id >= next_id_) return nullptr;
+    return &spans_[static_cast<std::size_t>(id - first)];
+}
+
+std::vector<const TraceSpan*>
+TraceLog::ChildrenOf(SpanId id) const
+{
+    std::vector<const TraceSpan*> out;
+    for (const TraceSpan& span : spans_) {
+        if (span.parent == id) out.push_back(&span);
+    }
+    return out;
+}
+
+void
+TraceLog::Clear()
+{
+    spans_.clear();
+}
+
+}  // namespace dynamo::telemetry

@@ -1,4 +1,5 @@
-// Tests for CSV/gnuplot export and controller status snapshots.
+// Tests for CSV/gnuplot export, metrics-snapshot round-trips, trace
+// rendering, and controller status snapshots.
 #include "telemetry/export.h"
 
 #include <cstdio>
@@ -9,6 +10,8 @@
 
 #include "common/units.h"
 #include "fleet/fleet.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dynamo::telemetry {
 namespace {
@@ -66,6 +69,144 @@ TEST(ExportGnuplot, IndexBlocksPerSeries)
     std::ostringstream out;
     WriteGnuplot(out, {{"first", &a}, {"second", &b}});
     EXPECT_EQ(out.str(), "# first\n0 1\n\n\n# second\n1 2\n");
+}
+
+TEST(MetricsExport, TextRoundTripIsBitExact)
+{
+    MetricsRegistry registry;
+    registry.GetCounter("rpc.calls")->Inc(123456789);
+    // Adversarial doubles: non-representable decimals, huge, tiny,
+    // negative — all must survive the text format bit-exactly.
+    registry.GetGauge("g.fraction")->Set(0.1);
+    registry.GetGauge("g.huge")->Set(1.23456789012345e300);
+    registry.GetGauge("g.tiny")->Set(5e-324);
+    registry.GetGauge("g.negative")->Set(-2.0 / 3.0);
+    Histogram* h = registry.GetHistogram("h.lat", {0.5, 5.0, 50.0});
+    h->Observe(0.1);
+    h->Observe(3.14159265358979);
+    h->Observe(1000.0);
+
+    const MetricsSnapshot before = SnapshotOf(registry);
+    std::ostringstream text;
+    WriteMetricsText(text, before);
+    std::istringstream in(text.str());
+    const MetricsSnapshot after = ParseMetricsText(in);
+
+    std::string why;
+    EXPECT_TRUE(SnapshotsEqual(before, after, &why)) << why;
+}
+
+TEST(MetricsExport, ParseRejectsMalformedLines)
+{
+    std::istringstream bad_kind("# dynamo metrics v1\nmetric x widget 5\n");
+    EXPECT_THROW(ParseMetricsText(bad_kind), std::runtime_error);
+    std::istringstream bad_value("# dynamo metrics v1\nmetric x counter ?\n");
+    EXPECT_THROW(ParseMetricsText(bad_value), std::runtime_error);
+}
+
+TEST(MetricsExport, SnapshotsEqualExplainsFirstDifference)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.GetCounter("x")->Inc(1);
+    b.GetCounter("x")->Inc(2);
+    std::string why;
+    EXPECT_FALSE(SnapshotsEqual(SnapshotOf(a), SnapshotOf(b), &why));
+    EXPECT_NE(why.find("x"), std::string::npos);
+}
+
+TEST(MetricsExport, FleetRunRoundTripsExactly)
+{
+    // A 1000-server SB slice with the full control plane: run it,
+    // snapshot everything the instruments recorded (including the
+    // kernel-stat gauges), and require the text format to reproduce
+    // the snapshot exactly.
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kSb;
+    spec.topology.rpps_per_sb = 4;
+    spec.servers_per_rpp = 250;
+    spec.seed = 7;
+    fleet::Fleet fleet(spec);
+    fleet.RunFor(Minutes(1));
+    fleet.PublishKernelStats();
+
+    MetricsRegistry* registry = fleet.metrics();
+    ASSERT_NE(registry, nullptr);
+    ASSERT_GT(registry->size(), 0u);
+    // The hot paths actually recorded through their handles.
+    EXPECT_GT(registry->GetCounter("rpc.calls")->value(), 0u);
+    EXPECT_GT(registry->GetCounter("agent.reads")->value(), 0u);
+    EXPECT_GT(registry->GetHistogram("leaf.cycle_us")->count(), 0u);
+    EXPECT_GT(registry->GetGauge("sim.events_executed")->value(), 0.0);
+
+    const MetricsSnapshot before = SnapshotOf(*registry);
+    std::ostringstream text;
+    WriteMetricsText(text, before);
+    std::istringstream in(text.str());
+    const MetricsSnapshot after = ParseMetricsText(in);
+    std::string why;
+    EXPECT_TRUE(SnapshotsEqual(before, after, &why)) << why;
+
+    // JSON writer smoke: every metric appears once.
+    std::ostringstream json;
+    WriteMetricsJson(json, before);
+    for (const MetricValue& m : before.metrics) {
+        EXPECT_NE(json.str().find("\"" + m.name + "\""), std::string::npos);
+    }
+}
+
+TEST(TraceExport, TreeRendersParentChildAndTransitions)
+{
+    TraceLog log;
+    TraceSpan upper;
+    upper.kind = SpanKind::kUpperDecision;
+    upper.source = "ctl:sb0";
+    upper.band = TraceBand::kCap;
+    upper.measured = 3500.0;
+    upper.limit = 3400.0;
+    const SpanId upper_id = log.Append(std::move(upper));
+
+    TraceSpan leaf;
+    leaf.kind = SpanKind::kLeafDecision;
+    leaf.source = "ctl:rpp0";
+    leaf.parent = upper_id;
+    leaf.band = TraceBand::kCap;
+    leaf.groups.push_back(TraceGroupCut{2, 120.0, 8});
+    TraceAllocation alloc;
+    alloc.target = "agent:s1";
+    alloc.bucket = 3;
+    alloc.cut = 15.0;
+    alloc.limit_sent = 210.0;
+    leaf.allocs.push_back(alloc);
+    log.Append(std::move(leaf));
+
+    std::ostringstream out;
+    WriteTraceTree(out, log);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("span#1 upper ctl:sb0"), std::string::npos);
+    EXPECT_NE(text.find("settled->capping"), std::string::npos);
+    EXPECT_NE(text.find("parent=1"), std::string::npos);
+    EXPECT_NE(text.find("group pg=2"), std::string::npos);
+    EXPECT_NE(text.find("bucket=3"), std::string::npos);
+    // The child is indented under its parent.
+    EXPECT_LT(text.find("span#1"), text.find("span#2"));
+
+    std::ostringstream json;
+    WriteTraceJson(json, log);
+    EXPECT_NE(json.str().find("\"id\":1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"parent\":1"), std::string::npos);
+}
+
+TEST(TraceExport, OrphanedSpanRendersAsRoot)
+{
+    TraceLog log(/*capacity=*/1);
+    log.Append(TraceSpan{});           // will be evicted
+    TraceSpan child;
+    child.parent = 1;
+    log.Append(std::move(child));      // parent evicted -> root
+    std::ostringstream out;
+    WriteTraceTree(out, log);
+    EXPECT_NE(out.str().find("span#2"), std::string::npos);
 }
 
 TEST(ControllerStatus, SnapshotAndLine)

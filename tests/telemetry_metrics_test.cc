@@ -1,0 +1,142 @@
+// Tests for the metrics registry: interned names, stable handles,
+// kind enforcement, and histogram bucketing/quantiles.
+#include "telemetry/metrics.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace dynamo::telemetry {
+namespace {
+
+TEST(Counter, IncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.Inc();
+    c.Inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.Reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastWrite)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.Set(3.5);
+    g.Set(-2.0);
+    EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(MetricsRegistry, InternsNamesIntoStableHandles)
+{
+    MetricsRegistry registry;
+    Counter* a = registry.GetCounter("rpc.calls");
+    Counter* b = registry.GetCounter("rpc.calls");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(registry.size(), 1u);
+
+    // Handles must survive registry growth (deque storage).
+    for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("filler." + std::to_string(i));
+    }
+    a->Inc();
+    EXPECT_EQ(registry.GetCounter("rpc.calls")->value(), 1u);
+}
+
+TEST(MetricsRegistry, FindReturnsDenseIdsInRegistrationOrder)
+{
+    MetricsRegistry registry;
+    registry.GetCounter("first");
+    registry.GetGauge("second");
+    registry.GetHistogram("third");
+    EXPECT_EQ(registry.Find("first"), 0u);
+    EXPECT_EQ(registry.Find("second"), 1u);
+    EXPECT_EQ(registry.Find("third"), 2u);
+    EXPECT_EQ(registry.Find("absent"), kInvalidMetric);
+
+    const auto& entries = registry.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].name, "first");
+    EXPECT_EQ(entries[0].kind, MetricKind::kCounter);
+    EXPECT_EQ(entries[1].kind, MetricKind::kGauge);
+    EXPECT_EQ(entries[2].kind, MetricKind::kHistogram);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows)
+{
+    MetricsRegistry registry;
+    registry.GetCounter("x");
+    EXPECT_THROW(registry.GetGauge("x"), std::invalid_argument);
+    EXPECT_THROW(registry.GetHistogram("x"), std::invalid_argument);
+    // The original instrument is untouched.
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.entries()[0].kind, MetricKind::kCounter);
+}
+
+TEST(MetricsRegistry, HistogramBoundsApplyOnlyOnCreation)
+{
+    MetricsRegistry registry;
+    Histogram* h = registry.GetHistogram("lat", {10.0, 100.0});
+    Histogram* again = registry.GetHistogram("lat", {1.0});
+    EXPECT_EQ(h, again);
+    EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(Histogram, BucketsAndStats)
+{
+    Histogram h({10.0, 100.0, 1000.0});
+    ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow
+
+    h.Observe(5.0);     // bucket 0: <= 10
+    h.Observe(10.0);    // bucket 0: boundary is inclusive
+    h.Observe(50.0);    // bucket 1
+    h.Observe(5000.0);  // overflow
+
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 5065.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+    EXPECT_EQ(h.bucket_counts()[0], 2u);
+    EXPECT_EQ(h.bucket_counts()[1], 1u);
+    EXPECT_EQ(h.bucket_counts()[2], 0u);
+    EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Histogram, QuantilesInterpolateAndClamp)
+{
+    Histogram h({10.0, 100.0, 1000.0});
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+
+    for (int i = 0; i < 100; ++i) h.Observe(50.0);
+    // All mass in (10, 100]: quantiles interpolate inside that bucket
+    // but never escape the recorded [min, max] envelope.
+    EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 50.0);
+
+    h.Observe(5000.0);  // one overflow sample
+    EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5000.0);
+    EXPECT_GE(h.p99(), h.p50());
+}
+
+TEST(Histogram, DefaultBoundsAreExponential)
+{
+    const std::vector<double> bounds = Histogram::DefaultBounds();
+    ASSERT_EQ(bounds.size(), 14u);
+    EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+    EXPECT_DOUBLE_EQ(bounds.back(), 8192.0);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+    }
+}
+
+TEST(MetricKindNames, Readable)
+{
+    EXPECT_STREQ(MetricKindName(MetricKind::kCounter), "counter");
+    EXPECT_STREQ(MetricKindName(MetricKind::kGauge), "gauge");
+    EXPECT_STREQ(MetricKindName(MetricKind::kHistogram), "histogram");
+}
+
+}  // namespace
+}  // namespace dynamo::telemetry

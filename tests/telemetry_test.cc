@@ -43,6 +43,29 @@ TEST(TimeSeries, PeakHoursMeanUsesTopFraction)
     EXPECT_NEAR(series.PeakHoursMean(0.25), 200.0, 1.0);
 }
 
+TEST(TimeSeries, PeakHoursMeanEdgeFractions)
+{
+    TimeSeries series;
+    for (int i = 0; i < 75; ++i) series.Add(i, 100.0);
+    for (int i = 75; i < 100; ++i) series.Add(i, 200.0);
+
+    // frac == 0 asks for no samples: mean over nothing is 0, not the
+    // single max sample (the old behaviour).
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(0.0), 0.0);
+    // A tiny positive fraction rounds up to at least one sample.
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(1e-9), 200.0);
+    // Half: all 25 samples at 200 plus the top 25 at 100.
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(0.5), 150.0);
+    // Whole series: identical to the plain mean.
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(1.0), series.MeanValue());
+    // Out-of-range fractions clamp rather than misbehave.
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(-0.5), 0.0);
+    EXPECT_DOUBLE_EQ(series.PeakHoursMean(2.0), series.MeanValue());
+    // Empty series stays 0 for every fraction.
+    TimeSeries empty;
+    EXPECT_DOUBLE_EQ(empty.PeakHoursMean(0.5), 0.0);
+}
+
 TEST(WindowVariations, MaxMinusMinPerWindow)
 {
     TimeSeries series;
@@ -214,6 +237,66 @@ TEST(EventLog, ClearEmptiesLog)
     log.Record(Event{});
     log.Clear();
     EXPECT_TRUE(log.events().empty());
+    EXPECT_EQ(log.total_recorded(), 0u);
+    EXPECT_EQ(log.CountOf(EventKind::kCapStart), 0u);
+}
+
+TEST(EventLog, EpisodeDurationsCloseOpenEpisodeAtEndTime)
+{
+    // Regression: a cap that never uncaps used to vanish from the
+    // duration list entirely.
+    EventLog log;
+    log.Record(Event{100, EventKind::kCapStart, "a", 0, 0, 0, ""});
+    log.Record(Event{500, EventKind::kUncap, "a", 0, 0, 0, ""});
+    log.Record(Event{900, EventKind::kCapStart, "a", 0, 0, 0, ""});
+    // Still capping at end-of-run.
+
+    // Default (no end time): only the closed episode, the historical
+    // behaviour tests elsewhere rely on.
+    EXPECT_EQ(log.EpisodeDurations("a"),
+              (std::vector<SimTime>{400}));
+    // With an end time the open episode is closed out at it.
+    EXPECT_EQ(log.EpisodeDurations("a", 1000),
+              (std::vector<SimTime>{400, 100}));
+    // Episode count and durations agree on episode semantics.
+    EXPECT_EQ(log.CappingEpisodes("a"),
+              log.EpisodeDurations("a", 1000).size());
+}
+
+TEST(EventLog, EpisodesAreTrackedPerSource)
+{
+    EventLog log;
+    log.Record(Event{0, EventKind::kCapStart, "a", 0, 0, 0, ""});
+    log.Record(Event{10, EventKind::kCapStart, "b", 0, 0, 0, ""});
+    // b's uncap must not close a's episode.
+    log.Record(Event{20, EventKind::kUncap, "b", 0, 0, 0, ""});
+    EXPECT_EQ(log.CappingEpisodes("a"), 1u);
+    EXPECT_EQ(log.CappingEpisodes("b"), 1u);
+    EXPECT_EQ(log.CappingEpisodes(), 2u);
+    EXPECT_EQ(log.EpisodeDurations("a", 100),
+              (std::vector<SimTime>{100}));
+    EXPECT_EQ(log.EpisodeDurations("b", 100),
+              (std::vector<SimTime>{10}));
+}
+
+TEST(EventLog, RingEvictsOldestButCountersStayExact)
+{
+    EventLog log(/*capacity=*/4);
+    for (int i = 0; i < 10; ++i) {
+        log.Record(Event{i, EventKind::kCapStart, "a", 0, 0, 0, ""});
+    }
+    log.Record(Event{10, EventKind::kAlarm, "a", 0, 0, 0, ""});
+
+    EXPECT_EQ(log.events().size(), 4u);
+    EXPECT_EQ(log.capacity(), 4u);
+    EXPECT_EQ(log.total_recorded(), 11u);
+    EXPECT_EQ(log.evicted(), 7u);
+    // CountOf is lifetime-exact (and O(1)) even after eviction.
+    EXPECT_EQ(log.CountOf(EventKind::kCapStart), 10u);
+    EXPECT_EQ(log.CountOf(EventKind::kAlarm), 1u);
+    // The retained window is the newest events.
+    EXPECT_EQ(log.events().front().time, 7);
+    EXPECT_EQ(log.events().back().time, 10);
 }
 
 TEST(EventKindNames, AllDistinct)
