@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Record/replay round-trip benchmark and determinism gate.
+ *
+ * Records a chaos campaign over a mid-size fleet (default ~1 k
+ * servers), then replays it twice — once from the journal start and
+ * once restored from a mid-run checkpoint — asserting bit-exact
+ * telemetry on both paths, and reports:
+ *
+ *   - record overhead: wall time with the recorder attached vs. a
+ *     bare run of the same spec + scenario,
+ *   - journal size (bytes, bytes/cycle) and checkpoint sizes,
+ *   - replay wall time from start and from the mid checkpoint.
+ *
+ * Modes:
+ *   bench_replay_roundtrip                    # default 1k-server suite
+ *   bench_replay_roundtrip --servers 192      # smaller fleet
+ *   bench_replay_roundtrip --duration-s 120   # longer recording
+ *   bench_replay_roundtrip --scenario mixed-faults
+ *
+ * Exits non-zero if either replay diverges, so CI can use it as the
+ * determinism acceptance gate.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/campaign.h"
+#include "fleet/fleet.h"
+#include "fleet/spec_parser.h"
+#include "replay/journal.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "replay/scenario.h"
+
+namespace dynamo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+SecondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+fleet::FleetSpec
+SpecForServers(std::size_t servers)
+{
+    // 48 servers per RPP; grow the RPP count to reach the target.
+    fleet::FleetSpec spec;
+    spec.scope = fleet::FleetScope::kSb;
+    spec.servers_per_rpp = 48;
+    spec.topology.rpps_per_sb = (servers + 47) / 48;
+    spec.seed = 20260807;
+    return spec;
+}
+
+struct Options
+{
+    std::size_t servers = 1008;
+    long duration_s = 180;
+    std::string scenario = "mixed-faults";
+    SimTime cycle_period = Seconds(3);
+    std::uint64_t checkpoint_every = 10;
+};
+
+int
+Run(const Options& opt)
+{
+    const fleet::FleetSpec spec = SpecForServers(opt.servers);
+    const std::string spec_text = fleet::SerializeFleetSpec(spec);
+    std::printf("fleet: %zu servers (%zu rpps x %zu), scenario %s, %lds\n",
+                opt.servers, spec.topology.rpps_per_sb, spec.servers_per_rpp,
+                opt.scenario.c_str(), opt.duration_s);
+
+    // Baseline: same spec + scenario, no recorder attached.
+    double bare_s = 0.0;
+    {
+        fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
+        chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
+                                       fleet.event_log());
+        replay::FindScenario(opt.scenario)(fleet, campaign);
+        const auto start = Clock::now();
+        fleet.RunFor(Seconds(opt.duration_s));
+        bare_s = SecondsSince(start);
+    }
+
+    // Recorded run.
+    replay::Journal journal;
+    double record_s = 0.0;
+    {
+        fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
+        chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
+                                       fleet.event_log());
+        replay::FindScenario(opt.scenario)(fleet, campaign);
+        replay::RecorderConfig config;
+        config.cycle_period = opt.cycle_period;
+        config.checkpoint_every = opt.checkpoint_every;
+        config.scenario = opt.scenario;
+        replay::Recorder recorder(fleet, config);
+        campaign.set_fault_observer(
+            [&recorder](SimTime t, const std::string& description) {
+                recorder.RecordFault(t, description);
+            });
+        const auto start = Clock::now();
+        fleet.RunFor(Seconds(opt.duration_s));
+        record_s = SecondsSince(start);
+        journal = recorder.Finish();
+    }
+
+    const std::string encoded = replay::EncodeJournal(journal);
+    std::size_t checkpoint_bytes = 0;
+    for (const auto& cp : journal.checkpoints) {
+        checkpoint_bytes += cp.state.size();
+    }
+    std::printf("record:  %.3fs wall (bare %.3fs, overhead %+.1f%%)\n",
+                record_s, bare_s,
+                bare_s > 0.0 ? 100.0 * (record_s - bare_s) / bare_s : 0.0);
+    std::printf(
+        "journal: %zu bytes total, %zu cycles (%.0f B/cycle), "
+        "%zu checkpoints (%zu B of state), %zu faults\n",
+        encoded.size(), journal.cycles.size(),
+        journal.cycles.empty()
+            ? 0.0
+            : static_cast<double>(encoded.size() - checkpoint_bytes) /
+                  static_cast<double>(journal.cycles.size()),
+        journal.checkpoints.size(), checkpoint_bytes, journal.faults.size());
+
+    replay::Replayer replayer(journal);
+
+    auto start = Clock::now();
+    const replay::ReplayResult from_start = replayer.ReplayFromStart();
+    const double replay_start_s = SecondsSince(start);
+    std::printf("replay from start:      %.3fs, %llu cycles, %s\n",
+                replay_start_s,
+                static_cast<unsigned long long>(from_start.cycles_compared),
+                from_start.ok ? "bit-exact" : "DIVERGED");
+    if (!from_start.ok) {
+        std::printf("%s\n", from_start.detail.c_str());
+        return 1;
+    }
+
+    if (journal.checkpoints.empty()) {
+        std::printf("no checkpoints recorded; skipping mid-run restore\n");
+        return 0;
+    }
+    const std::size_t mid = journal.checkpoints.size() / 2;
+    start = Clock::now();
+    const replay::ReplayResult from_cp = replayer.ReplayFromCheckpoint(mid);
+    const double replay_cp_s = SecondsSince(start);
+    std::printf("replay from checkpoint %zu (cycle %llu): %.3fs, "
+                "state %s, tail %s\n",
+                mid,
+                static_cast<unsigned long long>(
+                    journal.checkpoints[mid].cycle),
+                replay_cp_s,
+                from_cp.checkpoint_verified ? "verified" : "MISMATCH",
+                from_cp.ok ? "bit-exact" : "DIVERGED");
+    if (!from_cp.checkpoint_verified || !from_cp.ok) {
+        std::printf("%s\n", from_cp.detail.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace dynamo
+
+int
+main(int argc, char** argv)
+{
+    dynamo::Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--servers") == 0) {
+            opt.servers = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--duration-s") == 0) {
+            opt.duration_s = std::strtol(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            opt.scenario = next();
+        } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+            opt.checkpoint_every = std::strtoull(next(), nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown arg: %s\n", arg);
+            return 2;
+        }
+    }
+    return dynamo::Run(opt);
+}

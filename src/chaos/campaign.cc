@@ -48,11 +48,12 @@ CampaignEngine::At(SimTime when, std::string description,
 {
     last_action_time_ = std::max(last_action_time_, when);
     tasks_.push_back(sim_.ScheduleAt(
-        when, [this, description = std::move(description),
+        when, [this, when, description = std::move(description),
                action = std::move(action)]() {
             ++faults_applied_;
             Log(description);
             action();
+            if (fault_observer_) fault_observer_(when, description);
         }));
 }
 

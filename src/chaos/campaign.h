@@ -90,6 +90,19 @@ class CampaignEngine
     std::uint64_t faults_applied() const { return faults_applied_; }
 
     /**
+     * Observer invoked as each fault action fires (after it runs),
+     * with the fire time and the fault description. The replay
+     * recorder hooks this to journal the fault stream; chaos itself
+     * never depends on the replay library.
+     */
+    using FaultObserver = std::function<void(SimTime, const std::string&)>;
+
+    void set_fault_observer(FaultObserver observer)
+    {
+        fault_observer_ = std::move(observer);
+    }
+
+    /**
      * Latest scheduled action time — after this the campaign injects
      * nothing further, so invariant checkers can arm their
      * all-caps-released deadline against it.
@@ -104,6 +117,7 @@ class CampaignEngine
     telemetry::EventLog* log_;
     std::uint64_t faults_applied_ = 0;
     SimTime last_action_time_ = 0;
+    FaultObserver fault_observer_;
     std::vector<sim::TaskHandle> tasks_;
 };
 

@@ -47,6 +47,7 @@ InvariantChecker::Violation(const std::string& description)
         violations_.push_back(
             "t=" + std::to_string(fleet_.sim().Now()) + "ms " + description);
     }
+    if (hook_) hook_(description);
 }
 
 bool

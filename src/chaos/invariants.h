@@ -33,6 +33,7 @@
 #define DYNAMO_CHAOS_INVARIANTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,16 @@ class InvariantChecker
      */
     SimTime recovery_time() const { return recovery_time_; }
 
+    /**
+     * Hook invoked on every violation (even past max_recorded), with
+     * the description. The replay recorder uses it to dump a
+     * reproduction journal the moment an invariant fails; chaos never
+     * depends on the replay library.
+     */
+    using ViolationHook = std::function<void(const std::string&)>;
+
+    void set_violation_hook(ViolationHook hook) { hook_ = std::move(hook); }
+
   private:
     void Check();
     void CheckTraces();
@@ -135,6 +146,7 @@ class InvariantChecker
     std::uint64_t spans_checked_ = 0;
     std::uint64_t spans_missed_ = 0;
     bool release_violation_reported_ = false;
+    ViolationHook hook_;
     sim::TaskHandle task_;
 };
 

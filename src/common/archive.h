@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Portable binary archive for snapshots and replay journals.
+ *
+ * The checkpoint/record-replay subsystem needs a serialization layer
+ * with two properties the usual text formats lack:
+ *
+ *   - **bit-exactness**: doubles are stored as their IEEE-754 bit
+ *     pattern, so a value that survives a snapshot→restore→snapshot
+ *     round trip is *identical*, not merely close; and
+ *   - **canonical bytes**: the same logical state always produces the
+ *     same byte sequence (fixed little-endian widths, no padding, no
+ *     pointer-dependent ordering), so state equality can be decided by
+ *     comparing bytes or 64-bit digests.
+ *
+ * `Archive` is the write side: an append-only byte sink that also
+ * maintains a running FNV-1a digest, so callers can either keep the
+ * full bytes (checkpoints, journals) or just the digest (cheap
+ * divergence probes). `ArchiveReader` is the read side; it throws
+ * `std::runtime_error` on truncated input rather than returning
+ * garbage, because a corrupt journal must fail loudly.
+ *
+ * Layer note: this header lives in common/ so every layer (sim, rpc,
+ * power, server, workload, core, fleet, telemetry) can implement a
+ * `Snapshot(Archive&)` visitor without depending on src/replay.
+ */
+#ifndef DYNAMO_COMMON_ARCHIVE_H_
+#define DYNAMO_COMMON_ARCHIVE_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dynamo {
+
+/** FNV-1a 64-bit offset basis / prime (stable across platforms). */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/** FNV-1a over a byte string; used for stable name→seed derivation. */
+constexpr std::uint64_t Fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/**
+ * Order-sensitive 64-bit rolling hash (FNV-1a over u64 words). Used
+ * for per-cycle event/RPC digests where keeping the full stream would
+ * dwarf the journal.
+ */
+class HashAccumulator
+{
+  public:
+    void Mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xffu;
+            h_ *= kFnvPrime;
+        }
+    }
+
+    std::uint64_t value() const { return h_; }
+
+    void Reset() { h_ = kFnvOffset; }
+
+  private:
+    std::uint64_t h_ = kFnvOffset;
+};
+
+/** Append-only little-endian byte sink with a running FNV-1a digest. */
+class Archive
+{
+  public:
+    void U8(std::uint8_t v) { Put(&v, 1); }
+
+    void U32(std::uint32_t v)
+    {
+        std::uint8_t b[4];
+        for (int i = 0; i < 4; ++i) b[i] = (v >> (8 * i)) & 0xffu;
+        Put(b, sizeof b);
+    }
+
+    void U64(std::uint64_t v)
+    {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i) b[i] = (v >> (8 * i)) & 0xffu;
+        Put(b, sizeof b);
+    }
+
+    void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+
+    void Bool(bool v) { U8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern; bit-exact round trip by construction. */
+    void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Length-prefixed byte string. */
+    void Str(std::string_view s)
+    {
+        U64(s.size());
+        Put(s.data(), s.size());
+    }
+
+    const std::string& bytes() const { return bytes_; }
+
+    /** Digest of everything appended so far. */
+    std::uint64_t digest() const { return digest_; }
+
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    void Put(const void* data, std::size_t n)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        bytes_.append(reinterpret_cast<const char*>(p), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            digest_ ^= p[i];
+            digest_ *= kFnvPrime;
+        }
+    }
+
+    std::string bytes_;
+    std::uint64_t digest_ = kFnvOffset;
+};
+
+/** Reader over Archive bytes; throws std::runtime_error on truncation. */
+class ArchiveReader
+{
+  public:
+    explicit ArchiveReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t U8()
+    {
+        Need(1);
+        return static_cast<std::uint8_t>(bytes_[pos_++]);
+    }
+
+    std::uint32_t U32()
+    {
+        Need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= std::uint32_t{static_cast<std::uint8_t>(bytes_[pos_ + i])}
+                 << (8 * i);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t U64()
+    {
+        Need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= std::uint64_t{static_cast<std::uint8_t>(bytes_[pos_ + i])}
+                 << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+    bool Bool() { return U8() != 0; }
+
+    double F64() { return std::bit_cast<double>(U64()); }
+
+    std::string Str()
+    {
+        const std::uint64_t n = U64();
+        Need(n);
+        std::string s(bytes_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    bool AtEnd() const { return pos_ == bytes_.size(); }
+
+    std::size_t pos() const { return pos_; }
+
+  private:
+    void Need(std::uint64_t n) const
+    {
+        if (pos_ + n > bytes_.size()) {
+            throw std::runtime_error("archive truncated: need " +
+                                     std::to_string(n) + " bytes at offset " +
+                                     std::to_string(pos_));
+        }
+    }
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_ARCHIVE_H_

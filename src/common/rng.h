@@ -11,8 +11,10 @@
 #ifndef DYNAMO_COMMON_RNG_H_
 #define DYNAMO_COMMON_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace dynamo {
 
@@ -48,9 +50,30 @@ class Rng
         return Rng(mix);
     }
 
+    /**
+     * Named substream: a stream fully determined by (root seed, name),
+     * independent of how many draws or Splits happened elsewhere.
+     * Every stochastic component is seeded through here (or through a
+     * value transitively derived from here), so a run's seed alone
+     * pins every random draw — the determinism contract the replay
+     * subsystem relies on. The name hash is FNV-1a, which is stable
+     * across platforms and standard libraries (unlike std::hash).
+     */
+    static Rng ForStream(std::uint64_t root_seed, std::string_view name)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const char c : name) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ULL;
+        }
+        std::uint64_t mix = root_seed;
+        return Rng(h ^ SplitMix64(mix));
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t NextU64()
     {
+        ++draws_;
         const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
         const std::uint64_t t = state_[1] << 17;
         state_[2] ^= state_[0];
@@ -102,6 +125,25 @@ class Rng
         return scale / std::pow(u, 1.0 / shape);
     }
 
+    /**
+     * Raw generator state, exposed for snapshotting. Together with
+     * draws() this fully describes the stream's position, so replay
+     * checkpoints can prove two runs consumed randomness identically.
+     */
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a snapshotted state (draw counter restored separately). */
+    void set_state(const std::array<std::uint64_t, 4>& s)
+    {
+        for (int i = 0; i < 4; ++i) state_[i] = s[i];
+    }
+
+    /** Values drawn from this stream since construction. */
+    std::uint64_t draws() const { return draws_; }
+
   private:
     static constexpr std::uint64_t Rotl(std::uint64_t x, int k)
     {
@@ -109,6 +151,7 @@ class Rng
     }
 
     std::uint64_t state_[4];
+    std::uint64_t draws_ = 0;
 };
 
 }  // namespace dynamo

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/archive.h"
 #include "core/messages.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
@@ -71,6 +72,17 @@ class DynamoAgent
      * nullptr to detach.
      */
     void AttachMetrics(telemetry::MetricsRegistry* registry);
+
+    /** Serialize liveness and served-command counters (canonical). */
+    void Snapshot(Archive& ar) const
+    {
+        ar.Str(endpoint_);
+        ar.Bool(alive_);
+        ar.U64(reads_served_);
+        ar.U64(caps_applied_);
+        ar.U64(uncaps_applied_);
+        ar.U64(tunes_applied_);
+    }
 
   private:
     rpc::Payload Handle(const rpc::Payload& request);

@@ -29,7 +29,10 @@ Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
       endpoint_id_(transport.Resolve(endpoint_)),
       physical_limit_(physical_limit),
       quota_(quota),
-      retry_rng_(std::hash<std::string>{}(endpoint_) ^ 0x9e3779b97f4a7c15ULL)
+      // FNV-1a rather than std::hash: the retry-jitter stream must be
+      // identical across standard libraries for replay journals to be
+      // portable between builds.
+      retry_rng_(Fnv1a64(endpoint_) ^ 0x9e3779b97f4a7c15ULL)
 {
     if (config_.rpc_timeout <= 0 || config_.rpc_timeout >= config_.response_wait) {
         throw std::invalid_argument(
@@ -234,6 +237,35 @@ Controller::GetStatus() const
     status.frozen_releases = frozen_releases_;
     status.controlled = ControlledCount();
     return status;
+}
+
+void
+Controller::Snapshot(Archive& ar) const
+{
+    ar.Str(endpoint_);
+    ar.Bool(active_);
+    ar.F64(physical_limit_);
+    ar.F64(quota_);
+    ar.Bool(contractual_limit_.has_value());
+    ar.F64(contractual_limit_.value_or(0.0));
+    ar.Bool(bands_.capping());
+    ar.F64(last_power_);
+    ar.Bool(last_valid_);
+    ar.U64(aggregations_);
+    ar.U64(invalid_aggregations_);
+    ar.U64(frozen_releases_);
+    ar.U64(cycle_id_);
+    // Degraded-mode FSM.
+    ar.U8(static_cast<std::uint8_t>(health_));
+    ar.I64(consecutive_invalid_);
+    ar.I64(consecutive_healthy_);
+    ar.U64(degraded_entries_);
+    ar.U64(unhealthy_cycles_);
+    ar.U64(retries_issued_);
+    // Contract provenance + retry-jitter stream position.
+    ar.U64(contract_span_);
+    for (const std::uint64_t w : retry_rng_.state()) ar.U64(w);
+    ar.U64(retry_rng_.draws());
 }
 
 std::string

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "common/archive.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/messages.h"
@@ -289,6 +290,18 @@ class Controller
      * limit (kNoSpan when none); child decision spans link to it.
      */
     telemetry::SpanId contract_span() const { return contract_span_; }
+
+    /**
+     * Serialize the controller's full decision state in canonical
+     * binary form: endpoint, activation, contractual limit, band
+     * (capping) state, the degraded-mode FSM (health, hysteresis
+     * counters, entry/freeze tallies), aggregation counters, and the
+     * retry-jitter RNG position. Subclasses extend this with their
+     * caches (leaf: per-agent last-known-good readings and issued
+     * caps; upper: per-child contract state). Used by replay
+     * checkpoints; must not mutate state or the simulation.
+     */
+    virtual void Snapshot(Archive& ar) const;
 
   protected:
     /** Subclass contribution to Status::controlled. */

@@ -219,6 +219,22 @@ Deployment::FindUpper(const std::string& endpoint)
     return it == upper_by_endpoint_.end() ? nullptr : it->second;
 }
 
+void
+Deployment::Snapshot(Archive& ar) const
+{
+    ar.U64(agents_.size());
+    for (const auto& a : agents_) a->Snapshot(ar);
+    ar.U64(leaves_.size());
+    for (const auto& c : leaves_) c->Snapshot(ar);
+    ar.U64(uppers_.size());
+    for (const auto& c : uppers_) c->Snapshot(ar);
+    ar.U64(leaf_backups_.size());
+    for (const auto& c : leaf_backups_) c->Snapshot(ar);
+    ar.U64(upper_backups_.size());
+    for (const auto& c : upper_backups_) c->Snapshot(ar);
+    traces_.Snapshot(ar);
+}
+
 std::unique_ptr<Deployment>
 BuildDeployment(sim::Simulation& sim, rpc::SimTransport& transport,
                 power::PowerDevice& root, const DeploymentConfig& config)

@@ -152,6 +152,14 @@ class Deployment
         return "ctl:" + device_name;
     }
 
+    /**
+     * Serialize the whole control plane: every agent, leaf and upper
+     * controller (including standbys), and the decision-trace ring.
+     * Wall-clock metrics (cycle-duration histograms) are deliberately
+     * excluded — they are nondeterministic across runs.
+     */
+    void Snapshot(Archive& ar) const;
+
   private:
     friend class DeploymentBuilder;
 

@@ -370,4 +370,32 @@ LeafController::ExecuteUncap()
     }
 }
 
+void
+LeafController::Snapshot(Archive& ar) const
+{
+    Controller::Snapshot(ar);
+    ar.U64(estimated_readings_);
+    ar.U64(cache_hits_);
+    ar.U64(caps_adopted_);
+    ar.U64(last_failure_count_);
+    ar.F64(last_noncappable_);
+    ar.Bool(shedding_);
+    ar.F64(shed_fraction_);
+    ar.U64(sheds_requested_);
+    ar.U64(tunes_sent_);
+    ar.U64(validation_alarms_);
+    ar.F64(last_mismatch_);
+    // Per-agent cache: the last-known-good readings (TTL-patched on
+    // pull failure) and the caps this instance believes are in force.
+    ar.U64(agents_.size());
+    for (const AgentState& a : agents_) {
+        ar.Str(a.info.endpoint);
+        ar.F64(a.last_power);
+        ar.Bool(a.have_last);
+        ar.I64(a.last_time);
+        ar.Bool(a.capped);
+        ar.F64(a.cap);
+    }
+}
+
 }  // namespace dynamo::core

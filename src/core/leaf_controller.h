@@ -155,6 +155,9 @@ class LeafController : public Controller
 
     const Config& config() const { return leaf_config_; }
 
+    /** Base state plus the per-agent reading cache and issued caps. */
+    void Snapshot(Archive& ar) const override;
+
   protected:
     void RunCycle() override;
 

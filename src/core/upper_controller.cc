@@ -292,4 +292,27 @@ UpperController::ClearContracts()
     }
 }
 
+void
+UpperController::Snapshot(Archive& ar) const
+{
+    Controller::Snapshot(ar);
+    ar.U64(contracts_reaffirmed_);
+    ar.U64(last_failure_count_);
+    // Per-child contract cache: standing limits, the decision spans
+    // that set them, and the last-known-good child readings.
+    ar.U64(children_.size());
+    for (const ChildState& c : children_) {
+        ar.Str(c.endpoint);
+        ar.Bool(c.contracted);
+        ar.F64(c.limit);
+        ar.U64(c.span);
+        ar.Bool(c.have_last);
+        ar.I64(c.last_time);
+        ar.F64(c.last.power);
+        ar.Bool(c.last.valid);
+        ar.F64(c.last.quota);
+        ar.F64(c.last.floor);
+    }
+}
+
 }  // namespace dynamo::core

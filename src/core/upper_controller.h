@@ -61,6 +61,9 @@ class UpperController : public Controller
 
     const Config& config() const { return upper_config_; }
 
+    /** Base state plus the per-child contract cache. */
+    void Snapshot(Archive& ar) const override;
+
   protected:
     void RunCycle() override;
 

@@ -212,4 +212,26 @@ Fleet::ServersOf(workload::ServiceType service)
     return result;
 }
 
+void
+Fleet::Snapshot(Archive& ar) const
+{
+    sim_.Snapshot(ar);
+    transport_.Snapshot(ar);
+    ar.F64(balancer_.factor());
+    // Pre-order device walk: construction order is deterministic, so
+    // the visit order (and hence the byte stream) is too.
+    std::uint64_t device_count = 0;
+    root_->ForEach([&](power::PowerDevice&) { ++device_count; });
+    ar.U64(device_count);
+    root_->ForEach([&](power::PowerDevice& dev) {
+        ar.Str(dev.name());
+        ar.F64(dev.quota());
+        dev.breaker().Snapshot(ar);
+    });
+    ar.U64(monitor_ ? monitor_->trip_count() : 0);
+    ar.U64(servers_.size());
+    for (const auto& s : servers_) s->Snapshot(ar);
+    if (deployment_) deployment_->Snapshot(ar);
+}
+
 }  // namespace dynamo::fleet

@@ -228,6 +228,17 @@ class Fleet
     /** Advance the simulation. */
     void RunFor(SimTime duration) { sim_.RunFor(duration); }
 
+    /**
+     * Serialize the complete fleet state into `ar`: the simulation
+     * kernel counters, transport/failure-injector RNG position, every
+     * breaker's thermal state (deterministic pre-order device walk),
+     * every server (workload position, RAPL, work accounting, RNG),
+     * the global balancer factor, and the full control plane. The
+     * resulting byte string — and its FNV digest — is bit-exact across
+     * runs of the same seed, which is what replay checkpoints compare.
+     */
+    void Snapshot(Archive& ar) const;
+
   private:
     void BuildServersFor(power::PowerDevice& rpp, Rng& rng, std::size_t* counter);
 

@@ -1,6 +1,8 @@
 #include "fleet/spec_parser.h"
 
+#include <cstdio>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,6 +36,20 @@ ParseDouble(const std::string& value, std::size_t line_no,
     } catch (const std::exception&) {
     }
     Fail(line_no, line, "expected a number");
+}
+
+std::uint64_t
+ParseU64(const std::string& value, std::size_t line_no, const std::string& line)
+{
+    // Parsed as an integer, not via ParseDouble: seeds above 2^53
+    // would silently lose low bits in a double round trip.
+    try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used);
+        if (Strip(value.substr(used)).empty()) return parsed;
+    } catch (const std::exception&) {
+    }
+    Fail(line_no, line, "expected an unsigned integer");
 }
 
 bool
@@ -122,6 +138,12 @@ ParseFleetSpec(std::istream& in)
             spec.topology.sb_rated = ParseDouble(value, line_no, line) * 1000.0;
         } else if (key == "msb_rated_kw") {
             spec.topology.msb_rated = ParseDouble(value, line_no, line) * 1000.0;
+        } else if (key == "rpp_rated_w") {
+            spec.topology.rpp_rated = ParseDouble(value, line_no, line);
+        } else if (key == "sb_rated_w") {
+            spec.topology.sb_rated = ParseDouble(value, line_no, line);
+        } else if (key == "msb_rated_w") {
+            spec.topology.msb_rated = ParseDouble(value, line_no, line);
         } else if (key == "quota_fill") {
             spec.topology.quota_fill = ParseDouble(value, line_no, line);
         } else if (key == "mix") {
@@ -137,8 +159,7 @@ ParseFleetSpec(std::istream& in)
         } else if (key == "diurnal_amplitude") {
             spec.diurnal_amplitude = ParseDouble(value, line_no, line);
         } else if (key == "seed") {
-            spec.seed =
-                static_cast<std::uint64_t>(ParseDouble(value, line_no, line));
+            spec.seed = ParseU64(value, line_no, line);
         } else if (key == "with_dynamo") {
             spec.with_dynamo = ParseBool(value, line_no, line);
         } else if (key == "with_breaker_validation") {
@@ -211,6 +232,98 @@ LoadFleetSpec(const std::string& path)
     std::ifstream in(path);
     if (!in) throw std::runtime_error("cannot open fleet spec: " + path);
     return ParseFleetSpec(in);
+}
+
+namespace {
+
+/** 17-significant-digit form: round-trips any double bit-exactly. */
+std::string
+CanonicalDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+MixToString(const ServiceMix& mix)
+{
+    std::string out;
+    for (const auto& share : mix.shares) {
+        if (!out.empty()) out += ",";
+        out += workload::ServiceName(share.service);
+        out += ":";
+        out += CanonicalDouble(share.weight);
+    }
+    return out;
+}
+
+const char*
+PolicyName(core::AllocationPolicy policy)
+{
+    switch (policy) {
+      case core::AllocationPolicy::kHighBucketFirst: return "high-bucket-first";
+      case core::AllocationPolicy::kProportional: return "proportional";
+      case core::AllocationPolicy::kWaterFill: return "water-fill";
+    }
+    return "high-bucket-first";
+}
+
+}  // namespace
+
+void
+WriteFleetSpec(std::ostream& out, const FleetSpec& spec)
+{
+    const auto kv = [&out](const char* key, const std::string& value) {
+        out << key << " = " << value << "\n";
+    };
+    const char* scope = spec.scope == FleetScope::kRpp   ? "rpp"
+                        : spec.scope == FleetScope::kSb ? "sb"
+                                                        : "msb";
+    kv("scope", scope);
+    kv("servers_per_rpp", std::to_string(spec.servers_per_rpp));
+    kv("rpps_per_sb", std::to_string(spec.topology.rpps_per_sb));
+    kv("sbs_per_msb", std::to_string(spec.topology.sbs_per_msb));
+    // Watt-denominated keys: the kw forms multiply by 1000 on parse,
+    // which is not an exact inverse of dividing here.
+    kv("rpp_rated_w", CanonicalDouble(spec.topology.rpp_rated));
+    kv("sb_rated_w", CanonicalDouble(spec.topology.sb_rated));
+    kv("msb_rated_w", CanonicalDouble(spec.topology.msb_rated));
+    kv("quota_fill", CanonicalDouble(spec.topology.quota_fill));
+    kv("mix", MixToString(spec.mix));
+    kv("haswell_fraction", CanonicalDouble(spec.haswell_fraction));
+    kv("sensorless_fraction", CanonicalDouble(spec.sensorless_fraction));
+    kv("turbo", spec.turbo_enabled ? "true" : "false");
+    kv("tor_switch_power_w", CanonicalDouble(spec.tor_switch_power));
+    kv("diurnal_amplitude", CanonicalDouble(spec.diurnal_amplitude));
+    kv("seed", std::to_string(spec.seed));
+    kv("with_dynamo", spec.with_dynamo ? "true" : "false");
+    kv("with_breaker_validation",
+       spec.with_breaker_validation ? "true" : "false");
+    kv("with_load_shedding", spec.with_load_shedding ? "true" : "false");
+    kv("allocation_policy", PolicyName(spec.deployment.leaf.allocation_policy));
+    kv("leaf_pull_cycle_ms",
+       std::to_string(spec.deployment.leaf.base.pull_cycle));
+    kv("upper_pull_cycle_ms",
+       std::to_string(spec.deployment.upper.base.pull_cycle));
+    kv("bucket_w", CanonicalDouble(spec.deployment.leaf.bucket_size));
+    kv("cap_threshold",
+       CanonicalDouble(spec.deployment.leaf.base.bands.cap_threshold_frac));
+    kv("cap_target",
+       CanonicalDouble(spec.deployment.leaf.base.bands.cap_target_frac));
+    kv("uncap_threshold",
+       CanonicalDouble(spec.deployment.leaf.base.bands.uncap_threshold_frac));
+    kv("dry_run", spec.deployment.leaf.base.dry_run ? "true" : "false");
+    kv("with_backup_controllers",
+       spec.deployment.with_backup_controllers ? "true" : "false");
+}
+
+std::string
+SerializeFleetSpec(const FleetSpec& spec)
+{
+    std::ostringstream out;
+    WriteFleetSpec(out, spec);
+    return out.str();
 }
 
 }  // namespace dynamo::fleet

@@ -42,6 +42,18 @@ FleetSpec LoadFleetSpec(const std::string& path);
 /** Parse a service mix ("web:200,cache:200" or "datacenter"/"frontend"). */
 ServiceMix ParseServiceMix(const std::string& text);
 
+/**
+ * Canonical text form of a spec: fixed key order, doubles at 17
+ * significant digits, ratings in watt-denominated keys (`rpp_rated_w`)
+ * so no unit conversion rounds. Serialize→parse→serialize is
+ * byte-identical — replay journals embed this form so a recorded run
+ * rebuilds the exact same fleet.
+ */
+std::string SerializeFleetSpec(const FleetSpec& spec);
+
+/** SerializeFleetSpec to a stream. */
+void WriteFleetSpec(std::ostream& out, const FleetSpec& spec);
+
 }  // namespace dynamo::fleet
 
 #endif  // DYNAMO_FLEET_SPEC_PARSER_H_

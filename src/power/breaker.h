@@ -25,6 +25,7 @@
 #include <limits>
 #include <string>
 
+#include "common/archive.h"
 #include "common/units.h"
 
 namespace dynamo::power {
@@ -95,6 +96,15 @@ class BreakerModel
     void set_clock(SimTime now) { clock_ = now; }
 
     SimTime clock() const { return clock_; }
+
+    /** Serialize thermal state (stress integral, trip latch, clock). */
+    void Snapshot(Archive& ar) const
+    {
+        ar.F64(stress_);
+        ar.Bool(tripped_);
+        ar.I64(trip_time_);
+        ar.I64(clock_);
+    }
 
   private:
     Watts rated_;

@@ -1,0 +1,132 @@
+#include "replay/bisect.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "replay/replayer.h"
+
+namespace dynamo::replay {
+
+BisectReport
+BisectDivergence(const Journal& recorded, const Journal& replayed)
+{
+    if (recorded.cycle_period != replayed.cycle_period ||
+        recorded.checkpoint_every != replayed.checkpoint_every) {
+        throw std::invalid_argument(
+            "bisect: journals use different recording cadences");
+    }
+
+    BisectReport report;
+
+    // Binary search the common checkpoints for the first digest
+    // mismatch. State divergence is persistent, so the predicate
+    // "checkpoint i differs" is monotone in i.
+    const std::size_t common_cps =
+        std::min(recorded.checkpoints.size(), replayed.checkpoints.size());
+    std::size_t lo = 0;          // First index possibly divergent.
+    std::size_t hi = common_cps; // First index known divergent (or end).
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        ++report.checkpoint_probes;
+        const bool differs = recorded.checkpoints[mid].digest !=
+                                 replayed.checkpoints[mid].digest ||
+                             recorded.checkpoints[mid].cycle !=
+                                 replayed.checkpoints[mid].cycle;
+        if (differs) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if (lo > 0) {
+        report.last_good_checkpoint_cycle =
+            static_cast<std::int64_t>(recorded.checkpoints[lo - 1].cycle);
+    }
+    if (lo < common_cps) {
+        report.first_bad_checkpoint_cycle =
+            static_cast<std::int64_t>(recorded.checkpoints[lo].cycle);
+    }
+
+    // Scan only the bracketed windows. The first divergent window is
+    // strictly after the last good checkpoint and at or before the
+    // first bad one (when there is one).
+    const std::uint64_t scan_begin =
+        report.last_good_checkpoint_cycle < 0
+            ? 0
+            : static_cast<std::uint64_t>(report.last_good_checkpoint_cycle) + 1;
+    const std::uint64_t common_cycles = std::min(recorded.cycles.size(),
+                                                 replayed.cycles.size());
+    const std::uint64_t scan_end =
+        report.first_bad_checkpoint_cycle < 0
+            ? common_cycles
+            : std::min<std::uint64_t>(
+                  common_cycles,
+                  static_cast<std::uint64_t>(
+                      report.first_bad_checkpoint_cycle) +
+                      1);
+
+    for (std::uint64_t c = scan_begin; c < scan_end; ++c) {
+        ++report.cycles_scanned;
+        std::string why;
+        if (!CyclesEqual(recorded.cycles[c], replayed.cycles[c], &why)) {
+            report.diverged = true;
+            report.first_divergent_cycle = c;
+            report.diff = why;
+            return report;
+        }
+    }
+
+    // A checkpoint differed but every bracketed window record agreed:
+    // the divergence is in state the windows do not sample (possible
+    // but unusual). Surface the checkpoint itself.
+    if (report.first_bad_checkpoint_cycle >= 0) {
+        report.diverged = true;
+        report.first_divergent_cycle =
+            static_cast<std::uint64_t>(report.first_bad_checkpoint_cycle);
+        report.diff =
+            "checkpoint state digests differ at cycle " +
+            std::to_string(report.first_bad_checkpoint_cycle) +
+            " but no window record in the bracket differs";
+        return report;
+    }
+    if (recorded.cycles.size() != replayed.cycles.size()) {
+        report.diverged = true;
+        report.first_divergent_cycle = common_cycles;
+        report.diff = "journal lengths differ: " +
+                      std::to_string(recorded.cycles.size()) + " vs " +
+                      std::to_string(replayed.cycles.size()) + " windows";
+    }
+    return report;
+}
+
+std::string
+FormatBisectReport(const BisectReport& report)
+{
+    std::ostringstream out;
+    if (!report.diverged) {
+        out << "journals are equivalent (" << report.checkpoint_probes
+            << " checkpoint probes, " << report.cycles_scanned
+            << " windows scanned)\n";
+        return out.str();
+    }
+    out << "first divergent cycle: " << report.first_divergent_cycle << "\n";
+    if (report.last_good_checkpoint_cycle >= 0) {
+        out << "last bit-identical checkpoint: cycle "
+            << report.last_good_checkpoint_cycle << "\n";
+    } else {
+        out << "no checkpoint precedes the divergence\n";
+    }
+    if (report.first_bad_checkpoint_cycle >= 0) {
+        out << "first divergent checkpoint: cycle "
+            << report.first_bad_checkpoint_cycle << "\n";
+    }
+    out << "search cost: " << report.checkpoint_probes
+        << " checkpoint probes + " << report.cycles_scanned
+        << " window comparisons\n";
+    out << "difference:\n" << report.diff;
+    if (!report.diff.empty() && report.diff.back() != '\n') out << "\n";
+    return out.str();
+}
+
+}  // namespace dynamo::replay

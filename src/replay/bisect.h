@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Divergence bisection between two journals of "the same" run.
+ *
+ * When a replay diverges from a recording (typically: the binary
+ * changed — a policy tweak, a refactor that reordered RNG draws), the
+ * interesting question is *where it first went wrong*. Scanning every
+ * window's spans is linear in run length; checkpoints make it
+ * logarithmic: checkpoint digests are compared by binary search to
+ * bracket the first divergent state (divergence is persistent — once
+ * the state differs, every later checkpoint differs), then only the
+ * windows inside the bracket are compared record-by-record to find the
+ * first divergent window, and the first differing span is diffed
+ * field-by-field.
+ */
+#ifndef DYNAMO_REPLAY_BISECT_H_
+#define DYNAMO_REPLAY_BISECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "replay/journal.h"
+
+namespace dynamo::replay {
+
+/** Where two journals first disagree. */
+struct BisectReport
+{
+    /** False when the journals are equivalent end-to-end. */
+    bool diverged = false;
+
+    /** First window whose records differ (valid when diverged). */
+    std::uint64_t first_divergent_cycle = 0;
+
+    /** Cycle of the last checkpoint whose state digests match; -1 if
+     * the very first checkpoint already differs. */
+    std::int64_t last_good_checkpoint_cycle = -1;
+
+    /** Cycle of the first checkpoint whose digests differ; -1 when
+     * every common checkpoint matches (divergence is after the last
+     * one, or in a window between matching checkpoints). */
+    std::int64_t first_bad_checkpoint_cycle = -1;
+
+    /** Checkpoint digest comparisons the binary search spent. */
+    std::size_t checkpoint_probes = 0;
+
+    /** Windows compared record-by-record inside the bracket. */
+    std::size_t cycles_scanned = 0;
+
+    /** What differed at the divergent window (hash kind, span diff). */
+    std::string diff;
+};
+
+/**
+ * Locate the first divergence between `recorded` and `replayed`.
+ * Both must come from the same cadence (cycle_period,
+ * checkpoint_every); throws std::invalid_argument otherwise.
+ */
+BisectReport BisectDivergence(const Journal& recorded,
+                              const Journal& replayed);
+
+/** Multi-line human-readable rendering of a report. */
+std::string FormatBisectReport(const BisectReport& report);
+
+}  // namespace dynamo::replay
+
+#endif  // DYNAMO_REPLAY_BISECT_H_

@@ -1,0 +1,185 @@
+#include "replay/journal.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/archive.h"
+
+namespace dynamo::replay {
+namespace {
+
+void
+EncodeCycle(Archive& ar, const CycleRecord& rec)
+{
+    ar.U8(static_cast<std::uint8_t>(RecordType::kCycle));
+    ar.U64(rec.cycle);
+    ar.I64(rec.time);
+    ar.U64(rec.rpc_hash);
+    ar.U64(rec.kernel_hash);
+    ar.U64(rec.spans_missed);
+    ar.U64(rec.spans.size());
+    for (const auto& span : rec.spans) telemetry::WriteSpan(ar, span);
+}
+
+CycleRecord
+DecodeCycle(ArchiveReader& ar)
+{
+    CycleRecord rec;
+    rec.cycle = ar.U64();
+    rec.time = ar.I64();
+    rec.rpc_hash = ar.U64();
+    rec.kernel_hash = ar.U64();
+    rec.spans_missed = ar.U64();
+    const std::uint64_t n = ar.U64();
+    rec.spans.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        rec.spans.push_back(telemetry::ReadSpan(ar));
+    }
+    return rec;
+}
+
+void
+EncodeCheckpoint(Archive& ar, const CheckpointRecord& rec)
+{
+    ar.U8(static_cast<std::uint8_t>(RecordType::kCheckpoint));
+    ar.U64(rec.cycle);
+    ar.I64(rec.time);
+    ar.U64(rec.digest);
+    ar.Str(rec.state);
+}
+
+CheckpointRecord
+DecodeCheckpoint(ArchiveReader& ar)
+{
+    CheckpointRecord rec;
+    rec.cycle = ar.U64();
+    rec.time = ar.I64();
+    rec.digest = ar.U64();
+    rec.state = ar.Str();
+    return rec;
+}
+
+}  // namespace
+
+const CheckpointRecord*
+Journal::CheckpointAtCycle(std::uint64_t cycle) const
+{
+    for (const auto& cp : checkpoints) {
+        if (cp.cycle == cycle) return &cp;
+    }
+    return nullptr;
+}
+
+std::string
+EncodeJournal(const Journal& journal)
+{
+    Archive ar;
+    for (const char c : kJournalMagic) ar.U8(static_cast<std::uint8_t>(c));
+    ar.U32(journal.version);
+    ar.Str(journal.spec_text);
+    ar.Str(journal.scenario);
+    ar.I64(journal.cycle_period);
+    ar.U64(journal.checkpoint_every);
+    ar.Bool(journal.invariants_checked);
+
+    // Records interleave in run order: cycles ascending, each
+    // checkpoint immediately after its cycle record, faults by time.
+    std::size_t cp = 0;
+    std::size_t fault = 0;
+    for (const auto& cycle : journal.cycles) {
+        while (fault < journal.faults.size() &&
+               journal.faults[fault].time <= cycle.time) {
+            const auto& f = journal.faults[fault++];
+            ar.U8(static_cast<std::uint8_t>(RecordType::kFault));
+            ar.I64(f.time);
+            ar.Str(f.description);
+        }
+        EncodeCycle(ar, cycle);
+        while (cp < journal.checkpoints.size() &&
+               journal.checkpoints[cp].cycle <= cycle.cycle) {
+            EncodeCheckpoint(ar, journal.checkpoints[cp++]);
+        }
+    }
+    while (fault < journal.faults.size()) {
+        const auto& f = journal.faults[fault++];
+        ar.U8(static_cast<std::uint8_t>(RecordType::kFault));
+        ar.I64(f.time);
+        ar.Str(f.description);
+    }
+    while (cp < journal.checkpoints.size()) {
+        EncodeCheckpoint(ar, journal.checkpoints[cp++]);
+    }
+    ar.U8(static_cast<std::uint8_t>(RecordType::kEnd));
+    return ar.bytes();
+}
+
+Journal
+DecodeJournal(std::string_view bytes)
+{
+    ArchiveReader ar(bytes);
+    for (const char c : kJournalMagic) {
+        if (ar.U8() != static_cast<std::uint8_t>(c)) {
+            throw std::runtime_error("replay journal: bad magic");
+        }
+    }
+    Journal journal;
+    journal.version = ar.U32();
+    if (journal.version != kJournalVersion) {
+        throw std::runtime_error("replay journal: unsupported version " +
+                                 std::to_string(journal.version));
+    }
+    journal.spec_text = ar.Str();
+    journal.scenario = ar.Str();
+    journal.cycle_period = ar.I64();
+    journal.checkpoint_every = ar.U64();
+    journal.invariants_checked = ar.Bool();
+
+    bool ended = false;
+    while (!ended) {
+        const auto type = static_cast<RecordType>(ar.U8());
+        switch (type) {
+          case RecordType::kCycle:
+            journal.cycles.push_back(DecodeCycle(ar));
+            break;
+          case RecordType::kCheckpoint:
+            journal.checkpoints.push_back(DecodeCheckpoint(ar));
+            break;
+          case RecordType::kFault: {
+            FaultRecord f;
+            f.time = ar.I64();
+            f.description = ar.Str();
+            journal.faults.push_back(std::move(f));
+            break;
+          }
+          case RecordType::kEnd:
+            ended = true;
+            break;
+          default:
+            throw std::runtime_error("replay journal: unknown record type");
+        }
+    }
+    return journal;
+}
+
+void
+WriteJournalFile(const std::string& path, const Journal& journal)
+{
+    const std::string bytes = EncodeJournal(journal);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open journal for write: " + path);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("journal write failed: " + path);
+}
+
+Journal
+ReadJournalFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open journal: " + path);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return DecodeJournal(bytes);
+}
+
+}  // namespace dynamo::replay

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The replay journal: a compact binary record of one simulated run.
+ *
+ * A journal captures everything needed to (a) re-verify a run
+ * cycle-by-cycle and (b) restore any mid-run checkpoint:
+ *
+ *   - a header embedding the canonical fleet-spec text (so the exact
+ *     fleet rebuilds from the journal alone) plus the recording
+ *     cadence and the scenario label;
+ *   - one kCycle record per recording window: rolling FNV hashes of
+ *     the RPC stream (endpoint, fate, time of every transport call)
+ *     and of the kernel event stream ((time, seq) of every executed
+ *     event), both reset at each window boundary so any tail of the
+ *     journal can be compared independently, plus the decision
+ *     TraceSpans appended during the window in canonical binary form;
+ *   - periodic kCheckpoint records carrying the full fleet state
+ *     (Fleet::Snapshot bytes) and its digest;
+ *   - kFault records for every chaos action that fired.
+ *
+ * Controllers, servers, and the kernel hold closures, so a checkpoint
+ * is not deserialized directly; the replayer rebuilds the fleet from
+ * the embedded spec, re-executes to the checkpoint cycle, and asserts
+ * the rebuilt state's bytes equal the stored ones bit-exactly. The
+ * checkpoint is the verification anchor that makes "restore" honest.
+ */
+#ifndef DYNAMO_REPLAY_JOURNAL_H_
+#define DYNAMO_REPLAY_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "telemetry/trace.h"
+
+namespace dynamo::replay {
+
+/** File magic; bump the trailing digit on format changes. */
+inline constexpr char kJournalMagic[8] = {'D', 'Y', 'N', 'J',
+                                          'R', 'N', 'L', '1'};
+
+/** Journal format version written into the header. */
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/** Record tags. */
+enum class RecordType : std::uint8_t {
+    kCycle = 1,
+    kCheckpoint = 2,
+    kFault = 3,
+    kEnd = 4,
+};
+
+/** One recording window: hashes + the spans the window produced. */
+struct CycleRecord
+{
+    std::uint64_t cycle = 0;          ///< Window index, from 0.
+    SimTime time = 0;                 ///< Sim time at window close.
+    std::uint64_t rpc_hash = 0;       ///< FNV over this window's RPC stream.
+    std::uint64_t kernel_hash = 0;    ///< FNV over this window's events.
+    std::uint64_t spans_missed = 0;   ///< Spans evicted before collection.
+    std::vector<telemetry::TraceSpan> spans;
+};
+
+/** Full fleet state at a window boundary. */
+struct CheckpointRecord
+{
+    std::uint64_t cycle = 0;  ///< Window index the state was taken at.
+    SimTime time = 0;
+    std::uint64_t digest = 0;  ///< FNV digest of `state`.
+    std::string state;         ///< Fleet::Snapshot bytes.
+};
+
+/** One chaos fault application. */
+struct FaultRecord
+{
+    SimTime time = 0;
+    std::string description;
+};
+
+/** A complete recorded run. */
+struct Journal
+{
+    std::uint32_t version = kJournalVersion;
+    std::string spec_text;            ///< SerializeFleetSpec output.
+    std::string scenario;             ///< Named scenario that was driven.
+    SimTime cycle_period = 3000;      ///< Recording window, ms.
+    std::uint64_t checkpoint_every = 10;  ///< Windows per checkpoint.
+
+    /**
+     * True when a chaos InvariantChecker (default config) was armed
+     * during recording. The checker's periodic sampling advances lazy
+     * server state at its own times, which changes the RNG draw
+     * schedule — so replay must recreate it to reproduce the run.
+     */
+    bool invariants_checked = false;
+
+    std::vector<CycleRecord> cycles;
+    std::vector<CheckpointRecord> checkpoints;
+    std::vector<FaultRecord> faults;
+
+    /** Checkpoint at exactly `cycle`, or nullptr. */
+    const CheckpointRecord* CheckpointAtCycle(std::uint64_t cycle) const;
+};
+
+/** Serialize to the binary on-disk format. */
+std::string EncodeJournal(const Journal& journal);
+
+/** Inverse of EncodeJournal; throws std::runtime_error on malformed input. */
+Journal DecodeJournal(std::string_view bytes);
+
+/** Write a journal file; throws std::runtime_error on I/O failure. */
+void WriteJournalFile(const std::string& path, const Journal& journal);
+
+/** Read a journal file; throws std::runtime_error on I/O or format error. */
+Journal ReadJournalFile(const std::string& path);
+
+}  // namespace dynamo::replay
+
+#endif  // DYNAMO_REPLAY_JOURNAL_H_

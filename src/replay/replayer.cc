@@ -1,0 +1,253 @@
+#include "replay/replayer.h"
+
+#include <cstdio>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "chaos/campaign.h"
+#include "chaos/invariants.h"
+#include "fleet/fleet.h"
+#include "fleet/spec_parser.h"
+#include "replay/recorder.h"
+
+namespace dynamo::replay {
+namespace {
+
+std::string
+Num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Append a "name: a != b" line when the values differ. */
+template <typename T>
+void
+DiffField(std::ostringstream& out, const char* name, const T& a, const T& b)
+{
+    if (a == b) return;
+    if constexpr (std::is_same_v<T, double>) {
+        out << "  " << name << ": " << Num(a) << " != " << Num(b) << "\n";
+    } else {
+        out << "  " << name << ": " << a << " != " << b << "\n";
+    }
+}
+
+}  // namespace
+
+std::string
+DescribeSpanDiff(const telemetry::TraceSpan& a, const telemetry::TraceSpan& b)
+{
+    std::ostringstream out;
+    DiffField(out, "id", a.id, b.id);
+    DiffField(out, "parent", a.parent, b.parent);
+    DiffField(out, "time", a.time, b.time);
+    DiffField(out, "kind", static_cast<int>(a.kind), static_cast<int>(b.kind));
+    DiffField(out, "source", a.source, b.source);
+    DiffField(out, "band", static_cast<int>(a.band), static_cast<int>(b.band));
+    DiffField(out, "was_capping", static_cast<int>(a.was_capping),
+              static_cast<int>(b.was_capping));
+    DiffField(out, "measured", a.measured, b.measured);
+    DiffField(out, "limit", a.limit, b.limit);
+    DiffField(out, "threshold", a.threshold, b.threshold);
+    DiffField(out, "target", a.target, b.target);
+    DiffField(out, "cut", a.cut, b.cut);
+    DiffField(out, "planned_cut", a.planned_cut, b.planned_cut);
+    DiffField(out, "satisfied", static_cast<int>(a.satisfied),
+              static_cast<int>(b.satisfied));
+    DiffField(out, "dry_run", static_cast<int>(a.dry_run),
+              static_cast<int>(b.dry_run));
+    DiffField(out, "groups.size", a.groups.size(), b.groups.size());
+    for (std::size_t i = 0; i < a.groups.size() && i < b.groups.size(); ++i) {
+        const auto& ga = a.groups[i];
+        const auto& gb = b.groups[i];
+        const std::string p = "groups[" + std::to_string(i) + "].";
+        DiffField(out, (p + "priority_group").c_str(), ga.priority_group,
+                  gb.priority_group);
+        DiffField(out, (p + "cut").c_str(), ga.cut, gb.cut);
+        DiffField(out, (p + "servers").c_str(), ga.servers, gb.servers);
+    }
+    DiffField(out, "allocs.size", a.allocs.size(), b.allocs.size());
+    for (std::size_t i = 0; i < a.allocs.size() && i < b.allocs.size(); ++i) {
+        const auto& aa = a.allocs[i];
+        const auto& ab = b.allocs[i];
+        const std::string p = "allocs[" + std::to_string(i) + "].";
+        DiffField(out, (p + "target").c_str(), aa.target, ab.target);
+        DiffField(out, (p + "power").c_str(), aa.power, ab.power);
+        DiffField(out, (p + "floor").c_str(), aa.floor, ab.floor);
+        DiffField(out, (p + "quota").c_str(), aa.quota, ab.quota);
+        DiffField(out, (p + "cut").c_str(), aa.cut, ab.cut);
+        DiffField(out, (p + "limit_sent").c_str(), aa.limit_sent,
+                  ab.limit_sent);
+        DiffField(out, (p + "bucket").c_str(), aa.bucket, ab.bucket);
+        DiffField(out, (p + "offender").c_str(), static_cast<int>(aa.offender),
+                  static_cast<int>(ab.offender));
+    }
+    return out.str();
+}
+
+bool
+CyclesEqual(const CycleRecord& recorded, const CycleRecord& replayed,
+            std::string* why)
+{
+    // Collect every differing aspect, not just the first: a policy
+    // change usually perturbs the kernel/rpc hashes AND the decision
+    // spans together, and the span diff is the part a human can read.
+    std::vector<std::string> reasons;
+    if (recorded.time != replayed.time) {
+        reasons.push_back("window close time " +
+                          std::to_string(recorded.time) + " != " +
+                          std::to_string(replayed.time));
+    }
+    if (recorded.kernel_hash != replayed.kernel_hash) {
+        reasons.push_back("kernel event-stream hash differs");
+    }
+    if (recorded.rpc_hash != replayed.rpc_hash) {
+        reasons.push_back("rpc stream hash differs");
+    }
+    if (recorded.spans_missed != replayed.spans_missed) {
+        reasons.push_back("spans_missed " +
+                          std::to_string(recorded.spans_missed) + " != " +
+                          std::to_string(replayed.spans_missed));
+    }
+    if (recorded.spans.size() != replayed.spans.size()) {
+        reasons.push_back("span count " +
+                          std::to_string(recorded.spans.size()) + " != " +
+                          std::to_string(replayed.spans.size()));
+    } else {
+        for (std::size_t i = 0; i < recorded.spans.size(); ++i) {
+            if (telemetry::SpansIdentical(recorded.spans[i],
+                                          replayed.spans[i])) {
+                continue;
+            }
+            reasons.push_back(
+                "span " + std::to_string(i) + " (id=" +
+                std::to_string(recorded.spans[i].id) + ") differs:\n" +
+                DescribeSpanDiff(recorded.spans[i], replayed.spans[i]));
+            break;  // One span diff is enough to read; don't flood.
+        }
+    }
+    if (reasons.empty()) return true;
+    if (why != nullptr) {
+        std::string joined;
+        for (const auto& reason : reasons) {
+            if (!joined.empty()) joined += "; ";
+            joined += reason;
+        }
+        *why = joined;
+    }
+    return false;
+}
+
+Replayer::Replayer(const Journal& journal) : journal_(journal) {}
+
+Replayer::~Replayer() = default;
+
+void
+Replayer::set_spec_override(std::string spec_text)
+{
+    spec_override_ = std::move(spec_text);
+}
+
+ReplayResult
+Replayer::ReplayFromStart()
+{
+    return Run(std::nullopt);
+}
+
+ReplayResult
+Replayer::ReplayFromCheckpoint(std::size_t index)
+{
+    return Run(index);
+}
+
+ReplayResult
+Replayer::Run(std::optional<std::size_t> checkpoint_index)
+{
+    ReplayResult result;
+    if (checkpoint_index && *checkpoint_index >= journal_.checkpoints.size()) {
+        result.detail = "checkpoint index " +
+                        std::to_string(*checkpoint_index) +
+                        " out of range (journal has " +
+                        std::to_string(journal_.checkpoints.size()) + ")";
+        return result;
+    }
+    ScenarioFn scenario = FindScenario(journal_.scenario);
+    if (!scenario) {
+        result.detail = "unknown scenario '" + journal_.scenario + "'";
+        return result;
+    }
+
+    const std::string& spec_text =
+        spec_override_ ? *spec_override_ : journal_.spec_text;
+    fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
+    chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
+                                   fleet.event_log());
+    scenario(fleet, campaign);
+
+    RecorderConfig config;
+    config.cycle_period = journal_.cycle_period;
+    config.checkpoint_every = journal_.checkpoint_every;
+    config.scenario = journal_.scenario;
+    config.invariants_checked = journal_.invariants_checked;
+    Recorder recorder(fleet, config);
+
+    // Recreate the invariant checker in the same construction order
+    // as `replay_cli record --check`: its periodic sampling advances
+    // lazy server state, so omitting it would change the RNG draw
+    // schedule and diverge the run.
+    std::optional<chaos::InvariantChecker> checker;
+    if (journal_.invariants_checked) checker.emplace(fleet);
+
+    fleet.RunFor(static_cast<SimTime>(journal_.cycles.size()) *
+                 journal_.cycle_period);
+    replayed_ = recorder.Finish();
+
+    // From-checkpoint mode: the rebuilt run must reproduce the stored
+    // state byte-for-byte at the checkpoint's window, which anchors
+    // the tail comparison to a proven-identical mid-run state.
+    std::uint64_t start_cycle = 0;
+    if (checkpoint_index) {
+        const CheckpointRecord& want = journal_.checkpoints[*checkpoint_index];
+        const CheckpointRecord* got = replayed_.CheckpointAtCycle(want.cycle);
+        if (got == nullptr) {
+            result.detail = "replay produced no checkpoint at cycle " +
+                            std::to_string(want.cycle);
+            return result;
+        }
+        if (got->digest != want.digest || got->state != want.state) {
+            result.detail = "checkpoint state at cycle " +
+                            std::to_string(want.cycle) +
+                            " is not bit-identical (recorded digest " +
+                            std::to_string(want.digest) + ", replayed " +
+                            std::to_string(got->digest) + ")";
+            return result;
+        }
+        result.checkpoint_verified = true;
+        start_cycle = want.cycle + 1;
+    }
+
+    if (replayed_.cycles.size() < journal_.cycles.size()) {
+        result.detail = "replay recorded " +
+                        std::to_string(replayed_.cycles.size()) +
+                        " windows, journal has " +
+                        std::to_string(journal_.cycles.size());
+        return result;
+    }
+
+    for (std::uint64_t c = start_cycle; c < journal_.cycles.size(); ++c) {
+        ++result.cycles_compared;
+        std::string why;
+        if (!CyclesEqual(journal_.cycles[c], replayed_.cycles[c], &why)) {
+            result.first_divergent_cycle = c;
+            result.detail = "cycle " + std::to_string(c) + ": " + why;
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+}  // namespace dynamo::replay

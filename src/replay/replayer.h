@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The replayer: re-executes a journaled run and verifies equivalence.
+ *
+ * The simulation kernel's queue holds closures, so a checkpoint cannot
+ * be deserialized into a live fleet. Replay is *reconstructive*: the
+ * fleet is rebuilt from the spec text embedded in the journal, the
+ * named scenario re-applies the identical fault script, and the run is
+ * re-executed under a fresh recorder. Verification then compares the
+ * new journal window-by-window against the recorded one — RPC-stream
+ * hash, kernel-event hash, and every TraceSpan field bit-exactly.
+ *
+ * `ReplayFromCheckpoint(i)` additionally proves the checkpoint itself:
+ * at the checkpoint's window the rebuilt fleet's Snapshot bytes must
+ * equal the stored state byte-for-byte, after which only the tail
+ * windows are compared (window hashes reset per window, so the tail
+ * stands alone). This is what "restore any checkpoint and re-execute"
+ * means in a world where state includes closures: the checkpoint is
+ * the proof anchor, the spec + event sources are the restore medium.
+ *
+ * For divergence experiments the replayer accepts a spec override —
+ * the moral equivalent of running a modified binary against an old
+ * journal — which the bisector uses to pinpoint the first divergent
+ * window a policy change causes.
+ */
+#ifndef DYNAMO_REPLAY_REPLAYER_H_
+#define DYNAMO_REPLAY_REPLAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "replay/journal.h"
+#include "replay/scenario.h"
+
+namespace dynamo::replay {
+
+/** Outcome of one replay comparison. */
+struct ReplayResult
+{
+    /** True when every compared window matched bit-exactly. */
+    bool ok = false;
+
+    /** Windows compared (tail windows only in from-checkpoint mode). */
+    std::uint64_t cycles_compared = 0;
+
+    /** First divergent window, or kNoDivergence. */
+    std::uint64_t first_divergent_cycle = kNoDivergence;
+
+    /** Checkpoint state verified bit-exactly (from-checkpoint mode). */
+    bool checkpoint_verified = false;
+
+    /** Human-readable account of the first difference (empty when ok). */
+    std::string detail;
+
+    static constexpr std::uint64_t kNoDivergence = ~0ULL;
+};
+
+/** The replay journal produced during verification (for bisection). */
+class Replayer
+{
+  public:
+    /** `journal` must outlive the replayer. */
+    explicit Replayer(const Journal& journal);
+    ~Replayer();
+
+    Replayer(const Replayer&) = delete;
+    Replayer& operator=(const Replayer&) = delete;
+
+    /**
+     * Run with this spec text instead of the journal's — simulates
+     * replaying an old journal under a changed policy/binary.
+     */
+    void set_spec_override(std::string spec_text);
+
+    /**
+     * Re-execute the whole run and compare every window. The scenario
+     * comes from the journal header unless `scenario_override` is set.
+     */
+    ReplayResult ReplayFromStart();
+
+    /**
+     * Re-execute, verify the `index`-th checkpoint's state bytes
+     * bit-exactly, then compare only the windows after it.
+     */
+    ReplayResult ReplayFromCheckpoint(std::size_t index);
+
+    /** The journal recorded during the last Replay* call. */
+    const Journal& replayed() const { return replayed_; }
+
+  private:
+    ReplayResult Run(std::optional<std::size_t> checkpoint_index);
+
+    const Journal& journal_;
+    std::optional<std::string> spec_override_;
+    Journal replayed_;
+};
+
+/**
+ * Window-level equality: hashes, missed-span counts, and every span
+ * field-exactly. On mismatch returns false and describes the first
+ * difference in `why` (if non-null).
+ */
+bool CyclesEqual(const CycleRecord& recorded, const CycleRecord& replayed,
+                 std::string* why);
+
+/** Field-by-field diff of two spans, one "field: a != b" line each. */
+std::string DescribeSpanDiff(const telemetry::TraceSpan& a,
+                             const telemetry::TraceSpan& b);
+
+}  // namespace dynamo::replay
+
+#endif  // DYNAMO_REPLAY_REPLAYER_H_

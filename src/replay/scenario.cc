@@ -1,0 +1,100 @@
+#include "replay/scenario.h"
+
+#include <algorithm>
+
+namespace dynamo::replay {
+namespace {
+
+/** First device at `level` in pre-order, or nullptr. */
+power::PowerDevice*
+FirstDeviceAt(fleet::Fleet& fleet, power::DeviceLevel level)
+{
+    const auto devices = fleet.root().DevicesAtLevel(level);
+    return devices.empty() ? nullptr : devices.front();
+}
+
+/**
+ * Partition one RPP's agents for a minute mid-run, then heal — the
+ * paper's "sub-tree loses its network segment" case.
+ */
+void
+PartitionHeal(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
+{
+    power::PowerDevice* rpp = FirstDeviceAt(fleet, power::DeviceLevel::kRpp);
+    if (rpp == nullptr) return;
+    campaign.Partition(Seconds(30), Seconds(90),
+                       fleet.AgentEndpointsUnder(rpp->name()));
+}
+
+/**
+ * Mixed campaign: a partition, agent flapping, a latency storm over
+ * the controllers, and a degraded-pull window — all targets derived
+ * from the fleet's own device tree in construction order.
+ */
+void
+MixedFaults(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
+{
+    const auto rpps = fleet.root().DevicesAtLevel(power::DeviceLevel::kRpp);
+    if (rpps.empty()) return;
+
+    campaign.Partition(Seconds(20), Seconds(70),
+                       fleet.AgentEndpointsUnder(rpps.front()->name()));
+
+    const auto agents = fleet.AgentEndpointsUnder(rpps.back()->name());
+    if (!agents.empty()) {
+        campaign.Flap(Seconds(35), Seconds(95), agents.front(), Seconds(5));
+    }
+
+    campaign.LatencyStorm(Seconds(50), Seconds(110),
+                          fleet.ControllerEndpointsUnder(fleet.root().name()),
+                          400);
+
+    if (rpps.size() > 1) {
+        campaign.DegradePulls(Seconds(80), Seconds(130),
+                              fleet.AgentEndpointsUnder(rpps[1]->name()), 0.4);
+    }
+}
+
+/**
+ * Load surge under degraded pulls: scenario traffic ramps to 130 %
+ * while a third of the fleet's agents answer unreliably — the shape
+ * that drives capping decisions while inputs are stale.
+ */
+void
+SurgeDegraded(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
+{
+    fleet.scenario().AddPoint(Seconds(25), 1.0);
+    fleet.scenario().AddPoint(Seconds(45), 1.3);
+    fleet.scenario().AddPoint(Seconds(120), 1.3);
+    fleet.scenario().AddPoint(Seconds(140), 1.0);
+
+    auto agents = fleet.AgentEndpointsUnder(fleet.root().name());
+    agents.resize(agents.size() / 3);
+    campaign.DegradePulls(Seconds(40), Seconds(120), std::move(agents), 0.5);
+}
+
+}  // namespace
+
+const std::vector<std::string>&
+ScenarioNames()
+{
+    static const std::vector<std::string> names = {
+        "quiet",
+        "partition-heal",
+        "mixed-faults",
+        "surge-degraded",
+    };
+    return names;
+}
+
+ScenarioFn
+FindScenario(const std::string& name)
+{
+    if (name == "quiet") return [](fleet::Fleet&, chaos::CampaignEngine&) {};
+    if (name == "partition-heal") return PartitionHeal;
+    if (name == "mixed-faults") return MixedFaults;
+    if (name == "surge-degraded") return SurgeDegraded;
+    return ScenarioFn();
+}
+
+}  // namespace dynamo::replay

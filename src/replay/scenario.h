@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Named deterministic chaos scenarios.
+ *
+ * A journal can embed the fleet spec as text, but a chaos campaign is
+ * built from closures and cannot be serialized. Replay therefore
+ * requires the campaign to be *reconstructible by name*: the recorder
+ * stamps the scenario's name into the journal header, and the replayer
+ * looks the name up here and re-applies the identical fault script to
+ * the rebuilt fleet. Scenarios must derive everything (targets, times)
+ * deterministically from the fleet itself — no wall clock, no ambient
+ * randomness — so record and replay build byte-identical campaigns.
+ */
+#ifndef DYNAMO_REPLAY_SCENARIO_H_
+#define DYNAMO_REPLAY_SCENARIO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "fleet/fleet.h"
+
+namespace dynamo::replay {
+
+/** Applies one fault script to a fleet via its campaign engine. */
+using ScenarioFn = std::function<void(fleet::Fleet&, chaos::CampaignEngine&)>;
+
+/** Catalog names, in a stable order ("quiet" first). */
+const std::vector<std::string>& ScenarioNames();
+
+/**
+ * Scenario by name; returns an empty function for unknown names (the
+ * caller decides whether that is an error).
+ */
+ScenarioFn FindScenario(const std::string& name);
+
+}  // namespace dynamo::replay
+
+#endif  // DYNAMO_REPLAY_SCENARIO_H_

@@ -3,13 +3,42 @@
 #include <memory>
 #include <utility>
 
+#include "common/archive.h"
 #include "telemetry/metrics.h"
 
 namespace dynamo::rpc {
 
+namespace {
+
+void SnapshotRng(Archive& ar, const Rng& rng)
+{
+    for (const std::uint64_t w : rng.state()) ar.U64(w);
+    ar.U64(rng.draws());
+}
+
+}  // namespace
+
 FailureInjector::FailureInjector(std::uint64_t seed, EndpointTable* endpoints)
     : rng_(seed), endpoints_(endpoints)
 {
+}
+
+void
+FailureInjector::Snapshot(Archive& ar) const
+{
+    SnapshotRng(ar, rng_);
+    ar.F64(default_failure_p_);
+    ar.U64(override_count_);
+    ar.U64(latency_count_);
+    ar.U64(down_count_);
+    // Per-endpoint fault state, dense by id (ids are interned in a
+    // deterministic order, so this is canonical).
+    ar.U64(failure_p_.size());
+    for (std::size_t i = 0; i < failure_p_.size(); ++i) {
+        ar.F64(failure_p_[i]);
+        ar.I64(extra_latency_[i]);
+        ar.U8(down_[i]);
+    }
 }
 
 void
@@ -209,6 +238,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
     auto done = std::make_shared<bool>(false);
 
     const CallFate fate = failures_.Decide(id);
+    if (call_observer_) call_observer_(id, fate, sim_.Now());
     if (fate == CallFate::kBlackhole) {
         sim_.ScheduleAfter(timeout_ms,
                            [this, done, on_err = std::move(on_err)]() {
@@ -267,6 +297,17 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                                    on_ok(response);
                                });
         });
+}
+
+void
+SimTransport::Snapshot(Archive& ar) const
+{
+    ar.U64(calls_issued_);
+    ar.U64(calls_succeeded_);
+    ar.U64(calls_failed_);
+    ar.U64(endpoints_.size());
+    SnapshotRng(ar, rng_);
+    failures_.Snapshot(ar);
 }
 
 }  // namespace dynamo::rpc

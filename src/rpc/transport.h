@@ -30,6 +30,10 @@
 #include "rpc/endpoint.h"
 #include "sim/simulation.h"
 
+namespace dynamo {
+class Archive;
+}  // namespace dynamo
+
 namespace dynamo::telemetry {
 class Counter;
 class MetricsRegistry;
@@ -136,6 +140,9 @@ class FailureInjector
                latency_count_ == 0 && default_failure_p_ <= 0.0;
     }
 
+    /** Serialize fault configuration and the fault RNG position. */
+    void Snapshot(Archive& ar) const;
+
   private:
     /** Grow per-endpoint vectors to cover `id`. */
     void EnsureSize(EndpointId id);
@@ -228,6 +235,28 @@ class SimTransport
     /** Total calls that ended in error or timeout. */
     std::uint64_t calls_failed() const { return calls_failed_; }
 
+    /**
+     * Record/inject shim for replay: called once per issued call with
+     * the target endpoint, the fate the failure injector decided, and
+     * the issue time. This observes every RPC delivery and every
+     * chaos-injected failure in schedule order, so the replay recorder
+     * can fold the call stream into per-cycle digests. Must not issue
+     * calls itself. Pass a default-constructed function to detach.
+     */
+    using CallObserver = std::function<void(EndpointId, CallFate, SimTime)>;
+    void set_call_observer(CallObserver observer)
+    {
+        call_observer_ = std::move(observer);
+    }
+
+    /**
+     * Serialize transport progress: call counters, the latency/fault
+     * RNG stream positions, and the injector's configured-fault
+     * counts. Handlers are closures and are rebuilt by replay, not
+     * serialized.
+     */
+    void Snapshot(Archive& ar) const;
+
   private:
     sim::Simulation& sim_;
     Rng rng_;
@@ -247,6 +276,9 @@ class SimTransport
     telemetry::Counter* m_ok_ = nullptr;
     telemetry::Counter* m_failed_ = nullptr;
     telemetry::Counter* m_timeouts_ = nullptr;
+
+    /** Replay record shim; empty when no recorder is attached. */
+    CallObserver call_observer_;
 };
 
 }  // namespace dynamo::rpc

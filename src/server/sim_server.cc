@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/archive.h"
+
 namespace dynamo::server {
 
 SimServer::SimServer(Config config, workload::LoadProcessParams params,
@@ -179,6 +181,32 @@ SimServer::SlowdownPercentAt(SimTime now)
     const double reduction_pct =
         std::max(0.0, 1.0 - cached_actual_ / cached_demand_) * 100.0;
     return workload::SlowdownPercent(perf_, reduction_pct);
+}
+
+void
+SimServer::Snapshot(dynamo::Archive& ar) const
+{
+    ar.Str(config_.name);
+    ar.Bool(config_.turbo_enabled);
+    load_.Snapshot(ar);
+    // RAPL actuator: limit plus the settled output (the settling
+    // trajectory is fully determined by `actual` and subsequent reads).
+    ar.Bool(rapl_.has_limit());
+    ar.F64(rapl_.limit());
+    ar.F64(rapl_.actual());
+    ar.U8(static_cast<std::uint8_t>(pending_));
+    ar.F64(pending_limit_);
+    ar.I64(pending_effective_);
+    ar.Bool(dark_);
+    ar.I64(last_time_);
+    ar.F64(cached_util_);
+    ar.F64(cached_demand_);
+    ar.F64(cached_actual_);
+    ar.F64(demanded_work_);
+    ar.F64(delivered_work_);
+    ar.F64(estimator_.bias_frac());
+    for (const std::uint64_t w : rng_.state()) ar.U64(w);
+    ar.U64(rng_.draws());
 }
 
 }  // namespace dynamo::server

@@ -24,6 +24,10 @@
 #include "workload/perf_model.h"
 #include "workload/service.h"
 
+namespace dynamo {
+class Archive;
+}  // namespace dynamo
+
 namespace dynamo::server {
 
 /** One simulated server. Implements power::PowerLoad for device trees. */
@@ -165,6 +169,15 @@ class SimServer : public power::PowerLoad
 
     /** The utilization process, for scenario modulation. */
     workload::LoadProcess& load() { return load_; }
+
+    /**
+     * Serialize the server's full dynamic state: workload position,
+     * RAPL limit/settling, pending platform-delayed commands, outage
+     * darkness, lazily-advanced caches, work accounting, and the
+     * private RNG stream. Reads nothing through the lazy-advance path,
+     * so snapshotting never perturbs the run.
+     */
+    void Snapshot(dynamo::Archive& ar) const;
 
   private:
     /** Advance all internal state to `now` and refresh the cache. */

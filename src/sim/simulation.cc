@@ -5,6 +5,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/archive.h"
+
 namespace dynamo::sim {
 
 namespace {
@@ -20,6 +22,20 @@ bool Simulation::FarLater(const FarEntry& a, const FarEntry& b)
 }
 
 Simulation::Simulation() : table_(std::make_shared<detail::TaskTable>()) {}
+
+void Simulation::Snapshot(Archive& ar) const
+{
+    ar.I64(now_);
+    ar.I64(wheel_time_);
+    ar.U64(next_seq_);
+    ar.U64(events_executed_);
+    ar.U64(table_->live);
+    ar.U64(table_->lazy_cancelled);
+    ar.U64(kernel_stats_.cascades);
+    ar.U64(kernel_stats_.far_drains);
+    ar.U64(kernel_stats_.purges);
+    ar.U64(kernel_stats_.slot_sorts);
+}
 
 Simulation::~Simulation() = default;
 
@@ -290,6 +306,7 @@ void Simulation::ExecuteSlot(SimTime t)
             --table_->live;
             now_ = t;
             ++events_executed_;
+            if (event_observer_) event_observer_(t, pool_[idx].seq);
 
             // Move the callback out before invoking: the callback may
             // schedule events and grow the slab, invalidating every

@@ -21,11 +21,16 @@
 #define DYNAMO_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/inline_function.h"
 #include "common/units.h"
+
+namespace dynamo {
+class Archive;
+}  // namespace dynamo
 
 namespace dynamo::sim {
 
@@ -191,6 +196,30 @@ class Simulation
     const KernelStats& kernel_stats() const { return kernel_stats_; }
 
     /**
+     * Deterministic event-capture hook: called immediately before each
+     * event callback runs, with the event's firing time and kernel
+     * sequence number. The (time, seq) stream is a complete order
+     * witness for the run — the replay recorder folds it into
+     * per-cycle digests to prove two executions fired identical event
+     * schedules. The observer must not schedule or cancel events.
+     * Pass a default-constructed function to detach.
+     */
+    using EventObserver = std::function<void(SimTime, std::uint64_t)>;
+    void set_event_observer(EventObserver observer)
+    {
+        event_observer_ = std::move(observer);
+    }
+
+    /**
+     * Serialize kernel progress (clock, event/seq counters, queue
+     * depth, wheel stats) into `ar`. Pending closures are not
+     * serializable; replay restores them by re-executing from the run
+     * start, and uses these counters to prove the rebuilt kernel is in
+     * the same position.
+     */
+    void Snapshot(Archive& ar) const;
+
+    /**
      * Eagerly drop every cancelled-but-unpopped event and return their
      * slab nodes to the free list. Called automatically when the
      * cancelled backlog outgrows the live queue.
@@ -294,6 +323,7 @@ class Simulation
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     KernelStats kernel_stats_;
+    EventObserver event_observer_;
 
     std::vector<EventNode> pool_;
     std::uint32_t free_head_ = kNil;

@@ -1,5 +1,9 @@
 #include "telemetry/trace.h"
 
+#include <utility>
+
+#include "common/archive.h"
+
 namespace dynamo::telemetry {
 
 const char*
@@ -78,6 +82,121 @@ void
 TraceLog::Clear()
 {
     spans_.clear();
+}
+
+void
+WriteSpan(Archive& ar, const TraceSpan& span)
+{
+    ar.U64(span.id);
+    ar.U64(span.parent);
+    ar.I64(span.time);
+    ar.U8(static_cast<std::uint8_t>(span.kind));
+    ar.Str(span.source);
+    ar.U8(static_cast<std::uint8_t>(span.band));
+    ar.Bool(span.was_capping);
+    ar.F64(span.measured);
+    ar.F64(span.limit);
+    ar.F64(span.threshold);
+    ar.F64(span.target);
+    ar.F64(span.cut);
+    ar.F64(span.planned_cut);
+    ar.Bool(span.satisfied);
+    ar.Bool(span.dry_run);
+    ar.U64(span.groups.size());
+    for (const TraceGroupCut& g : span.groups) {
+        ar.I64(g.priority_group);
+        ar.F64(g.cut);
+        ar.I64(g.servers);
+    }
+    ar.U64(span.allocs.size());
+    for (const TraceAllocation& a : span.allocs) {
+        ar.Str(a.target);
+        ar.F64(a.power);
+        ar.F64(a.floor);
+        ar.F64(a.quota);
+        ar.F64(a.cut);
+        ar.F64(a.limit_sent);
+        ar.I64(a.bucket);
+        ar.Bool(a.offender);
+    }
+}
+
+TraceSpan
+ReadSpan(ArchiveReader& ar)
+{
+    TraceSpan span;
+    span.id = ar.U64();
+    span.parent = ar.U64();
+    span.time = ar.I64();
+    span.kind = static_cast<SpanKind>(ar.U8());
+    span.source = ar.Str();
+    span.band = static_cast<TraceBand>(ar.U8());
+    span.was_capping = ar.Bool();
+    span.measured = ar.F64();
+    span.limit = ar.F64();
+    span.threshold = ar.F64();
+    span.target = ar.F64();
+    span.cut = ar.F64();
+    span.planned_cut = ar.F64();
+    span.satisfied = ar.Bool();
+    span.dry_run = ar.Bool();
+    const std::uint64_t groups = ar.U64();
+    span.groups.reserve(groups);
+    for (std::uint64_t i = 0; i < groups; ++i) {
+        TraceGroupCut g;
+        g.priority_group = static_cast<int>(ar.I64());
+        g.cut = ar.F64();
+        g.servers = static_cast<int>(ar.I64());
+        span.groups.push_back(g);
+    }
+    const std::uint64_t allocs = ar.U64();
+    span.allocs.reserve(allocs);
+    for (std::uint64_t i = 0; i < allocs; ++i) {
+        TraceAllocation a;
+        a.target = ar.Str();
+        a.power = ar.F64();
+        a.floor = ar.F64();
+        a.quota = ar.F64();
+        a.cut = ar.F64();
+        a.limit_sent = ar.F64();
+        a.bucket = static_cast<int>(ar.I64());
+        a.offender = ar.Bool();
+        span.allocs.push_back(std::move(a));
+    }
+    return span;
+}
+
+bool
+SpansIdentical(const TraceSpan& a, const TraceSpan& b)
+{
+    // Serialize-and-compare gives bit-exact double comparison (NaN-safe,
+    // -0.0 != +0.0) with no field forgotten when TraceSpan grows.
+    Archive aa;
+    Archive ab;
+    WriteSpan(aa, a);
+    WriteSpan(ab, b);
+    return aa.bytes() == ab.bytes();
+}
+
+void
+TraceLog::Snapshot(Archive& ar) const
+{
+    ar.U64(capacity_);
+    ar.U64(next_id_);
+    ar.U64(evicted_);
+    ar.U64(spans_.size());
+    for (const TraceSpan& span : spans_) WriteSpan(ar, span);
+}
+
+void
+TraceLog::Restore(ArchiveReader& ar)
+{
+    capacity_ = ar.U64();
+    next_id_ = ar.U64();
+    evicted_ = ar.U64();
+    const std::uint64_t count = ar.U64();
+    spans_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) spans_.push_back(ReadSpan(ar));
 }
 
 }  // namespace dynamo::telemetry

@@ -32,6 +32,11 @@
 
 #include "common/units.h"
 
+namespace dynamo {
+class Archive;
+class ArchiveReader;
+}  // namespace dynamo
+
 namespace dynamo::telemetry {
 
 /** Span identity; ids are dense, increasing, and never recycled. */
@@ -110,6 +115,15 @@ struct TraceSpan
  */
 std::string TraceTransitionName(const TraceSpan& span);
 
+/** Canonical binary encoding of one span (bit-exact doubles). */
+void WriteSpan(Archive& ar, const TraceSpan& span);
+
+/** Inverse of WriteSpan; throws std::runtime_error on truncation. */
+TraceSpan ReadSpan(ArchiveReader& ar);
+
+/** Field-exact equality (bit-exact doubles), including allocations. */
+bool SpansIdentical(const TraceSpan& a, const TraceSpan& b);
+
 /** Bounded ring of decision spans. */
 class TraceLog
 {
@@ -150,6 +164,18 @@ class TraceLog
 
     /** Drop all retained spans (ids keep increasing). */
     void Clear();
+
+    /**
+     * Serialize the full ring — every retained span plus the id /
+     * eviction counters — in canonical binary form. Restore() on a
+     * log of any prior state reproduces the ring exactly: Find()
+     * misses on evicted ids, watermark consumers resume at the same
+     * next id, and evicted() survives the round trip.
+     */
+    void Snapshot(Archive& ar) const;
+
+    /** Replace this log's contents with a snapshotted state. */
+    void Restore(ArchiveReader& ar);
 
   private:
     std::size_t capacity_;

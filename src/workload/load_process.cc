@@ -135,4 +135,19 @@ LoadProcess::UtilAt(SimTime now)
     return std::clamp(util, params_.min_util, 1.0);
 }
 
+void
+LoadProcess::Snapshot(Archive& ar) const
+{
+    ar.F64(balancer_factor_);
+    ar.F64(shed_factor_);
+    ar.F64(ou_state_);
+    ar.I64(last_time_);
+    ar.Bool(started_);
+    ar.I64(spike_start_);
+    ar.I64(spike_end_);
+    ar.F64(spike_mag_);
+    for (const std::uint64_t w : rng_.state()) ar.U64(w);
+    ar.U64(rng_.draws());
+}
+
 }  // namespace dynamo::workload

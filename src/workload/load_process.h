@@ -19,6 +19,7 @@
 #ifndef DYNAMO_WORKLOAD_LOAD_PROCESS_H_
 #define DYNAMO_WORKLOAD_LOAD_PROCESS_H_
 
+#include "common/archive.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "workload/service.h"
@@ -98,6 +99,13 @@ class LoadProcess
     double shed_factor() const { return shed_factor_; }
 
     const LoadProcessParams& params() const { return params_; }
+
+    /**
+     * Serialize the process position — OU state, burst schedule,
+     * modulation factors, and the private RNG stream — so replay
+     * checkpoints pin the exact utilization trajectory.
+     */
+    void Snapshot(Archive& ar) const;
 
   private:
     void AdvanceTo(SimTime now);

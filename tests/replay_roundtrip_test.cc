@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tentpole coverage for the checkpoint/record-replay subsystem:
+ * journal binary round trip, bit-exact replay from the start and from
+ * a mid-run checkpoint, fault journaling, and divergence bisection
+ * against an injected one-line policy change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chaos/campaign.h"
+#include "fleet/fleet.h"
+#include "fleet/spec_parser.h"
+#include "replay/bisect.h"
+#include "replay/journal.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "replay/scenario.h"
+
+namespace dynamo {
+namespace {
+
+// Rated power is sized to the 24-server fleet (~210 W/server) so the
+// surge-degraded scenario's 1.3x ramp sits near 0.62 of quota: below
+// the default 0.99 cap threshold (recordings stay cap-free), above the
+// 0.60 threshold the bisect test injects (the replay caps mid-surge).
+constexpr char kSpecText[] = R"(
+scope = sb
+servers_per_rpp = 12
+rpps_per_sb = 2
+rpp_rated_w = 4500
+sb_rated_w = 9000
+seed = 99173
+diurnal_amplitude = 0.0
+)";
+
+/** Record `scenario` over `duration` and return the journal. */
+replay::Journal
+RecordRun(const std::string& scenario, SimTime duration,
+          std::uint64_t checkpoint_every = 8)
+{
+    fleet::Fleet fleet(fleet::ParseFleetSpecString(kSpecText));
+    chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
+                                   fleet.event_log());
+    replay::FindScenario(scenario)(fleet, campaign);
+
+    replay::RecorderConfig config;
+    config.cycle_period = 3000;
+    config.checkpoint_every = checkpoint_every;
+    config.scenario = scenario;
+    replay::Recorder recorder(fleet, config);
+    campaign.set_fault_observer(
+        [&recorder](SimTime t, const std::string& description) {
+            recorder.RecordFault(t, description);
+        });
+
+    fleet.RunFor(duration);
+    return recorder.Finish();
+}
+
+TEST(ReplayJournal, BinaryRoundTripIsExact)
+{
+    const replay::Journal journal = RecordRun("mixed-faults", Seconds(90));
+    ASSERT_GT(journal.cycles.size(), 0u);
+    ASSERT_GT(journal.checkpoints.size(), 0u);
+    ASSERT_GT(journal.faults.size(), 0u);
+
+    const std::string bytes = replay::EncodeJournal(journal);
+    const replay::Journal decoded = replay::DecodeJournal(bytes);
+    EXPECT_EQ(decoded.spec_text, journal.spec_text);
+    EXPECT_EQ(decoded.scenario, journal.scenario);
+    EXPECT_EQ(decoded.cycle_period, journal.cycle_period);
+    EXPECT_EQ(decoded.checkpoint_every, journal.checkpoint_every);
+    EXPECT_EQ(decoded.invariants_checked, journal.invariants_checked);
+    ASSERT_EQ(decoded.cycles.size(), journal.cycles.size());
+    ASSERT_EQ(decoded.checkpoints.size(), journal.checkpoints.size());
+    ASSERT_EQ(decoded.faults.size(), journal.faults.size());
+
+    // Re-encoding the decoded journal reproduces the bytes exactly.
+    EXPECT_EQ(replay::EncodeJournal(decoded), bytes);
+
+    for (std::size_t i = 0; i < journal.cycles.size(); ++i) {
+        std::string why;
+        EXPECT_TRUE(
+            replay::CyclesEqual(journal.cycles[i], decoded.cycles[i], &why))
+            << "cycle " << i << ": " << why;
+    }
+    for (std::size_t i = 0; i < journal.checkpoints.size(); ++i) {
+        EXPECT_EQ(decoded.checkpoints[i].digest, journal.checkpoints[i].digest);
+        EXPECT_EQ(decoded.checkpoints[i].state, journal.checkpoints[i].state);
+    }
+}
+
+TEST(ReplayJournal, FileRoundTrip)
+{
+    const replay::Journal journal = RecordRun("partition-heal", Seconds(45));
+    const std::string path = ::testing::TempDir() + "roundtrip.journal";
+    replay::WriteJournalFile(path, journal);
+    const replay::Journal loaded = replay::ReadJournalFile(path);
+    EXPECT_EQ(replay::EncodeJournal(loaded), replay::EncodeJournal(journal));
+    std::remove(path.c_str());
+}
+
+TEST(ReplayJournal, RejectsCorruptInput)
+{
+    const replay::Journal journal = RecordRun("quiet", Seconds(15));
+    std::string bytes = replay::EncodeJournal(journal);
+    EXPECT_THROW(replay::DecodeJournal(bytes.substr(0, bytes.size() / 2)),
+                 std::runtime_error);
+    bytes[3] = 'X';
+    EXPECT_THROW(replay::DecodeJournal(bytes), std::runtime_error);
+}
+
+TEST(ReplayRoundTrip, FromStartIsBitExact)
+{
+    const replay::Journal journal = RecordRun("mixed-faults", Seconds(120));
+    ASSERT_EQ(journal.cycles.size(), 40u);
+
+    replay::Replayer replayer(journal);
+    const replay::ReplayResult result = replayer.ReplayFromStart();
+    EXPECT_TRUE(result.ok) << result.detail;
+    EXPECT_EQ(result.cycles_compared, journal.cycles.size());
+    EXPECT_EQ(result.first_divergent_cycle,
+              replay::ReplayResult::kNoDivergence);
+
+    // The replayed journal's checkpoints are bit-identical too.
+    ASSERT_EQ(replayer.replayed().checkpoints.size(),
+              journal.checkpoints.size());
+    for (std::size_t i = 0; i < journal.checkpoints.size(); ++i) {
+        EXPECT_EQ(replayer.replayed().checkpoints[i].state,
+                  journal.checkpoints[i].state)
+            << "checkpoint " << i;
+    }
+}
+
+TEST(ReplayRoundTrip, FromMidRunCheckpointIsBitExact)
+{
+    const replay::Journal journal =
+        RecordRun("mixed-faults", Seconds(120), /*checkpoint_every=*/8);
+    ASSERT_GE(journal.checkpoints.size(), 3u);
+
+    replay::Replayer replayer(journal);
+    const std::size_t mid = journal.checkpoints.size() / 2;
+    const replay::ReplayResult result = replayer.ReplayFromCheckpoint(mid);
+    EXPECT_TRUE(result.checkpoint_verified) << result.detail;
+    EXPECT_TRUE(result.ok) << result.detail;
+    // Only the tail after the checkpoint is compared.
+    EXPECT_EQ(result.cycles_compared,
+              journal.cycles.size() - journal.checkpoints[mid].cycle - 1);
+}
+
+TEST(ReplayRoundTrip, CheckpointIndexOutOfRangeFailsCleanly)
+{
+    const replay::Journal journal = RecordRun("quiet", Seconds(15));
+    replay::Replayer replayer(journal);
+    const replay::ReplayResult result =
+        replayer.ReplayFromCheckpoint(journal.checkpoints.size() + 5);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.checkpoint_verified);
+    EXPECT_NE(result.detail.find("out of range"), std::string::npos);
+}
+
+TEST(ReplayRoundTrip, FaultStreamIsJournaled)
+{
+    const replay::Journal journal = RecordRun("mixed-faults", Seconds(120));
+    ASSERT_GT(journal.faults.size(), 0u);
+    // Fault times are within the run and non-decreasing.
+    SimTime prev = 0;
+    for (const auto& fault : journal.faults) {
+        EXPECT_GE(fault.time, prev);
+        EXPECT_LE(fault.time, Seconds(120));
+        EXPECT_FALSE(fault.description.empty());
+        prev = fault.time;
+    }
+}
+
+/**
+ * The acceptance scenario: replay a recorded journal under a one-line
+ * policy change (band thresholds tightened) and check the bisector
+ * pinpoints the exact first divergent cycle that a full linear scan
+ * finds — while probing only O(log) checkpoints.
+ */
+TEST(ReplayBisect, PinpointsInjectedPolicyChange)
+{
+    const replay::Journal journal = RecordRun("surge-degraded", Seconds(180),
+                                              /*checkpoint_every=*/5);
+    ASSERT_EQ(journal.cycles.size(), 60u);
+
+    // One-line change: cap far earlier (0.99 -> 0.60 threshold).
+    fleet::FleetSpec modified = fleet::ParseFleetSpecString(kSpecText);
+    modified.deployment.leaf.base.bands.cap_threshold_frac = 0.60;
+    modified.deployment.leaf.base.bands.cap_target_frac = 0.55;
+    modified.deployment.leaf.base.bands.uncap_threshold_frac = 0.40;
+    modified.deployment.upper.base.bands =
+        modified.deployment.leaf.base.bands;
+
+    replay::Replayer replayer(journal);
+    replayer.set_spec_override(fleet::SerializeFleetSpec(modified));
+    const replay::ReplayResult result = replayer.ReplayFromStart();
+    ASSERT_FALSE(result.ok) << "policy change did not alter the run";
+    ASSERT_NE(result.first_divergent_cycle,
+              replay::ReplayResult::kNoDivergence);
+
+    // Ground truth: linear scan over every window.
+    const replay::Journal& replayed = replayer.replayed();
+    std::uint64_t truth = replay::ReplayResult::kNoDivergence;
+    for (std::size_t c = 0; c < journal.cycles.size(); ++c) {
+        std::string why;
+        if (!replay::CyclesEqual(journal.cycles[c], replayed.cycles[c],
+                                 &why)) {
+            truth = c;
+            break;
+        }
+    }
+    ASSERT_NE(truth, replay::ReplayResult::kNoDivergence);
+    EXPECT_EQ(result.first_divergent_cycle, truth);
+
+    const replay::BisectReport report =
+        replay::BisectDivergence(journal, replayed);
+    EXPECT_TRUE(report.diverged);
+    EXPECT_EQ(report.first_divergent_cycle, truth);
+    EXPECT_FALSE(report.diff.empty());
+    // Binary search beats the linear scan: probes are logarithmic in
+    // the checkpoint count and the scan stays inside one bracket.
+    EXPECT_LE(report.checkpoint_probes, 5u);
+    EXPECT_LE(report.cycles_scanned, journal.checkpoints.empty()
+                                         ? journal.cycles.size()
+                                         : journal.checkpoint_every + 1);
+
+    const std::string rendered = replay::FormatBisectReport(report);
+    EXPECT_NE(rendered.find("first divergent cycle"), std::string::npos);
+}
+
+TEST(ReplayBisect, EquivalentJournalsReportNoDivergence)
+{
+    const replay::Journal journal = RecordRun("partition-heal", Seconds(60));
+    replay::Replayer replayer(journal);
+    ASSERT_TRUE(replayer.ReplayFromStart().ok);
+    const replay::BisectReport report =
+        replay::BisectDivergence(journal, replayer.replayed());
+    EXPECT_FALSE(report.diverged);
+}
+
+TEST(ReplayBisect, RejectsMismatchedCadence)
+{
+    const replay::Journal a = RecordRun("quiet", Seconds(15), 4);
+    const replay::Journal b = RecordRun("quiet", Seconds(15), 2);
+    EXPECT_THROW(replay::BisectDivergence(a, b), std::invalid_argument);
+}
+
+TEST(ReplayScenario, CatalogIsComplete)
+{
+    const auto& names = replay::ScenarioNames();
+    ASSERT_FALSE(names.empty());
+    for (const auto& name : names) {
+        EXPECT_TRUE(static_cast<bool>(replay::FindScenario(name))) << name;
+    }
+    EXPECT_FALSE(static_cast<bool>(replay::FindScenario("no-such-scenario")));
+}
+
+}  // namespace
+}  // namespace dynamo
