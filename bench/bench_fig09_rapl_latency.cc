@@ -15,7 +15,7 @@
 #include "bench_util.h"
 #include "common/units.h"
 #include "core/agent.h"
-#include "core/messages.h"
+#include "core/api.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"
@@ -59,12 +59,12 @@ main()
 
     sim.ScheduleAt(kCapTime, [&]() {
         transport.Call(
-            "agent:web0", core::SetCapRequest{kCap}, [](const rpc::Payload&) {},
+            "agent:web0", api::CapRequest{kCap}, [](const rpc::Payload&) {},
             [](const std::string&) {});
     });
     sim.ScheduleAt(kUncapTime, [&]() {
         transport.Call(
-            "agent:web0", core::UncapRequest{}, [](const rpc::Payload&) {},
+            "agent:web0", api::CapRequest{std::nullopt}, [](const rpc::Payload&) {},
             [](const std::string&) {});
     });
 

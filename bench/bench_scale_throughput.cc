@@ -20,11 +20,28 @@
  *   bench_scale_throughput --servers 1000 --check BENCH_SCALE.json
  *   bench_scale_throughput --metrics            # instrumented run
  *   bench_scale_throughput --servers 10000 --overhead-check 5
+ *   bench_scale_throughput --servers 10000 --threads 4   # sharded engine
+ *   bench_scale_throughput --threads 4 --journal run.jrnl
+ *   bench_scale_throughput --parallel-suite     # BENCH_PARALLEL.json
+ *   bench_scale_throughput --servers 10000 --parallel-check 2.5
  *
  * --check is the CI perf smoke: it compares measured events/sec
  * against the committed baseline and exits non-zero on a >3x
  * regression (generous enough to absorb shared-runner noise, tight
  * enough to catch an accidental O(n log n) -> O(n^2) slip).
+ *
+ * --threads N runs the sharded parallel engine (fleet/sharding.h)
+ * instead of the single-kernel fleet: one shard per SB subtree on an
+ * N-thread pool, barrier-synchronized every 9 s of sim time. The run
+ * records a DYNJRNL1 journal; --journal writes it to disk.
+ *
+ * --parallel-suite measures the 1/2/4/8-thread scaling curves at 10 k
+ * and 100 k servers and writes BENCH_PARALLEL.json (path via --out).
+ *
+ * --parallel-check MIN is the CI determinism + scaling gate: for each
+ * size it runs the sharded engine at 1 and 4 threads, requires the two
+ * journals byte-identical, and requires the 4-thread run to reach MIN
+ * times the single-thread throughput.
  *
  * --metrics wires the telemetry registry + decision-trace log into the
  * transport, every agent, and every controller — the instrumented
@@ -47,10 +64,15 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
+#include "common/archive.h"
 #include "core/agent.h"
 #include "core/leaf_controller.h"
 #include "core/upper_controller.h"
+#include "fleet/sharding.h"
 #include "power/topology.h"
+#include "replay/journal.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"
@@ -71,7 +93,15 @@ constexpr std::size_t kSbsPerMsb = 4;
 class TimedLeaf : public core::LeafController
 {
   public:
-    using core::LeafController::LeafController;
+    // Explicit forwarding ctor: the base ctor is protected (builder is
+    // the production path), and inherited ctors keep base access.
+    TimedLeaf(sim::Simulation& sim, rpc::SimTransport& transport,
+              std::string endpoint, power::PowerDevice& device, Config config,
+              telemetry::EventLog* log)
+        : core::LeafController(sim, transport, std::move(endpoint), device,
+                               config, log)
+    {
+    }
 
     void set_samples(std::vector<double>* samples) { samples_ = samples; }
 
@@ -93,7 +123,13 @@ class TimedLeaf : public core::LeafController
 class TimedUpper : public core::UpperController
 {
   public:
-    using core::UpperController::UpperController;
+    TimedUpper(sim::Simulation& sim, rpc::SimTransport& transport,
+               std::string endpoint, Watts physical_limit, Watts quota,
+               Config config, telemetry::EventLog* log)
+        : core::UpperController(sim, transport, std::move(endpoint),
+                                physical_limit, quota, config, log)
+    {
+    }
 
     void set_samples(std::vector<double>* samples) { samples_ = samples; }
 
@@ -316,6 +352,122 @@ RunSuite(std::size_t n_servers, SimTime measure_ms, bool with_metrics)
     return result;
 }
 
+/** One sharded-engine measurement. */
+struct ParallelResult
+{
+    std::size_t servers = 0;
+    std::size_t threads = 0;
+    std::size_t shards = 0;
+    double sim_seconds = 0.0;
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;
+    double events_per_sec = 0.0;
+
+    /** FNV-1a64 of the encoded DYNJRNL1 bytes (determinism witness). */
+    std::uint64_t journal_fnv = 0;
+
+    /** Encoded journal, kept when the caller needs to compare/write. */
+    std::string journal_bytes;
+};
+
+ParallelResult
+RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
+                 std::size_t threads)
+{
+    fleet::ShardedFleetConfig config;
+    config.n_servers = n_servers;
+    config.threads = threads;
+    config.seed = 1234;
+    config.record_journal = true;
+    // Hash-only journal: cycle records cover the full RPC + kernel
+    // event streams; checkpoints would serialize every server at the
+    // barrier and bill that serial work to the parallel arms.
+    config.checkpoint_every = 0;
+    config.scenario = "bench-scale-parallel";
+    fleet::ShardedFleet fleet(config);
+
+    // Warm up two windows (18 s: past every activation stagger), then
+    // measure whole windows covering measure_ms.
+    fleet.RunWindows(2);
+    const std::uint64_t events_before = fleet.events_executed();
+    const std::uint64_t windows =
+        static_cast<std::uint64_t>((measure_ms + fleet::kShardWindowMs - 1) /
+                                   fleet::kShardWindowMs);
+    const Clock::time_point wall_start = Clock::now();
+    fleet.RunWindows(windows);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+    ParallelResult result;
+    result.servers = n_servers;
+    result.threads = threads;
+    result.shards = fleet.shard_count();
+    result.sim_seconds =
+        static_cast<double>(windows * fleet::kShardWindowMs) / 1000.0;
+    result.wall_seconds = wall_s;
+    result.events = fleet.events_executed() - events_before;
+    result.events_per_sec =
+        wall_s > 0.0 ? static_cast<double>(result.events) / wall_s : 0.0;
+    result.journal_bytes = replay::EncodeJournal(fleet.journal());
+    result.journal_fnv = Fnv1a64(result.journal_bytes);
+    return result;
+}
+
+std::string
+ParallelToJson(const std::vector<ParallelResult>& results)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"bench\": \"scale_throughput_parallel\",\n";
+#ifdef NDEBUG
+    out << "  \"build\": \"release\",\n";
+#else
+    out << "  \"build\": \"debug\",\n";
+#endif
+    out << "  \"window_ms\": " << fleet::kShardWindowMs << ",\n";
+    out << "  \"host_cores\": " << std::thread::hardware_concurrency()
+        << ",\n";
+    out << "  \"note\": \"speedup_vs_1t compares against the 1-thread "
+           "entry of the same size; identical journal_fnv64 across "
+           "thread counts is the determinism witness\",\n";
+    out << "  \"suites\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ParallelResult& r = results[i];
+        // The 1-thread arm of the same size (suite entries are emitted
+        // size-major, 1-thread first).
+        double base = r.events_per_sec;
+        for (const ParallelResult& b : results) {
+            if (b.servers == r.servers && b.threads == 1) {
+                base = b.events_per_sec;
+                break;
+            }
+        }
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\n"
+            "      \"servers\": %zu,\n"
+            "      \"threads\": %zu,\n"
+            "      \"shards\": %zu,\n"
+            "      \"sim_seconds\": %.1f,\n"
+            "      \"wall_seconds\": %.4f,\n"
+            "      \"events_executed\": %llu,\n"
+            "      \"events_per_sec\": %.0f,\n"
+            "      \"speedup_vs_1t\": %.2f,\n"
+            "      \"journal_fnv64\": \"0x%016llx\"\n"
+            "    }%s\n",
+            r.servers, r.threads, r.shards, r.sim_seconds, r.wall_seconds,
+            static_cast<unsigned long long>(r.events), r.events_per_sec,
+            base > 0.0 ? r.events_per_sec / base : 0.0,
+            static_cast<unsigned long long>(r.journal_fnv),
+            i + 1 < results.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
 std::string
 ToJson(const std::vector<SuiteResult>& results)
 {
@@ -389,8 +541,12 @@ main(int argc, char** argv)
     SimTime measure_ms = 60'000;
     std::string out_path;
     std::string check_path;
+    std::string journal_path;
     bool with_metrics = false;
     double overhead_pct = 0.0;
+    std::size_t threads = 0;  // 0 = classic single-kernel fleet
+    bool parallel_suite = false;
+    double parallel_check = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -419,11 +575,31 @@ main(int argc, char** argv)
                                      "percentage\n");
                 return 2;
             }
+        } else if (arg == "--threads") {
+            threads = static_cast<std::size_t>(
+                std::strtoull(next(), nullptr, 10));
+            if (threads == 0) {
+                std::fprintf(stderr, "--threads needs a positive count\n");
+                return 2;
+            }
+        } else if (arg == "--journal") {
+            journal_path = next();
+        } else if (arg == "--parallel-suite") {
+            parallel_suite = true;
+        } else if (arg == "--parallel-check") {
+            parallel_check = std::strtod(next(), nullptr);
+            if (parallel_check <= 0.0) {
+                std::fprintf(stderr, "--parallel-check needs a positive "
+                                     "minimum speedup\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--servers N] [--sim-seconds S] "
                          "[--out FILE] [--check BASELINE] [--metrics] "
-                         "[--overhead-check PCT]\n",
+                         "[--overhead-check PCT] [--threads N] "
+                         "[--journal FILE] [--parallel-suite] "
+                         "[--parallel-check MIN_SPEEDUP]\n",
                          argv[0]);
             return 2;
         }
@@ -434,6 +610,106 @@ main(int argc, char** argv)
                  "warning: debug build; throughput numbers are not "
                  "comparable to the committed Release baseline\n");
 #endif
+
+    if (parallel_check > 0.0) {
+        // CI determinism + scaling gate.
+        bool ok = true;
+        for (const std::size_t n : sizes) {
+            std::printf("parallel check at %zu servers: 1-thread arm...\n", n);
+            std::fflush(stdout);
+            const ParallelResult serial = RunParallelSuite(n, measure_ms, 1);
+            std::printf("  1 thread: %.2fM events/s (%zu shards)\n"
+                        "parallel check at %zu servers: 4-thread arm...\n",
+                        serial.events_per_sec / 1e6, serial.shards, n);
+            std::fflush(stdout);
+            const ParallelResult wide = RunParallelSuite(n, measure_ms, 4);
+            const double speedup =
+                serial.events_per_sec > 0.0
+                    ? wide.events_per_sec / serial.events_per_sec
+                    : 0.0;
+            if (wide.journal_bytes != serial.journal_bytes) {
+                std::fprintf(stderr,
+                             "DETERMINISM FAILURE: %zu servers, 4-thread "
+                             "journal (fnv 0x%016llx) differs from 1-thread "
+                             "(fnv 0x%016llx)\n",
+                             n,
+                             static_cast<unsigned long long>(wide.journal_fnv),
+                             static_cast<unsigned long long>(
+                                 serial.journal_fnv));
+                ok = false;
+            }
+            if (speedup < parallel_check) {
+                std::fprintf(stderr,
+                             "SCALING FAILURE: %zu servers, 4 threads ran "
+                             "%.2fx the 1-thread throughput (%.0f vs %.0f "
+                             "events/s), need >= %.2fx\n",
+                             n, speedup, wide.events_per_sec,
+                             serial.events_per_sec, parallel_check);
+                ok = false;
+            }
+            if (ok) {
+                std::printf("  4 threads: %.2fM events/s, %.2fx speedup, "
+                            "journal identical (fnv 0x%016llx)\n",
+                            wide.events_per_sec / 1e6, speedup,
+                            static_cast<unsigned long long>(wide.journal_fnv));
+            }
+        }
+        return ok ? 0 : 1;
+    }
+
+    if (parallel_suite || threads > 0) {
+        // Sharded-engine measurements. --parallel-suite sweeps the
+        // scaling curves; plain --threads measures the requested sizes
+        // at one pool width.
+        if (parallel_suite) sizes = {10'000, 100'000};
+        const std::vector<std::size_t> widths =
+            parallel_suite ? std::vector<std::size_t>{1, 2, 4, 8}
+                           : std::vector<std::size_t>{threads};
+        std::vector<ParallelResult> results;
+        for (const std::size_t n : sizes) {
+            for (const std::size_t t : widths) {
+                std::printf("running sharded %zu-server suite, %zu thread%s "
+                            "(%lld sim-seconds)...\n",
+                            n, t, t == 1 ? "" : "s",
+                            static_cast<long long>(measure_ms / 1000));
+                std::fflush(stdout);
+                results.push_back(RunParallelSuite(n, measure_ms, t));
+                const ParallelResult& r = results.back();
+                std::printf("  %zu shards: %.2fM events/s, journal fnv "
+                            "0x%016llx\n",
+                            r.shards, r.events_per_sec / 1e6,
+                            static_cast<unsigned long long>(r.journal_fnv));
+                std::fflush(stdout);
+            }
+        }
+        if (!journal_path.empty()) {
+            const ParallelResult& last = results.back();
+            std::ofstream out(journal_path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             journal_path.c_str());
+                return 1;
+            }
+            out << last.journal_bytes;
+            std::printf("wrote %s (%zu bytes)\n", journal_path.c_str(),
+                        last.journal_bytes.size());
+        }
+        const std::string json = ParallelToJson(results);
+        if (parallel_suite) {
+            const std::string path =
+                out_path.empty() ? "BENCH_PARALLEL.json" : out_path;
+            std::ofstream out(path);
+            out << json;
+            std::printf("wrote %s\n", path.c_str());
+        } else if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            out << json;
+            std::printf("wrote %s\n", out_path.c_str());
+        } else {
+            std::printf("%s", json.c_str());
+        }
+        return 0;
+    }
 
     if (overhead_pct > 0.0) {
         // Instrumentation-overhead gate: alternate off/on arms so slow

@@ -55,11 +55,11 @@ DynamoAgent::Handle(const rpc::Payload& request)
 {
     const SimTime now = sim_.Now();
 
-    if (std::any_cast<PowerReadRequest>(&request) != nullptr) {
+    if (std::any_cast<api::PowerReadRequest>(&request) != nullptr) {
         ++reads_served_;
         if (m_reads_ != nullptr) m_reads_->Inc();
-        PowerReadResponse resp;
-        resp.server = server_.name();
+        api::PowerReadResult resp;
+        resp.source = server_.name();
         resp.service = server_.service();
         resp.capped = server_.capped();
         resp.power_limit = server_.power_limit();
@@ -77,27 +77,27 @@ DynamoAgent::Handle(const rpc::Payload& request)
         resp.conversion_loss = bd.conversion_loss;
         return resp;
     }
-    if (const auto* cap = std::any_cast<SetCapRequest>(&request)) {
-        ++caps_applied_;
-        if (m_caps_ != nullptr) m_caps_->Inc();
-        server_.SetPowerLimit(cap->limit, now);
-        return AckResponse{true};
+    if (const auto* cap = std::any_cast<api::CapRequest>(&request)) {
+        if (cap->limit) {
+            ++caps_applied_;
+            if (m_caps_ != nullptr) m_caps_->Inc();
+            server_.SetPowerLimit(*cap->limit, now);
+        } else {
+            ++uncaps_applied_;
+            if (m_uncaps_ != nullptr) m_uncaps_->Inc();
+            server_.ClearPowerLimit(now);
+        }
+        return api::CapResult{api::Status::Ok()};
     }
-    if (std::any_cast<UncapRequest>(&request) != nullptr) {
-        ++uncaps_applied_;
-        if (m_uncaps_ != nullptr) m_uncaps_->Inc();
-        server_.ClearPowerLimit(now);
-        return AckResponse{true};
-    }
-    if (const auto* tune = std::any_cast<TuneEstimateRequest>(&request)) {
+    if (const auto* tune = std::any_cast<api::TuneEstimate>(&request)) {
         // Estimate=1 / reference=ratio nudges the model's bias by the
         // controller-computed correction factor.
         server_.estimator().Tune(1.0, tune->reference_ratio);
         ++tunes_applied_;
         if (m_tunes_ != nullptr) m_tunes_->Inc();
-        return AckResponse{true};
+        return api::CapResult{api::Status::Ok()};
     }
-    return AckResponse{false};
+    return api::CapResult{api::Status::Unimplemented("unknown agent request")};
 }
 
 }  // namespace dynamo::core

@@ -16,7 +16,7 @@
 #include <string>
 
 #include "common/archive.h"
-#include "core/messages.h"
+#include "core/api.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"

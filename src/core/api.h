@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The versioned Dynamo control-plane API.
+ *
+ * Production Dynamo defines its wire surface as Thrift structs; here
+ * it is a single versioned namespace of plain structs carried through
+ * the simulated transport. Every result type carries an explicit
+ * `Status` (code + retriability + detail) instead of ad-hoc booleans,
+ * sentinel watt values, or out-params, so agents, controllers, shard
+ * proxies, and transport handlers all speak one uniform surface — the
+ * property the sharded parallel engine depends on: a request crossing
+ * a shard boundary is indistinguishable from a local one.
+ *
+ * Versioning: types live in `dynamo::api::v1`, re-exported through an
+ * inline namespace. A breaking change adds `v2` alongside and moves
+ * the inline marker; handlers that must bridge versions can then name
+ * both explicitly.
+ *
+ * The agent serves PowerReadRequest, CapRequest, and TuneEstimate;
+ * controllers additionally serve PowerReadRequest to their parent
+ * (with the quota/floor fields filled in), ContractUpdate from the
+ * punish-offender-first coordination, and HealthProbe from the
+ * failover manager.
+ */
+#ifndef DYNAMO_CORE_API_H_
+#define DYNAMO_CORE_API_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+#include "workload/service.h"
+
+namespace dynamo::api {
+
+inline namespace v1 {
+
+/** Outcome classes; kept coarse on purpose (Thrift-style). */
+enum class StatusCode : std::uint8_t {
+    kOk = 0,
+
+    /** The handler exists but cannot serve the request right now
+     *  (e.g. a controller whose last aggregation was invalid). */
+    kUnavailable = 1,
+
+    /** The request was understood and refused (bad argument, policy). */
+    kRejected = 2,
+
+    /** The endpoint does not implement this request type. */
+    kUnimplemented = 3,
+};
+
+/** Readable name ("ok", "unavailable", ...). */
+inline const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kRejected: return "rejected";
+      case StatusCode::kUnimplemented: return "unimplemented";
+    }
+    return "?";
+}
+
+/**
+ * Per-result status: what happened, whether retrying the same request
+ * can help, and a human-readable detail for logs and alarms.
+ */
+struct Status
+{
+    StatusCode code = StatusCode::kOk;
+    bool retriable = false;
+    std::string detail;
+
+    bool ok() const { return code == StatusCode::kOk; }
+
+    static Status Ok() { return Status{}; }
+
+    static Status Unavailable(std::string detail, bool retriable = true)
+    {
+        return Status{StatusCode::kUnavailable, retriable, std::move(detail)};
+    }
+
+    static Status Rejected(std::string detail)
+    {
+        return Status{StatusCode::kRejected, false, std::move(detail)};
+    }
+
+    static Status Unimplemented(std::string detail)
+    {
+        return Status{StatusCode::kUnimplemented, false, std::move(detail)};
+    }
+};
+
+/**
+ * Puller → pullee: report your power. Served by agents (server power)
+ * and by controllers (aggregated device power, for the parent).
+ */
+struct PowerReadRequest
+{
+};
+
+/**
+ * The uniform read result. Agents fill the server fields; controllers
+ * fill power/quota/floor and report an invalid aggregation as a
+ * non-ok status (retriable — the next cycle may aggregate cleanly).
+ */
+struct PowerReadResult
+{
+    Status status;
+
+    /** Reporting server or controller endpoint. */
+    std::string source;
+
+    Watts power = 0.0;
+
+    /** True when the value came from the estimation model, not a sensor. */
+    bool estimated = false;
+
+    workload::ServiceType service = workload::ServiceType::kWeb;
+    bool capped = false;
+    Watts power_limit = 0.0;
+
+    /** Power breakdown (Section III-B: CPU, memory, AC-DC loss, rest). */
+    Watts cpu_power = 0.0;
+    Watts memory_power = 0.0;
+    Watts other_power = 0.0;
+    Watts conversion_loss = 0.0;
+
+    /** Controller reads only: planned peak of the pullee's device. */
+    Watts quota = 0.0;
+
+    /** Controller reads only: lowest honorable contractual limit. */
+    Watts floor = 0.0;
+};
+
+/**
+ * Controller → agent: enforce (or lift, when `limit` is empty) a RAPL
+ * power limit.
+ */
+struct CapRequest
+{
+    std::optional<Watts> limit;
+};
+
+/** Command acknowledgement for cap/contract/tune requests. */
+struct CapResult
+{
+    Status status;
+};
+
+/**
+ * Parent controller → child controller: set (or lift, when `limit` is
+ * empty) the contractual power limit from punish-offender-first
+ * coordination.
+ */
+struct ContractUpdate
+{
+    std::optional<Watts> limit;
+
+    /**
+     * Decision-trace span of the parent cycle that issued this limit
+     * (telemetry::SpanId; plain integer here to keep wire messages
+     * free of telemetry types). 0 = untraced. The child links its next
+     * decision spans to it, making upper → leaf → RAPL chains
+     * followable.
+     */
+    std::uint64_t span_id = 0;
+};
+
+/**
+ * Controller → agent (sensorless servers only): scale your power
+ * estimation model by `reference_ratio` (breaker-derived truth over
+ * reported estimate), per the dynamic-tuning lesson of Section VI.
+ */
+struct TuneEstimate
+{
+    double reference_ratio = 1.0;
+};
+
+/** Liveness probe used by the failover manager. */
+struct HealthProbe
+{
+};
+
+/** Liveness reply. */
+struct HealthResult
+{
+    Status status;
+};
+
+}  // inline namespace v1
+
+}  // namespace dynamo::api
+
+#endif  // DYNAMO_CORE_API_H_

@@ -84,27 +84,29 @@ Controller::Deactivate()
 rpc::Payload
 Controller::Handle(const rpc::Payload& request)
 {
-    if (std::any_cast<ControllerReadRequest>(&request) != nullptr) {
-        ControllerReadResponse resp;
-        resp.controller = endpoint_;
+    if (std::any_cast<api::PowerReadRequest>(&request) != nullptr) {
+        api::PowerReadResult resp;
+        resp.source = endpoint_;
         resp.power = last_power_;
-        resp.valid = last_valid_;
+        if (!last_valid_) {
+            resp.status = api::Status::Unavailable("aggregation invalid");
+        }
         resp.quota = quota_;
         resp.floor = Floor();
         return resp;
     }
-    if (const auto* set = std::any_cast<SetContractualLimitRequest>(&request)) {
-        SetContractualLimit(set->limit);
-        contract_span_ = set->span_id;
-        return AckResponse{true};
+    if (const auto* update = std::any_cast<api::ContractUpdate>(&request)) {
+        if (update->limit) {
+            SetContractualLimit(*update->limit);
+            contract_span_ = update->span_id;
+        } else {
+            ClearContractualLimit();
+            contract_span_ = telemetry::kNoSpan;
+        }
+        return api::CapResult{api::Status::Ok()};
     }
-    if (std::any_cast<ClearContractualLimitRequest>(&request) != nullptr) {
-        ClearContractualLimit();
-        contract_span_ = telemetry::kNoSpan;
-        return AckResponse{true};
-    }
-    if (std::any_cast<HealthCheckRequest>(&request) != nullptr) {
-        return HealthCheckResponse{true};
+    if (std::any_cast<api::HealthProbe>(&request) != nullptr) {
+        return api::HealthResult{api::Status::Ok()};
     }
     return HandleExtra(request);
 }
@@ -112,7 +114,8 @@ Controller::Handle(const rpc::Payload& request)
 rpc::Payload
 Controller::HandleExtra(const rpc::Payload&)
 {
-    return AckResponse{false};
+    return api::CapResult{
+        api::Status::Unimplemented("unknown controller request")};
 }
 
 void

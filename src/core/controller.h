@@ -24,7 +24,7 @@
 #include "common/archive.h"
 #include "common/rng.h"
 #include "common/units.h"
-#include "core/messages.h"
+#include "core/api.h"
 #include "core/three_band.h"
 #include "rpc/transport.h"
 #include "sim/simulation.h"

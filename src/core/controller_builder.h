@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The single construction path for Dynamo controllers.
+ *
+ * Historically controllers grew two ways to come to life: tests
+ * aggregate-initialized them directly, while deployment.cc had its own
+ * wiring (limits pulled out of the device, telemetry attached in a
+ * second pass). The two drifted — and with sharded execution a
+ * mis-wired controller (wrong limits, missing trace log, roster on the
+ * wrong level) becomes a cross-thread bug. ControllerBuilder is now
+ * the only way to construct a LeafController or UpperController: the
+ * concrete constructors are protected (subclassing for tests and
+ * benchmarks remains possible), and every wiring rule is validated
+ * loudly at Build time.
+ *
+ * The builder is reusable: Build* does not consume its state, so a
+ * primary/backup pair comes from one configured builder via two Build
+ * calls (deployment failover relies on this — both instances must be
+ * configured identically or the promoted backup behaves differently).
+ */
+#ifndef DYNAMO_CORE_CONTROLLER_BUILDER_H_
+#define DYNAMO_CORE_CONTROLLER_BUILDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/leaf_controller.h"
+#include "core/upper_controller.h"
+
+namespace dynamo::core {
+
+/** Fluent, validated construction of leaf and upper controllers. */
+class ControllerBuilder
+{
+  public:
+    ControllerBuilder(sim::Simulation& sim, rpc::SimTransport& transport);
+
+    /** Logical endpoint name (required, non-empty). */
+    ControllerBuilder& Endpoint(std::string endpoint);
+
+    /**
+     * The protected power device. For leaves this is required (the
+     * controller validates against and estimates for this breaker);
+     * for uppers it supplies rated power and quota, replacing the old
+     * hand-extracted `device.rated_power(), device.quota()` pair.
+     */
+    ControllerBuilder& ForDevice(power::PowerDevice& device);
+
+    /**
+     * Explicit limits for device-less upper controllers (test rigs
+     * that model the SB as raw watts). Mutually exclusive with
+     * ForDevice; requires 0 < quota <= physical_limit.
+     */
+    ControllerBuilder& Limits(Watts physical_limit, Watts quota);
+
+    ControllerBuilder& LeafConfig(LeafController::Config config);
+    ControllerBuilder& UpperConfig(UpperController::Config config);
+
+    /** Event log sink (may be nullptr; default none). */
+    ControllerBuilder& Log(telemetry::EventLog* log);
+
+    /** Metrics + decision traces, attached at Build (either nullable). */
+    ControllerBuilder& Telemetry(telemetry::MetricsRegistry* metrics,
+                                 telemetry::TraceLog* traces);
+
+    /** Add one downstream agent (leaf only). */
+    ControllerBuilder& Agent(AgentInfo info);
+
+    /** Add one child controller endpoint (upper only). */
+    ControllerBuilder& Child(std::string endpoint);
+
+    /**
+     * @throws std::invalid_argument on wiring errors: empty endpoint,
+     *         no device, a child roster (children belong to uppers),
+     *         an upper config, or explicit Limits (leaf limits come
+     *         from the device). Config-value violations propagate from
+     *         the Controller constructor.
+     */
+    std::unique_ptr<LeafController> BuildLeaf() const;
+
+    /**
+     * @throws std::invalid_argument on wiring errors: empty endpoint,
+     *         neither device nor Limits (or ambiguously both), an
+     *         agent roster (agents belong to leaves), or a leaf
+     *         config. Config-value violations propagate from the
+     *         Controller constructor.
+     */
+    std::unique_ptr<UpperController> BuildUpper() const;
+
+  private:
+    sim::Simulation& sim_;
+    rpc::SimTransport& transport_;
+    std::string endpoint_;
+    power::PowerDevice* device_ = nullptr;
+    std::optional<Watts> physical_limit_;
+    std::optional<Watts> quota_;
+    std::optional<LeafController::Config> leaf_config_;
+    std::optional<UpperController::Config> upper_config_;
+    telemetry::EventLog* log_ = nullptr;
+    telemetry::MetricsRegistry* metrics_ = nullptr;
+    telemetry::TraceLog* traces_ = nullptr;
+    std::vector<AgentInfo> agents_;
+    std::vector<std::string> children_;
+};
+
+}  // namespace dynamo::core
+
+#endif  // DYNAMO_CORE_CONTROLLER_BUILDER_H_

@@ -1,5 +1,7 @@
 #include "core/deployment.h"
 
+#include "core/controller_builder.h"
+
 #include <utility>
 
 #include "server/sim_server.h"
@@ -55,16 +57,15 @@ DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
     const std::string endpoint = Deployment::ControllerEndpoint(device.name());
 
     if (device.level() == config.leaf_level) {
-        auto make_leaf = [&]() {
-            auto leaf = std::make_unique<LeafController>(
-                sim, transport, endpoint, device, config.leaf,
-                &deployment->log_);
-            for (server::SimServer* srv : ServersUnder(device)) {
-                leaf->AddAgent(AgentInfoFor(*srv));
-            }
-            return leaf;
-        };
-        auto leaf = make_leaf();
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint(endpoint)
+            .ForDevice(device)
+            .LeafConfig(config.leaf)
+            .Log(&deployment->log_);
+        for (server::SimServer* srv : ServersUnder(device)) {
+            builder.Agent(AgentInfoFor(*srv));
+        }
+        auto leaf = builder.BuildLeaf();
         SimTime phase = -1;
         if (config.stagger_cycles) {
             const std::size_t index = deployment->leaves_.size();
@@ -76,7 +77,7 @@ DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
         deployment->leaf_by_endpoint_[endpoint] = leaf.get();
         deployment->leaves_.push_back(std::move(leaf));
         if (config.with_backup_controllers) {
-            auto backup = make_leaf();
+            auto backup = builder.BuildLeaf();
             deployment->failovers_.push_back(std::make_unique<FailoverManager>(
                 sim, transport, *deployment->leaves_.back(), *backup,
                 config.failover_check_period, config.failover_miss_threshold,
@@ -94,19 +95,18 @@ DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
     }
     if (child_endpoints.empty()) return "";
 
-    auto make_upper = [&]() {
-        auto upper = std::make_unique<UpperController>(
-            sim, transport, endpoint, device.rated_power(), device.quota(),
-            config.upper, &deployment->log_);
-        for (const std::string& ep : child_endpoints) upper->AddChild(ep);
-        return upper;
-    };
-    auto upper = make_upper();
+    ControllerBuilder builder(sim, transport);
+    builder.Endpoint(endpoint)
+        .ForDevice(device)
+        .UpperConfig(config.upper)
+        .Log(&deployment->log_);
+    for (const std::string& ep : child_endpoints) builder.Child(ep);
+    auto upper = builder.BuildUpper();
     upper->Activate();
     deployment->upper_by_endpoint_[endpoint] = upper.get();
     deployment->uppers_.push_back(std::move(upper));
     if (config.with_backup_controllers) {
-        auto backup = make_upper();
+        auto backup = builder.BuildUpper();
         deployment->failovers_.push_back(std::make_unique<FailoverManager>(
             sim, transport, *deployment->uppers_.back(), *backup,
             config.failover_check_period, config.failover_miss_threshold,

@@ -1,6 +1,6 @@
 #include "core/failover.h"
 
-#include "core/messages.h"
+#include "core/api.h"
 
 namespace dynamo::core {
 
@@ -24,7 +24,7 @@ FailoverManager::Check()
 {
     if (switched_) return;
     transport_.Call(
-        primary_.endpoint_id(), HealthCheckRequest{},
+        primary_.endpoint_id(), api::HealthProbe{},
         [this](const rpc::Payload&) { misses_ = 0; },
         [this](const std::string&) {
             ++misses_;

@@ -48,24 +48,20 @@ void
 LeafController::RunCycle()
 {
     const std::uint64_t id = ++cycle_id_;
-    for (AgentState& a : agents_) {
-        a.current.reset();
-        a.failed = false;
-    }
+    for (AgentState& a : agents_) a.current.reset();
     for (std::size_t i = 0; i < agents_.size(); ++i) {
         PullWithRetry(
-            agents_[i].id, PowerReadRequest{},
+            agents_[i].id, api::PowerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;  // stale cycle
-                if (const auto* r = std::any_cast<PowerReadResponse>(&resp)) {
+                const auto* r = std::any_cast<api::PowerReadResult>(&resp);
+                if (r != nullptr && r->status.ok()) {
                     agents_[i].current = *r;
-                } else {
-                    agents_[i].failed = true;
                 }
             },
-            [this, i, id](const std::string&) {
-                if (id != cycle_id_) return;
-                agents_[i].failed = true;
+            [](const std::string&) {
+                // Failure is implicit: `current` stays empty and
+                // Aggregate substitutes an estimate.
             });
     }
     sim_.ScheduleAfter(config_.response_wait, [this, id]() {
@@ -109,7 +105,7 @@ LeafController::ValidateAgainstBreaker(Watts aggregated)
         if (!a.current || !a.current->estimated) continue;
         ++tunes_sent_;
         transport_.Call(
-            a.id, TuneEstimateRequest{ratio},
+            a.id, api::TuneEstimate{ratio},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -347,7 +343,7 @@ LeafController::ExecuteCapPlan(const CappingPlan& plan)
         a.capped = true;
         a.cap = assignment.cap;
         transport_.Call(
-            a.id, SetCapRequest{assignment.cap},
+            a.id, api::CapRequest{assignment.cap},
             [](const rpc::Payload&) {},
             [](const std::string&) {
                 // A lost cap command is retried implicitly: the next
@@ -365,7 +361,7 @@ LeafController::ExecuteUncap()
         a.capped = false;
         a.cap = 0.0;
         transport_.Call(
-            a.id, UncapRequest{}, [](const rpc::Payload&) {},
+            a.id, api::CapRequest{std::nullopt}, [](const rpc::Payload&) {},
             [](const std::string&) {}, config_.rpc_timeout);
     }
 }

@@ -79,14 +79,6 @@ class LeafController : public Controller
         double tune_deadband_frac = 0.02;
     };
 
-    /**
-     * @param device  The protected power device (rating, quota,
-     *                non-cappable loads); not owned.
-     */
-    LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
-                   std::string endpoint, power::PowerDevice& device,
-                   Config config, telemetry::EventLog* log);
-
     /** Add one downstream agent to the roster (before or after Activate). */
     void AddAgent(AgentInfo info);
 
@@ -159,6 +151,18 @@ class LeafController : public Controller
     void Snapshot(Archive& ar) const override;
 
   protected:
+    /**
+     * Construction goes through ControllerBuilder (the one validated
+     * path); kept protected so tests and benchmarks may still
+     * subclass.
+     *
+     * @param device  The protected power device (rating, quota,
+     *                non-cappable loads); not owned.
+     */
+    LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
+                   std::string endpoint, power::PowerDevice& device,
+                   Config config, telemetry::EventLog* log);
+
     void RunCycle() override;
 
     std::size_t ControlledCount() const override { return capped_count(); }
@@ -166,6 +170,8 @@ class LeafController : public Controller
     const char* MetricPrefix() const override { return "leaf"; }
 
   private:
+    friend class ControllerBuilder;
+
     struct AgentState
     {
         AgentInfo info;
@@ -173,8 +179,12 @@ class LeafController : public Controller
         /** Interned endpoint id, resolved once in AddAgent. */
         rpc::EndpointId id = rpc::kInvalidEndpoint;
 
-        std::optional<PowerReadResponse> current;  ///< This cycle's reading.
-        bool failed = false;
+        /**
+         * This cycle's reading; nullopt covers both "no response yet"
+         * and "pull failed" (the result's Status distinguishes an
+         * unreachable agent from one reporting an error).
+         */
+        std::optional<api::PowerReadResult> current;
         Watts last_power = 0.0;
         bool have_last = false;
         SimTime last_time = 0;  ///< When last_power was read (TTL check).

@@ -34,7 +34,7 @@ UpperController::contracted_count() const
     return n;
 }
 
-std::optional<ControllerReadResponse>
+std::optional<api::PowerReadResult>
 UpperController::LastChildResponse(const std::string& endpoint) const
 {
     for (const ChildState& c : children_) {
@@ -57,25 +57,20 @@ void
 UpperController::RunCycle()
 {
     const std::uint64_t id = ++cycle_id_;
-    for (ChildState& c : children_) {
-        c.current.reset();
-        c.failed = false;
-    }
+    for (ChildState& c : children_) c.current.reset();
     for (std::size_t i = 0; i < children_.size(); ++i) {
         PullWithRetry(
-            children_[i].id, ControllerReadRequest{},
+            children_[i].id, api::PowerReadRequest{},
             [this, i, id](const rpc::Payload& resp) {
                 if (id != cycle_id_) return;
                 if (const auto* r =
-                        std::any_cast<ControllerReadResponse>(&resp)) {
+                        std::any_cast<api::PowerReadResult>(&resp)) {
                     children_[i].current = *r;
-                } else {
-                    children_[i].failed = true;
                 }
             },
-            [this, i, id](const std::string&) {
-                if (id != cycle_id_) return;
-                children_[i].failed = true;
+            [](const std::string&) {
+                // Failure is implicit: `current` stays empty and
+                // Aggregate falls back to the child's cached reading.
             });
     }
     sim_.ScheduleAfter(config_.response_wait, [this, id]() {
@@ -104,11 +99,11 @@ UpperController::Aggregate()
 
     for (std::size_t i = 0; i < children_.size(); ++i) {
         ChildState& c = children_[i];
-        // A child whose own aggregation was invalid reports
-        // valid=false; treat it like a pull failure and fall back to
-        // its last good value — but only while that cached value is
+        // A child whose own aggregation was invalid reports a non-ok
+        // status; treat it like a pull failure and fall back to its
+        // last good value — but only while that cached value is
         // fresher than the TTL.
-        if (c.current && c.current->valid) {
+        if (c.current && c.current->status.ok()) {
             c.last = *c.current;
             c.have_last = true;
             c.last_time = now;
@@ -256,7 +251,7 @@ UpperController::ExecutePlan(const OffenderPlan& plan,
         c.span = span_id;
         transport_.Call(
             c.id,
-            SetContractualLimitRequest{child_limit.contractual_limit, span_id},
+            api::ContractUpdate{child_limit.contractual_limit, span_id},
             [](const rpc::Payload&) {},
             [](const std::string&) {
                 // Re-issued next cycle if still needed.
@@ -272,7 +267,7 @@ UpperController::ReaffirmContracts()
         if (!c.contracted) continue;
         ++contracts_reaffirmed_;
         transport_.Call(
-            c.id, SetContractualLimitRequest{c.limit, c.span},
+            c.id, api::ContractUpdate{c.limit, c.span},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -286,7 +281,7 @@ UpperController::ClearContracts()
         c.contracted = false;
         c.limit = 0.0;
         transport_.Call(
-            c.id, ClearContractualLimitRequest{},
+            c.id, api::ContractUpdate{std::nullopt, telemetry::kNoSpan},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -309,7 +304,11 @@ UpperController::Snapshot(Archive& ar) const
         ar.Bool(c.have_last);
         ar.I64(c.last_time);
         ar.F64(c.last.power);
-        ar.Bool(c.last.valid);
+        // `last` is only ever stored from an ok reading, so its
+        // validity bit equals have_last; serialized explicitly to keep
+        // the checkpoint byte layout identical to the v0 wire structs
+        // (the committed golden journal depends on it).
+        ar.Bool(c.have_last);
         ar.F64(c.last.quota);
         ar.F64(c.last.floor);
     }

@@ -38,10 +38,6 @@ class UpperController : public Controller
         Watts bucket_size = 2000.0;
     };
 
-    UpperController(sim::Simulation& sim, rpc::SimTransport& transport,
-                    std::string endpoint, Watts physical_limit, Watts quota,
-                    Config config, telemetry::EventLog* log);
-
     /** Register one child controller endpoint. */
     void AddChild(const std::string& endpoint);
 
@@ -54,7 +50,7 @@ class UpperController : public Controller
     std::uint64_t contracts_reaffirmed() const { return contracts_reaffirmed_; }
 
     /** Quota/floor data discovered from a child (for tests). */
-    std::optional<ControllerReadResponse> LastChildResponse(
+    std::optional<api::PowerReadResult> LastChildResponse(
         const std::string& endpoint) const;
 
     Watts Floor() const override;
@@ -65,6 +61,15 @@ class UpperController : public Controller
     void Snapshot(Archive& ar) const override;
 
   protected:
+    /**
+     * Construction goes through ControllerBuilder (the one validated
+     * path); kept protected so tests and benchmarks may still
+     * subclass.
+     */
+    UpperController(sim::Simulation& sim, rpc::SimTransport& transport,
+                    std::string endpoint, Watts physical_limit, Watts quota,
+                    Config config, telemetry::EventLog* log);
+
     void RunCycle() override;
 
     std::size_t ControlledCount() const override { return contracted_count(); }
@@ -72,6 +77,8 @@ class UpperController : public Controller
     const char* MetricPrefix() const override { return "upper"; }
 
   private:
+    friend class ControllerBuilder;
+
     struct ChildState
     {
         std::string endpoint;
@@ -79,11 +86,10 @@ class UpperController : public Controller
         /** Interned endpoint id, resolved once in AddChild. */
         rpc::EndpointId id = rpc::kInvalidEndpoint;
 
-        std::optional<ControllerReadResponse> current;
-        ControllerReadResponse last;
+        std::optional<api::PowerReadResult> current;
+        api::PowerReadResult last;
         bool have_last = false;
         SimTime last_time = 0;  ///< When `last` was read (TTL check).
-        bool failed = false;
         bool contracted = false;
         Watts limit = 0.0;
 

@@ -1,0 +1,541 @@
+#include "fleet/sharding.h"
+
+#include <algorithm>
+#include <any>
+#include <sstream>
+#include <utility>
+
+#include "common/archive.h"
+#include "common/rng.h"
+#include "core/api.h"
+#include "core/controller_builder.h"
+#include "power/topology.h"
+#include "workload/load_process.h"
+
+namespace dynamo::fleet {
+
+namespace {
+
+/** Stable per-shard transport seed (independent of thread count). */
+std::uint64_t
+ShardSeed(std::uint64_t base, const std::string& label)
+{
+    return base ^ Fnv1a64(label);
+}
+
+}  // namespace
+
+ShardPlan
+ShardPlan::For(std::size_t n_servers)
+{
+    ShardPlan plan;
+    plan.n_servers = n_servers;
+    plan.n_leaves =
+        (n_servers + kShardServersPerLeaf - 1) / kShardServersPerLeaf;
+    plan.n_sbs =
+        (plan.n_leaves + kShardLeavesPerSb - 1) / kShardLeavesPerSb;
+    plan.n_msbs = plan.n_sbs > 1
+                      ? (plan.n_sbs + kShardSbsPerMsb - 1) / kShardSbsPerMsb
+                      : 0;
+    plan.shards.reserve(plan.n_sbs);
+    for (std::size_t s = 0; s < plan.n_sbs; ++s) {
+        Shard shard;
+        shard.first_leaf = s * kShardLeavesPerSb;
+        shard.last_leaf =
+            std::min(shard.first_leaf + kShardLeavesPerSb, plan.n_leaves);
+        plan.shards.push_back(shard);
+    }
+    return plan;
+}
+
+/**
+ * One SB subtree as a private sub-world. Everything here is touched by
+ * exactly one thread per window; the pool barrier orders windows.
+ */
+struct ShardedFleet::WorkerShard : sim::ShardRunner
+{
+    WorkerShard(std::size_t index_in, std::uint64_t transport_seed)
+        : index(index_in), transport(sim, transport_seed)
+    {
+        sim.set_event_observer([this](SimTime t, std::uint64_t seq) {
+            kernel_hash.Mix(static_cast<std::uint64_t>(t));
+            kernel_hash.Mix(seq);
+        });
+        transport.set_call_observer(
+            [this](rpc::EndpointId id, rpc::CallFate fate, SimTime now) {
+                rpc_hash.Mix(id);
+                rpc_hash.Mix(static_cast<std::uint64_t>(fate));
+                rpc_hash.Mix(static_cast<std::uint64_t>(now));
+            });
+    }
+
+    void RunWindow(SimTime until) override { sim.RunUntil(until); }
+
+    /** Canonical state bytes for merged checkpoints. */
+    void Snapshot(Archive& ar) const
+    {
+        ar.U64(index);
+        sim.Snapshot(ar);
+        transport.Snapshot(ar);
+        ar.U64(servers.size());
+        for (const auto& server : servers) server->Snapshot(ar);
+        ar.U64(leaves.size());
+        for (const auto& leaf : leaves) leaf->Snapshot(ar);
+    }
+
+    std::size_t index;
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<core::DynamoAgent>> agents;
+    std::vector<std::unique_ptr<power::PowerDevice>> devices;
+    std::vector<std::unique_ptr<core::LeafController>> leaves;
+
+    /** Inbound contract updates from the control shard. */
+    rpc::ShardMailbox mailbox;
+
+    /** Per-window digests, merged and reset at each barrier. */
+    HashAccumulator rpc_hash;
+    HashAccumulator kernel_hash;
+};
+
+/** The upper-controller world plus the per-leaf proxy state. */
+struct ShardedFleet::ControlShard : sim::ShardRunner
+{
+    explicit ControlShard(std::uint64_t transport_seed)
+        : transport(sim, transport_seed)
+    {
+        sim.set_event_observer([this](SimTime t, std::uint64_t seq) {
+            kernel_hash.Mix(static_cast<std::uint64_t>(t));
+            kernel_hash.Mix(seq);
+        });
+        transport.set_call_observer(
+            [this](rpc::EndpointId id, rpc::CallFate fate, SimTime now) {
+                rpc_hash.Mix(id);
+                rpc_hash.Mix(static_cast<std::uint64_t>(fate));
+                rpc_hash.Mix(static_cast<std::uint64_t>(now));
+            });
+    }
+
+    void RunWindow(SimTime until) override { sim.RunUntil(until); }
+
+    void Snapshot(Archive& ar) const
+    {
+        sim.Snapshot(ar);
+        transport.Snapshot(ar);
+        ar.U64(uppers.size());
+        for (const auto& upper : uppers) upper->Snapshot(ar);
+    }
+
+    /**
+     * What the proxy endpoint for one leaf serves its SB parent: the
+     * exact fields a real leaf answers a PowerReadRequest with, frozen
+     * at the last barrier.
+     */
+    struct LeafProxy
+    {
+        std::string endpoint;
+        Watts power = 0.0;
+        Watts quota = 0.0;
+        Watts floor = 0.0;
+
+        /** Mirrors LeafController::last_valid(); false until the leaf
+         *  has aggregated once, so uppers see the same cold start a
+         *  real child would give them. */
+        bool valid = false;
+    };
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+
+    /** SB uppers first (index = SB index), then MSB uppers. */
+    std::vector<std::unique_ptr<core::UpperController>> uppers;
+
+    /** Indexed by global leaf. */
+    std::vector<LeafProxy> proxies;
+
+    std::uint64_t reads_proxied = 0;
+    std::uint64_t contracts_forwarded = 0;
+
+    HashAccumulator rpc_hash;
+    HashAccumulator kernel_hash;
+};
+
+ShardedFleet::ShardedFleet(ShardedFleetConfig config)
+    : config_(std::move(config)), plan_(ShardPlan::For(config_.n_servers))
+{
+    std::vector<Watts> leaf_rated;
+    leaf_rated.reserve(plan_.n_leaves);
+
+    shards_.reserve(plan_.shards.size());
+    for (std::size_t s = 0; s < plan_.shards.size(); ++s) {
+        shards_.push_back(std::make_unique<WorkerShard>(
+            s, ShardSeed(config_.seed, "shard:" + std::to_string(s))));
+    }
+    control_ = std::make_unique<ControlShard>(
+        ShardSeed(config_.seed, "control"));
+
+    // --- Servers, agents, leaf controllers, routed to owning shards.
+    // One global RNG sequence over global server order, so per-server
+    // seeds depend only on the config (the bench fleet's recipe).
+    Rng rng(config_.seed ^ (config_.n_servers * 0x9e3779b97f4a7c15ULL));
+    const workload::ServiceType services[] = {
+        workload::ServiceType::kWeb, workload::ServiceType::kCache,
+        workload::ServiceType::kHadoop, workload::ServiceType::kDatabase};
+
+    for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
+        WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
+        const std::size_t first = l * kShardServersPerLeaf;
+        const std::size_t last =
+            std::min(first + kShardServersPerLeaf, plan_.n_servers);
+
+        const std::size_t leaf_first_server = shard.servers.size();
+        for (std::size_t i = first; i < last; ++i) {
+            server::SimServer::Config server_config;
+            server_config.name = "srv" + std::to_string(i);
+            server_config.service = services[i % 4];
+            server_config.generation =
+                (i % 10 < 7) ? server::ServerGeneration::kHaswell2015
+                             : server::ServerGeneration::kWestmere2011;
+            server_config.seed = rng.NextU64();
+            workload::LoadProcessParams params =
+                workload::LoadProcessParams::For(server_config.service);
+            params.base_util = rng.Uniform(0.35, 0.75);
+            params.spike_rate_per_hour = 0.0;  // steady-state scale run
+            shard.servers.push_back(std::make_unique<server::SimServer>(
+                std::move(server_config), params));
+            shard.agents.push_back(std::make_unique<core::DynamoAgent>(
+                shard.sim, shard.transport, *shard.servers.back(),
+                "agent:" + std::to_string(i)));
+        }
+
+        // Size the breaker just above the domain's initial draw (the
+        // bench fleet's rule) so the three-band policy works near its
+        // thresholds and capping actually runs.
+        Watts draw = 0.0;
+        for (std::size_t k = leaf_first_server; k < shard.servers.size();
+             ++k) {
+            draw += shard.servers[k]->PowerAt(0);
+        }
+        const Watts rated = draw / 0.965;
+        leaf_rated.push_back(rated);
+        shard.devices.push_back(power::BuildRpp("rpp" + std::to_string(l),
+                                                rated, /*quota=*/0.95 * rated));
+
+        core::ControllerBuilder builder(shard.sim, shard.transport);
+        builder.Endpoint("ctl:rpp:" + std::to_string(l))
+            .ForDevice(*shard.devices.back());
+        for (std::size_t k = leaf_first_server; k < shard.servers.size();
+             ++k) {
+            const std::size_t i = first + (k - leaf_first_server);
+            core::AgentInfo info;
+            info.endpoint = shard.agents[k]->endpoint();
+            info.service = shard.servers[k]->service();
+            info.priority_group = static_cast<int>(i % 3);
+            info.sla_min_cap = 70.0 + static_cast<double>(i % 3) * 15.0;
+            builder.Agent(std::move(info));
+        }
+        shard.leaves.push_back(builder.BuildLeaf());
+        shard.leaves.back()->Activate(static_cast<SimTime>((l * 37) % 3000));
+        leaf_targets_.push_back(shard.leaves.back()->endpoint_id());
+    }
+
+    BuildControlShard(leaf_rated);
+
+    // --- Execution: shard-index order is the canonical merge order;
+    // the control shard runs last in it.
+    runners_.reserve(shards_.size() + 1);
+    for (const auto& shard : shards_) runners_.push_back(shard.get());
+    runners_.push_back(control_.get());
+    pool_ = std::make_unique<sim::WorkerPool>(config_.threads);
+    kernel_ = std::make_unique<sim::ParallelKernel>(
+        *pool_, runners_, kShardWindowMs,
+        [this](SimTime t) { Barrier(t); });
+
+    if (config_.record_journal) {
+        std::ostringstream spec;
+        spec << "sharded-fleet v1\n"
+             << "servers=" << plan_.n_servers << "\n"
+             << "shards=" << plan_.shards.size() << "\n"
+             << "seed=" << config_.seed << "\n"
+             << "window_ms=" << kShardWindowMs << "\n";
+        journal_.spec_text = spec.str();
+        journal_.scenario = config_.scenario;
+        journal_.cycle_period = kShardWindowMs;
+        journal_.checkpoint_every = config_.checkpoint_every;
+    }
+}
+
+ShardedFleet::~ShardedFleet() = default;
+
+void
+ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
+{
+    // Per-leaf proxy endpoints stand in for the children; register
+    // them before the uppers so the control transport's intern order
+    // is leaf-major (fixed, therefore hash-stable).
+    control_->proxies.resize(plan_.n_leaves);
+    for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
+        ControlShard::LeafProxy& proxy = control_->proxies[l];
+        proxy.endpoint = "ctl:rpp:" + std::to_string(l);
+        control_->transport.Register(
+            proxy.endpoint, [this, l](const rpc::Payload& request) {
+                return ProxyHandle(l, request);
+            });
+    }
+
+    std::vector<Watts> sb_rated;
+    sb_rated.reserve(plan_.n_sbs);
+    for (std::size_t s = 0; s < plan_.n_sbs; ++s) {
+        const ShardPlan::Shard& shard = plan_.shards[s];
+        Watts rated = 0.0;
+        for (std::size_t l = shard.first_leaf; l < shard.last_leaf; ++l) {
+            rated += leaf_rated[l];
+        }
+        rated *= 0.99;  // slightly oversubscribed, as real SBs are
+        sb_rated.push_back(rated);
+
+        core::ControllerBuilder builder(control_->sim, control_->transport);
+        builder.Endpoint("ctl:sb:" + std::to_string(s))
+            .Limits(rated, /*quota=*/0.95 * rated);
+        for (std::size_t l = shard.first_leaf; l < shard.last_leaf; ++l) {
+            builder.Child("ctl:rpp:" + std::to_string(l));
+        }
+        control_->uppers.push_back(builder.BuildUpper());
+        control_->uppers.back()->Activate(
+            static_cast<SimTime>((s * 113) % 9000));
+    }
+
+    for (std::size_t m = 0; m < plan_.n_msbs; ++m) {
+        const std::size_t first = m * kShardSbsPerMsb;
+        const std::size_t last =
+            std::min(first + kShardSbsPerMsb, plan_.n_sbs);
+        Watts rated = 0.0;
+        for (std::size_t s = first; s < last; ++s) rated += sb_rated[s];
+        rated *= 0.99;
+
+        core::ControllerBuilder builder(control_->sim, control_->transport);
+        builder.Endpoint("ctl:msb:" + std::to_string(m))
+            .Limits(rated, /*quota=*/0.95 * rated);
+        for (std::size_t s = first; s < last; ++s) {
+            builder.Child("ctl:sb:" + std::to_string(s));
+        }
+        control_->uppers.push_back(builder.BuildUpper());
+        control_->uppers.back()->Activate(
+            static_cast<SimTime>((m * 199) % 9000));
+    }
+}
+
+rpc::Payload
+ShardedFleet::ProxyHandle(std::size_t global_leaf,
+                          const rpc::Payload& request)
+{
+    ControlShard::LeafProxy& proxy = control_->proxies[global_leaf];
+    if (std::any_cast<api::PowerReadRequest>(&request) != nullptr) {
+        ++control_->reads_proxied;
+        api::PowerReadResult result;
+        result.source = proxy.endpoint;
+        result.power = proxy.power;
+        result.quota = proxy.quota;
+        result.floor = proxy.floor;
+        if (!proxy.valid) {
+            result.status =
+                api::Status::Unavailable("aggregation invalid");
+        }
+        return result;
+    }
+    if (std::any_cast<api::ContractUpdate>(&request) != nullptr) {
+        // Accepted for forwarding: the ack means "queued", delivery
+        // lands at the next barrier. The parent's punish-offender
+        // protocol already tolerates a cycle of staleness, so the
+        // extra window behaves like ordinary pull-cadence lag.
+        ++control_->contracts_forwarded;
+        shards_[plan_.shard_of_leaf(global_leaf)]->mailbox.Push(
+            leaf_targets_[global_leaf], request);
+        return api::CapResult{api::Status::Ok()};
+    }
+    if (std::any_cast<api::HealthProbe>(&request) != nullptr) {
+        return api::HealthResult{api::Status::Ok()};
+    }
+    return api::CapResult{
+        api::Status::Unimplemented("unknown proxy request")};
+}
+
+void
+ShardedFleet::Barrier(SimTime barrier_time)
+{
+    // 1. Close the window's journal record first: hashes must cover
+    //    exactly the window's events, and the mailbox drain below
+    //    issues calls whose observer hits count toward the *next*
+    //    window.
+    if (config_.record_journal) RecordWindow(barrier_time);
+
+    // 2. Refresh the proxy snapshots the uppers will read next window,
+    //    in global leaf order.
+    for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
+        const WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
+        const core::LeafController& leaf =
+            *shard.leaves[l - plan_.shards[shard.index].first_leaf];
+        ControlShard::LeafProxy& proxy = control_->proxies[l];
+        proxy.power = leaf.last_aggregated_power();
+        proxy.valid = leaf.last_valid();
+        proxy.quota = leaf.quota();
+        proxy.floor = leaf.Floor();
+    }
+
+    // 3. Deliver queued contract updates, shard-index order outside,
+    //    FIFO inside: each becomes a normal transport call issued at
+    //    the window boundary, so it reaches the leaf (with ordinary
+    //    RPC latency) early in window W+1.
+    for (const auto& shard : shards_) {
+        std::vector<rpc::ShardMessage> messages = shard->mailbox.Drain();
+        mailbox_delivered_ += messages.size();
+        for (rpc::ShardMessage& message : messages) {
+            shard->transport.Call(
+                message.target, std::move(message.payload),
+                [](const rpc::Payload&) {},
+                [](const std::string&) {
+                    // An unregistered / crashed leaf drops the update;
+                    // the parent re-issues every settled cycle.
+                },
+                /*timeout_ms=*/1000);
+        }
+    }
+
+    if (config_.record_journal && config_.checkpoint_every > 0 &&
+        windows_completed() % config_.checkpoint_every == 0) {
+        RecordCheckpoint(barrier_time);
+    }
+}
+
+void
+ShardedFleet::RecordWindow(SimTime barrier_time)
+{
+    // Merge per-shard window digests in shard-index order (control
+    // last). Completion order of the worker threads never appears in
+    // the journal.
+    HashAccumulator rpc_merged;
+    HashAccumulator kernel_merged;
+    for (const auto& shard : shards_) {
+        rpc_merged.Mix(shard->rpc_hash.value());
+        kernel_merged.Mix(shard->kernel_hash.value());
+        shard->rpc_hash.Reset();
+        shard->kernel_hash.Reset();
+    }
+    rpc_merged.Mix(control_->rpc_hash.value());
+    kernel_merged.Mix(control_->kernel_hash.value());
+    control_->rpc_hash.Reset();
+    control_->kernel_hash.Reset();
+
+    replay::CycleRecord record;
+    record.cycle = journal_.cycles.size();
+    record.time = barrier_time;
+    record.rpc_hash = rpc_merged.value();
+    record.kernel_hash = kernel_merged.value();
+    journal_.cycles.push_back(std::move(record));
+}
+
+void
+ShardedFleet::RecordCheckpoint(SimTime barrier_time)
+{
+    Archive ar;
+    ar.Str("sharded-fleet-checkpoint");
+    ar.U64(shards_.size());
+    for (const auto& shard : shards_) shard->Snapshot(ar);
+    control_->Snapshot(ar);
+
+    replay::CheckpointRecord record;
+    record.cycle = journal_.cycles.empty() ? 0 : journal_.cycles.size() - 1;
+    record.time = barrier_time;
+    record.digest = ar.digest();
+    record.state = ar.bytes();
+    journal_.checkpoints.push_back(std::move(record));
+}
+
+void
+ShardedFleet::RunWindows(std::uint64_t n)
+{
+    kernel_->RunWindows(n);
+}
+
+void
+ShardedFleet::RunFor(SimTime duration_ms)
+{
+    kernel_->RunFor(duration_ms);
+}
+
+SimTime
+ShardedFleet::Now() const
+{
+    return kernel_->Now();
+}
+
+std::size_t
+ShardedFleet::thread_count() const
+{
+    return pool_->thread_count();
+}
+
+std::uint64_t
+ShardedFleet::windows_completed() const
+{
+    return kernel_->windows_completed();
+}
+
+std::uint64_t
+ShardedFleet::events_executed() const
+{
+    std::uint64_t total = control_->sim.events_executed();
+    for (const auto& shard : shards_) total += shard->sim.events_executed();
+    return total;
+}
+
+std::uint64_t
+ShardedFleet::reads_proxied() const
+{
+    return control_->reads_proxied;
+}
+
+std::uint64_t
+ShardedFleet::contracts_forwarded() const
+{
+    return control_->contracts_forwarded;
+}
+
+std::uint64_t
+ShardedFleet::mailbox_delivered() const
+{
+    return mailbox_delivered_;
+}
+
+void
+ShardedFleet::InjectContract(std::size_t global_leaf,
+                             std::optional<Watts> limit)
+{
+    control_->transport.Call(
+        control_->proxies[global_leaf].endpoint,
+        api::ContractUpdate{limit, /*span_id=*/0},
+        [](const rpc::Payload&) {}, [](const std::string&) {});
+}
+
+core::LeafController&
+ShardedFleet::leaf(std::size_t global_leaf)
+{
+    WorkerShard& shard = *shards_[plan_.shard_of_leaf(global_leaf)];
+    return *shard.leaves[global_leaf - plan_.shards[shard.index].first_leaf];
+}
+
+core::UpperController&
+ShardedFleet::sb(std::size_t index)
+{
+    return *control_->uppers[index];
+}
+
+std::size_t
+ShardedFleet::mailbox_pending(std::size_t shard) const
+{
+    return shards_[shard]->mailbox.pending();
+}
+
+}  // namespace dynamo::fleet

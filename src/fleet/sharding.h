@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Sharded parallel fleet: the Dynamo control plane partitioned by
+ * leaf-controller subtree and executed on a worker pool.
+ *
+ * Partitioning follows the power topology, which is also the RPC
+ * topology: agents talk only to their leaf controller, and a leaf
+ * talks only to its SB parent. Each SB subtree (its leaves, their
+ * agents, their servers) therefore forms a closed RPC domain and
+ * becomes one *worker shard* — a fully private Simulation, transport,
+ * server population, and leaf-controller set. The SB and MSB upper
+ * controllers run unmodified on a separate *control shard*; they can't
+ * tell they're in a sharded world because the control transport serves
+ * their children through per-leaf proxy endpoints.
+ *
+ * Cross-shard traffic exists only at the upper↔leaf edge and flows
+ * through the barrier:
+ *
+ *   - upper → leaf power reads are answered instantly by the proxy
+ *     from a per-leaf state snapshot refreshed at every barrier
+ *     (power, validity, quota, floor — exactly the fields a real leaf
+ *     serves its parent);
+ *   - upper → leaf contract updates are enqueued into the target
+ *     shard's mailbox and re-issued on that shard's transport at the
+ *     barrier, so a contract decided in window W reaches its leaf in
+ *     window W+1 regardless of shard placement.
+ *
+ * The barrier fires every 9 s of sim time — the upper-controller
+ * cycle — so the one-window visibility lag is exactly one upper
+ * decision, matching the staleness a real deployment already absorbs
+ * from its pull cadence.
+ *
+ * Determinism: the shard count and every seed derive from the config
+ * (never from the thread count), shards share nothing during windows,
+ * and all barrier work runs single-threaded in shard-index order.
+ * Thread count is therefore pure scheduling; the DYNJRNL1 journal a
+ * run emits is byte-identical for any `threads` value, which the CI
+ * determinism gate enforces. See DESIGN.md §10.
+ */
+#ifndef DYNAMO_FLEET_SHARDING_H_
+#define DYNAMO_FLEET_SHARDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/agent.h"
+#include "core/leaf_controller.h"
+#include "core/upper_controller.h"
+#include "power/device.h"
+#include "replay/journal.h"
+#include "rpc/mailbox.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/parallel_kernel.h"
+#include "sim/simulation.h"
+
+namespace dynamo::fleet {
+
+/** Fan-out constants of the synthetic scale fleet (bench topology). */
+inline constexpr std::size_t kShardServersPerLeaf = 240;
+inline constexpr std::size_t kShardLeavesPerSb = 8;
+inline constexpr std::size_t kShardSbsPerMsb = 4;
+
+/** Barrier period: the upper-controller pull cycle, ms. */
+inline constexpr SimTime kShardWindowMs = 9000;
+
+/**
+ * The partition: one worker shard per SB subtree. Derived purely from
+ * the fleet size, so every thread count runs the identical plan.
+ */
+struct ShardPlan
+{
+    struct Shard
+    {
+        /** Global leaf indices owned by this shard: [first, last). */
+        std::size_t first_leaf = 0;
+        std::size_t last_leaf = 0;
+    };
+
+    std::size_t n_servers = 0;
+    std::size_t n_leaves = 0;
+    std::size_t n_sbs = 0;
+    std::size_t n_msbs = 0;
+
+    /** Worker shards in canonical order (shards[i] is SB i's subtree). */
+    std::vector<Shard> shards;
+
+    static ShardPlan For(std::size_t n_servers);
+
+    std::size_t shard_of_leaf(std::size_t leaf) const
+    {
+        return leaf / kShardLeavesPerSb;
+    }
+};
+
+struct ShardedFleetConfig
+{
+    std::size_t n_servers = 1000;
+
+    /** Worker pool size; affects wall time only, never results. */
+    std::size_t threads = 1;
+
+    std::uint64_t seed = 1234;
+
+    /** Record a DYNJRNL1 journal of the run (see journal()). */
+    bool record_journal = false;
+
+    /** Windows per journal checkpoint; 0 disables checkpoints. */
+    std::uint64_t checkpoint_every = 0;
+
+    /** Scenario label stamped into the journal header. */
+    std::string scenario = "sharded-scale";
+};
+
+/**
+ * A sharded, parallel instantiation of the scale fleet: servers,
+ * agents, leaf controllers on worker shards; SB/MSB uppers on the
+ * control shard; barrier-synchronized execution on a fixed-size pool.
+ */
+class ShardedFleet
+{
+  public:
+    explicit ShardedFleet(ShardedFleetConfig config);
+    ~ShardedFleet();
+
+    ShardedFleet(const ShardedFleet&) = delete;
+    ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+    /** Run exactly `n` window+barrier rounds. */
+    void RunWindows(std::uint64_t n);
+
+    /** Run whole windows covering at least `duration_ms` (rounded up). */
+    void RunFor(SimTime duration_ms);
+
+    /** Common sim time across every shard (advances in 9 s steps). */
+    SimTime Now() const;
+
+    const ShardPlan& plan() const { return plan_; }
+    std::size_t shard_count() const { return plan_.shards.size(); }
+    std::size_t thread_count() const;
+    std::uint64_t windows_completed() const;
+
+    /** Events executed, summed over every shard kernel. */
+    std::uint64_t events_executed() const;
+
+    /** Upper→leaf power reads answered by barrier-snapshot proxies. */
+    std::uint64_t reads_proxied() const;
+
+    /** Contract updates accepted by proxies for cross-shard delivery. */
+    std::uint64_t contracts_forwarded() const;
+
+    /** Mailbox messages re-issued on worker transports at barriers. */
+    std::uint64_t mailbox_delivered() const;
+
+    /**
+     * The recorded journal (header is valid from construction; cycle
+     * records accrue per window). Only meaningful with record_journal.
+     */
+    const replay::Journal& journal() const { return journal_; }
+
+    /**
+     * Test hook: issue a contract update to one leaf exactly the way
+     * a parent controller would — a call on the control transport to
+     * the leaf's proxy endpoint. Call only between windows (the
+     * barrier protocol owns the shards while a window runs). An empty
+     * `limit` lifts the contract.
+     */
+    void InjectContract(std::size_t global_leaf, std::optional<Watts> limit);
+
+    /** Test access: leaf controller by global leaf index. */
+    core::LeafController& leaf(std::size_t global_leaf);
+
+    /** Test access: SB upper controller by SB index. */
+    core::UpperController& sb(std::size_t index);
+
+    /** Test access: pending mailbox messages for one worker shard. */
+    std::size_t mailbox_pending(std::size_t shard) const;
+
+  private:
+    struct WorkerShard;
+    struct ControlShard;
+
+    void BuildWorkerShards();
+    void BuildControlShard(const std::vector<Watts>& leaf_rated);
+
+    /** Proxy handler body for leaf `global_leaf` on the control shard. */
+    rpc::Payload ProxyHandle(std::size_t global_leaf,
+                             const rpc::Payload& request);
+
+    /** The single-threaded cross-shard step after every window. */
+    void Barrier(SimTime barrier_time);
+
+    void RecordWindow(SimTime barrier_time);
+    void RecordCheckpoint(SimTime barrier_time);
+
+    ShardedFleetConfig config_;
+    ShardPlan plan_;
+
+    /**
+     * Mailbox target per global leaf: the leaf's endpoint id interned
+     * in its *own shard's* transport. Precomputed so the proxy (which
+     * runs while worker shards execute) never reads shard objects.
+     */
+    std::vector<rpc::EndpointId> leaf_targets_;
+
+    std::vector<std::unique_ptr<WorkerShard>> shards_;
+    std::unique_ptr<ControlShard> control_;
+
+    std::unique_ptr<sim::WorkerPool> pool_;
+    std::vector<sim::ShardRunner*> runners_;
+    std::unique_ptr<sim::ParallelKernel> kernel_;
+
+    replay::Journal journal_;
+    std::uint64_t mailbox_delivered_ = 0;
+};
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_SHARDING_H_

@@ -1,6 +1,7 @@
 #include "rpc/transport.h"
 
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "common/archive.h"
@@ -175,6 +176,11 @@ void
 SimTransport::Register(EndpointId id, RequestHandler handler)
 {
     if (id >= handlers_.size()) handlers_.resize(id + 1);
+    if (handlers_[id] != nullptr) {
+        throw std::logic_error("SimTransport::Register: endpoint \"" +
+                               endpoints_.Name(id) +
+                               "\" already has a handler; Unregister first");
+    }
     handlers_[id] = std::move(handler);
 }
 

@@ -189,7 +189,12 @@ class SimTransport
     /** The intern table (name lookups for logging edges). */
     const EndpointTable& endpoints() const { return endpoints_; }
 
-    /** Register a handler under an endpoint, replacing any existing one. */
+    /**
+     * Register a handler under an endpoint. Registering over a live
+     * handler throws std::logic_error: two components claiming one
+     * endpoint is always a wiring bug (the old behaviour silently
+     * dropped the first handler). Unregister first to hand over.
+     */
     void Register(EndpointId id, RequestHandler handler);
     void Register(const std::string& endpoint, RequestHandler handler);
 

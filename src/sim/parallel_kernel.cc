@@ -1,0 +1,111 @@
+#include "sim/parallel_kernel.h"
+
+namespace dynamo::sim {
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : threads_(threads < 1 ? 1 : threads)
+{
+    if (threads_ == 1) return;  // serial mode: run inline, spawn nothing
+    workers_.reserve(threads_);
+    for (std::size_t i = 0; i < threads_; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void
+WorkerPool::DrainShards()
+{
+    // Claim shards from the shared cursor until none remain. Claiming
+    // order is racy on purpose; it only decides *which thread* runs a
+    // shard, never what the shard computes.
+    const std::vector<ShardRunner*>& shards = *job_shards_;
+    const SimTime until = job_until_;
+    for (;;) {
+        const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards.size()) return;
+        shards[i]->RunWindow(until);
+    }
+}
+
+void
+WorkerPool::WorkerLoop()
+{
+    std::uint64_t seen_gen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_start_.wait(lock,
+                           [&] { return stop_ || job_gen_ != seen_gen; });
+            if (stop_) return;
+            seen_gen = job_gen_;
+        }
+        DrainShards();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++idle_workers_;
+        }
+        cv_done_.notify_one();
+    }
+}
+
+void
+WorkerPool::RunWindow(const std::vector<ShardRunner*>& shards, SimTime until)
+{
+    if (threads_ == 1) {
+        for (ShardRunner* shard : shards) shard->RunWindow(until);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_shards_ = &shards;
+        job_until_ = until;
+        cursor_.store(0, std::memory_order_relaxed);
+        idle_workers_ = 0;
+        ++job_gen_;
+    }
+    cv_start_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return idle_workers_ == threads_; });
+}
+
+ParallelKernel::ParallelKernel(WorkerPool& pool,
+                               std::vector<ShardRunner*> shards,
+                               SimTime window_ms, BarrierHook barrier)
+    : pool_(pool),
+      shards_(std::move(shards)),
+      window_ms_(window_ms),
+      barrier_(std::move(barrier))
+{
+}
+
+void
+ParallelKernel::RunWindows(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const SimTime until = now_ + window_ms_;
+        pool_.RunWindow(shards_, until);
+        now_ = until;
+        ++windows_;
+        if (barrier_) barrier_(now_);
+    }
+}
+
+void
+ParallelKernel::RunFor(SimTime duration_ms)
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(
+        (duration_ms + window_ms_ - 1) / window_ms_);
+    RunWindows(n);
+}
+
+}  // namespace dynamo::sim

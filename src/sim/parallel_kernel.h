@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parallel execution of independent simulation shards.
+ *
+ * The kernel in simulation.h is single-threaded by design; fleet-scale
+ * runs parallelize *above* it by partitioning the world into shards
+ * that each own a private Simulation (plus transport, servers, and
+ * controllers) and share nothing. This file provides the generic
+ * machinery — it knows nothing about Dynamo:
+ *
+ *   - `ShardRunner`: the unit of parallel work. One call advances a
+ *     shard's private kernel to a common deadline.
+ *   - `WorkerPool`: a fixed-size thread pool that runs every shard to
+ *     the deadline and *joins* before returning. The join is the
+ *     synchronization barrier: everything a shard wrote during the
+ *     window happens-before anything the caller does after RunWindow
+ *     returns, and everything the caller does between windows
+ *     happens-before the next window's shard execution.
+ *   - `ParallelKernel`: the barrier loop. It alternates pool windows
+ *     with a single-threaded barrier hook in which the owner performs
+ *     all cross-shard work (mailbox drains, snapshot refreshes, hash
+ *     merges) in a fixed order.
+ *
+ * Determinism contract: shards must not touch shared mutable state
+ * during a window (each runs purely against its own kernel), and the
+ * barrier hook must iterate shards in a fixed order (by shard index,
+ * never completion order). Under that contract the thread count is
+ * pure scheduling — results are byte-identical for any pool size,
+ * which the replay journal gate verifies (DESIGN.md §10).
+ */
+#ifndef DYNAMO_SIM_PARALLEL_KERNEL_H_
+#define DYNAMO_SIM_PARALLEL_KERNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dynamo::sim {
+
+/**
+ * One unit of parallel work: a self-contained sub-world that can be
+ * advanced to a deadline on any thread, provided no two windows for
+ * the same runner overlap (the pool guarantees this).
+ */
+class ShardRunner
+{
+  public:
+    virtual ~ShardRunner() = default;
+
+    /**
+     * Advance this shard's private kernel to `until` (absolute sim
+     * time). Must leave the shard's clock exactly at `until` so every
+     * shard agrees on "now" at the barrier. Must not touch any state
+     * owned by another shard.
+     */
+    virtual void RunWindow(SimTime until) = 0;
+};
+
+/**
+ * Fixed-size worker pool with a barrier-complete RunWindow.
+ *
+ * With `threads == 1` no workers are spawned and shards run inline on
+ * the calling thread — the true serial baseline, with zero pool
+ * overhead. With more, exactly `threads` workers execute shards while
+ * the caller blocks; work is claimed from a shared atomic cursor so
+ * an expensive shard never serializes behind a cheap one.
+ */
+class WorkerPool
+{
+  public:
+    /** @param threads  Pool size; clamped to >= 1. */
+    explicit WorkerPool(std::size_t threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    std::size_t thread_count() const { return threads_; }
+
+    /**
+     * Run every shard to `until` and block until all have finished.
+     * The internal mutex/condvar handshake orders each worker's writes
+     * before this call's return (and the caller's writes before the
+     * next call's shard execution) — the happens-before edge the
+     * shared-nothing shard contract relies on.
+     */
+    void RunWindow(const std::vector<ShardRunner*>& shards, SimTime until);
+
+  private:
+    void WorkerLoop();
+
+    /** Claim-and-run shards from the shared cursor until none remain. */
+    void DrainShards();
+
+    const std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+
+    /** Incremented per window; workers wake when it moves. */
+    std::uint64_t job_gen_ = 0;
+
+    /** Workers that have finished draining the current window. */
+    std::size_t idle_workers_ = 0;
+
+    bool stop_ = false;
+
+    /** Current window (valid while job_gen_ names it). */
+    const std::vector<ShardRunner*>* job_shards_ = nullptr;
+    SimTime job_until_ = 0;
+
+    /** Next unclaimed shard index in the current window. */
+    std::atomic<std::size_t> cursor_{0};
+};
+
+/**
+ * The barrier loop: windows of parallel shard execution alternating
+ * with single-threaded cross-shard barriers.
+ */
+class ParallelKernel
+{
+  public:
+    /**
+     * Called on the driving thread after every window, with the
+     * window's closing time. All cross-shard work belongs here, in
+     * fixed shard-index order.
+     */
+    using BarrierHook = std::function<void(SimTime barrier_time)>;
+
+    /**
+     * @param pool       Worker pool (not owned; reusable across kernels).
+     * @param shards     Shard set, in canonical index order (not owned).
+     * @param window_ms  Barrier period — the upper-controller cycle in
+     *                   the Dynamo fleet, so cross-shard effects land
+     *                   exactly one controller decision later.
+     */
+    ParallelKernel(WorkerPool& pool, std::vector<ShardRunner*> shards,
+                   SimTime window_ms, BarrierHook barrier);
+
+    /** Common shard time: every shard's clock after the last barrier. */
+    SimTime Now() const { return now_; }
+
+    std::uint64_t windows_completed() const { return windows_; }
+
+    /** Run exactly `n` window+barrier rounds. */
+    void RunWindows(std::uint64_t n);
+
+    /**
+     * Run whole windows covering at least `duration_ms` (rounded up:
+     * the barrier protocol has no mid-window state).
+     */
+    void RunFor(SimTime duration_ms);
+
+  private:
+    WorkerPool& pool_;
+    std::vector<ShardRunner*> shards_;
+    const SimTime window_ms_;
+    BarrierHook barrier_;
+    SimTime now_ = 0;
+    std::uint64_t windows_ = 0;
+};
+
+}  // namespace dynamo::sim
+
+#endif  // DYNAMO_SIM_PARALLEL_KERNEL_H_

@@ -131,9 +131,12 @@ class TaskHandle
  * The event loop: a clock plus a hierarchical timing wheel of timed
  * closures.
  *
- * Not thread-safe; the whole simulated data center runs on one thread,
- * mirroring the paper's consolidated controller deployment (all
- * controller instances for a suite share one binary).
+ * Not thread-safe: one Simulation is always driven by one thread at a
+ * time. Fleet-scale runs parallelize *above* this class — the sharded
+ * engine (sim/parallel_kernel.h, fleet/sharding.h) gives each shard a
+ * private Simulation and hands whole shards to worker threads, with
+ * barriers ordering the hand-offs — so the kernel itself stays
+ * lock-free and deterministic.
  */
 class Simulation
 {

@@ -9,6 +9,7 @@
 
 #include "chaos/campaign.h"
 #include "common/units.h"
+#include "core/controller_builder.h"
 #include "core/agent.h"
 #include "core/deployment.h"
 #include "core/leaf_controller.h"
@@ -52,9 +53,11 @@ class DegradedRig
                 sim, transport, *servers.back(),
                 Deployment::AgentEndpoint(servers.back()->name())));
         }
-        controller = std::make_unique<LeafController>(
-            sim, transport, "ctl:rpp0", device, config, &log);
-        for (const auto& srv : servers) controller->AddAgent(AgentInfoFor(*srv));
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint("ctl:rpp0").ForDevice(device).LeafConfig(config).Log(
+            &log);
+        for (const auto& srv : servers) builder.Agent(AgentInfoFor(*srv));
+        controller = builder.BuildLeaf();
         controller->Activate();
     }
 

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.h"
-#include "core/messages.h"
+#include "core/api.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"
@@ -43,14 +43,14 @@ class AgentTest : public ::testing::Test
         return config;
     }
 
-    PowerReadResponse ReadPower()
+    api::PowerReadResult ReadPower()
     {
-        PowerReadResponse out;
+        api::PowerReadResult out;
         bool done = false;
         transport_.Call(
-            "agent:s0", PowerReadRequest{},
+            "agent:s0", api::PowerReadRequest{},
             [&](const rpc::Payload& resp) {
-                out = std::any_cast<PowerReadResponse>(resp);
+                out = std::any_cast<api::PowerReadResult>(resp);
                 done = true;
             },
             [&](const std::string& r) { FAIL() << r; });
@@ -68,8 +68,9 @@ class AgentTest : public ::testing::Test
 TEST_F(AgentTest, PowerReadReturnsSensorValue)
 {
     sim_.RunFor(Seconds(10));
-    const PowerReadResponse resp = ReadPower();
-    EXPECT_EQ(resp.server, "s0");
+    const api::PowerReadResult resp = ReadPower();
+    EXPECT_TRUE(resp.status.ok());
+    EXPECT_EQ(resp.source, "s0");
     EXPECT_EQ(resp.service, workload::ServiceType::kCache);
     EXPECT_FALSE(resp.estimated);
     EXPECT_FALSE(resp.capped);
@@ -81,7 +82,7 @@ TEST_F(AgentTest, PowerReadReturnsSensorValue)
 TEST_F(AgentTest, BreakdownIsConsistent)
 {
     sim_.RunFor(Seconds(10));
-    const PowerReadResponse resp = ReadPower();
+    const api::PowerReadResult resp = ReadPower();
     EXPECT_NEAR(resp.cpu_power + resp.memory_power + resp.other_power +
                     resp.conversion_loss,
                 server_.PowerAt(sim_.Now()), 1.0);
@@ -93,9 +94,9 @@ TEST_F(AgentTest, SetCapAppliesRaplLimit)
     const Watts before = server_.PowerAt(sim_.Now());
     bool acked = false;
     transport_.Call(
-        "agent:s0", SetCapRequest{before - 40.0},
+        "agent:s0", api::CapRequest{before - 40.0},
         [&](const rpc::Payload& resp) {
-            acked = std::any_cast<AckResponse>(resp).ok;
+            acked = std::any_cast<api::CapResult>(resp).status.ok();
         },
         [](const std::string&) {});
     sim_.RunFor(Seconds(5));
@@ -110,11 +111,11 @@ TEST_F(AgentTest, UncapClearsLimit)
     sim_.RunFor(Seconds(10));
     const Watts before = server_.PowerAt(sim_.Now());
     transport_.Call(
-        "agent:s0", SetCapRequest{before - 40.0}, [](const rpc::Payload&) {},
+        "agent:s0", api::CapRequest{before - 40.0}, [](const rpc::Payload&) {},
         [](const std::string&) {});
     sim_.RunFor(Seconds(5));
     transport_.Call(
-        "agent:s0", UncapRequest{}, [](const rpc::Payload&) {},
+        "agent:s0", api::CapRequest{std::nullopt}, [](const rpc::Payload&) {},
         [](const std::string&) {});
     sim_.RunFor(Seconds(5));
     EXPECT_FALSE(server_.capped());
@@ -126,10 +127,10 @@ TEST_F(AgentTest, CapStatusReflectedInReads)
 {
     sim_.RunFor(Seconds(10));
     transport_.Call(
-        "agent:s0", SetCapRequest{150.0}, [](const rpc::Payload&) {},
+        "agent:s0", api::CapRequest{150.0}, [](const rpc::Payload&) {},
         [](const std::string&) {});
     sim_.RunFor(Seconds(5));
-    const PowerReadResponse resp = ReadPower();
+    const api::PowerReadResult resp = ReadPower();
     EXPECT_TRUE(resp.capped);
     EXPECT_DOUBLE_EQ(resp.power_limit, 150.0);
 }
@@ -140,7 +141,8 @@ TEST_F(AgentTest, UnknownRequestIsNacked)
     transport_.Call(
         "agent:s0", std::string("garbage"),
         [&](const rpc::Payload& resp) {
-            nacked = !std::any_cast<AckResponse>(resp).ok;
+            const auto& r = std::any_cast<const api::CapResult&>(resp);
+            nacked = r.status.code == api::StatusCode::kUnimplemented;
         },
         [](const std::string&) {});
     sim_.RunFor(Seconds(1));
@@ -153,14 +155,14 @@ TEST_F(AgentTest, CrashStopsServingAndRestartResumes)
     EXPECT_FALSE(agent_.alive());
     bool failed = false;
     transport_.Call(
-        "agent:s0", PowerReadRequest{}, [](const rpc::Payload&) { FAIL(); },
+        "agent:s0", api::PowerReadRequest{}, [](const rpc::Payload&) { FAIL(); },
         [&](const std::string&) { failed = true; });
     sim_.RunFor(Seconds(2));
     EXPECT_TRUE(failed);
 
     agent_.Restart();
     EXPECT_TRUE(agent_.alive());
-    const PowerReadResponse resp = ReadPower();
+    const api::PowerReadResult resp = ReadPower();
     EXPECT_GT(resp.power, 0.0);
 }
 
@@ -179,9 +181,9 @@ TEST(AgentSensorless, SensorlessServerReportsEstimated)
     bool estimated = false;
     Watts power = 0.0;
     transport.Call(
-        "agent:s1", PowerReadRequest{},
+        "agent:s1", api::PowerReadRequest{},
         [&](const rpc::Payload& resp) {
-            const auto r = std::any_cast<PowerReadResponse>(resp);
+            const auto r = std::any_cast<api::PowerReadResult>(resp);
             estimated = r.estimated;
             power = r.power;
         },

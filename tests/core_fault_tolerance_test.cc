@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.h"
+#include "core/controller_builder.h"
 #include "core/agent.h"
 #include "core/deployment.h"
 #include "core/failover.h"
@@ -105,15 +106,11 @@ class FailoverRig
                 sim, transport, *servers.back(),
                 Deployment::AgentEndpoint(servers.back()->name())));
         }
-        LeafController::Config config;
-        auto make = [&]() {
-            auto c = std::make_unique<LeafController>(sim, transport, "ctl:rpp0",
-                                                      device, config, &log);
-            for (const auto& srv : servers) c->AddAgent(AgentInfoFor(*srv));
-            return c;
-        };
-        primary = make();
-        backup = make();
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint("ctl:rpp0").ForDevice(device).Log(&log);
+        for (const auto& srv : servers) builder.Agent(AgentInfoFor(*srv));
+        primary = builder.BuildLeaf();
+        backup = builder.BuildLeaf();
         primary->Activate();
         manager = std::make_unique<FailoverManager>(
             sim, transport, *primary, *backup, /*check_period=*/Seconds(5),
@@ -222,24 +219,22 @@ class ContractFailoverRig
                 sim, transport, *servers.back(),
                 Deployment::AgentEndpoint(servers.back()->name())));
         }
-        auto make_leaf = [&]() {
-            auto c = std::make_unique<LeafController>(
-                sim, transport, "ctl:rpp0", *rpp, LeafController::Config{},
-                &log);
-            for (const auto& srv : servers) c->AddAgent(AgentInfoFor(*srv));
-            return c;
-        };
-        leaf_primary = make_leaf();
-        leaf_backup = make_leaf();
+        ControllerBuilder leaf_builder(sim, transport);
+        leaf_builder.Endpoint("ctl:rpp0").ForDevice(*rpp).Log(&log);
+        for (const auto& srv : servers) leaf_builder.Agent(AgentInfoFor(*srv));
+        leaf_primary = leaf_builder.BuildLeaf();
+        leaf_backup = leaf_builder.BuildLeaf();
         leaf_primary->Activate();
         manager = std::make_unique<FailoverManager>(
             sim, transport, *leaf_primary, *leaf_backup,
             /*check_period=*/Seconds(5), /*miss_threshold=*/3, &log);
 
-        upper = std::make_unique<UpperController>(
-            sim, transport, "ctl:sb0", sb.rated_power(), sb.quota(),
-            UpperController::Config{}, &log);
-        upper->AddChild("ctl:rpp0");
+        upper = ControllerBuilder(sim, transport)
+                    .Endpoint("ctl:sb0")
+                    .ForDevice(sb)
+                    .Child("ctl:rpp0")
+                    .Log(&log)
+                    .BuildUpper();
         upper->Activate();
     }
 

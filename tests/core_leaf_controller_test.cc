@@ -1,5 +1,6 @@
 // Integration-style tests of the leaf power controller against real
 // agents and simulated servers.
+#include "core/controller_builder.h"
 #include "core/leaf_controller.h"
 
 #include <memory>
@@ -50,12 +51,10 @@ class LeafRig
                 sim, transport, *servers.back(),
                 Deployment::AgentEndpoint(servers.back()->name())));
         }
-        LeafController::Config config;
-        controller = std::make_unique<LeafController>(
-            sim, transport, "ctl:rpp0", device, config, &log);
-        for (const auto& srv : servers) {
-            controller->AddAgent(AgentInfoFor(*srv));
-        }
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint("ctl:rpp0").ForDevice(device).Log(&log);
+        for (const auto& srv : servers) builder.Agent(AgentInfoFor(*srv));
+        controller = builder.BuildLeaf();
         controller->Activate();
     }
 
@@ -240,16 +239,16 @@ TEST(LeafController, ServesParentReadEndpoint)
 {
     LeafRig rig(/*rated=*/10000.0, 4, 0);
     rig.sim.RunFor(Seconds(5));
-    ControllerReadResponse read;
+    api::PowerReadResult read;
     rig.transport.Call(
-        "ctl:rpp0", ControllerReadRequest{},
+        "ctl:rpp0", api::PowerReadRequest{},
         [&](const rpc::Payload& resp) {
-            read = std::any_cast<ControllerReadResponse>(resp);
+            read = std::any_cast<api::PowerReadResult>(resp);
         },
         [](const std::string&) { FAIL(); });
     rig.sim.RunFor(Seconds(1));
-    EXPECT_TRUE(read.valid);
-    EXPECT_EQ(read.controller, "ctl:rpp0");
+    EXPECT_TRUE(read.status.ok());
+    EXPECT_EQ(read.source, "ctl:rpp0");
     EXPECT_NEAR(read.power, rig.controller->last_aggregated_power(), 1e-6);
     EXPECT_DOUBLE_EQ(read.quota, 10000.0);
 }

@@ -1,6 +1,7 @@
 // Tests for upper-level controllers: aggregation over children,
 // punish-offender-first coordination via contractual limits, and the
 // recursive cap propagation of Section III-D.
+#include "core/controller_builder.h"
 #include "core/upper_controller.h"
 
 #include <memory>
@@ -49,12 +50,13 @@ class SbRig
         MakeRow(*rpp0, servers_rpp0, 0);
         MakeRow(*rpp1, servers_rpp1, 100);
 
-        UpperController::Config config;
-        upper = std::make_unique<UpperController>(
-            sim, transport, "ctl:sb0", sb.rated_power(), sb.quota(), config,
-            &log);
-        upper->AddChild("ctl:rpp0");
-        upper->AddChild("ctl:rpp1");
+        upper = ControllerBuilder(sim, transport)
+                    .Endpoint("ctl:sb0")
+                    .ForDevice(sb)
+                    .Child("ctl:rpp0")
+                    .Child("ctl:rpp1")
+                    .Log(&log)
+                    .BuildUpper();
         upper->Activate();
     }
 
@@ -72,14 +74,14 @@ class SbRig
                 sim, transport, *servers.back(),
                 Deployment::AgentEndpoint(servers.back()->name())));
         }
-        LeafController::Config config;
-        leaves.push_back(std::make_unique<LeafController>(
-            sim, transport, Deployment::ControllerEndpoint(rpp.name()), rpp,
-            config, &log));
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint(Deployment::ControllerEndpoint(rpp.name()))
+            .ForDevice(rpp)
+            .Log(&log);
         for (power::PowerLoad* load : rpp.loads()) {
-            leaves.back()->AddAgent(
-                AgentInfoFor(*static_cast<server::SimServer*>(load)));
+            builder.Agent(AgentInfoFor(*static_cast<server::SimServer*>(load)));
         }
+        leaves.push_back(builder.BuildLeaf());
         leaves.back()->Activate();
     }
 
@@ -198,15 +200,15 @@ TEST(UpperController, ReportsToItsOwnParentEndpoint)
 {
     SbRig rig(10000.0, 3000.0, 6, 6);
     rig.sim.RunFor(Seconds(15));
-    ControllerReadResponse read;
+    api::PowerReadResult read;
     rig.transport.Call(
-        "ctl:sb0", ControllerReadRequest{},
+        "ctl:sb0", api::PowerReadRequest{},
         [&](const rpc::Payload& resp) {
-            read = std::any_cast<ControllerReadResponse>(resp);
+            read = std::any_cast<api::PowerReadResult>(resp);
         },
         [](const std::string&) { FAIL(); });
     rig.sim.RunFor(Seconds(1));
-    EXPECT_TRUE(read.valid);
+    EXPECT_TRUE(read.status.ok());
     EXPECT_GT(read.power, 0.0);
     // Floor aggregates the children's floors.
     EXPECT_GT(read.floor, 0.0);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.h"
+#include "core/controller_builder.h"
 #include "core/agent.h"
 #include "core/deployment.h"
 #include "core/leaf_controller.h"
@@ -59,10 +60,10 @@ class ValidationRig
         }
         telemetry_feed = std::make_unique<power::BreakerTelemetry>(
             sim, device, /*period=*/Seconds(30), /*noise_frac=*/0.0);
-        LeafController::Config config;
-        controller = std::make_unique<LeafController>(
-            sim, transport, "ctl:rpp0", device, config, &log);
-        for (const auto& srv : servers) controller->AddAgent(AgentInfoFor(*srv));
+        ControllerBuilder builder(sim, transport);
+        builder.Endpoint("ctl:rpp0").ForDevice(device).Log(&log);
+        for (const auto& srv : servers) builder.Agent(AgentInfoFor(*srv));
+        controller = builder.BuildLeaf();
         controller->AttachBreakerTelemetry(telemetry_feed.get());
         controller->Activate();
     }
@@ -176,35 +177,94 @@ TEST(ConfigValidation, RejectsRpcTimeoutNotBelowResponseWait)
     power::PowerDevice device("rpp0", power::DeviceLevel::kRpp, 1000.0, 1000.0);
     telemetry::EventLog log;
 
+    const auto build = [&](const LeafController::Config& config) {
+        return ControllerBuilder(sim, transport)
+            .Endpoint("ctl:rpp0")
+            .ForDevice(device)
+            .LeafConfig(config)
+            .Log(&log)
+            .BuildLeaf();
+    };
+
     LeafController::Config bad;
     bad.base.rpc_timeout = bad.base.response_wait;  // == is still invalid
-    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
-                 std::invalid_argument);
+    EXPECT_THROW(build(bad), std::invalid_argument);
 
     bad.base.rpc_timeout = bad.base.response_wait + 500;
-    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
-                 std::invalid_argument);
+    EXPECT_THROW(build(bad), std::invalid_argument);
 
     bad.base.rpc_timeout = 0;
-    EXPECT_THROW(LeafController(sim, transport, "ctl:rpp0", device, bad, &log),
-                 std::invalid_argument);
+    EXPECT_THROW(build(bad), std::invalid_argument);
 
     LeafController::Config bad_retry;
     bad_retry.base.pull_retries = -1;
-    EXPECT_THROW(
-        LeafController(sim, transport, "ctl:rpp0", device, bad_retry, &log),
-        std::invalid_argument);
+    EXPECT_THROW(build(bad_retry), std::invalid_argument);
 
     LeafController::Config bad_hysteresis;
     bad_hysteresis.base.degraded_entry_cycles = 0;
-    EXPECT_THROW(
-        LeafController(sim, transport, "ctl:rpp0", device, bad_hysteresis, &log),
-        std::invalid_argument);
+    EXPECT_THROW(build(bad_hysteresis), std::invalid_argument);
 
     // A valid config still constructs.
-    LeafController::Config good;
-    EXPECT_NO_THROW(
-        LeafController(sim, transport, "ctl:rpp0", device, good, &log));
+    EXPECT_NO_THROW(build(LeafController::Config{}));
+}
+
+TEST(Validation, BuilderRejectsCrossLevelWiring)
+{
+    sim::Simulation sim;
+    rpc::SimTransport transport(sim, 5);
+    power::PowerDevice device("rpp0", power::DeviceLevel::kRpp, 1000.0, 1000.0);
+
+    // A leaf is inseparable from its device.
+    EXPECT_THROW(
+        ControllerBuilder(sim, transport).Endpoint("ctl:x").BuildLeaf(),
+        std::invalid_argument);
+    // An endpoint is the controller's identity; it cannot be defaulted.
+    EXPECT_THROW(ControllerBuilder(sim, transport).ForDevice(device).BuildLeaf(),
+                 std::invalid_argument);
+    // Rosters are level-specific: agents under leaves, children under
+    // uppers.
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .ForDevice(device)
+                     .Child("ctl:y")
+                     .BuildLeaf(),
+                 std::invalid_argument);
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .ForDevice(device)
+                     .Agent(AgentInfo{})
+                     .BuildUpper(),
+                 std::invalid_argument);
+    // An upper needs exactly one limit source.
+    EXPECT_THROW(ControllerBuilder(sim, transport).Endpoint("ctl:x").BuildUpper(),
+                 std::invalid_argument);
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .ForDevice(device)
+                     .Limits(1000.0, 900.0)
+                     .BuildUpper(),
+                 std::invalid_argument);
+    // Limits must be physically sensible.
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .Limits(1000.0, 1200.0),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        ControllerBuilder(sim, transport).Endpoint("ctl:x").Limits(0.0, 0.0),
+        std::invalid_argument);
+    // Configs are level-specific too.
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .ForDevice(device)
+                     .UpperConfig(UpperController::Config{})
+                     .BuildLeaf(),
+                 std::invalid_argument);
+    EXPECT_THROW(ControllerBuilder(sim, transport)
+                     .Endpoint("ctl:x")
+                     .Limits(1000.0, 900.0)
+                     .LeafConfig(LeafController::Config{})
+                     .BuildUpper(),
+                 std::invalid_argument);
 }
 
 TEST(Validation, NoTelemetryMeansNoValidation)
@@ -220,14 +280,17 @@ TEST(Validation, NoTelemetryMeansNoValidation)
     device.AttachLoad(&srv);
     DynamoAgent agent(sim, transport, srv, "agent:s0");
     telemetry::EventLog log;
-    LeafController controller(sim, transport, "ctl:rpp0", device,
-                              LeafController::Config{}, &log);
-    controller.AddAgent(AgentInfoFor(srv));
-    controller.Activate();
+    auto controller = ControllerBuilder(sim, transport)
+                          .Endpoint("ctl:rpp0")
+                          .ForDevice(device)
+                          .Agent(AgentInfoFor(srv))
+                          .Log(&log)
+                          .BuildLeaf();
+    controller->Activate();
     sim.RunFor(Minutes(2));
-    EXPECT_EQ(controller.validation_alarms(), 0u);
-    EXPECT_EQ(controller.tunes_sent(), 0u);
-    EXPECT_DOUBLE_EQ(controller.last_validation_mismatch(), 0.0);
+    EXPECT_EQ(controller->validation_alarms(), 0u);
+    EXPECT_EQ(controller->tunes_sent(), 0u);
+    EXPECT_DOUBLE_EQ(controller->last_validation_mismatch(), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // failure injection, timeouts, crash-while-in-flight semantics.
 #include "rpc/transport.h"
 
+#include <stdexcept>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -177,9 +178,26 @@ TEST_F(TransportTest, ExactlyOneContinuationPerCall)
     EXPECT_EQ(transport_.calls_succeeded() + transport_.calls_failed(), 100u);
 }
 
-TEST_F(TransportTest, HandlerReregistrationReplaces)
+TEST_F(TransportTest, HandlerReregistrationThrows)
 {
     transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    EXPECT_THROW(
+        transport_.Register("svc", [](const Payload&) { return Echo{2}; }),
+        std::logic_error);
+    // The original handler survives the rejected registration.
+    int value = 0;
+    transport_.Call(
+        "svc", Echo{0},
+        [&](const Payload& resp) { value = std::any_cast<Echo>(resp).value; },
+        [](const std::string&) {});
+    sim_.RunUntil(1000);
+    EXPECT_EQ(value, 1);
+}
+
+TEST_F(TransportTest, UnregisterThenRegisterHandsOver)
+{
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    transport_.Unregister("svc");
     transport_.Register("svc", [](const Payload&) { return Echo{2}; });
     int value = 0;
     transport_.Call(

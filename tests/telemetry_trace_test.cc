@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.h"
+#include "core/controller_builder.h"
 #include "core/agent.h"
 #include "core/deployment.h"
 #include "core/leaf_controller.h"
@@ -136,13 +137,14 @@ class TracedRig
         MakeRow(*rpp0, servers_rpp0, 0);
         MakeRow(*rpp1, servers_rpp1, 100);
 
-        core::UpperController::Config config;
-        upper = std::make_unique<core::UpperController>(
-            sim, transport, "ctl:sb0", sb.rated_power(), sb.quota(), config,
-            &log);
-        upper->AddChild("ctl:rpp0");
-        upper->AddChild("ctl:rpp1");
-        upper->AttachTelemetry(&metrics, &traces);
+        upper = core::ControllerBuilder(sim, transport)
+                    .Endpoint("ctl:sb0")
+                    .ForDevice(sb)
+                    .Child("ctl:rpp0")
+                    .Child("ctl:rpp1")
+                    .Log(&log)
+                    .Telemetry(&metrics, &traces)
+                    .BuildUpper();
         upper->Activate();
     }
 
@@ -161,15 +163,16 @@ class TracedRig
                 core::Deployment::AgentEndpoint(servers.back()->name())));
             agents.back()->AttachMetrics(&metrics);
         }
-        core::LeafController::Config config;
-        leaves.push_back(std::make_unique<core::LeafController>(
-            sim, transport, core::Deployment::ControllerEndpoint(rpp.name()),
-            rpp, config, &log));
+        core::ControllerBuilder builder(sim, transport);
+        builder.Endpoint(core::Deployment::ControllerEndpoint(rpp.name()))
+            .ForDevice(rpp)
+            .Log(&log)
+            .Telemetry(&metrics, &traces);
         for (power::PowerLoad* load : rpp.loads()) {
-            leaves.back()->AddAgent(
+            builder.Agent(
                 core::AgentInfoFor(*static_cast<server::SimServer*>(load)));
         }
-        leaves.back()->AttachTelemetry(&metrics, &traces);
+        leaves.push_back(builder.BuildLeaf());
         leaves.back()->Activate();
     }
 
