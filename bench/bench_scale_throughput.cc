@@ -43,6 +43,10 @@
  * journals byte-identical, and requires the 4-thread run to reach MIN
  * times the single-thread throughput.
  *
+ * --reconfig schedules the canonical elastic storm (grow, re-parent,
+ * upper promotion + leaf bounce, decommission) onto the sharded run,
+ * so the determinism comparison also covers mid-run topology changes.
+ *
  * --metrics wires the telemetry registry + decision-trace log into the
  * transport, every agent, and every controller — the instrumented
  * configuration the fleet harness runs with by default.
@@ -370,9 +374,38 @@ struct ParallelResult
     std::string journal_bytes;
 };
 
+/**
+ * The canonical elastic storm for the determinism gate: grow a leaf,
+ * re-home the last leaf onto sb0, promote sb0's upper while bouncing
+ * a leaf controller, then decommission a subtree — one transaction
+ * per window, all landing after the two warm-up windows.
+ */
+void
+ScheduleBenchStorm(fleet::ShardedFleet& fleet)
+{
+    const fleet::ShardPlan& plan = fleet.plan();
+    if (plan.n_leaves < 4 || plan.n_sbs < 2) {
+        std::fprintf(stderr, "--reconfig needs >= 4 leaves and >= 2 SBs; "
+                             "skipping the storm\n");
+        return;
+    }
+    const std::size_t last = plan.n_leaves - 1;
+    fleet.ScheduleReconfig(2, fleet::ReconfigTxn().AddServers("rpp0", 24));
+    if (plan.shard_of_leaf(last) != 0) {
+        fleet.ScheduleReconfig(
+            3, fleet::ReconfigTxn().Reparent("rpp" + std::to_string(last),
+                                             "sb0"));
+    }
+    fleet.ScheduleReconfig(
+        4, fleet::ReconfigTxn().PromoteUpper("sb0").RestartController("rpp1"));
+    fleet.ScheduleReconfig(
+        5, fleet::ReconfigTxn().RemoveSubtree("rpp" +
+                                              std::to_string(last - 1)));
+}
+
 ParallelResult
 RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
-                 std::size_t threads)
+                 std::size_t threads, bool reconfig = false)
 {
     fleet::ShardedFleetConfig config;
     config.n_servers = n_servers;
@@ -383,8 +416,10 @@ RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
     // event streams; checkpoints would serialize every server at the
     // barrier and bill that serial work to the parallel arms.
     config.checkpoint_every = 0;
-    config.scenario = "bench-scale-parallel";
+    config.scenario =
+        reconfig ? "bench-scale-parallel-reconfig" : "bench-scale-parallel";
     fleet::ShardedFleet fleet(config);
+    if (reconfig) ScheduleBenchStorm(fleet);
 
     // Warm up two windows (18 s: past every activation stagger), then
     // measure whole windows covering measure_ms.
@@ -545,6 +580,7 @@ main(int argc, char** argv)
     bool with_metrics = false;
     double overhead_pct = 0.0;
     std::size_t threads = 0;  // 0 = classic single-kernel fleet
+    bool reconfig = false;
     bool parallel_suite = false;
     double parallel_check = 0.0;
 
@@ -584,6 +620,8 @@ main(int argc, char** argv)
             }
         } else if (arg == "--journal") {
             journal_path = next();
+        } else if (arg == "--reconfig") {
+            reconfig = true;
         } else if (arg == "--parallel-suite") {
             parallel_suite = true;
         } else if (arg == "--parallel-check") {
@@ -598,7 +636,7 @@ main(int argc, char** argv)
                          "usage: %s [--servers N] [--sim-seconds S] "
                          "[--out FILE] [--check BASELINE] [--metrics] "
                          "[--overhead-check PCT] [--threads N] "
-                         "[--journal FILE] [--parallel-suite] "
+                         "[--journal FILE] [--reconfig] [--parallel-suite] "
                          "[--parallel-check MIN_SPEEDUP]\n",
                          argv[0]);
             return 2;
@@ -617,12 +655,14 @@ main(int argc, char** argv)
         for (const std::size_t n : sizes) {
             std::printf("parallel check at %zu servers: 1-thread arm...\n", n);
             std::fflush(stdout);
-            const ParallelResult serial = RunParallelSuite(n, measure_ms, 1);
+            const ParallelResult serial =
+                RunParallelSuite(n, measure_ms, 1, reconfig);
             std::printf("  1 thread: %.2fM events/s (%zu shards)\n"
                         "parallel check at %zu servers: 4-thread arm...\n",
                         serial.events_per_sec / 1e6, serial.shards, n);
             std::fflush(stdout);
-            const ParallelResult wide = RunParallelSuite(n, measure_ms, 4);
+            const ParallelResult wide =
+                RunParallelSuite(n, measure_ms, 4, reconfig);
             const double speedup =
                 serial.events_per_sec > 0.0
                     ? wide.events_per_sec / serial.events_per_sec
@@ -673,7 +713,8 @@ main(int argc, char** argv)
                             n, t, t == 1 ? "" : "s",
                             static_cast<long long>(measure_ms / 1000));
                 std::fflush(stdout);
-                results.push_back(RunParallelSuite(n, measure_ms, t));
+                results.push_back(RunParallelSuite(n, measure_ms, t,
+                                                   reconfig));
                 const ParallelResult& r = results.back();
                 std::printf("  %zu shards: %.2fM events/s, journal fnv "
                             "0x%016llx\n",

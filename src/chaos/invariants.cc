@@ -87,6 +87,19 @@ InvariantChecker::Check()
     ++checks_run_;
     const SimTime now = fleet_.sim().Now();
 
+    // Elasticity: a committed reconfiguration is a deliberate
+    // disturbance (rosters and topology change under the controllers),
+    // so if one lands while the post-fault release clock is running,
+    // recovery is re-measured from the commit — the bound judges the
+    // fleet that exists now, not the boot-time one.
+    if (fleet_.spec_epoch() != last_epoch_) {
+        last_epoch_ = fleet_.spec_epoch();
+        if (faults_cleared_at_ >= 0 && recovery_time_ < 0) {
+            faults_cleared_at_ = now;
+            release_violation_reported_ = false;
+        }
+    }
+
     // 1. Breakers hold: the trip curve was never exceeded to firing.
     bool over_limit = false;
     fleet_.root().ForEach([&](power::PowerDevice& device) {

@@ -142,6 +142,15 @@ class InvariantChecker
     double max_breaker_stress_ = 0.0;
     SimTime faults_cleared_at_ = -1;
     SimTime recovery_time_ = -1;
+
+    /**
+     * Spec epoch at the last sample. Audits always run against the
+     * *current* fleet (rosters are re-read every check, so mid-run
+     * server adds/removes never leave the checker holding stale
+     * pointers); the epoch is tracked so the release bound re-arms
+     * when a reconfiguration lands mid-recovery.
+     */
+    std::uint64_t last_epoch_ = 0;
     telemetry::SpanId trace_cursor_ = 1;  ///< Next span id to verify.
     std::uint64_t spans_checked_ = 0;
     std::uint64_t spans_missed_ = 0;

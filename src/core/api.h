@@ -135,6 +135,15 @@ struct PowerReadResult
 
     /** Controller reads only: lowest honorable contractual limit. */
     Watts floor = 0.0;
+
+    /**
+     * Controller reads only: the contractual limit the pullee believes
+     * is in force (empty when uncontracted). Lets a freshly promoted
+     * parent adopt contracts it never issued — the upper-level
+     * analogue of a leaf adopting orphaned RAPL caps — instead of
+     * silently letting the child run against its raw physical limit.
+     */
+    std::optional<Watts> contract;
 };
 
 /**
@@ -169,6 +178,16 @@ struct ContractUpdate
      * followable.
      */
     std::uint64_t span_id = 0;
+
+    /**
+     * Fleet-spec epoch the issuer observed when it computed this
+     * limit. Reconfiguration transactions bump the epoch at a window
+     * barrier; a contract stamped with an older epoch was computed
+     * against a topology that no longer exists and is rejected by the
+     * receiver. 0 = unversioned (accepted, for senders outside any
+     * fleet — test rigs, hand-wired deployments).
+     */
+    std::uint64_t spec_epoch = 0;
 };
 
 /**

@@ -93,9 +93,21 @@ Controller::Handle(const rpc::Payload& request)
         }
         resp.quota = quota_;
         resp.floor = Floor();
+        resp.contract = contractual_limit_;
         return resp;
     }
     if (const auto* update = std::any_cast<api::ContractUpdate>(&request)) {
+        // A contract stamped with an older spec epoch was computed
+        // against a pre-reconfiguration topology; applying it could
+        // cap a subtree that no longer exists under that parent (or
+        // lift a limit the new parent still relies on). Unversioned
+        // senders (epoch 0) are accepted for hand-wired rigs.
+        if (update->spec_epoch != 0 && update->spec_epoch < current_epoch()) {
+            ++stale_epoch_rejections_;
+            return api::CapResult{api::Status::Rejected(
+                "stale spec epoch " + std::to_string(update->spec_epoch) +
+                " < " + std::to_string(current_epoch()))};
+        }
         if (update->limit) {
             SetContractualLimit(*update->limit);
             contract_span_ = update->span_id;

@@ -205,6 +205,41 @@ class Controller
     void ClearContractualLimit() { contractual_limit_.reset(); }
     std::optional<Watts> contractual_limit() const { return contractual_limit_; }
 
+    /**
+     * Copy the standing contractual limit (and the parent span that set
+     * it) from another instance — the warm-restart handover: a planned
+     * controller swap moves the contract to the standby *before* it
+     * activates, so the device is never momentarily uncontracted the
+     * way an unplanned failover leaves it until reaffirmation.
+     */
+    void InheritContract(const Controller& from)
+    {
+        contractual_limit_ = from.contractual_limit_;
+        contract_span_ = from.contract_span_;
+    }
+
+    /**
+     * Wire this controller to the fleet's spec-epoch counter (owned by
+     * the fleet; outlives the controller). Once attached, outgoing
+     * contracts are stamped with the current epoch and incoming
+     * ContractUpdates from an older epoch are rejected — they were
+     * computed against a topology a reconfiguration has since
+     * replaced. Pass nullptr to detach (hand-wired rigs).
+     */
+    void AttachEpoch(const std::uint64_t* epoch) { epoch_ = epoch; }
+
+    /** Fleet spec epoch this controller observes (0 when detached). */
+    std::uint64_t current_epoch() const
+    {
+        return epoch_ != nullptr ? *epoch_ : 0;
+    }
+
+    /** ContractUpdates refused for carrying a stale spec epoch. */
+    std::uint64_t stale_epoch_rejections() const
+    {
+        return stale_epoch_rejections_;
+    }
+
     /** min(physical, contractual): the limit capping decisions use. */
     Watts EffectiveLimit() const
     {
@@ -408,6 +443,10 @@ class Controller
     std::optional<Watts> contractual_limit_;
     bool active_ = false;
     sim::TaskHandle cycle_task_;
+
+    /** Fleet spec-epoch counter; nullptr for hand-wired rigs. */
+    const std::uint64_t* epoch_ = nullptr;
+    std::uint64_t stale_epoch_rejections_ = 0;
 
     HealthState health_ = HealthState::kNormal;
     int consecutive_invalid_ = 0;

@@ -134,6 +134,7 @@ DeploymentBuilder::Build(sim::Simulation& sim, rpc::SimTransport& transport,
     BuildControllersFor(root, sim, transport, config, deployment.get());
 
     if (config.with_telemetry) {
+        deployment->telemetry_wired_ = true;
         telemetry::MetricsRegistry* metrics = &deployment->metrics_;
         telemetry::TraceLog* traces = &deployment->traces_;
         for (const auto& agent : deployment->agents_) {
@@ -217,6 +218,114 @@ Deployment::FindUpper(const std::string& endpoint)
 {
     const auto it = upper_by_endpoint_.find(endpoint);
     return it == upper_by_endpoint_.end() ? nullptr : it->second;
+}
+
+LeafController*
+Deployment::FindLeafBackup(const std::string& endpoint)
+{
+    for (const auto& c : leaf_backups_) {
+        if (c->endpoint() == endpoint) return c.get();
+    }
+    return nullptr;
+}
+
+UpperController*
+Deployment::FindUpperBackup(const std::string& endpoint)
+{
+    for (const auto& c : upper_backups_) {
+        if (c->endpoint() == endpoint) return c.get();
+    }
+    return nullptr;
+}
+
+FailoverManager*
+Deployment::FindFailover(const std::string& endpoint)
+{
+    for (const auto& mgr : failovers_) {
+        if (mgr->primary().endpoint() == endpoint) return mgr.get();
+    }
+    return nullptr;
+}
+
+bool
+Deployment::SwapController(const std::string& endpoint)
+{
+    FailoverManager* mgr = FindFailover(endpoint);
+    return mgr != nullptr && mgr->WarmSwap();
+}
+
+DynamoAgent*
+Deployment::AdoptServer(sim::Simulation& sim, rpc::SimTransport& transport,
+                        server::SimServer& server)
+{
+    auto agent = std::make_unique<DynamoAgent>(
+        sim, transport, server, AgentEndpoint(server.name()));
+    DynamoAgent* raw = agent.get();
+    if (telemetry_wired_) raw->AttachMetrics(&metrics_);
+    if (watchdog_) watchdog_->Watch(raw);
+    agent_by_endpoint_[raw->endpoint()] = raw;
+    agents_.push_back(std::move(agent));
+    return raw;
+}
+
+bool
+Deployment::RemoveAgent(const std::string& endpoint,
+                        rpc::SimTransport& transport)
+{
+    const auto it = agent_by_endpoint_.find(endpoint);
+    if (it == agent_by_endpoint_.end()) return false;
+    DynamoAgent* agent = it->second;
+    // Off the watchdog roster first: a watchdog check between Crash
+    // and destruction would otherwise resurrect the agent.
+    if (watchdog_) watchdog_->Unwatch(agent);
+    agent->Crash();
+    agent_by_endpoint_.erase(it);
+    for (auto vec_it = agents_.begin(); vec_it != agents_.end(); ++vec_it) {
+        if (vec_it->get() == agent) {
+            agents_.erase(vec_it);
+            break;
+        }
+    }
+    transport.Deregister(endpoint);
+    return true;
+}
+
+bool
+Deployment::RemoveLeaf(const std::string& endpoint,
+                       rpc::SimTransport& transport)
+{
+    const auto it = leaf_by_endpoint_.find(endpoint);
+    if (it == leaf_by_endpoint_.end()) return false;
+    LeafController* leaf = it->second;
+    LeafController* backup = FindLeafBackup(endpoint);
+    // The failover manager goes first — its probe task must not fire
+    // between the controllers' teardown and its own.
+    for (auto mgr = failovers_.begin(); mgr != failovers_.end(); ++mgr) {
+        if (&(*mgr)->primary() == leaf) {
+            failovers_.erase(mgr);
+            break;
+        }
+    }
+    if (early_warning_) early_warning_->Unwatch(leaf);
+    leaf->Deactivate();
+    if (backup != nullptr) {
+        backup->Deactivate();  // covers a post-failover active standby
+        for (auto b = leaf_backups_.begin(); b != leaf_backups_.end(); ++b) {
+            if (b->get() == backup) {
+                leaf_backups_.erase(b);
+                break;
+            }
+        }
+    }
+    leaf_by_endpoint_.erase(it);
+    for (auto vec_it = leaves_.begin(); vec_it != leaves_.end(); ++vec_it) {
+        if (vec_it->get() == leaf) {
+            leaves_.erase(vec_it);
+            break;
+        }
+    }
+    transport.Deregister(endpoint);
+    return true;
 }
 
 void

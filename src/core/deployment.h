@@ -141,6 +141,57 @@ class Deployment
     /** Upper controller by endpoint ("ctl:<device>"); nullptr if absent. */
     UpperController* FindUpper(const std::string& endpoint);
 
+    /** Standby leaf instance for a logical endpoint; nullptr if none. */
+    LeafController* FindLeafBackup(const std::string& endpoint);
+
+    /** Standby upper instance for a logical endpoint; nullptr if none. */
+    UpperController* FindUpperBackup(const std::string& endpoint);
+
+    /**
+     * Failover manager guarding a logical endpoint (matched against the
+     * manager's primary); nullptr if the endpoint has no standby.
+     */
+    FailoverManager* FindFailover(const std::string& endpoint);
+
+    /**
+     * Planned warm restart of the controller serving `endpoint`: the
+     * standby inherits the primary's standing contractual limit (and
+     * the span that set it) *before* activating, so the device never
+     * sees an uncontracted instant — the difference from an unplanned
+     * failover, where the promoted backup must re-learn the contract
+     * through reaffirmation. Consumes the standby (the failover
+     * manager is marked switched). Returns false when the endpoint has
+     * no unswitched standby.
+     */
+    bool SwapController(const std::string& endpoint);
+
+    /**
+     * Adopt a newly provisioned server into the control plane: create
+     * and activate its agent, wire the shared metrics (when telemetry
+     * was built in), and add it to the watchdog roster. The caller
+     * wires the agent into its leaf controller(s) via AddAgent.
+     */
+    DynamoAgent* AdoptServer(sim::Simulation& sim,
+                             rpc::SimTransport& transport,
+                             server::SimServer& server);
+
+    /**
+     * Decommission one agent: off the watchdog roster, destroyed, and
+     * its transport endpoint deregistered (name released, id
+     * recycled). Returns false if unknown.
+     */
+    bool RemoveAgent(const std::string& endpoint,
+                     rpc::SimTransport& transport);
+
+    /**
+     * Decommission a leaf controller: deactivates primary and standby,
+     * destroys their failover manager, drops them from the
+     * early-warning roster, and deregisters the logical endpoint.
+     * Returns false if unknown.
+     */
+    bool RemoveLeaf(const std::string& endpoint,
+                    rpc::SimTransport& transport);
+
     /** Conventional endpoint names. */
     static std::string AgentEndpoint(const std::string& server_name)
     {
@@ -177,6 +228,9 @@ class Deployment
     std::unordered_map<std::string, DynamoAgent*> agent_by_endpoint_;
     std::unordered_map<std::string, LeafController*> leaf_by_endpoint_;
     std::unordered_map<std::string, UpperController*> upper_by_endpoint_;
+
+    /** True when BuildDeployment wired metrics/traces (with_telemetry). */
+    bool telemetry_wired_ = false;
 };
 
 /**

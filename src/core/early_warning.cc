@@ -17,6 +17,18 @@ EarlyWarningMonitor::Watch(const Controller* controller)
     watched_.push_back(state);
 }
 
+bool
+EarlyWarningMonitor::Unwatch(const Controller* controller)
+{
+    for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+        if (it->controller == controller) {
+            watched_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<std::string>
 EarlyWarningMonitor::HotDevices() const
 {

@@ -56,6 +56,9 @@ class EarlyWarningMonitor
     /** Add a controller to watch (not owned). */
     void Watch(const Controller* controller);
 
+    /** Stop watching a controller (it is being decommissioned). */
+    bool Unwatch(const Controller* controller);
+
     /** Alerts raised so far. */
     std::uint64_t alerts() const { return alerts_; }
 

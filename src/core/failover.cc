@@ -20,6 +20,49 @@ FailoverManager::FailoverManager(sim::Simulation& sim,
 }
 
 void
+FailoverManager::Promote()
+{
+    switched_ = true;
+    // Make sure a half-dead primary stops acting, then promote
+    // the backup under the same logical endpoint.
+    primary_.Deactivate();
+    backup_.Activate();
+    if (log_ != nullptr) {
+        telemetry::Event event;
+        event.time = sim_.Now();
+        event.kind = telemetry::EventKind::kFailover;
+        event.source = primary_.endpoint();
+        log_->Record(std::move(event));
+    }
+}
+
+void
+FailoverManager::ForceSwitch()
+{
+    if (switched_) return;
+    Promote();
+}
+
+bool
+FailoverManager::WarmSwap()
+{
+    if (switched_) return false;
+    switched_ = true;
+    backup_.InheritContract(primary_);
+    primary_.Deactivate();
+    backup_.Activate();
+    if (log_ != nullptr) {
+        telemetry::Event event;
+        event.time = sim_.Now();
+        event.kind = telemetry::EventKind::kFailover;
+        event.source = primary_.endpoint();
+        event.detail = "planned warm swap";
+        log_->Record(std::move(event));
+    }
+    return true;
+}
+
+void
 FailoverManager::Check()
 {
     if (switched_) return;
@@ -29,18 +72,7 @@ FailoverManager::Check()
         [this](const std::string&) {
             ++misses_;
             if (misses_ < miss_threshold_ || switched_) return;
-            switched_ = true;
-            // Make sure a half-dead primary stops acting, then promote
-            // the backup under the same logical endpoint.
-            primary_.Deactivate();
-            backup_.Activate();
-            if (log_ != nullptr) {
-                telemetry::Event event;
-                event.time = sim_.Now();
-                event.kind = telemetry::EventKind::kFailover;
-                event.source = primary_.endpoint();
-                log_->Record(std::move(event));
-            }
+            Promote();
         },
         /*timeout_ms=*/1000);
 }

@@ -48,8 +48,35 @@ class FailoverManager
 
     int consecutive_misses() const { return misses_; }
 
+    Controller& primary() { return primary_; }
+    Controller& backup() { return backup_; }
+
+    /**
+     * Promote the backup immediately, without waiting for the probe
+     * cadence to accumulate misses — the unplanned-kill path of a
+     * reconfiguration storm (a planned warm restart goes through
+     * Deployment::SwapController instead). Deactivates the primary,
+     * activates the backup under the same logical endpoint, and logs
+     * kFailover. No-op if already switched.
+     */
+    void ForceSwitch();
+
+    /**
+     * Planned warm restart: the standby inherits the primary's
+     * standing contractual limit (and its decision span) *before*
+     * activating, so the device's effective limit is continuous across
+     * the swap — the difference from ForceSwitch, where a promoted
+     * backup must re-learn the contract through parent reaffirmation.
+     * Consumes the standby (probing stops). Returns false if already
+     * switched.
+     */
+    bool WarmSwap();
+
   private:
     void Check();
+
+    /** Common promotion step for Check() and ForceSwitch(). */
+    void Promote();
 
     sim::Simulation& sim_;
     rpc::SimTransport& transport_;

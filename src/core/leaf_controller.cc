@@ -221,6 +221,7 @@ LeafController::Aggregate()
         span.source = endpoint();
         span.band = band;
         span.was_capping = was_capping;
+        span.epoch = current_epoch();
         span.measured = aggregated;
         span.limit = limit;
         span.dry_run = config_.dry_run;

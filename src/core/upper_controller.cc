@@ -24,6 +24,18 @@ UpperController::AddChild(const std::string& endpoint)
     children_.push_back(std::move(state));
 }
 
+bool
+UpperController::RemoveChild(const std::string& endpoint)
+{
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+        if (it->endpoint == endpoint) {
+            children_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::size_t
 UpperController::contracted_count() const
 {
@@ -97,6 +109,7 @@ UpperController::Aggregate()
     infos_.reserve(children_.size());
     fresh_child_.reserve(children_.size());
 
+    std::size_t adopted = 0;
     for (std::size_t i = 0; i < children_.size(); ++i) {
         ChildState& c = children_[i];
         // A child whose own aggregation was invalid reports a non-ok
@@ -107,6 +120,17 @@ UpperController::Aggregate()
             c.last = *c.current;
             c.have_last = true;
             c.last_time = now;
+            // The child reports a standing contract this instance
+            // never issued — a predecessor's limit surviving our
+            // promotion, or an uncap lost in flight. Adopt it so it is
+            // reaffirmed, updated, and eventually released through the
+            // normal band path instead of stranding the subtree.
+            if (!config_.dry_run && c.current->contract && !c.contracted) {
+                c.contracted = true;
+                c.limit = *c.current->contract;
+                c.span = telemetry::kNoSpan;
+                ++adopted;
+            }
         } else {
             ++failures;
         }
@@ -134,6 +158,14 @@ UpperController::Aggregate()
         return;
     }
 
+    if (adopted > 0) {
+        contracts_adopted_ += adopted;
+        if (!bands_.capping()) bands_.AdoptCappingEvent();
+        LogEvent(telemetry::EventKind::kCapUpdate, aggregated,
+                 EffectiveLimit(), static_cast<int>(adopted),
+                 "adopted in-flight contracts");
+    }
+
     last_power_ = aggregated;
     last_valid_ = true;
     ++aggregations_;
@@ -151,6 +183,7 @@ UpperController::Aggregate()
         span.source = endpoint();
         span.band = band;
         span.was_capping = was_capping;
+        span.epoch = current_epoch();
         span.measured = aggregated;
         span.limit = limit;
         span.dry_run = config_.dry_run;
@@ -251,7 +284,8 @@ UpperController::ExecutePlan(const OffenderPlan& plan,
         c.span = span_id;
         transport_.Call(
             c.id,
-            api::ContractUpdate{child_limit.contractual_limit, span_id},
+            api::ContractUpdate{child_limit.contractual_limit, span_id,
+                                current_epoch()},
             [](const rpc::Payload&) {},
             [](const std::string&) {
                 // Re-issued next cycle if still needed.
@@ -267,7 +301,7 @@ UpperController::ReaffirmContracts()
         if (!c.contracted) continue;
         ++contracts_reaffirmed_;
         transport_.Call(
-            c.id, api::ContractUpdate{c.limit, c.span},
+            c.id, api::ContractUpdate{c.limit, c.span, current_epoch()},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -281,7 +315,9 @@ UpperController::ClearContracts()
         c.contracted = false;
         c.limit = 0.0;
         transport_.Call(
-            c.id, api::ContractUpdate{std::nullopt, telemetry::kNoSpan},
+            c.id,
+            api::ContractUpdate{std::nullopt, telemetry::kNoSpan,
+                                current_epoch()},
             [](const rpc::Payload&) {}, [](const std::string&) {},
             config_.rpc_timeout);
     }
@@ -292,6 +328,7 @@ UpperController::Snapshot(Archive& ar) const
 {
     Controller::Snapshot(ar);
     ar.U64(contracts_reaffirmed_);
+    ar.U64(contracts_adopted_);
     ar.U64(last_failure_count_);
     // Per-child contract cache: standing limits, the decision spans
     // that set them, and the last-known-good child readings.

@@ -41,6 +41,14 @@ class UpperController : public Controller
     /** Register one child controller endpoint. */
     void AddChild(const std::string& endpoint);
 
+    /**
+     * Drop one child from the roster (reconfiguration: the subtree was
+     * decommissioned or re-parented). Any standing contract bookkeeping
+     * for it goes with it — the new parent re-learns the child's
+     * contract through adoption. Returns false if unknown.
+     */
+    bool RemoveChild(const std::string& endpoint);
+
     std::size_t child_count() const { return children_.size(); }
 
     /** Children currently under a contractual limit from us. */
@@ -48,6 +56,14 @@ class UpperController : public Controller
 
     /** Contract re-issues sent to already-contracted children. */
     std::uint64_t contracts_reaffirmed() const { return contracts_reaffirmed_; }
+
+    /**
+     * Child-reported contracts this instance adopted without having
+     * issued them — a predecessor's limits surviving promotion, or an
+     * uncap command lost in flight. The upper-level analogue of a leaf
+     * adopting orphaned RAPL caps.
+     */
+    std::uint64_t contracts_adopted() const { return contracts_adopted_; }
 
     /** Quota/floor data discovered from a child (for tests). */
     std::optional<api::PowerReadResult> LastChildResponse(
@@ -127,6 +143,7 @@ class UpperController : public Controller
 
     std::size_t last_failure_count_ = 0;
     std::uint64_t contracts_reaffirmed_ = 0;
+    std::uint64_t contracts_adopted_ = 0;
 };
 
 }  // namespace dynamo::core

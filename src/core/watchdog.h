@@ -38,6 +38,22 @@ class Watchdog
     /** Add one agent to the watched roster (not owned). */
     void Watch(DynamoAgent* agent) { agents_.push_back(agent); }
 
+    /**
+     * Drop one agent from the roster (the server was decommissioned).
+     * Must be called before the agent is destroyed, or the next check
+     * would "restart" a dangling pointer. Returns false if unknown.
+     */
+    bool Unwatch(const DynamoAgent* agent)
+    {
+        for (auto it = agents_.begin(); it != agents_.end(); ++it) {
+            if (*it == agent) {
+                agents_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
     std::uint64_t restarts() const { return restarts_; }
     std::size_t watched_count() const { return agents_.size(); }
 

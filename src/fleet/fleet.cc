@@ -1,7 +1,10 @@
 #include "fleet/fleet.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "workload/load_process.h"
@@ -88,6 +91,20 @@ Fleet::Fleet(FleetSpec spec)
                         spec_.seed ^ breaker_telemetry_.size()));
                 leaf->AttachBreakerTelemetry(breaker_telemetry_.back().get());
             }
+        }
+        // Every controller — standbys included, since a promoted backup
+        // must enforce the same epoch — observes the fleet's spec epoch.
+        for (const auto& leaf : deployment_->leaf_controllers()) {
+            leaf->AttachEpoch(&spec_epoch_);
+        }
+        for (const auto& upper : deployment_->upper_controllers()) {
+            upper->AttachEpoch(&spec_epoch_);
+        }
+        for (const auto& leaf : deployment_->leaf_backups()) {
+            leaf->AttachEpoch(&spec_epoch_);
+        }
+        for (const auto& upper : deployment_->upper_backups()) {
+            upper->AttachEpoch(&spec_epoch_);
         }
     }
 }
@@ -213,10 +230,317 @@ Fleet::ServersOf(workload::ServiceType service)
 }
 
 void
+Fleet::ScheduleReconfig(ReconfigTxn txn)
+{
+    ValidateReconfig(txn);
+    // Commit at the next upper-cycle window barrier: the 9 s cadence is
+    // the coarsest control period, so every controller sees either the
+    // old topology or the new one, never a mix mid-decision.
+    const SimTime window = spec_.deployment.upper.base.pull_cycle;
+    const SimTime at = (sim_.Now() / window + 1) * window;
+    sim_.ScheduleAt(at, [this, txn = std::move(txn)]() { ApplyReconfig(txn); });
+}
+
+void
+Fleet::ValidateReconfig(const ReconfigTxn& txn) const
+{
+    if (txn.empty()) {
+        throw std::invalid_argument("reconfig: empty transaction");
+    }
+    const power::DeviceLevel leaf_level = spec_.deployment.leaf_level;
+    for (const ReconfigOp& op : txn.ops) {
+        power::PowerDevice* dev = root_->Find(op.target);
+        const std::string ctl = core::Deployment::ControllerEndpoint(op.target);
+        switch (op.kind) {
+          case ReconfigOp::Kind::kAddServers:
+            if (op.count == 0) {
+                throw std::invalid_argument("reconfig: add-servers(" +
+                                            op.target + ") with count 0");
+            }
+            if (dev == nullptr || dev->level() != leaf_level) {
+                throw std::invalid_argument(
+                    "reconfig: add-servers target \"" + op.target +
+                    "\" is not a leaf-level device");
+            }
+            if (deployment_ && deployment_->FindLeaf(ctl) == nullptr) {
+                throw std::invalid_argument(
+                    "reconfig: no leaf controller for \"" + op.target + "\"");
+            }
+            break;
+          case ReconfigOp::Kind::kRemoveSubtree:
+            if (dev == nullptr || dev->level() != leaf_level) {
+                throw std::invalid_argument(
+                    "reconfig: remove-subtree target \"" + op.target +
+                    "\" is not a leaf-level device");
+            }
+            if (dev->parent() == nullptr) {
+                throw std::invalid_argument(
+                    "reconfig: cannot remove the root device \"" + op.target +
+                    "\"");
+            }
+            break;
+          case ReconfigOp::Kind::kReparent: {
+            if (dev == nullptr || dev->level() != leaf_level ||
+                dev->parent() == nullptr) {
+                throw std::invalid_argument(
+                    "reconfig: reparent target \"" + op.target +
+                    "\" is not a non-root leaf-level device");
+            }
+            power::PowerDevice* np = root_->Find(op.new_parent);
+            if (np == nullptr) {
+                throw std::invalid_argument("reconfig: unknown new parent \"" +
+                                            op.new_parent + "\"");
+            }
+            if (np == dev->parent()) {
+                throw std::invalid_argument("reconfig: \"" + op.target +
+                                            "\" is already fed from \"" +
+                                            op.new_parent + "\"");
+            }
+            if (dev->Find(op.new_parent) != nullptr) {
+                throw std::invalid_argument(
+                    "reconfig: new parent \"" + op.new_parent +
+                    "\" lies inside the re-parented subtree");
+            }
+            if (deployment_ != nullptr) {
+                const std::string old_ctl = core::Deployment::ControllerEndpoint(
+                    dev->parent()->name());
+                const std::string new_ctl =
+                    core::Deployment::ControllerEndpoint(op.new_parent);
+                if (deployment_->FindUpper(old_ctl) == nullptr ||
+                    deployment_->FindUpper(new_ctl) == nullptr) {
+                    throw std::invalid_argument(
+                        "reconfig: reparent requires upper controllers on "
+                        "both the old and new parent of \"" +
+                        op.target + "\"");
+                }
+            }
+            break;
+          }
+          case ReconfigOp::Kind::kRestartController:
+          case ReconfigOp::Kind::kPromoteUpper: {
+            if (op.kind == ReconfigOp::Kind::kPromoteUpper &&
+                (deployment_ == nullptr ||
+                 deployment_->FindUpper(ctl) == nullptr)) {
+                throw std::invalid_argument(
+                    "reconfig: promote-upper target \"" + op.target +
+                    "\" has no upper controller");
+            }
+            core::FailoverManager* mgr =
+                deployment_ ? deployment_->FindFailover(ctl) : nullptr;
+            if (mgr == nullptr) {
+                throw std::invalid_argument(
+                    "reconfig: \"" + op.target +
+                    "\" has no standby controller (build the fleet with "
+                    "with_backup_controllers)");
+            }
+            if (mgr->switched()) {
+                throw std::invalid_argument(
+                    "reconfig: standby for \"" + op.target +
+                    "\" was already consumed");
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+Fleet::ApplyReconfig(const ReconfigTxn& txn)
+{
+    ++spec_epoch_;
+    for (const ReconfigOp& op : txn.ops) {
+        switch (op.kind) {
+          case ReconfigOp::Kind::kAddServers: ApplyAddServers(op); break;
+          case ReconfigOp::Kind::kRemoveSubtree: ApplyRemoveSubtree(op); break;
+          case ReconfigOp::Kind::kReparent: ApplyReparent(op); break;
+          case ReconfigOp::Kind::kRestartController:
+            ApplyRestartController(op);
+            break;
+          case ReconfigOp::Kind::kPromoteUpper: ApplyPromoteUpper(op); break;
+        }
+    }
+    const SimTime now = sim_.Now();
+    if (deployment_) {
+        telemetry::Event event;
+        event.time = now;
+        event.kind = telemetry::EventKind::kReconfig;
+        event.source = "fleet";
+        event.servers_affected = static_cast<int>(txn.ops.size());
+        event.detail = txn.Describe();
+        deployment_->event_log().Record(std::move(event));
+    }
+    if (reconfig_observer_) {
+        reconfig_observer_(spec_epoch_, now, txn.Describe());
+    }
+}
+
+void
+Fleet::ApplyAddServers(const ReconfigOp& op)
+{
+    power::PowerDevice* rpp = root_->Find(op.target);
+    if (rpp == nullptr) {
+        throw std::runtime_error("reconfig: device \"" + op.target +
+                                 "\" vanished before commit");
+    }
+    // A fresh deterministic stream per (seed, epoch): provisioning must
+    // not perturb the boot-time RNG positions of existing servers.
+    Rng rng(spec_.seed ^ (0x9e3779b97f4a7c15ULL * spec_epoch_));
+    const std::vector<workload::ServiceType> services =
+        AssignServices(spec_.mix, op.count);
+    core::LeafController* leaf = nullptr;
+    core::LeafController* leaf_backup = nullptr;
+    if (deployment_) {
+        const std::string ep = core::Deployment::ControllerEndpoint(op.target);
+        leaf = deployment_->FindLeaf(ep);
+        leaf_backup = deployment_->FindLeafBackup(ep);
+    }
+    for (std::size_t i = 0; i < op.count; ++i) {
+        server::SimServer::Config config;
+        // Epoch-qualified names keep provisioned servers unique across
+        // repeated expansions of the same leaf.
+        config.name = op.target + "/e" + std::to_string(spec_epoch_) + "s" +
+                      std::to_string(i);
+        config.generation = rng.Bernoulli(spec_.haswell_fraction)
+                                ? server::ServerGeneration::kHaswell2015
+                                : server::ServerGeneration::kWestmere2011;
+        config.service = services[i];
+        config.has_sensor = !rng.Bernoulli(spec_.sensorless_fraction);
+        config.turbo_enabled = spec_.turbo_enabled;
+        config.spec_override = spec_.spec_override;
+        config.seed = rng.NextU64();
+        servers_.push_back(std::make_unique<server::SimServer>(
+            config, workload::LoadProcessParams::For(config.service),
+            &traffic_));
+        server::SimServer* srv = servers_.back().get();
+        rpp->AttachLoad(srv);
+        if (deployment_) {
+            deployment_->AdoptServer(sim_, transport_, *srv);
+            // Both leaf instances learn the roster: after a failover
+            // the standby must keep controlling the grown domain.
+            const core::AgentInfo info = core::AgentInfoFor(*srv);
+            if (leaf != nullptr) leaf->AddAgent(info);
+            if (leaf_backup != nullptr) leaf_backup->AddAgent(info);
+        }
+    }
+}
+
+void
+Fleet::ApplyRemoveSubtree(const ReconfigOp& op)
+{
+    power::PowerDevice* dev = root_->Find(op.target);
+    if (dev == nullptr || dev->parent() == nullptr) {
+        throw std::runtime_error("reconfig: device \"" + op.target +
+                                 "\" vanished before commit");
+    }
+    const SimTime now = sim_.Now();
+    const std::string ctl_ep = core::Deployment::ControllerEndpoint(op.target);
+
+    // Decommission order matters: caps come off the servers while the
+    // subtree is still powered (a decommission is a drain, not a
+    // crash), then the agents, then the controllers, then the metal.
+    const std::vector<server::SimServer*> doomed = ServersUnder(op.target);
+    for (server::SimServer* srv : doomed) {
+        srv->ClearPowerLimit(now);
+        if (deployment_) {
+            deployment_->RemoveAgent(core::Deployment::AgentEndpoint(srv->name()),
+                                     transport_);
+        }
+    }
+    dev->ForEach([&](power::PowerDevice& d) {
+        const std::vector<power::PowerLoad*> attached = d.loads();
+        for (power::PowerLoad* load : attached) {
+            if (dynamic_cast<server::SimServer*>(load) != nullptr) {
+                d.DetachLoad(load);
+            }
+        }
+    });
+    const std::unordered_set<const server::SimServer*> gone(doomed.begin(),
+                                                            doomed.end());
+    servers_.erase(
+        std::remove_if(servers_.begin(), servers_.end(),
+                       [&](const std::unique_ptr<server::SimServer>& s) {
+                           return gone.count(s.get()) != 0;
+                       }),
+        servers_.end());
+
+    if (deployment_) {
+        const std::string parent_ep =
+            core::Deployment::ControllerEndpoint(dev->parent()->name());
+        if (auto* upper = deployment_->FindUpper(parent_ep)) {
+            upper->RemoveChild(ctl_ep);
+        }
+        if (auto* backup = deployment_->FindUpperBackup(parent_ep)) {
+            backup->RemoveChild(ctl_ep);
+        }
+        deployment_->RemoveLeaf(ctl_ep, transport_);
+    }
+    retired_devices_.push_back(dev->parent()->RemoveChild(op.target));
+}
+
+void
+Fleet::ApplyReparent(const ReconfigOp& op)
+{
+    power::PowerDevice* dev = root_->Find(op.target);
+    power::PowerDevice* new_parent = root_->Find(op.new_parent);
+    if (dev == nullptr || new_parent == nullptr ||
+        dev->parent() == nullptr || dev->parent() == new_parent) {
+        throw std::runtime_error("reconfig: reparent of \"" + op.target +
+                                 "\" no longer applies");
+    }
+    const std::string ctl_ep = core::Deployment::ControllerEndpoint(op.target);
+    if (deployment_) {
+        const std::string old_ep =
+            core::Deployment::ControllerEndpoint(dev->parent()->name());
+        const std::string new_ep =
+            core::Deployment::ControllerEndpoint(op.new_parent);
+        if (auto* upper = deployment_->FindUpper(old_ep)) {
+            upper->RemoveChild(ctl_ep);
+        }
+        if (auto* backup = deployment_->FindUpperBackup(old_ep)) {
+            backup->RemoveChild(ctl_ep);
+        }
+        // The leaf keeps its standing contractual limit across the
+        // move; the new parent discovers it through contract adoption
+        // on its next pull, so no capping headroom is ever lost.
+        if (auto* upper = deployment_->FindUpper(new_ep)) {
+            upper->AddChild(ctl_ep);
+        }
+        if (auto* backup = deployment_->FindUpperBackup(new_ep)) {
+            backup->AddChild(ctl_ep);
+        }
+    }
+    new_parent->AddChild(dev->parent()->RemoveChild(op.target));
+}
+
+void
+Fleet::ApplyRestartController(const ReconfigOp& op)
+{
+    const std::string ep = core::Deployment::ControllerEndpoint(op.target);
+    if (!deployment_ || !deployment_->SwapController(ep)) {
+        throw std::runtime_error("reconfig: no unswitched standby for \"" +
+                                 op.target + "\"");
+    }
+}
+
+void
+Fleet::ApplyPromoteUpper(const ReconfigOp& op)
+{
+    const std::string ep = core::Deployment::ControllerEndpoint(op.target);
+    core::FailoverManager* mgr =
+        deployment_ ? deployment_->FindFailover(ep) : nullptr;
+    if (mgr == nullptr) {
+        throw std::runtime_error("reconfig: no failover manager for \"" +
+                                 op.target + "\"");
+    }
+    mgr->ForceSwitch();
+}
+
+void
 Fleet::Snapshot(Archive& ar) const
 {
     sim_.Snapshot(ar);
     transport_.Snapshot(ar);
+    ar.U64(spec_epoch_);
     ar.F64(balancer_.factor());
     // Pre-order device walk: construction order is deterministic, so
     // the visit order (and hence the byte stream) is too.

@@ -17,9 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "common/rng.h"
 #include "core/deployment.h"
 #include "core/load_shed.h"
+#include "fleet/reconfig.h"
 #include "power/breaker_monitor.h"
 #include "power/breaker_telemetry.h"
 #include "power/device.h"
@@ -219,6 +222,41 @@ class Fleet
 
     double global_traffic_factor() const { return balancer_.factor(); }
 
+    /**
+     * Current fleet-spec epoch: 0 at boot, bumped once per committed
+     * reconfiguration transaction. Controllers observe it through
+     * AttachEpoch and reject contract traffic from older epochs.
+     */
+    std::uint64_t spec_epoch() const { return spec_epoch_; }
+
+    /**
+     * Validate `txn` against the current topology and schedule it to
+     * commit atomically at the next upper-cycle window barrier (the
+     * next multiple of the upper pull cycle, 9 s by default). Ops in
+     * one transaction apply in order with no control cycle in between;
+     * the spec epoch bumps exactly once per transaction.
+     *
+     * @throws std::invalid_argument on a structurally invalid
+     *         transaction (unknown device, wrong level, re-parent onto
+     *         itself, restart without a standby, ...). Validation runs
+     *         against the *current* topology; a transaction invalidated
+     *         by an earlier pending one fails at commit with
+     *         std::runtime_error instead.
+     */
+    void ScheduleReconfig(ReconfigTxn txn);
+
+    /** Observer invoked after each committed transaction (journaling). */
+    using ReconfigObserver = std::function<void(
+        std::uint64_t epoch, SimTime time, const std::string& description)>;
+
+    void set_reconfig_observer(ReconfigObserver observer)
+    {
+        reconfig_observer_ = std::move(observer);
+    }
+
+    /** Reconfiguration transactions committed so far (== spec_epoch). */
+    std::uint64_t reconfigs_applied() const { return spec_epoch_; }
+
     /** Total draw at the root right now. */
     Watts TotalPower() { return root_->TotalPower(sim_.Now()); }
 
@@ -241,6 +279,14 @@ class Fleet
 
   private:
     void BuildServersFor(power::PowerDevice& rpp, Rng& rng, std::size_t* counter);
+
+    void ValidateReconfig(const ReconfigTxn& txn) const;
+    void ApplyReconfig(const ReconfigTxn& txn);
+    void ApplyAddServers(const ReconfigOp& op);
+    void ApplyRemoveSubtree(const ReconfigOp& op);
+    void ApplyReparent(const ReconfigOp& op);
+    void ApplyRestartController(const ReconfigOp& op);
+    void ApplyPromoteUpper(const ReconfigOp& op);
 
     /** Fleet-side LoadShedder: scales shed factors of a domain's servers. */
     class Shedder : public core::LoadShedder
@@ -269,6 +315,19 @@ class Fleet
     std::unique_ptr<core::Deployment> deployment_;
     std::vector<std::unique_ptr<power::BreakerTelemetry>> breaker_telemetry_;
     std::unique_ptr<Shedder> shedder_;
+
+    /** Bumped once per committed reconfiguration transaction. */
+    std::uint64_t spec_epoch_ = 0;
+
+    ReconfigObserver reconfig_observer_;
+
+    /**
+     * Decommissioned subtrees are detached from the tree but kept
+     * alive: attached FixedLoads (and any breaker-telemetry samplers)
+     * still point into them, and keeping the objects dormant is
+     * cheaper and safer than chasing every reference.
+     */
+    std::vector<std::unique_ptr<power::PowerDevice>> retired_devices_;
 };
 
 }  // namespace dynamo::fleet

@@ -1,0 +1,44 @@
+#include "fleet/reconfig.h"
+
+namespace dynamo::fleet {
+
+const char*
+ReconfigOpKindName(ReconfigOp::Kind kind)
+{
+    switch (kind) {
+      case ReconfigOp::Kind::kAddServers: return "add-servers";
+      case ReconfigOp::Kind::kRemoveSubtree: return "remove-subtree";
+      case ReconfigOp::Kind::kReparent: return "reparent";
+      case ReconfigOp::Kind::kRestartController: return "restart-controller";
+      case ReconfigOp::Kind::kPromoteUpper: return "promote-upper";
+    }
+    return "unknown";
+}
+
+std::string
+ReconfigTxn::Describe() const
+{
+    std::string out;
+    for (const ReconfigOp& op : ops) {
+        if (!out.empty()) out += "; ";
+        out += ReconfigOpKindName(op.kind);
+        out += '(';
+        out += op.target;
+        switch (op.kind) {
+          case ReconfigOp::Kind::kAddServers:
+            out += ',';
+            out += std::to_string(op.count);
+            break;
+          case ReconfigOp::Kind::kReparent:
+            out += "->";
+            out += op.new_parent;
+            break;
+          default:
+            break;
+        }
+        out += ')';
+    }
+    return out;
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Transactional fleet reconfiguration.
+ *
+ * The FleetSpec describes a fleet at boot; production fleets do not
+ * hold still. A ReconfigTxn is an ordered batch of topology mutations
+ * — provision servers, decommission a leaf breaker subtree, re-parent
+ * a leaf under a different SB, restart or promote controllers — that
+ * the engines validate up front and then apply *atomically at a 9 s
+ * window barrier* (the upper-controller cadence): no control cycle
+ * ever observes half a transaction. Each commit bumps the fleet's
+ * spec epoch; contract traffic stamped with an older epoch was
+ * computed against a topology that no longer exists and is rejected
+ * by the receiving controller.
+ */
+#ifndef DYNAMO_FLEET_RECONFIG_H_
+#define DYNAMO_FLEET_RECONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynamo::fleet {
+
+/** One topology mutation inside a ReconfigTxn. */
+struct ReconfigOp
+{
+    /**
+     * Numeric values are part of the journal encoding (DYNJRNL1
+     * reconfiguration records describe committed transactions); do
+     * not renumber.
+     */
+    enum class Kind : std::uint8_t {
+        /** Provision `count` servers under leaf device `target`. */
+        kAddServers = 1,
+
+        /** Decommission leaf device `target` and everything under it. */
+        kRemoveSubtree = 2,
+
+        /** Re-feed leaf device `target` from device `new_parent`. */
+        kReparent = 3,
+
+        /** Planned warm restart of the controller on `target`. */
+        kRestartController = 4,
+
+        /** Kill the upper controller on `target`; promote its backup. */
+        kPromoteUpper = 5,
+    };
+
+    Kind kind = Kind::kAddServers;
+
+    /** Device name the op acts on (serial engine) or shard-engine id. */
+    std::string target;
+
+    /** Destination device for kReparent; unused otherwise. */
+    std::string new_parent;
+
+    /** Server count for kAddServers; unused otherwise. */
+    std::size_t count = 0;
+};
+
+/** Readable name for an op kind ("add-servers", "reparent", ...). */
+const char* ReconfigOpKindName(ReconfigOp::Kind kind);
+
+/**
+ * An ordered batch of reconfiguration ops applied as one atomic unit
+ * at a window barrier. Build with the fluent helpers:
+ *
+ *   fleet.ScheduleReconfig(ReconfigTxn()
+ *       .AddServers("sb0/rpp1", 24)
+ *       .Reparent("sb0/rpp2", "sb1")
+ *       .PromoteUpper("sb0"));
+ */
+struct ReconfigTxn
+{
+    std::vector<ReconfigOp> ops;
+
+    ReconfigTxn& AddServers(std::string leaf_device, std::size_t count)
+    {
+        ReconfigOp op;
+        op.kind = ReconfigOp::Kind::kAddServers;
+        op.target = std::move(leaf_device);
+        op.count = count;
+        ops.push_back(std::move(op));
+        return *this;
+    }
+
+    ReconfigTxn& RemoveSubtree(std::string leaf_device)
+    {
+        ReconfigOp op;
+        op.kind = ReconfigOp::Kind::kRemoveSubtree;
+        op.target = std::move(leaf_device);
+        ops.push_back(std::move(op));
+        return *this;
+    }
+
+    ReconfigTxn& Reparent(std::string leaf_device, std::string new_parent)
+    {
+        ReconfigOp op;
+        op.kind = ReconfigOp::Kind::kReparent;
+        op.target = std::move(leaf_device);
+        op.new_parent = std::move(new_parent);
+        ops.push_back(std::move(op));
+        return *this;
+    }
+
+    ReconfigTxn& RestartController(std::string device)
+    {
+        ReconfigOp op;
+        op.kind = ReconfigOp::Kind::kRestartController;
+        op.target = std::move(device);
+        ops.push_back(std::move(op));
+        return *this;
+    }
+
+    ReconfigTxn& PromoteUpper(std::string device)
+    {
+        ReconfigOp op;
+        op.kind = ReconfigOp::Kind::kPromoteUpper;
+        op.target = std::move(device);
+        ops.push_back(std::move(op));
+        return *this;
+    }
+
+    bool empty() const { return ops.empty(); }
+
+    /**
+     * Canonical one-line description, e.g.
+     * "add-servers(sb0/rpp1,24); reparent(sb0/rpp2->sb1)". Stable —
+     * journaled reconfiguration records carry it, so replay compares
+     * it byte-for-byte.
+     */
+    std::string Describe() const;
+};
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_RECONFIG_H_

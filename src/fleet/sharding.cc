@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <any>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "common/archive.h"
@@ -184,11 +185,15 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
         workload::ServiceType::kWeb, workload::ServiceType::kCache,
         workload::ServiceType::kHadoop, workload::ServiceType::kDatabase};
 
+    leaf_alive_.assign(plan_.n_leaves, 1);
+    leaf_parent_.reserve(plan_.n_leaves);
+    leaf_agents_.resize(plan_.n_leaves);
     for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
         WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
         const std::size_t first = l * kShardServersPerLeaf;
         const std::size_t last =
             std::min(first + kShardServersPerLeaf, plan_.n_servers);
+        leaf_parent_.push_back(plan_.shard_of_leaf(l));
 
         const std::size_t leaf_first_server = shard.servers.size();
         for (std::size_t i = first; i < last; ++i) {
@@ -208,6 +213,7 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
             shard.agents.push_back(std::make_unique<core::DynamoAgent>(
                 shard.sim, shard.transport, *shard.servers.back(),
                 "agent:" + std::to_string(i)));
+            leaf_agents_[l].push_back(shard.agents.size() - 1);
         }
 
         // Size the breaker just above the domain's initial draw (the
@@ -237,6 +243,7 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
             builder.Agent(std::move(info));
         }
         shard.leaves.push_back(builder.BuildLeaf());
+        shard.leaves.back()->AttachEpoch(&spec_epoch_);
         shard.leaves.back()->Activate(static_cast<SimTime>((l * 37) % 3000));
         leaf_targets_.push_back(shard.leaves.back()->endpoint_id());
     }
@@ -285,8 +292,7 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
             });
     }
 
-    std::vector<Watts> sb_rated;
-    sb_rated.reserve(plan_.n_sbs);
+    sb_rated_.reserve(plan_.n_sbs);
     for (std::size_t s = 0; s < plan_.n_sbs; ++s) {
         const ShardPlan::Shard& shard = plan_.shards[s];
         Watts rated = 0.0;
@@ -294,7 +300,7 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
             rated += leaf_rated[l];
         }
         rated *= 0.99;  // slightly oversubscribed, as real SBs are
-        sb_rated.push_back(rated);
+        sb_rated_.push_back(rated);
 
         core::ControllerBuilder builder(control_->sim, control_->transport);
         builder.Endpoint("ctl:sb:" + std::to_string(s))
@@ -303,6 +309,7 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
             builder.Child("ctl:rpp:" + std::to_string(l));
         }
         control_->uppers.push_back(builder.BuildUpper());
+        control_->uppers.back()->AttachEpoch(&spec_epoch_);
         control_->uppers.back()->Activate(
             static_cast<SimTime>((s * 113) % 9000));
     }
@@ -312,7 +319,7 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
         const std::size_t last =
             std::min(first + kShardSbsPerMsb, plan_.n_sbs);
         Watts rated = 0.0;
-        for (std::size_t s = first; s < last; ++s) rated += sb_rated[s];
+        for (std::size_t s = first; s < last; ++s) rated += sb_rated_[s];
         rated *= 0.99;
 
         core::ControllerBuilder builder(control_->sim, control_->transport);
@@ -322,6 +329,7 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
             builder.Child("ctl:sb:" + std::to_string(s));
         }
         control_->uppers.push_back(builder.BuildUpper());
+        control_->uppers.back()->AttachEpoch(&spec_epoch_);
         control_->uppers.back()->Activate(
             static_cast<SimTime>((m * 199) % 9000));
     }
@@ -371,9 +379,29 @@ ShardedFleet::Barrier(SimTime barrier_time)
     //    window.
     if (config_.record_journal) RecordWindow(barrier_time);
 
+    // 1b. Commit reconfiguration transactions scheduled for the window
+    //     that just closed. Single-threaded, after the record and
+    //     before the proxy refresh: the closed window hashed the old
+    //     topology, the next one runs wholly on the new.
+    if (!pending_reconfigs_.empty()) {
+        auto it = pending_reconfigs_.begin();
+        while (it != pending_reconfigs_.end()) {
+            if (it->first == barriers_completed_) {
+                ApplyReconfig(barrier_time, it->second);
+                it = pending_reconfigs_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    ++barriers_completed_;
+
     // 2. Refresh the proxy snapshots the uppers will read next window,
-    //    in global leaf order.
+    //    in global leaf order. Decommissioned leaves keep their last
+    //    snapshot but are invalid — and parentless, so nothing reads
+    //    them anyway.
     for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
+        if (leaf_alive_[l] == 0) continue;
         const WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
         const core::LeafController& leaf =
             *shard.leaves[l - plan_.shards[shard.index].first_leaf];
@@ -441,6 +469,7 @@ ShardedFleet::RecordCheckpoint(SimTime barrier_time)
 {
     Archive ar;
     ar.Str("sharded-fleet-checkpoint");
+    ar.U64(spec_epoch_);
     ar.U64(shards_.size());
     for (const auto& shard : shards_) shard->Snapshot(ar);
     control_->Snapshot(ar);
@@ -451,6 +480,250 @@ ShardedFleet::RecordCheckpoint(SimTime barrier_time)
     record.digest = ar.digest();
     record.state = ar.bytes();
     journal_.checkpoints.push_back(std::move(record));
+}
+
+std::size_t
+ShardedFleet::LeafIndex(const std::string& target) const
+{
+    std::size_t pos = 0;
+    while (pos < target.size() && (target[pos] < '0' || target[pos] > '9')) {
+        ++pos;
+    }
+    if (pos == target.size()) {
+        throw std::invalid_argument("sharded reconfig: leaf target \"" +
+                                    target + "\" has no index");
+    }
+    const std::size_t l = std::stoul(target.substr(pos));
+    if (l >= plan_.n_leaves) {
+        throw std::invalid_argument("sharded reconfig: leaf index " +
+                                    std::to_string(l) + " out of range (" +
+                                    std::to_string(plan_.n_leaves) +
+                                    " leaves)");
+    }
+    return l;
+}
+
+std::size_t
+ShardedFleet::UpperIndex(const std::string& target) const
+{
+    std::size_t pos = 0;
+    while (pos < target.size() && (target[pos] < '0' || target[pos] > '9')) {
+        ++pos;
+    }
+    if (pos == target.size()) {
+        throw std::invalid_argument("sharded reconfig: upper target \"" +
+                                    target + "\" has no index");
+    }
+    const std::size_t s = std::stoul(target.substr(pos));
+    if (s >= plan_.n_sbs) {
+        throw std::invalid_argument("sharded reconfig: SB index " +
+                                    std::to_string(s) + " out of range (" +
+                                    std::to_string(plan_.n_sbs) + " SBs)");
+    }
+    return s;
+}
+
+void
+ShardedFleet::ScheduleReconfig(std::uint64_t window, ReconfigTxn txn)
+{
+    if (txn.empty()) {
+        throw std::invalid_argument("sharded reconfig: empty transaction");
+    }
+    if (window < barriers_completed_) {
+        throw std::invalid_argument(
+            "sharded reconfig: window " + std::to_string(window) +
+            " already closed (" + std::to_string(barriers_completed_) +
+            " barriers done)");
+    }
+    for (const ReconfigOp& op : txn.ops) {
+        switch (op.kind) {
+          case ReconfigOp::Kind::kAddServers:
+            if (op.count == 0) {
+                throw std::invalid_argument(
+                    "sharded reconfig: add-servers(" + op.target +
+                    ") with count 0");
+            }
+            LeafIndex(op.target);
+            break;
+          case ReconfigOp::Kind::kRemoveSubtree:
+          case ReconfigOp::Kind::kRestartController:
+            LeafIndex(op.target);
+            break;
+          case ReconfigOp::Kind::kReparent:
+            LeafIndex(op.target);
+            UpperIndex(op.new_parent);
+            break;
+          case ReconfigOp::Kind::kPromoteUpper:
+            UpperIndex(op.target);
+            break;
+        }
+    }
+    pending_reconfigs_.emplace_back(window, std::move(txn));
+}
+
+void
+ShardedFleet::ApplyReconfig(SimTime barrier_time, const ReconfigTxn& txn)
+{
+    ++spec_epoch_;
+    for (const ReconfigOp& op : txn.ops) {
+        switch (op.kind) {
+          case ReconfigOp::Kind::kAddServers: ApplyAddServers(op); break;
+          case ReconfigOp::Kind::kRemoveSubtree:
+            ApplyRemoveSubtree(op);
+            break;
+          case ReconfigOp::Kind::kReparent: ApplyReparent(op); break;
+          case ReconfigOp::Kind::kRestartController:
+            ApplyRestartController(op);
+            break;
+          case ReconfigOp::Kind::kPromoteUpper: ApplyPromoteUpper(op); break;
+        }
+    }
+    ++reconfigs_applied_;
+    if (config_.record_journal) {
+        journal_.reconfigs.push_back(
+            replay::ReconfigRecord{spec_epoch_, barrier_time, txn.Describe()});
+    }
+}
+
+void
+ShardedFleet::ApplyAddServers(const ReconfigOp& op)
+{
+    const std::size_t l = LeafIndex(op.target);
+    if (leaf_alive_[l] == 0) {
+        throw std::runtime_error("sharded reconfig: add-servers target \"" +
+                                 op.target + "\" was decommissioned");
+    }
+    WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
+    core::LeafController& lf = leaf(l);
+
+    // Epoch-keyed RNG: provisioning draws never perturb the boot-time
+    // sequence, and repeated expansions stay distinct.
+    Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * spec_epoch_));
+    const workload::ServiceType services[] = {
+        workload::ServiceType::kWeb, workload::ServiceType::kCache,
+        workload::ServiceType::kHadoop, workload::ServiceType::kDatabase};
+
+    for (std::size_t i = 0; i < op.count; ++i) {
+        const std::string name = "srv:" + op.target + ":e" +
+                                 std::to_string(spec_epoch_) + "s" +
+                                 std::to_string(i);
+        server::SimServer::Config server_config;
+        server_config.name = name;
+        server_config.service = services[i % 4];
+        server_config.generation =
+            (i % 10 < 7) ? server::ServerGeneration::kHaswell2015
+                         : server::ServerGeneration::kWestmere2011;
+        server_config.seed = rng.NextU64();
+        workload::LoadProcessParams params =
+            workload::LoadProcessParams::For(server_config.service);
+        params.base_util = rng.Uniform(0.35, 0.75);
+        params.spike_rate_per_hour = 0.0;
+        shard.servers.push_back(std::make_unique<server::SimServer>(
+            std::move(server_config), params));
+        shard.agents.push_back(std::make_unique<core::DynamoAgent>(
+            shard.sim, shard.transport, *shard.servers.back(),
+            "agent:" + name));
+        leaf_agents_[l].push_back(shard.agents.size() - 1);
+
+        core::AgentInfo info;
+        info.endpoint = shard.agents.back()->endpoint();
+        info.service = services[i % 4];
+        info.priority_group = static_cast<int>(i % 3);
+        info.sla_min_cap = 70.0 + static_cast<double>(i % 3) * 15.0;
+        lf.AddAgent(std::move(info));
+    }
+}
+
+void
+ShardedFleet::ApplyRemoveSubtree(const ReconfigOp& op)
+{
+    const std::size_t l = LeafIndex(op.target);
+    if (leaf_alive_[l] == 0) {
+        throw std::runtime_error("sharded reconfig: \"" + op.target +
+                                 "\" was already decommissioned");
+    }
+    leaf_alive_[l] = 0;
+
+    // Parent drops the child before teardown, so no poll or contract
+    // routes to the proxy while it disappears.
+    control_->uppers[leaf_parent_[l]]->RemoveChild(
+        control_->proxies[l].endpoint);
+    control_->transport.Deregister(control_->proxies[l].endpoint);
+    control_->proxies[l].valid = false;
+
+    leaf(l).Deactivate();
+    WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
+    for (const std::size_t idx : leaf_agents_[l]) {
+        shard.agents[idx]->Crash();
+    }
+    leaf_agents_[l].clear();
+    // Server and agent objects stay, dormant: their snapshot bytes are
+    // part of the checkpoint, and dropping them would make the state
+    // layout depend on reconfiguration history in fragile ways.
+}
+
+void
+ShardedFleet::ApplyReparent(const ReconfigOp& op)
+{
+    const std::size_t l = LeafIndex(op.target);
+    const std::size_t s = UpperIndex(op.new_parent);
+    if (leaf_alive_[l] == 0) {
+        throw std::runtime_error("sharded reconfig: reparent target \"" +
+                                 op.target + "\" was decommissioned");
+    }
+    if (leaf_parent_[l] == s) {
+        throw std::runtime_error("sharded reconfig: \"" + op.target +
+                                 "\" is already fed from \"" + op.new_parent +
+                                 "\"");
+    }
+    // Roster-only: the leaf's shard placement never changes (the proxy
+    // is the only cross-shard edge), so re-homing is two roster edits.
+    // The leaf keeps its standing contract; the new parent discovers
+    // it through the adoption path on its next read.
+    control_->uppers[leaf_parent_[l]]->RemoveChild(
+        control_->proxies[l].endpoint);
+    control_->uppers[s]->AddChild(control_->proxies[l].endpoint);
+    leaf_parent_[l] = s;
+}
+
+void
+ShardedFleet::ApplyRestartController(const ReconfigOp& op)
+{
+    const std::size_t l = LeafIndex(op.target);
+    if (leaf_alive_[l] == 0) {
+        throw std::runtime_error("sharded reconfig: restart target \"" +
+                                 op.target + "\" was decommissioned");
+    }
+    // Planned rolling restart: in-place bounce with the build-time
+    // phase. Object state — including the contractual limit — survives,
+    // mirroring the serial engine's warm swap (no uncap glitch).
+    core::LeafController& lf = leaf(l);
+    lf.Deactivate();
+    lf.Activate(static_cast<SimTime>((l * 37) % 3000));
+}
+
+void
+ShardedFleet::ApplyPromoteUpper(const ReconfigOp& op)
+{
+    const std::size_t s = UpperIndex(op.target);
+
+    // Kill the SB and promote a contract-blank replacement on the same
+    // endpoint (same interned id, so the MSB's roster is untouched).
+    // The replacement re-learns child contracts via reaffirmation and
+    // the adoption path — the sharded analogue of backup promotion.
+    control_->uppers[s]->Deactivate();
+
+    core::ControllerBuilder builder(control_->sim, control_->transport);
+    builder.Endpoint("ctl:sb:" + std::to_string(s))
+        .Limits(sb_rated_[s], /*quota=*/0.95 * sb_rated_[s]);
+    for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
+        if (leaf_alive_[l] != 0 && leaf_parent_[l] == s) {
+            builder.Child(control_->proxies[l].endpoint);
+        }
+    }
+    control_->uppers[s] = builder.BuildUpper();
+    control_->uppers[s]->AttachEpoch(&spec_epoch_);
+    control_->uppers[s]->Activate(static_cast<SimTime>((s * 113) % 9000));
 }
 
 void

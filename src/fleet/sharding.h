@@ -50,6 +50,7 @@
 #include "core/agent.h"
 #include "core/leaf_controller.h"
 #include "core/upper_controller.h"
+#include "fleet/reconfig.h"
 #include "power/device.h"
 #include "replay/journal.h"
 #include "rpc/mailbox.h"
@@ -163,6 +164,43 @@ class ShardedFleet
     const replay::Journal& journal() const { return journal_; }
 
     /**
+     * Schedule a reconfiguration transaction to commit at the barrier
+     * that closes window `window` (0-based). Commits run
+     * single-threaded between the window's journal record and the
+     * proxy refresh, so window W hashes pre-mutation state and window
+     * W+1 runs wholly post-mutation — the schedule, not the thread
+     * count, decides what every journal byte contains.
+     *
+     * Targets name the synthetic topology: leaves as "rpp<N>" (global
+     * leaf index), uppers as "sb<N>" (SB index). Semantics per op:
+     * add-servers grows a leaf's shard in place; remove-subtree
+     * deactivates the leaf, crashes its agents, and drops it from its
+     * SB's roster (server objects stay dormant so snapshots remain
+     * thread-count independent); reparent re-homes a leaf's proxy onto
+     * another SB (shard placement is unchanged — the control roster is
+     * the only cross-shard edge); restart-controller bounces a leaf in
+     * place; promote-upper rebuilds an SB contract-blank on the same
+     * endpoint, which then re-learns child contracts via
+     * reaffirmation/adoption exactly like a promoted backup.
+     *
+     * Throws std::invalid_argument for malformed transactions or
+     * already-closed windows; structural conflicts with earlier
+     * pending transactions surface as std::runtime_error at commit.
+     */
+    void ScheduleReconfig(std::uint64_t window, ReconfigTxn txn);
+
+    /** Spec epoch: bumped once per committed transaction, from 0. */
+    std::uint64_t spec_epoch() const { return spec_epoch_; }
+
+    std::uint64_t reconfigs_applied() const { return reconfigs_applied_; }
+
+    /** False once the leaf has been decommissioned. */
+    bool leaf_alive(std::size_t global_leaf) const
+    {
+        return leaf_alive_[global_leaf] != 0;
+    }
+
+    /**
      * Test hook: issue a contract update to one leaf exactly the way
      * a parent controller would — a call on the control transport to
      * the leaf's proxy endpoint. Call only between windows (the
@@ -197,6 +235,19 @@ class ShardedFleet
     void RecordWindow(SimTime barrier_time);
     void RecordCheckpoint(SimTime barrier_time);
 
+    void ApplyReconfig(SimTime barrier_time, const ReconfigTxn& txn);
+    void ApplyAddServers(const ReconfigOp& op);
+    void ApplyRemoveSubtree(const ReconfigOp& op);
+    void ApplyReparent(const ReconfigOp& op);
+    void ApplyRestartController(const ReconfigOp& op);
+    void ApplyPromoteUpper(const ReconfigOp& op);
+
+    /** Global leaf index from an "rpp<N>" target; validates range. */
+    std::size_t LeafIndex(const std::string& target) const;
+
+    /** SB index from an "sb<N>" target; validates range. */
+    std::size_t UpperIndex(const std::string& target) const;
+
     ShardedFleetConfig config_;
     ShardPlan plan_;
 
@@ -216,6 +267,28 @@ class ShardedFleet
 
     replay::Journal journal_;
     std::uint64_t mailbox_delivered_ = 0;
+
+    /**
+     * Elasticity state. The epoch variable is written only inside the
+     * barrier (workers idle) and read by controllers mid-window, so it
+     * needs no synchronization beyond the barrier itself.
+     */
+    std::uint64_t spec_epoch_ = 0;
+    std::uint64_t reconfigs_applied_ = 0;
+    std::uint64_t barriers_completed_ = 0;
+    std::vector<std::pair<std::uint64_t, ReconfigTxn>> pending_reconfigs_;
+
+    /** 1 while the leaf is in service; 0 after remove-subtree. */
+    std::vector<std::uint8_t> leaf_alive_;
+
+    /** Current SB parent per global leaf (reparent moves it). */
+    std::vector<std::size_t> leaf_parent_;
+
+    /** Shard-local agent indices per global leaf (grown by add-servers). */
+    std::vector<std::vector<std::size_t>> leaf_agents_;
+
+    /** SB rated power, kept for rebuilding a promoted upper. */
+    std::vector<Watts> sb_rated_;
 };
 
 }  // namespace dynamo::fleet

@@ -22,10 +22,36 @@ PowerDevice::AddChild(std::unique_ptr<PowerDevice> child)
     return children_.back().get();
 }
 
+std::unique_ptr<PowerDevice>
+PowerDevice::RemoveChild(const std::string& name)
+{
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+        if ((*it)->name_ == name) {
+            std::unique_ptr<PowerDevice> child = std::move(*it);
+            children_.erase(it);
+            child->parent_ = nullptr;
+            return child;
+        }
+    }
+    return nullptr;
+}
+
 void
 PowerDevice::AttachLoad(PowerLoad* load)
 {
     loads_.push_back(load);
+}
+
+bool
+PowerDevice::DetachLoad(PowerLoad* load)
+{
+    for (auto it = loads_.begin(); it != loads_.end(); ++it) {
+        if (*it == load) {
+            loads_.erase(it);
+            return true;
+        }
+    }
+    return false;
 }
 
 Watts

@@ -93,8 +93,19 @@ class PowerDevice
     /** Attach a child device; returns a non-owning pointer to it. */
     PowerDevice* AddChild(std::unique_ptr<PowerDevice> child);
 
+    /**
+     * Detach the direct child named `name`, returning ownership of it
+     * (with its parent pointer cleared) so a reconfiguration can
+     * re-attach it under a different feed, or drop it to decommission
+     * the subtree. Returns nullptr if `name` is not a direct child.
+     */
+    std::unique_ptr<PowerDevice> RemoveChild(const std::string& name);
+
     /** Attach a directly-fed load (not owned). */
     void AttachLoad(PowerLoad* load);
+
+    /** Detach a directly-fed load; returns false if it was not attached. */
+    bool DetachLoad(PowerLoad* load);
 
     const std::vector<std::unique_ptr<PowerDevice>>& children() const
     {

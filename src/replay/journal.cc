@@ -84,9 +84,12 @@ EncodeJournal(const Journal& journal)
     ar.Bool(journal.invariants_checked);
 
     // Records interleave in run order: cycles ascending, each
-    // checkpoint immediately after its cycle record, faults by time.
+    // checkpoint immediately after its cycle record, faults and
+    // reconfigurations by time (reconfigs after faults at a tie —
+    // faults fire at arbitrary times, commits only at barriers).
     std::size_t cp = 0;
     std::size_t fault = 0;
+    std::size_t reconfig = 0;
     for (const auto& cycle : journal.cycles) {
         while (fault < journal.faults.size() &&
                journal.faults[fault].time <= cycle.time) {
@@ -94,6 +97,14 @@ EncodeJournal(const Journal& journal)
             ar.U8(static_cast<std::uint8_t>(RecordType::kFault));
             ar.I64(f.time);
             ar.Str(f.description);
+        }
+        while (reconfig < journal.reconfigs.size() &&
+               journal.reconfigs[reconfig].time <= cycle.time) {
+            const auto& r = journal.reconfigs[reconfig++];
+            ar.U8(static_cast<std::uint8_t>(RecordType::kReconfig));
+            ar.U64(r.epoch);
+            ar.I64(r.time);
+            ar.Str(r.description);
         }
         EncodeCycle(ar, cycle);
         while (cp < journal.checkpoints.size() &&
@@ -106,6 +117,13 @@ EncodeJournal(const Journal& journal)
         ar.U8(static_cast<std::uint8_t>(RecordType::kFault));
         ar.I64(f.time);
         ar.Str(f.description);
+    }
+    while (reconfig < journal.reconfigs.size()) {
+        const auto& r = journal.reconfigs[reconfig++];
+        ar.U8(static_cast<std::uint8_t>(RecordType::kReconfig));
+        ar.U64(r.epoch);
+        ar.I64(r.time);
+        ar.Str(r.description);
     }
     while (cp < journal.checkpoints.size()) {
         EncodeCheckpoint(ar, journal.checkpoints[cp++]);
@@ -150,6 +168,14 @@ DecodeJournal(std::string_view bytes)
             f.time = ar.I64();
             f.description = ar.Str();
             journal.faults.push_back(std::move(f));
+            break;
+          }
+          case RecordType::kReconfig: {
+            ReconfigRecord r;
+            r.epoch = ar.U64();
+            r.time = ar.I64();
+            r.description = ar.Str();
+            journal.reconfigs.push_back(std::move(r));
             break;
           }
           case RecordType::kEnd:

@@ -50,6 +50,7 @@ enum class RecordType : std::uint8_t {
     kCheckpoint = 2,
     kFault = 3,
     kEnd = 4,
+    kReconfig = 5,
 };
 
 /** One recording window: hashes + the spans the window produced. */
@@ -79,6 +80,19 @@ struct FaultRecord
     std::string description;
 };
 
+/**
+ * One committed fleet reconfiguration transaction. Like faults these
+ * are audit records, not instructions: the scenario script re-issues
+ * the transaction during replay, and the replayer asserts the
+ * committed (epoch, time, description) triple matches bit-exactly.
+ */
+struct ReconfigRecord
+{
+    std::uint64_t epoch = 0;  ///< Spec epoch after the commit.
+    SimTime time = 0;         ///< Window-barrier commit time.
+    std::string description;  ///< ReconfigTxn::Describe() text.
+};
+
 /** A complete recorded run. */
 struct Journal
 {
@@ -99,6 +113,7 @@ struct Journal
     std::vector<CycleRecord> cycles;
     std::vector<CheckpointRecord> checkpoints;
     std::vector<FaultRecord> faults;
+    std::vector<ReconfigRecord> reconfigs;
 
     /** Checkpoint at exactly `cycle`, or nullptr. */
     const CheckpointRecord* CheckpointAtCycle(std::uint64_t cycle) const;

@@ -30,6 +30,10 @@ Recorder::Recorder(fleet::Fleet& fleet, RecorderConfig config)
         kernel_hash_.Mix(static_cast<std::uint64_t>(t));
         kernel_hash_.Mix(seq);
     });
+    fleet_.set_reconfig_observer([this](std::uint64_t epoch, SimTime time,
+                                        const std::string& description) {
+        journal_.reconfigs.push_back(ReconfigRecord{epoch, time, description});
+    });
 
     // Phase the window close at the end of each period; the first
     // window covers (start, start + period].
@@ -42,6 +46,7 @@ Recorder::~Recorder()
     task_.Cancel();
     fleet_.transport().set_call_observer({});
     fleet_.sim().set_event_observer({});
+    fleet_.set_reconfig_observer({});
 }
 
 void

@@ -49,6 +49,7 @@ DescribeSpanDiff(const telemetry::TraceSpan& a, const telemetry::TraceSpan& b)
     DiffField(out, "band", static_cast<int>(a.band), static_cast<int>(b.band));
     DiffField(out, "was_capping", static_cast<int>(a.was_capping),
               static_cast<int>(b.was_capping));
+    DiffField(out, "epoch", a.epoch, b.epoch);
     DiffField(out, "measured", a.measured, b.measured);
     DiffField(out, "limit", a.limit, b.limit);
     DiffField(out, "threshold", a.threshold, b.threshold);
@@ -243,6 +244,32 @@ Replayer::Run(std::optional<std::size_t> checkpoint_index)
         if (!CyclesEqual(journal_.cycles[c], replayed_.cycles[c], &why)) {
             result.first_divergent_cycle = c;
             result.detail = "cycle " + std::to_string(c) + ": " + why;
+            return result;
+        }
+    }
+
+    // The reconfiguration audit trail must reproduce exactly: same
+    // transactions, same epochs, same barrier commit times. (The
+    // scenario re-issued them; these records prove the replayed fleet
+    // mutated identically.)
+    if (replayed_.reconfigs.size() != journal_.reconfigs.size()) {
+        result.detail = "replay committed " +
+                        std::to_string(replayed_.reconfigs.size()) +
+                        " reconfigurations, journal has " +
+                        std::to_string(journal_.reconfigs.size());
+        return result;
+    }
+    for (std::size_t i = 0; i < journal_.reconfigs.size(); ++i) {
+        const ReconfigRecord& want = journal_.reconfigs[i];
+        const ReconfigRecord& got = replayed_.reconfigs[i];
+        if (want.epoch != got.epoch || want.time != got.time ||
+            want.description != got.description) {
+            result.detail =
+                "reconfig " + std::to_string(i) + " differs: recorded epoch " +
+                std::to_string(want.epoch) + " t=" + std::to_string(want.time) +
+                " \"" + want.description + "\", replayed epoch " +
+                std::to_string(got.epoch) + " t=" + std::to_string(got.time) +
+                " \"" + got.description + "\"";
             return result;
         }
     }

@@ -73,6 +73,94 @@ SurgeDegraded(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
     campaign.DegradePulls(Seconds(40), Seconds(120), std::move(agents), 0.5);
 }
 
+/**
+ * Elasticity under fire: server churn, a breaker re-parent, a leaf
+ * warm swap, and an upper promotion — all while a surge keeps the
+ * hierarchy capping. Every transaction rides `CampaignEngine::At`, so
+ * the journal carries the schedule and replay re-issues the identical
+ * transactions against the rebuilt fleet.
+ *
+ * Requires a fleet built with backup controllers, at least two upper
+ * subtrees, and at least three leaves; degrades to a no-op otherwise
+ * (mirroring the other scenarios' "missing target" behaviour).
+ */
+void
+ReconfigStorm(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
+{
+    core::Deployment* deployment = fleet.dynamo();
+    if (deployment == nullptr) return;
+    const auto leaves =
+        fleet.root().DevicesAtLevel(fleet.spec().deployment.leaf_level);
+    if (leaves.size() < 3) return;
+
+    power::PowerDevice* grow = leaves.front();    // Gains 10 % servers.
+    power::PowerDevice* doomed = leaves.back();   // Decommissioned.
+    power::PowerDevice* home = grow->parent();    // Upper that is promoted.
+    power::PowerDevice* moved = nullptr;          // Re-homed onto `home`.
+    for (power::PowerDevice* leaf : leaves) {
+        if (leaf->parent() != home && leaf != doomed) {
+            moved = leaf;
+            break;
+        }
+    }
+    if (moved == nullptr || home == nullptr || doomed->parent() == home ||
+        doomed == grow) {
+        return;
+    }
+
+    // The swap/promotion ops need unconsumed standbys; bail out early
+    // rather than throwing from inside the kernel mid-run.
+    const auto has_standby = [deployment](const std::string& device) {
+        core::FailoverManager* mgr = deployment->FindFailover(
+            core::Deployment::ControllerEndpoint(device));
+        return mgr != nullptr && !mgr->switched();
+    };
+    if (!has_standby(grow->name()) || !has_standby(home->name())) return;
+
+    // Surge keeps the tree capping across the re-parent and promotion,
+    // so contract preservation is actually exercised, not vacuous.
+    fleet.scenario().AddPoint(Seconds(20), 1.0);
+    fleet.scenario().AddPoint(Seconds(40), 1.3);
+    fleet.scenario().AddPoint(Seconds(130), 1.3);
+    fleet.scenario().AddPoint(Seconds(145), 1.0);
+
+    const std::size_t added =
+        std::max<std::size_t>(1, fleet.AgentEndpointsUnder(grow->name()).size() / 10);
+
+    campaign.At(Seconds(30), "reconfig: grow " + grow->name(),
+                [&fleet, grow, added] {
+                    fleet.ScheduleReconfig(
+                        fleet::ReconfigTxn().AddServers(grow->name(), added));
+                });
+    campaign.At(Seconds(48), "reconfig: warm-swap leaf " + grow->name(),
+                [&fleet, grow] {
+                    fleet.ScheduleReconfig(
+                        fleet::ReconfigTxn().RestartController(grow->name()));
+                });
+    campaign.At(Seconds(60),
+                "reconfig: re-parent " + moved->name() + " onto " +
+                    home->name(),
+                [&fleet, moved, home] {
+                    fleet.ScheduleReconfig(fleet::ReconfigTxn().Reparent(
+                        moved->name(), home->name()));
+                });
+    campaign.At(Seconds(85), "reconfig: promote upper " + home->name(),
+                [&fleet, home] {
+                    fleet.ScheduleReconfig(
+                        fleet::ReconfigTxn().PromoteUpper(home->name()));
+                });
+    campaign.At(Seconds(120), "reconfig: decommission " + doomed->name(),
+                [&fleet, doomed] {
+                    fleet.ScheduleReconfig(
+                        fleet::ReconfigTxn().RemoveSubtree(doomed->name()));
+                });
+
+    // A degraded-pull window overlapping the promotion: the storm is
+    // not just topology churn, the inputs are unreliable too.
+    campaign.DegradePulls(Seconds(70), Seconds(110),
+                          fleet.AgentEndpointsUnder(moved->name()), 0.3);
+}
+
 }  // namespace
 
 const std::vector<std::string>&
@@ -83,6 +171,7 @@ ScenarioNames()
         "partition-heal",
         "mixed-faults",
         "surge-degraded",
+        "reconfig-storm",
     };
     return names;
 }
@@ -94,6 +183,7 @@ FindScenario(const std::string& name)
     if (name == "partition-heal") return PartitionHeal;
     if (name == "mixed-faults") return MixedFaults;
     if (name == "surge-degraded") return SurgeDegraded;
+    if (name == "reconfig-storm") return ReconfigStorm;
     return ScenarioFn();
 }
 

@@ -28,8 +28,11 @@ inline constexpr EndpointId kInvalidEndpoint = 0xffffffffu;
 
 /**
  * Bidirectional name <-> id intern table. Ids are assigned densely in
- * interning order and never recycled, so they stay valid as vector
- * indices for the lifetime of the transport that owns the table.
+ * interning order; a Released id stays valid as a vector index (its
+ * per-endpoint state slots survive) and is recycled for the next
+ * Intern of a *new* name. Reuse is LIFO, so identical intern/release
+ * sequences produce identical id assignments on every run — fleet
+ * reconfiguration stays deterministic across thread counts.
  */
 class EndpointTable
 {
@@ -39,10 +42,30 @@ class EndpointTable
     {
         const auto it = by_name_.find(name);
         if (it != by_name_.end()) return it->second;
-        const EndpointId id = static_cast<EndpointId>(names_.size());
-        names_.push_back(name);
+        EndpointId id;
+        if (!free_ids_.empty()) {
+            id = free_ids_.back();
+            free_ids_.pop_back();
+            names_[id] = name;
+        } else {
+            id = static_cast<EndpointId>(names_.size());
+            names_.push_back(name);
+        }
         by_name_.emplace(name, id);
         return id;
+    }
+
+    /**
+     * Forget `name` and queue its id for reuse. The id remains a valid
+     * vector index until re-assigned; Find(name) misses immediately.
+     * No-op for names never interned or already released.
+     */
+    void Release(const std::string& name)
+    {
+        const auto it = by_name_.find(name);
+        if (it == by_name_.end()) return;
+        free_ids_.push_back(it->second);
+        by_name_.erase(it);
     }
 
     /** Id for `name`, or kInvalidEndpoint if never interned. */
@@ -57,9 +80,13 @@ class EndpointTable
 
     std::size_t size() const { return names_.size(); }
 
+    /** Released ids awaiting reuse. */
+    std::size_t free_count() const { return free_ids_.size(); }
+
   private:
     std::unordered_map<std::string, EndpointId> by_name_;
     std::vector<std::string> names_;
+    std::vector<EndpointId> free_ids_;
 };
 
 }  // namespace dynamo::rpc

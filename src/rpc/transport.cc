@@ -166,6 +166,15 @@ FailureInjector::Decide(EndpointId id)
     return rng_.Bernoulli(0.5) ? CallFate::kFail : CallFate::kBlackhole;
 }
 
+void
+FailureInjector::ClearEndpoint(EndpointId id)
+{
+    if (id >= failure_p_.size()) return;
+    ClearEndpointFailureProbability(id);
+    SetEndpointExtraLatency(id, 0);
+    SetEndpointDown(id, false);
+}
+
 SimTransport::SimTransport(sim::Simulation& sim, std::uint64_t seed, Options options)
     : sim_(sim), rng_(seed), options_(options),
       failures_(seed ^ 0xfeedULL, &endpoints_)
@@ -201,6 +210,21 @@ SimTransport::Unregister(const std::string& endpoint)
 {
     const EndpointId id = endpoints_.Find(endpoint);
     if (id != kInvalidEndpoint) Unregister(id);
+}
+
+void
+SimTransport::Deregister(EndpointId id)
+{
+    Unregister(id);
+    failures_.ClearEndpoint(id);
+    endpoints_.Release(endpoints_.Name(id));
+}
+
+void
+SimTransport::Deregister(const std::string& endpoint)
+{
+    const EndpointId id = endpoints_.Find(endpoint);
+    if (id != kInvalidEndpoint) Deregister(id);
 }
 
 bool

@@ -117,6 +117,14 @@ class FailureInjector
     /** Decide the fate of one call to an endpoint. */
     CallFate Decide(EndpointId id);
 
+    /**
+     * Reset every fault setting for one endpoint (probability
+     * override, extra latency, down mark) back to the fresh state.
+     * Used when an endpoint is deregistered so a later tenant of the
+     * recycled id doesn't inherit a removed component's faults.
+     */
+    void ClearEndpoint(EndpointId id);
+
     /** Add `extra` ms to request delivery toward one endpoint. */
     void SetEndpointExtraLatency(EndpointId id, SimTime extra);
     void SetEndpointExtraLatency(const std::string& endpoint, SimTime extra);
@@ -201,6 +209,17 @@ class SimTransport
     /** Remove an endpoint; subsequent calls to it fail. */
     void Unregister(EndpointId id);
     void Unregister(const std::string& endpoint);
+
+    /**
+     * Fully retire an endpoint: drop its handler, reset its fault
+     * state, and release its name so the id can be recycled. Unlike
+     * Unregister (a crash: the name remains routable and can come
+     * back), Deregister is decommissioning — a later Register of the
+     * same name succeeds and may receive a recycled id. No-op for
+     * names never interned.
+     */
+    void Deregister(EndpointId id);
+    void Deregister(const std::string& endpoint);
 
     /** True if a handler is registered under the endpoint. */
     bool IsRegistered(EndpointId id) const

@@ -21,6 +21,7 @@ EventKindName(EventKind kind)
       case EventKind::kDegradedExit: return "degraded_exit";
       case EventKind::kCapHold: return "cap_hold";
       case EventKind::kChaosFault: return "chaos_fault";
+      case EventKind::kReconfig: return "reconfig";
     }
     return "?";
 }

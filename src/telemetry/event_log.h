@@ -42,10 +42,11 @@ enum class EventKind {
     kDegradedExit,  ///< Controller recovered to normal operation.
     kCapHold,       ///< Cap release frozen while not in normal health.
     kChaosFault,    ///< Chaos campaign injected or cleared a fault.
+    kReconfig,      ///< A fleet reconfiguration transaction committed.
 };
 
 /** Number of EventKind values (for per-kind counter arrays). */
-inline constexpr std::size_t kEventKindCount = 12;
+inline constexpr std::size_t kEventKindCount = 13;
 
 /** Readable name for an event kind. */
 const char* EventKindName(EventKind kind);

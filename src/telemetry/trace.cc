@@ -94,6 +94,7 @@ WriteSpan(Archive& ar, const TraceSpan& span)
     ar.Str(span.source);
     ar.U8(static_cast<std::uint8_t>(span.band));
     ar.Bool(span.was_capping);
+    ar.U64(span.epoch);
     ar.F64(span.measured);
     ar.F64(span.limit);
     ar.F64(span.threshold);
@@ -132,6 +133,7 @@ ReadSpan(ArchiveReader& ar)
     span.source = ar.Str();
     span.band = static_cast<TraceBand>(ar.U8());
     span.was_capping = ar.Bool();
+    span.epoch = ar.U64();
     span.measured = ar.F64();
     span.limit = ar.F64();
     span.threshold = ar.F64();

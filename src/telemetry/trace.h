@@ -96,6 +96,15 @@ struct TraceSpan
     TraceBand band = TraceBand::kNone;
     bool was_capping = false; ///< Capping already in force before this cycle.
 
+    /**
+     * Fleet spec epoch the deciding controller observed. Audits that
+     * compare the span against fleet-wide aggregates (cut sums, SLA
+     * floors) must evaluate it against this epoch's topology, not the
+     * boot-time fleet — reconfiguration can change both mid-run.
+     * 0 = controller not attached to a versioned fleet.
+     */
+    std::uint64_t epoch = 0;
+
     Watts measured = 0.0;     ///< Aggregated power this cycle.
     Watts limit = 0.0;        ///< Effective limit min(physical, contract).
     Watts threshold = 0.0;    ///< Capping threshold the measure crossed.

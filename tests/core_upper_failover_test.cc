@@ -1,0 +1,240 @@
+// Upper-level (SB/MSB) failover: a pre-registered backup promotes
+// when the upper dies mid-capping, re-learns the standing child
+// contracts through the adoption path, keeps every contractual limit
+// in force across the switch, and — because it owns the adopted
+// capping event — can also end it. The planned-restart variant
+// (WarmSwap) must hand over with zero contract glitch.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/agent.h"
+#include "core/controller_builder.h"
+#include "core/deployment.h"
+#include "core/failover.h"
+#include "core/leaf_controller.h"
+#include "core/upper_controller.h"
+#include "power/device.h"
+#include "rpc/transport.h"
+#include "server/sim_server.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::core {
+namespace {
+
+workload::LoadProcessParams
+SteadyLoad(double util)
+{
+    workload::LoadProcessParams p;
+    p.base_util = util;
+    p.ou_sigma = 0.0;
+    p.spike_rate_per_hour = 0.0;
+    return p;
+}
+
+server::SimServer::Config
+ServerConfig(const std::string& name)
+{
+    server::SimServer::Config config;
+    config.name = name;
+    config.seed = 77;
+    return config;
+}
+
+/**
+ * An over-subscribed SB with two leaf rows and a primary + backup SB
+ * upper on one endpoint: the upper-level analogue of FailoverRig.
+ * The SB rating (3.8 KW against ~4.6 KW of demand) forces the upper
+ * to contract its children whenever it is active.
+ */
+class UpperFailoverRig
+{
+  public:
+    UpperFailoverRig()
+        : transport(sim, 4), sb("sb0", power::DeviceLevel::kSb, 3800.0, 3800.0)
+    {
+        for (int r = 0; r < 2; ++r) {
+            const std::string rpp_name = "rpp" + std::to_string(r);
+            power::PowerDevice* rpp =
+                sb.AddChild(std::make_unique<power::PowerDevice>(
+                    rpp_name, power::DeviceLevel::kRpp, 3000.0, 3000.0));
+            ControllerBuilder builder(sim, transport);
+            builder.Endpoint("ctl:" + rpp_name).ForDevice(*rpp).Log(&log);
+            for (int i = 0; i < 10; ++i) {
+                servers.push_back(std::make_unique<server::SimServer>(
+                    ServerConfig("s" + std::to_string(r * 10 + i)),
+                    SteadyLoad(0.6)));
+                rpp->AttachLoad(servers.back().get());
+                agents.push_back(std::make_unique<DynamoAgent>(
+                    sim, transport, *servers.back(),
+                    Deployment::AgentEndpoint(servers.back()->name())));
+                builder.Agent(AgentInfoFor(*servers.back()));
+            }
+            leaves.push_back(builder.BuildLeaf());
+            leaves.back()->Activate();
+        }
+
+        ControllerBuilder upper_builder(sim, transport);
+        upper_builder.Endpoint("ctl:sb0")
+            .ForDevice(sb)
+            .Child("ctl:rpp0")
+            .Child("ctl:rpp1")
+            .Log(&log);
+        primary = upper_builder.BuildUpper();
+        backup = upper_builder.BuildUpper();
+        primary->Activate();
+        manager = std::make_unique<FailoverManager>(
+            sim, transport, *primary, *backup, /*check_period=*/Seconds(5),
+            /*miss_threshold=*/3, &log);
+    }
+
+    sim::Simulation sim;
+    rpc::SimTransport transport;
+    power::PowerDevice sb;
+    telemetry::EventLog log;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    std::vector<std::unique_ptr<DynamoAgent>> agents;
+    std::vector<std::unique_ptr<LeafController>> leaves;
+    std::unique_ptr<UpperController> primary;
+    std::unique_ptr<UpperController> backup;
+    std::unique_ptr<FailoverManager> manager;
+};
+
+TEST(UpperFailover, HealthyUpperKeepsControl)
+{
+    UpperFailoverRig rig;
+    rig.sim.RunFor(Minutes(2));
+    EXPECT_FALSE(rig.manager->switched());
+    EXPECT_TRUE(rig.primary->active());
+    EXPECT_FALSE(rig.backup->active());
+}
+
+TEST(UpperFailover, BackupPromotesAndRelearnsContractsMidCapping)
+{
+    // Kill the SB upper *while its contracts are in force*. The child
+    // leaves keep enforcing their contractual limits through the
+    // outage (no uncap glitch), and the promoted backup re-learns the
+    // standing contracts through the adoption path rather than
+    // restarting the event from scratch.
+    UpperFailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.primary->capping());
+    ASSERT_GT(rig.primary->contracted_count(), 0u);
+    std::vector<Watts> contracts;
+    for (const auto& leaf : rig.leaves) {
+        ASSERT_TRUE(leaf->contractual_limit().has_value());
+        contracts.push_back(*leaf->contractual_limit());
+    }
+
+    rig.primary->Crash();
+    // Promotion takes ~3 x 5 s probes; every contractual limit must
+    // survive the interregnum — the leaves never see an uncap.
+    rig.sim.RunFor(Seconds(20));
+    for (std::size_t i = 0; i < rig.leaves.size(); ++i) {
+        ASSERT_TRUE(rig.leaves[i]->contractual_limit().has_value());
+        EXPECT_DOUBLE_EQ(*rig.leaves[i]->contractual_limit(), contracts[i]);
+    }
+
+    rig.sim.RunFor(Seconds(40));
+    ASSERT_TRUE(rig.manager->switched());
+    EXPECT_TRUE(rig.backup->active());
+    EXPECT_FALSE(rig.primary->active());
+    EXPECT_EQ(rig.log.CountOf(telemetry::EventKind::kFailover), 1u);
+
+    // The backup discovered the orphaned contracts via its children's
+    // read responses and adopted the in-flight capping event.
+    EXPECT_GT(rig.backup->contracts_adopted(), 0u);
+    EXPECT_TRUE(rig.backup->capping());
+    EXPECT_GT(rig.backup->contracted_count(), 0u);
+    EXPECT_LE(rig.sb.TotalPower(rig.sim.Now()), 0.99 * 3800.0);
+}
+
+TEST(UpperFailover, PromotedBackupAdoptsLostUncap)
+{
+    // The uncap decision the dead primary would have made must not be
+    // lost: when demand recedes, the promoted backup — owning the
+    // adopted event — releases the contracts it never itself issued.
+    UpperFailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.primary->capping());
+    rig.primary->Crash();
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.manager->switched());
+    ASSERT_TRUE(rig.backup->capping());
+
+    for (auto& srv : rig.servers) srv->load().set_balancer_factor(0.5);
+    rig.sim.RunFor(Minutes(2));
+    EXPECT_FALSE(rig.backup->capping());
+    EXPECT_EQ(rig.backup->contracted_count(), 0u);
+    for (const auto& leaf : rig.leaves) {
+        EXPECT_FALSE(leaf->contractual_limit().has_value());
+    }
+}
+
+TEST(UpperFailover, WarmSwapHandsOverWithoutGlitch)
+{
+    // Planned rolling restart: WarmSwap moves authority to the standby
+    // instantly — the standby inherits the live contract state before
+    // activating, so there is no window where a child could observe a
+    // lifted limit.
+    UpperFailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.primary->capping());
+    ASSERT_GT(rig.primary->contracted_count(), 0u);
+
+    ASSERT_TRUE(rig.manager->WarmSwap());
+    EXPECT_TRUE(rig.manager->switched());
+    EXPECT_FALSE(rig.primary->active());
+    EXPECT_TRUE(rig.backup->active());
+    EXPECT_EQ(rig.log.CountOf(telemetry::EventKind::kFailover), 1u);
+
+    // No second swap: the standby is consumed.
+    EXPECT_FALSE(rig.manager->WarmSwap());
+
+    // The successor keeps the sub-tree under the SB rating and the
+    // children under contract continuously.
+    rig.sim.RunFor(Minutes(1));
+    EXPECT_TRUE(rig.backup->capping());
+    for (const auto& leaf : rig.leaves) {
+        EXPECT_TRUE(leaf->contractual_limit().has_value());
+    }
+    EXPECT_LE(rig.sb.TotalPower(rig.sim.Now()), 0.99 * 3800.0);
+}
+
+TEST(UpperFailover, LeafWarmSwapInheritsContract)
+{
+    // Leaf-level warm swap under a live contract from the parent: the
+    // successor starts with the contract already installed (inherited,
+    // not re-learned), so the effective limit never pops back to the
+    // physical rating.
+    UpperFailoverRig rig;
+    rig.sim.RunFor(Minutes(1));
+    ASSERT_TRUE(rig.leaves[0]->contractual_limit().has_value());
+    const Watts contract = *rig.leaves[0]->contractual_limit();
+
+    ControllerBuilder builder(rig.sim, rig.transport);
+    builder.Endpoint("ctl:rpp0");
+    // Rebuild a standby for leaf 0 from the live roster.
+    power::PowerDevice* rpp0 = rig.sb.Find("rpp0");
+    ASSERT_NE(rpp0, nullptr);
+    builder.ForDevice(*rpp0).Log(&rig.log);
+    for (std::size_t i = 0; i < 10; ++i) {
+        builder.Agent(AgentInfoFor(*rig.servers[i]));
+    }
+    std::unique_ptr<LeafController> standby = builder.BuildLeaf();
+    FailoverManager leaf_manager(rig.sim, rig.transport, *rig.leaves[0],
+                                 *standby, Seconds(5), 3, &rig.log);
+
+    ASSERT_TRUE(leaf_manager.WarmSwap());
+    ASSERT_TRUE(standby->active());
+    ASSERT_TRUE(standby->contractual_limit().has_value());
+    EXPECT_DOUBLE_EQ(*standby->contractual_limit(), contract);
+    EXPECT_LT(standby->EffectiveLimit(), 3000.0);
+}
+
+}  // namespace
+}  // namespace dynamo::core

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -144,6 +145,94 @@ TEST(ShardedFleet, JournalIsByteIdenticalAcrossThreadCounts)
     for (const std::size_t threads : {2, 4, 8}) {
         EXPECT_EQ(JournalBytes(kTwoShardServers, 1234, threads, 4), baseline)
             << "journal diverged at threads=" << threads;
+    }
+}
+
+/**
+ * The canonical sharded reconfiguration storm over the 9-leaf / 2-SB
+ * fleet: growth, a cross-SB re-parent, an upper promotion combined
+ * with a leaf bounce, then a decommission.
+ */
+void
+ScheduleStorm(ShardedFleet& fleet)
+{
+    fleet.ScheduleReconfig(1, ReconfigTxn().AddServers("rpp0", 24));
+    fleet.ScheduleReconfig(2, ReconfigTxn().Reparent("rpp8", "sb0"));
+    fleet.ScheduleReconfig(
+        3, ReconfigTxn().PromoteUpper("sb0").RestartController("rpp1"));
+    fleet.ScheduleReconfig(4, ReconfigTxn().RemoveSubtree("rpp7"));
+}
+
+TEST(ShardedFleet, ReconfigCommitsAtScheduledBarrier)
+{
+    ShardedFleetConfig config;
+    config.n_servers = kTwoShardServers;
+    config.threads = 2;
+    ShardedFleet fleet(config);
+    ScheduleStorm(fleet);
+
+    fleet.RunWindows(1);  // barrier 0: nothing scheduled yet
+    EXPECT_EQ(fleet.spec_epoch(), 0u);
+
+    fleet.RunWindows(1);  // barrier 1: growth commits
+    EXPECT_EQ(fleet.spec_epoch(), 1u);
+    EXPECT_EQ(fleet.reconfigs_applied(), 1u);
+
+    fleet.RunWindows(1);  // barrier 2: rpp8 re-homed onto sb0
+    EXPECT_EQ(fleet.spec_epoch(), 2u);
+    EXPECT_EQ(fleet.sb(0).child_count(), 9u);
+    EXPECT_EQ(fleet.sb(1).child_count(), 0u);
+
+    fleet.RunWindows(1);  // barrier 3: sb0 promoted, rpp1 bounced
+    EXPECT_EQ(fleet.spec_epoch(), 3u);
+    EXPECT_TRUE(fleet.sb(0).active());
+    EXPECT_EQ(fleet.sb(0).child_count(), 9u);
+    EXPECT_TRUE(fleet.leaf(1).active());
+
+    fleet.RunWindows(1);  // barrier 4: rpp7 decommissioned
+    EXPECT_EQ(fleet.spec_epoch(), 4u);
+    EXPECT_FALSE(fleet.leaf_alive(7));
+    EXPECT_FALSE(fleet.leaf(7).active());
+    EXPECT_EQ(fleet.sb(0).child_count(), 8u);
+
+    // The surviving fleet still aggregates through the proxies.
+    fleet.RunWindows(2);
+    EXPECT_TRUE(fleet.sb(0).last_valid());
+
+    // Scheduling into an already-closed window is rejected.
+    EXPECT_THROW(fleet.ScheduleReconfig(2, ReconfigTxn().AddServers("rpp0", 1)),
+                 std::invalid_argument);
+    EXPECT_THROW(fleet.ScheduleReconfig(99, ReconfigTxn().AddServers("rpp99", 1)),
+                 std::invalid_argument);
+}
+
+TEST(ShardedFleet, ReconfiguringJournalIsByteIdenticalAcrossThreadCounts)
+{
+    const auto storm_bytes = [](std::size_t threads) {
+        ShardedFleetConfig config;
+        config.n_servers = kTwoShardServers;
+        config.threads = threads;
+        config.seed = 20260809;
+        config.record_journal = true;
+        config.checkpoint_every = 2;
+        config.scenario = "sharded-reconfig-storm";
+        ShardedFleet fleet(config);
+        ScheduleStorm(fleet);
+        fleet.RunWindows(6);
+        return replay::EncodeJournal(fleet.journal());
+    };
+
+    const std::string baseline = storm_bytes(1);
+    const replay::Journal decoded = replay::DecodeJournal(baseline);
+    ASSERT_EQ(decoded.cycles.size(), 6u);
+    ASSERT_EQ(decoded.reconfigs.size(), 4u);
+    EXPECT_EQ(decoded.reconfigs.front().epoch, 1u);
+    EXPECT_EQ(decoded.reconfigs.front().time, 2 * kShardWindowMs);
+    EXPECT_EQ(decoded.reconfigs.back().description, "remove-subtree(rpp7)");
+
+    for (const std::size_t threads : {2, 4}) {
+        EXPECT_EQ(storm_bytes(threads), baseline)
+            << "reconfiguring journal diverged at threads=" << threads;
     }
 }
 

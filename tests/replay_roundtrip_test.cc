@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -36,12 +37,32 @@ seed = 99173
 diurnal_amplitude = 0.0
 )";
 
+// An elastic fleet for the reconfig-storm scenario: MSB scope so a
+// leaf can be re-parented between SBs, standby controllers so the
+// rolling-restart and promotion legs have something to promote, and
+// an SB rating the re-parented three-row domain can still be capped
+// under (aggregate SLA floors are ~5.6 KW for 36 servers) while the
+// scenario's 1.3x surge pushes it past the cap threshold.
+constexpr char kElasticSpecText[] = R"(
+scope = msb
+servers_per_rpp = 12
+rpps_per_sb = 2
+sbs_per_msb = 2
+rpp_rated_w = 4500
+sb_rated_w = 7200
+msb_rated_w = 30000
+seed = 99173
+diurnal_amplitude = 0.0
+with_backup_controllers = true
+)";
+
 /** Record `scenario` over `duration` and return the journal. */
 replay::Journal
 RecordRun(const std::string& scenario, SimTime duration,
-          std::uint64_t checkpoint_every = 8)
+          std::uint64_t checkpoint_every = 8,
+          const std::string& spec_text = kSpecText)
 {
-    fleet::Fleet fleet(fleet::ParseFleetSpecString(kSpecText));
+    fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
     replay::FindScenario(scenario)(fleet, campaign);
@@ -174,6 +195,76 @@ TEST(ReplayRoundTrip, FaultStreamIsJournaled)
         EXPECT_FALSE(fault.description.empty());
         prev = fault.time;
     }
+}
+
+TEST(ReplayReconfig, StormJournalRoundTripsAndReplaysBitExact)
+{
+    // The elastic storm grows a leaf, bounces its controller,
+    // re-parents a sibling, promotes an SB upper mid-capping, and
+    // decommissions a subtree — five transactions, each committing at
+    // its own 9 s window barrier.
+    const replay::Journal journal = RecordRun(
+        "reconfig-storm", Seconds(180), /*checkpoint_every=*/8,
+        kElasticSpecText);
+    ASSERT_EQ(journal.reconfigs.size(), 5u);
+    for (std::size_t i = 0; i < journal.reconfigs.size(); ++i) {
+        EXPECT_EQ(journal.reconfigs[i].epoch, i + 1);
+        EXPECT_EQ(journal.reconfigs[i].time % 9000, 0)
+            << "reconfig " << i << " did not commit on a window barrier";
+        if (i > 0) {
+            EXPECT_GT(journal.reconfigs[i].time, journal.reconfigs[i - 1].time);
+        }
+    }
+    EXPECT_NE(journal.reconfigs.front().description.find("add-servers"),
+              std::string::npos);
+    EXPECT_NE(journal.reconfigs.back().description.find("remove-subtree"),
+              std::string::npos);
+
+    // Binary round trip preserves the reconfig records exactly.
+    const std::string bytes = replay::EncodeJournal(journal);
+    const replay::Journal decoded = replay::DecodeJournal(bytes);
+    ASSERT_EQ(decoded.reconfigs.size(), journal.reconfigs.size());
+    EXPECT_EQ(replay::EncodeJournal(decoded), bytes);
+
+    // Reconstructive replay re-issues the transactions from the
+    // scenario and must reproduce every cycle hash, every checkpoint,
+    // and the full (epoch, time, description) audit trail.
+    replay::Replayer replayer(journal);
+    const replay::ReplayResult result = replayer.ReplayFromStart();
+    EXPECT_TRUE(result.ok) << result.detail;
+    EXPECT_EQ(result.cycles_compared, journal.cycles.size());
+    EXPECT_EQ(result.first_divergent_cycle,
+              replay::ReplayResult::kNoDivergence);
+}
+
+TEST(ReplayReconfig, ReplayFromCheckpointPastAReconfigIsBitExact)
+{
+    const replay::Journal journal = RecordRun(
+        "reconfig-storm", Seconds(180), /*checkpoint_every=*/4,
+        kElasticSpecText);
+    ASSERT_GE(journal.checkpoints.size(), 3u);
+    ASSERT_FALSE(journal.reconfigs.empty());
+
+    // Pick the first checkpoint taken after a reconfiguration landed:
+    // verifying its bytes proves the replayed fleet applied the same
+    // mutation before the checkpoint was cut.
+    std::size_t idx = journal.checkpoints.size();
+    for (std::size_t i = 0; i < journal.checkpoints.size(); ++i) {
+        const std::uint64_t cycle = journal.checkpoints[i].cycle;
+        if (journal.cycles[cycle].time > journal.reconfigs.front().time) {
+            idx = i;
+            break;
+        }
+    }
+    ASSERT_LT(idx, journal.checkpoints.size())
+        << "no checkpoint after the first reconfig";
+
+    replay::Replayer replayer(journal);
+    const replay::ReplayResult result = replayer.ReplayFromCheckpoint(idx);
+    EXPECT_TRUE(result.checkpoint_verified) << result.detail;
+    EXPECT_TRUE(result.ok) << result.detail;
+    EXPECT_EQ(result.cycles_compared,
+              journal.cycles.size() - journal.checkpoints[idx].cycle - 1);
 }
 
 /**

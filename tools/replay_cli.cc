@@ -243,8 +243,12 @@ Info(const Options& opt)
               << "cycles: " << journal.cycles.size() << "\n"
               << "checkpoints: " << journal.checkpoints.size() << "\n"
               << "faults: " << journal.faults.size() << "\n"
-              << "spec:\n";
-    std::cout << journal.spec_text;
+              << "reconfigs: " << journal.reconfigs.size() << "\n";
+    for (const replay::ReconfigRecord& r : journal.reconfigs) {
+        std::cout << "  epoch " << r.epoch << " t=" << r.time << "ms "
+                  << r.description << "\n";
+    }
+    std::cout << "spec:\n" << journal.spec_text;
     return 0;
 }
 
