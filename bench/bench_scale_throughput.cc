@@ -24,6 +24,8 @@
  *   bench_scale_throughput --threads 4 --journal run.jrnl
  *   bench_scale_throughput --parallel-suite     # BENCH_PARALLEL.json
  *   bench_scale_throughput --servers 10000 --parallel-check 2.5
+ *   bench_scale_throughput --servers 100000 --threads 1 --barrier-breakdown
+ *   bench_scale_throughput --mega-smoke         # 1M-server smoke
  *
  * --check is the CI perf smoke: it compares measured events/sec
  * against the committed baseline and exits non-zero on a >3x
@@ -41,7 +43,25 @@
  * --parallel-check MIN is the CI determinism + scaling gate: for each
  * size it runs the sharded engine at 1 and 4 threads, requires the two
  * journals byte-identical, and requires the 4-thread run to reach MIN
- * times the single-thread throughput.
+ * times the single-thread throughput. The speedup assertion is
+ * core-aware: on hosts with fewer than 4 cores the 4-thread arm is
+ * time-sliced, so the gate prints a visible notice and skips the
+ * throughput floor while still enforcing the byte-identical journals
+ * (determinism never depends on core count).
+ *
+ * --barrier-breakdown prints the per-stage barrier profile after each
+ * sharded run (window-run / record / reconfig / proxy-publish /
+ * mailbox-drain / checkpoint wall times and the serial share) — the
+ * Amdahl instrument for the parallel engine.
+ *
+ * --checkpoint-every N makes sharded runs checkpoint every N windows,
+ * so the parallel checkpoint stage shows up in the breakdown and the
+ * determinism gates cover checkpoint bytes.
+ *
+ * --mega-smoke is the 1,000,000-server arm: constructs the ~4.2 k-leaf
+ * topology, runs two windows at 1 and 2 threads with checkpoints on,
+ * and requires byte-identical journals. It is a build-and-run
+ * feasibility gate (minutes), not a throughput measurement.
  *
  * --reconfig schedules the canonical elastic storm (grow, re-parent,
  * upper promotion + leaf bounce, decommission) onto the sharded run,
@@ -372,7 +392,30 @@ struct ParallelResult
 
     /** Encoded journal, kept when the caller needs to compare/write. */
     std::string journal_bytes;
+
+    /** Per-stage barrier profile for the whole run (warmup included). */
+    fleet::BarrierProfile profile;
 };
+
+void
+PrintBarrierBreakdown(const fleet::BarrierProfile& p)
+{
+    std::printf(
+        "  barrier breakdown over %llu windows (wall seconds, warmup "
+        "included):\n"
+        "    window-run     %9.4f   parallel region\n"
+        "    record         %9.4f\n"
+        "    reconfig       %9.4f\n"
+        "    proxy-publish  %9.4f   %llu leaf snapshots\n"
+        "    mailbox-drain  %9.4f   %llu messages\n"
+        "    checkpoint     %9.4f\n"
+        "    barrier-total  %9.4f   serial share %.4f%%\n",
+        static_cast<unsigned long long>(p.windows), p.window_run_s, p.record_s,
+        p.reconfig_s, p.proxy_publish_s,
+        static_cast<unsigned long long>(p.proxy_leaves_published),
+        p.mailbox_drain_s, static_cast<unsigned long long>(p.mailbox_messages),
+        p.checkpoint_s, p.barrier_total_s, 100.0 * p.serial_share());
+}
 
 /**
  * The canonical elastic storm for the determinism gate: grow a leaf,
@@ -405,17 +448,19 @@ ScheduleBenchStorm(fleet::ShardedFleet& fleet)
 
 ParallelResult
 RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
-                 std::size_t threads, bool reconfig = false)
+                 std::size_t threads, bool reconfig = false,
+                 std::uint64_t checkpoint_every = 0)
 {
     fleet::ShardedFleetConfig config;
     config.n_servers = n_servers;
     config.threads = threads;
     config.seed = 1234;
     config.record_journal = true;
-    // Hash-only journal: cycle records cover the full RPC + kernel
-    // event streams; checkpoints would serialize every server at the
-    // barrier and bill that serial work to the parallel arms.
-    config.checkpoint_every = 0;
+    // Hash-only journal by default: cycle records cover the full RPC +
+    // kernel event streams. Checkpoints serialize every server at the
+    // barrier (in parallel, but still barrier time); opt in with
+    // --checkpoint-every to measure or gate that stage.
+    config.checkpoint_every = checkpoint_every;
     config.scenario =
         reconfig ? "bench-scale-parallel-reconfig" : "bench-scale-parallel";
     fleet::ShardedFleet fleet(config);
@@ -445,7 +490,59 @@ RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
         wall_s > 0.0 ? static_cast<double>(result.events) / wall_s : 0.0;
     result.journal_bytes = replay::EncodeJournal(fleet.journal());
     result.journal_fnv = Fnv1a64(result.journal_bytes);
+    result.profile = fleet.barrier_profile();
     return result;
+}
+
+/**
+ * The 1,000,000-server feasibility smoke: construct the ~4.2 k-leaf /
+ * ~520-SB topology, run two windows with a checkpoint, and require the
+ * 1-thread and 2-thread journals byte-identical. Returns a process
+ * exit code.
+ */
+int
+RunMegaSmoke()
+{
+    constexpr std::size_t kMegaServers = 1'000'000;
+    auto run = [&](std::size_t threads) {
+        fleet::ShardedFleetConfig config;
+        config.n_servers = kMegaServers;
+        config.threads = threads;
+        config.seed = 1234;
+        config.record_journal = true;
+        config.checkpoint_every = 2;  // one parallel checkpoint at window 2
+        config.scenario = "mega-smoke";
+        std::printf("mega-smoke: constructing %zu servers, %zu thread%s...\n",
+                    kMegaServers, threads, threads == 1 ? "" : "s");
+        std::fflush(stdout);
+        const Clock::time_point t0 = Clock::now();
+        fleet::ShardedFleet fleet(config);
+        const double build_s =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        std::printf("  built %zu shards / %zu leaves / %zu SBs + %zu MSBs "
+                    "in %.1f s; running 2 windows...\n",
+                    fleet.shard_count(), fleet.plan().n_leaves,
+                    fleet.plan().n_sbs, fleet.plan().n_msbs, build_s);
+        std::fflush(stdout);
+        fleet.RunWindows(2);
+        PrintBarrierBreakdown(fleet.barrier_profile());
+        return replay::EncodeJournal(fleet.journal());
+    };
+    const std::string serial = run(1);
+    const std::string wide = run(2);
+    if (serial != wide) {
+        std::fprintf(stderr,
+                     "MEGA-SMOKE DETERMINISM FAILURE: 2-thread journal "
+                     "(fnv 0x%016llx) differs from 1-thread (fnv 0x%016llx)\n",
+                     static_cast<unsigned long long>(Fnv1a64(wide)),
+                     static_cast<unsigned long long>(Fnv1a64(serial)));
+        return 1;
+    }
+    std::printf("mega-smoke ok: journals byte-identical across threads "
+                "(fnv 0x%016llx, %zu bytes)\n",
+                static_cast<unsigned long long>(Fnv1a64(serial)),
+                serial.size());
+    return 0;
 }
 
 std::string
@@ -477,7 +574,7 @@ ParallelToJson(const std::vector<ParallelResult>& results)
                 break;
             }
         }
-        char buf[1024];
+        char buf[2048];
         std::snprintf(
             buf, sizeof(buf),
             "    {\n"
@@ -489,12 +586,29 @@ ParallelToJson(const std::vector<ParallelResult>& results)
             "      \"events_executed\": %llu,\n"
             "      \"events_per_sec\": %.0f,\n"
             "      \"speedup_vs_1t\": %.2f,\n"
-            "      \"journal_fnv64\": \"0x%016llx\"\n"
+            "      \"journal_fnv64\": \"0x%016llx\",\n"
+            "      \"barrier\": {\n"
+            "        \"total_s\": %.6f,\n"
+            "        \"serial_share\": %.6f,\n"
+            "        \"record_s\": %.6f,\n"
+            "        \"reconfig_s\": %.6f,\n"
+            "        \"proxy_publish_s\": %.6f,\n"
+            "        \"mailbox_drain_s\": %.6f,\n"
+            "        \"checkpoint_s\": %.6f,\n"
+            "        \"proxy_leaves_published\": %llu,\n"
+            "        \"mailbox_messages\": %llu\n"
+            "      }\n"
             "    }%s\n",
             r.servers, r.threads, r.shards, r.sim_seconds, r.wall_seconds,
             static_cast<unsigned long long>(r.events), r.events_per_sec,
             base > 0.0 ? r.events_per_sec / base : 0.0,
             static_cast<unsigned long long>(r.journal_fnv),
+            r.profile.barrier_total_s, r.profile.serial_share(),
+            r.profile.record_s, r.profile.reconfig_s,
+            r.profile.proxy_publish_s, r.profile.mailbox_drain_s,
+            r.profile.checkpoint_s,
+            static_cast<unsigned long long>(r.profile.proxy_leaves_published),
+            static_cast<unsigned long long>(r.profile.mailbox_messages),
             i + 1 < results.size() ? "," : "");
         out << buf;
     }
@@ -583,6 +697,9 @@ main(int argc, char** argv)
     bool reconfig = false;
     bool parallel_suite = false;
     double parallel_check = 0.0;
+    bool barrier_breakdown = false;
+    std::uint64_t checkpoint_every = 0;
+    bool mega_smoke = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -631,13 +748,21 @@ main(int argc, char** argv)
                                      "minimum speedup\n");
                 return 2;
             }
+        } else if (arg == "--barrier-breakdown") {
+            barrier_breakdown = true;
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--mega-smoke") {
+            mega_smoke = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--servers N] [--sim-seconds S] "
                          "[--out FILE] [--check BASELINE] [--metrics] "
                          "[--overhead-check PCT] [--threads N] "
                          "[--journal FILE] [--reconfig] [--parallel-suite] "
-                         "[--parallel-check MIN_SPEEDUP]\n",
+                         "[--parallel-check MIN_SPEEDUP] "
+                         "[--barrier-breakdown] [--checkpoint-every N] "
+                         "[--mega-smoke]\n",
                          argv[0]);
             return 2;
         }
@@ -649,20 +774,34 @@ main(int argc, char** argv)
                  "comparable to the committed Release baseline\n");
 #endif
 
+    if (mega_smoke) return RunMegaSmoke();
+
     if (parallel_check > 0.0) {
-        // CI determinism + scaling gate.
+        // CI determinism + scaling gate. The scaling half only means
+        // something when the host can actually run 4 workers at once;
+        // detect that at runtime instead of trusting the CI label.
+        const unsigned host_cores = std::thread::hardware_concurrency();
+        const bool assert_speedup = host_cores >= 4;
+        if (!assert_speedup) {
+            std::printf("NOTICE: host reports %u core%s (< 4); the >= %.2fx "
+                        "speedup assertion is SKIPPED (4 workers would be "
+                        "time-sliced). Determinism byte-compare still "
+                        "enforced.\n",
+                        host_cores, host_cores == 1 ? "" : "s",
+                        parallel_check);
+        }
         bool ok = true;
         for (const std::size_t n : sizes) {
             std::printf("parallel check at %zu servers: 1-thread arm...\n", n);
             std::fflush(stdout);
             const ParallelResult serial =
-                RunParallelSuite(n, measure_ms, 1, reconfig);
+                RunParallelSuite(n, measure_ms, 1, reconfig, checkpoint_every);
             std::printf("  1 thread: %.2fM events/s (%zu shards)\n"
                         "parallel check at %zu servers: 4-thread arm...\n",
                         serial.events_per_sec / 1e6, serial.shards, n);
             std::fflush(stdout);
             const ParallelResult wide =
-                RunParallelSuite(n, measure_ms, 4, reconfig);
+                RunParallelSuite(n, measure_ms, 4, reconfig, checkpoint_every);
             const double speedup =
                 serial.events_per_sec > 0.0
                     ? wide.events_per_sec / serial.events_per_sec
@@ -678,7 +817,7 @@ main(int argc, char** argv)
                                  serial.journal_fnv));
                 ok = false;
             }
-            if (speedup < parallel_check) {
+            if (assert_speedup && speedup < parallel_check) {
                 std::fprintf(stderr,
                              "SCALING FAILURE: %zu servers, 4 threads ran "
                              "%.2fx the 1-thread throughput (%.0f vs %.0f "
@@ -688,10 +827,14 @@ main(int argc, char** argv)
                 ok = false;
             }
             if (ok) {
-                std::printf("  4 threads: %.2fM events/s, %.2fx speedup, "
+                std::printf("  4 threads: %.2fM events/s, %.2fx speedup%s, "
                             "journal identical (fnv 0x%016llx)\n",
                             wide.events_per_sec / 1e6, speedup,
+                            assert_speedup ? "" : " (not asserted)",
                             static_cast<unsigned long long>(wide.journal_fnv));
+            }
+            if (barrier_breakdown) {
+                PrintBarrierBreakdown(serial.profile);
             }
         }
         return ok ? 0 : 1;
@@ -699,27 +842,34 @@ main(int argc, char** argv)
 
     if (parallel_suite || threads > 0) {
         // Sharded-engine measurements. --parallel-suite sweeps the
-        // scaling curves; plain --threads measures the requested sizes
-        // at one pool width.
-        if (parallel_suite) sizes = {10'000, 100'000};
+        // scaling curves (including the 1 M-server suite, at a shorter
+        // measurement so the sweep stays minutes, not hours); plain
+        // --threads measures the requested sizes at one pool width.
+        if (parallel_suite) sizes = {10'000, 100'000, 1'000'000};
         const std::vector<std::size_t> widths =
             parallel_suite ? std::vector<std::size_t>{1, 2, 4, 8}
                            : std::vector<std::size_t>{threads};
         std::vector<ParallelResult> results;
         for (const std::size_t n : sizes) {
+            const SimTime size_measure_ms =
+                (parallel_suite && n >= 1'000'000)
+                    ? std::min<SimTime>(measure_ms, 27'000)
+                    : measure_ms;
             for (const std::size_t t : widths) {
                 std::printf("running sharded %zu-server suite, %zu thread%s "
                             "(%lld sim-seconds)...\n",
                             n, t, t == 1 ? "" : "s",
-                            static_cast<long long>(measure_ms / 1000));
+                            static_cast<long long>(size_measure_ms / 1000));
                 std::fflush(stdout);
-                results.push_back(RunParallelSuite(n, measure_ms, t,
-                                                   reconfig));
+                results.push_back(RunParallelSuite(n, size_measure_ms, t,
+                                                   reconfig,
+                                                   checkpoint_every));
                 const ParallelResult& r = results.back();
                 std::printf("  %zu shards: %.2fM events/s, journal fnv "
                             "0x%016llx\n",
                             r.shards, r.events_per_sec / 1e6,
                             static_cast<unsigned long long>(r.journal_fnv));
+                if (barrier_breakdown) PrintBarrierBreakdown(r.profile);
                 std::fflush(stdout);
             }
         }

@@ -109,6 +109,19 @@ class Archive
         Put(s.data(), s.size());
     }
 
+    /**
+     * Append another archive's bytes verbatim (no length prefix),
+     * folding them into this archive's digest byte-for-byte. The
+     * result — bytes and digest — is identical to having written
+     * `other`'s fields into this archive directly, which is what lets
+     * per-shard snapshot archives be filled in parallel and then
+     * merged in canonical shard order without changing the output.
+     */
+    void Append(const Archive& other)
+    {
+        Put(other.bytes_.data(), other.bytes_.size());
+    }
+
     const std::string& bytes() const { return bytes_; }
 
     /** Digest of everything appended so far. */

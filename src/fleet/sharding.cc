@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <any>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "core/api.h"
 #include "core/controller_builder.h"
 #include "power/topology.h"
+#include "telemetry/metrics.h"
 #include "workload/load_process.h"
 
 namespace dynamo::fleet {
@@ -70,7 +72,11 @@ struct ShardedFleet::WorkerShard : sim::ShardRunner
             });
     }
 
-    void RunWindow(SimTime until) override { sim.RunUntil(until); }
+    void RunWindow(SimTime until) override
+    {
+        sim.RunUntil(until);
+        StageLeafSnapshots();
+    }
 
     /** Canonical state bytes for merged checkpoints. */
     void Snapshot(Archive& ar) const
@@ -84,6 +90,58 @@ struct ShardedFleet::WorkerShard : sim::ShardRunner
         for (const auto& leaf : leaves) leaf->Snapshot(ar);
     }
 
+    /**
+     * What the barrier publishes to one leaf's proxy: the exact fields
+     * a real leaf answers a PowerReadRequest with.
+     */
+    struct LeafStage
+    {
+        Watts power = 0.0;
+        Watts quota = 0.0;
+        Watts floor = 0.0;
+        bool valid = false;
+
+        bool operator==(const LeafStage&) const = default;
+    };
+
+    /**
+     * End-of-window capture, run by this shard's worker thread inside
+     * the parallel region: read every local leaf's proxy-served fields
+     * and diff them against the last published copy, recording changed
+     * local indices in `dirty`. The barrier then publishes only the
+     * dirty entries — O(changed leaves) of serial work instead of a
+     * full O(n_leaves) sweep with a cross-shard pointer chase per leaf.
+     *
+     * The capture happens *before* the barrier commits reconfiguration
+     * transactions, so a commit's effect on quota/floor surfaces one
+     * window later than the old in-barrier sweep published it. That
+     * staleness is already part of the contract: the pull cadence
+     * absorbs a full window everywhere else (DESIGN.md §10).
+     */
+    void StageLeafSnapshots()
+    {
+        if (published.size() != leaves.size()) {
+            // First window: sentinel power forces every leaf to
+            // publish once (a real power can never be negative).
+            LeafStage sentinel;
+            sentinel.power = -1.0;
+            published.resize(leaves.size(), sentinel);
+        }
+        dirty.clear();
+        for (std::size_t i = 0; i < leaves.size(); ++i) {
+            const core::LeafController& leaf = *leaves[i];
+            LeafStage stage;
+            stage.power = leaf.last_aggregated_power();
+            stage.quota = leaf.quota();
+            stage.floor = leaf.Floor();
+            stage.valid = leaf.last_valid();
+            if (stage != published[i]) {
+                published[i] = stage;
+                dirty.push_back(i);
+            }
+        }
+    }
+
     std::size_t index;
     sim::Simulation sim;
     rpc::SimTransport transport;
@@ -93,12 +151,28 @@ struct ShardedFleet::WorkerShard : sim::ShardRunner
     std::vector<std::unique_ptr<power::PowerDevice>> devices;
     std::vector<std::unique_ptr<core::LeafController>> leaves;
 
-    /** Inbound contract updates from the control shard. */
-    rpc::ShardMailbox mailbox;
+    /**
+     * Inbound contract updates from the control shard. Written by the
+     * *control* shard's thread mid-window (the proxy push), drained by
+     * the barrier — its own cache line so those pushes never contend
+     * with this shard's per-event hash writes below.
+     */
+    alignas(64) rpc::ShardMailbox mailbox;
 
-    /** Per-window digests, merged and reset at each barrier. */
-    HashAccumulator rpc_hash;
+    /**
+     * Hot per-window state written by this shard's worker thread:
+     * digests mixed on every event/call, and the staged leaf snapshots
+     * captured at window close. Cache-line aligned away from the
+     * mailbox for the same false-sharing reason.
+     */
+    alignas(64) HashAccumulator rpc_hash;
     HashAccumulator kernel_hash;
+
+    /** Last values handed to the proxies (local leaf index). */
+    std::vector<LeafStage> published;
+
+    /** Local leaf indices whose `published` entry changed this window. */
+    std::vector<std::uint32_t> dirty;
 };
 
 /** The upper-controller world plus the per-leaf proxy state. */
@@ -373,16 +447,27 @@ ShardedFleet::ProxyHandle(std::size_t global_leaf,
 void
 ShardedFleet::Barrier(SimTime barrier_time)
 {
+    using Clock = std::chrono::steady_clock;
+    // Each call returns the seconds since the previous call (or since
+    // barrier entry), so `profile_.x += clock()` closes stage x.
+    auto clock = [t = Clock::now()]() mutable {
+        const Clock::time_point now = Clock::now();
+        const double s = std::chrono::duration<double>(now - t).count();
+        t = now;
+        return s;
+    };
+
     // 1. Close the window's journal record first: hashes must cover
     //    exactly the window's events, and the mailbox drain below
     //    issues calls whose observer hits count toward the *next*
     //    window.
     if (config_.record_journal) RecordWindow(barrier_time);
+    profile_.record_s += clock();
 
-    // 1b. Commit reconfiguration transactions scheduled for the window
-    //     that just closed. Single-threaded, after the record and
-    //     before the proxy refresh: the closed window hashed the old
-    //     topology, the next one runs wholly on the new.
+    // 2. Commit reconfiguration transactions scheduled for the window
+    //    that just closed. Single-threaded, after the record and
+    //    before the proxy refresh: the closed window hashed the old
+    //    topology, the next one runs wholly on the new.
     if (!pending_reconfigs_.empty()) {
         auto it = pending_reconfigs_.begin();
         while (it != pending_reconfigs_.end()) {
@@ -395,46 +480,55 @@ ShardedFleet::Barrier(SimTime barrier_time)
         }
     }
     ++barriers_completed_;
+    profile_.reconfig_s += clock();
 
-    // 2. Refresh the proxy snapshots the uppers will read next window,
-    //    in global leaf order. Decommissioned leaves keep their last
-    //    snapshot but are invalid — and parentless, so nothing reads
-    //    them anyway.
-    for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
-        if (leaf_alive_[l] == 0) continue;
-        const WorkerShard& shard = *shards_[plan_.shard_of_leaf(l)];
-        const core::LeafController& leaf =
-            *shard.leaves[l - plan_.shards[shard.index].first_leaf];
-        ControlShard::LeafProxy& proxy = control_->proxies[l];
-        proxy.power = leaf.last_aggregated_power();
-        proxy.valid = leaf.last_valid();
-        proxy.quota = leaf.quota();
-        proxy.floor = leaf.Floor();
+    // 3. Publish the staged leaf snapshots the uppers will read next
+    //    window. The workers already captured and diffed their leaves
+    //    inside the parallel region (StageLeafSnapshots), so the
+    //    serial step is a copy of just the *changed* entries, walked
+    //    in shard-index order (= global leaf order, since shards own
+    //    contiguous leaf ranges). Decommissioned leaves keep their
+    //    last snapshot but stay invalid — and parentless, so nothing
+    //    reads them anyway.
+    for (const auto& shard : shards_) {
+        const std::size_t first = plan_.shards[shard->index].first_leaf;
+        for (const std::uint32_t local : shard->dirty) {
+            const std::size_t l = first + local;
+            if (leaf_alive_[l] == 0) continue;
+            const WorkerShard::LeafStage& stage = shard->published[local];
+            ControlShard::LeafProxy& proxy = control_->proxies[l];
+            proxy.power = stage.power;
+            proxy.valid = stage.valid;
+            proxy.quota = stage.quota;
+            proxy.floor = stage.floor;
+            ++profile_.proxy_leaves_published;
+        }
+        shard->dirty.clear();
     }
+    profile_.proxy_publish_s += clock();
 
-    // 3. Deliver queued contract updates, shard-index order outside,
-    //    FIFO inside: each becomes a normal transport call issued at
-    //    the window boundary, so it reaches the leaf (with ordinary
-    //    RPC latency) early in window W+1.
+    // 4. Deliver queued contract updates, shard-index order outside,
+    //    FIFO inside: each shard's drained queue becomes ONE batched
+    //    transport delivery issued at the window boundary, so every
+    //    message reaches its leaf (after one shared latency sample)
+    //    early in window W+1. A crashed leaf drops its item at
+    //    delivery; the parent re-issues every settled cycle.
     for (const auto& shard : shards_) {
         std::vector<rpc::ShardMessage> messages = shard->mailbox.Drain();
+        if (messages.empty()) continue;
         mailbox_delivered_ += messages.size();
-        for (rpc::ShardMessage& message : messages) {
-            shard->transport.Call(
-                message.target, std::move(message.payload),
-                [](const rpc::Payload&) {},
-                [](const std::string&) {
-                    // An unregistered / crashed leaf drops the update;
-                    // the parent re-issues every settled cycle.
-                },
-                /*timeout_ms=*/1000);
-        }
+        profile_.mailbox_messages += messages.size();
+        shard->transport.CallBatch(std::move(messages));
     }
+    profile_.mailbox_drain_s += clock();
 
+    // 5. Checkpoint last: it must capture the post-commit, post-drain
+    //    state the next window starts from.
     if (config_.record_journal && config_.checkpoint_every > 0 &&
         windows_completed() % config_.checkpoint_every == 0) {
         RecordCheckpoint(barrier_time);
     }
+    profile_.checkpoint_s += clock();
 }
 
 void
@@ -471,8 +565,23 @@ ShardedFleet::RecordCheckpoint(SimTime barrier_time)
     ar.Str("sharded-fleet-checkpoint");
     ar.U64(spec_epoch_);
     ar.U64(shards_.size());
-    for (const auto& shard : shards_) shard->Snapshot(ar);
-    control_->Snapshot(ar);
+
+    // Fill one private archive per shard on the worker pool, then fold
+    // them into the master archive in canonical order (shards by
+    // index, control last). Archive::Append is byte- and digest-exact,
+    // so the checkpoint is identical to the old serial sweep — only
+    // the wall time is divided by the thread count.
+    const std::size_t n = shards_.size();
+    std::vector<Archive> parts(n + 1);
+    const sim::WorkerPool::StageFn fill = [&](std::size_t i) {
+        if (i < n) {
+            shards_[i]->Snapshot(parts[i]);
+        } else {
+            control_->Snapshot(parts[n]);
+        }
+    };
+    pool_->RunStage(fill, n + 1);
+    for (const Archive& part : parts) ar.Append(part);
 
     replay::CheckpointRecord record;
     record.cycle = journal_.cycles.empty() ? 0 : journal_.cycles.size() - 1;
@@ -493,7 +602,16 @@ ShardedFleet::LeafIndex(const std::string& target) const
         throw std::invalid_argument("sharded reconfig: leaf target \"" +
                                     target + "\" has no index");
     }
-    const std::size_t l = std::stoul(target.substr(pos));
+    std::size_t l = 0;
+    try {
+        l = std::stoul(target.substr(pos));
+    } catch (const std::out_of_range&) {
+        // stoul throws out_of_range for an index too wide for unsigned
+        // long; surface it as the same invalid-argument class every
+        // other malformed target gets, with the offending string.
+        throw std::invalid_argument("sharded reconfig: leaf target \"" +
+                                    target + "\" index overflows");
+    }
     if (l >= plan_.n_leaves) {
         throw std::invalid_argument("sharded reconfig: leaf index " +
                                     std::to_string(l) + " out of range (" +
@@ -514,7 +632,13 @@ ShardedFleet::UpperIndex(const std::string& target) const
         throw std::invalid_argument("sharded reconfig: upper target \"" +
                                     target + "\" has no index");
     }
-    const std::size_t s = std::stoul(target.substr(pos));
+    std::size_t s = 0;
+    try {
+        s = std::stoul(target.substr(pos));
+    } catch (const std::out_of_range&) {
+        throw std::invalid_argument("sharded reconfig: upper target \"" +
+                                    target + "\" index overflows");
+    }
     if (s >= plan_.n_sbs) {
         throw std::invalid_argument("sharded reconfig: SB index " +
                                     std::to_string(s) + " out of range (" +
@@ -780,6 +904,38 @@ std::uint64_t
 ShardedFleet::mailbox_delivered() const
 {
     return mailbox_delivered_;
+}
+
+BarrierProfile
+ShardedFleet::barrier_profile() const
+{
+    BarrierProfile profile = profile_;
+    profile.window_run_s = kernel_->window_wall_s();
+    profile.barrier_total_s = kernel_->barrier_wall_s();
+    profile.windows = kernel_->windows_completed();
+    return profile;
+}
+
+void
+ShardedFleet::PublishBarrierProfile(telemetry::MetricsRegistry* registry) const
+{
+    if (registry == nullptr) return;
+    const BarrierProfile p = barrier_profile();
+    registry->GetGauge("barrier.window_run_s")->Set(p.window_run_s);
+    registry->GetGauge("barrier.record_s")->Set(p.record_s);
+    registry->GetGauge("barrier.reconfig_s")->Set(p.reconfig_s);
+    registry->GetGauge("barrier.proxy_publish_s")->Set(p.proxy_publish_s);
+    registry->GetGauge("barrier.mailbox_drain_s")->Set(p.mailbox_drain_s);
+    registry->GetGauge("barrier.checkpoint_s")->Set(p.checkpoint_s);
+    registry->GetGauge("barrier.total_s")->Set(p.barrier_total_s);
+    registry->GetGauge("barrier.serial_share")->Set(p.serial_share());
+    // Counters are cumulative; publish-once semantics match the gauges
+    // (call after the run, not per window).
+    registry->GetCounter("barrier.windows")->Inc(p.windows);
+    registry->GetCounter("barrier.proxy_leaves_published")
+        ->Inc(p.proxy_leaves_published);
+    registry->GetCounter("barrier.mailbox_messages")
+        ->Inc(p.mailbox_messages);
 }
 
 void

@@ -59,6 +59,10 @@
 #include "sim/parallel_kernel.h"
 #include "sim/simulation.h"
 
+namespace dynamo::telemetry {
+class MetricsRegistry;
+}  // namespace dynamo::telemetry
+
 namespace dynamo::fleet {
 
 /** Fan-out constants of the synthetic scale fleet (bench topology). */
@@ -95,6 +99,57 @@ struct ShardPlan
     std::size_t shard_of_leaf(std::size_t leaf) const
     {
         return leaf / kShardLeavesPerSb;
+    }
+};
+
+/**
+ * Per-stage wall-clock accounting of the barrier pipeline, accumulated
+ * across every window of a run. This is the instrument the multicore
+ * work is judged with: Amdahl's law says the serial barrier bounds
+ * speedup, so the profile splits the barrier into its stages and
+ * reports the serial share directly. Stage times are measured inside
+ * Barrier(); the parallel window time and the barrier envelope come
+ * from the kernel's own clocks, so `barrier_total_s` can slightly
+ * exceed the sum of the stages (loop overhead is real time too).
+ */
+struct BarrierProfile
+{
+    /** Wall time inside the parallel window region (all shards). */
+    double window_run_s = 0.0;
+
+    /** Stage: per-shard digest merge + journal cycle record. */
+    double record_s = 0.0;
+
+    /** Stage: reconfiguration transaction commits. */
+    double reconfig_s = 0.0;
+
+    /** Stage: publishing dirty staged leaf snapshots to the proxies. */
+    double proxy_publish_s = 0.0;
+
+    /** Stage: batched mailbox re-issue onto worker transports. */
+    double mailbox_drain_s = 0.0;
+
+    /** Stage: checkpoint snapshot (parallel fill + ordered merge). */
+    double checkpoint_s = 0.0;
+
+    /** Whole barrier hook envelope (≥ sum of the stages). */
+    double barrier_total_s = 0.0;
+
+    std::uint64_t windows = 0;
+
+    /** Dirty leaf snapshots actually copied to proxies (not n_leaves
+     *  × windows: the staged refresh only publishes changes). */
+    std::uint64_t proxy_leaves_published = 0;
+
+    /** Mailbox messages re-issued across all barriers. */
+    std::uint64_t mailbox_messages = 0;
+
+    /** Serial fraction: barrier time over total run time, the `s` in
+     *  Amdahl's 1/(s + (1-s)/N). Zero before any window completes. */
+    double serial_share() const
+    {
+        const double total = window_run_s + barrier_total_s;
+        return total > 0.0 ? barrier_total_s / total : 0.0;
     }
 };
 
@@ -156,6 +211,25 @@ class ShardedFleet
 
     /** Mailbox messages re-issued on worker transports at barriers. */
     std::uint64_t mailbox_delivered() const;
+
+    /**
+     * Per-stage barrier timing for the run so far. The window/envelope
+     * clocks live in the kernel; stage clocks accumulate in Barrier().
+     * Cheap to call (copies a small struct).
+     */
+    BarrierProfile barrier_profile() const;
+
+    /**
+     * Export the profile as gauges (`barrier.window_run_s`,
+     * `barrier.record_s`, `barrier.reconfig_s`,
+     * `barrier.proxy_publish_s`, `barrier.mailbox_drain_s`,
+     * `barrier.checkpoint_s`, `barrier.total_s`,
+     * `barrier.serial_share`) plus counters
+     * (`barrier.windows`, `barrier.proxy_leaves_published`,
+     * `barrier.mailbox_messages`). Call after a run; gauges hold the
+     * cumulative values at call time.
+     */
+    void PublishBarrierProfile(telemetry::MetricsRegistry* registry) const;
 
     /**
      * The recorded journal (header is valid from construction; cycle
@@ -267,6 +341,10 @@ class ShardedFleet
 
     replay::Journal journal_;
     std::uint64_t mailbox_delivered_ = 0;
+
+    /** Stage clocks and counters filled by Barrier(); the accessor
+     *  overlays the kernel's window/envelope clocks on a copy. */
+    BarrierProfile profile_;
 
     /**
      * Elasticity state. The epoch variable is written only inside the

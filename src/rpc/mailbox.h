@@ -6,18 +6,19 @@
  * only cross-shard channel is this mailbox, drained at the barrier.
  * A proxy handler on one shard's transport pushes payloads addressed
  * to endpoints living on another shard; the barrier thread drains the
- * queue in FIFO order and re-issues each payload as a normal Call on
- * the target shard's transport at the window boundary. A message
- * produced in window W is therefore delivered in window W+1 — the
- * contract-visibility latency DESIGN.md §10 documents.
+ * queue in FIFO order and hands the whole batch to the target shard's
+ * transport as ONE `CallBatch` delivery pass at the window boundary —
+ * one kernel event per destination shard per window, never one
+ * three-event Call (timeout + delivery + response) per message. A
+ * message produced in window W is therefore delivered in window W+1 —
+ * the contract-visibility latency DESIGN.md §10 documents.
  *
  * Synchronization contract (why there are no atomics here): at most
  * one thread executes a given shard inside a window, so pushes are
  * single-producer; drains happen only on the barrier thread after the
- * worker pool has joined. The pool's mutex/condvar handshake orders
- * every push before every drain and every drain before the next
- * window's pushes, so plain vector operations are sufficient and
- * TSan-clean.
+ * worker pool has joined. The pool's handshake orders every push
+ * before every drain and every drain before the next window's pushes,
+ * so plain vector operations are sufficient and TSan-clean.
  */
 #ifndef DYNAMO_RPC_MAILBOX_H_
 #define DYNAMO_RPC_MAILBOX_H_
@@ -31,14 +32,13 @@
 
 namespace dynamo::rpc {
 
-/** One queued cross-shard request. */
-struct ShardMessage
-{
-    /** Target endpoint, interned in the *destination* shard's transport. */
-    EndpointId target = kInvalidEndpoint;
-
-    Payload payload;
-};
+/**
+ * One queued cross-shard request. The mailbox stores the transport's
+ * batch-delivery item directly, so a drained queue feeds
+ * `SimTransport::CallBatch` without re-packing: the `target` is the
+ * endpoint id interned in the *destination* shard's transport.
+ */
+using ShardMessage = BatchItem;
 
 /** FIFO mailbox of requests bound for one shard. */
 class ShardMailbox
@@ -54,7 +54,8 @@ class ShardMailbox
     /**
      * Take every queued message, leaving the mailbox empty (consumer
      * side: the barrier thread). FIFO order is part of the determinism
-     * contract — the drain replays the sender's issue order.
+     * contract — the drain replays the sender's issue order, and
+     * CallBatch preserves it through delivery.
      */
     std::vector<ShardMessage> Drain()
     {

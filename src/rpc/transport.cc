@@ -329,6 +329,46 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
         });
 }
 
+std::size_t
+SimTransport::CallBatch(std::vector<BatchItem> batch)
+{
+    if (batch.empty()) return 0;
+    const std::size_t n = batch.size();
+    calls_issued_ += n;
+    if (m_calls_ != nullptr) m_calls_->Inc(n);
+
+    // Decide every fate at issue time (as Call does) so the injector's
+    // RNG stream and the observer's record reflect issue order.
+    std::vector<CallFate> fates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        fates[i] = failures_.Decide(batch[i].target);
+        if (call_observer_) {
+            call_observer_(batch[i].target, fates[i], sim_.Now());
+        }
+    }
+
+    const SimTime latency = options_.request_latency.Sample(rng_);
+    sim_.ScheduleAfter(
+        latency,
+        [this, batch = std::move(batch), fates = std::move(fates)]() {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                // Re-resolve at delivery time, exactly like Call: an
+                // endpoint that crashed while the batch was in flight
+                // drops its items.
+                if (fates[i] != CallFate::kOk ||
+                    !IsRegistered(batch[i].target)) {
+                    ++calls_failed_;
+                    if (m_failed_ != nullptr) m_failed_->Inc();
+                    continue;
+                }
+                handlers_[batch[i].target](batch[i].payload);
+                ++calls_succeeded_;
+                if (m_ok_ != nullptr) m_ok_->Inc();
+            }
+        });
+    return n;
+}
+
 void
 SimTransport::Snapshot(Archive& ar) const
 {

@@ -53,6 +53,15 @@ using ResponseCallback = std::function<void(const Payload&)>;
 /** Client-side failure continuation; `reason` is human-readable. */
 using ErrorCallback = std::function<void(const std::string& reason)>;
 
+/** One element of a batched delivery (see SimTransport::CallBatch). */
+struct BatchItem
+{
+    /** Target endpoint, interned in *this* transport. */
+    EndpointId target = kInvalidEndpoint;
+
+    Payload payload;
+};
+
 /** Latency model for one direction of an RPC: base + uniform jitter. */
 struct LatencyModel
 {
@@ -238,6 +247,33 @@ class SimTransport
     void Call(const std::string& endpoint, Payload request,
               ResponseCallback on_ok, ErrorCallback on_err,
               SimTime timeout_ms = 1000);
+
+    /**
+     * Batched fire-and-forget delivery: issue every request in `batch`
+     * as ONE scheduled delivery pass instead of one Call per item.
+     * Designed for the sharded engine's barrier mailbox re-issue,
+     * where a window's cross-shard contract updates all enter the
+     * destination shard at the same boundary and every ack is ignored.
+     *
+     * Semantics relative to per-item Call:
+     *   - one request-latency sample covers the whole batch, and
+     *     handlers run in item order inside a single kernel event —
+     *     strict FIFO (per-item Call jitter could reorder messages);
+     *   - the failure injector and the call observer still see every
+     *     item individually, so chaos faults fire and replay digests
+     *     fold the full stream;
+     *   - responses are discarded and no timeout is armed: a failed,
+     *     blackholed, or unregistered item simply counts as failed at
+     *     delivery time. Per-item Call schedules 2-3 kernel events
+     *     (timeout + delivery + response); a batch schedules exactly
+     *     one, which is what keeps the barrier's event bill O(1) per
+     *     destination shard instead of O(messages).
+     *   - per-endpoint extra latency (slow responders) does not delay
+     *     the batch; it only matters for calls that await responses.
+     *
+     * Returns the number of items issued (== batch.size()).
+     */
+    std::size_t CallBatch(std::vector<BatchItem> batch);
 
     /** Fault injection knobs. */
     FailureInjector& failures() { return failures_; }

@@ -1,5 +1,7 @@
 #include "sim/parallel_kernel.h"
 
+#include <chrono>
+
 namespace dynamo::sim {
 
 WorkerPool::WorkerPool(std::size_t threads)
@@ -16,24 +18,24 @@ WorkerPool::~WorkerPool()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
+        stop_.store(true, std::memory_order_relaxed);
     }
     cv_start_.notify_all();
     for (std::thread& w : workers_) w.join();
 }
 
 void
-WorkerPool::DrainShards()
+WorkerPool::DrainItems()
 {
-    // Claim shards from the shared cursor until none remain. Claiming
-    // order is racy on purpose; it only decides *which thread* runs a
-    // shard, never what the shard computes.
-    const std::vector<ShardRunner*>& shards = *job_shards_;
-    const SimTime until = job_until_;
+    // Claim items from the shared cursor until none remain. Claiming
+    // order is racy on purpose; it only decides *which thread* runs an
+    // item, never what the item computes.
+    const StageFn& fn = *job_fn_;
+    const std::size_t n = job_items_;
     for (;;) {
         const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= shards.size()) return;
-        shards[i]->RunWindow(until);
+        if (i >= n) return;
+        fn(i);
     }
 }
 
@@ -42,20 +44,72 @@ WorkerPool::WorkerLoop()
 {
     std::uint64_t seen_gen = 0;
     for (;;) {
-        {
+        // Bounded spin on the stage generation: short stages dispatch
+        // without parking. The acquire load pairs with the caller's
+        // generation bump, ordering the stage fields it published.
+        bool job_ready = false;
+        for (int spin = 0; spin < kSpinIterations; ++spin) {
+            if (stop_.load(std::memory_order_acquire)) return;
+            if (job_gen_.load(std::memory_order_acquire) != seen_gen) {
+                job_ready = true;
+                break;
+            }
+        }
+        if (!job_ready) {
             std::unique_lock<std::mutex> lock(mu_);
-            cv_start_.wait(lock,
-                           [&] { return stop_ || job_gen_ != seen_gen; });
-            if (stop_) return;
-            seen_gen = job_gen_;
+            cv_start_.wait(lock, [&] {
+                return stop_.load(std::memory_order_relaxed) ||
+                       job_gen_.load(std::memory_order_relaxed) != seen_gen;
+            });
+            if (stop_.load(std::memory_order_relaxed)) return;
         }
-        DrainShards();
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++idle_workers_;
+        seen_gen = job_gen_.load(std::memory_order_acquire);
+        DrainItems();
+        // The release increment publishes this worker's stage writes;
+        // the caller's acquire read of the final count (directly or
+        // through the release sequence) synchronizes with every one.
+        const std::size_t done =
+            1 + done_workers_.fetch_add(1, std::memory_order_acq_rel);
+        if (done == threads_) {
+            // Empty critical section: pins the notify after the
+            // caller either saw the count or entered cv_done_.wait.
+            { std::lock_guard<std::mutex> lock(mu_); }
+            cv_done_.notify_one();
         }
-        cv_done_.notify_one();
     }
+}
+
+void
+WorkerPool::RunStage(const StageFn& fn, std::size_t n_items)
+{
+    if (threads_ == 1) {
+        for (std::size_t i = 0; i < n_items; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_fn_ = &fn;
+        job_items_ = n_items;
+        cursor_.store(0, std::memory_order_relaxed);
+        done_workers_.store(0, std::memory_order_relaxed);
+        // Release: a worker that spots the new generation on its spin
+        // path (no mutex) still sees the fields above.
+        job_gen_.fetch_add(1, std::memory_order_release);
+    }
+    cv_start_.notify_all();
+
+    // Bounded spin for completion before parking, mirroring the
+    // workers' dispatch spin: sub-millisecond stages complete without
+    // a single syscall on either side.
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+        if (done_workers_.load(std::memory_order_acquire) == threads_) {
+            return;
+        }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+        return done_workers_.load(std::memory_order_acquire) == threads_;
+    });
 }
 
 void
@@ -65,17 +119,10 @@ WorkerPool::RunWindow(const std::vector<ShardRunner*>& shards, SimTime until)
         for (ShardRunner* shard : shards) shard->RunWindow(until);
         return;
     }
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        job_shards_ = &shards;
-        job_until_ = until;
-        cursor_.store(0, std::memory_order_relaxed);
-        idle_workers_ = 0;
-        ++job_gen_;
-    }
-    cv_start_.notify_all();
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return idle_workers_ == threads_; });
+    const StageFn advance = [&shards, until](std::size_t i) {
+        shards[i]->RunWindow(until);
+    };
+    RunStage(advance, shards.size());
 }
 
 ParallelKernel::ParallelKernel(WorkerPool& pool,
@@ -91,12 +138,20 @@ ParallelKernel::ParallelKernel(WorkerPool& pool,
 void
 ParallelKernel::RunWindows(std::uint64_t n)
 {
+    using Clock = std::chrono::steady_clock;
     for (std::uint64_t i = 0; i < n; ++i) {
         const SimTime until = now_ + window_ms_;
+        const Clock::time_point t0 = Clock::now();
         pool_.RunWindow(shards_, until);
+        const Clock::time_point t1 = Clock::now();
+        window_wall_s_ += std::chrono::duration<double>(t1 - t0).count();
         now_ = until;
         ++windows_;
-        if (barrier_) barrier_(now_);
+        if (barrier_) {
+            barrier_(now_);
+            barrier_wall_s_ +=
+                std::chrono::duration<double>(Clock::now() - t1).count();
+        }
     }
 }
 

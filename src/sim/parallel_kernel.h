@@ -10,23 +10,27 @@
  *
  *   - `ShardRunner`: the unit of parallel work. One call advances a
  *     shard's private kernel to a common deadline.
- *   - `WorkerPool`: a fixed-size thread pool that runs every shard to
- *     the deadline and *joins* before returning. The join is the
- *     synchronization barrier: everything a shard wrote during the
- *     window happens-before anything the caller does after RunWindow
- *     returns, and everything the caller does between windows
- *     happens-before the next window's shard execution.
+ *   - `WorkerPool`: a fixed-size thread pool with a generic
+ *     barrier-complete parallel-for (`RunStage`). `RunWindow` is the
+ *     shard-advance instance of it. Each stage *joins* before
+ *     returning: everything a worker wrote during the stage
+ *     happens-before anything the caller does after the call returns,
+ *     and everything the caller does between stages happens-before the
+ *     next stage's work.
  *   - `ParallelKernel`: the barrier loop. It alternates pool windows
- *     with a single-threaded barrier hook in which the owner performs
- *     all cross-shard work (mailbox drains, snapshot refreshes, hash
- *     merges) in a fixed order.
+ *     with a barrier hook in which the owner performs all cross-shard
+ *     work in a fixed order. Barrier *stages* that are themselves
+ *     data-parallel (per-shard checkpoint serialization, staged
+ *     snapshot publication) may re-enter the pool via RunStage; the
+ *     ordering-sensitive merge steps stay on the driving thread.
  *
  * Determinism contract: shards must not touch shared mutable state
- * during a window (each runs purely against its own kernel), and the
- * barrier hook must iterate shards in a fixed order (by shard index,
- * never completion order). Under that contract the thread count is
- * pure scheduling — results are byte-identical for any pool size,
- * which the replay journal gate verifies (DESIGN.md §10).
+ * during a window (each runs purely against its own kernel), stage
+ * items must not touch each other's state, and every merge must
+ * iterate in a fixed order (by shard/item index, never completion
+ * order). Under that contract the thread count is pure scheduling —
+ * results are byte-identical for any pool size, which the replay
+ * journal gate verifies (DESIGN.md §10).
  */
 #ifndef DYNAMO_SIM_PARALLEL_KERNEL_H_
 #define DYNAMO_SIM_PARALLEL_KERNEL_H_
@@ -63,17 +67,29 @@ class ShardRunner
 };
 
 /**
- * Fixed-size worker pool with a barrier-complete RunWindow.
+ * Fixed-size worker pool with barrier-complete parallel stages.
  *
- * With `threads == 1` no workers are spawned and shards run inline on
- * the calling thread — the true serial baseline, with zero pool
- * overhead. With more, exactly `threads` workers execute shards while
- * the caller blocks; work is claimed from a shared atomic cursor so
- * an expensive shard never serializes behind a cheap one.
+ * With `threads == 1` no workers are spawned and stage items run
+ * inline on the calling thread — the true serial baseline, with zero
+ * pool overhead. With more, exactly `threads` workers execute items
+ * while the caller blocks; work is claimed from a shared atomic cursor
+ * so an expensive item never serializes behind a cheap one.
+ *
+ * Wakeup latency matters at fleet barriers: a 9 s window at small
+ * sizes runs in well under a millisecond of wall time, so a pure
+ * condvar handshake would spend a meaningful fraction of every window
+ * parking and unparking threads. Workers therefore *spin briefly* on
+ * the job generation before sleeping, and the caller spins briefly on
+ * the completion count before sleeping — bounded, so an idle pool
+ * still parks (no busy-waiting between benchmarks), but short stages
+ * dispatch without a syscall in the common case.
  */
 class WorkerPool
 {
   public:
+    /** Work item body: called once per index in [0, n_items). */
+    using StageFn = std::function<void(std::size_t)>;
+
     /** @param threads  Pool size; clamped to >= 1. */
     explicit WorkerPool(std::size_t threads);
     ~WorkerPool();
@@ -84,10 +100,22 @@ class WorkerPool
     std::size_t thread_count() const { return threads_; }
 
     /**
-     * Run every shard to `until` and block until all have finished.
-     * The internal mutex/condvar handshake orders each worker's writes
+     * Generic barrier-complete parallel-for: run `fn(i)` for every
+     * i in [0, n_items) across the pool and block until all items have
+     * finished. Items must be mutually independent; completion order
+     * is unspecified (claim order is racy on purpose — it only decides
+     * *which thread* runs an item, never what the item computes).
+     * Stages never overlap: the pool runs one stage at a time, so a
+     * stage may reuse buffers the previous stage wrote. Reentrant
+     * calls (fn itself calling RunStage) are not supported.
+     */
+    void RunStage(const StageFn& fn, std::size_t n_items);
+
+    /**
+     * Run every shard to `until` and block until all have finished —
+     * the shard-advance stage. The join orders each worker's writes
      * before this call's return (and the caller's writes before the
-     * next call's shard execution) — the happens-before edge the
+     * next stage's execution) — the happens-before edge the
      * shared-nothing shard contract relies on.
      */
     void RunWindow(const std::vector<ShardRunner*>& shards, SimTime until);
@@ -95,8 +123,11 @@ class WorkerPool
   private:
     void WorkerLoop();
 
-    /** Claim-and-run shards from the shared cursor until none remain. */
-    void DrainShards();
+    /** Claim-and-run items from the shared cursor until none remain. */
+    void DrainItems();
+
+    /** Spin iterations before a waiter falls back to the condvar. */
+    static constexpr int kSpinIterations = 2048;
 
     const std::size_t threads_;
     std::vector<std::thread> workers_;
@@ -105,33 +136,38 @@ class WorkerPool
     std::condition_variable cv_start_;
     std::condition_variable cv_done_;
 
-    /** Incremented per window; workers wake when it moves. */
-    std::uint64_t job_gen_ = 0;
+    /**
+     * Incremented per stage; workers wake when it moves. Atomic so the
+     * bounded-spin fast path can watch it without taking `mu_`; the
+     * slow path still waits on `cv_start_` (writers bump it while
+     * holding `mu_`, so the predicate cannot miss a wakeup).
+     */
+    std::atomic<std::uint64_t> job_gen_{0};
 
-    /** Workers that have finished draining the current window. */
-    std::size_t idle_workers_ = 0;
+    /** Workers that have finished draining the current stage. */
+    std::atomic<std::size_t> done_workers_{0};
 
-    bool stop_ = false;
+    std::atomic<bool> stop_{false};
 
-    /** Current window (valid while job_gen_ names it). */
-    const std::vector<ShardRunner*>* job_shards_ = nullptr;
-    SimTime job_until_ = 0;
+    /** Current stage (valid while job_gen_ names it). */
+    const StageFn* job_fn_ = nullptr;
+    std::size_t job_items_ = 0;
 
-    /** Next unclaimed shard index in the current window. */
+    /** Next unclaimed item index in the current stage. */
     std::atomic<std::size_t> cursor_{0};
 };
 
 /**
  * The barrier loop: windows of parallel shard execution alternating
- * with single-threaded cross-shard barriers.
+ * with cross-shard barriers on the driving thread.
  */
 class ParallelKernel
 {
   public:
     /**
      * Called on the driving thread after every window, with the
-     * window's closing time. All cross-shard work belongs here, in
-     * fixed shard-index order.
+     * window's closing time. All cross-shard work belongs here; merges
+     * in fixed shard-index order, data-parallel stages via the pool.
      */
     using BarrierHook = std::function<void(SimTime barrier_time)>;
 
@@ -159,6 +195,16 @@ class ParallelKernel
      */
     void RunFor(SimTime duration_ms);
 
+    /**
+     * Accumulated wall time inside pool window execution / inside the
+     * barrier hook, over every window this kernel has run. The split
+     * is the serial-fraction measurement the barrier profiler builds
+     * on: window time parallelizes with the pool, hook time is the
+     * driving thread (minus any RunStage the hook issues itself).
+     */
+    double window_wall_s() const { return window_wall_s_; }
+    double barrier_wall_s() const { return barrier_wall_s_; }
+
   private:
     WorkerPool& pool_;
     std::vector<ShardRunner*> shards_;
@@ -166,6 +212,8 @@ class ParallelKernel
     BarrierHook barrier_;
     SimTime now_ = 0;
     std::uint64_t windows_ = 0;
+    double window_wall_s_ = 0.0;
+    double barrier_wall_s_ = 0.0;
 };
 
 }  // namespace dynamo::sim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "replay/journal.h"
+#include "telemetry/metrics.h"
 
 namespace dynamo::fleet {
 namespace {
@@ -109,6 +110,100 @@ TEST(ShardedFleet, ContractIssuedInWindowWIsVisibleAtWPlusOne)
         EXPECT_FALSE(fleet.leaf(target_leaf).contractual_limit());
     }
     EXPECT_GE(fleet.mailbox_delivered(), 4u);
+}
+
+TEST(ShardedFleet, BatchedMailboxDeliveryKeepsCountsAndVisibility)
+{
+    // Regression pin for the batched barrier re-issue: several
+    // contracts queued for ONE shard in one window must all be
+    // delivered (exact count, no drops, no duplicates) and must all
+    // obey the W+1 visibility contract, exactly as the old per-message
+    // Call path did.
+    ShardedFleetConfig config;
+    config.n_servers = kTwoShardServers;
+    config.threads = 2;
+    ShardedFleet fleet(config);
+
+    // Leaves 0..3 all live on shard 0 -> one four-message batch.
+    const std::vector<std::size_t> targets = {0, 1, 2, 3};
+    std::vector<Watts> limits;
+    for (const std::size_t l : targets) {
+        const Watts limit = 0.5 * fleet.leaf(l).physical_limit();
+        limits.push_back(limit);
+        fleet.InjectContract(l, limit);
+    }
+
+    const std::uint64_t forwarded_before = fleet.contracts_forwarded();
+    const std::uint64_t delivered_before = fleet.mailbox_delivered();
+    fleet.RunWindows(1);  // window W: proxy acks + mailboxes all four
+
+    EXPECT_EQ(fleet.contracts_forwarded(), forwarded_before + targets.size());
+    EXPECT_EQ(fleet.mailbox_delivered(), delivered_before + targets.size());
+    EXPECT_EQ(fleet.mailbox_pending(0), 0u);
+    for (const std::size_t l : targets) {
+        EXPECT_FALSE(fleet.leaf(l).contractual_limit())
+            << "leaf " << l << " saw its contract before W+1";
+    }
+
+    fleet.RunWindows(1);  // window W+1: the whole batch lands
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        ASSERT_TRUE(fleet.leaf(targets[i]).contractual_limit())
+            << "leaf " << targets[i] << " never got its contract";
+        EXPECT_DOUBLE_EQ(*fleet.leaf(targets[i]).contractual_limit(),
+                         limits[i]);
+    }
+}
+
+TEST(ShardedFleet, BarrierProfileAccountsStagesAndExportsMetrics)
+{
+    ShardedFleetConfig config;
+    config.n_servers = kTwoShardServers;
+    config.threads = 2;
+    config.record_journal = true;
+    config.checkpoint_every = 1;  // every barrier runs the parallel stage
+    ShardedFleet fleet(config);
+    fleet.InjectContract(0, 0.5 * fleet.leaf(0).physical_limit());
+    fleet.RunWindows(3);
+
+    const BarrierProfile profile = fleet.barrier_profile();
+    EXPECT_EQ(profile.windows, 3u);
+    EXPECT_GT(profile.window_run_s, 0.0);
+    EXPECT_GT(profile.barrier_total_s, 0.0);
+    // First barrier publishes every leaf (sentinel diff), so at least
+    // one full fleet's worth of snapshots crossed.
+    EXPECT_GE(profile.proxy_leaves_published, 9u);
+    EXPECT_GE(profile.mailbox_messages, 1u);
+    EXPECT_GT(profile.checkpoint_s, 0.0);
+    EXPECT_GT(profile.serial_share(), 0.0);
+    EXPECT_LT(profile.serial_share(), 1.0);
+
+    telemetry::MetricsRegistry registry;
+    fleet.PublishBarrierProfile(&registry);
+    EXPECT_DOUBLE_EQ(registry.GetGauge("barrier.total_s")->value(),
+                     profile.barrier_total_s);
+    EXPECT_DOUBLE_EQ(registry.GetGauge("barrier.serial_share")->value(),
+                     profile.serial_share());
+    EXPECT_EQ(registry.GetCounter("barrier.windows")->value(), 3u);
+    EXPECT_EQ(registry.GetCounter("barrier.proxy_leaves_published")->value(),
+              profile.proxy_leaves_published);
+    fleet.PublishBarrierProfile(nullptr);  // must be a safe no-op
+}
+
+TEST(ShardedFleet, OverflowingReconfigTargetIndexIsInvalidArgument)
+{
+    // An index too wide for unsigned long used to escape as
+    // std::out_of_range from std::stoul; it must surface as the same
+    // invalid_argument every other malformed target produces.
+    ShardedFleetConfig config;
+    config.n_servers = 1000;
+    ShardedFleet fleet(config);
+    const std::string huge = "rpp99999999999999999999999999";
+    EXPECT_THROW(fleet.ScheduleReconfig(1, ReconfigTxn().AddServers(huge, 1)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        fleet.ScheduleReconfig(
+            1, ReconfigTxn().PromoteUpper("sb88888888888888888888888888")),
+        std::invalid_argument);
 }
 
 /** Run a journaled fleet and return the encoded journal bytes. */
@@ -234,6 +329,40 @@ TEST(ShardedFleet, ReconfiguringJournalIsByteIdenticalAcrossThreadCounts)
         EXPECT_EQ(storm_bytes(threads), baseline)
             << "reconfiguring journal diverged at threads=" << threads;
     }
+}
+
+TEST(ShardedFleet, ParallelBarrierStagesStayDeterministicUnderLoad)
+{
+    // The TSan target for the parallel barrier stages: 4 worker
+    // threads, a checkpoint EVERY window (the parallel snapshot fill +
+    // ordered Append merge), the staged proxy capture running inside
+    // every window, a reconfiguration storm mutating topology at the
+    // barriers, and contracts crossing shards through batched
+    // mailboxes — all at once. Byte-compare against the 1-thread run:
+    // any ordering leak shows up as journal divergence here, and any
+    // missing happens-before edge shows up in the TSan CI job that
+    // runs this binary.
+    const auto bytes = [](std::size_t threads) {
+        ShardedFleetConfig config;
+        config.n_servers = kTwoShardServers;
+        config.threads = threads;
+        config.seed = 97;
+        config.record_journal = true;
+        config.checkpoint_every = 1;
+        config.scenario = "barrier-stages";
+        ShardedFleet fleet(config);
+        ScheduleStorm(fleet);
+        fleet.InjectContract(2, 0.6 * fleet.leaf(2).physical_limit());
+        fleet.RunWindows(6);
+        return replay::EncodeJournal(fleet.journal());
+    };
+
+    const std::string baseline = bytes(1);
+    const replay::Journal decoded = replay::DecodeJournal(baseline);
+    ASSERT_EQ(decoded.cycles.size(), 6u);
+    ASSERT_EQ(decoded.checkpoints.size(), 6u);
+    EXPECT_FALSE(decoded.checkpoints.back().state.empty());
+    EXPECT_EQ(bytes(4), baseline);
 }
 
 TEST(ShardedFleet, EquivalenceHoldsAcrossSeeds)

@@ -92,6 +92,104 @@ TEST(WorkerPool, JoinIsABarrier)
     }
 }
 
+TEST(WorkerPool, RunStageVisitsEveryItemExactlyOnce)
+{
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        WorkerPool pool(threads);
+        constexpr std::size_t kItems = 257;  // not a multiple of anything
+        std::vector<std::uint32_t> visits(kItems, 0);
+        const WorkerPool::StageFn fn = [&](std::size_t i) { ++visits[i]; };
+        pool.RunStage(fn, kItems);
+        for (std::size_t i = 0; i < kItems; ++i) {
+            ASSERT_EQ(visits[i], 1u) << "item " << i;
+        }
+        // Zero-item stages must be a safe no-op (empty mailbox rounds).
+        pool.RunStage(fn, 0);
+    }
+}
+
+TEST(WorkerPool, StageJoinIsABarrier)
+{
+    // Same contract as the window join, for the generic stage: plain
+    // (non-atomic) writes made inside fn(i) must be visible to the
+    // caller when RunStage returns. TSan (the CI parallel job) flags
+    // any missing happens-before edge.
+    WorkerPool pool(8);
+    constexpr std::size_t kItems = 64;
+    std::vector<std::uint64_t> cells(kItems, 0);
+    const WorkerPool::StageFn bump = [&](std::size_t i) { ++cells[i]; };
+
+    constexpr int kStages = 50;
+    for (int s = 1; s <= kStages; ++s) {
+        pool.RunStage(bump, kItems);
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : cells) total += c;
+        ASSERT_EQ(total, kItems * static_cast<std::uint64_t>(s));
+    }
+}
+
+TEST(WorkerPool, PoolIsReusableAcrossStagesAndKernels)
+{
+    // One pool drives two kernels and interleaved generic stages — the
+    // sharded barrier does exactly this (windows via one kernel,
+    // checkpoint stages via RunStage between them).
+    WorkerPool pool(4);
+
+    std::vector<CountingShard> a(5);
+    std::vector<CountingShard> b(3);
+    std::vector<ShardRunner*> ra;
+    std::vector<ShardRunner*> rb;
+    for (CountingShard& shard : a) ra.push_back(&shard);
+    for (CountingShard& shard : b) rb.push_back(&shard);
+
+    // Atomic: both items of the barrier stage may run concurrently.
+    std::atomic<std::uint64_t> stage_runs{0};
+    const WorkerPool::StageFn count = [&](std::size_t) { ++stage_runs; };
+
+    ParallelKernel ka(pool, ra, 9000,
+                      [&](SimTime) { pool.RunStage(count, 2); });
+    ParallelKernel kb(pool, rb, 500, nullptr);
+
+    ka.RunWindows(2);
+    kb.RunWindows(3);
+    ka.RunWindows(1);
+
+    for (const CountingShard& shard : a) EXPECT_EQ(shard.windows(), 3u);
+    for (const CountingShard& shard : b) EXPECT_EQ(shard.windows(), 3u);
+    EXPECT_EQ(stage_runs, 6u);  // 3 barriers x 2 items
+    EXPECT_EQ(ka.Now(), 27000);
+    EXPECT_EQ(kb.Now(), 1500);
+}
+
+TEST(WorkerPool, SurvivesRapidTinyStageHammer)
+{
+    // Thousands of near-empty stages back to back: every dispatch
+    // exercises the spin-then-sleep handshake on both sides, and the
+    // uneven gaps (odd rounds do extra caller-side work) push workers
+    // across the spin/park boundary repeatedly. A lost wakeup or a
+    // stale-generation bug hangs this test; a miscount fails it.
+    WorkerPool pool(4);
+    // One slot per item index: items of one stage never share a slot,
+    // and stages join in between, so the writes are race-free.
+    std::uint64_t slots[5] = {0, 0, 0, 0, 0};
+    const WorkerPool::StageFn add = [&](std::size_t i) { slots[i] += i + 1; };
+
+    constexpr int kRounds = 4000;
+    std::uint64_t expect = 0;
+    volatile std::uint64_t spin_work = 0;  // defeat dead-loop elision
+    for (int r = 0; r < kRounds; ++r) {
+        const std::size_t items = static_cast<std::size_t>(r % 5);
+        pool.RunStage(add, items);
+        expect += items * (items + 1) / 2;
+        if (r % 2 == 1) {
+            for (int k = 0; k < 20000; ++k) spin_work = spin_work + 1;
+        }
+    }
+    std::uint64_t sum = 0;
+    for (const std::uint64_t s : slots) sum += s;
+    EXPECT_EQ(sum, expect);
+}
+
 TEST(ParallelKernel, BarrierFiresAfterEveryWindowInOrder)
 {
     WorkerPool pool(2);
