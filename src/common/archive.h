@@ -199,6 +199,10 @@ class ArchiveReader
 
     std::size_t pos() const { return pos_; }
 
+    /** Bytes left to read; lets decoders sanity-check element counts
+     *  against the physical input before reserving memory for them. */
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
   private:
     void Need(std::uint64_t n) const
     {

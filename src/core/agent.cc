@@ -6,7 +6,7 @@
 
 namespace dynamo::core {
 
-DynamoAgent::DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
+DynamoAgent::DynamoAgent(sim::Simulation& sim, rpc::Transport& transport,
                          server::SimServer& server, std::string endpoint)
     : sim_(sim), transport_(transport), server_(server),
       endpoint_(std::move(endpoint)),

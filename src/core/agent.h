@@ -38,7 +38,7 @@ class DynamoAgent
      * @param server     Host server (not owned; must outlive the agent).
      * @param endpoint   Transport endpoint name, unique per server.
      */
-    DynamoAgent(sim::Simulation& sim, rpc::SimTransport& transport,
+    DynamoAgent(sim::Simulation& sim, rpc::Transport& transport,
                 server::SimServer& server, std::string endpoint);
 
     ~DynamoAgent();
@@ -88,7 +88,7 @@ class DynamoAgent
     rpc::Payload Handle(const rpc::Payload& request);
 
     sim::Simulation& sim_;
-    rpc::SimTransport& transport_;
+    rpc::Transport& transport_;
     server::SimServer& server_;
     std::string endpoint_;
     rpc::EndpointId endpoint_id_ = rpc::kInvalidEndpoint;

@@ -211,6 +211,44 @@ struct HealthResult
     Status status;
 };
 
+/**
+ * Operator/test → daemon: report the hosted component's runtime
+ * state. Served by the daemon wrapper (under "<endpoint>.status"),
+ * not by the controller itself, so controllers run unchanged in
+ * deployment mode while tools can still observe the health FSM and
+ * the adoption counters the chaos invariants are stated in.
+ */
+struct StatusRequest
+{
+};
+
+/** Daemon status reply. */
+struct StatusResult
+{
+    Status status;
+
+    /** The endpoint of the hosted controller/agent. */
+    std::string endpoint;
+
+    /** Health FSM state name: "normal", "degraded", or "recovering". */
+    std::string health;
+
+    /** Pull cycles completed since boot. */
+    std::uint64_t cycles = 0;
+
+    /** Leaf only: orphaned RAPL caps adopted after restart/failover. */
+    std::uint64_t caps_adopted = 0;
+
+    /** Upper only: standing contracts adopted from children. */
+    std::uint64_t contracts_adopted = 0;
+
+    /** Last aggregated device power (controllers) or reading (agents). */
+    Watts power = 0.0;
+
+    /** True while a capping episode is in force. */
+    bool capping = false;
+};
+
 }  // inline namespace v1
 
 }  // namespace dynamo::api

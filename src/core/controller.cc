@@ -17,7 +17,7 @@ HealthStateName(HealthState state)
     return "?";
 }
 
-Controller::Controller(sim::Simulation& sim, rpc::SimTransport& transport,
+Controller::Controller(sim::Simulation& sim, rpc::Transport& transport,
                        std::string endpoint, Watts physical_limit, Watts quota,
                        ControllerBaseConfig config, telemetry::EventLog* log)
     : sim_(sim),

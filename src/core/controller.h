@@ -168,7 +168,7 @@ class Controller
      *         rpc_timeout < response_wait or has negative retry /
      *         hysteresis knobs.
      */
-    Controller(sim::Simulation& sim, rpc::SimTransport& transport,
+    Controller(sim::Simulation& sim, rpc::Transport& transport,
                std::string endpoint, Watts physical_limit, Watts quota,
                ControllerBaseConfig config, telemetry::EventLog* log);
 
@@ -400,7 +400,7 @@ class Controller
                   int servers_affected, const std::string& detail = "");
 
     sim::Simulation& sim_;
-    rpc::SimTransport& transport_;
+    rpc::Transport& transport_;
     ControllerBaseConfig config_;
     ThreeBandPolicy bands_;
     telemetry::EventLog* log_;

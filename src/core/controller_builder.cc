@@ -6,7 +6,7 @@
 namespace dynamo::core {
 
 ControllerBuilder::ControllerBuilder(sim::Simulation& sim,
-                                     rpc::SimTransport& transport)
+                                     rpc::Transport& transport)
     : sim_(sim), transport_(transport)
 {
 }

@@ -35,7 +35,7 @@ namespace dynamo::core {
 class ControllerBuilder
 {
   public:
-    ControllerBuilder(sim::Simulation& sim, rpc::SimTransport& transport);
+    ControllerBuilder(sim::Simulation& sim, rpc::Transport& transport);
 
     /** Logical endpoint name (required, non-empty). */
     ControllerBuilder& Endpoint(std::string endpoint);
@@ -91,7 +91,7 @@ class ControllerBuilder
 
   private:
     sim::Simulation& sim_;
-    rpc::SimTransport& transport_;
+    rpc::Transport& transport_;
     std::string endpoint_;
     power::PowerDevice* device_ = nullptr;
     std::optional<Watts> physical_limit_;

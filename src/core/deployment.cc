@@ -23,12 +23,12 @@ class DeploymentBuilder
      */
     static std::string BuildControllersFor(power::PowerDevice& device,
                                            sim::Simulation& sim,
-                                           rpc::SimTransport& transport,
+                                           rpc::Transport& transport,
                                            const DeploymentConfig& config,
                                            Deployment* deployment);
 
     static std::unique_ptr<Deployment> Build(sim::Simulation& sim,
-                                             rpc::SimTransport& transport,
+                                             rpc::Transport& transport,
                                              power::PowerDevice& root,
                                              const DeploymentConfig& config);
 };
@@ -50,7 +50,7 @@ DeploymentBuilder::ServersUnder(power::PowerDevice& device)
 std::string
 DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
                                        sim::Simulation& sim,
-                                       rpc::SimTransport& transport,
+                                       rpc::Transport& transport,
                                        const DeploymentConfig& config,
                                        Deployment* deployment)
 {
@@ -117,7 +117,7 @@ DeploymentBuilder::BuildControllersFor(power::PowerDevice& device,
 }
 
 std::unique_ptr<Deployment>
-DeploymentBuilder::Build(sim::Simulation& sim, rpc::SimTransport& transport,
+DeploymentBuilder::Build(sim::Simulation& sim, rpc::Transport& transport,
                          power::PowerDevice& root, const DeploymentConfig& config)
 {
     auto deployment = std::make_unique<Deployment>();
@@ -255,7 +255,7 @@ Deployment::SwapController(const std::string& endpoint)
 }
 
 DynamoAgent*
-Deployment::AdoptServer(sim::Simulation& sim, rpc::SimTransport& transport,
+Deployment::AdoptServer(sim::Simulation& sim, rpc::Transport& transport,
                         server::SimServer& server)
 {
     auto agent = std::make_unique<DynamoAgent>(
@@ -270,7 +270,7 @@ Deployment::AdoptServer(sim::Simulation& sim, rpc::SimTransport& transport,
 
 bool
 Deployment::RemoveAgent(const std::string& endpoint,
-                        rpc::SimTransport& transport)
+                        rpc::Transport& transport)
 {
     const auto it = agent_by_endpoint_.find(endpoint);
     if (it == agent_by_endpoint_.end()) return false;
@@ -292,7 +292,7 @@ Deployment::RemoveAgent(const std::string& endpoint,
 
 bool
 Deployment::RemoveLeaf(const std::string& endpoint,
-                       rpc::SimTransport& transport)
+                       rpc::Transport& transport)
 {
     const auto it = leaf_by_endpoint_.find(endpoint);
     if (it == leaf_by_endpoint_.end()) return false;
@@ -345,7 +345,7 @@ Deployment::Snapshot(Archive& ar) const
 }
 
 std::unique_ptr<Deployment>
-BuildDeployment(sim::Simulation& sim, rpc::SimTransport& transport,
+BuildDeployment(sim::Simulation& sim, rpc::Transport& transport,
                 power::PowerDevice& root, const DeploymentConfig& config)
 {
     return DeploymentBuilder::Build(sim, transport, root, config);

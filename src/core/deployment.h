@@ -172,7 +172,7 @@ class Deployment
      * wires the agent into its leaf controller(s) via AddAgent.
      */
     DynamoAgent* AdoptServer(sim::Simulation& sim,
-                             rpc::SimTransport& transport,
+                             rpc::Transport& transport,
                              server::SimServer& server);
 
     /**
@@ -181,7 +181,7 @@ class Deployment
      * recycled). Returns false if unknown.
      */
     bool RemoveAgent(const std::string& endpoint,
-                     rpc::SimTransport& transport);
+                     rpc::Transport& transport);
 
     /**
      * Decommission a leaf controller: deactivates primary and standby,
@@ -190,7 +190,7 @@ class Deployment
      * Returns false if unknown.
      */
     bool RemoveLeaf(const std::string& endpoint,
-                    rpc::SimTransport& transport);
+                    rpc::Transport& transport);
 
     /** Conventional endpoint names. */
     static std::string AgentEndpoint(const std::string& server_name)
@@ -240,7 +240,7 @@ class Deployment
  * `sim`, `transport`, `root`, or the servers.
  */
 std::unique_ptr<Deployment> BuildDeployment(sim::Simulation& sim,
-                                            rpc::SimTransport& transport,
+                                            rpc::Transport& transport,
                                             power::PowerDevice& root,
                                             const DeploymentConfig& config);
 

@@ -5,7 +5,7 @@
 namespace dynamo::core {
 
 FailoverManager::FailoverManager(sim::Simulation& sim,
-                                 rpc::SimTransport& transport,
+                                 rpc::Transport& transport,
                                  Controller& primary, Controller& backup,
                                  SimTime check_period, int miss_threshold,
                                  telemetry::EventLog* log)

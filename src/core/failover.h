@@ -33,7 +33,7 @@ class FailoverManager
      * @param check_period    Health-check period, ms.
      * @param miss_threshold  Consecutive misses before promoting.
      */
-    FailoverManager(sim::Simulation& sim, rpc::SimTransport& transport,
+    FailoverManager(sim::Simulation& sim, rpc::Transport& transport,
                     Controller& primary, Controller& backup,
                     SimTime check_period = 5000, int miss_threshold = 3,
                     telemetry::EventLog* log = nullptr);
@@ -79,7 +79,7 @@ class FailoverManager
     void Promote();
 
     sim::Simulation& sim_;
-    rpc::SimTransport& transport_;
+    rpc::Transport& transport_;
     Controller& primary_;
     Controller& backup_;
     int miss_threshold_;

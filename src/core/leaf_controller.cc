@@ -7,7 +7,7 @@
 
 namespace dynamo::core {
 
-LeafController::LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
+LeafController::LeafController(sim::Simulation& sim, rpc::Transport& transport,
                                std::string endpoint, power::PowerDevice& device,
                                Config config, telemetry::EventLog* log)
     : Controller(sim, transport, std::move(endpoint), device.rated_power(),

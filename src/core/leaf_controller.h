@@ -159,7 +159,7 @@ class LeafController : public Controller
      * @param device  The protected power device (rating, quota,
      *                non-cappable loads); not owned.
      */
-    LeafController(sim::Simulation& sim, rpc::SimTransport& transport,
+    LeafController(sim::Simulation& sim, rpc::Transport& transport,
                    std::string endpoint, power::PowerDevice& device,
                    Config config, telemetry::EventLog* log);
 

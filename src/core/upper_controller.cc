@@ -5,7 +5,7 @@
 namespace dynamo::core {
 
 UpperController::UpperController(sim::Simulation& sim,
-                                 rpc::SimTransport& transport,
+                                 rpc::Transport& transport,
                                  std::string endpoint, Watts physical_limit,
                                  Watts quota, Config config,
                                  telemetry::EventLog* log)

@@ -82,7 +82,7 @@ class UpperController : public Controller
      * path); kept protected so tests and benchmarks may still
      * subclass.
      */
-    UpperController(sim::Simulation& sim, rpc::SimTransport& transport,
+    UpperController(sim::Simulation& sim, rpc::Transport& transport,
                     std::string endpoint, Watts physical_limit, Watts quota,
                     Config config, telemetry::EventLog* log);
 

@@ -10,9 +10,7 @@
 #include "workload/load_process.h"
 
 namespace dynamo::fleet {
-namespace {
 
-/** Assign services to `n` servers in contiguous blocks per the mix. */
 std::vector<workload::ServiceType>
 AssignServices(const ServiceMix& mix, std::size_t n)
 {
@@ -32,8 +30,6 @@ AssignServices(const ServiceMix& mix, std::size_t n)
     while (assignment.size() < n) assignment.push_back(mix.shares.back().service);
     return assignment;
 }
-
-}  // namespace
 
 Fleet::Fleet(FleetSpec spec)
     : spec_(std::move(spec)),

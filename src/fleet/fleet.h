@@ -72,6 +72,15 @@ struct ServiceMix
     }
 };
 
+/**
+ * Deterministic service assignment for `n` servers: contiguous blocks
+ * proportional to the mix weights, in mix order. Shared by Fleet and
+ * the deployment daemons (which must derive byte-identical rosters
+ * from the same spec).
+ */
+std::vector<workload::ServiceType> AssignServices(const ServiceMix& mix,
+                                                  std::size_t n);
+
 /** How much of the hierarchy to instantiate. */
 enum class FleetScope { kRpp, kSb, kMsb };
 

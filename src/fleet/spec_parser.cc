@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,7 @@ Strip(const std::string& s)
     return s.substr(first, last - first + 1);
 }
 
+/** Structural errors (bad syntax, unknown key): std::runtime_error. */
 [[noreturn]] void
 Fail(std::size_t line_no, const std::string& line, const std::string& why)
 {
@@ -25,31 +27,108 @@ Fail(std::size_t line_no, const std::string& line, const std::string& why)
                              ": " + why + ": '" + line + "'");
 }
 
-double
-ParseDouble(const std::string& value, std::size_t line_no,
-            const std::string& line)
+/**
+ * Numeric-value errors: std::invalid_argument naming the offending
+ * key and line, so "servers_per_rpp = -5" and "seed = 99999…9" fail
+ * with WHERE and WHY instead of a raw std::out_of_range from the
+ * bowels of std::stoull.
+ */
+[[noreturn]] void
+FailNumeric(const std::string& key, std::size_t line_no,
+            const std::string& line, const std::string& why)
 {
+    throw std::invalid_argument("fleet spec line " + std::to_string(line_no) +
+                                ": key '" + key + "': " + why + ": '" + line +
+                                "'");
+}
+
+double
+ParseDouble(const std::string& key, const std::string& value,
+            std::size_t line_no, const std::string& line)
+{
+    std::size_t used = 0;
+    double parsed = 0.0;
     try {
-        std::size_t used = 0;
-        const double parsed = std::stod(value, &used);
-        if (Strip(value.substr(used)).empty()) return parsed;
+        parsed = std::stod(value, &used);
+    } catch (const std::out_of_range&) {
+        FailNumeric(key, line_no, line, "number out of range");
     } catch (const std::exception&) {
+        FailNumeric(key, line_no, line, "expected a number");
     }
-    Fail(line_no, line, "expected a number");
+    if (!Strip(value.substr(used)).empty()) {
+        FailNumeric(key, line_no, line,
+                    "trailing garbage after number '" + value.substr(0, used) +
+                        "'");
+    }
+    return parsed;
+}
+
+/** A double that must be >= 0 (watts, fractions, amplitudes). */
+double
+ParseNonNegDouble(const std::string& key, const std::string& value,
+                  std::size_t line_no, const std::string& line)
+{
+    const double parsed = ParseDouble(key, value, line_no, line);
+    if (parsed < 0.0) {
+        FailNumeric(key, line_no, line, "must not be negative");
+    }
+    return parsed;
 }
 
 std::uint64_t
-ParseU64(const std::string& value, std::size_t line_no, const std::string& line)
+ParseU64(const std::string& key, const std::string& value, std::size_t line_no,
+         const std::string& line)
 {
     // Parsed as an integer, not via ParseDouble: seeds above 2^53
-    // would silently lose low bits in a double round trip.
-    try {
-        std::size_t used = 0;
-        const std::uint64_t parsed = std::stoull(value, &used);
-        if (Strip(value.substr(used)).empty()) return parsed;
-    } catch (const std::exception&) {
+    // would silently lose low bits in a double round trip. std::stoull
+    // happily *wraps* "-5" to 18446744073709551611, so negatives are
+    // rejected up front.
+    if (!value.empty() && value[0] == '-') {
+        FailNumeric(key, line_no, line, "must not be negative");
     }
-    Fail(line_no, line, "expected an unsigned integer");
+    std::size_t used = 0;
+    std::uint64_t parsed = 0;
+    try {
+        parsed = std::stoull(value, &used);
+    } catch (const std::out_of_range&) {
+        FailNumeric(key, line_no, line, "integer out of range (max 2^64-1)");
+    } catch (const std::exception&) {
+        FailNumeric(key, line_no, line, "expected an unsigned integer");
+    }
+    if (!Strip(value.substr(used)).empty()) {
+        FailNumeric(key, line_no, line,
+                    "trailing garbage after integer '" + value.substr(0, used) +
+                        "'");
+    }
+    return parsed;
+}
+
+/** A count (servers, rpps): an exact unsigned integer, not a double —
+ *  "240.7" and "-5" fail loudly instead of truncating or wrapping. */
+std::size_t
+ParseCount(const std::string& key, const std::string& value,
+           std::size_t line_no, const std::string& line)
+{
+    const std::uint64_t parsed = ParseU64(key, value, line_no, line);
+    if (parsed > std::numeric_limits<std::size_t>::max()) {
+        FailNumeric(key, line_no, line, "count out of range");
+    }
+    return static_cast<std::size_t>(parsed);
+}
+
+/** A millisecond period: a positive integer that fits in SimTime. */
+SimTime
+ParsePeriodMs(const std::string& key, const std::string& value,
+              std::size_t line_no, const std::string& line)
+{
+    const std::uint64_t parsed = ParseU64(key, value, line_no, line);
+    if (parsed == 0 ||
+        parsed > static_cast<std::uint64_t>(
+                     std::numeric_limits<SimTime>::max())) {
+        FailNumeric(key, line_no, line,
+                    "period must be a positive millisecond count");
+    }
+    return static_cast<SimTime>(parsed);
 }
 
 bool
@@ -84,7 +163,19 @@ ParseServiceMix(const std::string& text)
         double weight = 1.0;
         if (colon != std::string::npos) {
             name = Strip(part.substr(0, colon));
-            weight = std::stod(Strip(part.substr(colon + 1)));
+            const std::string weight_text = Strip(part.substr(colon + 1));
+            std::size_t used = 0;
+            try {
+                weight = std::stod(weight_text, &used);
+            } catch (const std::exception&) {
+                throw std::invalid_argument("service mix share '" + part +
+                                            "': expected a numeric weight");
+            }
+            if (used != weight_text.size() || weight < 0.0) {
+                throw std::invalid_argument(
+                    "service mix share '" + part +
+                    "': weight must be a non-negative number");
+            }
         }
         mix.shares.push_back(
             ServiceMix::Share{workload::ParseServiceType(name), weight});
@@ -124,42 +215,47 @@ ParseFleetSpec(std::istream& in)
                 Fail(line_no, line, "scope must be rpp|sb|msb");
             }
         } else if (key == "servers_per_rpp") {
-            spec.servers_per_rpp =
-                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+            spec.servers_per_rpp = ParseCount(key, value, line_no, line);
         } else if (key == "rpps_per_sb") {
-            spec.topology.rpps_per_sb =
-                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+            spec.topology.rpps_per_sb = ParseCount(key, value, line_no, line);
         } else if (key == "sbs_per_msb") {
-            spec.topology.sbs_per_msb =
-                static_cast<std::size_t>(ParseDouble(value, line_no, line));
+            spec.topology.sbs_per_msb = ParseCount(key, value, line_no, line);
         } else if (key == "rpp_rated_kw") {
-            spec.topology.rpp_rated = ParseDouble(value, line_no, line) * 1000.0;
+            spec.topology.rpp_rated =
+                ParseNonNegDouble(key, value, line_no, line) * 1000.0;
         } else if (key == "sb_rated_kw") {
-            spec.topology.sb_rated = ParseDouble(value, line_no, line) * 1000.0;
+            spec.topology.sb_rated =
+                ParseNonNegDouble(key, value, line_no, line) * 1000.0;
         } else if (key == "msb_rated_kw") {
-            spec.topology.msb_rated = ParseDouble(value, line_no, line) * 1000.0;
+            spec.topology.msb_rated =
+                ParseNonNegDouble(key, value, line_no, line) * 1000.0;
         } else if (key == "rpp_rated_w") {
-            spec.topology.rpp_rated = ParseDouble(value, line_no, line);
+            spec.topology.rpp_rated =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "sb_rated_w") {
-            spec.topology.sb_rated = ParseDouble(value, line_no, line);
+            spec.topology.sb_rated = ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "msb_rated_w") {
-            spec.topology.msb_rated = ParseDouble(value, line_no, line);
+            spec.topology.msb_rated =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "quota_fill") {
-            spec.topology.quota_fill = ParseDouble(value, line_no, line);
+            spec.topology.quota_fill =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "mix") {
             spec.mix = ParseServiceMix(value);
         } else if (key == "haswell_fraction") {
-            spec.haswell_fraction = ParseDouble(value, line_no, line);
+            spec.haswell_fraction = ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "sensorless_fraction") {
-            spec.sensorless_fraction = ParseDouble(value, line_no, line);
+            spec.sensorless_fraction =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "turbo") {
             spec.turbo_enabled = ParseBool(value, line_no, line);
         } else if (key == "tor_switch_power_w") {
-            spec.tor_switch_power = ParseDouble(value, line_no, line);
+            spec.tor_switch_power = ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "diurnal_amplitude") {
-            spec.diurnal_amplitude = ParseDouble(value, line_no, line);
+            spec.diurnal_amplitude =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "seed") {
-            spec.seed = ParseU64(value, line_no, line);
+            spec.seed = ParseU64(key, value, line_no, line);
         } else if (key == "with_dynamo") {
             spec.with_dynamo = ParseBool(value, line_no, line);
         } else if (key == "with_breaker_validation") {
@@ -183,22 +279,34 @@ ParseFleetSpec(std::istream& in)
             }
         } else if (key == "leaf_pull_cycle_ms") {
             spec.deployment.leaf.base.pull_cycle =
-                static_cast<SimTime>(ParseDouble(value, line_no, line));
+                ParsePeriodMs(key, value, line_no, line);
         } else if (key == "upper_pull_cycle_ms") {
             spec.deployment.upper.base.pull_cycle =
-                static_cast<SimTime>(ParseDouble(value, line_no, line));
+                ParsePeriodMs(key, value, line_no, line);
+        } else if (key == "response_wait_ms") {
+            // Shared by both levels: the window between issuing pulls
+            // and aggregating. Deployment-mode specs shrink it together
+            // with the pull cycles to run fast control loops.
+            const SimTime wait = ParsePeriodMs(key, value, line_no, line);
+            spec.deployment.leaf.base.response_wait = wait;
+            spec.deployment.upper.base.response_wait = wait;
+        } else if (key == "rpc_timeout_ms") {
+            const SimTime timeout = ParsePeriodMs(key, value, line_no, line);
+            spec.deployment.leaf.base.rpc_timeout = timeout;
+            spec.deployment.upper.base.rpc_timeout = timeout;
         } else if (key == "bucket_w") {
-            spec.deployment.leaf.bucket_size = ParseDouble(value, line_no, line);
+            spec.deployment.leaf.bucket_size =
+                ParseNonNegDouble(key, value, line_no, line);
         } else if (key == "cap_threshold") {
-            const double frac = ParseDouble(value, line_no, line);
+            const double frac = ParseNonNegDouble(key, value, line_no, line);
             spec.deployment.leaf.base.bands.cap_threshold_frac = frac;
             spec.deployment.upper.base.bands.cap_threshold_frac = frac;
         } else if (key == "cap_target") {
-            const double frac = ParseDouble(value, line_no, line);
+            const double frac = ParseNonNegDouble(key, value, line_no, line);
             spec.deployment.leaf.base.bands.cap_target_frac = frac;
             spec.deployment.upper.base.bands.cap_target_frac = frac;
         } else if (key == "uncap_threshold") {
-            const double frac = ParseDouble(value, line_no, line);
+            const double frac = ParseNonNegDouble(key, value, line_no, line);
             spec.deployment.leaf.base.bands.uncap_threshold_frac = frac;
             spec.deployment.upper.base.bands.uncap_threshold_frac = frac;
         } else if (key == "dry_run") {
@@ -215,6 +323,15 @@ ParseFleetSpec(std::istream& in)
     if (!spec.deployment.leaf.base.bands.Valid()) {
         throw std::runtime_error(
             "invalid three-band thresholds: need threshold > target > uncap");
+    }
+    // Mirror the controller-constructor validation here so a bad spec
+    // fails at parse time with the file in hand, not at fleet build.
+    if (spec.deployment.leaf.base.rpc_timeout >=
+        spec.deployment.leaf.base.response_wait) {
+        throw std::runtime_error(
+            "rpc_timeout_ms must be < response_wait_ms; got " +
+            std::to_string(spec.deployment.leaf.base.rpc_timeout) + " >= " +
+            std::to_string(spec.deployment.leaf.base.response_wait));
     }
     return spec;
 }
@@ -306,6 +423,9 @@ WriteFleetSpec(std::ostream& out, const FleetSpec& spec)
        std::to_string(spec.deployment.leaf.base.pull_cycle));
     kv("upper_pull_cycle_ms",
        std::to_string(spec.deployment.upper.base.pull_cycle));
+    kv("response_wait_ms",
+       std::to_string(spec.deployment.leaf.base.response_wait));
+    kv("rpc_timeout_ms", std::to_string(spec.deployment.leaf.base.rpc_timeout));
     kv("bucket_w", CanonicalDouble(spec.deployment.leaf.bucket_size));
     kv("cap_threshold",
        CanonicalDouble(spec.deployment.leaf.base.bands.cap_threshold_frac));

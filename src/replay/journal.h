@@ -41,8 +41,16 @@ namespace dynamo::replay {
 inline constexpr char kJournalMagic[8] = {'D', 'Y', 'N', 'J',
                                           'R', 'N', 'L', '1'};
 
-/** Journal format version written into the header. */
-inline constexpr std::uint32_t kJournalVersion = 1;
+/**
+ * Journal format version written into the header.
+ *
+ * Version 2 appends a trailing little-endian u64 FNV-1a digest over
+ * every preceding byte (magic through the kEnd record). The decoder
+ * verifies the digest *before* parsing any record, so a truncated or
+ * bit-flipped file is rejected with a diagnostic instead of being
+ * misread. Version-1 journals (no digest) are still accepted.
+ */
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /** Record tags. */
 enum class RecordType : std::uint8_t {

@@ -19,6 +19,121 @@ void SnapshotRng(Archive& ar, const Rng& rng)
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Transport (shared registry + accounting)
+// ---------------------------------------------------------------------------
+
+void
+Transport::Register(EndpointId id, RequestHandler handler)
+{
+    if (id >= handlers_.size()) handlers_.resize(id + 1);
+    if (handlers_[id] != nullptr) {
+        throw std::logic_error("Transport::Register: endpoint \"" +
+                               endpoints_.Name(id) +
+                               "\" already has a handler; Unregister first");
+    }
+    handlers_[id] = std::move(handler);
+}
+
+void
+Transport::Register(const std::string& endpoint, RequestHandler handler)
+{
+    Register(endpoints_.Intern(endpoint), std::move(handler));
+}
+
+void
+Transport::Unregister(EndpointId id)
+{
+    if (id < handlers_.size()) handlers_[id] = nullptr;
+}
+
+void
+Transport::Unregister(const std::string& endpoint)
+{
+    const EndpointId id = endpoints_.Find(endpoint);
+    if (id != kInvalidEndpoint) Unregister(id);
+}
+
+void
+Transport::Deregister(EndpointId id)
+{
+    Unregister(id);
+    endpoints_.Release(endpoints_.Name(id));
+}
+
+void
+Transport::Deregister(const std::string& endpoint)
+{
+    const EndpointId id = endpoints_.Find(endpoint);
+    if (id != kInvalidEndpoint) Deregister(id);
+}
+
+bool
+Transport::IsRegistered(const std::string& endpoint) const
+{
+    const EndpointId id = endpoints_.Find(endpoint);
+    return id != kInvalidEndpoint && IsRegistered(id);
+}
+
+void
+Transport::Call(const std::string& endpoint, Payload request,
+                ResponseCallback on_ok, ErrorCallback on_err,
+                SimTime timeout_ms)
+{
+    Call(endpoints_.Intern(endpoint), std::move(request), std::move(on_ok),
+         std::move(on_err), timeout_ms);
+}
+
+void
+Transport::AttachMetrics(telemetry::MetricsRegistry* registry)
+{
+    if (registry == nullptr) {
+        m_calls_ = m_ok_ = m_failed_ = m_errors_ = m_timeouts_ = nullptr;
+        return;
+    }
+    m_calls_ = registry->GetCounter("rpc.calls");
+    m_ok_ = registry->GetCounter("rpc.ok");
+    m_failed_ = registry->GetCounter("rpc.failed");
+    m_errors_ = registry->GetCounter("rpc.errors");
+    m_timeouts_ = registry->GetCounter("rpc.timeouts");
+}
+
+void
+Transport::CountIssued(std::uint64_t n)
+{
+    calls_issued_ += n;
+    if (m_calls_ != nullptr) m_calls_->Inc(n);
+}
+
+void
+Transport::CountOk()
+{
+    ++calls_succeeded_;
+    if (m_ok_ != nullptr) m_ok_->Inc();
+}
+
+void
+Transport::CountError()
+{
+    ++calls_failed_;
+    ++calls_errored_;
+    if (m_failed_ != nullptr) m_failed_->Inc();
+    if (m_errors_ != nullptr) m_errors_->Inc();
+}
+
+void
+Transport::CountTimeout()
+{
+    ++calls_failed_;
+    ++calls_timed_out_;
+    if (m_failed_ != nullptr) m_failed_->Inc();
+    if (m_timeouts_ != nullptr) m_timeouts_->Inc();
+}
+
+// ---------------------------------------------------------------------------
+// FailureInjector
+// ---------------------------------------------------------------------------
+
 FailureInjector::FailureInjector(std::uint64_t seed, EndpointTable* endpoints)
     : rng_(seed), endpoints_(endpoints)
 {
@@ -175,6 +290,10 @@ FailureInjector::ClearEndpoint(EndpointId id)
     SetEndpointDown(id, false);
 }
 
+// ---------------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------------
+
 SimTransport::SimTransport(sim::Simulation& sim, std::uint64_t seed, Options options)
     : sim_(sim), rng_(seed), options_(options),
       failures_(seed ^ 0xfeedULL, &endpoints_)
@@ -182,86 +301,17 @@ SimTransport::SimTransport(sim::Simulation& sim, std::uint64_t seed, Options opt
 }
 
 void
-SimTransport::Register(EndpointId id, RequestHandler handler)
-{
-    if (id >= handlers_.size()) handlers_.resize(id + 1);
-    if (handlers_[id] != nullptr) {
-        throw std::logic_error("SimTransport::Register: endpoint \"" +
-                               endpoints_.Name(id) +
-                               "\" already has a handler; Unregister first");
-    }
-    handlers_[id] = std::move(handler);
-}
-
-void
-SimTransport::Register(const std::string& endpoint, RequestHandler handler)
-{
-    Register(endpoints_.Intern(endpoint), std::move(handler));
-}
-
-void
-SimTransport::Unregister(EndpointId id)
-{
-    if (id < handlers_.size()) handlers_[id] = nullptr;
-}
-
-void
-SimTransport::Unregister(const std::string& endpoint)
-{
-    const EndpointId id = endpoints_.Find(endpoint);
-    if (id != kInvalidEndpoint) Unregister(id);
-}
-
-void
 SimTransport::Deregister(EndpointId id)
 {
-    Unregister(id);
     failures_.ClearEndpoint(id);
-    endpoints_.Release(endpoints_.Name(id));
-}
-
-void
-SimTransport::Deregister(const std::string& endpoint)
-{
-    const EndpointId id = endpoints_.Find(endpoint);
-    if (id != kInvalidEndpoint) Deregister(id);
-}
-
-bool
-SimTransport::IsRegistered(const std::string& endpoint) const
-{
-    const EndpointId id = endpoints_.Find(endpoint);
-    return id != kInvalidEndpoint && IsRegistered(id);
-}
-
-void
-SimTransport::Call(const std::string& endpoint, Payload request,
-                   ResponseCallback on_ok, ErrorCallback on_err,
-                   SimTime timeout_ms)
-{
-    Call(endpoints_.Intern(endpoint), std::move(request), std::move(on_ok),
-         std::move(on_err), timeout_ms);
-}
-
-void
-SimTransport::AttachMetrics(telemetry::MetricsRegistry* registry)
-{
-    if (registry == nullptr) {
-        m_calls_ = m_ok_ = m_failed_ = m_timeouts_ = nullptr;
-        return;
-    }
-    m_calls_ = registry->GetCounter("rpc.calls");
-    m_ok_ = registry->GetCounter("rpc.ok");
-    m_failed_ = registry->GetCounter("rpc.failed");
-    m_timeouts_ = registry->GetCounter("rpc.timeouts");
+    Transport::Deregister(id);
 }
 
 void
 SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                    ErrorCallback on_err, SimTime timeout_ms)
 {
-    ++calls_issued_;
-    if (m_calls_ != nullptr) m_calls_->Inc();
+    CountIssued();
 
     // `done` arbitrates between the response path and the timeout path
     // so exactly one continuation fires per call.
@@ -274,9 +324,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                            [this, done, on_err = std::move(on_err)]() {
                                if (*done) return;
                                *done = true;
-                               ++calls_failed_;
-                               if (m_failed_ != nullptr) m_failed_->Inc();
-                               if (m_timeouts_ != nullptr) m_timeouts_->Inc();
+                               CountTimeout();
                                on_err("timeout");
                            });
         return;
@@ -286,8 +334,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
         sim_.ScheduleAfter(latency, [this, done, on_err = std::move(on_err)]() {
             if (*done) return;
             *done = true;
-            ++calls_failed_;
-            if (m_failed_ != nullptr) m_failed_->Inc();
+            CountError();
             on_err("connection failed");
         });
         return;
@@ -299,9 +346,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
     sim_.ScheduleAfter(timeout_ms, [this, done, on_err]() {
         if (*done) return;
         *done = true;
-        ++calls_failed_;
-        if (m_failed_ != nullptr) m_failed_->Inc();
-        if (m_timeouts_ != nullptr) m_timeouts_->Inc();
+        CountTimeout();
         on_err("timeout");
     });
 
@@ -322,8 +367,7 @@ SimTransport::Call(EndpointId id, Payload request, ResponseCallback on_ok,
                                 on_ok = std::move(on_ok), done]() {
                                    if (*done) return;
                                    *done = true;
-                                   ++calls_succeeded_;
-                                   if (m_ok_ != nullptr) m_ok_->Inc();
+                                   CountOk();
                                    on_ok(response);
                                });
         });
@@ -334,8 +378,7 @@ SimTransport::CallBatch(std::vector<BatchItem> batch)
 {
     if (batch.empty()) return 0;
     const std::size_t n = batch.size();
-    calls_issued_ += n;
-    if (m_calls_ != nullptr) m_calls_->Inc(n);
+    CountIssued(n);
 
     // Decide every fate at issue time (as Call does) so the injector's
     // RNG stream and the observer's record reflect issue order.
@@ -357,13 +400,11 @@ SimTransport::CallBatch(std::vector<BatchItem> batch)
                 // drops its items.
                 if (fates[i] != CallFate::kOk ||
                     !IsRegistered(batch[i].target)) {
-                    ++calls_failed_;
-                    if (m_failed_ != nullptr) m_failed_->Inc();
+                    CountError();
                     continue;
                 }
                 handlers_[batch[i].target](batch[i].payload);
-                ++calls_succeeded_;
-                if (m_ok_ != nullptr) m_ok_->Inc();
+                CountOk();
             }
         });
     return n;
@@ -372,9 +413,9 @@ SimTransport::CallBatch(std::vector<BatchItem> batch)
 void
 SimTransport::Snapshot(Archive& ar) const
 {
-    ar.U64(calls_issued_);
-    ar.U64(calls_succeeded_);
-    ar.U64(calls_failed_);
+    ar.U64(calls_issued());
+    ar.U64(calls_succeeded());
+    ar.U64(calls_failed());
     ar.U64(endpoints_.size());
     SnapshotRng(ar, rng_);
     failures_.Snapshot(ar);

@@ -1,15 +1,27 @@
 /**
  * @file
- * Simulated RPC transport.
+ * RPC transport: the abstract channel interface plus the simulated
+ * implementation.
  *
  * Production Dynamo uses Thrift between controllers and agents; the
  * control logic only depends on the *semantics* of that channel:
  * asynchronous request/response, millisecond-scale latency, and the
- * possibility of failures and timeouts. This module reproduces those
- * semantics on the simulation kernel, with an injectable failure
- * policy so tests can exercise the paper's resilience behaviours
- * (estimating power for failed pulls, alarming past the 20 % failure
- * threshold, failing over dead controllers).
+ * possibility of failures and timeouts. `Transport` captures exactly
+ * those semantics, so agents and controllers run unchanged against
+ * either implementation:
+ *
+ *   - `SimTransport` (this file) reproduces them on the simulation
+ *     kernel with an injectable failure policy, so tests can exercise
+ *     the paper's resilience behaviours deterministically; and
+ *   - `SocketTransport` (socket_transport.h) carries the same calls
+ *     over real TCP / Unix-domain sockets for the daemonized
+ *     deployment mode (tools/dynamo_agentd, tools/dynamo_controllerd).
+ *
+ * Both implementations share the accounting contract: every call ends
+ * in exactly one of ok / error / timeout, errors ("connection failed")
+ * and timeouts ("timeout") are counted separately, and the same
+ * `rpc.*` metric names are exported — a capping episode debugged
+ * against the simulator reads identically in production telemetry.
  *
  * Endpoints are interned (see endpoint.h): the hot path — handler
  * dispatch and fault decisions on every call — indexes dense vectors
@@ -53,13 +65,161 @@ using ResponseCallback = std::function<void(const Payload&)>;
 /** Client-side failure continuation; `reason` is human-readable. */
 using ErrorCallback = std::function<void(const std::string& reason)>;
 
-/** One element of a batched delivery (see SimTransport::CallBatch). */
+/** One element of a batched delivery (see Transport::CallBatch). */
 struct BatchItem
 {
     /** Target endpoint, interned in *this* transport. */
     EndpointId target = kInvalidEndpoint;
 
     Payload payload;
+};
+
+/**
+ * Abstract RPC channel: endpoint registry, handler dispatch, and
+ * asynchronous call issue with shared success/error/timeout
+ * accounting. Implementations decide how a call travels (simulated
+ * kernel events vs. real sockets); the failure vocabulary is fixed:
+ *
+ *   - `on_err("connection failed")` — the endpoint refused, reset, or
+ *     does not serve (counted in `rpc.errors`);
+ *   - `on_err("timeout")` — no response within the deadline (counted
+ *     in `rpc.timeouts`).
+ *
+ * Exactly one of `on_ok` / `on_err` fires per call, always at a later
+ * point of the owning event loop — never re-entrantly from Call().
+ */
+class Transport
+{
+  public:
+    Transport() = default;
+    virtual ~Transport() = default;
+
+    Transport(const Transport&) = delete;
+    Transport& operator=(const Transport&) = delete;
+
+    /** Intern `name`, returning its dense id (stable for this transport). */
+    EndpointId Resolve(const std::string& name)
+    {
+        return endpoints_.Intern(name);
+    }
+
+    /** The intern table (name lookups for logging edges). */
+    const EndpointTable& endpoints() const { return endpoints_; }
+
+    /**
+     * Register a handler under an endpoint. Registering over a live
+     * handler throws std::logic_error: two components claiming one
+     * endpoint is always a wiring bug (the old behaviour silently
+     * dropped the first handler). Unregister first to hand over.
+     */
+    void Register(EndpointId id, RequestHandler handler);
+    void Register(const std::string& endpoint, RequestHandler handler);
+
+    /** Remove an endpoint; subsequent calls to it fail. */
+    void Unregister(EndpointId id);
+    void Unregister(const std::string& endpoint);
+
+    /**
+     * Fully retire an endpoint: drop its handler, reset any
+     * implementation state (fault injection, routes), and release its
+     * name so the id can be recycled. Unlike Unregister (a crash: the
+     * name remains routable and can come back), Deregister is
+     * decommissioning — a later Register of the same name succeeds and
+     * may receive a recycled id. No-op for names never interned.
+     */
+    virtual void Deregister(EndpointId id);
+    void Deregister(const std::string& endpoint);
+
+    /** True if a handler is registered under the endpoint. */
+    bool IsRegistered(EndpointId id) const
+    {
+        return id < handlers_.size() && static_cast<bool>(handlers_[id]);
+    }
+    bool IsRegistered(const std::string& endpoint) const;
+
+    /**
+     * Issue an asynchronous call. Exactly one of `on_ok` / `on_err`
+     * fires, at a later event-loop time; `on_err` fires with reason
+     * "timeout" if no response arrives within `timeout_ms`.
+     */
+    virtual void Call(EndpointId id, Payload request, ResponseCallback on_ok,
+                      ErrorCallback on_err, SimTime timeout_ms = 1000) = 0;
+    void Call(const std::string& endpoint, Payload request,
+              ResponseCallback on_ok, ErrorCallback on_err,
+              SimTime timeout_ms = 1000);
+
+    /**
+     * Batched fire-and-forget delivery: issue every request in `batch`
+     * with responses discarded and no timeout armed. A failed or
+     * unserved item simply counts as an error at delivery time.
+     * Returns the number of items issued (== batch.size()).
+     */
+    virtual std::size_t CallBatch(std::vector<BatchItem> batch) = 0;
+
+    /**
+     * Wire transport counters (`rpc.calls`, `rpc.ok`, `rpc.failed`,
+     * `rpc.errors`, `rpc.timeouts`) into `registry`. Handles are
+     * resolved once here; the per-call path increments through cached
+     * pointers. Pass nullptr to detach.
+     */
+    void AttachMetrics(telemetry::MetricsRegistry* registry);
+
+    /** Total calls issued (for test assertions). */
+    std::uint64_t calls_issued() const { return calls_issued_; }
+
+    /** Total calls that completed successfully. */
+    std::uint64_t calls_succeeded() const { return calls_succeeded_; }
+
+    /** Total calls that ended in error or timeout (the sum of the two). */
+    std::uint64_t calls_failed() const { return calls_failed_; }
+
+    /** Calls that ended in a prompt error ("connection failed"). */
+    std::uint64_t calls_errored() const { return calls_errored_; }
+
+    /** Calls that ended by exhausting their deadline ("timeout"). */
+    std::uint64_t calls_timed_out() const { return calls_timed_out_; }
+
+  protected:
+    /** Account `n` issued calls. */
+    void CountIssued(std::uint64_t n = 1);
+
+    /** Account one successful completion. */
+    void CountOk();
+
+    /**
+     * Account one prompt failure (connection refused / reset /
+     * unserved endpoint). Feeds `rpc.failed` + `rpc.errors`, never
+     * `rpc.timeouts` — the split SocketTransport debugging relies on.
+     */
+    void CountError();
+
+    /** Account one deadline expiry. Feeds `rpc.failed` + `rpc.timeouts`. */
+    void CountTimeout();
+
+    /** Handler for `id`, or nullptr when not registered. */
+    const RequestHandler* HandlerFor(EndpointId id) const
+    {
+        return IsRegistered(id) ? &handlers_[id] : nullptr;
+    }
+
+    EndpointTable endpoints_;
+
+    /** Handler per EndpointId; empty function == not registered. */
+    std::vector<RequestHandler> handlers_;
+
+  private:
+    std::uint64_t calls_issued_ = 0;
+    std::uint64_t calls_succeeded_ = 0;
+    std::uint64_t calls_failed_ = 0;
+    std::uint64_t calls_errored_ = 0;
+    std::uint64_t calls_timed_out_ = 0;
+
+    /** Cached metric handles; null when no registry is attached. */
+    telemetry::Counter* m_calls_ = nullptr;
+    telemetry::Counter* m_ok_ = nullptr;
+    telemetry::Counter* m_failed_ = nullptr;
+    telemetry::Counter* m_errors_ = nullptr;
+    telemetry::Counter* m_timeouts_ = nullptr;
 };
 
 /** Latency model for one direction of an RPC: base + uniform jitter. */
@@ -179,13 +339,13 @@ class FailureInjector
 };
 
 /**
- * The transport: endpoint registry plus asynchronous call delivery on
- * the simulation clock.
+ * The simulated transport: asynchronous call delivery on the
+ * simulation clock with injectable faults.
  *
  * A call to an unregistered endpoint (e.g. a crashed agent whose
  * handler was unregistered) behaves like a connection failure.
  */
-class SimTransport
+class SimTransport final : public Transport
 {
   public:
     struct Options
@@ -197,56 +357,13 @@ class SimTransport
     SimTransport(sim::Simulation& sim, std::uint64_t seed = 11,
                  Options options = Options{});
 
-    /** Intern `name`, returning its dense id (stable for this transport). */
-    EndpointId Resolve(const std::string& name)
-    {
-        return endpoints_.Intern(name);
-    }
+    /** Deregister plus fault-state reset for the recycled id. */
+    void Deregister(EndpointId id) override;
+    using Transport::Deregister;
 
-    /** The intern table (name lookups for logging edges). */
-    const EndpointTable& endpoints() const { return endpoints_; }
-
-    /**
-     * Register a handler under an endpoint. Registering over a live
-     * handler throws std::logic_error: two components claiming one
-     * endpoint is always a wiring bug (the old behaviour silently
-     * dropped the first handler). Unregister first to hand over.
-     */
-    void Register(EndpointId id, RequestHandler handler);
-    void Register(const std::string& endpoint, RequestHandler handler);
-
-    /** Remove an endpoint; subsequent calls to it fail. */
-    void Unregister(EndpointId id);
-    void Unregister(const std::string& endpoint);
-
-    /**
-     * Fully retire an endpoint: drop its handler, reset its fault
-     * state, and release its name so the id can be recycled. Unlike
-     * Unregister (a crash: the name remains routable and can come
-     * back), Deregister is decommissioning — a later Register of the
-     * same name succeeds and may receive a recycled id. No-op for
-     * names never interned.
-     */
-    void Deregister(EndpointId id);
-    void Deregister(const std::string& endpoint);
-
-    /** True if a handler is registered under the endpoint. */
-    bool IsRegistered(EndpointId id) const
-    {
-        return id < handlers_.size() && static_cast<bool>(handlers_[id]);
-    }
-    bool IsRegistered(const std::string& endpoint) const;
-
-    /**
-     * Issue an asynchronous call. Exactly one of `on_ok` / `on_err`
-     * fires, at a later simulation time; `on_err` fires with reason
-     * "timeout" if no response arrives within `timeout_ms`.
-     */
     void Call(EndpointId id, Payload request, ResponseCallback on_ok,
-              ErrorCallback on_err, SimTime timeout_ms = 1000);
-    void Call(const std::string& endpoint, Payload request,
-              ResponseCallback on_ok, ErrorCallback on_err,
-              SimTime timeout_ms = 1000);
+              ErrorCallback on_err, SimTime timeout_ms = 1000) override;
+    using Transport::Call;
 
     /**
      * Batched fire-and-forget delivery: issue every request in `batch`
@@ -273,27 +390,10 @@ class SimTransport
      *
      * Returns the number of items issued (== batch.size()).
      */
-    std::size_t CallBatch(std::vector<BatchItem> batch);
+    std::size_t CallBatch(std::vector<BatchItem> batch) override;
 
     /** Fault injection knobs. */
     FailureInjector& failures() { return failures_; }
-
-    /**
-     * Wire transport counters (`rpc.calls`, `rpc.ok`, `rpc.failed`,
-     * `rpc.timeouts`) into `registry`. Handles are resolved once here;
-     * the per-call path increments through cached pointers. Pass
-     * nullptr to detach.
-     */
-    void AttachMetrics(telemetry::MetricsRegistry* registry);
-
-    /** Total calls issued (for test assertions). */
-    std::uint64_t calls_issued() const { return calls_issued_; }
-
-    /** Total calls that completed successfully. */
-    std::uint64_t calls_succeeded() const { return calls_succeeded_; }
-
-    /** Total calls that ended in error or timeout. */
-    std::uint64_t calls_failed() const { return calls_failed_; }
 
     /**
      * Record/inject shim for replay: called once per issued call with
@@ -321,21 +421,7 @@ class SimTransport
     sim::Simulation& sim_;
     Rng rng_;
     Options options_;
-    EndpointTable endpoints_;
     FailureInjector failures_;
-
-    /** Handler per EndpointId; empty function == not registered. */
-    std::vector<RequestHandler> handlers_;
-
-    std::uint64_t calls_issued_ = 0;
-    std::uint64_t calls_succeeded_ = 0;
-    std::uint64_t calls_failed_ = 0;
-
-    /** Cached metric handles; null when no registry is attached. */
-    telemetry::Counter* m_calls_ = nullptr;
-    telemetry::Counter* m_ok_ = nullptr;
-    telemetry::Counter* m_failed_ = nullptr;
-    telemetry::Counter* m_timeouts_ = nullptr;
 
     /** Replay record shim; empty when no recorder is attached. */
     CallObserver call_observer_;

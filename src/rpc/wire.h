@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Canonical wire serialization for the `dynamo::api` control plane.
+ *
+ * Production Dynamo speaks Thrift between daemons; this repo's
+ * deployment mode (SocketTransport + dynamo_agentd/dynamo_controllerd)
+ * needs the same property Thrift provides — a versioned, self-framing,
+ * corruption-detecting byte format — built on the canonical-bytes
+ * guarantees of common/archive.h:
+ *
+ *   - every api message type has exactly ONE byte representation
+ *     (fixed little-endian widths, length-prefixed strings), so
+ *     serialize→parse→serialize is a byte-identical fixed point,
+ *     mirroring the fleet-spec round-trip invariant;
+ *   - every frame is integrity-checked: a trailing FNV-1a digest over
+ *     the frame body catches bit flips, and explicit length fields
+ *     catch truncation. A torn, short, or corrupted frame decodes to a
+ *     thrown WireError naming the byte offset and what failed — never
+ *     to UB or a silently wrong message.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *   0       4     magic "DYNW" (0x57 0x4e 0x59 0x44 on the wire)
+ *   4       4     frame_len: total frame size in bytes, magic included
+ *   8       4     api version (kWireVersion; currently 1)
+ *   12      1     message type (MessageType)
+ *   13      1     frame kind (FrameKind: request / response / error)
+ *   14      8     epoch (fleet-spec epoch observed by the sender)
+ *   22      8     call id (pairs responses with requests on one conn)
+ *   30      8+n   target: length-prefixed endpoint name (requests),
+ *                 empty for responses; error reason for error frames
+ *   ...     8+m   payload: length-prefixed encoded api message body
+ *   end-8   8     FNV-1a digest of bytes [0, end-8)
+ *
+ * `frame_len` makes the format self-framing on a byte stream: a
+ * FrameReader needs only the first 8 bytes to know how much to wait
+ * for, and a length exceeding kMaxFrameBytes (or a bad magic) marks
+ * the connection poisoned rather than waiting forever on garbage.
+ */
+#ifndef DYNAMO_RPC_WIRE_H_
+#define DYNAMO_RPC_WIRE_H_
+
+#include <any>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dynamo::rpc::wire {
+
+/** Wire protocol version; bumped on any frame- or body-layout change. */
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/** "DYNW" read as a little-endian u32. */
+inline constexpr std::uint32_t kWireMagic = 0x574e5944u;
+
+/**
+ * Upper bound on a single frame. Control-plane messages are tiny
+ * (largest is a PowerReadResult, well under 1 KiB); anything larger is
+ * a corrupted length field or a stray writer, and the reader reports
+ * it instead of buffering unboundedly.
+ */
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Size of the fixed-width prefix through call_id (before `target`). */
+inline constexpr std::size_t kFrameFixedHeaderBytes = 30;
+
+/** Wire tag for each api message type. Values are wire format — append
+ *  only, never renumber. */
+enum class MessageType : std::uint8_t {
+    kNone = 0,  // error frames carry no body
+    kPowerReadRequest = 1,
+    kPowerReadResult = 2,
+    kCapRequest = 3,
+    kCapResult = 4,
+    kContractUpdate = 5,
+    kTuneEstimate = 6,
+    kHealthProbe = 7,
+    kHealthResult = 8,
+    kStatusRequest = 9,
+    kStatusResult = 10,
+};
+
+/** Readable name for diagnostics ("PowerReadResult", ...). */
+const char* MessageTypeName(MessageType type);
+
+/** Role of a frame on the stream. Values are wire format. */
+enum class FrameKind : std::uint8_t {
+    kRequest = 0,
+    kResponse = 1,
+
+    /** The peer could not serve the paired request; `target` holds the
+     *  reason string delivered to the caller's ErrorCallback. */
+    kError = 2,
+};
+
+/**
+ * Decode-side failure: truncated, corrupted, oversized, or
+ * unrecognized bytes. `offset` is the byte position within the frame
+ * (or stream buffer) where decoding failed.
+ */
+class WireError : public std::runtime_error
+{
+  public:
+    WireError(std::string what, std::size_t offset)
+        : std::runtime_error("wire: " + what + " (at byte offset " +
+                             std::to_string(offset) + ")"),
+          offset_(offset)
+    {
+    }
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_ = 0;
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameKind kind = FrameKind::kRequest;
+    MessageType type = MessageType::kNone;
+
+    /** Fleet-spec epoch the sender observed (0 = unversioned). */
+    std::uint64_t epoch = 0;
+
+    /** Pairs a response/error with its request on one connection. */
+    std::uint64_t call_id = 0;
+
+    /** Endpoint name (requests) / error reason (error frames). */
+    std::string target;
+
+    /** Encoded message body (EncodeBody output). */
+    std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Message body codec
+// ---------------------------------------------------------------------------
+
+/**
+ * Classify a transport payload (std::any holding one api struct).
+ * Throws WireError for types outside the api surface — the wire layer
+ * must refuse what it cannot re-materialize on the far side.
+ */
+MessageType TypeOf(const std::any& message);
+
+/** Serialize one api message to canonical body bytes. */
+std::string EncodeBody(const std::any& message);
+
+/**
+ * Parse canonical body bytes back into the api struct for `type`.
+ * Throws WireError on truncation, trailing garbage, or out-of-range
+ * enum values.
+ */
+std::any DecodeBody(MessageType type, std::string_view body);
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/** Serialize a frame, including header, lengths, and digest. */
+std::string EncodeFrame(const Frame& frame);
+
+/**
+ * Decode exactly one complete frame from `bytes` (which must be
+ * exactly one frame, as cut by FrameReader). Verifies magic, version,
+ * length consistency, enum ranges, and the trailing digest; throws
+ * WireError naming the first check that failed and the offset.
+ */
+Frame DecodeFrame(std::string_view bytes);
+
+/**
+ * Incremental stream cutter: feed arbitrary byte chunks as they
+ * arrive off a socket; complete frames become available in order.
+ *
+ * The reader validates magic and frame_len as soon as the first 8
+ * bytes of a frame are buffered, so a poisoned stream (bad magic,
+ * absurd length) is detected without waiting for more bytes; after a
+ * throw the reader is permanently poisoned and the connection must be
+ * dropped (stream sync cannot be re-established mid-garbage).
+ */
+class FrameReader
+{
+  public:
+    /** Append raw bytes from the stream. Throws WireError on a bad
+     *  magic or oversized/undersized frame length. */
+    void Feed(std::string_view bytes);
+
+    /** True when at least one complete frame is buffered. */
+    bool HasFrame() const;
+
+    /** Pop and decode the next complete frame (HasFrame() must be
+     *  true). Throws WireError if the frame fails validation. */
+    Frame Next();
+
+    /** Bytes consumed from the stream so far (diagnostics). */
+    std::uint64_t bytes_consumed() const { return consumed_; }
+
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    /** Validate the buffered header prefix; throws when poisoned. */
+    void CheckHeader();
+
+    std::string buffer_;
+    std::uint64_t consumed_ = 0;
+    bool poisoned_ = false;
+};
+
+}  // namespace dynamo::rpc::wire
+
+#endif  // DYNAMO_RPC_WIRE_H_

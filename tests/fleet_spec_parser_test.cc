@@ -81,11 +81,98 @@ TEST(SpecParser, UnknownKeyFailsLoudly)
 
 TEST(SpecParser, MalformedValueFails)
 {
-    EXPECT_THROW(ParseFleetSpecString("seed = banana"), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("seed = banana"), std::invalid_argument);
     EXPECT_THROW(ParseFleetSpecString("turbo = maybe"), std::runtime_error);
     EXPECT_THROW(ParseFleetSpecString("scope = rack"), std::runtime_error);
     EXPECT_THROW(ParseFleetSpecString("seed ="), std::runtime_error);
     EXPECT_THROW(ParseFleetSpecString("just words"), std::runtime_error);
+}
+
+// Every numeric field must reject overflow, negatives, and trailing
+// garbage with std::invalid_argument that names the offending key and
+// line — never a raw std::out_of_range from std::stoull, and never a
+// silent truncation/wrap (the old ParseDouble path accepted
+// "servers_per_rpp = -5" and built a fleet with 2^64-ish servers).
+TEST(SpecParser, BadNumericValuesNameTheKey)
+{
+    struct BadCase
+    {
+        const char* line;
+        const char* must_mention;
+    };
+    const BadCase cases[] = {
+        // counts: negatives, fractions, garbage, overflow
+        {"servers_per_rpp = -5", "servers_per_rpp"},
+        {"servers_per_rpp = 240.7", "servers_per_rpp"},
+        {"servers_per_rpp = 12cows", "servers_per_rpp"},
+        {"rpps_per_sb = -1", "rpps_per_sb"},
+        {"rpps_per_sb = 99999999999999999999999999", "rpps_per_sb"},
+        {"sbs_per_msb = 4x", "sbs_per_msb"},
+        // watts / fractions: negatives and garbage
+        {"rpp_rated_kw = -127.5", "rpp_rated_kw"},
+        {"rpp_rated_w = 127500garbage", "rpp_rated_w"},
+        {"sb_rated_w = -1", "sb_rated_w"},
+        {"quota_fill = -0.5", "quota_fill"},
+        {"haswell_fraction = -0.1", "haswell_fraction"},
+        {"tor_switch_power_w = -300", "tor_switch_power_w"},
+        {"diurnal_amplitude = 0.25extra", "diurnal_amplitude"},
+        {"bucket_w = -20", "bucket_w"},
+        {"cap_threshold = 0.99x", "cap_threshold"},
+        // seeds: negative wrap, overflow past 2^64, trailing garbage
+        {"seed = -1", "seed"},
+        {"seed = 99999999999999999999999999", "seed"},
+        {"seed = 42 tail", "seed"},
+        // periods: zero, negative, fractional
+        {"leaf_pull_cycle_ms = 0", "leaf_pull_cycle_ms"},
+        {"leaf_pull_cycle_ms = -3000", "leaf_pull_cycle_ms"},
+        {"upper_pull_cycle_ms = 9000.5", "upper_pull_cycle_ms"},
+        {"response_wait_ms = 0", "response_wait_ms"},
+        {"rpc_timeout_ms = nine", "rpc_timeout_ms"},
+    };
+    for (const BadCase& c : cases) {
+        try {
+            ParseFleetSpecString(c.line);
+            FAIL() << "accepted bad spec line: " << c.line;
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find(c.must_mention),
+                      std::string::npos)
+                << "diagnostic for '" << c.line
+                << "' does not name the key: " << e.what();
+            EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+                << "diagnostic for '" << c.line
+                << "' does not name the line: " << e.what();
+        }
+    }
+}
+
+TEST(SpecParser, ControlTimingKeys)
+{
+    const FleetSpec spec = ParseFleetSpecString(R"(
+        leaf_pull_cycle_ms = 300
+        upper_pull_cycle_ms = 900
+        response_wait_ms = 150
+        rpc_timeout_ms = 120
+    )");
+    EXPECT_EQ(spec.deployment.leaf.base.pull_cycle, 300);
+    EXPECT_EQ(spec.deployment.upper.base.pull_cycle, 900);
+    EXPECT_EQ(spec.deployment.leaf.base.response_wait, 150);
+    EXPECT_EQ(spec.deployment.upper.base.response_wait, 150);
+    EXPECT_EQ(spec.deployment.leaf.base.rpc_timeout, 120);
+    EXPECT_EQ(spec.deployment.upper.base.rpc_timeout, 120);
+}
+
+TEST(SpecParser, RpcTimeoutMustBeBelowResponseWait)
+{
+    EXPECT_THROW(
+        ParseFleetSpecString("response_wait_ms = 100\nrpc_timeout_ms = 100\n"),
+        std::runtime_error);
+}
+
+TEST(ServiceMixParser, BadWeightsRejected)
+{
+    EXPECT_THROW(ParseServiceMix("web:-3"), std::invalid_argument);
+    EXPECT_THROW(ParseServiceMix("web:2x"), std::invalid_argument);
+    EXPECT_THROW(ParseServiceMix("web:lots"), std::invalid_argument);
 }
 
 TEST(SpecParser, InvalidBandOrderingRejected)

@@ -111,8 +111,8 @@ TEST(FleetSpecRoundTrip, LegacyKilowattKeysStillWork)
 
 TEST(FleetSpecRoundTrip, SeedRejectsGarbage)
 {
-    EXPECT_THROW(ParseFleetSpecString("seed = 12x\n"), std::runtime_error);
-    EXPECT_THROW(ParseFleetSpecString("seed = 1.5\n"), std::runtime_error);
+    EXPECT_THROW(ParseFleetSpecString("seed = 12x\n"), std::invalid_argument);
+    EXPECT_THROW(ParseFleetSpecString("seed = 1.5\n"), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include "rpc/transport.h"
 
 #include <stdexcept>
+
+#include "telemetry/metrics.h"
 #include <string>
 #include <vector>
 
@@ -289,6 +291,89 @@ TEST_F(TransportTest, EmptyCallBatchIsANoOp)
     EXPECT_EQ(transport_.CallBatch({}), 0u);
     sim_.RunUntil(100);
     EXPECT_EQ(transport_.calls_issued(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error/timeout accounting. These counters were once conflated (every
+// failed call bumped the timeout counter); the tests below pin the
+// split so `rpc.errors` and `rpc.timeouts` stay distinct fault
+// signals — a fleet drowning in connection failures must not read as
+// a latency problem on dashboards.
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportTest, PromptFailureCountsErrorNotTimeout)
+{
+    telemetry::MetricsRegistry metrics;
+    transport_.AttachMetrics(&metrics);
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetEndpointDown("svc", true);
+
+    std::string reason;
+    transport_.Call(
+        "svc", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string& r) { reason = r; }, /*timeout_ms=*/100);
+    sim_.RunUntil(1000);
+
+    EXPECT_EQ(reason, "connection failed");
+    EXPECT_EQ(transport_.calls_errored(), 1u);
+    EXPECT_EQ(transport_.calls_timed_out(), 0u);
+    EXPECT_EQ(transport_.calls_failed(), 1u);
+    EXPECT_EQ(metrics.GetCounter("rpc.errors")->value(), 1u);
+    EXPECT_EQ(metrics.GetCounter("rpc.timeouts")->value(), 0u);
+    EXPECT_EQ(metrics.GetCounter("rpc.failed")->value(), 1u);
+}
+
+TEST_F(TransportTest, BlackholeCountsTimeoutNotError)
+{
+    telemetry::MetricsRegistry metrics;
+    transport_.AttachMetrics(&metrics);
+    transport_.Register("svc", [](const Payload&) { return Echo{1}; });
+
+    std::string reason;
+    transport_.Call(
+        "svc", Echo{0}, [](const Payload&) { FAIL(); },
+        [&](const std::string& r) { reason = r; }, /*timeout_ms=*/100);
+    // Unregister while the request is in flight: the call is
+    // blackholed and the caller only learns via its deadline.
+    transport_.Unregister("svc");
+    sim_.RunUntil(1000);
+
+    EXPECT_EQ(reason, "timeout");
+    EXPECT_EQ(transport_.calls_timed_out(), 1u);
+    EXPECT_EQ(transport_.calls_errored(), 0u);
+    EXPECT_EQ(transport_.calls_failed(), 1u);
+    EXPECT_EQ(metrics.GetCounter("rpc.timeouts")->value(), 1u);
+    EXPECT_EQ(metrics.GetCounter("rpc.errors")->value(), 0u);
+    EXPECT_EQ(metrics.GetCounter("rpc.failed")->value(), 1u);
+}
+
+TEST_F(TransportTest, FailedIsAlwaysErrorsPlusTimeouts)
+{
+    transport_.Register("up", [](const Payload&) { return Echo{1}; });
+    transport_.Register("doomed", [](const Payload&) { return Echo{1}; });
+    transport_.failures().SetEndpointDown("doomed", true);
+
+    for (int i = 0; i < 5; ++i) {
+        transport_.Call(
+            "doomed", Echo{0}, [](const Payload&) { FAIL(); },
+            [](const std::string&) {}, /*timeout_ms=*/100);
+        transport_.Call(
+            "missing", Echo{0}, [](const Payload&) { FAIL(); },
+            [](const std::string&) {}, /*timeout_ms=*/100);
+    }
+    for (int i = 0; i < 3; ++i) {
+        transport_.Call(
+            "up", Echo{0}, [](const Payload&) {},
+            [](const std::string&) {}, /*timeout_ms=*/1);  // too tight
+    }
+    sim_.RunUntil(10000);
+
+    EXPECT_EQ(transport_.calls_errored(), 10u);
+    EXPECT_EQ(transport_.calls_timed_out(), 3u);
+    EXPECT_EQ(transport_.calls_failed(),
+              transport_.calls_errored() + transport_.calls_timed_out());
+    EXPECT_EQ(transport_.calls_issued(),
+              transport_.calls_succeeded() + transport_.calls_failed());
 }
 
 TEST(LatencyModel, SampleWithinBounds)

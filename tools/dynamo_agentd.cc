@@ -1,0 +1,19 @@
+/**
+ * @file
+ * dynamo_agentd: hosts the servers and DynamoAgents of one leaf power
+ * device as a real process speaking the Dynamo wire protocol.
+ *
+ *   dynamo_agentd --spec fleet.conf --device sb0/rpp0 \
+ *       --listen unix:/run/dynamo/rpp0-agents.sock
+ *
+ * The controllers (tools/dynamo_controllerd) pull this daemon's agents
+ * over SocketTransport exactly as they would over SimTransport.
+ */
+#include "daemon/daemon.h"
+
+int
+main(int argc, char** argv)
+{
+    return dynamo::daemon::DaemonMain(argc, argv, "dynamo_agentd",
+                                      dynamo::daemon::Daemon::Role::kAgent);
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * dynamo_controllerd: hosts one (unchanged) LeafController or
+ * UpperController as a real process speaking the Dynamo wire protocol.
+ *
+ *   dynamo_controllerd --spec fleet.conf --level leaf --device sb0/rpp0 \
+ *       --listen unix:/run/dynamo/rpp0-ctl.sock \
+ *       --agents unix:/run/dynamo/rpp0-agents.sock
+ *
+ *   dynamo_controllerd --spec fleet.conf --level upper --device sb0 \
+ *       --listen unix:/run/dynamo/sb0-ctl.sock \
+ *       --child sb0/rpp0=unix:/run/dynamo/rpp0-ctl.sock \
+ *       --child sb0/rpp1=unix:/run/dynamo/rpp1-ctl.sock
+ *
+ * The controller also serves "<endpoint>.status" for operator probes.
+ */
+#include "daemon/daemon.h"
+
+int
+main(int argc, char** argv)
+{
+    return dynamo::daemon::DaemonMain(argc, argv, "dynamo_controllerd",
+                                      std::nullopt);
+}
