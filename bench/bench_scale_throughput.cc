@@ -95,6 +95,7 @@
 #include "core/leaf_controller.h"
 #include "core/upper_controller.h"
 #include "fleet/sharding.h"
+#include "policy/capping_policy.h"
 #include "power/topology.h"
 #include "replay/journal.h"
 #include "rpc/transport.h"
@@ -112,6 +113,9 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kServersPerLeaf = 240;
 constexpr std::size_t kLeavesPerSb = 8;
 constexpr std::size_t kSbsPerMsb = 4;
+
+/** Capping brain for every controller in the run (--policy). */
+policy::PolicyKind g_policy = policy::PolicyKind::kThreeBand;
 
 /** Leaf controller that wall-times each pull-cycle dispatch. */
 class TimedLeaf : public core::LeafController
@@ -267,6 +271,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms, bool with_metrics)
                                           /*quota=*/0.95 * rated));
 
         core::LeafController::Config config;
+        config.capping_policy = g_policy;
         auto leaf = std::make_unique<TimedLeaf>(
             sim, transport, "ctl:rpp:" + std::to_string(l), *devices.back(),
             config, /*log=*/nullptr);
@@ -299,6 +304,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms, bool with_metrics)
         sb_rated.push_back(rated);
 
         core::UpperController::Config config;
+        config.capping_policy = g_policy;
         auto sb = std::make_unique<TimedUpper>(
             sim, transport, "ctl:sb:" + std::to_string(s), rated,
             /*quota=*/0.95 * rated, config, /*log=*/nullptr);
@@ -318,6 +324,7 @@ RunSuite(std::size_t n_servers, SimTime measure_ms, bool with_metrics)
         rated *= 0.99;
 
         core::UpperController::Config config;
+        config.capping_policy = g_policy;
         auto msb = std::make_unique<TimedUpper>(
             sim, transport, "ctl:msb:" + std::to_string(m), rated,
             /*quota=*/0.95 * rated, config, /*log=*/nullptr);
@@ -463,6 +470,7 @@ RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
     config.checkpoint_every = checkpoint_every;
     config.scenario =
         reconfig ? "bench-scale-parallel-reconfig" : "bench-scale-parallel";
+    config.policy = g_policy;
     fleet::ShardedFleet fleet(config);
     if (reconfig) ScheduleBenchStorm(fleet);
 
@@ -754,6 +762,15 @@ main(int argc, char** argv)
             checkpoint_every = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--mega-smoke") {
             mega_smoke = true;
+        } else if (arg == "--policy") {
+            const char* name = next();
+            if (!policy::ParsePolicyKind(name, &g_policy)) {
+                std::fprintf(stderr,
+                             "--policy must be three_band|predictive|"
+                             "waterfill|fairshare; got '%s'\n",
+                             name);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--servers N] [--sim-seconds S] "
@@ -762,7 +779,7 @@ main(int argc, char** argv)
                          "[--journal FILE] [--reconfig] [--parallel-suite] "
                          "[--parallel-check MIN_SPEEDUP] "
                          "[--barrier-breakdown] [--checkpoint-every N] "
-                         "[--mega-smoke]\n",
+                         "[--mega-smoke] [--policy NAME]\n",
                          argv[0]);
             return 2;
         }

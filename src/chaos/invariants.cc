@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/deployment.h"
+#include "policy/capping_policy.h"
+#include "telemetry/metrics.h"
 
 namespace dynamo::chaos {
 namespace {
@@ -150,6 +152,28 @@ InvariantChecker::Check()
     // 5. Policy invariants on every decision span since the last check.
     CheckTraces();
 
+    // Flap-counter audit: with complete span coverage, the
+    // controllers' flap counters can never exceed the span-derived
+    // count (each metric increment corresponds to a fresh kCap span
+    // within the flap window of that controller's kUncap span). The
+    // converse is not checked — a controller detached from telemetry
+    // counts nothing while still emitting spans.
+    if (spans_missed_ == 0 && fleet_.trace_log() != nullptr &&
+        !flap_violation_reported_) {
+        telemetry::MetricsRegistry* metrics = fleet_.metrics();
+        if (metrics != nullptr) {
+            const std::uint64_t counted =
+                metrics->GetCounter("leaf.flaps")->value() +
+                metrics->GetCounter("upper.flaps")->value();
+            if (counted > span_flaps_) {
+                flap_violation_reported_ = true;
+                Violation("flap counters report " + std::to_string(counted) +
+                          " flaps but decision spans support only " +
+                          std::to_string(span_flaps_));
+            }
+        }
+    }
+
     // 4. Prompt release once faults cleared.
     if (faults_cleared_at_ >= 0 && recovery_time_ < 0 && AllReleased()) {
         recovery_time_ = now - faults_cleared_at_;
@@ -189,9 +213,34 @@ InvariantChecker::CheckTraces()
 void
 InvariantChecker::CheckSpan(const telemetry::TraceSpan& span)
 {
+    if (span.band == telemetry::TraceBand::kUncap) {
+        last_uncap_[span.source] = span.time;
+        return;
+    }
     if (span.band != telemetry::TraceBand::kCap) return;
     const std::string where =
         " (span#" + std::to_string(span.id) + " " + span.source + ")";
+
+    // Flap bookkeeping: a *fresh* capping episode (not a re-plan of an
+    // episode already in force, not an adoption — both have
+    // was_capping set) that starts within the controller's flap
+    // window of its own last release. Mirrors Controller::NoteCapStart
+    // exactly, so the controllers' flap counters can be audited
+    // against span-derived truth.
+    if (!span.was_capping) {
+        const auto& dep = fleet_.spec().deployment;
+        const core::ControllerBaseConfig& base =
+            span.kind == telemetry::SpanKind::kLeafDecision
+                ? dep.leaf.base
+                : dep.upper.base;
+        const auto it = last_uncap_.find(span.source);
+        if (it != last_uncap_.end() &&
+            span.time - it->second <=
+                static_cast<SimTime>(base.flap_window_cycles) *
+                    base.pull_cycle) {
+            ++span_flaps_;
+        }
+    }
 
     // The plan's allocations must sum to what it claims it cut.
     Watts allocated = 0.0;
@@ -225,7 +274,14 @@ InvariantChecker::CheckSpan(const telemetry::TraceSpan& span)
 
     // Upper spans: offender-first. An innocent (child at/under quota)
     // may only be cut once every offender has been pushed down to its
-    // quota — i.e. absorbed its full overage.
+    // quota — i.e. absorbed its full overage. This is a *three-band*
+    // contract: the other policy-lab brains (waterfill, fairshare)
+    // deliberately spread cuts across innocents by weight, so the
+    // audit applies only when the fleet runs the paper's planner.
+    if (fleet_.spec().deployment.upper.capping_policy !=
+        policy::PolicyKind::kThreeBand) {
+        return;
+    }
     bool innocent_cut = false;
     for (const telemetry::TraceAllocation& alloc : span.allocs) {
         if (!alloc.offender && alloc.cut > config_.sla_epsilon) {

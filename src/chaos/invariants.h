@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -105,6 +106,15 @@ class InvariantChecker
     /** Spans evicted from the trace ring before we could check them. */
     std::uint64_t spans_missed() const { return spans_missed_; }
 
+    /**
+     * Capping flaps derived from decision spans: a controller started
+     * a fresh capping episode within its flap window of its own last
+     * release. Cross-checked against the controllers' own flap
+     * counters — the metric may never exceed what the spans show
+     * (when span coverage is complete).
+     */
+    std::uint64_t span_flaps() const { return span_flaps_; }
+
     /** Accumulated time any controlled device drew above its limit. */
     SimTime over_limit_ms() const { return over_limit_ms_; }
 
@@ -154,6 +164,11 @@ class InvariantChecker
     telemetry::SpanId trace_cursor_ = 1;  ///< Next span id to verify.
     std::uint64_t spans_checked_ = 0;
     std::uint64_t spans_missed_ = 0;
+
+    /** Per-controller time of the last observed kUncap span. */
+    std::unordered_map<std::string, SimTime> last_uncap_;
+    std::uint64_t span_flaps_ = 0;
+    bool flap_violation_reported_ = false;
     bool release_violation_reported_ = false;
     ViolationHook hook_;
     sim::TaskHandle task_;

@@ -49,6 +49,10 @@ Controller::Controller(sim::Simulation& sim, rpc::Transport& transport,
         throw std::invalid_argument(
             "ControllerBaseConfig: hysteresis cycle counts must be >= 1");
     }
+    if (config_.flap_window_cycles < 0) {
+        throw std::invalid_argument(
+            "ControllerBaseConfig: flap_window_cycles must be >= 0");
+    }
 }
 
 Controller::~Controller()
@@ -312,7 +316,7 @@ Controller::AttachTelemetry(telemetry::MetricsRegistry* registry,
 {
     traces_ = traces;
     if (registry == nullptr) {
-        m_cycles_ = m_caps_ = m_uncaps_ = m_holds_ = nullptr;
+        m_cycles_ = m_caps_ = m_uncaps_ = m_holds_ = m_flaps_ = nullptr;
         m_cycle_us_ = m_cut_w_ = nullptr;
         return;
     }
@@ -321,12 +325,32 @@ Controller::AttachTelemetry(telemetry::MetricsRegistry* registry,
     m_caps_ = registry->GetCounter(prefix + ".caps");
     m_uncaps_ = registry->GetCounter(prefix + ".uncaps");
     m_holds_ = registry->GetCounter(prefix + ".holds");
+    m_flaps_ = registry->GetCounter(prefix + ".flaps");
     m_cycle_us_ = registry->GetHistogram(prefix + ".cycle_us");
     // Cut sizes span single-server trims to multi-rack sheds: extend
     // the exponential bounds up to ~1 MW.
     std::vector<double> cut_bounds;
     for (double b = 1.0; b <= 1048576.0; b *= 4.0) cut_bounds.push_back(b);
     m_cut_w_ = registry->GetHistogram(prefix + ".cut_w", std::move(cut_bounds));
+}
+
+void
+Controller::NoteCapStart()
+{
+    if (have_release_time_ &&
+        sim_.Now() - last_release_time_ <=
+            static_cast<SimTime>(config_.flap_window_cycles) *
+                config_.pull_cycle) {
+        ++flaps_;
+        if (m_flaps_ != nullptr) m_flaps_->Inc();
+    }
+}
+
+void
+Controller::NoteRelease()
+{
+    last_release_time_ = sim_.Now();
+    have_release_time_ = true;
 }
 
 void

@@ -103,6 +103,15 @@ struct ControllerBaseConfig
      * (hysteresis against flapping inputs).
      */
     int recovery_exit_cycles = 3;
+
+    /**
+     * Flap window: a capping episode that starts within this many
+     * pull cycles of the previous release counts as a *flap* — the
+     * controller released too eagerly and was immediately forced to
+     * re-cap. Surfaced as the `<prefix>.flaps` counter and audited by
+     * the invariant checker; the policy-lab judge scores brains on it.
+     */
+    int flap_window_cycles = 5;
 };
 
 /**
@@ -274,6 +283,14 @@ class Controller
     /** Pull retry attempts issued so far. */
     std::uint64_t retries_issued() const { return retries_issued_; }
 
+    /**
+     * Capping episodes re-entered within flap_window_cycles of the
+     * previous release. Caps adopted from a predecessor never count:
+     * adoption re-enters the existing episode instead of starting a
+     * fresh one.
+     */
+    std::uint64_t flaps() const { return flaps_; }
+
     /** Lowest contractual limit this controller could honor. */
     virtual Watts Floor() const = 0;
 
@@ -399,6 +416,18 @@ class Controller
     void LogEvent(telemetry::EventKind kind, Watts aggregated, Watts limit,
                   int servers_affected, const std::string& detail = "");
 
+    /**
+     * Flap accounting: subclasses call NoteCapStart when a fresh
+     * capping episode begins (kCap with was_capping false) and
+     * NoteRelease on every uncap. A start within flap_window_cycles ×
+     * pull_cycle of the last release increments the flap counter.
+     * Deliberately NOT part of Snapshot: the committed golden-journal
+     * checkpoints predate the counter and the metric is diagnostic,
+     * not decision state.
+     */
+    void NoteCapStart();
+    void NoteRelease();
+
     sim::Simulation& sim_;
     rpc::Transport& transport_;
     ControllerBaseConfig config_;
@@ -416,6 +445,7 @@ class Controller
     telemetry::Counter* m_caps_ = nullptr;
     telemetry::Counter* m_uncaps_ = nullptr;
     telemetry::Counter* m_holds_ = nullptr;
+    telemetry::Counter* m_flaps_ = nullptr;
     telemetry::Histogram* m_cycle_us_ = nullptr;
     telemetry::Histogram* m_cut_w_ = nullptr;
 
@@ -455,6 +485,11 @@ class Controller
     std::uint64_t unhealthy_cycles_ = 0;
     std::uint64_t retries_issued_ = 0;
     Rng retry_rng_;
+
+    /** Flap accounting (see NoteCapStart; excluded from Snapshot). */
+    std::uint64_t flaps_ = 0;
+    SimTime last_release_time_ = 0;
+    bool have_release_time_ = false;
 };
 
 }  // namespace dynamo::core

@@ -54,6 +54,13 @@ ControllerBuilder::UpperConfig(UpperController::Config config)
 }
 
 ControllerBuilder&
+ControllerBuilder::Policy(policy::PolicyKind kind)
+{
+    policy_ = kind;
+    return *this;
+}
+
+ControllerBuilder&
 ControllerBuilder::Log(telemetry::EventLog* log)
 {
     log_ = log;
@@ -108,9 +115,11 @@ ControllerBuilder::BuildLeaf() const
             "ControllerBuilder: child controllers belong to uppers; "
             "a leaf roster is added with Agent");
     }
+    LeafController::Config config =
+        leaf_config_ ? *leaf_config_ : LeafController::Config{};
+    if (policy_) config.capping_policy = *policy_;
     std::unique_ptr<LeafController> leaf(new LeafController(
-        sim_, transport_, endpoint_, *device_,
-        leaf_config_ ? *leaf_config_ : LeafController::Config{}, log_));
+        sim_, transport_, endpoint_, *device_, config, log_));
     for (const AgentInfo& info : agents_) leaf->AddAgent(info);
     if (metrics_ != nullptr || traces_ != nullptr) {
         leaf->AttachTelemetry(metrics_, traces_);
@@ -146,9 +155,11 @@ ControllerBuilder::BuildUpper() const
     const Watts physical =
         device_ != nullptr ? device_->rated_power() : *physical_limit_;
     const Watts quota = device_ != nullptr ? device_->quota() : *quota_;
+    UpperController::Config config =
+        upper_config_ ? *upper_config_ : UpperController::Config{};
+    if (policy_) config.capping_policy = *policy_;
     std::unique_ptr<UpperController> upper(new UpperController(
-        sim_, transport_, endpoint_, physical, quota,
-        upper_config_ ? *upper_config_ : UpperController::Config{}, log_));
+        sim_, transport_, endpoint_, physical, quota, config, log_));
     for (const std::string& child : children_) upper->AddChild(child);
     if (metrics_ != nullptr || traces_ != nullptr) {
         upper->AttachTelemetry(metrics_, traces_);

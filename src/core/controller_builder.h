@@ -58,6 +58,14 @@ class ControllerBuilder
     ControllerBuilder& LeafConfig(LeafController::Config config);
     ControllerBuilder& UpperConfig(UpperController::Config config);
 
+    /**
+     * Select the capping brain for the built controller (leaf or
+     * upper). Applied on top of the Leaf/UpperConfig — or the default
+     * config — at Build time, so callers that only care about the
+     * brain don't have to spell out a full config.
+     */
+    ControllerBuilder& Policy(policy::PolicyKind kind);
+
     /** Event log sink (may be nullptr; default none). */
     ControllerBuilder& Log(telemetry::EventLog* log);
 
@@ -98,6 +106,7 @@ class ControllerBuilder
     std::optional<Watts> quota_;
     std::optional<LeafController::Config> leaf_config_;
     std::optional<UpperController::Config> upper_config_;
+    std::optional<policy::PolicyKind> policy_;
     telemetry::EventLog* log_ = nullptr;
     telemetry::MetricsRegistry* metrics_ = nullptr;
     telemetry::TraceLog* traces_ = nullptr;

@@ -13,7 +13,8 @@ LeafController::LeafController(sim::Simulation& sim, rpc::Transport& transport,
     : Controller(sim, transport, std::move(endpoint), device.rated_power(),
                  device.quota(), config.base, log),
       device_(device),
-      leaf_config_(config)
+      leaf_config_(config),
+      policy_(policy::MakeCappingPolicy(config.capping_policy))
 {
 }
 
@@ -208,6 +209,33 @@ LeafController::Aggregate()
     ValidateAgainstBreaker(aggregated);
 
     const Watts limit = EffectiveLimit();
+
+    // Roster view for the brain. Names are deliberately left empty:
+    // plans refer to agents by index, so no per-cycle string copies
+    // are needed. Stateless brains only see it while capping (the
+    // pre-interface hot path); observing brains get it every valid
+    // cycle so they can track demand between episodes.
+    auto fill_infos = [&]() {
+        infos_.resize(agents_.size());
+        for (std::size_t i = 0; i < agents_.size(); ++i) {
+            infos_[i].power = powers[i];
+            infos_[i].priority_group = agents_[i].info.priority_group;
+            infos_[i].sla_min_cap = agents_[i].info.sla_min_cap;
+        }
+    };
+    policy::PolicyContext pctx;
+    pctx.bucket_size = leaf_config_.bucket_size;
+    pctx.allocation_policy = leaf_config_.allocation_policy;
+    pctx.aggregated = aggregated;
+    pctx.limit = limit;
+    pctx.now = now;
+    pctx.cycle_ms = config_.pull_cycle;
+    const bool observing = policy_->WantsObservations();
+    if (observing) {
+        fill_infos();
+        policy_->ObserveServers(infos_, pctx);
+    }
+
     const bool was_capping = bands_.capping();
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
@@ -229,18 +257,12 @@ LeafController::Aggregate()
     };
 
     if (decision.action == BandAction::kCap) {
-        // Names are deliberately left empty: the plan refers to agents
-        // by index, so no per-cycle string copies are needed.
-        infos_.resize(agents_.size());
-        for (std::size_t i = 0; i < agents_.size(); ++i) {
-            infos_[i].power = powers[i];
-            infos_[i].priority_group = agents_[i].info.priority_group;
-            infos_[i].sla_min_cap = agents_[i].info.sla_min_cap;
-        }
-        ComputeCappingPlan(infos_, decision.cut, leaf_config_.bucket_size,
-                           leaf_config_.allocation_policy, capping_ws_,
-                           &capping_plan_);
+        if (!observing) fill_infos();
+        pctx.target = decision.target;
+        policy_->PlanServerCuts(infos_, decision.cut, pctx, capping_ws_,
+                                &capping_plan_);
         const CappingPlan& plan = capping_plan_;
+        if (!was_capping) NoteCapStart();
         if (!config_.dry_run) ExecuteCapPlan(plan);
         LogEvent(was_capping ? telemetry::EventKind::kCapUpdate
                              : telemetry::EventKind::kCapStart,
@@ -302,6 +324,7 @@ LeafController::Aggregate()
             }
         }
     } else if (decision.action == BandAction::kUncap) {
+        NoteRelease();
         if (!config_.dry_run) ExecuteUncap();
         if (shedding_ && shedder_ != nullptr) {
             shedder_->ClearShed(endpoint());
@@ -393,6 +416,10 @@ LeafController::Snapshot(Archive& ar) const
         ar.Bool(a.capped);
         ar.F64(a.cap);
     }
+    // Brain state last: three_band writes nothing (pinning the
+    // pre-interface checkpoint byte layout the golden journals carry);
+    // stateful brains append their forecast state.
+    policy_->Snapshot(ar);
 }
 
 }  // namespace dynamo::core

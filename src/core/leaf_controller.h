@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/capping_policy.h"
 #include "core/controller.h"
 #include "core/load_shed.h"
+#include "policy/capping_policy.h"
 #include "power/breaker_telemetry.h"
 #include "power/device.h"
 #include "workload/service.h"
@@ -60,6 +63,13 @@ class LeafController : public Controller
 
         /** Within-group allocation rule (paper: high-bucket-first). */
         AllocationPolicy allocation_policy = AllocationPolicy::kHighBucketFirst;
+
+        /**
+         * Capping brain computing the cut split (the policy lab).
+         * three_band is the paper's planner and the default; see
+         * policy/capping_policy.h for the alternatives.
+         */
+        policy::PolicyKind capping_policy = policy::PolicyKind::kThreeBand;
 
         /**
          * Safety margin on emergency shed requests: the requested
@@ -143,6 +153,9 @@ class LeafController : public Controller
     /** Most recent breaker-vs-aggregation relative mismatch. */
     double last_validation_mismatch() const { return last_mismatch_; }
 
+    /** The capping brain in force (for tests and status surfaces). */
+    policy::PolicyKind capping_policy() const { return policy_->kind(); }
+
     Watts Floor() const override;
 
     const Config& config() const { return leaf_config_; }
@@ -209,6 +222,10 @@ class LeafController : public Controller
 
     power::PowerDevice& device_;
     Config leaf_config_;
+
+    /** The selected capping brain (never null). */
+    std::unique_ptr<policy::CappingPolicy> policy_;
+
     std::vector<AgentState> agents_;
 
     /** Per-cycle scratch, reused so aggregation is allocation-free. */

@@ -11,7 +11,8 @@ UpperController::UpperController(sim::Simulation& sim,
                                  telemetry::EventLog* log)
     : Controller(sim, transport, std::move(endpoint), physical_limit, quota,
                  config.base, log),
-      upper_config_(config)
+      upper_config_(config),
+      policy_(policy::MakeCappingPolicy(config.capping_policy))
 {
 }
 
@@ -172,6 +173,19 @@ UpperController::Aggregate()
     UpdateHealth(true);
 
     const Watts limit = EffectiveLimit();
+
+    policy::PolicyContext pctx;
+    pctx.bucket_size = upper_config_.bucket_size;
+    pctx.aggregated = aggregated;
+    pctx.limit = limit;
+    pctx.now = now;
+    pctx.cycle_ms = config_.pull_cycle;
+    // The fresh-children view is built every cycle anyway, so
+    // observing brains track demand here at no extra roster cost.
+    if (policy_->WantsObservations()) {
+        policy_->ObserveChildren(infos_, pctx);
+    }
+
     const bool was_capping = bands_.capping();
     const BandDecision decision = DecideBand(aggregated, !releases_frozen());
 
@@ -191,9 +205,11 @@ UpperController::Aggregate()
     };
 
     if (decision.action == BandAction::kCap) {
-        ComputeOffenderPlan(infos_, decision.cut, upper_config_.bucket_size,
-                            offender_ws_, &offender_plan_);
+        pctx.target = decision.target;
+        policy_->PlanChildLimits(infos_, decision.cut, pctx, offender_ws_,
+                                 &offender_plan_);
         const OffenderPlan& plan = offender_plan_;
+        if (!was_capping) NoteCapStart();
 
         // The span is appended before the contract commands go out so
         // its id can ride along in SetContractualLimitRequest and the
@@ -243,6 +259,7 @@ UpperController::Aggregate()
                      "offender plan unsatisfiable within floors");
         }
     } else if (decision.action == BandAction::kUncap) {
+        NoteRelease();
         if (!config_.dry_run) ClearContracts();
         LogEvent(telemetry::EventKind::kUncap, aggregated, limit,
                  static_cast<int>(children_.size()),
@@ -349,6 +366,10 @@ UpperController::Snapshot(Archive& ar) const
         ar.F64(c.last.quota);
         ar.F64(c.last.floor);
     }
+    // Brain state last: three_band writes nothing (pinning the
+    // pre-interface checkpoint byte layout the golden journals carry);
+    // stateful brains append their forecast state.
+    policy_->Snapshot(ar);
 }
 
 }  // namespace dynamo::core

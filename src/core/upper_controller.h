@@ -15,12 +15,14 @@
 #ifndef DYNAMO_CORE_UPPER_CONTROLLER_H_
 #define DYNAMO_CORE_UPPER_CONTROLLER_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/capping_policy.h"
 #include "core/controller.h"
+#include "policy/capping_policy.h"
 
 namespace dynamo::core {
 
@@ -36,6 +38,13 @@ class UpperController : public Controller
 
         /** High-bucket-first width for child cuts (KW scale). */
         Watts bucket_size = 2000.0;
+
+        /**
+         * Capping brain computing the child-limit split (the policy
+         * lab). three_band is the paper's punish-offender-first
+         * planner and the default.
+         */
+        policy::PolicyKind capping_policy = policy::PolicyKind::kThreeBand;
     };
 
     /** Register one child controller endpoint. */
@@ -68,6 +77,9 @@ class UpperController : public Controller
     /** Quota/floor data discovered from a child (for tests). */
     std::optional<api::PowerReadResult> LastChildResponse(
         const std::string& endpoint) const;
+
+    /** The capping brain in force (for tests and status surfaces). */
+    policy::PolicyKind capping_policy() const { return policy_->kind(); }
 
     Watts Floor() const override;
 
@@ -128,6 +140,10 @@ class UpperController : public Controller
     void ClearContracts();
 
     Config upper_config_;
+
+    /** The selected capping brain (never null). */
+    std::unique_ptr<policy::CappingPolicy> policy_;
+
     std::vector<ChildState> children_;
 
     /**

@@ -305,7 +305,8 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
 
         core::ControllerBuilder builder(shard.sim, shard.transport);
         builder.Endpoint("ctl:rpp:" + std::to_string(l))
-            .ForDevice(*shard.devices.back());
+            .ForDevice(*shard.devices.back())
+            .Policy(config_.policy);
         for (std::size_t k = leaf_first_server; k < shard.servers.size();
              ++k) {
             const std::size_t i = first + (k - leaf_first_server);
@@ -341,6 +342,12 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
              << "shards=" << plan_.shards.size() << "\n"
              << "seed=" << config_.seed << "\n"
              << "window_ms=" << kShardWindowMs << "\n";
+        // Non-default only: committed sharded goldens predate the
+        // policy lab and must keep their exact spec text.
+        if (config_.policy != policy::PolicyKind::kThreeBand) {
+            spec << "policy=" << policy::PolicyKindName(config_.policy)
+                 << "\n";
+        }
         journal_.spec_text = spec.str();
         journal_.scenario = config_.scenario;
         journal_.cycle_period = kShardWindowMs;
@@ -378,7 +385,8 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
 
         core::ControllerBuilder builder(control_->sim, control_->transport);
         builder.Endpoint("ctl:sb:" + std::to_string(s))
-            .Limits(rated, /*quota=*/0.95 * rated);
+            .Limits(rated, /*quota=*/0.95 * rated)
+            .Policy(config_.policy);
         for (std::size_t l = shard.first_leaf; l < shard.last_leaf; ++l) {
             builder.Child("ctl:rpp:" + std::to_string(l));
         }
@@ -398,7 +406,8 @@ ShardedFleet::BuildControlShard(const std::vector<Watts>& leaf_rated)
 
         core::ControllerBuilder builder(control_->sim, control_->transport);
         builder.Endpoint("ctl:msb:" + std::to_string(m))
-            .Limits(rated, /*quota=*/0.95 * rated);
+            .Limits(rated, /*quota=*/0.95 * rated)
+            .Policy(config_.policy);
         for (std::size_t s = first; s < last; ++s) {
             builder.Child("ctl:sb:" + std::to_string(s));
         }
@@ -839,7 +848,8 @@ ShardedFleet::ApplyPromoteUpper(const ReconfigOp& op)
 
     core::ControllerBuilder builder(control_->sim, control_->transport);
     builder.Endpoint("ctl:sb:" + std::to_string(s))
-        .Limits(sb_rated_[s], /*quota=*/0.95 * sb_rated_[s]);
+        .Limits(sb_rated_[s], /*quota=*/0.95 * sb_rated_[s])
+        .Policy(config_.policy);
     for (std::size_t l = 0; l < plan_.n_leaves; ++l) {
         if (leaf_alive_[l] != 0 && leaf_parent_[l] == s) {
             builder.Child(control_->proxies[l].endpoint);

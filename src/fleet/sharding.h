@@ -170,6 +170,13 @@ struct ShardedFleetConfig
 
     /** Scenario label stamped into the journal header. */
     std::string scenario = "sharded-scale";
+
+    /**
+     * Capping brain for every controller (leaves and uppers alike),
+     * stamped into the journal spec text when non-default so replay
+     * artifacts are attributable to the brain that produced them.
+     */
+    policy::PolicyKind policy = policy::PolicyKind::kThreeBand;
 };
 
 /**

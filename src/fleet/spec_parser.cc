@@ -1,5 +1,7 @@
 #include "fleet/spec_parser.h"
 
+#include "policy/capping_policy.h"
+
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -316,6 +318,19 @@ ParseFleetSpec(std::istream& in)
         } else if (key == "with_backup_controllers") {
             spec.deployment.with_backup_controllers =
                 ParseBool(value, line_no, line);
+        } else if (key == "capping_policy") {
+            // The capping brain is fleet-wide: both levels run the same
+            // policy so the judge compares like against like. Unknown
+            // names fail as invalid_argument (a value error, not a
+            // syntax error) naming the key and line.
+            policy::PolicyKind kind = policy::PolicyKind::kThreeBand;
+            if (!policy::ParsePolicyKind(value, &kind)) {
+                FailNumeric(key, line_no, line,
+                            "must be three_band|predictive|waterfill|"
+                            "fairshare");
+            }
+            spec.deployment.leaf.capping_policy = kind;
+            spec.deployment.upper.capping_policy = kind;
         } else {
             Fail(line_no, line, "unknown key '" + key + "'");
         }
@@ -436,6 +451,14 @@ WriteFleetSpec(std::ostream& out, const FleetSpec& spec)
     kv("dry_run", spec.deployment.leaf.base.dry_run ? "true" : "false");
     kv("with_backup_controllers",
        spec.deployment.with_backup_controllers ? "true" : "false");
+    // Emitted only when non-default so the serialized form of every
+    // pre-policy-lab spec — including the canonical text embedded in
+    // committed golden journals — stays byte-identical.
+    if (spec.deployment.leaf.capping_policy !=
+        policy::PolicyKind::kThreeBand) {
+        kv("capping_policy",
+           policy::PolicyKindName(spec.deployment.leaf.capping_policy));
+    }
 }
 
 std::string

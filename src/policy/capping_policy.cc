@@ -1,0 +1,54 @@
+#include "policy/capping_policy.h"
+
+#include "policy/fairshare_planner.h"
+#include "policy/predictive_planner.h"
+#include "policy/three_band_planner.h"
+#include "policy/waterfill_planner.h"
+
+namespace dynamo::policy {
+
+const char*
+PolicyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kThreeBand: return "three_band";
+      case PolicyKind::kPredictive: return "predictive";
+      case PolicyKind::kWaterfill: return "waterfill";
+      case PolicyKind::kFairShare: return "fairshare";
+    }
+    return "?";
+}
+
+bool
+ParsePolicyKind(const std::string& name, PolicyKind* out)
+{
+    for (const PolicyKind kind : AllPolicyKinds()) {
+        if (name == PolicyKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<PolicyKind>
+AllPolicyKinds()
+{
+    return {PolicyKind::kThreeBand, PolicyKind::kPredictive,
+            PolicyKind::kWaterfill, PolicyKind::kFairShare};
+}
+
+std::unique_ptr<CappingPolicy>
+MakeCappingPolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kThreeBand: return std::make_unique<ThreeBandPlanner>();
+      case PolicyKind::kPredictive:
+        return std::make_unique<PredictivePlanner>();
+      case PolicyKind::kWaterfill: return std::make_unique<WaterfillPlanner>();
+      case PolicyKind::kFairShare: return std::make_unique<FairSharePlanner>();
+    }
+    return std::make_unique<ThreeBandPlanner>();
+}
+
+}  // namespace dynamo::policy

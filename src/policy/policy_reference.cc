@@ -1,0 +1,276 @@
+#include "policy/policy_reference.h"
+
+#include "policy/fairshare_planner.h"
+#include "policy/predictive_planner.h"
+#include "policy/waterfill_planner.h"
+
+namespace dynamo::policy::reference {
+namespace {
+
+/** Mirrors SolveWaterfill in waterfill_planner.cc, by value. */
+std::vector<double>
+ReferenceWaterfill(const std::vector<double>& headroom,
+                   const std::vector<double>& weight, Watts cut,
+                   double* planned_out)
+{
+    const std::size_t n = headroom.size();
+    std::vector<double> cuts(n, 0.0);
+    double total_headroom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total_headroom += headroom[i];
+    if (total_headroom <= cut) {
+        for (std::size_t i = 0; i < n; ++i) cuts[i] = headroom[i];
+        *planned_out = total_headroom;
+        return cuts;
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double top = weight[i] * headroom[i];
+        if (top > hi) hi = top;
+    }
+    for (int iter = 0; iter < 64 && hi - lo > 1e-9; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        double alloc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double c = mid / weight[i];
+            alloc += c < headroom[i] ? c : headroom[i];
+        }
+        if (alloc < cut) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    double planned = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double c = hi / weight[i];
+        cuts[i] = c < headroom[i] ? c : headroom[i];
+        planned += cuts[i];
+    }
+    *planned_out = planned;
+    return cuts;
+}
+
+/** Mirrors SolveFairShare in fairshare_planner.cc, by value. */
+std::vector<double>
+ReferenceFairShare(const std::vector<double>& headroom,
+                   const std::vector<double>& weight, Watts cut,
+                   bool* satisfied)
+{
+    const std::size_t n = headroom.size();
+    std::vector<double> cuts(n, 0.0);
+    double total_headroom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total_headroom += headroom[i];
+    *satisfied = total_headroom >= cut;
+    if (total_headroom <= cut) {
+        for (std::size_t i = 0; i < n; ++i) cuts[i] = headroom[i];
+        return cuts;
+    }
+    std::vector<std::uint32_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (headroom[i] > 0.0) active.push_back(static_cast<std::uint32_t>(i));
+    }
+    double remaining = cut;
+    for (std::size_t round = 0;
+         round <= n && remaining > 1e-12 && !active.empty(); ++round) {
+        double basis = 0.0;
+        for (const std::uint32_t idx : active) {
+            basis += weight[idx] * (headroom[idx] - cuts[idx]);
+        }
+        if (basis <= 0.0) break;
+        bool clipped = false;
+        double given = 0.0;
+        std::vector<std::uint32_t> survivors;
+        for (const std::uint32_t idx : active) {
+            const double room = headroom[idx] - cuts[idx];
+            double share = remaining * (weight[idx] * room) / basis;
+            if (share >= room) {
+                share = room;
+                clipped = true;
+            } else {
+                survivors.push_back(idx);
+            }
+            cuts[idx] += share;
+            given += share;
+        }
+        remaining -= given;
+        active.swap(survivors);
+        if (!clipped) break;
+    }
+    return cuts;
+}
+
+core::CappingPlan
+ServerPlanFromCuts(const std::vector<core::ServerPowerInfo>& servers,
+                   const std::vector<double>& cuts, bool satisfied)
+{
+    core::CappingPlan plan;
+    plan.satisfied = satisfied;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (cuts[i] <= 0.0) continue;
+        core::CapAssignment assignment;
+        assignment.index = i;
+        assignment.cap = servers[i].power - cuts[i];
+        assignment.cut = cuts[i];
+        plan.planned_cut += cuts[i];
+        plan.assignments.push_back(std::move(assignment));
+    }
+    return plan;
+}
+
+core::OffenderPlan
+ChildPlanFromCuts(const std::vector<core::ChildPowerInfo>& children,
+                  const std::vector<double>& cuts, bool satisfied)
+{
+    core::OffenderPlan plan;
+    plan.satisfied = satisfied;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (cuts[i] <= 0.0) continue;
+        core::ChildLimit limit;
+        limit.index = i;
+        limit.contractual_limit = children[i].power - cuts[i];
+        limit.cut = cuts[i];
+        plan.planned_cut += cuts[i];
+        plan.limits.push_back(std::move(limit));
+    }
+    return plan;
+}
+
+}  // namespace
+
+core::CappingPlan
+WaterfillServerPlan(const std::vector<core::ServerPowerInfo>& servers,
+                    Watts cut)
+{
+    const std::size_t n = servers.size();
+    if (n == 0 || cut <= 0.0) {
+        core::CappingPlan plan;
+        plan.satisfied = cut <= 0.0;
+        return plan;
+    }
+    std::vector<double> headroom(n);
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double h = servers[i].power - servers[i].sla_min_cap;
+        headroom[i] = h > 0.0 ? h : 0.0;
+        double w = 1.0 + static_cast<double>(servers[i].priority_group);
+        if (w < 1.0) w = 1.0;
+        weight[i] = w;
+    }
+    double planned = 0.0;
+    const std::vector<double> cuts =
+        ReferenceWaterfill(headroom, weight, cut, &planned);
+    return ServerPlanFromCuts(servers, cuts, planned >= cut);
+}
+
+core::OffenderPlan
+WaterfillChildPlan(const std::vector<core::ChildPowerInfo>& children,
+                   Watts cut)
+{
+    const std::size_t n = children.size();
+    if (n == 0 || cut <= 0.0) {
+        core::OffenderPlan plan;
+        plan.satisfied = cut <= 0.0;
+        return plan;
+    }
+    std::vector<double> headroom(n);
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double h = children[i].power - children[i].floor;
+        headroom[i] = h > 0.0 ? h : 0.0;
+        weight[i] = children[i].power > children[i].quota
+                        ? 1.0
+                        : WaterfillPlanner::kInnocentWeight;
+    }
+    double planned = 0.0;
+    const std::vector<double> cuts =
+        ReferenceWaterfill(headroom, weight, cut, &planned);
+    return ChildPlanFromCuts(children, cuts, planned >= cut);
+}
+
+core::CappingPlan
+FairShareServerPlan(const std::vector<core::ServerPowerInfo>& servers,
+                    Watts cut)
+{
+    const std::size_t n = servers.size();
+    if (n == 0 || cut <= 0.0) {
+        core::CappingPlan plan;
+        plan.satisfied = cut <= 0.0;
+        return plan;
+    }
+    std::vector<double> headroom(n);
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double h = servers[i].power - servers[i].sla_min_cap;
+        headroom[i] = h > 0.0 ? h : 0.0;
+        double group = static_cast<double>(servers[i].priority_group);
+        if (group < 0.0) group = 0.0;
+        weight[i] = 1.0 / (1.0 + group);
+    }
+    bool satisfied = false;
+    const std::vector<double> cuts =
+        ReferenceFairShare(headroom, weight, cut, &satisfied);
+    return ServerPlanFromCuts(servers, cuts, satisfied);
+}
+
+core::OffenderPlan
+FairShareChildPlan(const std::vector<core::ChildPowerInfo>& children,
+                   Watts cut)
+{
+    const std::size_t n = children.size();
+    if (n == 0 || cut <= 0.0) {
+        core::OffenderPlan plan;
+        plan.satisfied = cut <= 0.0;
+        return plan;
+    }
+    std::vector<double> headroom(n);
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double h = children[i].power - children[i].floor;
+        headroom[i] = h > 0.0 ? h : 0.0;
+        weight[i] = children[i].power > children[i].quota
+                        ? FairSharePlanner::kOffenderWeight
+                        : 1.0;
+    }
+    bool satisfied = false;
+    const std::vector<double> cuts =
+        ReferenceFairShare(headroom, weight, cut, &satisfied);
+    return ChildPlanFromCuts(children, cuts, satisfied);
+}
+
+void
+HoltForecast::Observe(const std::vector<double>& powers)
+{
+    const std::size_t n = powers.size();
+    if (level.size() != n) {
+        level.assign(n, 0.0);
+        slope.assign(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) level[i] = powers[i];
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = powers[i];
+        const double prev_level = level[i];
+        level[i] = PredictivePlanner::kAlpha * p +
+                   (1.0 - PredictivePlanner::kAlpha) * (prev_level + slope[i]);
+        slope[i] = PredictivePlanner::kBeta * (level[i] - prev_level) +
+                   (1.0 - PredictivePlanner::kBeta) * slope[i];
+    }
+}
+
+Watts
+HoltForecast::WidenedCut(const std::vector<double>& powers, Watts cut) const
+{
+    if (level.size() != powers.size()) return cut;
+    double predicted = 0.0;
+    double measured = 0.0;
+    for (std::size_t i = 0; i < powers.size(); ++i) {
+        predicted += level[i] + slope[i];
+        measured += powers[i];
+    }
+    const double anticipatory = predicted - measured;
+    if (anticipatory > 0.0) return cut + anticipatory;
+    return cut;
+}
+
+}  // namespace dynamo::policy::reference

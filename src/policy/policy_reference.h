@@ -1,0 +1,61 @@
+/**
+ * @file
+ * By-value reference oracles for the policy-lab brains.
+ *
+ * The PR 2 pattern, extended to the new brains: each oracle is a
+ * plain, allocation-happy implementation of the same math with the
+ * same floating-point operation order, so equivalence tests can use
+ * exact EXPECT_EQ on every double — any drift between a brain and its
+ * oracle (reordered sums, a "clever" refactor changing rounding) fails
+ * loudly instead of silently invalidating recorded journals.
+ *
+ * three_band needs no oracle here: ThreeBandPlanner delegates to the
+ * arena planner, which core/capping_policy_reference.h already pins.
+ */
+#ifndef DYNAMO_POLICY_POLICY_REFERENCE_H_
+#define DYNAMO_POLICY_POLICY_REFERENCE_H_
+
+#include <vector>
+
+#include "core/capping_policy.h"
+
+namespace dynamo::policy::reference {
+
+/** Oracle for WaterfillPlanner::PlanServerCuts. */
+core::CappingPlan WaterfillServerPlan(
+    const std::vector<core::ServerPowerInfo>& servers, Watts cut);
+
+/** Oracle for WaterfillPlanner::PlanChildLimits. */
+core::OffenderPlan WaterfillChildPlan(
+    const std::vector<core::ChildPowerInfo>& children, Watts cut);
+
+/** Oracle for FairSharePlanner::PlanServerCuts. */
+core::CappingPlan FairShareServerPlan(
+    const std::vector<core::ServerPowerInfo>& servers, Watts cut);
+
+/** Oracle for FairSharePlanner::PlanChildLimits. */
+core::OffenderPlan FairShareChildPlan(
+    const std::vector<core::ChildPowerInfo>& children, Watts cut);
+
+/**
+ * Oracle for the PredictivePlanner forecast: feed it the same power
+ * sequences and it reproduces the brain's Holt state and cut widening
+ * bit for bit. The brain then delegates the split to the arena
+ * planner, so PredictivePlanner::PlanServerCuts must equal
+ * core::ComputeCappingPlan(servers, WidenedCut(powers, cut)) exactly.
+ */
+struct HoltForecast
+{
+    std::vector<double> level;
+    std::vector<double> slope;
+
+    /** One observation pass (mirrors the brain's per-cycle update). */
+    void Observe(const std::vector<double>& powers);
+
+    /** cut + max(0, predicted aggregate − measured aggregate). */
+    Watts WidenedCut(const std::vector<double>& powers, Watts cut) const;
+};
+
+}  // namespace dynamo::policy::reference
+
+#endif  // DYNAMO_POLICY_POLICY_REFERENCE_H_

@@ -5,6 +5,7 @@
 
 #include "common/units.h"
 #include "fleet/report.h"
+#include "policy/capping_policy.h"
 
 namespace dynamo::fleet {
 namespace {
@@ -128,6 +129,10 @@ TEST(SpecParser, BadNumericValuesNameTheKey)
         {"upper_pull_cycle_ms = 9000.5", "upper_pull_cycle_ms"},
         {"response_wait_ms = 0", "response_wait_ms"},
         {"rpc_timeout_ms = nine", "rpc_timeout_ms"},
+        // capping brains: unknown names, wrong separators, wrong case
+        {"capping_policy = round_robin", "capping_policy"},
+        {"capping_policy = three-band", "capping_policy"},
+        {"capping_policy = THREE_BAND", "capping_policy"},
     };
     for (const BadCase& c : cases) {
         try {
@@ -159,6 +164,33 @@ TEST(SpecParser, ControlTimingKeys)
     EXPECT_EQ(spec.deployment.upper.base.response_wait, 150);
     EXPECT_EQ(spec.deployment.leaf.base.rpc_timeout, 120);
     EXPECT_EQ(spec.deployment.upper.base.rpc_timeout, 120);
+}
+
+TEST(SpecParser, CappingPolicySetsBothLevels)
+{
+    struct PolicyCase
+    {
+        const char* name;
+        policy::PolicyKind kind;
+    };
+    const PolicyCase cases[] = {
+        {"three_band", policy::PolicyKind::kThreeBand},
+        {"predictive", policy::PolicyKind::kPredictive},
+        {"waterfill", policy::PolicyKind::kWaterfill},
+        {"fairshare", policy::PolicyKind::kFairShare},
+    };
+    for (const PolicyCase& c : cases) {
+        const FleetSpec spec = ParseFleetSpecString(
+            std::string("capping_policy = ") + c.name + "\n");
+        EXPECT_EQ(spec.deployment.leaf.capping_policy, c.kind) << c.name;
+        EXPECT_EQ(spec.deployment.upper.capping_policy, c.kind) << c.name;
+    }
+    // Unset: the paper's brain on both levels.
+    const FleetSpec plain = ParseFleetSpecString("seed = 1\n");
+    EXPECT_EQ(plain.deployment.leaf.capping_policy,
+              policy::PolicyKind::kThreeBand);
+    EXPECT_EQ(plain.deployment.upper.capping_policy,
+              policy::PolicyKind::kThreeBand);
 }
 
 TEST(SpecParser, RpcTimeoutMustBeBelowResponseWait)

@@ -115,5 +115,29 @@ TEST(FleetSpecRoundTrip, SeedRejectsGarbage)
     EXPECT_THROW(ParseFleetSpecString("seed = 1.5\n"), std::invalid_argument);
 }
 
+TEST(FleetSpecRoundTrip, DefaultPolicyEmitsNoKey)
+{
+    // Committed golden journals embed the serialized spec; the default
+    // brain must leave the byte stream exactly as it was before the
+    // policy lab existed.
+    const std::string text = SerializeFleetSpec(FleetSpec{});
+    EXPECT_EQ(text.find("capping_policy"), std::string::npos);
+}
+
+TEST(FleetSpecRoundTrip, NonDefaultPolicySurvives)
+{
+    FleetSpec spec;
+    spec.deployment.leaf.capping_policy = policy::PolicyKind::kPredictive;
+    spec.deployment.upper.capping_policy = policy::PolicyKind::kPredictive;
+    ExpectRoundTrips(spec);
+    const std::string text = SerializeFleetSpec(spec);
+    EXPECT_NE(text.find("capping_policy = predictive"), std::string::npos);
+    const FleetSpec reparsed = ParseFleetSpecString(text);
+    EXPECT_EQ(reparsed.deployment.leaf.capping_policy,
+              policy::PolicyKind::kPredictive);
+    EXPECT_EQ(reparsed.deployment.upper.capping_policy,
+              policy::PolicyKind::kPredictive);
+}
+
 }  // namespace
 }  // namespace dynamo::fleet

@@ -1,0 +1,78 @@
+// Per-brain determinism on the sharded engine: every policy-lab brain
+// must produce byte-identical DYNJRNL1 journals (a) across two runs
+// with the same seed and (b) across worker-thread counts. Thread-count
+// independence is the property the parallel kernel's merge order
+// guarantees for three_band; the new brains must not break it with
+// hidden iteration-order or accumulation-order dependence.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/sharding.h"
+#include "policy/capping_policy.h"
+#include "replay/journal.h"
+
+namespace dynamo {
+namespace {
+
+std::string
+RunSharded(policy::PolicyKind kind, std::size_t threads)
+{
+    fleet::ShardedFleetConfig config;
+    config.n_servers = 2000;
+    config.threads = threads;
+    config.seed = 4242;
+    config.record_journal = true;
+    config.checkpoint_every = 2;  // cover checkpoint bytes too
+    config.scenario = "policy-determinism";
+    config.policy = kind;
+    fleet::ShardedFleet fleet(config);
+    fleet.RunWindows(4);
+    return replay::EncodeJournal(fleet.journal());
+}
+
+TEST(PolicyDeterminism, SameSeedReproducesJournalByteExactly)
+{
+    for (policy::PolicyKind kind : policy::AllPolicyKinds()) {
+        SCOPED_TRACE(policy::PolicyKindName(kind));
+        const auto first = RunSharded(kind, 1);
+        const auto second = RunSharded(kind, 1);
+        EXPECT_EQ(first, second);
+    }
+}
+
+TEST(PolicyDeterminism, JournalIsThreadCountInvariantPerBrain)
+{
+    for (policy::PolicyKind kind : policy::AllPolicyKinds()) {
+        SCOPED_TRACE(policy::PolicyKindName(kind));
+        const auto serial = RunSharded(kind, 1);
+        const auto wide = RunSharded(kind, 4);
+        EXPECT_EQ(serial, wide);
+    }
+}
+
+TEST(PolicyDeterminism, JournalSpecTextStampsNonDefaultBrain)
+{
+    fleet::ShardedFleetConfig config;
+    config.n_servers = 1000;
+    config.seed = 7;
+    config.record_journal = true;
+    config.policy = policy::PolicyKind::kWaterfill;
+    fleet::ShardedFleet fleet(config);
+    fleet.RunWindows(1);
+    EXPECT_NE(fleet.journal().spec_text.find("policy=waterfill"),
+              std::string::npos);
+
+    // Default brain: spec text byte-identical to the pre-policy-lab
+    // form — no policy line at all.
+    fleet::ShardedFleetConfig plain = config;
+    plain.policy = policy::PolicyKind::kThreeBand;
+    fleet::ShardedFleet baseline(plain);
+    baseline.RunWindows(1);
+    EXPECT_EQ(baseline.journal().spec_text.find("policy="),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynamo

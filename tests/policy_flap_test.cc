@@ -1,0 +1,143 @@
+// Capping flap counter: a controller that starts a fresh capping
+// episode within flap_window_cycles pull cycles of its own last
+// release is flapping, and the telemetry counter must say so — but
+// re-plans inside one episode, adopted caps after failover, and
+// well-hysteresed episodes must NOT count. The chaos InvariantChecker
+// cross-audits the counters against span-derived truth in every test.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "chaos/invariants.h"
+#include "common/units.h"
+#include "core/deployment.h"
+#include "fleet/fleet.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+
+namespace dynamo::fleet {
+namespace {
+
+/** One tightly-rated RPP whose row caps from the start. */
+FleetSpec TightRppSpec()
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.topology.rpp_rated = 34e3;
+    spec.servers_per_rpp = 200;
+    spec.mix = ServiceMix::Datacenter();
+    spec.diurnal_amplitude = 0.0;
+    spec.sensorless_fraction = 0.0;
+    spec.seed = 11;
+    return spec;
+}
+
+std::uint64_t FlapCount(Fleet& fleet)
+{
+    return fleet.metrics()->GetCounter("leaf.flaps")->value() +
+           fleet.metrics()->GetCounter("upper.flaps")->value();
+}
+
+TEST(PolicyFlap, NoHysteresisOscillationIsCountedAsFlaps)
+{
+    // Ablation A1's no-hysteresis configuration: uncap threshold just
+    // under the capping target, so capping drops power below the
+    // uncap band, releases, rebounds, re-caps — every re-cap within
+    // the window is a flap.
+    FleetSpec spec = TightRppSpec();
+    spec.deployment.leaf.base.bands.uncap_threshold_frac = 0.9495;
+    Fleet fleet(spec);
+    chaos::InvariantChecker checker(fleet);
+    fleet.scenario().AddPoint(0, 1.0);
+    fleet.scenario().AddPoint(Minutes(2), 1.3);
+    fleet.scenario().AddPoint(Minutes(20), 1.3);
+    fleet.RunFor(Minutes(20));
+
+    EXPECT_GT(FlapCount(fleet), 0u);
+    EXPECT_GT(fleet.event_log()->CappingEpisodes(), 1u);
+    // The audit agrees: every counted flap was span-supported at each
+    // sample (checker.ok() below covers the cross-check); the
+    // span-derived count moved too.
+    EXPECT_EQ(checker.spans_missed(), 0u);
+    EXPECT_GT(checker.span_flaps(), 0u);
+    EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                      ? "(none recorded)"
+                                      : checker.violations().front());
+}
+
+TEST(PolicyFlap, PaperHysteresisDoesNotFlap)
+{
+    // Same overload under the paper's bands: one long episode (or a
+    // few well-separated ones), zero flaps.
+    Fleet fleet(TightRppSpec());
+    chaos::InvariantChecker checker(fleet);
+    fleet.scenario().AddPoint(0, 1.0);
+    fleet.scenario().AddPoint(Minutes(2), 1.3);
+    fleet.scenario().AddPoint(Minutes(20), 1.3);
+    fleet.RunFor(Minutes(20));
+
+    EXPECT_GT(fleet.event_log()->CappingEpisodes(), 0u);
+    EXPECT_EQ(FlapCount(fleet), 0u);
+    EXPECT_EQ(checker.span_flaps(), 0u);
+    EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                      ? "(none recorded)"
+                                      : checker.violations().front());
+}
+
+TEST(PolicyFlap, FailoverAdoptionIsNotAFlap)
+{
+    // Crash the capping primary; the promoted backup adopts the
+    // orphaned RAPL caps. Adoption re-enters capping with
+    // was_capping already true, so neither the metric nor the
+    // span-derived count may move.
+    FleetSpec spec = TightRppSpec();
+    spec.deployment.with_backup_controllers = true;
+    Fleet fleet(spec);
+    chaos::InvariantChecker checker(fleet);
+    chaos::CampaignEngine engine(fleet.sim(), fleet.transport(),
+                                 fleet.event_log());
+    core::LeafController& primary = *fleet.dynamo()->leaf_controllers()[0];
+    engine.CrashController(Seconds(60), primary);
+
+    fleet.RunFor(Seconds(59));
+    ASSERT_TRUE(primary.capping());
+    fleet.RunFor(Seconds(241));
+
+    ASSERT_EQ(fleet.dynamo()->leaf_backups().size(), 1u);
+    core::LeafController& backup = *fleet.dynamo()->leaf_backups()[0];
+    EXPECT_TRUE(backup.active());
+    EXPECT_GE(fleet.event_log()->CountOf(telemetry::EventKind::kFailover),
+              1u);
+    EXPECT_GT(backup.caps_adopted(), 0u);
+
+    EXPECT_EQ(FlapCount(fleet), 0u);
+    EXPECT_EQ(backup.flaps(), 0u);
+    EXPECT_EQ(checker.spans_missed(), 0u);
+    EXPECT_EQ(checker.span_flaps(), 0u);
+    EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                      ? "(none recorded)"
+                                      : checker.violations().front());
+}
+
+TEST(PolicyFlap, FlapWindowIsConfigurable)
+{
+    // Window 0 disables flap detection entirely: a re-cap in the very
+    // next cycle after a release would have to land at the *same*
+    // sim time as the release to count.
+    FleetSpec spec = TightRppSpec();
+    spec.deployment.leaf.base.bands.uncap_threshold_frac = 0.9495;
+    spec.deployment.leaf.base.flap_window_cycles = 0;
+    Fleet fleet(spec);
+    fleet.scenario().AddPoint(0, 1.0);
+    fleet.scenario().AddPoint(Minutes(2), 1.3);
+    fleet.scenario().AddPoint(Minutes(20), 1.3);
+    fleet.RunFor(Minutes(20));
+
+    EXPECT_GT(fleet.event_log()->CappingEpisodes(), 1u);
+    EXPECT_EQ(FlapCount(fleet), 0u);
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

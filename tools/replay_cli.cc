@@ -28,6 +28,7 @@
 #include "chaos/invariants.h"
 #include "fleet/fleet.h"
 #include "fleet/spec_parser.h"
+#include "policy/capping_policy.h"
 #include "replay/bisect.h"
 #include "replay/journal.h"
 #include "replay/recorder.h"
@@ -50,6 +51,7 @@ struct Options
     std::uint64_t checkpoint_every = 10;
     std::optional<std::size_t> from_checkpoint;
     bool check_invariants = false;
+    std::optional<policy::PolicyKind> policy;
 };
 
 [[noreturn]] void
@@ -59,7 +61,7 @@ Usage(const char* argv0)
         << "usage: " << argv0 << " <record|verify|bisect|info> [options]\n"
         << "  record --out PATH [--spec FILE] [--scenario NAME]\n"
         << "         [--duration-s N] [--cycle-ms N] [--checkpoint-every N]\n"
-        << "         [--check]\n"
+        << "         [--check] [--policy NAME]\n"
         << "  verify --journal PATH [--from-checkpoint N] [--spec FILE]\n"
         << "  bisect --journal PATH --spec FILE\n"
         << "  info   --journal PATH\n"
@@ -99,6 +101,16 @@ Parse(int argc, char** argv)
             opt.from_checkpoint = std::stoull(value());
         } else if (arg == "--check") {
             opt.check_invariants = true;
+        } else if (arg == "--policy") {
+            policy::PolicyKind kind = policy::PolicyKind::kThreeBand;
+            const std::string name = value();
+            if (!policy::ParsePolicyKind(name, &kind)) {
+                std::cerr << "--policy must be three_band|predictive|"
+                             "waterfill|fairshare; got '"
+                          << name << "'\n";
+                std::exit(2);
+            }
+            opt.policy = kind;
         } else {
             Usage(argv[0]);
         }
@@ -132,6 +144,13 @@ Record(const Options& opt)
     fleet::FleetSpec spec = opt.spec_path.empty()
                                 ? DefaultSpec()
                                 : fleet::LoadFleetSpec(opt.spec_path);
+    if (opt.policy) {
+        // Overrides any capping_policy in the spec file; the journal's
+        // canonical spec text records the override, so verify replays
+        // under the same brain.
+        spec.deployment.leaf.capping_policy = *opt.policy;
+        spec.deployment.upper.capping_policy = *opt.policy;
+    }
     fleet::Fleet fleet(spec);
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
