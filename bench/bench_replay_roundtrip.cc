@@ -82,7 +82,7 @@ Run(const Options& opt)
         fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
         chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                        fleet.event_log());
-        replay::FindScenario(opt.scenario)(fleet, campaign);
+        replay::ParseScenarioSpec(opt.scenario).Apply(fleet, campaign);
         const auto start = Clock::now();
         fleet.RunFor(Seconds(opt.duration_s));
         bare_s = SecondsSince(start);
@@ -95,7 +95,7 @@ Run(const Options& opt)
         fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
         chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                        fleet.event_log());
-        replay::FindScenario(opt.scenario)(fleet, campaign);
+        replay::ParseScenarioSpec(opt.scenario).Apply(fleet, campaign);
         replay::RecorderConfig config;
         config.cycle_period = opt.cycle_period;
         config.checkpoint_every = opt.checkpoint_every;

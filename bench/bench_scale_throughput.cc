@@ -26,6 +26,7 @@
  *   bench_scale_throughput --servers 10000 --parallel-check 2.5
  *   bench_scale_throughput --servers 100000 --threads 1 --barrier-breakdown
  *   bench_scale_throughput --mega-smoke         # 1M-server smoke
+ *   bench_scale_throughput --threads 4 --scenario "grid-dr(hold_s=120)"
  *
  * --check is the CI perf smoke: it compares measured events/sec
  * against the committed baseline and exits non-zero on a >3x
@@ -67,6 +68,13 @@
  * upper promotion + leaf bounce, decommission) onto the sharded run,
  * so the determinism comparison also covers mid-run topology changes.
  *
+ * --scenario NAME[(k=v,...)] runs a catalog scenario (replay/scenario.h)
+ * on the sharded fleet: the resolved spec is stamped into the journal
+ * header and the scenario's barrier-scheduled mutations are journaled
+ * as fault records, so --parallel-check also gates the scenario script.
+ * --gpu-fraction / --sensorless-fraction seed the server populations
+ * that gpu-surge and estimator-drift act on.
+ *
  * --metrics wires the telemetry registry + decision-trace log into the
  * transport, every agent, and every controller — the instrumented
  * configuration the fleet harness runs with by default.
@@ -85,6 +93,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -94,10 +103,12 @@
 #include "core/agent.h"
 #include "core/leaf_controller.h"
 #include "core/upper_controller.h"
+#include "fleet/sharded_scenarios.h"
 #include "fleet/sharding.h"
 #include "policy/capping_policy.h"
 #include "power/topology.h"
 #include "replay/journal.h"
+#include "replay/scenario.h"
 #include "rpc/transport.h"
 #include "server/sim_server.h"
 #include "sim/simulation.h"
@@ -116,6 +127,14 @@ constexpr std::size_t kSbsPerMsb = 4;
 
 /** Capping brain for every controller in the run (--policy). */
 policy::PolicyKind g_policy = policy::PolicyKind::kThreeBand;
+
+/** Catalog scenario for sharded runs (--scenario), if any. */
+replay::ScenarioSpec g_scenario;
+bool g_scenario_set = false;
+
+/** Server-population knobs for sharded runs (--gpu-fraction etc.). */
+double g_gpu_fraction = 0.0;
+double g_sensorless_fraction = 0.0;
 
 /** Leaf controller that wall-times each pull-cycle dispatch. */
 class TimedLeaf : public core::LeafController
@@ -469,10 +488,21 @@ RunParallelSuite(std::size_t n_servers, SimTime measure_ms,
     // --checkpoint-every to measure or gate that stage.
     config.checkpoint_every = checkpoint_every;
     config.scenario =
-        reconfig ? "bench-scale-parallel-reconfig" : "bench-scale-parallel";
+        g_scenario_set
+            ? replay::FormatScenarioSpec(g_scenario)
+            : (reconfig ? "bench-scale-parallel-reconfig"
+                        : "bench-scale-parallel");
     config.policy = g_policy;
+    config.gpu_fraction = g_gpu_fraction;
+    config.sensorless_fraction = g_sensorless_fraction;
     fleet::ShardedFleet fleet(config);
     if (reconfig) ScheduleBenchStorm(fleet);
+    if (g_scenario_set && !fleet::ApplyShardedScenario(fleet, g_scenario)) {
+        std::fprintf(stderr,
+                     "notice: scenario '%s' has no sharded analog; running "
+                     "quiet\n",
+                     g_scenario.scenario->name.c_str());
+    }
 
     // Warm up two windows (18 s: past every activation stagger), then
     // measure whole windows covering measure_ms.
@@ -771,6 +801,27 @@ main(int argc, char** argv)
                              name);
                 return 2;
             }
+        } else if (arg == "--scenario") {
+            try {
+                g_scenario = replay::ParseScenarioSpec(next());
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "--scenario: %s\n", e.what());
+                return 2;
+            }
+            g_scenario_set = true;
+        } else if (arg == "--gpu-fraction") {
+            g_gpu_fraction = std::strtod(next(), nullptr);
+            if (g_gpu_fraction < 0.0 || g_gpu_fraction > 1.0) {
+                std::fprintf(stderr, "--gpu-fraction must be in [0,1]\n");
+                return 2;
+            }
+        } else if (arg == "--sensorless-fraction") {
+            g_sensorless_fraction = std::strtod(next(), nullptr);
+            if (g_sensorless_fraction < 0.0 || g_sensorless_fraction > 1.0) {
+                std::fprintf(stderr,
+                             "--sensorless-fraction must be in [0,1]\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--servers N] [--sim-seconds S] "
@@ -779,7 +830,9 @@ main(int argc, char** argv)
                          "[--journal FILE] [--reconfig] [--parallel-suite] "
                          "[--parallel-check MIN_SPEEDUP] "
                          "[--barrier-breakdown] [--checkpoint-every N] "
-                         "[--mega-smoke] [--policy NAME]\n",
+                         "[--mega-smoke] [--policy NAME] "
+                         "[--scenario NAME[(k=v,...)]] [--gpu-fraction F] "
+                         "[--sensorless-fraction F]\n",
                          argv[0]);
             return 2;
         }

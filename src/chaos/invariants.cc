@@ -6,6 +6,7 @@
 #include "core/deployment.h"
 #include "policy/capping_policy.h"
 #include "telemetry/metrics.h"
+#include "workload/service.h"
 
 namespace dynamo::chaos {
 namespace {
@@ -148,6 +149,40 @@ InvariantChecker::Check()
         }
     }
     if (over_limit) over_limit_ms_ += config_.check_period;
+
+    // 3b. Multi-tenant shed ordering (opt-in): the sample where a
+    // protected-tier server is *first* seen capped, the sheddable tier
+    // must already have given up load. Onset-based — once capping is
+    // in force, later samples stay quiet so a single ordering mistake
+    // is reported once, not every second until release.
+    if (config_.audit_qos_shed_order) {
+        bool protected_onset = false;
+        for (const auto& srv : fleet_.servers()) {
+            if (!srv->capped()) continue;
+            if (workload::TraitsFor(srv->service()).qos_tier !=
+                workload::QosTier::kProtected) {
+                continue;
+            }
+            if (qos_capped_seen_.insert(srv->name()).second) {
+                protected_onset = true;
+            }
+        }
+        if (protected_onset) {
+            for (const auto& srv : fleet_.servers()) {
+                if (workload::TraitsFor(srv->service()).qos_tier !=
+                    workload::QosTier::kSheddable) {
+                    continue;
+                }
+                if (srv->load().shed_factor() < 1.0 || srv->capped()) {
+                    continue;
+                }
+                Violation("qos: protected tenant capped while sheddable "
+                          "server " +
+                          srv->name() + " runs unshed");
+                break;  // One violation per onset sample, not per server.
+            }
+        }
+    }
 
     // 5. Policy invariants on every decision span since the last check.
     CheckTraces();

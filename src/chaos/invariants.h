@@ -36,6 +36,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
@@ -65,6 +66,17 @@ class InvariantChecker
 
         /** Cap on recorded violation strings (counting continues). */
         std::size_t max_recorded = 100;
+
+        /**
+         * Opt-in multi-tenant shed-order audit: the first time a
+         * protected-tier server is observed capped, every
+         * sheddable-tier server must already be shedding load (or be
+         * capped itself) — shed-before-cap is the QoS contract.
+         * Default off: the replayer recreates a default-config checker
+         * from the journal header, so the default must keep behaving
+         * exactly as pre-catalog journals recorded.
+         */
+        bool audit_qos_shed_order = false;
     };
 
     /** Starts sampling immediately; must not outlive `fleet`. */
@@ -164,6 +176,9 @@ class InvariantChecker
     telemetry::SpanId trace_cursor_ = 1;  ///< Next span id to verify.
     std::uint64_t spans_checked_ = 0;
     std::uint64_t spans_missed_ = 0;
+
+    /** Protected-tier servers already seen capped (QoS onset audit). */
+    std::unordered_set<std::string> qos_capped_seen_;
 
     /** Per-controller time of the last observed kUncap span. */
     std::unordered_map<std::string, SimTime> last_uncap_;

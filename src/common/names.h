@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table-driven enum<->name maps with hardened diagnostics.
+ *
+ * Three subsystems grew their own ad-hoc name maps (server
+ * generations, capping-policy kinds, service types), each with its own
+ * failure behavior on an unknown token. This header unifies them: a
+ * map is a plain constexpr-able array of {value, name} entries, and
+ * the parse helpers fail the way the spec-parser hardening style
+ * demands — std::invalid_argument naming what was being parsed, the
+ * offending token, and the full list of accepted values.
+ */
+#ifndef DYNAMO_COMMON_NAMES_H_
+#define DYNAMO_COMMON_NAMES_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dynamo {
+
+/** One row of an enum-name table. */
+template <typename Enum>
+struct NameEntry
+{
+    Enum value;
+    const char* name;
+};
+
+/**
+ * Canonical name of `value`, or "?" if the table misses it (a table
+ * bug, not user input — callers keep the switch-default convention).
+ */
+template <typename Enum, std::size_t N>
+const char*
+NameOf(const NameEntry<Enum> (&table)[N], Enum value)
+{
+    for (const NameEntry<Enum>& entry : table) {
+        if (entry.value == value) return entry.name;
+    }
+    return "?";
+}
+
+/** Parse without throwing: true and *out set iff `name` is known. */
+template <typename Enum, std::size_t N>
+bool
+TryParseName(const NameEntry<Enum> (&table)[N], const std::string& name,
+             Enum* out)
+{
+    for (const NameEntry<Enum>& entry : table) {
+        if (name == entry.name) {
+            *out = entry.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Accepted values as "a|b|c" for diagnostics. */
+template <typename Enum, std::size_t N>
+std::string
+AcceptedNames(const NameEntry<Enum> (&table)[N])
+{
+    std::string joined;
+    for (const NameEntry<Enum>& entry : table) {
+        if (!joined.empty()) joined += "|";
+        joined += entry.name;
+    }
+    return joined;
+}
+
+/**
+ * Parse or throw std::invalid_argument naming the kind of key being
+ * parsed ("service type", "capping policy", ...), the rejected token,
+ * and every accepted value.
+ */
+template <typename Enum, std::size_t N>
+Enum
+ParseName(const NameEntry<Enum> (&table)[N], const std::string& what,
+          const std::string& name)
+{
+    Enum value{};
+    if (TryParseName(table, name, &value)) return value;
+    throw std::invalid_argument("unknown " + what + " '" + name +
+                                "' (expected " + AcceptedNames(table) + ")");
+}
+
+}  // namespace dynamo
+
+#endif  // DYNAMO_COMMON_NAMES_H_

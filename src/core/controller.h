@@ -212,6 +212,13 @@ class Controller
     /** Parent-imposed limit (punish-offender-first coordination). */
     void SetContractualLimit(Watts limit) { contractual_limit_ = limit; }
     void ClearContractualLimit() { contractual_limit_.reset(); }
+
+    /**
+     * Re-rate the physical limit (grid demand-response / thermal
+     * derate scenarios). The effective limit follows immediately; the
+     * next cycle's band decision caps toward the derated budget.
+     */
+    void SetPhysicalLimit(Watts limit) { physical_limit_ = limit; }
     std::optional<Watts> contractual_limit() const { return contractual_limit_; }
 
     /**

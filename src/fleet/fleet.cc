@@ -137,9 +137,15 @@ Fleet::BuildServersFor(power::PowerDevice& rpp, Rng& rng, std::size_t* counter)
     for (std::size_t i = 0; i < spec_.servers_per_rpp; ++i) {
         server::SimServer::Config config;
         config.name = rpp.name() + "/s" + std::to_string(i);
-        config.generation = rng.Bernoulli(spec_.haswell_fraction)
-                                ? server::ServerGeneration::kHaswell2015
-                                : server::ServerGeneration::kWestmere2011;
+        // The GPU draw only exists when gpu_fraction is set: a zero
+        // fraction must not consume an RNG draw, or every pre-GPU seed
+        // (and every committed golden journal) would shift streams.
+        config.generation =
+            (spec_.gpu_fraction > 0.0 && rng.Bernoulli(spec_.gpu_fraction))
+                ? server::ServerGeneration::kGpuTrain2024
+            : rng.Bernoulli(spec_.haswell_fraction)
+                ? server::ServerGeneration::kHaswell2015
+                : server::ServerGeneration::kWestmere2011;
         config.service = services[i];
         config.has_sensor = !rng.Bernoulli(spec_.sensorless_fraction);
         config.turbo_enabled = spec_.turbo_enabled;
@@ -396,9 +402,14 @@ Fleet::ApplyAddServers(const ReconfigOp& op)
         // repeated expansions of the same leaf.
         config.name = op.target + "/e" + std::to_string(spec_epoch_) + "s" +
                       std::to_string(i);
-        config.generation = rng.Bernoulli(spec_.haswell_fraction)
-                                ? server::ServerGeneration::kHaswell2015
-                                : server::ServerGeneration::kWestmere2011;
+        // Mirrors BuildServersFor: the GPU draw happens only when the
+        // fraction is set, keeping pre-GPU provisioning streams exact.
+        config.generation =
+            (spec_.gpu_fraction > 0.0 && rng.Bernoulli(spec_.gpu_fraction))
+                ? server::ServerGeneration::kGpuTrain2024
+            : rng.Bernoulli(spec_.haswell_fraction)
+                ? server::ServerGeneration::kHaswell2015
+                : server::ServerGeneration::kWestmere2011;
         config.service = services[i];
         config.has_sensor = !rng.Bernoulli(spec_.sensorless_fraction);
         config.turbo_enabled = spec_.turbo_enabled;

@@ -103,6 +103,13 @@ struct FleetSpec
     /** Fraction of servers without a power sensor (agent estimates). */
     double sensorless_fraction = 0.02;
 
+    /**
+     * Fraction of GPU training nodes (kGpuTrain2024). Drawn before the
+     * CPU-generation split; 0 (the default) draws nothing, so existing
+     * seeds keep their exact RNG streams.
+     */
+    double gpu_fraction = 0.0;
+
     /** Turbo Boost enabled fleet-wide (Section IV-B experiments). */
     bool turbo_enabled = false;
 
@@ -137,6 +144,15 @@ struct FleetSpec
     core::DeploymentConfig deployment;
 
     SimTime breaker_monitor_period = 1000;
+
+    /**
+     * Default replay scenario for this spec, as a scenario-spec string
+     * ("grid-dr(drop_frac=0.2)"). The fleet itself never reads it —
+     * replay-layer tools (replay_cli, benches) resolve it against the
+     * scenario catalog; the parser only validates the structure.
+     * Empty = no default (tools fall back to their own).
+     */
+    std::string scenario;
 };
 
 /** The instantiated fleet; owns everything it builds. */

@@ -1,0 +1,211 @@
+#include "fleet/sharded_scenarios.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/power_model.h"
+
+namespace dynamo::fleet {
+namespace {
+
+/** Window whose closing barrier is the first at or after `when`. */
+std::uint64_t
+WindowAt(SimTime when)
+{
+    if (when <= 0) return 0;
+    return static_cast<std::uint64_t>((when - 1) / kShardWindowMs);
+}
+
+void
+GridDemandResponse(ShardedFleet& fleet, const replay::ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime hold = Seconds(p.at("hold_s"));
+    const double keep = 1.0 - p.at("drop_frac");
+    const double surge = p.at("surge_factor");
+    const std::uint64_t w_start = WindowAt(start);
+    const std::uint64_t w_end = std::max(w_start + 1, WindowAt(start + hold));
+
+    auto saved = std::make_shared<std::vector<Watts>>();
+    fleet.ScheduleAction(
+        w_start, "grid-dr: derate every SB budget", [&fleet, saved, keep,
+                                                     surge] {
+            for (std::size_t s = 0; s < fleet.plan().n_sbs; ++s) {
+                core::UpperController& sb = fleet.sb(s);
+                saved->push_back(sb.physical_limit());
+                sb.SetPhysicalLimit(saved->back() * keep);
+            }
+            fleet.ForEachServer([surge](server::SimServer& srv) {
+                srv.load().set_balancer_factor(surge);
+            });
+        });
+    fleet.ScheduleAction(w_end, "grid-dr: restore every SB budget",
+                         [&fleet, saved] {
+                             for (std::size_t s = 0; s < saved->size(); ++s) {
+                                 fleet.sb(s).SetPhysicalLimit((*saved)[s]);
+                             }
+                             fleet.ForEachServer([](server::SimServer& srv) {
+                                 srv.load().set_balancer_factor(1.0);
+                             });
+                         });
+}
+
+void
+ThermalEmergency(ShardedFleet& fleet, const replay::ScenarioParams& p)
+{
+    const double start_s = p.at("start_s");
+    const double stagger_s = p.at("stagger_s");
+    const double hold_s = p.at("hold_s");
+    const double keep = 1.0 - p.at("drop_frac");
+
+    for (std::size_t l = 0; l < fleet.plan().n_leaves; ++l) {
+        const SimTime at = Seconds(start_s + static_cast<double>(l) *
+                                                 stagger_s);
+        const std::uint64_t w_derate = WindowAt(at);
+        const std::uint64_t w_restore =
+            std::max(w_derate + 1, WindowAt(at + Seconds(hold_s)));
+        auto saved = std::make_shared<Watts>(0.0);
+        fleet.ScheduleAction(w_derate,
+                             "thermal: derate rpp" + std::to_string(l),
+                             [&fleet, l, saved, keep] {
+                                 if (!fleet.leaf_alive(l)) return;
+                                 core::LeafController& leaf = fleet.leaf(l);
+                                 *saved = leaf.physical_limit();
+                                 leaf.SetPhysicalLimit(*saved * keep);
+                             });
+        fleet.ScheduleAction(w_restore,
+                             "thermal: restore rpp" + std::to_string(l),
+                             [&fleet, l, saved] {
+                                 if (!fleet.leaf_alive(l) || *saved <= 0.0) {
+                                     return;
+                                 }
+                                 fleet.leaf(l).SetPhysicalLimit(*saved);
+                             });
+    }
+}
+
+void
+GpuTrainingSurge(ShardedFleet& fleet, const replay::ScenarioParams& p)
+{
+    const double start_s = p.at("start_s");
+    const double period_s = p.at("period_s");
+    const auto pulses = static_cast<int>(p.at("pulses"));
+    const double high = p.at("high");
+    const double low = p.at("low");
+
+    const auto set_gpu = [&fleet](double factor) {
+        fleet.ForEachServer([factor](server::SimServer& srv) {
+            if (srv.generation() == server::ServerGeneration::kGpuTrain2024) {
+                srv.load().set_balancer_factor(factor);
+            }
+        });
+    };
+    for (int k = 0; k < pulses; ++k) {
+        const SimTime rise =
+            Seconds(start_s + static_cast<double>(k) * period_s);
+        const std::uint64_t w_rise = WindowAt(rise);
+        const std::uint64_t w_fall =
+            std::max(w_rise + 1, WindowAt(rise + Seconds(period_s / 2.0)));
+        fleet.ScheduleAction(w_rise,
+                             "gpu-surge: compute step " + std::to_string(k + 1),
+                             [set_gpu, high] { set_gpu(high); });
+        fleet.ScheduleAction(
+            w_fall, "gpu-surge: all-reduce stall " + std::to_string(k + 1),
+            [set_gpu, low] { set_gpu(low); });
+    }
+    fleet.ScheduleAction(
+        WindowAt(Seconds(start_s + pulses * period_s)) + 1,
+        "gpu-surge: training job done", [set_gpu] { set_gpu(1.0); });
+}
+
+void
+EstimatorDrift(ShardedFleet& fleet, const replay::ScenarioParams& p)
+{
+    const double start_s = p.at("start_s");
+    const double step_s = p.at("step_s");
+    const auto steps = static_cast<int>(p.at("steps"));
+    const double step_bias = p.at("step_bias");
+
+    const auto set_bias = [&fleet](double bias) {
+        fleet.ForEachServer([bias](server::SimServer& srv) {
+            if (!srv.has_sensor()) srv.estimator().set_bias_frac(bias);
+        });
+    };
+    for (int k = 0; k < steps; ++k) {
+        const double bias = (k + 1) * step_bias;
+        fleet.ScheduleAction(
+            WindowAt(Seconds(start_s + static_cast<double>(k) * step_s)),
+            "drift: sensorless bias step " + std::to_string(k + 1),
+            [set_bias, bias] { set_bias(bias); });
+    }
+    fleet.ScheduleAction(WindowAt(Seconds(start_s + steps * step_s)) + 1,
+                         "drift: bias cleared",
+                         [set_bias] { set_bias(0.0); });
+}
+
+void
+QosDowngrade(ShardedFleet& fleet, const replay::ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime hold = Seconds(p.at("hold_s"));
+    const double surge = p.at("surge_factor");
+    const double shed_frac = p.at("shed_frac");
+    const std::uint64_t w_start = WindowAt(start);
+    const std::uint64_t w_end = std::max(w_start + 1, WindowAt(start + hold));
+
+    // One action does both legs in a fixed order: the sheddable tier
+    // gives up load in the same barrier the surge lands, so no window
+    // ever runs surged-but-unshed.
+    fleet.ScheduleAction(
+        w_start, "qos: surge tenants, shed sheddable tier",
+        [&fleet, surge, shed_frac] {
+            fleet.ForEachServer([surge, shed_frac](server::SimServer& srv) {
+                srv.load().set_balancer_factor(surge);
+                if (workload::TraitsFor(srv.service()).qos_tier ==
+                    workload::QosTier::kSheddable) {
+                    srv.load().set_shed_factor(1.0 - shed_frac);
+                }
+            });
+        });
+    fleet.ScheduleAction(w_end, "qos: restore tenants", [&fleet] {
+        fleet.ForEachServer([](server::SimServer& srv) {
+            srv.load().set_balancer_factor(1.0);
+            srv.load().set_shed_factor(1.0);
+        });
+    });
+}
+
+}  // namespace
+
+bool
+ApplyShardedScenario(ShardedFleet& fleet, const replay::ScenarioSpec& spec)
+{
+    const std::string& name = spec.scenario->name;
+    const replay::ScenarioParams& p = spec.params;
+    if (name == "quiet") return true;
+    if (name == "grid-dr") {
+        GridDemandResponse(fleet, p);
+        return true;
+    }
+    if (name == "thermal-emergency") {
+        ThermalEmergency(fleet, p);
+        return true;
+    }
+    if (name == "gpu-surge") {
+        GpuTrainingSurge(fleet, p);
+        return true;
+    }
+    if (name == "estimator-drift") {
+        EstimatorDrift(fleet, p);
+        return true;
+    }
+    if (name == "qos-downgrade") {
+        QosDowngrade(fleet, p);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace dynamo::fleet

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Catalog scenarios mapped onto the sharded parallel fleet.
+ *
+ * The single-fleet scenario bodies script faults through the chaos
+ * campaign engine; the sharded world has no campaign engine, but it
+ * has the same lever set (controller physical limits, server load
+ * knobs, estimator bias) plus ScheduleAction — barrier-synchronized
+ * mutations that are journaled and therefore covered by the
+ * thread-count byte-identity gate. This translation applies a parsed
+ * catalog scenario to a ShardedFleet by scheduling the equivalent
+ * steps on window boundaries (9 s granularity instead of the
+ * campaign's millisecond clock; everything else is the same script).
+ *
+ * Only the fleet-state scenarios translate: RPC fault injection
+ * (partitions, flaps, latency storms) has no sharded analog because
+ * the upper↔leaf edge is already a barrier-mediated proxy.
+ */
+#ifndef DYNAMO_FLEET_SHARDED_SCENARIOS_H_
+#define DYNAMO_FLEET_SHARDED_SCENARIOS_H_
+
+#include "fleet/sharding.h"
+#include "replay/scenario.h"
+
+namespace dynamo::fleet {
+
+/**
+ * Schedule the sharded translation of `spec` onto `fleet`. Returns
+ * true if the scenario has a sharded analog (grid-dr,
+ * thermal-emergency, gpu-surge, estimator-drift, qos-downgrade;
+ * "quiet" is a true no-op); false — scheduling nothing — for the
+ * RPC-fault scenarios that only exist in the single-fleet world.
+ * Call before the first window runs.
+ */
+bool ApplyShardedScenario(ShardedFleet& fleet,
+                          const replay::ScenarioSpec& spec);
+
+}  // namespace dynamo::fleet
+
+#endif  // DYNAMO_FLEET_SHARDED_SCENARIOS_H_

@@ -277,6 +277,17 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
             server_config.generation =
                 (i % 10 < 7) ? server::ServerGeneration::kHaswell2015
                              : server::ServerGeneration::kWestmere2011;
+            // Conditional draws: a zero fraction consumes nothing, so
+            // pre-catalog seeds keep their exact per-server streams.
+            if (config_.gpu_fraction > 0.0 &&
+                rng.Bernoulli(config_.gpu_fraction)) {
+                server_config.generation =
+                    server::ServerGeneration::kGpuTrain2024;
+            }
+            if (config_.sensorless_fraction > 0.0) {
+                server_config.has_sensor =
+                    !rng.Bernoulli(config_.sensorless_fraction);
+            }
             server_config.seed = rng.NextU64();
             workload::LoadProcessParams params =
                 workload::LoadProcessParams::For(server_config.service);
@@ -347,6 +358,13 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
         if (config_.policy != policy::PolicyKind::kThreeBand) {
             spec << "policy=" << policy::PolicyKindName(config_.policy)
                  << "\n";
+        }
+        if (config_.sensorless_fraction != 0.0) {
+            spec << "sensorless_fraction=" << config_.sensorless_fraction
+                 << "\n";
+        }
+        if (config_.gpu_fraction != 0.0) {
+            spec << "gpu_fraction=" << config_.gpu_fraction << "\n";
         }
         journal_.spec_text = spec.str();
         journal_.scenario = config_.scenario;
@@ -483,6 +501,24 @@ ShardedFleet::Barrier(SimTime barrier_time)
             if (it->first == barriers_completed_) {
                 ApplyReconfig(barrier_time, it->second);
                 it = pending_reconfigs_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Scenario actions for the closed window run after reconfigs, in
+    // schedule order, and are journaled as faults so the byte-compare
+    // gate covers the scenario script too.
+    if (!pending_actions_.empty()) {
+        auto it = pending_actions_.begin();
+        while (it != pending_actions_.end()) {
+            if (it->window == barriers_completed_) {
+                it->action();
+                if (config_.record_journal) {
+                    journal_.faults.push_back(
+                        replay::FaultRecord{barrier_time, it->description});
+                }
+                it = pending_actions_.erase(it);
             } else {
                 ++it;
             }
@@ -695,6 +731,28 @@ ShardedFleet::ScheduleReconfig(std::uint64_t window, ReconfigTxn txn)
 }
 
 void
+ShardedFleet::ScheduleAction(std::uint64_t window, std::string description,
+                             std::function<void()> action)
+{
+    if (window < barriers_completed_) {
+        throw std::invalid_argument(
+            "sharded action: window " + std::to_string(window) +
+            " already closed (" + std::to_string(barriers_completed_) +
+            " barriers done)");
+    }
+    pending_actions_.push_back(
+        PendingAction{window, std::move(description), std::move(action)});
+}
+
+void
+ShardedFleet::ForEachServer(const std::function<void(server::SimServer&)>& fn)
+{
+    for (const auto& shard : shards_) {
+        for (const auto& server : shard->servers) fn(*server);
+    }
+}
+
+void
 ShardedFleet::ApplyReconfig(SimTime barrier_time, const ReconfigTxn& txn)
 {
     ++spec_epoch_;
@@ -746,6 +804,14 @@ ShardedFleet::ApplyAddServers(const ReconfigOp& op)
         server_config.generation =
             (i % 10 < 7) ? server::ServerGeneration::kHaswell2015
                          : server::ServerGeneration::kWestmere2011;
+        if (config_.gpu_fraction > 0.0 &&
+            rng.Bernoulli(config_.gpu_fraction)) {
+            server_config.generation = server::ServerGeneration::kGpuTrain2024;
+        }
+        if (config_.sensorless_fraction > 0.0) {
+            server_config.has_sensor =
+                !rng.Bernoulli(config_.sensorless_fraction);
+        }
         server_config.seed = rng.NextU64();
         workload::LoadProcessParams params =
             workload::LoadProcessParams::For(server_config.service);

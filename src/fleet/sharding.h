@@ -41,6 +41,7 @@
 #define DYNAMO_FLEET_SHARDING_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -162,6 +163,16 @@ struct ShardedFleetConfig
 
     std::uint64_t seed = 1234;
 
+    /**
+     * Fraction of servers without a power sensor. Default 0 draws
+     * nothing from the construction RNG, so pre-catalog seeds keep
+     * their exact per-server streams.
+     */
+    double sensorless_fraction = 0.0;
+
+    /** Fraction of kGpuTrain2024 training nodes; same default-0 rule. */
+    double gpu_fraction = 0.0;
+
     /** Record a DYNJRNL1 journal of the run (see journal()). */
     bool record_journal = false;
 
@@ -270,6 +281,27 @@ class ShardedFleet
      */
     void ScheduleReconfig(std::uint64_t window, ReconfigTxn txn);
 
+    /**
+     * Schedule an arbitrary fleet mutation (a scenario step) to run at
+     * the barrier that closes window `window`, after any reconfig
+     * commits. Actions run single-threaded while every worker is idle,
+     * in (window, schedule) order, so the schedule — never the thread
+     * count — decides what state the next window starts from. Each
+     * executed action is journaled as a fault record under
+     * `description`, giving the 1t-vs-N-t byte-compare gate coverage
+     * of the scenario script itself. Throws std::invalid_argument for
+     * an already-closed window.
+     */
+    void ScheduleAction(std::uint64_t window, std::string description,
+                        std::function<void()> action);
+
+    /**
+     * Visit every server, shard-index order outside and construction
+     * order inside — the canonical deterministic order. Call only
+     * between windows (typically from a ScheduleAction body).
+     */
+    void ForEachServer(const std::function<void(server::SimServer&)>& fn);
+
     /** Spec epoch: bumped once per committed transaction, from 0. */
     std::uint64_t spec_epoch() const { return spec_epoch_; }
 
@@ -362,6 +394,15 @@ class ShardedFleet
     std::uint64_t reconfigs_applied_ = 0;
     std::uint64_t barriers_completed_ = 0;
     std::vector<std::pair<std::uint64_t, ReconfigTxn>> pending_reconfigs_;
+
+    /** Scenario steps awaiting their window's barrier. */
+    struct PendingAction
+    {
+        std::uint64_t window;
+        std::string description;
+        std::function<void()> action;
+    };
+    std::vector<PendingAction> pending_actions_;
 
     /** 1 while the leaf is in service; 0 after remove-subtree. */
     std::vector<std::uint8_t> leaf_alive_;

@@ -133,6 +133,56 @@ ParsePeriodMs(const std::string& key, const std::string& value,
     return static_cast<SimTime>(parsed);
 }
 
+/**
+ * Structural validation of a `scenario = name(k=v,...)` value. The
+ * fleet layer cannot see the replay-scenario catalog (replay depends
+ * on fleet, not vice versa), so this checks shape only: a well-formed
+ * name, balanced parentheses, `k=v` pairs with numeric values. Whether
+ * the name and parameter keys exist is checked at use time by
+ * replay::ParseScenarioSpec.
+ */
+void
+ValidateScenarioValue(const std::string& key, const std::string& value,
+                      std::size_t line_no, const std::string& line)
+{
+    const auto paren = value.find('(');
+    const std::string name =
+        Strip(paren == std::string::npos ? value : value.substr(0, paren));
+    if (name.empty()) {
+        FailNumeric(key, line_no, line, "missing scenario name");
+    }
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '-' || c == '_';
+        if (!ok) {
+            FailNumeric(key, line_no, line,
+                        "bad character in scenario name '" + name + "'");
+        }
+    }
+    if (paren == std::string::npos) return;
+    if (value.back() != ')') {
+        FailNumeric(key, line_no, line, "unbalanced '(' in scenario value");
+    }
+    const std::string args =
+        value.substr(paren + 1, value.size() - paren - 2);
+    if (Strip(args).empty()) return;
+    std::istringstream parts(args);
+    std::string part;
+    while (std::getline(parts, part, ',')) {
+        const auto eq = part.find('=');
+        if (eq == std::string::npos) {
+            FailNumeric(key, line_no, line,
+                        "scenario parameter '" + Strip(part) +
+                            "' is not k=v");
+        }
+        const std::string pkey = Strip(part.substr(0, eq));
+        if (pkey.empty()) {
+            FailNumeric(key, line_no, line, "empty scenario parameter name");
+        }
+        ParseDouble(key, Strip(part.substr(eq + 1)), line_no, line);
+    }
+}
+
 bool
 ParseBool(const std::string& value, std::size_t line_no, const std::string& line)
 {
@@ -249,6 +299,11 @@ ParseFleetSpec(std::istream& in)
         } else if (key == "sensorless_fraction") {
             spec.sensorless_fraction =
                 ParseNonNegDouble(key, value, line_no, line);
+        } else if (key == "gpu_fraction") {
+            spec.gpu_fraction = ParseNonNegDouble(key, value, line_no, line);
+        } else if (key == "scenario") {
+            ValidateScenarioValue(key, value, line_no, line);
+            spec.scenario = value;
         } else if (key == "turbo") {
             spec.turbo_enabled = ParseBool(value, line_no, line);
         } else if (key == "tor_switch_power_w") {
@@ -458,6 +513,12 @@ WriteFleetSpec(std::ostream& out, const FleetSpec& spec)
         policy::PolicyKind::kThreeBand) {
         kv("capping_policy",
            policy::PolicyKindName(spec.deployment.leaf.capping_policy));
+    }
+    if (spec.gpu_fraction != 0.0) {
+        kv("gpu_fraction", CanonicalDouble(spec.gpu_fraction));
+    }
+    if (!spec.scenario.empty()) {
+        kv("scenario", spec.scenario);
     }
 }
 

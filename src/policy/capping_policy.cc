@@ -1,41 +1,41 @@
 #include "policy/capping_policy.h"
 
+#include "common/names.h"
 #include "policy/fairshare_planner.h"
 #include "policy/predictive_planner.h"
 #include "policy/three_band_planner.h"
 #include "policy/waterfill_planner.h"
 
 namespace dynamo::policy {
+namespace {
+
+constexpr NameEntry<PolicyKind> kPolicyNames[] = {
+    {PolicyKind::kThreeBand, "three_band"},
+    {PolicyKind::kPredictive, "predictive"},
+    {PolicyKind::kWaterfill, "waterfill"},
+    {PolicyKind::kFairShare, "fairshare"},
+};
+
+}  // namespace
 
 const char*
 PolicyKindName(PolicyKind kind)
 {
-    switch (kind) {
-      case PolicyKind::kThreeBand: return "three_band";
-      case PolicyKind::kPredictive: return "predictive";
-      case PolicyKind::kWaterfill: return "waterfill";
-      case PolicyKind::kFairShare: return "fairshare";
-    }
-    return "?";
+    return NameOf(kPolicyNames, kind);
 }
 
 bool
 ParsePolicyKind(const std::string& name, PolicyKind* out)
 {
-    for (const PolicyKind kind : AllPolicyKinds()) {
-        if (name == PolicyKindName(kind)) {
-            *out = kind;
-            return true;
-        }
-    }
-    return false;
+    return TryParseName(kPolicyNames, name, out);
 }
 
 std::vector<PolicyKind>
 AllPolicyKinds()
 {
-    return {PolicyKind::kThreeBand, PolicyKind::kPredictive,
-            PolicyKind::kWaterfill, PolicyKind::kFairShare};
+    std::vector<PolicyKind> kinds;
+    for (const auto& entry : kPolicyNames) kinds.push_back(entry.value);
+    return kinds;
 }
 
 std::unique_ptr<CappingPolicy>

@@ -70,6 +70,14 @@ class BreakerModel
     /** Rated (trip-threshold) power of this breaker. */
     Watts rated() const { return rated_; }
 
+    /**
+     * Re-rate the breaker in place (scenario-driven derates: a grid
+     * demand-response or thermal event lowers the safe envelope).
+     * Accumulated stress is kept — a derate mid-overdraw should not
+     * forgive heat already in the metal.
+     */
+    void set_rated(Watts rated) { rated_ = rated; }
+
     /** Trip curve in use. */
     const BreakerCurve& curve() const { return curve_; }
 

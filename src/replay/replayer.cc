@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 
@@ -175,9 +176,11 @@ Replayer::Run(std::optional<std::size_t> checkpoint_index)
                         std::to_string(journal_.checkpoints.size()) + ")";
         return result;
     }
-    ScenarioFn scenario = FindScenario(journal_.scenario);
-    if (!scenario) {
-        result.detail = "unknown scenario '" + journal_.scenario + "'";
+    ScenarioSpec scenario;
+    try {
+        scenario = ParseScenarioSpec(journal_.scenario);
+    } catch (const std::invalid_argument& e) {
+        result.detail = e.what();
         return result;
     }
 
@@ -186,7 +189,7 @@ Replayer::Run(std::optional<std::size_t> checkpoint_index)
     fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
-    scenario(fleet, campaign);
+    scenario.Apply(fleet, campaign);
 
     RecorderConfig config;
     config.cycle_period = journal_.cycle_period;

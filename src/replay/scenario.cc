@@ -1,6 +1,18 @@
 #include "replay/scenario.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "core/deployment.h"
+#include "server/power_model.h"
+#include "server/sensor.h"
+#include "server/sim_server.h"
+#include "workload/load_process.h"
+#include "workload/service.h"
 
 namespace dynamo::replay {
 namespace {
@@ -11,6 +23,37 @@ FirstDeviceAt(fleet::Fleet& fleet, power::DeviceLevel level)
 {
     const auto devices = fleet.root().DevicesAtLevel(level);
     return devices.empty() ? nullptr : devices.front();
+}
+
+/** Shortest decimal that strtod parses back to exactly `value`. */
+std::string
+CanonicalParamValue(double value)
+{
+    char buf[64];
+    // Integral values print as plain integers ("120", never "1.2e+02":
+    // %g at low precision would pick scientific notation).
+    const auto as_int = static_cast<long long>(
+        std::fabs(value) < 9.0e15 ? value : 0.0);
+    if (value == static_cast<double>(as_int)) {
+        std::snprintf(buf, sizeof buf, "%lld", as_int);
+        return buf;
+    }
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) break;
+    }
+    return buf;
+}
+
+std::string
+JoinNames(const std::vector<std::string>& names)
+{
+    std::string out;
+    for (const std::string& name : names) {
+        if (!out.empty()) out += "|";
+        out += name;
+    }
+    return out;
 }
 
 /**
@@ -161,30 +204,424 @@ ReconfigStorm(fleet::Fleet& fleet, chaos::CampaignEngine& campaign)
                           fleet.AgentEndpointsUnder(moved->name()), 0.3);
 }
 
+/**
+ * Derate one device's breaker and the controller protecting it, saving
+ * the originals into `saved` so a later restore action can undo the
+ * derate exactly. Accumulated breaker stress is deliberately kept: a
+ * derate mid-overdraw does not forgive heat already in the metal.
+ */
+void
+DerateDevice(fleet::Fleet& fleet, power::PowerDevice& device, double keep,
+             std::pair<Watts, Watts>& saved)
+{
+    saved.first = device.breaker().rated();
+    device.breaker().set_rated(saved.first * keep);
+    core::Deployment* deployment = fleet.dynamo();
+    if (deployment == nullptr) return;
+    const std::string endpoint =
+        core::Deployment::ControllerEndpoint(device.name());
+    core::Controller* controller = deployment->FindUpper(endpoint);
+    if (controller == nullptr) controller = deployment->FindLeaf(endpoint);
+    if (controller == nullptr) return;
+    saved.second = controller->physical_limit();
+    controller->SetPhysicalLimit(saved.second * keep);
+}
+
+/** Undo a DerateDevice using the saved originals. */
+void
+RestoreDevice(fleet::Fleet& fleet, power::PowerDevice& device,
+              const std::pair<Watts, Watts>& saved)
+{
+    if (saved.first > 0.0) device.breaker().set_rated(saved.first);
+    core::Deployment* deployment = fleet.dynamo();
+    if (deployment == nullptr || saved.second <= 0.0) return;
+    const std::string endpoint =
+        core::Deployment::ControllerEndpoint(device.name());
+    core::Controller* controller = deployment->FindUpper(endpoint);
+    if (controller == nullptr) controller = deployment->FindLeaf(endpoint);
+    if (controller != nullptr) controller->SetPhysicalLimit(saved.second);
+}
+
+/**
+ * Grid demand-response: the utility curtails the whole data center by
+ * `drop_frac` for `hold_s`. The root breaker is re-rated and the root
+ * controller's physical limit follows, so the reduced budget cascades
+ * top-down through contractual limits — the Dynamo mechanism, not a
+ * side channel. A mild demand surge runs across the window so the
+ * derated budget actually binds instead of being slack.
+ */
+void
+GridDemandResponse(fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+                   const ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime hold = Seconds(p.at("hold_s"));
+    const double keep = 1.0 - p.at("drop_frac");
+    const double surge = p.at("surge_factor");
+    if (start <= 0 || hold <= 0) return;
+
+    if (surge != 1.0) {
+        // Ramp fractions of the window keep breakpoints monotonic for
+        // any start/hold combination.
+        fleet.scenario().AddPoint(start / 2, 1.0);
+        fleet.scenario().AddPoint(start, surge);
+        fleet.scenario().AddPoint(start + hold, surge);
+        fleet.scenario().AddPoint(start + hold + start / 2, 1.0);
+    }
+
+    auto saved = std::make_shared<std::pair<Watts, Watts>>(0.0, 0.0);
+    campaign.At(start,
+                "grid-dr: derate " + fleet.root().name() + " budget by " +
+                    CanonicalParamValue(p.at("drop_frac")),
+                [&fleet, saved, keep] {
+                    DerateDevice(fleet, fleet.root(), keep, *saved);
+                });
+    campaign.At(start + hold, "grid-dr: restore " + fleet.root().name(),
+                [&fleet, saved] {
+                    RestoreDevice(fleet, fleet.root(), *saved);
+                });
+}
+
+/**
+ * Thermal emergency: cooling degrades room by room, so each leaf
+ * device is derated on a stagger — room i loses `drop_frac` of its
+ * rating at start + i*stagger and recovers `hold_s` later. Exercises
+ * many *local* budget cuts (leaf controllers capping their own
+ * subtrees) rather than one global one.
+ */
+void
+ThermalEmergency(fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+                 const ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime stagger = Seconds(p.at("stagger_s"));
+    const SimTime hold = Seconds(p.at("hold_s"));
+    const double keep = 1.0 - p.at("drop_frac");
+    if (start <= 0 || hold <= 0) return;
+
+    const auto leaves =
+        fleet.root().DevicesAtLevel(fleet.spec().deployment.leaf_level);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        power::PowerDevice* device = leaves[i];
+        auto saved = std::make_shared<std::pair<Watts, Watts>>(0.0, 0.0);
+        const SimTime at = start + static_cast<SimTime>(i) * stagger;
+        campaign.At(at, "thermal: derate " + device->name(),
+                    [&fleet, device, saved, keep] {
+                        DerateDevice(fleet, *device, keep, *saved);
+                    });
+        campaign.At(at + hold, "thermal: restore " + device->name(),
+                    [&fleet, device, saved] {
+                        RestoreDevice(fleet, *device, *saved);
+                    });
+    }
+}
+
+/**
+ * AI-training power surge: every kGpuTrain2024 server steps between a
+ * compute phase (`high`) and an all-reduce stall (`low`) in lockstep —
+ * the synchronized step-function load that makes training fleets a
+ * power-quality problem, not just a capacity one. The GPU server list
+ * is computed inside each action at fire time, so record and replay
+ * see the identical roster even across reconfigurations. No-op on a
+ * fleet with gpu_fraction = 0.
+ */
+void
+GpuTrainingSurge(fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+                 const ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime period = Seconds(p.at("period_s"));
+    const auto pulses = static_cast<int>(p.at("pulses"));
+    const double high = p.at("high");
+    const double low = p.at("low");
+    if (start <= 0 || period <= 0 || pulses <= 0) return;
+
+    const auto set_gpu_factor = [&fleet](double factor) {
+        for (const auto& srv : fleet.servers()) {
+            if (srv->generation() == server::ServerGeneration::kGpuTrain2024) {
+                srv->load().set_balancer_factor(factor);
+            }
+        }
+    };
+    for (int k = 0; k < pulses; ++k) {
+        const SimTime rise = start + k * period;
+        campaign.At(rise, "gpu-surge: compute step " + std::to_string(k + 1),
+                    [set_gpu_factor, high] { set_gpu_factor(high); });
+        campaign.At(rise + period / 2,
+                    "gpu-surge: all-reduce stall " + std::to_string(k + 1),
+                    [set_gpu_factor, low] { set_gpu_factor(low); });
+    }
+    campaign.At(start + pulses * period, "gpu-surge: training job done",
+                [set_gpu_factor] { set_gpu_factor(1.0); });
+}
+
+/**
+ * Sensorless-estimator drift: the power model feeding every
+ * sensorless server's estimate picks up bias in steps, so the leaves
+ * aggregate numbers that are increasingly wrong about true draw.
+ * Exercises the estimator-tuning/validation path; with
+ * with_breaker_validation the leaves audit estimates against breaker
+ * truth and re-tune. The final action clears the bias.
+ */
+void
+EstimatorDrift(fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+               const ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime step = Seconds(p.at("step_s"));
+    const auto steps = static_cast<int>(p.at("steps"));
+    const double step_bias = p.at("step_bias");
+    if (start <= 0 || step <= 0 || steps <= 0) return;
+
+    const auto set_bias = [&fleet](double bias) {
+        for (const auto& srv : fleet.servers()) {
+            if (!srv->has_sensor()) srv->estimator().set_bias_frac(bias);
+        }
+    };
+    for (int k = 0; k < steps; ++k) {
+        const double bias = (k + 1) * step_bias;
+        campaign.At(start + k * step,
+                    "drift: sensorless bias " + CanonicalParamValue(bias),
+                    [set_bias, bias] { set_bias(bias); });
+    }
+    campaign.At(start + steps * step, "drift: bias cleared",
+                [set_bias] { set_bias(0.0); });
+}
+
+/**
+ * Multi-tenant QoS downgrade: a tenant surge drives the fleet over
+ * budget, and the sheddable tier gives up `shed_frac` of its load at
+ * onset — before any protected tenant is power-capped. The invariant
+ * checker's opt-in shed-order audit (Config::audit_qos_shed_order)
+ * verifies exactly that ordering.
+ */
+void
+QosDowngrade(fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+             const ScenarioParams& p)
+{
+    const SimTime start = Seconds(p.at("start_s"));
+    const SimTime hold = Seconds(p.at("hold_s"));
+    const double surge = p.at("surge_factor");
+    const double shed_frac = p.at("shed_frac");
+    if (start <= 0 || hold <= Seconds(1)) return;
+
+    const SimTime rise = start + Seconds(5);
+    fleet.scenario().AddSquarePulse(rise, rise + hold, 1.0, surge);
+
+    const auto set_sheddable = [&fleet](double factor) {
+        for (const auto& srv : fleet.servers()) {
+            if (workload::TraitsFor(srv->service()).qos_tier ==
+                workload::QosTier::kSheddable) {
+                srv->load().set_shed_factor(factor);
+            }
+        }
+    };
+    campaign.At(start, "qos: shed sheddable tier",
+                [set_sheddable, shed_frac] {
+                    set_sheddable(1.0 - shed_frac);
+                });
+    campaign.At(rise + hold + Seconds(10), "qos: restore sheddable tier",
+                [set_sheddable] { set_sheddable(1.0); });
+}
+
+/** Adapt a parameterless scenario body to the catalog signature. */
+Scenario::ApplyFn
+NoParams(void (*body)(fleet::Fleet&, chaos::CampaignEngine&))
+{
+    return [body](fleet::Fleet& fleet, chaos::CampaignEngine& campaign,
+                  const ScenarioParams&) { body(fleet, campaign); };
+}
+
+std::vector<Scenario>
+BuildCatalog()
+{
+    std::vector<Scenario> catalog;
+    catalog.push_back({"quiet",
+                       "No faults; nominal load only.",
+                       {},
+                       [](fleet::Fleet&, chaos::CampaignEngine&,
+                          const ScenarioParams&) {}});
+    catalog.push_back({"partition-heal",
+                       "Partition one RPP's agents for a minute, then heal.",
+                       {},
+                       NoParams(PartitionHeal)});
+    catalog.push_back({"mixed-faults",
+                       "Partition, agent flap, latency storm, and degraded "
+                       "pulls in one campaign.",
+                       {},
+                       NoParams(MixedFaults)});
+    catalog.push_back({"surge-degraded",
+                       "Traffic surges to 130 % while a third of the agents "
+                       "answer unreliably.",
+                       {},
+                       NoParams(SurgeDegraded)});
+    catalog.push_back({"reconfig-storm",
+                       "Five live reconfiguration transactions land under a "
+                       "sustained surge.",
+                       {},
+                       NoParams(ReconfigStorm)});
+    catalog.push_back(
+        {"grid-dr",
+         "Grid demand-response: the fleet-wide budget is derated while "
+         "demand stays high.",
+         {{"start_s", "curtailment start, s", 60.0},
+          {"hold_s", "curtailment duration, s", 7200.0},
+          {"drop_frac", "fraction of the budget curtailed", 0.15},
+          {"surge_factor", "demand factor held across the window", 1.12}},
+         GridDemandResponse});
+    catalog.push_back(
+        {"thermal-emergency",
+         "Cooling fails room by room: staggered per-leaf derates, then "
+         "recovery.",
+         {{"start_s", "first room derate, s", 40.0},
+          {"stagger_s", "delay between room derates, s", 15.0},
+          {"hold_s", "per-room derate duration, s", 120.0},
+          {"drop_frac", "fraction of each room's rating lost", 0.25}},
+         ThermalEmergency});
+    catalog.push_back(
+        {"gpu-surge",
+         "AI-training fleet steps between compute and all-reduce phases "
+         "in lockstep.",
+         {{"start_s", "training job start, s", 30.0},
+          {"period_s", "full compute+stall period, s", 24.0},
+          {"pulses", "number of training steps", 3.0},
+          {"high", "balancer factor in the compute phase", 1.35},
+          {"low", "balancer factor in the all-reduce stall", 0.75}},
+         GpuTrainingSurge});
+    catalog.push_back(
+        {"estimator-drift",
+         "Sensorless power estimates pick up bias in steps until leaves "
+         "mis-aggregate.",
+         {{"start_s", "first bias step, s", 30.0},
+          {"step_s", "interval between bias steps, s", 15.0},
+          {"steps", "number of bias steps", 6.0},
+          {"step_bias", "bias fraction added per step", 0.04}},
+         EstimatorDrift});
+    catalog.push_back(
+        {"qos-downgrade",
+         "Tenant surge: the sheddable tier sheds load before any "
+         "protected tenant is capped.",
+         {{"start_s", "shed onset, s", 25.0},
+          {"hold_s", "surge hold duration, s", 90.0},
+          {"surge_factor", "tenant demand factor at peak", 1.3},
+          {"shed_frac", "load fraction shed from sheddable tenants", 0.6}},
+         QosDowngrade});
+    return catalog;
+}
+
 }  // namespace
+
+ScenarioParams
+Scenario::Defaults() const
+{
+    ScenarioParams out;
+    for (const ScenarioParam& param : params) out[param.key] = param.def;
+    return out;
+}
+
+const std::vector<Scenario>&
+ScenarioCatalog()
+{
+    static const std::vector<Scenario> catalog = BuildCatalog();
+    return catalog;
+}
 
 const std::vector<std::string>&
 ScenarioNames()
 {
-    static const std::vector<std::string> names = {
-        "quiet",
-        "partition-heal",
-        "mixed-faults",
-        "surge-degraded",
-        "reconfig-storm",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const Scenario& scenario : ScenarioCatalog()) {
+            out.push_back(scenario.name);
+        }
+        return out;
+    }();
     return names;
 }
 
-ScenarioFn
+const Scenario*
 FindScenario(const std::string& name)
 {
-    if (name == "quiet") return [](fleet::Fleet&, chaos::CampaignEngine&) {};
-    if (name == "partition-heal") return PartitionHeal;
-    if (name == "mixed-faults") return MixedFaults;
-    if (name == "surge-degraded") return SurgeDegraded;
-    if (name == "reconfig-storm") return ReconfigStorm;
-    return ScenarioFn();
+    for (const Scenario& scenario : ScenarioCatalog()) {
+        if (scenario.name == name) return &scenario;
+    }
+    return nullptr;
+}
+
+ScenarioSpec
+ParseScenarioSpec(const std::string& text)
+{
+    std::string name = text;
+    std::string arglist;
+    const std::size_t open = text.find('(');
+    if (open != std::string::npos) {
+        if (text.size() < 2 || text.back() != ')') {
+            throw std::invalid_argument("scenario spec '" + text +
+                                        "' has an unterminated parameter list");
+        }
+        name = text.substr(0, open);
+        arglist = text.substr(open + 1, text.size() - open - 2);
+    }
+
+    const Scenario* scenario = FindScenario(name);
+    if (scenario == nullptr) {
+        throw std::invalid_argument("unknown scenario '" + name +
+                                    "' (expected " +
+                                    JoinNames(ScenarioNames()) + ")");
+    }
+    ScenarioSpec spec{scenario, scenario->Defaults()};
+    if (arglist.empty()) return spec;
+
+    std::vector<std::string> declared;
+    for (const ScenarioParam& param : scenario->params) {
+        declared.push_back(param.key);
+    }
+
+    std::size_t pos = 0;
+    while (pos <= arglist.size()) {
+        std::size_t comma = arglist.find(',', pos);
+        if (comma == std::string::npos) comma = arglist.size();
+        const std::string part = arglist.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        const std::size_t eq = part.find('=');
+        if (part.empty() || eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument("scenario '" + name +
+                                        "': malformed parameter '" + part +
+                                        "' (expected key=value)");
+        }
+        const std::string key = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        if (spec.params.find(key) == spec.params.end()) {
+            throw std::invalid_argument(
+                "scenario '" + name + "' has no parameter '" + key +
+                "' (expected " + JoinNames(declared) + ")");
+        }
+        char* end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size()) {
+            throw std::invalid_argument("scenario '" + name +
+                                        "': parameter '" + key +
+                                        "' has non-numeric value '" + value +
+                                        "'");
+        }
+        spec.params[key] = parsed;
+    }
+    return spec;
+}
+
+std::string
+FormatScenarioSpec(const ScenarioSpec& spec)
+{
+    std::string args;
+    for (const ScenarioParam& param : spec.scenario->params) {
+        const double value = spec.params.at(param.key);
+        if (value == param.def) continue;
+        if (!args.empty()) args += ",";
+        args += param.key + "=" + CanonicalParamValue(value);
+    }
+    if (args.empty()) return spec.scenario->name;
+    return spec.scenario->name + "(" + args + ")";
 }
 
 }  // namespace dynamo::replay

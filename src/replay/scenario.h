@@ -1,20 +1,30 @@
 /**
  * @file
- * Named deterministic chaos scenarios.
+ * The scenario catalog: named, typed, parameterized chaos scenarios.
  *
  * A journal can embed the fleet spec as text, but a chaos campaign is
  * built from closures and cannot be serialized. Replay therefore
  * requires the campaign to be *reconstructible by name*: the recorder
- * stamps the scenario's name into the journal header, and the replayer
- * looks the name up here and re-applies the identical fault script to
- * the rebuilt fleet. Scenarios must derive everything (targets, times)
- * deterministically from the fleet itself — no wall clock, no ambient
- * randomness — so record and replay build byte-identical campaigns.
+ * stamps the scenario spec ("name" or "name(k=v,...)") into the
+ * journal header, and the replayer parses it here and re-applies the
+ * identical fault script to the rebuilt fleet. Scenarios must derive
+ * everything (targets, times) deterministically from the fleet and
+ * their resolved parameters — no wall clock, no ambient randomness —
+ * so record and replay build byte-identical campaigns.
+ *
+ * Each catalog entry is a `Scenario` descriptor: a stable name, a
+ * one-line description, a typed parameter table with defaults, and the
+ * apply function. The descriptor makes the catalog enumerable
+ * (`replay_cli list`), self-documenting, and parameterizable without
+ * new journal format machinery: parameters ride inside the scenario
+ * string, serialized only when non-default, so an all-defaults run
+ * stamps the bare name and every pre-catalog journal parses unchanged.
  */
 #ifndef DYNAMO_REPLAY_SCENARIO_H_
 #define DYNAMO_REPLAY_SCENARIO_H_
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,17 +33,85 @@
 
 namespace dynamo::replay {
 
-/** Applies one fault script to a fleet via its campaign engine. */
-using ScenarioFn = std::function<void(fleet::Fleet&, chaos::CampaignEngine&)>;
+/** One tunable of a scenario. All parameters are doubles. */
+struct ScenarioParam
+{
+    std::string key;
+    std::string description;
+    double def = 0.0;
+};
 
-/** Catalog names, in a stable order ("quiet" first). */
+/**
+ * Fully resolved parameter values: every key the scenario declares is
+ * present (defaults filled in), so apply functions use `.at(key)`
+ * without existence checks. std::map keeps iteration (and therefore
+ * formatting) deterministic.
+ */
+using ScenarioParams = std::map<std::string, double>;
+
+/** A catalog entry. */
+struct Scenario
+{
+    std::string name;
+
+    /** One line for `replay_cli list` and docs. */
+    std::string description;
+
+    /** Declared parameters, in display order. Empty = not tunable. */
+    std::vector<ScenarioParam> params;
+
+    using ApplyFn = std::function<void(fleet::Fleet&, chaos::CampaignEngine&,
+                                       const ScenarioParams&)>;
+
+    /** Applies the fault script; `p` is fully resolved. */
+    ApplyFn apply;
+
+    /** Every declared parameter at its default. */
+    ScenarioParams Defaults() const;
+};
+
+/** The full catalog, in stable display order ("quiet" first). */
+const std::vector<Scenario>& ScenarioCatalog();
+
+/** Catalog names, in catalog order. */
 const std::vector<std::string>& ScenarioNames();
 
 /**
- * Scenario by name; returns an empty function for unknown names (the
- * caller decides whether that is an error).
+ * Descriptor by bare name (no parameter list); nullptr for unknown
+ * names — the caller decides whether that is an error.
  */
-ScenarioFn FindScenario(const std::string& name);
+const Scenario* FindScenario(const std::string& name);
+
+/** A parsed scenario reference: the descriptor + resolved parameters. */
+struct ScenarioSpec
+{
+    const Scenario* scenario = nullptr;
+
+    /** Resolved values for every declared parameter. */
+    ScenarioParams params;
+
+    void Apply(fleet::Fleet& fleet, chaos::CampaignEngine& campaign) const
+    {
+        scenario->apply(fleet, campaign, params);
+    }
+};
+
+/**
+ * Parse "name" or "name(k=v,...)" against the catalog. Unknown
+ * scenario names, unknown parameter keys, and malformed values all
+ * throw std::invalid_argument naming the offender and the accepted
+ * alternatives (spec-parser hardening style). Omitted parameters take
+ * their defaults.
+ */
+ScenarioSpec ParseScenarioSpec(const std::string& text);
+
+/**
+ * Canonical text form: the bare name when every parameter is at its
+ * default, otherwise "name(k=v,...)" listing only non-default
+ * parameters in declaration order, values in shortest exact-round-trip
+ * decimal. ParseScenarioSpec(FormatScenarioSpec(s)) == s.
+ */
+std::string FormatScenarioSpec(const ScenarioSpec& spec);
 
 }  // namespace dynamo::replay
 

@@ -3,16 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/names.h"
+
 namespace dynamo::server {
+namespace {
+
+constexpr NameEntry<ServerGeneration> kGenerationNames[] = {
+    {ServerGeneration::kWestmere2011, "westmere2011"},
+    {ServerGeneration::kHaswell2015, "haswell2015"},
+    {ServerGeneration::kGpuTrain2024, "gputrain2024"},
+};
+
+}  // namespace
 
 const char*
 GenerationName(ServerGeneration generation)
 {
-    switch (generation) {
-      case ServerGeneration::kWestmere2011: return "westmere2011";
-      case ServerGeneration::kHaswell2015: return "haswell2015";
-    }
-    return "?";
+    return NameOf(kGenerationNames, generation);
+}
+
+ServerGeneration
+ParseGeneration(const std::string& name)
+{
+    return ParseName(kGenerationNames, "server generation", name);
 }
 
 ServerPowerSpec
@@ -25,6 +38,12 @@ ServerPowerSpec::For(ServerGeneration generation)
       case ServerGeneration::kHaswell2015:
         // 48-core Haswell web server with an on-board power sensor.
         return ServerPowerSpec{105.0, 345.0, 0.62, 1.20, 1.13};
+      case ServerGeneration::kGpuTrain2024:
+        // 8-GPU training node: HBM + accelerators idle high and the
+        // all-reduce-synchronized compute phases swing ~750 W, a 3x
+        // wider dynamic span than the Haswell part. Turbo headroom is
+        // thinner (clocks already near thermal limits).
+        return ServerPowerSpec{350.0, 1100.0, 0.55, 1.15, 1.08};
     }
     return ServerPowerSpec{};
 }

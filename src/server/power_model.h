@@ -14,15 +14,28 @@
 #ifndef DYNAMO_SERVER_POWER_MODEL_H_
 #define DYNAMO_SERVER_POWER_MODEL_H_
 
+#include <string>
+
 #include "common/units.h"
 
 namespace dynamo::server {
 
-/** Hardware generation of a simulated server. */
-enum class ServerGeneration { kWestmere2011, kHaswell2015 };
+/**
+ * Hardware generation of a simulated server. kGpuTrain2024 models an
+ * AI-training GPU node: far wider dynamic range than the Fig. 1 CPU
+ * curves (idle ~350 W, peak ~1100 W), which is what makes synchronized
+ * training surges the stress case for oversubscribed breakers.
+ */
+enum class ServerGeneration { kWestmere2011, kHaswell2015, kGpuTrain2024 };
 
-/** Name of a generation ("westmere2011" / "haswell2015"). */
+/** Name of a generation ("westmere2011" / "haswell2015" / "gputrain2024"). */
 const char* GenerationName(ServerGeneration generation);
+
+/**
+ * Parse a generation name; throws std::invalid_argument naming the
+ * token and the accepted values on an unknown name.
+ */
+ServerGeneration ParseGeneration(const std::string& name);
 
 /** Parameters of the power curve for one generation. */
 struct ServerPowerSpec

@@ -76,6 +76,12 @@ class PowerEstimator
 
     double bias_frac() const { return bias_frac_; }
 
+    /**
+     * Force the model bias (estimator-drift scenarios: an uncalibrated
+     * model walks away from the true curve until Tune() pulls it back).
+     */
+    void set_bias_frac(double bias_frac) { bias_frac_ = bias_frac; }
+
   private:
     ServerPowerSpec spec_;
     double bias_frac_;

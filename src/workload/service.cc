@@ -1,20 +1,31 @@
 #include "workload/service.h"
 
-#include <stdexcept>
+#include "common/names.h"
 
 namespace dynamo::workload {
 namespace {
 
 // Priority groups follow Section III-C3 and the Fig. 15 experiment:
 // cache (and the databases behind it) above web/feed/f4; batch Hadoop
-// lowest, i.e. first to be capped.
+// lowest, i.e. first to be capped. QoS tiers mirror the groups: the
+// batch tier is sheddable, user-facing stateless tiers degradable,
+// and the stateful cache/database tier protected.
 constexpr ServiceTraits kTraits[] = {
-    /* kWeb       */ {"web", 1, 0.20},
-    /* kCache     */ {"cache", 2, 0.50},
-    /* kHadoop    */ {"hadoop", 0, 0.05},
-    /* kDatabase  */ {"database", 2, 0.40},
-    /* kNewsfeed  */ {"newsfeed", 1, 0.20},
-    /* kF4Storage */ {"f4storage", 1, 0.30},
+    /* kWeb       */ {"web", 1, 0.20, QosTier::kDegradable},
+    /* kCache     */ {"cache", 2, 0.50, QosTier::kProtected},
+    /* kHadoop    */ {"hadoop", 0, 0.05, QosTier::kSheddable},
+    /* kDatabase  */ {"database", 2, 0.40, QosTier::kProtected},
+    /* kNewsfeed  */ {"newsfeed", 1, 0.20, QosTier::kDegradable},
+    /* kF4Storage */ {"f4storage", 1, 0.30, QosTier::kDegradable},
+};
+
+constexpr NameEntry<ServiceType> kServiceNames[] = {
+    {ServiceType::kWeb, "web"},
+    {ServiceType::kCache, "cache"},
+    {ServiceType::kHadoop, "hadoop"},
+    {ServiceType::kDatabase, "database"},
+    {ServiceType::kNewsfeed, "newsfeed"},
+    {ServiceType::kF4Storage, "f4storage"},
 };
 
 }  // namespace
@@ -34,10 +45,7 @@ ServiceName(ServiceType service)
 ServiceType
 ParseServiceType(const std::string& name)
 {
-    for (ServiceType s : kAllServices) {
-        if (name == ServiceName(s)) return s;
-    }
-    throw std::invalid_argument("unknown service type: " + name);
+    return ParseName(kServiceNames, "service type", name);
 }
 
 }  // namespace dynamo::workload

@@ -33,6 +33,18 @@ inline constexpr std::array<ServiceType, 6> kAllServices = {
     ServiceType::kDatabase, ServiceType::kNewsfeed, ServiceType::kF4Storage,
 };
 
+/**
+ * Multi-tenant QoS tier (the nvPAX-style shed-before-cap ordering):
+ * sheddable tenants give up load before any protected tenant is
+ * power-capped; degradable tenants sit between — cappable early, but
+ * never shed wholesale while protected tiers still have headroom.
+ */
+enum class QosTier {
+    kSheddable,
+    kDegradable,
+    kProtected,
+};
+
 /** Static, capping-relevant properties of a service. */
 struct ServiceTraits
 {
@@ -47,6 +59,9 @@ struct ServiceTraits
      * idle power; 0.5 protects half the dynamic range.
      */
     double sla_floor_frac;
+
+    /** Tenant tier for the shed-before-cap ordering. */
+    QosTier qos_tier;
 };
 
 /** Traits table lookup. */

@@ -53,6 +53,20 @@ PiecewiseTraffic::AddPoint(SimTime time, double factor)
     points_.push_back(Point{time, factor});
 }
 
+void
+PiecewiseTraffic::AddSquarePulse(SimTime rise, SimTime fall, double low,
+                                 double high, SimTime edge_ms)
+{
+    if (fall < rise + edge_ms) {
+        throw std::invalid_argument(
+            "PiecewiseTraffic square pulse must hold at least one edge");
+    }
+    AddPoint(rise, low);
+    AddPoint(rise + edge_ms, high);
+    AddPoint(fall, high);
+    AddPoint(fall + edge_ms, low);
+}
+
 double
 PiecewiseTraffic::FactorAt(SimTime now) const
 {

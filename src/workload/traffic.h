@@ -94,6 +94,17 @@ class PiecewiseTraffic : public TrafficModel
     /** Append a breakpoint; times must be added in increasing order. */
     void AddPoint(SimTime time, double factor);
 
+    /**
+     * Append one step of a square wave: ramp from `low` to `high` over
+     * `edge_ms` starting at `rise`, hold `high`, ramp back down over
+     * `edge_ms` starting at `fall`. The interpolation is linear, so a
+     * near-vertical edge is two breakpoints `edge_ms` apart — the
+     * synchronized on/off load of an AI-training job (compute phase
+     * vs. all-reduce stall), scripted deterministically.
+     */
+    void AddSquarePulse(SimTime rise, SimTime fall, double low, double high,
+                        SimTime edge_ms = 1000);
+
     double FactorAt(SimTime now) const override;
 
     std::size_t size() const { return points_.size(); }

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The opt-in multi-tenant shed-order audit (invariant 3b): when a
+ * protected-tier server is first observed capped, every sheddable-tier
+ * server must already be shedding load or capped itself. Default-off
+ * so a default-config checker keeps the exact pre-catalog behavior.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/invariants.h"
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "workload/service.h"
+
+namespace dynamo::fleet {
+namespace {
+
+/** Slack-rated RPP: nothing caps unless the test forces it. */
+FleetSpec SlackSpec()
+{
+    FleetSpec spec;
+    spec.scope = FleetScope::kRpp;
+    spec.servers_per_rpp = 40;
+    spec.mix = ServiceMix::Datacenter();
+    spec.diurnal_amplitude = 0.0;
+    spec.sensorless_fraction = 0.0;
+    spec.seed = 7;
+    return spec;
+}
+
+server::SimServer*
+FirstOfTier(Fleet& fleet, workload::QosTier tier)
+{
+    for (const auto& srv : fleet.servers()) {
+        if (workload::TraitsFor(srv->service()).qos_tier == tier) {
+            return srv.get();
+        }
+    }
+    return nullptr;
+}
+
+TEST(QosShedOrderAudit, FlagsProtectedCapWhileSheddableRunsUnshed)
+{
+    Fleet fleet(SlackSpec());
+    chaos::InvariantChecker::Config config;
+    config.audit_qos_shed_order = true;
+    chaos::InvariantChecker checker(fleet, config);
+
+    fleet.RunFor(Seconds(5));
+    server::SimServer* cache = FirstOfTier(fleet, workload::QosTier::kProtected);
+    ASSERT_NE(cache, nullptr);
+    // Cap the protected tenant while every hadoop server still runs at
+    // full load: the shed-before-cap contract is broken.
+    cache->SetPowerLimit(400.0, fleet.sim().Now());
+    fleet.RunFor(Seconds(3));
+
+    EXPECT_FALSE(checker.ok());
+    ASSERT_FALSE(checker.violations().empty());
+    EXPECT_NE(checker.violations().front().find("qos"), std::string::npos)
+        << checker.violations().front();
+}
+
+TEST(QosShedOrderAudit, PassesWhenSheddableTierShedFirst)
+{
+    Fleet fleet(SlackSpec());
+    chaos::InvariantChecker::Config config;
+    config.audit_qos_shed_order = true;
+    chaos::InvariantChecker checker(fleet, config);
+
+    fleet.RunFor(Seconds(5));
+    for (const auto& srv : fleet.servers()) {
+        if (workload::TraitsFor(srv->service()).qos_tier ==
+            workload::QosTier::kSheddable) {
+            srv->load().set_shed_factor(0.5);
+        }
+    }
+    server::SimServer* cache = FirstOfTier(fleet, workload::QosTier::kProtected);
+    ASSERT_NE(cache, nullptr);
+    cache->SetPowerLimit(400.0, fleet.sim().Now());
+    fleet.RunFor(Seconds(3));
+
+    EXPECT_TRUE(checker.ok())
+        << (checker.violations().empty() ? "(unrecorded)"
+                                         : checker.violations().front());
+}
+
+TEST(QosShedOrderAudit, DefaultConfigDoesNotAudit)
+{
+    // The replayer rebuilds a default-config checker from the journal
+    // header; the default must keep pre-catalog behavior exactly.
+    Fleet fleet(SlackSpec());
+    chaos::InvariantChecker checker(fleet);
+
+    fleet.RunFor(Seconds(5));
+    server::SimServer* cache = FirstOfTier(fleet, workload::QosTier::kProtected);
+    ASSERT_NE(cache, nullptr);
+    cache->SetPowerLimit(400.0, fleet.sim().Now());
+    fleet.RunFor(Seconds(3));
+
+    EXPECT_TRUE(checker.ok())
+        << (checker.violations().empty() ? "(unrecorded)"
+                                         : checker.violations().front());
+}
+
+}  // namespace
+}  // namespace dynamo::fleet

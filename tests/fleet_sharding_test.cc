@@ -365,6 +365,62 @@ TEST(ShardedFleet, ParallelBarrierStagesStayDeterministicUnderLoad)
     EXPECT_EQ(bytes(4), baseline);
 }
 
+TEST(ShardedFleet, ScheduledActionRunsAtItsBarrierAndIsJournaled)
+{
+    ShardedFleetConfig config;
+    config.n_servers = kTwoShardServers;
+    config.threads = 2;
+    config.record_journal = true;
+    config.scenario = "scheduled-action";
+    ShardedFleet fleet(config);
+
+    int fired_at = -1;
+    fleet.ScheduleAction(2, "test: poke", [&fleet, &fired_at] {
+        fired_at = 2;
+        std::size_t n = 0;
+        fleet.ForEachServer([&n](server::SimServer&) { ++n; });
+        EXPECT_EQ(n, kTwoShardServers);
+    });
+
+    fleet.RunWindows(2);  // barriers 0 and 1: nothing fires
+    EXPECT_EQ(fired_at, -1);
+    fleet.RunWindows(1);  // barrier 2: the action runs
+    EXPECT_EQ(fired_at, 2);
+
+    // The action is journaled as a fault record at its barrier time.
+    ASSERT_EQ(fleet.journal().faults.size(), 1u);
+    EXPECT_EQ(fleet.journal().faults[0].description, "test: poke");
+    EXPECT_EQ(fleet.journal().faults[0].time, 3 * kShardWindowMs);
+
+    // Windows already closed reject new actions by name.
+    EXPECT_THROW(fleet.ScheduleAction(1, "late", [] {}),
+                 std::invalid_argument);
+}
+
+TEST(ShardedFleet, GpuAndSensorlessFractionsSeedPopulations)
+{
+    ShardedFleetConfig config;
+    config.n_servers = kTwoShardServers;
+    config.gpu_fraction = 0.25;
+    config.sensorless_fraction = 0.25;
+    ShardedFleet fleet(config);
+
+    std::size_t gpus = 0;
+    std::size_t sensorless = 0;
+    fleet.ForEachServer([&](server::SimServer& srv) {
+        if (srv.generation() == server::ServerGeneration::kGpuTrain2024) {
+            ++gpus;
+        }
+        if (!srv.has_sensor()) ++sensorless;
+    });
+    // Bernoulli(0.25) over ~2.2k servers: both populations are
+    // comfortably nonempty and nowhere near all-of-them.
+    EXPECT_GT(gpus, kTwoShardServers / 8);
+    EXPECT_LT(gpus, kTwoShardServers / 2);
+    EXPECT_GT(sensorless, kTwoShardServers / 8);
+    EXPECT_LT(sensorless, kTwoShardServers / 2);
+}
+
 TEST(ShardedFleet, EquivalenceHoldsAcrossSeeds)
 {
     // Different seeds give different journals (the digest is not a

@@ -67,6 +67,30 @@ TEST(SpecParser, ParsesControllerKeys)
     EXPECT_TRUE(spec.with_breaker_validation);
 }
 
+TEST(SpecParser, GpuFractionAndScenarioRoundTripOnlyWhenNonDefault)
+{
+    // Defaults serialize to nothing: pre-catalog spec files and their
+    // journals stay byte-identical.
+    const FleetSpec defaults = ParseFleetSpecString("");
+    const std::string serialized = SerializeFleetSpec(defaults);
+    EXPECT_EQ(serialized.find("gpu_fraction"), std::string::npos);
+    EXPECT_EQ(serialized.find("scenario"), std::string::npos);
+
+    const FleetSpec spec = ParseFleetSpecString(R"(
+        gpu_fraction = 0.25
+        scenario = gpu-surge(pulses=5)
+    )");
+    EXPECT_DOUBLE_EQ(spec.gpu_fraction, 0.25);
+    EXPECT_EQ(spec.scenario, "gpu-surge(pulses=5)");
+    const std::string text = SerializeFleetSpec(spec);
+    EXPECT_NE(text.find("gpu_fraction = 0.25"), std::string::npos) << text;
+    EXPECT_NE(text.find("scenario = gpu-surge(pulses=5)"), std::string::npos)
+        << text;
+    const FleetSpec reparsed = ParseFleetSpecString(text);
+    EXPECT_DOUBLE_EQ(reparsed.gpu_fraction, 0.25);
+    EXPECT_EQ(reparsed.scenario, spec.scenario);
+}
+
 TEST(SpecParser, CommentsAndBlanksIgnored)
 {
     const FleetSpec spec = ParseFleetSpecString(
@@ -133,6 +157,11 @@ TEST(SpecParser, BadNumericValuesNameTheKey)
         {"capping_policy = round_robin", "capping_policy"},
         {"capping_policy = three-band", "capping_policy"},
         {"capping_policy = THREE_BAND", "capping_policy"},
+        // new catalog keys: fractions and scenario structure
+        {"gpu_fraction = -0.1", "gpu_fraction"},
+        {"gpu_fraction = 0.25x", "gpu_fraction"},
+        {"scenario = Grid DR", "scenario"},
+        {"scenario = (start_s=10)", "scenario"},
     };
     for (const BadCase& c : cases) {
         try {

@@ -44,7 +44,7 @@ RunOnce(const std::string& scenario_name, SimTime duration)
     fleet::Fleet fleet(fleet::ParseFleetSpecString(kSpecText));
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
-    replay::FindScenario(scenario_name)(fleet, campaign);
+    replay::ParseScenarioSpec(scenario_name).Apply(fleet, campaign);
     replay::RecorderConfig config;
     config.scenario = scenario_name;
     replay::Recorder recorder(fleet, config);

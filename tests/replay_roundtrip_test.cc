@@ -65,7 +65,7 @@ RecordRun(const std::string& scenario, SimTime duration,
     fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
-    replay::FindScenario(scenario)(fleet, campaign);
+    replay::ParseScenarioSpec(scenario).Apply(fleet, campaign);
 
     replay::RecorderConfig config;
     config.cycle_period = 3000;
@@ -344,11 +344,14 @@ TEST(ReplayBisect, RejectsMismatchedCadence)
 TEST(ReplayScenario, CatalogIsComplete)
 {
     const auto& names = replay::ScenarioNames();
-    ASSERT_FALSE(names.empty());
+    ASSERT_GE(names.size(), 8u);
     for (const auto& name : names) {
-        EXPECT_TRUE(static_cast<bool>(replay::FindScenario(name))) << name;
+        const replay::Scenario* scenario = replay::FindScenario(name);
+        ASSERT_NE(scenario, nullptr) << name;
+        EXPECT_EQ(scenario->name, name);
+        EXPECT_FALSE(scenario->description.empty()) << name;
     }
-    EXPECT_FALSE(static_cast<bool>(replay::FindScenario("no-such-scenario")));
+    EXPECT_EQ(replay::FindScenario("no-such-scenario"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Acceptance runs for the five catalog-v2 scenarios: each one, applied
+ * to its golden fleet spec, must run invariant-clean end to end — and
+ * the scenarios whose point is to force capping must actually engage
+ * it (a derate nobody notices is a vacuous golden). These are live
+ * re-runs of the golden recordings' first minutes, with the chaos
+ * invariant checker armed the whole time.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chaos/campaign.h"
+#include "chaos/invariants.h"
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "fleet/spec_parser.h"
+#include "replay/scenario.h"
+#include "telemetry/event_log.h"
+
+namespace dynamo::replay {
+namespace {
+
+/** tests/data/catalog_small.spec, inline (tight three-row SB). */
+constexpr const char* kCatalogSmall = R"(
+scope = sb
+servers_per_rpp = 24
+rpps_per_sb = 3
+rpp_rated_w = 6000
+sb_rated_w = 17800
+seed = 20260809
+diurnal_amplitude = 0.0
+sensorless_fraction = 0.0
+)";
+
+/** tests/data/gpu_small.spec, inline (25 % kGpuTrain2024). */
+constexpr const char* kGpuSmall = R"(
+scope = sb
+servers_per_rpp = 24
+rpps_per_sb = 3
+rpp_rated_w = 8300
+sb_rated_w = 19600
+gpu_fraction = 0.25
+seed = 20260809
+diurnal_amplitude = 0.0
+sensorless_fraction = 0.0
+)";
+
+/** tests/data/drift_small.spec, inline (25 % sensorless). */
+constexpr const char* kDriftSmall = R"(
+scope = sb
+servers_per_rpp = 24
+rpps_per_sb = 3
+rpp_rated_w = 6000
+sb_rated_w = 17800
+sensorless_fraction = 0.25
+seed = 20260809
+diurnal_amplitude = 0.0
+)";
+
+struct RunResult
+{
+    std::uint64_t violations = 0;
+    std::string first_violation;
+    std::size_t outages = 0;
+    std::size_t cap_starts = 0;
+};
+
+RunResult
+RunScenario(const char* spec_text, const std::string& scenario_text,
+            double duration_s, bool audit_qos = false)
+{
+    fleet::Fleet fleet(fleet::ParseFleetSpecString(spec_text));
+    chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
+                                   fleet.event_log());
+    ParseScenarioSpec(scenario_text).Apply(fleet, campaign);
+
+    chaos::InvariantChecker::Config config;
+    config.audit_qos_shed_order = audit_qos;
+    chaos::InvariantChecker checker(fleet, config);
+
+    if (std::getenv("DYNAMO_SCENARIO_DEBUG") != nullptr) {
+        for (int t = 0; t < static_cast<int>(duration_s); t += 10) {
+            fleet.RunFor(Seconds(10));
+            printf("t=%3d s  root=%.0f W\n", t + 10,
+                   fleet.root().TotalPower(fleet.sim().Now()));
+        }
+    } else {
+        fleet.RunFor(Seconds(duration_s));
+    }
+
+    RunResult result;
+    result.violations = checker.violation_count();
+    if (!checker.violations().empty()) {
+        result.first_violation = checker.violations().front();
+    }
+    result.outages = fleet.outage_count();
+    result.cap_starts =
+        fleet.event_log()->CountOf(telemetry::EventKind::kCapStart);
+    return result;
+}
+
+TEST(ScenarioAcceptance, GridDemandResponseCapsCleanly)
+{
+    const RunResult r = RunScenario(
+        kCatalogSmall, "grid-dr(start_s=40,hold_s=120,drop_frac=0.25)",
+        240.0);
+    EXPECT_EQ(r.violations, 0u) << r.first_violation;
+    EXPECT_EQ(r.outages, 0u);
+    // The derated budget must actually bite: the surge over the
+    // reduced limit pushes controllers into capping.
+    EXPECT_GT(r.cap_starts, 0u);
+}
+
+TEST(ScenarioAcceptance, ThermalEmergencyCapsCleanly)
+{
+    const RunResult r = RunScenario(kCatalogSmall, "thermal-emergency", 240.0);
+    EXPECT_EQ(r.violations, 0u) << r.first_violation;
+    EXPECT_EQ(r.outages, 0u);
+    EXPECT_GT(r.cap_starts, 0u);
+}
+
+TEST(ScenarioAcceptance, GpuTrainingSurgeCapsCleanly)
+{
+    const RunResult r = RunScenario(kGpuSmall, "gpu-surge", 240.0);
+    EXPECT_EQ(r.violations, 0u) << r.first_violation;
+    EXPECT_EQ(r.outages, 0u);
+    EXPECT_GT(r.cap_starts, 0u);
+}
+
+TEST(ScenarioAcceptance, EstimatorDriftStaysClean)
+{
+    // Slack ratings: the biased aggregate must stay inside the bands
+    // and the run must be invariant-clean despite 25 % of the agents
+    // reporting increasingly wrong power.
+    const RunResult r = RunScenario(kDriftSmall, "estimator-drift", 240.0);
+    EXPECT_EQ(r.violations, 0u) << r.first_violation;
+    EXPECT_EQ(r.outages, 0u);
+}
+
+TEST(ScenarioAcceptance, QosDowngradePassesShedOrderAudit)
+{
+    const RunResult r =
+        RunScenario(kCatalogSmall, "qos-downgrade(start_s=20,hold_s=120)",
+                    240.0, /*audit_qos=*/true);
+    EXPECT_EQ(r.violations, 0u) << r.first_violation;
+    EXPECT_EQ(r.outages, 0u);
+}
+
+}  // namespace
+}  // namespace dynamo::replay

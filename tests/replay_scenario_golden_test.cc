@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Golden journals for the five catalog-v2 scenarios: each committed
+ * recording must still replay bit-exactly (from the start and from a
+ * mid-run checkpoint) on today's build, and its header must carry the
+ * canonical scenario spec the recorder stamped. Together with
+ * replay_golden_test.cc this pins the whole scenario catalog.
+ *
+ * Regenerate after an *intentional* behavior change with the command
+ * in each entry below (run from the repo root, build in ./build):
+ *   build/tools/replay_cli record --out tests/data/<journal> \
+ *       --spec tests/data/<spec> --scenario '<scenario>' \
+ *       --duration-s 240 --cycle-ms 3000 --checkpoint-every 5 --check
+ * (the qos golden adds --audit-qos). Every recording must exit 0:
+ * --check arms the invariant checker and a violation fails the record.
+ *
+ * Set DYNAMO_SKIP_GOLDEN=1 to skip on platforms whose floating-point
+ * contraction settings differ from the recording host.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "replay/journal.h"
+#include "replay/replayer.h"
+#include "replay/scenario.h"
+
+#ifndef DYNAMO_TEST_DATA_DIR
+#define DYNAMO_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace dynamo {
+namespace {
+
+struct GoldenCase
+{
+    const char* journal;
+
+    /** Canonical scenario spec the header must carry. */
+    const char* scenario;
+
+    /** Spec file used at record time (for the regeneration command). */
+    const char* spec;
+};
+
+class ScenarioGoldenTest : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(ScenarioGoldenTest, ReplaysBitExactlyFromStartAndCheckpoint)
+{
+    if (std::getenv("DYNAMO_SKIP_GOLDEN") != nullptr) {
+        GTEST_SKIP() << "DYNAMO_SKIP_GOLDEN set";
+    }
+    const GoldenCase& c = GetParam();
+    const std::string path =
+        std::string(DYNAMO_TEST_DATA_DIR) + "/" + c.journal;
+    replay::Journal journal;
+    try {
+        journal = replay::ReadJournalFile(path);
+    } catch (const std::exception& e) {
+        FAIL() << "cannot load " << c.journal << " (" << e.what()
+               << "); regenerate with replay_cli record --spec tests/data/"
+               << c.spec << " --scenario '" << c.scenario
+               << "' (see file header)";
+    }
+    ASSERT_GT(journal.cycles.size(), 0u);
+    ASSERT_GT(journal.checkpoints.size(), 0u);
+    EXPECT_GT(journal.faults.size(), 0u)
+        << "a scenario recording without fault records is vacuous";
+
+    // The header carries the canonical spec — non-default parameters
+    // serialized, defaults elided — and it parses against the catalog.
+    EXPECT_EQ(journal.scenario, c.scenario);
+    const replay::ScenarioSpec parsed =
+        replay::ParseScenarioSpec(journal.scenario);
+    EXPECT_EQ(replay::FormatScenarioSpec(parsed), journal.scenario);
+    EXPECT_TRUE(journal.invariants_checked)
+        << "goldens must be recorded with --check";
+
+    replay::Replayer replayer(journal);
+    const replay::ReplayResult from_start = replayer.ReplayFromStart();
+    EXPECT_TRUE(from_start.ok)
+        << c.journal << " diverged — if the behavior change was "
+        << "intentional, regenerate the journal\n"
+        << from_start.detail;
+
+    const replay::ReplayResult from_cp =
+        replayer.ReplayFromCheckpoint(journal.checkpoints.size() / 2);
+    EXPECT_TRUE(from_cp.checkpoint_verified) << from_cp.detail;
+    EXPECT_TRUE(from_cp.ok) << from_cp.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CatalogV2, ScenarioGoldenTest,
+    ::testing::Values(
+        // grid-dr records non-default start/hold/drop, exercising the
+        // parameter round-trip through the journal header; the deeper
+        // drop is what makes the surge cross the cap threshold.
+        GoldenCase{"golden_grid_dr.journal",
+                   "grid-dr(start_s=40,hold_s=120,drop_frac=0.25)",
+                   "catalog_small.spec"},
+        GoldenCase{"golden_thermal_emergency.journal", "thermal-emergency",
+                   "catalog_small.spec"},
+        GoldenCase{"golden_gpu_surge.journal", "gpu-surge",
+                   "gpu_small.spec"},
+        GoldenCase{"golden_estimator_drift.journal", "estimator-drift",
+                   "drift_small.spec"},
+        GoldenCase{"golden_qos_downgrade.journal",
+                   "qos-downgrade(start_s=20,hold_s=120)",
+                   "catalog_small.spec"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+        std::string name = info.param.journal;
+        name = name.substr(0, name.find('.'));
+        for (char& ch : name) {
+            if (ch == '-' || ch == '.') ch = '_';
+        }
+        return name;
+    });
+
+}  // namespace
+}  // namespace dynamo

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scenario catalog API tests: enumeration, descriptor lookup, and the
+ * "name(k=v,...)" spec grammar — parse/format round-trip plus the
+ * hardened error messages (offender + accepted values, spec-parser
+ * style).
+ */
+#include "replay/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace dynamo::replay {
+namespace {
+
+TEST(ScenarioCatalog, EnumeratesAtLeastEightDocumentedScenarios)
+{
+    const std::vector<Scenario>& catalog = ScenarioCatalog();
+    ASSERT_GE(catalog.size(), 8u);
+    EXPECT_EQ(catalog.front().name, "quiet");
+    for (const Scenario& s : catalog) {
+        EXPECT_FALSE(s.name.empty());
+        EXPECT_FALSE(s.description.empty()) << s.name;
+        ASSERT_TRUE(s.apply != nullptr) << s.name;
+        for (const ScenarioParam& p : s.params) {
+            EXPECT_FALSE(p.key.empty()) << s.name;
+            EXPECT_FALSE(p.description.empty()) << s.name << "." << p.key;
+        }
+    }
+}
+
+TEST(ScenarioCatalog, NamesMatchCatalogOrder)
+{
+    const std::vector<std::string>& names = ScenarioNames();
+    const std::vector<Scenario>& catalog = ScenarioCatalog();
+    ASSERT_EQ(names.size(), catalog.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(names[i], catalog[i].name);
+    }
+}
+
+TEST(ScenarioCatalog, NewScenariosArePresentAndTunable)
+{
+    for (const char* name : {"grid-dr", "thermal-emergency", "gpu-surge",
+                             "estimator-drift", "qos-downgrade"}) {
+        const Scenario* s = FindScenario(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_FALSE(s->params.empty()) << name;
+        // Defaults() resolves every declared key.
+        const ScenarioParams defaults = s->Defaults();
+        EXPECT_EQ(defaults.size(), s->params.size()) << name;
+        for (const ScenarioParam& p : s->params) {
+            ASSERT_EQ(defaults.count(p.key), 1u) << name << "." << p.key;
+            EXPECT_EQ(defaults.at(p.key), p.def) << name << "." << p.key;
+        }
+    }
+}
+
+TEST(ScenarioCatalog, FindScenarioReturnsNullForUnknown)
+{
+    EXPECT_EQ(FindScenario("no-such-scenario"), nullptr);
+    EXPECT_EQ(FindScenario(""), nullptr);
+}
+
+TEST(ScenarioSpecGrammar, BareNameResolvesDefaults)
+{
+    const ScenarioSpec spec = ParseScenarioSpec("grid-dr");
+    ASSERT_NE(spec.scenario, nullptr);
+    EXPECT_EQ(spec.scenario->name, "grid-dr");
+    EXPECT_EQ(spec.params, spec.scenario->Defaults());
+    EXPECT_EQ(FormatScenarioSpec(spec), "grid-dr");
+}
+
+TEST(ScenarioSpecGrammar, OverridesMergeOntoDefaults)
+{
+    const ScenarioSpec spec = ParseScenarioSpec("grid-dr(hold_s=120)");
+    EXPECT_EQ(spec.params.at("hold_s"), 120.0);
+    // Untouched keys keep their defaults.
+    EXPECT_EQ(spec.params.at("drop_frac"),
+              spec.scenario->Defaults().at("drop_frac"));
+}
+
+TEST(ScenarioSpecGrammar, FormatListsOnlyNonDefaultsInDeclarationOrder)
+{
+    ScenarioSpec spec = ParseScenarioSpec("grid-dr");
+    spec.params["drop_frac"] = 0.25;
+    spec.params["start_s"] = 20.0;
+    // start_s is declared before drop_frac, so it prints first; the
+    // integral value prints as a plain integer, not scientific.
+    EXPECT_EQ(FormatScenarioSpec(spec), "grid-dr(start_s=20,drop_frac=0.25)");
+}
+
+TEST(ScenarioSpecGrammar, ParseFormatRoundTripsExactly)
+{
+    for (const std::string text :
+         {"quiet", "partition-heal", "grid-dr",
+          "grid-dr(start_s=20,hold_s=120)",
+          "thermal-emergency(drop_frac=0.3)",
+          "gpu-surge(pulses=5,high=1.45)",
+          "estimator-drift(step_bias=0.075)",
+          "qos-downgrade(start_s=15,hold_s=45,surge_factor=1.25,"
+          "shed_frac=0.5)"}) {
+        const ScenarioSpec spec = ParseScenarioSpec(text);
+        const std::string formatted = FormatScenarioSpec(spec);
+        const ScenarioSpec reparsed = ParseScenarioSpec(formatted);
+        EXPECT_EQ(reparsed.scenario, spec.scenario) << text;
+        EXPECT_EQ(reparsed.params, spec.params) << text;
+        // Format is canonical: a second round trip is a fixed point.
+        EXPECT_EQ(FormatScenarioSpec(reparsed), formatted) << text;
+    }
+}
+
+void
+ExpectParseError(const std::string& text, const std::string& needle)
+{
+    try {
+        ParseScenarioSpec(text);
+        FAIL() << "expected std::invalid_argument for '" << text << "'";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "parsing '" << text << "': '" << e.what()
+            << "' should mention '" << needle << "'";
+    }
+}
+
+TEST(ScenarioSpecGrammar, UnknownScenarioNamesTokenAndCatalog)
+{
+    ExpectParseError("warp-core-breach", "warp-core-breach");
+    // The error lists the accepted names.
+    ExpectParseError("warp-core-breach", "grid-dr");
+}
+
+TEST(ScenarioSpecGrammar, UnknownParameterNamesKeyAndDeclaredKeys)
+{
+    ExpectParseError("grid-dr(volume=11)", "volume");
+    ExpectParseError("grid-dr(volume=11)", "drop_frac");
+}
+
+TEST(ScenarioSpecGrammar, MalformedParameterNamesOffendingPart)
+{
+    ExpectParseError("grid-dr(start_s)", "start_s");
+    ExpectParseError("grid-dr(=5)", "key=value");
+    ExpectParseError("grid-dr(start_s=20,,hold_s=60)", "key=value");
+}
+
+TEST(ScenarioSpecGrammar, NonNumericValueNamesKeyAndValue)
+{
+    ExpectParseError("grid-dr(start_s=soon)", "start_s");
+    ExpectParseError("grid-dr(start_s=soon)", "soon");
+    ExpectParseError("grid-dr(start_s=12x)", "12x");
+}
+
+TEST(ScenarioSpecGrammar, UnterminatedParameterListIsAnError)
+{
+    EXPECT_THROW(ParseScenarioSpec("grid-dr(start_s=20"),
+                 std::invalid_argument);
+    // A parameter list on a scenario that declares none is an unknown
+    // key, not silently ignored.
+    EXPECT_THROW(ParseScenarioSpec("partition-heal(start_s=20)"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynamo::replay

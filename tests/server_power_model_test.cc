@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace dynamo::server {
 namespace {
 
@@ -54,6 +57,51 @@ TEST(PowerModel, GenerationNames)
 {
     EXPECT_STREQ(GenerationName(ServerGeneration::kWestmere2011), "westmere2011");
     EXPECT_STREQ(GenerationName(ServerGeneration::kHaswell2015), "haswell2015");
+    EXPECT_STREQ(GenerationName(ServerGeneration::kGpuTrain2024), "gputrain2024");
+}
+
+TEST(PowerModel, ParseGenerationRoundTrips)
+{
+    for (const ServerGeneration g : {ServerGeneration::kWestmere2011,
+                                     ServerGeneration::kHaswell2015,
+                                     ServerGeneration::kGpuTrain2024}) {
+        EXPECT_EQ(ParseGeneration(GenerationName(g)), g);
+    }
+}
+
+TEST(PowerModel, ParseGenerationNamesTokenAndAcceptedValues)
+{
+    try {
+        ParseGeneration("pentium4");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("pentium4"), std::string::npos) << what;
+        EXPECT_NE(what.find("gputrain2024"), std::string::npos) << what;
+    }
+}
+
+TEST(PowerModel, GpuTrainingNodeHasWideDynamicRange)
+{
+    // The AI-training node: ~350 W idle, ~1100 W peak — a dynamic span
+    // several times the Fig. 1 CPU curves, which is what makes
+    // synchronized training surges the breaker stress case.
+    const ServerPowerSpec gpu =
+        ServerPowerSpec::For(ServerGeneration::kGpuTrain2024);
+    const ServerPowerSpec h2015 =
+        ServerPowerSpec::For(ServerGeneration::kHaswell2015);
+    EXPECT_NEAR(gpu.idle, 350.0, 10.0);
+    EXPECT_NEAR(gpu.peak, 1100.0, 20.0);
+    EXPECT_GT(gpu.peak - gpu.idle, 2.5 * (h2015.peak - h2015.idle));
+}
+
+TEST(PowerModel, GpuTurboPeakFollowsDynamicPowerFormula)
+{
+    const ServerPowerSpec gpu =
+        ServerPowerSpec::For(ServerGeneration::kGpuTrain2024);
+    EXPECT_DOUBLE_EQ(gpu.TurboPeak(),
+                     gpu.idle + (gpu.peak - gpu.idle) * gpu.turbo_power_mult);
+    EXPECT_DOUBLE_EQ(PowerAtUtil(gpu, 1.0, /*turbo=*/true), gpu.TurboPeak());
 }
 
 class PowerCurveTest : public ::testing::TestWithParam<ServerGeneration>
@@ -98,7 +146,8 @@ TEST_P(PowerCurveTest, InverseRecoversUtilWithTurbo)
 
 INSTANTIATE_TEST_SUITE_P(Generations, PowerCurveTest,
                          ::testing::Values(ServerGeneration::kWestmere2011,
-                                           ServerGeneration::kHaswell2015));
+                                           ServerGeneration::kHaswell2015,
+                                           ServerGeneration::kGpuTrain2024));
 
 }  // namespace
 }  // namespace dynamo::server

@@ -71,6 +71,26 @@ TEST(PiecewiseTraffic, EmptyIsUnity)
     EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(5)), 1.0);
 }
 
+TEST(PiecewiseTraffic, SquarePulseLaysOutFourBreakpoints)
+{
+    PiecewiseTraffic traffic;
+    traffic.AddSquarePulse(Seconds(10), Seconds(30), 1.0, 1.4);
+    EXPECT_EQ(traffic.size(), 4u);
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(10)), 1.0);   // pulse foot
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(11)), 1.4);   // after the edge
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(20)), 1.4);   // holding high
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(30)), 1.4);   // fall starts
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(31)), 1.0);   // back down
+    EXPECT_DOUBLE_EQ(traffic.FactorAt(Seconds(10.5)), 1.2);  // mid-edge
+}
+
+TEST(PiecewiseTraffic, SquarePulseMustHoldAtLeastOneEdge)
+{
+    PiecewiseTraffic traffic;
+    EXPECT_THROW(traffic.AddSquarePulse(Seconds(10), Seconds(10), 1.0, 1.4),
+                 std::invalid_argument);
+}
+
 TEST(CompositeTraffic, MultipliesParts)
 {
     ConstantTraffic a(2.0);

@@ -22,6 +22,7 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "chaos/campaign.h"
@@ -46,11 +47,13 @@ struct Options
     std::string out_path;
     std::string spec_path;
     std::string scenario = "mixed-faults";
+    bool scenario_set = false;  ///< --scenario given (beats the spec file).
     double duration_s = 180.0;
     SimTime cycle_ms = 3000;
     std::uint64_t checkpoint_every = 10;
     std::optional<std::size_t> from_checkpoint;
     bool check_invariants = false;
+    bool audit_qos = false;  ///< --audit-qos: opt-in shed-order audit.
     std::optional<policy::PolicyKind> policy;
 };
 
@@ -58,13 +61,15 @@ struct Options
 Usage(const char* argv0)
 {
     std::cerr
-        << "usage: " << argv0 << " <record|verify|bisect|info> [options]\n"
-        << "  record --out PATH [--spec FILE] [--scenario NAME]\n"
+        << "usage: " << argv0
+        << " <record|verify|bisect|info|list> [options]\n"
+        << "  record --out PATH [--spec FILE] [--scenario NAME[(k=v,...)]]\n"
         << "         [--duration-s N] [--cycle-ms N] [--checkpoint-every N]\n"
-        << "         [--check] [--policy NAME]\n"
+        << "         [--check] [--audit-qos] [--policy NAME]\n"
         << "  verify --journal PATH [--from-checkpoint N] [--spec FILE]\n"
         << "  bisect --journal PATH --spec FILE\n"
         << "  info   --journal PATH\n"
+        << "  list   (print the scenario catalog)\n"
         << "scenarios:";
     for (const auto& name : replay::ScenarioNames()) std::cerr << " " << name;
     std::cerr << "\n";
@@ -91,6 +96,7 @@ Parse(int argc, char** argv)
             opt.spec_path = value();
         } else if (arg == "--scenario") {
             opt.scenario = value();
+            opt.scenario_set = true;
         } else if (arg == "--duration-s") {
             opt.duration_s = std::stod(value());
         } else if (arg == "--cycle-ms") {
@@ -101,6 +107,8 @@ Parse(int argc, char** argv)
             opt.from_checkpoint = std::stoull(value());
         } else if (arg == "--check") {
             opt.check_invariants = true;
+        } else if (arg == "--audit-qos") {
+            opt.audit_qos = true;
         } else if (arg == "--policy") {
             policy::PolicyKind kind = policy::PolicyKind::kThreeBand;
             const std::string name = value();
@@ -137,13 +145,21 @@ Record(const Options& opt)
         std::cerr << "record: --out is required\n";
         return 2;
     }
-    if (!replay::FindScenario(opt.scenario)) {
-        std::cerr << "record: unknown scenario '" << opt.scenario << "'\n";
-        return 2;
-    }
     fleet::FleetSpec spec = opt.spec_path.empty()
                                 ? DefaultSpec()
                                 : fleet::LoadFleetSpec(opt.spec_path);
+    // --scenario beats the spec file's `scenario=` default, which beats
+    // the CLI's built-in default.
+    const std::string scenario_text =
+        !opt.scenario_set && !spec.scenario.empty() ? spec.scenario
+                                                    : opt.scenario;
+    replay::ScenarioSpec scenario;
+    try {
+        scenario = replay::ParseScenarioSpec(scenario_text);
+    } catch (const std::invalid_argument& e) {
+        std::cerr << "record: " << e.what() << "\n";
+        return 2;
+    }
     if (opt.policy) {
         // Overrides any capping_policy in the spec file; the journal's
         // canonical spec text records the override, so verify replays
@@ -154,12 +170,13 @@ Record(const Options& opt)
     fleet::Fleet fleet(spec);
     chaos::CampaignEngine campaign(fleet.sim(), fleet.transport(),
                                    fleet.event_log());
-    replay::FindScenario(opt.scenario)(fleet, campaign);
+    scenario.Apply(fleet, campaign);
 
     replay::RecorderConfig config;
     config.cycle_period = opt.cycle_ms;
     config.checkpoint_every = opt.checkpoint_every;
-    config.scenario = opt.scenario;
+    // Canonical text (defaults elided) — the replayer re-parses this.
+    config.scenario = replay::FormatScenarioSpec(scenario);
     config.invariants_checked = opt.check_invariants;
     replay::Recorder recorder(fleet, config);
     campaign.set_fault_observer(
@@ -169,7 +186,9 @@ Record(const Options& opt)
 
     std::optional<chaos::InvariantChecker> checker;
     if (opt.check_invariants) {
-        checker.emplace(fleet);
+        chaos::InvariantChecker::Config checker_config;
+        checker_config.audit_qos_shed_order = opt.audit_qos;
+        checker.emplace(fleet, checker_config);
         checker->set_violation_hook(
             [&recorder, &opt](const std::string& description) {
                 const std::string path = opt.out_path + ".violation";
@@ -186,7 +205,7 @@ Record(const Options& opt)
               << journal.checkpoints.size() << " checkpoints, "
               << journal.faults.size() << " faults ("
               << fleet.servers().size() << " servers, scenario "
-              << opt.scenario << ") -> " << opt.out_path << "\n";
+              << config.scenario << ") -> " << opt.out_path << "\n";
     if (checker && !checker->ok()) {
         std::cerr << "run had " << checker->violation_count()
                   << " invariant violations\n";
@@ -271,6 +290,20 @@ Info(const Options& opt)
     return 0;
 }
 
+int
+List()
+{
+    for (const replay::Scenario& scenario : replay::ScenarioCatalog()) {
+        std::cout << scenario.name << "\n    " << scenario.description
+                  << "\n";
+        for (const replay::ScenarioParam& param : scenario.params) {
+            std::cout << "      " << param.key << " = "
+                      << param.def << "  (" << param.description << ")\n";
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -282,6 +315,7 @@ main(int argc, char** argv)
         if (opt.command == "verify") return Verify(opt);
         if (opt.command == "bisect") return Bisect(opt);
         if (opt.command == "info") return Info(opt);
+        if (opt.command == "list") return List();
         Usage(argv[0]);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
